@@ -1,0 +1,67 @@
+// Ablation: the external-compiler tradeoff behind Table 3.
+//
+// WootinJ's runtime cost has two parts: the one-time external compilation
+// (Table 3) and the steady-state kernel speed. This bench compiles the SAME
+// translation at -O0 / -O1 / -O2 and measures both sides, showing why the
+// paper accepts a multi-second icc run: the kernel-speed gap dwarfs the
+// compile-time saving for any real simulation length.
+#include <cstdlib>
+
+#include "common.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "stencil/stencil_lib.h"
+#include "support/timer.h"
+
+using namespace wj;
+using namespace wj::stencil;
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Ablation: external compiler optimization level",
+                    "same WootinJ translation compiled at -O0/-O1/-O2",
+                    "all values MEASURED on this host");
+
+    const int n = opts.full ? 96 : 40;
+    const auto coeffs = DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    Program prog = buildProgram();
+    Interp in(prog);
+    const double cells = static_cast<double>(n) * n * n;
+
+    std::printf("%-8s %14s %16s %22s\n", "flags", "compile ms", "ns/cell/step",
+                "break-even steps*");
+    double o2PerStep = 0, o2Compile = 0;
+    struct Row { const char* flags; double compile, perStep; };
+    std::vector<Row> rows;
+    for (const char* flags : {"-O0", "-O1", "-O2"}) {
+        setenv("WJ_CFLAGS", flags, 1);
+        Value runner = makeCpuRunner(in, n, n, n, coeffs, 7);
+        JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(1)});
+        Timer t;
+        code.invokeWith({Value::ofI32(2)});
+        const double t2 = t.seconds();
+        t.reset();
+        code.invokeWith({Value::ofI32(10)});
+        const double perStep = (t.seconds() - t2) / 8.0;
+        rows.push_back({flags, code.compileSeconds(), perStep});
+        if (std::string(flags) == "-O2") {
+            o2PerStep = perStep;
+            o2Compile = code.compileSeconds();
+        }
+    }
+    unsetenv("WJ_CFLAGS");
+    for (const auto& r : rows) {
+        // Steps needed before -O2's extra compile time pays for itself
+        // against this flag level.
+        double breakEven = 0;
+        if (r.perStep > o2PerStep) {
+            breakEven = (o2Compile - r.compile) / (r.perStep - o2PerStep);
+        }
+        std::printf("%-8s %14.1f %16.3f %22.1f\n", r.flags, r.compile * 1e3,
+                    r.perStep / cells * 1e9, breakEven > 0 ? breakEven : 0.0);
+    }
+    std::printf("\n* simulation steps after which compiling at -O2 is the net win\n");
+    std::printf("ablation check: -O2 kernel at least 2x faster than -O0 -> %s\n",
+                rows[0].perStep > 2.0 * rows[2].perStep ? "holds" : "VIOLATED");
+    return 0;
+}

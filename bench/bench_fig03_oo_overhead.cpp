@@ -1,0 +1,23 @@
+// Figure 3: the cost of object orientation. 3-D diffusion (paper: 128^3,
+// default here 48^3; pass --full for 128^3) on a single thread:
+// "Java" (our interpreter), C++ (virtual functions), and hand C.
+// The paper's shape: Java and C++ are more than 10x slower than C.
+#include "common.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 3", "3-D diffusion, single thread: Java vs C++ vs C",
+                    "all rows MEASURED on this host; Java = WJ interpreter (the JVM analogue)");
+
+    const auto c = wjbench::measureDiffusionCosts(/*withInterp=*/true, opts.full);
+    std::printf("%-22s %16s %12s\n", "variant", "ns/cell/step", "vs C");
+    auto row = [&](const char* name, double v) {
+        std::printf("%-22s %16.3f %11.1fx\n", name, v * 1e9, v / c.c);
+    };
+    row("Java", c.interp);
+    row("C++ (virtual)", c.cppVirtual);
+    row("C", c.c);
+    std::printf("\npaper shape check: Java and C++ slower than C by >1x each -> %s\n",
+                (c.interp > c.c && c.cppVirtual > c.c) ? "holds" : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4: weak scaling of the 3-D diffusion solvers, CPU + MPI,
+// 128x128x128 per node, variants C / C++ / Template / Template-w/o-virt /
+// WootinJ. Per-cell costs are MEASURED per variant on this host; the
+// node-count axis comes from the alpha-beta halo-exchange model with
+// TSUBAME-2.0-like constants (DESIGN.md substitution table).
+#include "common.h"
+#include "perf/perfmodel.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 4", "weak scaling, 3-D diffusion, CPU+MPI, 128^3 per node",
+                    "per-cell costs MEASURED; cluster timing MODELED (alpha-beta)");
+
+    const auto c = wjbench::measureDiffusionCosts(/*withInterp=*/false, opts.full);
+    const auto m = wj::perf::MachineProfile::tsubame2();
+
+    auto stencil = [&](double perCell) {
+        wj::perf::StencilScaling s{};
+        s.nx = 128;
+        s.ny = 128;
+        s.nzPerNodeOrGlobal = 128;
+        s.secondsPerCell = perCell;
+        return s;
+    };
+
+    std::printf("seconds per simulation step (weak scaling, 128^3 cells per node)\n");
+    std::printf("%6s %12s %12s %12s %12s %12s\n", "nodes", "C", "C++", "Template", "T-no-virt",
+                "WootinJ");
+    for (int p : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        std::printf("%6d %12.5f %12.5f %12.5f %12.5f %12.5f\n", p,
+                    stencil(c.c).weakStepCpu(m, p), stencil(c.cppVirtual).weakStepCpu(m, p),
+                    stencil(c.tmpl).weakStepCpu(m, p), stencil(c.tmplNoVirt).weakStepCpu(m, p),
+                    stencil(c.wootinj).weakStepCpu(m, p));
+    }
+    std::printf("\npaper shape check: WootinJ within 3x of C at every node count; C++ slowest "
+                "-> %s\n",
+                (c.wootinj < 3.0 * c.c && c.cppVirtual > c.wootinj) ? "holds" : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: strong scaling of the 3-D diffusion solver on GPUs,
+// 384x384x(384x4) total. Modeled per the Figure 6 methodology; the
+// crossover where PCIe/network halo staging stops the scaling is the
+// paper's qualitative story.
+#include "common.h"
+#include "perf/perfmodel.h"
+
+int main(int argc, char** argv) {
+    (void)wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 7", "strong scaling, 3-D diffusion, GPU+MPI, 384x384x1536 total",
+                    "GPU kernel MODELED (M2050 roofline); halo staging via PCIe");
+
+    const auto m = wj::perf::MachineProfile::tsubame2();
+    wj::perf::StencilScaling s{};
+    s.nx = 384;
+    s.ny = 384;
+    s.nzPerNodeOrGlobal = 384 * 4;
+    s.gpuVariantFactor = 1.0;
+
+    std::printf("seconds per step and speedup vs 1 GPU\n");
+    std::printf("%6s %12s %10s\n", "GPUs", "time", "speedup");
+    const double t1 = s.strongStepGpu(m, 1);
+    for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+        const double t = s.strongStepGpu(m, p);
+        std::printf("%6d %12.5f %10.2f\n", p, t, t1 / t);
+    }
+    std::printf("\n(C, Template and WootinJ coincide on GPUs after translation; see Figure 6)\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 9: weak scaling of matrix multiplication (Fox algorithm), CPU +
+// MPI, 2048^3 work per node. Per-fma costs MEASURED per variant; the rank
+// grid q x q and its row-broadcast/column-shift communication MODELED.
+#include "common.h"
+#include "perf/perfmodel.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 9", "weak scaling, matmul (Fox), CPU+MPI, 2048^3 per node",
+                    "per-fma costs MEASURED; Fox communication MODELED (alpha-beta)");
+
+    const auto c = wjbench::measureMatmulCosts(/*withInterp=*/false, opts.full);
+    const auto m = wj::perf::MachineProfile::tsubame2();
+
+    auto fox = [&](double perFma) {
+        wj::perf::FoxScaling f{};
+        f.nPerNodeOrGlobal = 2048;
+        f.secondsPerFma = perFma;
+        return f;
+    };
+
+    std::printf("total multiplication seconds (weak scaling; Fox grid = q x q nodes)\n");
+    std::printf("%6s %3s %12s %12s %12s %12s %12s\n", "nodes", "q", "C", "C++", "Template",
+                "T-no-virt", "WootinJ");
+    for (int p : {1, 4, 9, 16, 25, 64, 121}) {
+        const int q = wj::perf::squareSide(p);
+        std::printf("%6d %3d %12.3f %12.3f %12.3f %12.3f %12.3f\n", p, q,
+                    fox(c.c).totalCpu(m, p, true), fox(c.cppVirtual).totalCpu(m, p, true),
+                    fox(c.tmpl).totalCpu(m, p, true), fox(c.tmplNoVirt).totalCpu(m, p, true),
+                    fox(c.wootinj).totalCpu(m, p, true));
+    }
+    std::printf("\npaper shape check: WootinJ within 3x of C; C++ (virtual) slowest -> %s\n",
+                (c.wootinj < 3.0 * c.c && c.cppVirtual >= c.wootinj) ? "holds" : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 10: strong scaling of matmul (Fox), CPU + MPI, 2048x2048x(2048x8)
+// total work, C vs WootinJ — with a REAL MiniMPI Fox execution at a scaled
+// size validating the translated algorithm at several grid sizes.
+#include <cmath>
+
+#include "common.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "perf/perfmodel.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 10", "strong scaling, matmul (Fox), CPU+MPI, 2048^2 x 16384 total",
+                    "per-fma costs MEASURED; Fox communication MODELED; functional run REAL");
+
+    const auto c = wjbench::measureMatmulCosts(/*withInterp=*/false, opts.full);
+    const auto m = wj::perf::MachineProfile::tsubame2();
+    // The paper's strong-scaling problem: a fixed 2048*2 global dimension
+    // (2048^2 x 16384 flops ~ n = 2048 * 2 cubed).
+    const int nGlobalModel = 4096;
+
+    auto fox = [&](double perFma) {
+        wj::perf::FoxScaling f{};
+        f.nPerNodeOrGlobal = nGlobalModel;
+        f.secondsPerFma = perFma;
+        return f;
+    };
+
+    std::printf("total multiplication seconds (strong scaling, global n = %d)\n", nGlobalModel);
+    std::printf("%6s %3s %12s %10s %12s %10s\n", "nodes", "q", "C", "speedup", "WootinJ",
+                "speedup");
+    const double c1 = fox(c.c).totalCpu(m, 1, false);
+    const double w1 = fox(c.wootinj).totalCpu(m, 1, false);
+    for (int p : {1, 4, 9, 16, 25, 64, 121}) {
+        const int q = wj::perf::squareSide(p);
+        const double tc = fox(c.c).totalCpu(m, p, false);
+        const double tw = fox(c.wootinj).totalCpu(m, p, false);
+        std::printf("%6d %3d %12.3f %10.2f %12.3f %10.2f\n", p, q, tc, c1 / tc, tw, w1 / tw);
+    }
+
+    // Real MiniMPI Fox runs at a scaled size.
+    using namespace wj;
+    const int nGlobal = 24, seed = 5;
+    const double expect = matmul::referenceMatMulChecksum(nGlobal, seed, seed + 1);
+    Program prog = matmul::buildProgram();
+    Interp in(prog);
+    std::printf("\nreal MiniMPI Fox validation (n=%d, reference %.4f):\n", nGlobal, expect);
+    for (int q : {1, 2, 3}) {
+        Value app = matmul::makeMpiFoxApp(in, matmul::Calc::Optimized, q);
+        JitCode code = WootinJ::jit4mpi(prog, app, "run",
+                                        {Value::ofI32(nGlobal / q), Value::ofI32(seed)});
+        code.set4MPI(q * q);
+        const double got = code.invoke().asF64();
+        std::printf("  grid=%dx%d checksum=%.4f  %s\n", q, q, got,
+                    std::abs(got - expect) < std::abs(expect) * 1e-4 ? "ok" : "MISMATCH");
+    }
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 12: strong scaling of matmul (Fox) on GPUs, 14592^2 x (14592x4)
+// total. Modeled per Figure 11's methodology.
+#include "common.h"
+#include "perf/perfmodel.h"
+
+int main(int argc, char** argv) {
+    (void)wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 12", "strong scaling, matmul (Fox), GPU+MPI",
+                    "tiled kernel MODELED (M2050 roofline); blocks staged over PCIe");
+
+    const auto m = wj::perf::MachineProfile::tsubame2();
+    wj::perf::FoxScaling f{};
+    f.nPerNodeOrGlobal = 14592;
+    f.gpuVariantFactor = 1.0;
+
+    std::printf("total multiplication seconds and speedup vs 1 GPU (global n = %d)\n", 14592);
+    std::printf("%6s %3s %12s %10s\n", "GPUs", "q", "time", "speedup");
+    const double t1 = f.totalGpu(m, 1, false);
+    for (int p : {1, 4, 9, 16, 25, 64}) {
+        const int q = wj::perf::squareSide(p);
+        const double t = f.totalGpu(m, p, false);
+        std::printf("%6d %3d %12.3f %10.2f\n", p, q, t, t1 / t);
+    }
+    std::printf("\n(Template and WootinJ coincide on GPUs after translation)\n");
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 17: 3-D diffusion (paper: 128^3), single CPU thread, ALL variants:
+// Java, C++, Template, Template w/o virt., WootinJ, C.
+// Paper shape: WootinJ lands near C and Template, far below Java/C++.
+#include "common.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 17", "3-D diffusion, single thread, all six variants",
+                    "all rows MEASURED on this host");
+
+    const auto c = wjbench::measureDiffusionCosts(/*withInterp=*/true, opts.full);
+    std::printf("%-22s %16s %12s\n", "variant", "ns/cell/step", "vs C");
+    auto row = [&](const char* name, double v) {
+        std::printf("%-22s %16.3f %11.1fx\n", name, v * 1e9, v / c.c);
+    };
+    row("Java", c.interp);
+    row("C++ (virtual)", c.cppVirtual);
+    row("Template", c.tmpl);
+    row("Template w/o virt.", c.tmplNoVirt);
+    row("WootinJ", c.wootinj);
+    row("C", c.c);
+
+    const bool shape = c.interp > c.wootinj && c.cppVirtual > c.wootinj &&
+                       c.wootinj < 3.0 * c.c;
+    std::printf("\npaper shape check: WootinJ beats Java & C++-virtual and is within 3x of C "
+                "-> %s\n", shape ? "holds" : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 18: matrix multiplication (paper: 1024^3), single CPU thread, all
+// six variants. Paper shape: WootinJ ~ C/Template; "Template w/o virt."
+// showed unsatisfactory performance here (Section 4.2's surprise); Java is
+// far slower.
+#include "common.h"
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Figure 18", "matrix multiplication, single thread, all six variants",
+                    "all rows MEASURED on this host");
+
+    const auto c = wjbench::measureMatmulCosts(/*withInterp=*/true, opts.full);
+    std::printf("%-22s %16s %12s\n", "variant", "ns/fma", "vs C");
+    auto row = [&](const char* name, double v) {
+        std::printf("%-22s %16.4f %11.1fx\n", name, v * 1e9, v / c.c);
+    };
+    row("Java", c.interp);
+    row("C++ (virtual)", c.cppVirtual);
+    row("Template", c.tmpl);
+    row("Template w/o virt.", c.tmplNoVirt);
+    row("WootinJ", c.wootinj);
+    row("C", c.c);
+
+    const bool shape = c.interp > c.wootinj && c.wootinj < 3.0 * c.c;
+    std::printf("\npaper shape check: WootinJ beats Java and is within 3x of C -> %s\n",
+                shape ? "holds" : "VIOLATED");
+    return 0;
+}

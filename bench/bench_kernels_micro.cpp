@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks of the per-variant kernels — the raw
+// material behind every figure bench, measured with gbench's methodology
+// as an independent cross-check of the marginal-cost measurements.
+#include <benchmark/benchmark.h>
+
+#include "baselines/diffusion_baselines.h"
+#include "baselines/matmul_baselines.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+
+namespace {
+
+const auto kCoeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+constexpr int kN = 32;
+constexpr int kSeed = 7;
+
+void BM_DiffusionC(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baselines::diffusionC(kN, kN, kN, kCoeffs, kSeed, 2));
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+BENCHMARK(BM_DiffusionC);
+
+void BM_DiffusionVirtual(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baselines::diffusionVirtual(kN, kN, kN, kCoeffs, kSeed, 2));
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+BENCHMARK(BM_DiffusionVirtual);
+
+void BM_DiffusionTemplate(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baselines::diffusionTemplate(kN, kN, kN, kCoeffs, kSeed, 2));
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+BENCHMARK(BM_DiffusionTemplate);
+
+void BM_DiffusionTemplateNoVirt(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            baselines::diffusionTemplateNoVirt(kN, kN, kN, kCoeffs, kSeed, 2));
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+BENCHMARK(BM_DiffusionTemplateNoVirt);
+
+void BM_DiffusionWootinJ(benchmark::State& state) {
+    static Program prog = stencil::buildProgram();
+    static Interp in(prog);
+    static Value runner = stencil::makeCpuRunner(in, kN, kN, kN, kCoeffs, kSeed);
+    static JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(2)});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.invoke().asF64());
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+BENCHMARK(BM_DiffusionWootinJ);
+
+void BM_DiffusionInterp(benchmark::State& state) {
+    static Program prog = stencil::buildProgram();
+    static Interp in(prog);
+    static Value runner = stencil::makeCpuRunner(in, 8, 8, 8, kCoeffs, kSeed);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(in.call(runner, "run", {Value::ofI32(1)}).asF64());
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 8 * 8);
+}
+BENCHMARK(BM_DiffusionInterp);
+
+void BM_MatmulC(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baselines::matmulC(n, kSeed, kSeed + 1));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulC)->Arg(64)->Arg(128);
+
+void BM_MatmulWootinJ(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    static Program prog = matmul::buildProgram();
+    static Interp in(prog);
+    static Value app = matmul::makeCpuApp(in, matmul::Calc::Optimized);
+    static JitCode code = WootinJ::jit(prog, app, "run", {Value::ofI32(64), Value::ofI32(kSeed)});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            code.invokeWith({Value::ofI32(n), Value::ofI32(kSeed)}).asF64());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulWootinJ)->Arg(64)->Arg(128);
+
+void BM_GpuSimDiffusionKernel(benchmark::State& state) {
+    static Program prog = stencil::buildProgram();
+    static Interp in(prog);
+    static Value runner = stencil::makeGpuRunner(in, 24, 24, 24, kCoeffs, kSeed, 128);
+    static JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(2)});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.invoke().asF64());
+    }
+    state.SetItemsProcessed(state.iterations() * 24 * 24 * 24 * 2);
+}
+BENCHMARK(BM_GpuSimDiffusionKernel);
+
+} // namespace
+
+BENCHMARK_MAIN();

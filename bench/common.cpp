@@ -1,0 +1,176 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "baselines/diffusion_baselines.h"
+#include "baselines/matmul_baselines.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+#include "support/timer.h"
+
+namespace wjbench {
+
+using namespace wj;
+
+Options parseArgs(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    }
+    return o;
+}
+
+void banner(const char* fig, const char* what, const char* method) {
+    std::printf("== %s ==\n%s\n[%s]\n\n", fig, what, method);
+}
+
+namespace {
+
+constexpr int kSeed = 7;
+
+/// Best-of-3 marginal cost: (t(hi) - t(lo)) / (hi - lo) per unit of work.
+template <typename Fn>
+double marginal(Fn&& run, int lo, int hi, double unitsPerStep) {
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        run(lo);
+        const double tLo = t.seconds();
+        t.reset();
+        run(hi);
+        const double tHi = t.seconds();
+        best = std::min(best, (tHi - tLo) / (hi - lo));
+    }
+    return std::max(best, 1e-12) / unitsPerStep;
+}
+
+} // namespace
+
+DiffusionCosts measureDiffusionCosts(bool withInterp, bool full) {
+    DiffusionCosts out;
+    const int n = full ? 128 : 48;
+    const double cells = static_cast<double>(n) * n * n;
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    const int lo = 2, hi = full ? 6 : 12;
+
+    out.c = marginal([&](int s) { baselines::diffusionC(n, n, n, coeffs, kSeed, s); }, lo, hi,
+                     cells);
+    out.cppVirtual = marginal(
+        [&](int s) { baselines::diffusionVirtual(n, n, n, coeffs, kSeed, s); }, lo, hi, cells);
+    out.tmpl = marginal([&](int s) { baselines::diffusionTemplate(n, n, n, coeffs, kSeed, s); },
+                        lo, hi, cells);
+    out.tmplNoVirt = marginal(
+        [&](int s) { baselines::diffusionTemplateNoVirt(n, n, n, coeffs, kSeed, s); }, lo, hi,
+        cells);
+
+    static Program prog = stencil::buildProgram();  // shared across benches
+    Interp in(prog);
+    Value runner = stencil::makeCpuRunner(in, n, n, n, coeffs, kSeed);
+    JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(1)});
+    out.wootinj = marginal([&](int s) { code.invokeWith({Value::ofI32(s)}); }, lo, hi, cells);
+
+    if (withInterp) {
+        const int ni = full ? 20 : 12;
+        Value small = stencil::makeCpuRunner(in, ni, ni, ni, coeffs, kSeed);
+        out.interp = marginal([&](int s) { in.call(small, "run", {Value::ofI32(s)}); }, 1, 3,
+                              static_cast<double>(ni) * ni * ni);
+    }
+    return out;
+}
+
+MatmulCosts measureMatmulCosts(bool withInterp, bool full) {
+    MatmulCosts out;
+    const int n1 = full ? 256 : 96;
+    const int n2 = full ? 384 : 160;
+    const double fmaDiff = static_cast<double>(n2) * n2 * n2 - static_cast<double>(n1) * n1 * n1;
+
+    auto perFma = [&](auto&& fn) {
+        double best = 1e100;
+        for (int rep = 0; rep < 3; ++rep) {
+            Timer t;
+            fn(n1);
+            const double t1 = t.seconds();
+            t.reset();
+            fn(n2);
+            const double t2 = t.seconds();
+            best = std::min(best, (t2 - t1) / fmaDiff);
+        }
+        return std::max(best, 1e-13);
+    };
+
+    out.c = perFma([&](int n) { baselines::matmulC(n, kSeed, kSeed + 1); });
+    out.cppVirtual = perFma([&](int n) { baselines::matmulVirtual(n, kSeed, kSeed + 1); });
+    out.tmpl = perFma([&](int n) { baselines::matmulTemplate(n, kSeed, kSeed + 1); });
+    out.tmplNoVirt = perFma([&](int n) { baselines::matmulTemplateNoVirt(n, kSeed, kSeed + 1); });
+
+    static Program prog = matmul::buildProgram();
+    Interp in(prog);
+    Value app = matmul::makeCpuApp(in, matmul::Calc::Optimized);
+    JitCode code = WootinJ::jit(prog, app, "run", {Value::ofI32(n1), Value::ofI32(kSeed)});
+    out.wootinj =
+        perFma([&](int n) { code.invokeWith({Value::ofI32(n), Value::ofI32(kSeed)}); });
+
+    if (withInterp) {
+        const int m1 = 12, m2 = 20;
+        const double df = static_cast<double>(m2) * m2 * m2 - static_cast<double>(m1) * m1 * m1;
+        Value iapp = matmul::makeCpuApp(in, matmul::Calc::Optimized);
+        Timer t;
+        in.call(iapp, "run", {Value::ofI32(m1), Value::ofI32(kSeed)});
+        const double t1 = t.seconds();
+        t.reset();
+        in.call(iapp, "run", {Value::ofI32(m2), Value::ofI32(kSeed)});
+        out.interp = (t.seconds() - t1) / df;
+    }
+    return out;
+}
+
+double measureGpuDiffusionPerCell(bool full) {
+    const int n = full ? 64 : 32;
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    static Program prog = stencil::buildProgram();
+    Interp in(prog);
+    Value runner = stencil::makeGpuRunner(in, n, n, n, coeffs, kSeed, 128);
+    JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(1)});
+    return marginal([&](int s) { code.invokeWith({Value::ofI32(s)}); }, 1, 5,
+                    static_cast<double>(n) * n * n);
+}
+
+std::vector<CompileTime> measureCompileTimes() {
+    std::vector<CompileTime> out;
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    {
+        static Program prog = stencil::buildProgram();
+        Interp in(prog);
+        {
+            Value r = stencil::makeMpiRunner(in, 8, 8, 8, coeffs, kSeed);
+            JitCode c = WootinJ::jit4mpi(prog, r, "run", {Value::ofI32(1)});
+            out.push_back({"3-D diffusion, CPU + MPI", c.codegenSeconds(), c.compileSeconds()});
+        }
+        {
+            Value r = stencil::makeGpuMpiRunner(in, 8, 8, 8, coeffs, kSeed, 32);
+            JitCode c = WootinJ::jit4mpi(prog, r, "run", {Value::ofI32(1)});
+            out.push_back({"3-D diffusion, GPU + MPI", c.codegenSeconds(), c.compileSeconds()});
+        }
+    }
+    {
+        static Program prog = matmul::buildProgram();
+        Interp in(prog);
+        {
+            Value a = matmul::makeMpiFoxApp(in, matmul::Calc::Optimized, 2);
+            JitCode c = WootinJ::jit4mpi(prog, a, "run", {Value::ofI32(8), Value::ofI32(kSeed)});
+            out.push_back({"matmul Fox, CPU + MPI", c.codegenSeconds(), c.compileSeconds()});
+        }
+        {
+            Value a = matmul::makeMpiFoxGpuApp(in, 2, 4);
+            JitCode c = WootinJ::jit4mpi(prog, a, "run", {Value::ofI32(8), Value::ofI32(kSeed)});
+            out.push_back({"matmul Fox, GPU + MPI", c.codegenSeconds(), c.compileSeconds()});
+        }
+    }
+    return out;
+}
+
+} // namespace wjbench

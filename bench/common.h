@@ -1,0 +1,72 @@
+// Shared measurement support for the figure/table benches.
+//
+// Every scaling bench follows the DESIGN.md recipe: MEASURE the real
+// single-core cost of each variant's kernel on this host (interpreter, JIT
+// output, hand C, virtual C++, template C++), then feed the measured cost
+// into the perf model to produce the paper's node-count axis. The measured
+// part decides who wins and by what factor; the model supplies the cluster.
+//
+// Benches accept:
+//   --full   paper-scale problem sizes (slow; default sizes are scaled down)
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wjbench {
+
+struct Options {
+    bool full = false;
+};
+
+Options parseArgs(int argc, char** argv);
+
+/// Per-cell-step costs (seconds) of the 3-D diffusion kernel per variant.
+struct DiffusionCosts {
+    double interp = 0;      ///< the "Java" platform (tree-walking interpreter)
+    double wootinj = 0;     ///< JIT-translated class library
+    double c = 0;           ///< hand C
+    double cppVirtual = 0;  ///< naive virtual-function C++
+    double tmpl = 0;        ///< template metaprogramming C++
+    double tmplNoVirt = 0;  ///< fused leaf class
+};
+
+/// Measures the CPU diffusion kernel costs. `withInterp` adds the (much
+/// slower) interpreter measurement; `full` uses 128^3 instead of 48^3.
+DiffusionCosts measureDiffusionCosts(bool withInterp, bool full);
+
+/// Per-fused-multiply-add costs (seconds) of the matmul kernel per variant.
+struct MatmulCosts {
+    double interp = 0;
+    double wootinj = 0;
+    double c = 0;
+    double cppVirtual = 0;
+    double tmpl = 0;
+    double tmplNoVirt = 0;
+};
+
+MatmulCosts measureMatmulCosts(bool withInterp, bool full);
+
+/// Real wall time of the JIT-translated GPU diffusion step on GpuSim, per
+/// cell (used to sanity-print beside the roofline-model numbers).
+double measureGpuDiffusionPerCell(bool full);
+
+/// Compilation-time measurements for Table 3.
+struct CompileTime {
+    std::string what;
+    double codegen = 0;  ///< WootinJ code generation (seconds)
+    double external = 0; ///< external C compiler (seconds)
+    double total() const { return codegen + external; }
+};
+
+/// jit()s the four evaluation apps and reports their compilation costs.
+/// Returns {diffusion CPU, diffusion GPU, matmul CPU(Fox), matmul GPU}.
+std::vector<CompileTime> measureCompileTimes();
+
+/// Prints the standard banner: which figure, what workload, what is
+/// measured vs modeled.
+void banner(const char* fig, const char* what, const char* method);
+
+} // namespace wjbench

@@ -1,0 +1,60 @@
+// Shows the paper's core artifact: the Listing 4 -> Listing 5 translation.
+//
+// Prints (1) the one-point stencil library in Java-like surface syntax (the
+// IR printer's view of what the library developer wrote) and (2) the C code
+// WootinC generates for it — devirtualized, object-inlined, with the kernel
+// turned into a GpuSim launch, and the MPI calls bound directly to wjrt.
+//
+// Useful for inspecting what the translator does; every line of the output
+// is real (the same C is compiled and executed by the quickstart example).
+#include <cstdio>
+
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "jit/jit.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+using namespace wj::dsl;
+
+int main() {
+    ProgramBuilder pb;
+    stencil::registerLibrary(pb);
+    {
+        auto& c = pb.cls("PhysDataGen").implements("Generator").finalClass();
+        c.method("make", Type::array(Type::f32()))
+            .param("length", Type::i32())
+            .param("seed", Type::i32())
+            .body(blk(decl("a", Type::array(Type::f32()), newArr(Type::f32(), lv("length"))),
+                      forRange("i", ci(0), lv("length"),
+                               blk(aset(lv("a"), lv("i"),
+                                        intr(Intrinsic::RngHashF32, lv("seed"), lv("i"))))),
+                      ret(lv("a"))));
+    }
+    {
+        auto& c = pb.cls("PhysSolver").implements("Solver").finalClass();
+        c.method("solve", Type::f32())
+            .param("selfv", Type::f32())
+            .param("index", Type::i32())
+            .body(blk(ret(mul(cf(0.5f), lv("selfv")))));
+    }
+    Program prog = pb.build();
+
+    std::printf("==== the library developer's code (Listing 4 analogue) ====\n\n");
+    std::fputs(printClass(*prog.cls("StencilOnGpuAndMPI")).c_str(), stdout);
+    std::printf("\n==== the library user's code (Listing 3 analogue) ====\n\n");
+    std::fputs(printClass(*prog.cls("PhysDataGen")).c_str(), stdout);
+    std::fputs(printClass(*prog.cls("PhysSolver")).c_str(), stdout);
+
+    Interp in(prog);
+    Value stencilObj = in.instantiate(
+        "StencilOnGpuAndMPI",
+        {in.instantiate("PhysSolver", {}), in.instantiate("PhysDataGen", {})});
+    JitCode code =
+        WootinJ::jit4mpi(prog, stencilObj, "run", {Value::ofI32(8), Value::ofI32(2)});
+
+    std::printf("\n==== the generated C (Listing 5 analogue) ====\n\n");
+    std::fputs(code.generatedC().c_str(), stdout);
+    std::printf("\n==== compiled with ====\n%s\n", code.compileCommand().c_str());
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Fox's algorithm on a rank grid, with switchable Calculator components —
+// the paper's Section 4.2 evaluation app, scaled down.
+//
+// Demonstrates the Listing 6 composition (MPIThread <-> FoxAlgorithm mutual
+// reference) that the paper could not express with C++ templates, plus the
+// GPU-tiled calculator swapped in with one line.
+#include <cstdio>
+#include <cmath>
+
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "support/timer.h"
+
+using namespace wj;
+using namespace wj::matmul;
+
+int main() {
+    const int nGlobal = 48, seed = 11;
+    const double expect = referenceMatMulChecksum(nGlobal, seed, seed + 1);
+
+    Program prog = buildProgram();
+    Interp in(prog);
+
+    std::printf("matmul %dx%d, reference checksum %.4f\n\n", nGlobal, nGlobal, expect);
+    std::printf("%-40s %14s %10s %5s\n", "composition", "checksum", "time", "ok");
+
+    auto report = [&](const char* name, double sum, double sec) {
+        std::printf("%-40s %14.4f %7.1f ms %5s\n", name, sum, sec * 1e3,
+                    std::abs(sum - expect) < std::abs(expect) * 1e-4 ? "yes" : "NO");
+    };
+
+    {   // CPULoop + SimpleOuterBody + OptimizedCalculator.
+        Value app = makeCpuApp(in, Calc::Optimized);
+        JitCode code = WootinJ::jit(prog, app, "run", {Value::ofI32(nGlobal), Value::ofI32(seed)});
+        Timer t;
+        report("CPULoop/SimpleOuterBody/Optimized", code.invoke().asF64(), t.seconds());
+    }
+    {   // MPIThread + FoxAlgorithm + OptimizedCalculator on a 2x2 grid.
+        Value app = makeMpiFoxApp(in, Calc::Optimized, 2);
+        JitCode code =
+            WootinJ::jit4mpi(prog, app, "run", {Value::ofI32(nGlobal / 2), Value::ofI32(seed)});
+        code.set4MPI(4);
+        Timer t;
+        report("MPIThread(2x2)/Fox/Optimized", code.invoke().asF64(), t.seconds());
+    }
+    {   // MPIThread + FoxAlgorithm + OptimizedCalculator on a 3x3 grid.
+        Value app = makeMpiFoxApp(in, Calc::Optimized, 3);
+        JitCode code =
+            WootinJ::jit4mpi(prog, app, "run", {Value::ofI32(nGlobal / 3), Value::ofI32(seed)});
+        code.set4MPI(9);
+        Timer t;
+        report("MPIThread(3x3)/Fox/Optimized", code.invoke().asF64(), t.seconds());
+    }
+    {   // GPUThread + shared-memory tiled kernel.
+        Value app = makeGpuApp(in, /*tile=*/8);
+        JitCode code = WootinJ::jit(prog, app, "run", {Value::ofI32(nGlobal), Value::ofI32(seed)});
+        Timer t;
+        report("GPUThread/GpuTiledCalculator", code.invoke().asF64(), t.seconds());
+    }
+    {   // Fox across 4 ranks, each multiplying on its own GPU.
+        Value app = makeMpiFoxGpuApp(in, 2, /*tile=*/8);
+        JitCode code =
+            WootinJ::jit4mpi(prog, app, "run", {Value::ofI32(nGlobal / 2), Value::ofI32(seed)});
+        code.set4MPI(4);
+        Timer t;
+        report("MPIThread(2x2)/Fox/GpuTiled", code.invoke().asF64(), t.seconds());
+    }
+    return 0;
+}

@@ -1,0 +1,309 @@
+#include "baselines/diffusion_baselines.h"
+
+#include <memory>
+#include <vector>
+
+#include "runtime/rng_hash.h"
+
+namespace wj::baselines {
+
+namespace {
+
+double checksum(const std::vector<float>& v) {
+    double s = 0;
+    for (float x : v) s += static_cast<double>(x);
+    return s;
+}
+
+void fill(std::vector<float>& v, int seed) {
+    for (size_t i = 0; i < v.size(); ++i) v[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- "C"
+
+double diffusionC(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps) {
+    const size_t total = static_cast<size_t>(nx) * ny * nz;
+    std::vector<float> cur(total), nxt(total);
+    fill(cur, seed);
+    for (int s = 0; s < steps; ++s) {
+        for (int z = 0; z < nz; ++z) {
+            const int zm = (z - 1 + nz) % nz, zp = (z + 1) % nz;
+            for (int y = 0; y < ny; ++y) {
+                const int ym = (y - 1 + ny) % ny, yp = (y + 1) % ny;
+                const size_t row = (static_cast<size_t>(z) * ny + y) * nx;
+                const size_t rowYm = (static_cast<size_t>(z) * ny + ym) * nx;
+                const size_t rowYp = (static_cast<size_t>(z) * ny + yp) * nx;
+                const size_t rowZm = (static_cast<size_t>(zm) * ny + y) * nx;
+                const size_t rowZp = (static_cast<size_t>(zp) * ny + y) * nx;
+                for (int x = 0; x < nx; ++x) {
+                    const int xm = (x - 1 + nx) % nx, xp = (x + 1) % nx;
+                    nxt[row + x] = c.cc * cur[row + x] + c.cw * cur[row + xm] +
+                                   c.ce * cur[row + xp] + c.cn * cur[rowYm + x] +
+                                   c.cs * cur[rowYp + x] + c.cb * cur[rowZm + x] +
+                                   c.ct * cur[rowZp + x];
+                }
+            }
+        }
+        cur.swap(nxt);
+    }
+    return checksum(cur);
+}
+
+// ----------------------------------------------------------------- "C++"
+// Virtual components mirroring the WJ class library one-to-one.
+
+namespace virt {
+
+struct ScalarFloat {
+    float v;
+    float val() const { return v; }
+};
+
+struct Grid {
+    virtual ~Grid() = default;
+    virtual float get(int x, int y, int z) const = 0;
+    virtual float getWrap(int x, int y, int z) const = 0;
+    virtual void set(int x, int y, int z, float v) = 0;
+    virtual void swapBuffers() = 0;
+    virtual int nx() const = 0;
+    virtual int ny() const = 0;
+    virtual int nz() const = 0;
+    virtual void fill(int seed) = 0;
+    virtual double checksum() const = 0;
+};
+
+struct FloatGridDblB final : Grid {
+    std::vector<float> cur, nxt;
+    int nx_, ny_, nz_;
+    FloatGridDblB(int nx, int ny, int nz)
+        : cur(static_cast<size_t>(nx) * ny * nz), nxt(cur.size()), nx_(nx), ny_(ny), nz_(nz) {}
+    size_t idx(int x, int y, int z) const {
+        return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+    }
+    float get(int x, int y, int z) const override { return cur[idx(x, y, z)]; }
+    float getWrap(int x, int y, int z) const override {
+        return cur[idx((x + nx_) % nx_, (y + ny_) % ny_, (z + nz_) % nz_)];
+    }
+    void set(int x, int y, int z, float v) override { nxt[idx(x, y, z)] = v; }
+    void swapBuffers() override { cur.swap(nxt); }
+    int nx() const override { return nx_; }
+    int ny() const override { return ny_; }
+    int nz() const override { return nz_; }
+    void fill(int seed) override {
+        for (size_t i = 0; i < cur.size(); ++i) {
+            cur[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+        }
+    }
+    double checksum() const override {
+        double s = 0;
+        for (float v : cur) s += static_cast<double>(v);
+        return s;
+    }
+};
+
+struct Quantity {
+    float cc, cw, ce, cn, cs, cb, ct;
+};
+
+struct Solver {
+    virtual ~Solver() = default;
+    virtual ScalarFloat solve(ScalarFloat c, ScalarFloat w, ScalarFloat e, ScalarFloat n,
+                              ScalarFloat s, ScalarFloat b, ScalarFloat t,
+                              const Quantity& q) const = 0;
+};
+
+struct Dif3DSolver final : Solver {
+    ScalarFloat solve(ScalarFloat c, ScalarFloat w, ScalarFloat e, ScalarFloat n, ScalarFloat s,
+                      ScalarFloat b, ScalarFloat t, const Quantity& q) const override {
+        const float value = q.cc * c.val() + q.cw * w.val() + q.ce * e.val() + q.cn * n.val() +
+                            q.cs * s.val() + q.cb * b.val() + q.ct * t.val();
+        return ScalarFloat{value};
+    }
+};
+
+struct Runner {
+    virtual ~Runner() = default;
+    virtual double run(int steps) = 0;
+};
+
+struct CpuRunner final : Runner {
+    Solver* solver;
+    Quantity q;
+    Grid* grid;
+    int seed;
+    CpuRunner(Solver* s, Quantity qq, Grid* g, int sd) : solver(s), q(qq), grid(g), seed(sd) {}
+    double run(int steps) override {
+        grid->fill(seed);
+        for (int s = 0; s < steps; ++s) {
+            for (int z = 0; z < grid->nz(); ++z)
+                for (int y = 0; y < grid->ny(); ++y)
+                    for (int x = 0; x < grid->nx(); ++x) {
+                        ScalarFloat r = solver->solve(
+                            ScalarFloat{grid->get(x, y, z)},
+                            ScalarFloat{grid->getWrap(x - 1, y, z)},
+                            ScalarFloat{grid->getWrap(x + 1, y, z)},
+                            ScalarFloat{grid->getWrap(x, y - 1, z)},
+                            ScalarFloat{grid->getWrap(x, y + 1, z)},
+                            ScalarFloat{grid->getWrap(x, y, z - 1)},
+                            ScalarFloat{grid->getWrap(x, y, z + 1)}, q);
+                        grid->set(x, y, z, r.val());
+                    }
+            grid->swapBuffers();
+        }
+        return grid->checksum();
+    }
+};
+
+} // namespace virt
+
+double diffusionVirtual(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps) {
+    virt::Dif3DSolver solver;
+    virt::FloatGridDblB grid(nx, ny, nz);
+    virt::Quantity q{c.cc, c.cw, c.ce, c.cn, c.cs, c.cb, c.ct};
+    virt::CpuRunner runner(&solver, q, &grid, seed);
+    virt::Runner* r = &runner;  // dispatch through the base, like the paper
+    return r->run(steps);
+}
+
+// ------------------------------------------------------------- "Template"
+// Identical component structure; dispatch resolved by template parameters
+// and the . operator.
+
+namespace tmpl {
+
+struct ScalarFloat {
+    float v;
+    float val() const { return v; }
+};
+
+struct FloatGridDblB {
+    std::vector<float> cur, nxt;
+    int nx_, ny_, nz_;
+    FloatGridDblB(int nx, int ny, int nz)
+        : cur(static_cast<size_t>(nx) * ny * nz), nxt(cur.size()), nx_(nx), ny_(ny), nz_(nz) {}
+    size_t idx(int x, int y, int z) const {
+        return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+    }
+    float get(int x, int y, int z) const { return cur[idx(x, y, z)]; }
+    float getWrap(int x, int y, int z) const {
+        return cur[idx((x + nx_) % nx_, (y + ny_) % ny_, (z + nz_) % nz_)];
+    }
+    void set(int x, int y, int z, float v) { nxt[idx(x, y, z)] = v; }
+    void swapBuffers() { cur.swap(nxt); }
+    void fill(int seed) {
+        for (size_t i = 0; i < cur.size(); ++i) {
+            cur[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+        }
+    }
+    double checksum() const {
+        double s = 0;
+        for (float v : cur) s += static_cast<double>(v);
+        return s;
+    }
+};
+
+struct Quantity {
+    float cc, cw, ce, cn, cs, cb, ct;
+};
+
+struct Dif3DSolver {
+    ScalarFloat solve(ScalarFloat c, ScalarFloat w, ScalarFloat e, ScalarFloat n, ScalarFloat s,
+                      ScalarFloat b, ScalarFloat t, const Quantity& q) const {
+        const float value = q.cc * c.val() + q.cw * w.val() + q.ce * e.val() + q.cn * n.val() +
+                            q.cs * s.val() + q.cb * b.val() + q.ct * t.val();
+        return ScalarFloat{value};
+    }
+};
+
+template <typename SolverT, typename GridT>
+struct CpuRunner {
+    SolverT solver;
+    Quantity q;
+    GridT grid;
+    int seed;
+    CpuRunner(SolverT s, Quantity qq, GridT g, int sd)
+        : solver(s), q(qq), grid(std::move(g)), seed(sd) {}
+    double run(int steps) {
+        grid.fill(seed);
+        for (int s = 0; s < steps; ++s) {
+            for (int z = 0; z < grid.nz_; ++z)
+                for (int y = 0; y < grid.ny_; ++y)
+                    for (int x = 0; x < grid.nx_; ++x) {
+                        ScalarFloat r = solver.solve(
+                            ScalarFloat{grid.get(x, y, z)}, ScalarFloat{grid.getWrap(x - 1, y, z)},
+                            ScalarFloat{grid.getWrap(x + 1, y, z)},
+                            ScalarFloat{grid.getWrap(x, y - 1, z)},
+                            ScalarFloat{grid.getWrap(x, y + 1, z)},
+                            ScalarFloat{grid.getWrap(x, y, z - 1)},
+                            ScalarFloat{grid.getWrap(x, y, z + 1)}, q);
+                        grid.set(x, y, z, r.val());
+                    }
+            grid.swapBuffers();
+        }
+        return grid.checksum();
+    }
+};
+
+} // namespace tmpl
+
+double diffusionTemplate(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps) {
+    tmpl::Quantity q{c.cc, c.cw, c.ce, c.cn, c.cs, c.cb, c.ct};
+    tmpl::CpuRunner<tmpl::Dif3DSolver, tmpl::FloatGridDblB> runner(
+        tmpl::Dif3DSolver{}, q, tmpl::FloatGridDblB(nx, ny, nz), seed);
+    return runner.run(steps);
+}
+
+// ----------------------------------------------------- "Template w/o virt."
+// Everything fused into one leaf class — the paper manually copied all
+// superclass methods into the subclass body, abandoning reuse.
+
+namespace fused {
+
+struct FusedDiffusion {
+    std::vector<float> cur, nxt;
+    int nx, ny, nz;
+    float cc, cw, ce, cn, cs, cb, ct;
+    int seed;
+
+    FusedDiffusion(int nx_, int ny_, int nz_, const DiffusionCoeffs& c, int seed_)
+        : cur(static_cast<size_t>(nx_) * ny_ * nz_), nxt(cur.size()), nx(nx_), ny(ny_), nz(nz_),
+          cc(c.cc), cw(c.cw), ce(c.ce), cn(c.cn), cs(c.cs), cb(c.cb), ct(c.ct), seed(seed_) {}
+
+    double run(int steps) {
+        for (size_t i = 0; i < cur.size(); ++i) {
+            cur[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+        }
+        for (int s = 0; s < steps; ++s) {
+            for (int z = 0; z < nz; ++z)
+                for (int y = 0; y < ny; ++y)
+                    for (int x = 0; x < nx; ++x) {
+                        const size_t i0 =
+                            (static_cast<size_t>(z) * ny + y) * nx + static_cast<size_t>(x);
+                        const int xm = (x - 1 + nx) % nx, xp = (x + 1) % nx;
+                        const int ym = (y - 1 + ny) % ny, yp = (y + 1) % ny;
+                        const int zm = (z - 1 + nz) % nz, zp = (z + 1) % nz;
+                        auto at = [&](int xx, int yy, int zz) {
+                            return cur[(static_cast<size_t>(zz) * ny + yy) * nx + xx];
+                        };
+                        nxt[i0] = cc * at(x, y, z) + cw * at(xm, y, z) + ce * at(xp, y, z) +
+                                  cn * at(x, ym, z) + cs * at(x, yp, z) + cb * at(x, y, zm) +
+                                  ct * at(x, y, zp);
+                    }
+            cur.swap(nxt);
+        }
+        double s = 0;
+        for (float v : cur) s += static_cast<double>(v);
+        return s;
+    }
+};
+
+} // namespace fused
+
+double diffusionTemplateNoVirt(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                               int steps) {
+    return fused::FusedDiffusion(nx, ny, nz, c, seed).run(steps);
+}
+
+} // namespace wj::baselines

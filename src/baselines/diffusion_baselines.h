@@ -1,0 +1,39 @@
+// The paper's comparator programs for the 3-D diffusion solver (Section 4):
+//
+//   * C                 — hand-written, no abstraction ("without considering
+//                         code reuse or modularity");
+//   * C++               — naive virtual-function class library ("naively
+//                         uses virtual functions for dynamic method
+//                         dispatch");
+//   * Template          — dynamic dispatch devirtualized by template meta-
+//                         programming ("all occurrences of -> replaced by .");
+//   * Template w/o virt — no virtual functions at all: superclass methods
+//                         manually copied into the leaf class, sacrificing
+//                         reuse.
+//
+// All four compute bit-identical results to the WJ library variants (same
+// rng fill, same 7-point operation order), so benches compare time while
+// tests compare checksums exactly.
+#pragma once
+
+#include "stencil/stencil_lib.h"
+
+namespace wj::baselines {
+
+using stencil::DiffusionCoeffs;
+
+/// The paper's "C": raw arrays, fused loops.
+double diffusionC(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps);
+
+/// The paper's "C++": virtual Solver/Grid components, per-cell dispatch.
+double diffusionVirtual(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps);
+
+/// The paper's "Template": the same component structure devirtualized by
+/// template parameters.
+double diffusionTemplate(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed, int steps);
+
+/// The paper's "Template w/o virt.": one fused leaf class, methods copied in.
+double diffusionTemplateNoVirt(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                               int steps);
+
+} // namespace wj::baselines

@@ -1,0 +1,180 @@
+#include "baselines/matmul_baselines.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rng_hash.h"
+
+namespace wj::baselines {
+
+namespace {
+
+std::vector<float> filled(int n, int seed) {
+    std::vector<float> v(static_cast<size_t>(n) * n);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+    return v;
+}
+
+double checksum(const std::vector<float>& v) {
+    double s = 0;
+    for (float x : v) s += static_cast<double>(x);
+    return s;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- "C"
+
+double matmulC(int n, int seedA, int seedB) {
+    const size_t nn = static_cast<size_t>(n);
+    std::vector<float> a = filled(n, seedA), b = filled(n, seedB), c(nn * nn, 0.0f);
+    for (size_t i = 0; i < nn; ++i)
+        for (size_t k = 0; k < nn; ++k) {
+            const float av = a[i * nn + k];
+            for (size_t j = 0; j < nn; ++j) c[i * nn + j] += av * b[k * nn + j];
+        }
+    return checksum(c);
+}
+
+// ----------------------------------------------------------------- "C++"
+
+namespace virt {
+
+struct Matrix {
+    virtual ~Matrix() = default;
+    virtual float get(int i, int j) const = 0;
+    virtual void set(int i, int j, float v) = 0;
+    virtual int rows() const = 0;
+};
+
+struct SimpleMatrix final : Matrix {
+    std::vector<float> data;
+    int n;
+    SimpleMatrix(int n_, int seed) : data(static_cast<size_t>(n_) * n_), n(n_) {
+        if (seed >= 0) {
+            for (size_t i = 0; i < data.size(); ++i) {
+                data[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+            }
+        }
+    }
+    float get(int i, int j) const override { return data[static_cast<size_t>(i) * n + j]; }
+    void set(int i, int j, float v) override { data[static_cast<size_t>(i) * n + j] = v; }
+    int rows() const override { return n; }
+};
+
+struct Calculator {
+    virtual ~Calculator() = default;
+    virtual void multiplyAcc(const Matrix& a, const Matrix& b, Matrix& c) const = 0;
+};
+
+struct OptimizedCalculator final : Calculator {
+    void multiplyAcc(const Matrix& a, const Matrix& b, Matrix& c) const override {
+        const int n = a.rows();
+        for (int i = 0; i < n; ++i)
+            for (int k = 0; k < n; ++k) {
+                const float av = a.get(i, k);
+                for (int j = 0; j < n; ++j) c.set(i, j, c.get(i, j) + av * b.get(k, j));
+            }
+    }
+};
+
+// The application object holds its components through base pointers, the
+// way the paper's "naive" C++ library does — dispatch stays dynamic.
+struct Runner {
+    Matrix* a;
+    Matrix* b;
+    Matrix* c;
+    Calculator* calc;
+    double run() const {
+        calc->multiplyAcc(*a, *b, *c);
+        double s = 0;
+        const int n = c->rows();
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j) s += static_cast<double>(c->get(i, j));
+        return s;
+    }
+};
+
+} // namespace virt
+
+double matmulVirtual(int n, int seedA, int seedB) {
+    virt::SimpleMatrix a(n, seedA), b(n, seedB), c(n, -1);
+    virt::OptimizedCalculator calcImpl;
+    virt::Runner runner{&a, &b, &c, &calcImpl};
+    return runner.run();
+}
+
+// ------------------------------------------------------------- "Template"
+
+namespace tmpl {
+
+struct SimpleMatrix {
+    std::vector<float> data;
+    int n;
+    SimpleMatrix(int n_, int seed) : data(static_cast<size_t>(n_) * n_), n(n_) {
+        if (seed >= 0) {
+            for (size_t i = 0; i < data.size(); ++i) {
+                data[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+            }
+        }
+    }
+    float get(int i, int j) const { return data[static_cast<size_t>(i) * n + j]; }
+    void set(int i, int j, float v) { data[static_cast<size_t>(i) * n + j] = v; }
+    int rows() const { return n; }
+};
+
+struct OptimizedCalculator {
+    template <typename M>
+    void multiplyAcc(const M& a, const M& b, M& c) const {
+        const int n = a.rows();
+        for (int i = 0; i < n; ++i)
+            for (int k = 0; k < n; ++k) {
+                const float av = a.get(i, k);
+                for (int j = 0; j < n; ++j) c.set(i, j, c.get(i, j) + av * b.get(k, j));
+            }
+    }
+};
+
+} // namespace tmpl
+
+double matmulTemplate(int n, int seedA, int seedB) {
+    tmpl::SimpleMatrix a(n, seedA), b(n, seedB), c(n, -1);
+    tmpl::OptimizedCalculator{}.multiplyAcc(a, b, c);
+    double s = 0;
+    for (float v : c.data) s += static_cast<double>(v);
+    return s;
+}
+
+// ----------------------------------------------------- "Template w/o virt."
+
+namespace fused {
+
+struct FusedMatMul {
+    int n;
+    explicit FusedMatMul(int n_) : n(n_) {}
+    double run(int seedA, int seedB) const {
+        const size_t nn = static_cast<size_t>(n);
+        std::vector<float> a(nn * nn), b(nn * nn), c(nn * nn, 0.0f);
+        for (size_t i = 0; i < nn * nn; ++i) {
+            a[i] = wj_rng_hash_f32(seedA, static_cast<int32_t>(i));
+            b[i] = wj_rng_hash_f32(seedB, static_cast<int32_t>(i));
+        }
+        for (size_t i = 0; i < nn; ++i)
+            for (size_t k = 0; k < nn; ++k) {
+                const float av = a[i * nn + k];
+                for (size_t j = 0; j < nn; ++j) c[i * nn + j] += av * b[k * nn + j];
+            }
+        double s = 0;
+        for (float v : c) s += static_cast<double>(v);
+        return s;
+    }
+};
+
+} // namespace fused
+
+double matmulTemplateNoVirt(int n, int seedA, int seedB) {
+    return fused::FusedMatMul(n).run(seedA, seedB);
+}
+
+} // namespace wj::baselines

@@ -1,0 +1,21 @@
+// The paper's comparator programs for matrix multiplication (Section 4.2):
+// C / C++ (virtual) / Template / Template w/o virt, computing bit-identical
+// checksums to the WJ matmul library (same rng fill, same k-ascending
+// accumulation order).
+#pragma once
+
+namespace wj::baselines {
+
+/// Hand C: ikj over raw arrays.
+double matmulC(int n, int seedA, int seedB);
+
+/// Naive C++ class library: Matrix/Calculator through virtual dispatch.
+double matmulVirtual(int n, int seedA, int seedB);
+
+/// Template-devirtualized version of the same component structure.
+double matmulTemplate(int n, int seedA, int seedB);
+
+/// Fused single class, methods copied in (no reuse).
+double matmulTemplateNoVirt(int n, int seedA, int seedB);
+
+} // namespace wj::baselines

@@ -1,0 +1,284 @@
+#include "cg/cg_lib.h"
+
+#include <vector>
+
+#include "runtime/rng_hash.h"
+#include "support/diagnostics.h"
+
+namespace wj::cg {
+
+using namespace wj::dsl;
+
+namespace {
+
+Type f32() { return Type::f32(); }
+Type f32arr() { return Type::array(Type::f32()); }
+Type i32() { return Type::i32(); }
+Type i32arr() { return Type::array(Type::i32()); }
+Type f64() { return Type::f64(); }
+
+void buildOperators(ProgramBuilder& pb) {
+    pb.cls("LinearOperator").interfaceClass()
+        .method("apply", Type::voidTy())
+        .param("x", f32arr()).param("y", f32arr())
+        .abstractMethod();
+
+    // Matrix-free 1-D Dirichlet Laplacian: y = (2, -1) tridiagonal * x.
+    {
+        auto& c = pb.cls("Laplacian1D").implements("LinearOperator").finalClass();
+        c.method("apply", Type::voidTy())
+            .param("x", f32arr()).param("y", f32arr())
+            .body(blk(
+                decl("n", i32(), alen(lv("x"))),
+                forRange("i", ci(0), lv("n"), blk(
+                    decl("acc", f32(), mul(cf(2.0f), aget(lv("x"), lv("i")))),
+                    ifs(gt(lv("i"), ci(0)),
+                        blk(assign("acc", sub(lv("acc"), aget(lv("x"), sub(lv("i"), ci(1))))))),
+                    ifs(lt(lv("i"), sub(lv("n"), ci(1))),
+                        blk(assign("acc", sub(lv("acc"), aget(lv("x"), add(lv("i"), ci(1))))))),
+                    aset(lv("y"), lv("i"), lv("acc")))),
+                retVoid()));
+    }
+
+    // The same operator materialized in CSR form. The index/value arrays are
+    // allocated in the constructor (rule-compliant) and filled by
+    // buildLaplacian(), which the host runs on the interpreter before jit —
+    // after that the instance never changes (semi-immutable discipline).
+    {
+        auto& c = pb.cls("CsrMatrix").implements("LinearOperator").finalClass();
+        c.field("vals", f32arr()).field("cols", i32arr()).field("rowPtr", i32arr());
+        c.field("n", i32());
+        c.ctor().param("n_", i32())
+            .body(blk(setSelf("n", lv("n_")),
+                      setSelf("vals", newArr(f32(), sub(mul(ci(3), lv("n_")), ci(2)))),
+                      setSelf("cols", newArr(i32(), sub(mul(ci(3), lv("n_")), ci(2)))),
+                      setSelf("rowPtr", newArr(i32(), add(lv("n_"), ci(1))))));
+        c.method("buildLaplacian", Type::voidTy())
+            .body(blk(
+                decl("n", i32(), selff("n")),
+                decl("k", i32(), ci(0)),
+                forRange("i", ci(0), lv("n"), blk(
+                    aset(selff("rowPtr"), lv("i"), lv("k")),
+                    ifs(gt(lv("i"), ci(0)), blk(
+                        aset(selff("vals"), lv("k"), cf(-1.0f)),
+                        aset(selff("cols"), lv("k"), sub(lv("i"), ci(1))),
+                        assign("k", add(lv("k"), ci(1))))),
+                    aset(selff("vals"), lv("k"), cf(2.0f)),
+                    aset(selff("cols"), lv("k"), lv("i")),
+                    assign("k", add(lv("k"), ci(1))),
+                    ifs(lt(lv("i"), sub(lv("n"), ci(1))), blk(
+                        aset(selff("vals"), lv("k"), cf(-1.0f)),
+                        aset(selff("cols"), lv("k"), add(lv("i"), ci(1))),
+                        assign("k", add(lv("k"), ci(1))))))),
+                aset(selff("rowPtr"), lv("n"), lv("k")),
+                retVoid()));
+        c.method("apply", Type::voidTy())
+            .param("x", f32arr()).param("y", f32arr())
+            .body(blk(
+                forRange("i", ci(0), selff("n"), blk(
+                    decl("acc", f32(), cf(0.0f)),
+                    forRange("k", aget(selff("rowPtr"), lv("i")),
+                             aget(selff("rowPtr"), add(lv("i"), ci(1))),
+                             blk(assign("acc",
+                                        add(lv("acc"),
+                                            mul(aget(selff("vals"), lv("k")),
+                                                aget(lv("x"), aget(selff("cols"), lv("k")))))))),
+                    aset(lv("y"), lv("i"), lv("acc")))),
+                retVoid()));
+    }
+
+    // Row-slab MPI Laplacian: each rank owns n contiguous rows of the global
+    // operator and exchanges one boundary value with each neighbor per apply
+    // (non-periodic: the outermost ghosts stay 0 — Dirichlet).
+    {
+        auto& c = pb.cls("MpiLaplacian1D").implements("LinearOperator").finalClass();
+        c.field("scratch", f32arr());
+        c.ctor().param("nLocal", i32())
+            .body(blk(setSelf("scratch", newArr(f32(), add(lv("nLocal"), ci(2))))));
+        c.method("apply", Type::voidTy())
+            .param("x", f32arr()).param("y", f32arr())
+            .body(blk(
+                decl("n", i32(), alen(lv("x"))),
+                decl("s", f32arr(), selff("scratch")),
+                aset(lv("s"), ci(0), cf(0.0f)),
+                aset(lv("s"), add(lv("n"), ci(1)), cf(0.0f)),
+                forRange("i", ci(0), lv("n"),
+                         blk(aset(lv("s"), add(lv("i"), ci(1)), aget(lv("x"), lv("i"))))),
+                decl("rank", i32(), mpiRank()),
+                decl("size", i32(), mpiSize()),
+                ifs(gt(lv("rank"), ci(0)), blk(
+                    // left neighbor: send my first element, receive its last.
+                    exprS(intr(Intrinsic::MpiSendRecvF32, lv("x"), ci(0), ci(1),
+                               sub(lv("rank"), ci(1)), lv("s"), ci(0),
+                               sub(lv("rank"), ci(1)), ci(41))))),
+                ifs(lt(lv("rank"), sub(lv("size"), ci(1))), blk(
+                    exprS(intr(Intrinsic::MpiSendRecvF32, lv("x"), sub(lv("n"), ci(1)), ci(1),
+                               add(lv("rank"), ci(1)), lv("s"), add(lv("n"), ci(1)),
+                               add(lv("rank"), ci(1)), ci(41))))),
+                forRange("i", ci(0), lv("n"), blk(
+                    aset(lv("y"), lv("i"),
+                         sub(sub(mul(cf(2.0f), aget(lv("s"), add(lv("i"), ci(1)))),
+                                 aget(lv("s"), lv("i"))),
+                             aget(lv("s"), add(lv("i"), ci(2))))))),
+                retVoid()));
+    }
+}
+
+void buildDots(ProgramBuilder& pb) {
+    pb.cls("DotProduct").interfaceClass()
+        .method("dot", f64()).param("a", f32arr()).param("b", f32arr())
+        .abstractMethod();
+    {
+        auto& c = pb.cls("LocalDot").implements("DotProduct").finalClass();
+        c.method("dot", f64())
+            .param("a", f32arr()).param("b", f32arr())
+            .body(blk(decl("s", f64(), cd(0)),
+                      forRange("i", ci(0), alen(lv("a")),
+                               blk(assign("s", add(lv("s"),
+                                                   mul(cast(f64(), aget(lv("a"), lv("i"))),
+                                                       cast(f64(), aget(lv("b"), lv("i"))))))) ),
+                      ret(lv("s"))));
+    }
+    {
+        auto& c = pb.cls("MpiDot").implements("DotProduct").finalClass();
+        c.method("dot", f64())
+            .param("a", f32arr()).param("b", f32arr())
+            .body(blk(decl("s", f64(), cd(0)),
+                      forRange("i", ci(0), alen(lv("a")),
+                               blk(assign("s", add(lv("s"),
+                                                   mul(cast(f64(), aget(lv("a"), lv("i"))),
+                                                       cast(f64(), aget(lv("b"), lv("i"))))))) ),
+                      decl("g", f64(), lv("s")),
+                      ifs(gt(mpiSize(), ci(1)),
+                          blk(assign("g", intr(Intrinsic::MpiAllreduceSumF64, lv("s"))))),
+                      ret(lv("g"))));
+    }
+}
+
+void buildSolver(ProgramBuilder& pb) {
+    auto& c = pb.cls("CGSolver");
+    c.field("op", Type::cls("LinearOperator"));
+    c.field("dots", Type::cls("DotProduct"));
+    c.ctor()
+        .param("op_", Type::cls("LinearOperator"))
+        .param("dots_", Type::cls("DotProduct"))
+        .body(blk(setSelf("op", lv("op_")), setSelf("dots", lv("dots_"))));
+
+    // Textbook CG on the rank's row slab; returns ||r||^2 after `iters`.
+    c.method("run", f64())
+        .param("n", i32())
+        .param("seed", i32())
+        .param("iters", i32())
+        .body(blk(
+            decl("rank", i32(), mpiRank()),
+            decl("x", f32arr(), newArr(f32(), lv("n"))),
+            decl("r", f32arr(), newArr(f32(), lv("n"))),
+            decl("p", f32arr(), newArr(f32(), lv("n"))),
+            decl("ap", f32arr(), newArr(f32(), lv("n"))),
+            // b = rng over GLOBAL row indices; x0 = 0 so r0 = b, p0 = b.
+            forRange("i", ci(0), lv("n"), blk(
+                decl("bi", f32(), intr(Intrinsic::RngHashF32, lv("seed"),
+                                       add(mul(lv("rank"), lv("n")), lv("i")))),
+                aset(lv("r"), lv("i"), lv("bi")),
+                aset(lv("p"), lv("i"), lv("bi")))),
+            decl("rs", f64(), call(selff("dots"), "dot", lv("r"), lv("r"))),
+            forRange("it", ci(0), lv("iters"), blk(
+                exprS(call(selff("op"), "apply", lv("p"), lv("ap"))),
+                decl("pap", f64(), call(selff("dots"), "dot", lv("p"), lv("ap"))),
+                decl("alpha", f32(), cast(f32(), divE(lv("rs"), lv("pap")))),
+                forRange("i", ci(0), lv("n"), blk(
+                    aset(lv("x"), lv("i"),
+                         add(aget(lv("x"), lv("i")), mul(lv("alpha"), aget(lv("p"), lv("i"))))),
+                    aset(lv("r"), lv("i"),
+                         sub(aget(lv("r"), lv("i")), mul(lv("alpha"), aget(lv("ap"), lv("i"))))))),
+                decl("rsNew", f64(), call(selff("dots"), "dot", lv("r"), lv("r"))),
+                decl("beta", f32(), cast(f32(), divE(lv("rsNew"), lv("rs")))),
+                forRange("i", ci(0), lv("n"), blk(
+                    aset(lv("p"), lv("i"),
+                         add(aget(lv("r"), lv("i")), mul(lv("beta"), aget(lv("p"), lv("i"))))))),
+                assign("rs", lv("rsNew")))),
+            exprS(intr(Intrinsic::FreeArray, lv("x"))),
+            exprS(intr(Intrinsic::FreeArray, lv("r"))),
+            exprS(intr(Intrinsic::FreeArray, lv("p"))),
+            exprS(intr(Intrinsic::FreeArray, lv("ap"))),
+            ret(lv("rs"))));
+}
+
+} // namespace
+
+void registerLibrary(ProgramBuilder& pb) {
+    buildOperators(pb);
+    buildDots(pb);
+    buildSolver(pb);
+}
+
+Program buildProgram() {
+    ProgramBuilder pb;
+    registerLibrary(pb);
+    return pb.build();
+}
+
+Value makeCpuSolver(Interp& in, Operator op) {
+    Value opv;
+    if (op == Operator::MatrixFree) {
+        opv = in.instantiate("Laplacian1D", {});
+    } else {
+        throw UsageError("CSR solver needs the matrix dimension; use makeCpuCsrSolver");
+    }
+    return in.instantiate("CGSolver", {opv, in.instantiate("LocalDot", {})});
+}
+
+Value makeCpuCsrSolver(Interp& in, int n) {
+    Value csr = in.instantiate("CsrMatrix", {Value::ofI32(n)});
+    in.call(csr, "buildLaplacian", {});  // fill on the JVM-analogue, then freeze
+    return in.instantiate("CGSolver", {csr, in.instantiate("LocalDot", {})});
+}
+
+Value makeMpiSolver(Interp& in, int nLocal) {
+    Value opv = in.instantiate("MpiLaplacian1D", {Value::ofI32(nLocal)});
+    return in.instantiate("CGSolver", {opv, in.instantiate("MpiDot", {})});
+}
+
+double referenceCgResidual(int n, int seed, int iters) {
+    std::vector<float> x(static_cast<size_t>(n), 0.0f), r(static_cast<size_t>(n)),
+        p(static_cast<size_t>(n)), ap(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        r[static_cast<size_t>(i)] = wj_rng_hash_f32(seed, i);
+        p[static_cast<size_t>(i)] = r[static_cast<size_t>(i)];
+    }
+    auto dot = [&](const std::vector<float>& a, const std::vector<float>& b) {
+        double s = 0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        }
+        return s;
+    };
+    auto apply = [&](const std::vector<float>& in_, std::vector<float>& out) {
+        for (int i = 0; i < n; ++i) {
+            float acc = 2.0f * in_[static_cast<size_t>(i)];
+            if (i > 0) acc -= in_[static_cast<size_t>(i - 1)];
+            if (i < n - 1) acc -= in_[static_cast<size_t>(i + 1)];
+            out[static_cast<size_t>(i)] = acc;
+        }
+    };
+    double rs = dot(r, r);
+    for (int it = 0; it < iters; ++it) {
+        apply(p, ap);
+        const double pap = dot(p, ap);
+        const float alpha = static_cast<float>(rs / pap);
+        for (int i = 0; i < n; ++i) {
+            x[static_cast<size_t>(i)] += alpha * p[static_cast<size_t>(i)];
+            r[static_cast<size_t>(i)] -= alpha * ap[static_cast<size_t>(i)];
+        }
+        const double rsNew = dot(r, r);
+        const float beta = static_cast<float>(rsNew / rs);
+        for (int i = 0; i < n; ++i) {
+            p[static_cast<size_t>(i)] =
+                r[static_cast<size_t>(i)] + beta * p[static_cast<size_t>(i)];
+        }
+        rs = rsNew;
+    }
+    return rs;
+}
+
+} // namespace wj::cg

@@ -1,0 +1,52 @@
+// A conjugate-gradient class library on WootinC — the paper's stated future
+// work ("develop larger class libraries in the HPC domain and evaluate the
+// practicality of our framework", Section 6).
+//
+// Components, in the same composition style as the stencil/matmul libraries:
+//   * LinearOperator (interface): y = A x for a symmetric positive-definite
+//     operator, with two interchangeable implementations —
+//       - Laplacian1D: matrix-free tridiagonal (2, -1) operator;
+//       - CsrMatrix:   the same operator materialized in CSR form (exercises
+//                      int arrays through the translator);
+//   * DotProduct (interface): local or MPI-allreduced reductions, so the
+//     SAME CGSolver runs sequentially or with the solution vector
+//     row-partitioned across ranks —
+//       - LocalDot:    plain f64 accumulation;
+//       - MpiDot:      local partial + MPI.allreduceSumF64;
+//   * CGSolver: textbook conjugate gradient; run(n, seed, iters) builds a
+//     deterministic rhs, iterates, and returns the final residual norm^2 —
+//     a scalar observable every platform must agree on.
+//
+// The CG recurrence itself is rule-compliant WJ code: all state lives in
+// float arrays (mutable), scalars are locals, components are immutable.
+#pragma once
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+
+namespace wj::cg {
+
+/// Registers the CG library classes.
+void registerLibrary(ProgramBuilder& pb);
+
+/// Validated program with just this library.
+Program buildProgram();
+
+enum class Operator { MatrixFree, Csr };
+
+/// new CGSolver(new Laplacian1D(), new LocalDot()) — sequential,
+/// matrix-free composition.
+Value makeCpuSolver(Interp& in, Operator op = Operator::MatrixFree);
+
+/// new CGSolver(csr, new LocalDot()) — the CSR operator, materialized for
+/// dimension n and filled on the interpreter before translation.
+Value makeCpuCsrSolver(Interp& in, int n);
+
+/// new CGSolver(new MpiLaplacian1D(nLocal), new MpiDot()) — each rank owns
+/// nLocal rows; invoke under jit4mpi.
+Value makeMpiSolver(Interp& in, int nLocal);
+
+/// Plain C++ reference of the same iteration; returns ||r||^2 after iters.
+double referenceCgResidual(int n, int seed, int iters);
+
+} // namespace wj::cg

@@ -1,0 +1,247 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace wj::frontend {
+
+namespace {
+
+[[noreturn]] void lexErr(int line, int col, const std::string& msg) {
+    throw UsageError(format("lex error at %d:%d: %s", line, col, msg.c_str()));
+}
+
+} // namespace
+
+const char* tokName(Tok t) noexcept {
+    switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "int literal";
+    case Tok::LongLit: return "long literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::DoubleLit: return "double literal";
+    case Tok::At: return "'@'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Dot: return "'.'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+    case Tok::Eof: return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token> lex(const std::string& src) {
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](size_t n = 1) {
+        for (size_t k = 0; k < n && i < src.size(); ++k) {
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    };
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < src.size() ? src[i + off] : '\0';
+    };
+    int tokLine = 1, tokCol = 1;
+    auto push = [&](Tok k, std::string text = "") {
+        Token t;
+        t.kind = k;
+        t.text = std::move(text);
+        t.line = tokLine;
+        t.col = tokCol;
+        out.push_back(std::move(t));
+    };
+
+    while (i < src.size()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        tokLine = line;
+        tokCol = col;
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && peek() != '\n') advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance(2);
+            while (i < src.size() && !(peek() == '*' && peek(1) == '/')) advance();
+            if (i >= src.size()) lexErr(line, col, "unterminated comment");
+            advance(2);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+                text += peek();
+                advance();
+            }
+            push(Tok::Ident, std::move(text));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::string text;
+            bool isFloat = false;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                text += peek();
+                advance();
+            }
+            if (peek() == '.') {
+                isFloat = true;
+                text += '.';
+                advance();
+                while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                    text += peek();
+                    advance();
+                }
+            }
+            if (peek() == 'e' || peek() == 'E') {
+                isFloat = true;
+                text += peek();
+                advance();
+                if (peek() == '+' || peek() == '-') {
+                    text += peek();
+                    advance();
+                }
+                if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                    lexErr(line, col, "malformed exponent");
+                }
+                while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                    text += peek();
+                    advance();
+                }
+            }
+            Token t;
+            t.line = tokLine;
+            t.col = tokCol;
+            t.text = text;
+            if (peek() == 'f' || peek() == 'F') {
+                advance();
+                t.kind = Tok::FloatLit;
+                t.fval = std::strtod(text.c_str(), nullptr);
+            } else if (peek() == 'L' || peek() == 'l') {
+                advance();
+                if (isFloat) lexErr(line, col, "'L' suffix on a floating literal");
+                t.kind = Tok::LongLit;
+                t.ival = std::strtoll(text.c_str(), nullptr, 10);
+            } else if (isFloat) {
+                t.kind = Tok::DoubleLit;
+                t.fval = std::strtod(text.c_str(), nullptr);
+            } else {
+                t.kind = Tok::IntLit;
+                t.ival = std::strtoll(text.c_str(), nullptr, 10);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        switch (c) {
+        case '@': push(Tok::At); advance(); continue;
+        case '(': push(Tok::LParen); advance(); continue;
+        case ')': push(Tok::RParen); advance(); continue;
+        case '{': push(Tok::LBrace); advance(); continue;
+        case '}': push(Tok::RBrace); advance(); continue;
+        case '[': push(Tok::LBracket); advance(); continue;
+        case ']': push(Tok::RBracket); advance(); continue;
+        case ',': push(Tok::Comma); advance(); continue;
+        case ';': push(Tok::Semi); advance(); continue;
+        case '.': push(Tok::Dot); advance(); continue;
+        case '+': push(Tok::Plus); advance(); continue;
+        case '-': push(Tok::Minus); advance(); continue;
+        case '*': push(Tok::Star); advance(); continue;
+        case '/': push(Tok::Slash); advance(); continue;
+        case '%': push(Tok::Percent); advance(); continue;
+        case '?': push(Tok::Question); advance(); continue;
+        case ':': push(Tok::Colon); advance(); continue;
+        case '=':
+            if (peek(1) == '=') {
+                push(Tok::EqEq);
+                advance(2);
+            } else {
+                push(Tok::Assign);
+                advance();
+            }
+            continue;
+        case '<':
+            if (peek(1) == '=') {
+                push(Tok::Le);
+                advance(2);
+            } else {
+                push(Tok::Lt);
+                advance();
+            }
+            continue;
+        case '>':
+            if (peek(1) == '=') {
+                push(Tok::Ge);
+                advance(2);
+            } else {
+                push(Tok::Gt);
+                advance();
+            }
+            continue;
+        case '!':
+            if (peek(1) == '=') {
+                push(Tok::NotEq);
+                advance(2);
+            } else {
+                push(Tok::Not);
+                advance();
+            }
+            continue;
+        case '&':
+            if (peek(1) == '&') {
+                push(Tok::AndAnd);
+                advance(2);
+                continue;
+            }
+            lexErr(line, col, "bitwise '&' is not part of WJ source (use && on booleans)");
+        case '|':
+            if (peek(1) == '|') {
+                push(Tok::OrOr);
+                advance(2);
+                continue;
+            }
+            lexErr(line, col, "bitwise '|' is not part of WJ source");
+        default:
+            lexErr(line, col, format("unexpected character '%c'", c));
+        }
+    }
+    push(Tok::Eof);
+    return out;
+}
+
+} // namespace wj::frontend

@@ -1,0 +1,46 @@
+// Lexer for WJ source — the textual form of the restricted Java the paper's
+// developers write. Token granularity follows Java: identifiers, keywords
+// (contextual; the parser decides), int/long/float/double literals with
+// Java suffixes, punctuation, and '@' annotations. '//' and '/* */'
+// comments are skipped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wj::frontend {
+
+enum class Tok {
+    Ident,      // foo  (also keywords; the parser matches by text)
+    IntLit,     // 123
+    LongLit,    // 123L
+    FloatLit,   // 1.5f
+    DoubleLit,  // 1.5 / 1e-3
+    At,         // @
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Dot,
+    Assign,     // =
+    Plus, Minus, Star, Slash, Percent,
+    Lt, Le, Gt, Ge, EqEq, NotEq,
+    AndAnd, OrOr, Not,
+    Question, Colon,
+    Eof,
+};
+
+struct Token {
+    Tok kind;
+    std::string text;   // identifier text / literal spelling
+    int64_t ival = 0;   // IntLit / LongLit
+    double fval = 0;    // FloatLit / DoubleLit
+    int line = 1;
+    int col = 1;
+};
+
+/// Tokenizes `src`; throws UsageError with line/column on bad input.
+std::vector<Token> lex(const std::string& src);
+
+/// Printable token-kind name for diagnostics.
+const char* tokName(Tok t) noexcept;
+
+} // namespace wj::frontend

@@ -1,0 +1,608 @@
+#include "frontend/parser.h"
+
+#include <map>
+#include <set>
+
+#include "frontend/lexer.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace wj::frontend {
+
+using namespace wj::dsl;
+
+namespace {
+
+const std::set<std::string>& primKeywords() {
+    static const std::set<std::string> k = {"boolean", "int", "long", "float", "double", "void"};
+    return k;
+}
+
+/// Intrinsic surface-name table ("MPI.rank" -> Intrinsic::MpiRank).
+const std::map<std::string, Intrinsic>& intrinsicNames() {
+    static const std::map<std::string, Intrinsic> m = [] {
+        std::map<std::string, Intrinsic> out;
+        for (int i = 0; i < intrinsicCount(); ++i) {
+            out.emplace(intrinsicSig(static_cast<Intrinsic>(i)).name, static_cast<Intrinsic>(i));
+        }
+        return out;
+    }();
+    return m;
+}
+
+/// True if some intrinsic name starts with `prefix` + ".".
+bool isIntrinsicPrefix(const std::string& prefix) {
+    auto it = intrinsicNames().lower_bound(prefix + ".");
+    return it != intrinsicNames().end() && it->first.rfind(prefix + ".", 0) == 0;
+}
+
+class Parser {
+public:
+    Parser(ProgramBuilder& pb, const std::string& src) : pb_(pb), toks_(lex(src)) {
+        // Pre-scan class names so `Cls.member` static references resolve
+        // regardless of declaration order.
+        for (size_t i = 0; i + 1 < toks_.size(); ++i) {
+            if (toks_[i].kind == Tok::Ident &&
+                (toks_[i].text == "class" || toks_[i].text == "interface") &&
+                toks_[i + 1].kind == Tok::Ident) {
+                classNames_.insert(toks_[i + 1].text);
+            }
+        }
+    }
+
+    void run() {
+        while (!at(Tok::Eof)) parseClass();
+    }
+
+private:
+    // ------------------------------------------------------------- cursor
+    const Token& peek(size_t off = 0) const {
+        const size_t i = pos_ + off;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Tok k, size_t off = 0) const { return peek(off).kind == k; }
+    bool atIdent(const char* text, size_t off = 0) const {
+        return at(Tok::Ident, off) && peek(off).text == text;
+    }
+    Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+    [[noreturn]] void err(const std::string& msg) const {
+        const Token& t = peek();
+        throw UsageError(format("parse error at %d:%d: %s (found %s%s%s)", t.line, t.col,
+                                msg.c_str(), tokName(t.kind), t.text.empty() ? "" : " ",
+                                t.text.c_str()));
+    }
+    Token expect(Tok k, const char* what) {
+        if (!at(k)) err(std::string("expected ") + what);
+        return take();
+    }
+    void expectIdent(const char* text) {
+        if (!atIdent(text)) err(std::string("expected '") + text + "'");
+        take();
+    }
+
+    // -------------------------------------------------------------- types
+    bool atTypeStart() const {
+        return at(Tok::Ident) &&
+               (primKeywords().count(peek().text) || classNames_.count(peek().text) ||
+                knownBuiltinClass(peek().text));
+    }
+    static bool knownBuiltinClass(const std::string& n) {
+        return n == "dim3" || n == "CudaConfig";
+    }
+
+    Type parseType() {
+        const Token t = expect(Tok::Ident, "a type name");
+        Type base = Type::voidTy();
+        if (t.text == "boolean") base = Type::boolean();
+        else if (t.text == "int") base = Type::i32();
+        else if (t.text == "long") base = Type::i64();
+        else if (t.text == "float") base = Type::f32();
+        else if (t.text == "double") base = Type::f64();
+        else if (t.text == "void") base = Type::voidTy();
+        else base = Type::cls(t.text);
+        while (at(Tok::LBracket) && at(Tok::RBracket, 1)) {
+            take();
+            take();
+            base = Type::array(base);
+        }
+        return base;
+    }
+
+    // ------------------------------------------------------------ classes
+    void parseClass() {
+        bool wootinj = false;
+        bool isFinal = false;
+        while (at(Tok::At) || atIdent("final")) {
+            if (at(Tok::At)) {
+                take();
+                const Token a = expect(Tok::Ident, "annotation name");
+                if (a.text != "WootinJ") err("unknown class annotation @" + a.text);
+                wootinj = true;
+            } else {
+                take();
+                isFinal = true;
+            }
+        }
+        bool isInterface = false;
+        if (atIdent("interface")) {
+            take();
+            isInterface = true;
+        } else {
+            expectIdent("class");
+        }
+        const Token name = expect(Tok::Ident, "class name");
+
+        // The printer emits the builtin dim3/CudaConfig declarations; accept
+        // and skip them (ProgramBuilder adds its own copies at build()).
+        const bool skip = knownBuiltinClass(name.text);
+
+        std::string superName;
+        std::vector<std::string> interfaces;
+        if (atIdent("extends")) {
+            take();
+            superName = expect(Tok::Ident, "superclass name").text;
+        }
+        if (atIdent("implements")) {
+            take();
+            interfaces.push_back(expect(Tok::Ident, "interface name").text);
+            while (at(Tok::Comma)) {
+                take();
+                interfaces.push_back(expect(Tok::Ident, "interface name").text);
+            }
+        }
+        expect(Tok::LBrace, "'{'");
+        if (skip) {
+            int depth = 1;
+            while (depth > 0 && !at(Tok::Eof)) {
+                if (at(Tok::LBrace)) ++depth;
+                if (at(Tok::RBrace)) --depth;
+                take();
+            }
+            return;
+        }
+        ClassBuilder& cb = pb_.cls(name.text);
+        if (!wootinj) cb.notWootinJ();
+        if (isFinal) cb.finalClass();
+        if (isInterface) cb.interfaceClass();
+        if (!superName.empty()) cb.extends(superName);
+        for (auto& i : interfaces) cb.implements(i);
+        className_ = name.text;
+
+        while (!at(Tok::RBrace)) parseMember(cb);
+        take();  // '}'
+    }
+
+    void parseMember(ClassBuilder& cb) {
+        bool global = false, shared = false;
+        while (at(Tok::At)) {
+            take();
+            const Token a = expect(Tok::Ident, "annotation name");
+            if (a.text == "Global") global = true;
+            else if (a.text == "Shared") shared = true;
+            else err("unknown member annotation @" + a.text);
+        }
+        if (atIdent("static") && atIdent("final", 1)) {
+            take();
+            take();
+            Type t = parseType();
+            const Token fname = expect(Tok::Ident, "static field name");
+            expect(Tok::Assign, "'='");
+            bool negate = false;
+            if (at(Tok::Minus)) {
+                take();
+                negate = true;
+            }
+            const Token lit = take();
+            int64_t i = lit.ival;
+            double f = lit.fval;
+            if (lit.kind == Tok::IntLit || lit.kind == Tok::LongLit) {
+                if (negate) i = -i;
+                f = static_cast<double>(i);
+            } else if (lit.kind == Tok::FloatLit || lit.kind == Tok::DoubleLit) {
+                if (negate) f = -f;
+                i = static_cast<int64_t>(f);
+            } else if (lit.kind == Tok::Ident && (lit.text == "true" || lit.text == "false")) {
+                i = lit.text == "true" ? 1 : 0;
+            } else {
+                err("expected a literal static initializer");
+            }
+            if (t.isFloating()) i = 0; else f = 0;
+            cb.staticConst(fname.text, t, i, f);
+            expect(Tok::Semi, "';'");
+            return;
+        }
+        bool isStatic = false, isAbstract = false;
+        while (atIdent("static") || atIdent("abstract")) {
+            if (atIdent("static")) isStatic = true;
+            else isAbstract = true;
+            take();
+        }
+        // Constructor: ClassName '(' ...
+        if (at(Tok::Ident) && peek().text == className_ && at(Tok::LParen, 1)) {
+            take();
+            MethodBuilder& mb = cb.ctor();
+            parseParams(mb);
+            mb.body(parseBlock());
+            return;
+        }
+        Type t = parseType();
+        const Token mname = expect(Tok::Ident, "member name");
+        if (at(Tok::LParen)) {
+            MethodBuilder& mb = cb.method(mname.text, t);
+            if (global) mb.global();
+            if (isStatic) mb.staticMethod();
+            parseParams(mb);
+            if (isAbstract || at(Tok::Semi)) {
+                mb.abstractMethod();
+                expect(Tok::Semi, "';'");
+            } else {
+                mb.body(parseBlock());
+            }
+            return;
+        }
+        // Field.
+        expect(Tok::Semi, "';' after field");
+        if (shared) cb.sharedField(mname.text, t);
+        else cb.field(mname.text, t);
+    }
+
+    void parseParams(MethodBuilder& mb) {
+        expect(Tok::LParen, "'('");
+        if (!at(Tok::RParen)) {
+            for (;;) {
+                Type t = parseType();
+                const Token p = expect(Tok::Ident, "parameter name");
+                mb.param(p.text, t);
+                if (!at(Tok::Comma)) break;
+                take();
+            }
+        }
+        expect(Tok::RParen, "')'");
+    }
+
+    // --------------------------------------------------------- statements
+    Block parseBlock() {
+        expect(Tok::LBrace, "'{'");
+        Block b;
+        while (!at(Tok::RBrace)) b.push_back(parseStmt());
+        take();
+        return b;
+    }
+
+    StmtPtr parseStmt() {
+        if (atIdent("if")) {
+            take();
+            expect(Tok::LParen, "'('");
+            ExprPtr c = parseExpr();
+            expect(Tok::RParen, "')'");
+            Block thenB = parseBlock();
+            Block elseB;
+            if (atIdent("else")) {
+                take();
+                elseB = parseBlock();
+            }
+            return ifs(std::move(c), std::move(thenB), std::move(elseB));
+        }
+        if (atIdent("while")) {
+            take();
+            expect(Tok::LParen, "'('");
+            ExprPtr c = parseExpr();
+            expect(Tok::RParen, "')'");
+            return whileS(std::move(c), parseBlock());
+        }
+        if (atIdent("for")) {
+            take();
+            expect(Tok::LParen, "'('");
+            Type t = parseType();
+            const Token var = expect(Tok::Ident, "loop variable");
+            expect(Tok::Assign, "'='");
+            ExprPtr init = parseExpr();
+            expect(Tok::Semi, "';'");
+            ExprPtr cond = parseExpr();
+            expect(Tok::Semi, "';'");
+            const Token var2 = expect(Tok::Ident, "loop variable in step");
+            if (var2.text != var.text) err("for-step must assign the loop variable");
+            expect(Tok::Assign, "'='");
+            ExprPtr step = parseExpr();
+            expect(Tok::RParen, "')'");
+            Block body = parseBlock();
+            return std::make_unique<ForStmt>(var.text, std::move(t), std::move(init),
+                                             std::move(cond), std::move(step), std::move(body));
+        }
+        if (atIdent("return")) {
+            take();
+            if (at(Tok::Semi)) {
+                take();
+                return retVoid();
+            }
+            ExprPtr v = parseExpr();
+            expect(Tok::Semi, "';'");
+            return ret(std::move(v));
+        }
+        if (atIdent("super") && at(Tok::LParen, 1)) {
+            take();
+            std::vector<ExprPtr> args = parseArgs();
+            expect(Tok::Semi, "';'");
+            return superCtorV(std::move(args));
+        }
+        // Declaration: TYPE IDENT '=' ...  (types are recognizable because
+        // all class names were pre-scanned).
+        if (atTypeStart()) {
+            // Could still be an expression like `cls.method()`: require the
+            // TYPE IDENT '=' / TYPE[] shape.
+            const bool decl2 =
+                (at(Tok::Ident, 1) && at(Tok::Assign, 2)) ||
+                (at(Tok::LBracket, 1) && at(Tok::RBracket, 2));
+            if (decl2) {
+                Type t = parseType();
+                const Token n = expect(Tok::Ident, "variable name");
+                expect(Tok::Assign, "'='");
+                ExprPtr init = parseExpr();
+                expect(Tok::Semi, "';'");
+                return decl(n.text, std::move(t), std::move(init));
+            }
+        }
+        // Assignment or expression statement.
+        ExprPtr e = parseExpr();
+        if (at(Tok::Assign)) {
+            take();
+            ExprPtr v = parseExpr();
+            expect(Tok::Semi, "';'");
+            switch (e->kind) {
+            case ExprKind::Local:
+                return assign(as<LocalExpr>(*e).name, std::move(v));
+            case ExprKind::FieldGet: {
+                auto* fg = static_cast<FieldGetExpr*>(e.get());
+                return setf(std::move(fg->obj), fg->field, std::move(v));
+            }
+            case ExprKind::ArrayGet: {
+                auto* ag = static_cast<ArrayGetExpr*>(e.get());
+                return aset(std::move(ag->arr), std::move(ag->idx), std::move(v));
+            }
+            default:
+                err("left side of '=' must be a variable, field, or array element");
+            }
+        }
+        expect(Tok::Semi, "';'");
+        return exprS(std::move(e));
+    }
+
+    // -------------------------------------------------------- expressions
+    std::vector<ExprPtr> parseArgs() {
+        expect(Tok::LParen, "'('");
+        std::vector<ExprPtr> args;
+        if (!at(Tok::RParen)) {
+            args.push_back(parseExpr());
+            while (at(Tok::Comma)) {
+                take();
+                args.push_back(parseExpr());
+            }
+        }
+        expect(Tok::RParen, "')'");
+        return args;
+    }
+
+    ExprPtr parseExpr() { return parseTernary(); }
+
+    ExprPtr parseTernary() {
+        ExprPtr c = parseOr();
+        if (at(Tok::Question)) {
+            take();
+            ExprPtr t = parseExpr();
+            expect(Tok::Colon, "':'");
+            ExprPtr f = parseTernary();
+            return ternary(std::move(c), std::move(t), std::move(f));
+        }
+        return c;
+    }
+
+    ExprPtr parseOr() {
+        ExprPtr e = parseAnd();
+        while (at(Tok::OrOr)) {
+            take();
+            e = lor(std::move(e), parseAnd());
+        }
+        return e;
+    }
+
+    ExprPtr parseAnd() {
+        ExprPtr e = parseEq();
+        while (at(Tok::AndAnd)) {
+            take();
+            e = land(std::move(e), parseEq());
+        }
+        return e;
+    }
+
+    ExprPtr parseEq() {
+        ExprPtr e = parseRel();
+        while (at(Tok::EqEq) || at(Tok::NotEq)) {
+            const bool isEq = take().kind == Tok::EqEq;
+            ExprPtr r = parseRel();
+            e = isEq ? eq(std::move(e), std::move(r)) : ne(std::move(e), std::move(r));
+        }
+        return e;
+    }
+
+    ExprPtr parseRel() {
+        ExprPtr e = parseAdd();
+        while (at(Tok::Lt) || at(Tok::Le) || at(Tok::Gt) || at(Tok::Ge)) {
+            const Tok op = take().kind;
+            ExprPtr r = parseAdd();
+            switch (op) {
+            case Tok::Lt: e = lt(std::move(e), std::move(r)); break;
+            case Tok::Le: e = le(std::move(e), std::move(r)); break;
+            case Tok::Gt: e = gt(std::move(e), std::move(r)); break;
+            default: e = ge(std::move(e), std::move(r)); break;
+            }
+        }
+        return e;
+    }
+
+    ExprPtr parseAdd() {
+        ExprPtr e = parseMul();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            const bool plus = take().kind == Tok::Plus;
+            ExprPtr r = parseMul();
+            e = plus ? add(std::move(e), std::move(r)) : sub(std::move(e), std::move(r));
+        }
+        return e;
+    }
+
+    ExprPtr parseMul() {
+        ExprPtr e = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+            const Tok op = take().kind;
+            ExprPtr r = parseUnary();
+            if (op == Tok::Star) e = mul(std::move(e), std::move(r));
+            else if (op == Tok::Slash) e = divE(std::move(e), std::move(r));
+            else e = rem(std::move(e), std::move(r));
+        }
+        return e;
+    }
+
+    ExprPtr parseUnary() {
+        if (at(Tok::Minus)) {
+            take();
+            // Fold a minus directly into a literal so "-1.0f" round-trips as
+            // a negative constant (the printer's form), not neg(const).
+            if (at(Tok::IntLit)) return ci(static_cast<int32_t>(-take().ival));
+            if (at(Tok::LongLit)) return cl(-take().ival);
+            if (at(Tok::FloatLit)) return cf(static_cast<float>(-take().fval));
+            if (at(Tok::DoubleLit)) return cd(-take().fval);
+            return neg(parseUnary());
+        }
+        if (at(Tok::Not)) {
+            take();
+            return lnot(parseUnary());
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr parsePostfix() {
+        ExprPtr e = parsePrimary();
+        for (;;) {
+            if (at(Tok::Dot)) {
+                take();
+                const Token m = expect(Tok::Ident, "member name");
+                if (m.text == "length" && !at(Tok::LParen)) {
+                    e = alen(std::move(e));
+                } else if (at(Tok::LParen)) {
+                    e = callV(std::move(e), m.text, parseArgs());
+                } else {
+                    e = getf(std::move(e), m.text);
+                }
+                continue;
+            }
+            if (at(Tok::LBracket)) {
+                take();
+                ExprPtr idx = parseExpr();
+                expect(Tok::RBracket, "']'");
+                e = aget(std::move(e), std::move(idx));
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+
+    /// Cast heuristic: '(' TYPE ')' followed by something that starts a
+    /// unary expression. "(x) + 1" stays a parenthesized expression.
+    bool looksLikeCast() const {
+        if (!at(Tok::Ident, 1)) return false;
+        const std::string& n = peek(1).text;
+        const bool typish =
+            primKeywords().count(n) || classNames_.count(n) || knownBuiltinClass(n);
+        if (!typish) return false;
+        size_t off = 2;
+        while (at(Tok::LBracket, off) && at(Tok::RBracket, off + 1)) off += 2;
+        if (!at(Tok::RParen, off)) return false;
+        const Token& next = peek(off + 1);
+        switch (next.kind) {
+        case Tok::Ident:
+        case Tok::IntLit: case Tok::LongLit: case Tok::FloatLit: case Tok::DoubleLit:
+        case Tok::LParen: case Tok::Minus: case Tok::Not:
+            return true;
+        default:
+            return false;
+        }
+    }
+
+    ExprPtr parsePrimary() {
+        if (at(Tok::IntLit)) return ci(static_cast<int32_t>(take().ival));
+        if (at(Tok::LongLit)) return cl(take().ival);
+        if (at(Tok::FloatLit)) return cf(static_cast<float>(take().fval));
+        if (at(Tok::DoubleLit)) return cd(take().fval);
+        if (at(Tok::LParen)) {
+            if (looksLikeCast()) {
+                take();
+                Type t = parseType();
+                expect(Tok::RParen, "')'");
+                return cast(std::move(t), parseUnary());
+            }
+            take();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "')'");
+            return e;
+        }
+        if (!at(Tok::Ident)) err("expected an expression");
+        const Token id = take();
+        if (id.text == "true") return cb(true);
+        if (id.text == "false") return cb(false);
+        if (id.text == "this") return self();
+        if (id.text == "new") {
+            Type base = parseType();  // consumes empty [] pairs into the type
+            if (at(Tok::LBracket)) {
+                take();
+                ExprPtr len = parseExpr();
+                expect(Tok::RBracket, "']'");
+                return newArr(std::move(base), std::move(len));
+            }
+            if (!base.isClass()) err("new of a primitive requires array brackets");
+            return newObjV(base.className(), parseArgs());
+        }
+        // Intrinsic namespaces: greedily extend the dotted name while it
+        // remains a prefix of some intrinsic.
+        if (isIntrinsicPrefix(id.text)) {
+            std::string name = id.text;
+            while (at(Tok::Dot) && at(Tok::Ident, 1)) {
+                const std::string longer = name + "." + peek(1).text;
+                if (intrinsicNames().count(longer) == 0 && !isIntrinsicPrefix(longer)) break;
+                take();
+                take();
+                name = longer;
+            }
+            auto it = intrinsicNames().find(name);
+            if (it == intrinsicNames().end()) err("unknown intrinsic " + name);
+            std::vector<ExprPtr> args;
+            if (at(Tok::LParen)) args = parseArgs();
+            return intrV(it->second, std::move(args));
+        }
+        // Static reference through a declared class name.
+        if (classNames_.count(id.text) && at(Tok::Dot)) {
+            take();
+            const Token m = expect(Tok::Ident, "static member name");
+            if (at(Tok::LParen)) return scallV(id.text, m.text, parseArgs());
+            return sget(id.text, m.text);
+        }
+        return lv(id.text);
+    }
+
+    ProgramBuilder& pb_;
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    std::set<std::string> classNames_;
+    std::string className_;
+};
+
+} // namespace
+
+void parseInto(ProgramBuilder& pb, const std::string& src) { Parser(pb, src).run(); }
+
+Program parseProgram(const std::string& src) {
+    ProgramBuilder pb;
+    parseInto(pb, src);
+    return pb.build();
+}
+
+} // namespace wj::frontend

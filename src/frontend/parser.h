@@ -1,0 +1,43 @@
+// Parser for WJ source: the textual, Java-like form of the restricted
+// language the paper's developers write (Listings 1, 3, 4). Grammar:
+//
+//   program     := classdecl*
+//   classdecl   := "@WootinJ"? "final"? ("class" | "interface") IDENT
+//                  ("extends" IDENT)? ("implements" IDENT ("," IDENT)*)?
+//                  "{" member* "}"
+//   member      := "static" "final" type IDENT "=" literal ";"
+//                | "@Shared"? type IDENT ";"
+//                | "@Global"? "static"? "abstract"? type IDENT "(" params ")"
+//                  (block | ";")
+//                | IDENT "(" params ")" block            -- constructor
+//   stmt        := type IDENT "=" expr ";"
+//                | lvalue "=" expr ";"                   -- local/field/array
+//                | "if" "(" expr ")" block ("else" block)?
+//                | "while" "(" expr ")" block
+//                | "for" "(" type IDENT "=" expr ";" expr ";"
+//                   IDENT "=" expr ")" block
+//                | "return" expr? ";" | "super" "(" args ")" ";" | expr ";"
+//   expr        := full Java-style precedence incl. ?: (the verifier, not
+//                  the parser, rejects rule-breaking constructs)
+//
+// Intrinsics are written as in the paper: MPI.rank(), cuda.threadIdx.x(),
+// Math.sqrt(v), WootinJ.free(a)... — resolved against the intrinsic table.
+// `Cls.member` where Cls is a class declared in the same source refers to
+// its static finals / static methods. Redeclarations of the builtin dim3 /
+// CudaConfig classes are accepted and skipped, so printer output parses.
+#pragma once
+
+#include <string>
+
+#include "ir/builder.h"
+
+namespace wj::frontend {
+
+/// Parses WJ source text, adding every class to `pb`.
+/// Throws UsageError with line/column on syntax errors.
+void parseInto(ProgramBuilder& pb, const std::string& src);
+
+/// Convenience: parse a self-contained program and build it (validated).
+Program parseProgram(const std::string& src);
+
+} // namespace wj::frontend

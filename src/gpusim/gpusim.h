@@ -1,0 +1,110 @@
+// GpuSim: a CUDA-like device substrate.
+//
+// The paper evaluates on NVIDIA M2050 GPUs; this machine has none, so
+// WootinC provides an execution-faithful simulator of the CUDA constructs
+// the translated code uses (DESIGN.md, substitution table):
+//
+//   * a SEPARATE DEVICE MEMORY SPACE: device allocations come from the
+//     Device's own allocator; memcpyH2D/D2H validate that pointers live on
+//     the correct side, so code that would crash on a real GPU (passing a
+//     host pointer to a kernel, dereferencing a device pointer from host
+//     code paths that we check) fails loudly here too;
+//   * kernel launches over a grid×block thread geometry with
+//     threadIdx/blockIdx/blockDim/gridDim coordinates;
+//   * __syncthreads(): threads of a block run as cooperatively-scheduled
+//     fibers (ucontext) that rendezvous at barriers, which also lets GpuSim
+//     DETECT barrier divergence (some threads of a block exiting while
+//     others wait) — undefined behaviour on real hardware, an error here;
+//   * dynamic shared memory per block (the @Shared / extern __shared__
+//     model), sized by the launch configuration.
+//
+// Kernels without barriers take a fast path: a plain loop over logical
+// threads, no fiber setup. The JIT knows statically whether a kernel can
+// reach syncthreads and passes that flag to launch().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace wj::gpusim {
+
+struct Dim3 {
+    int x = 1, y = 1, z = 1;
+    int64_t count() const noexcept {
+        return static_cast<int64_t>(x) * y * z;
+    }
+};
+
+class Device;
+struct Fiber;
+
+/// Per-logical-thread context handed to kernels. Generated C code reads the
+/// coordinate fields through the wjrt_gpu_* accessors.
+struct ThreadCtx {
+    Dim3 threadIdx, blockIdx, blockDim, gridDim;
+    float* shared = nullptr;     ///< block's dynamic shared buffer (f32 view)
+    int64_t sharedFloats = 0;    ///< number of floats in `shared`
+    Fiber* fiber = nullptr;      ///< non-null on the barrier-capable path
+    Device* device = nullptr;
+};
+
+/// Kernel entry: the JIT generates one thunk per kernel specialization that
+/// unpacks `args` and runs the kernel body for this thread.
+using KernelFn = void (*)(ThreadCtx*, void*);
+
+/// One simulated GPU. Not thread-safe; in MPI runs each rank owns one
+/// Device (one GPU per node, as in the paper's Section 4.1 setup).
+class Device {
+public:
+    explicit Device(int id = 0);
+    ~Device();
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    int id() const noexcept { return id_; }
+
+    /// Allocates `bytes` of device memory. Alignment suits any primitive.
+    void* malloc(int64_t bytes);
+    /// Frees a pointer previously returned by malloc. Double/foreign free
+    /// throws.
+    void free(void* p);
+    /// True if `p` points into (the start of) a live device allocation.
+    bool owns(const void* p) const noexcept;
+
+    /// Host-to-device copy; dst must be device memory, src must not be.
+    void memcpyH2D(void* dst, const void* src, int64_t bytes);
+    /// Device-to-host copy; src must be device memory, dst must not be.
+    void memcpyD2H(void* dst, const void* src, int64_t bytes);
+
+    /// Launches `grid.count()` blocks of `block.count()` threads.
+    /// `needsSync=false` uses the fast sequential path and makes
+    /// syncthreads an error; `needsSync=true` runs each block's threads as
+    /// fibers with barrier support.
+    void launch(KernelFn k, void* args, Dim3 grid, Dim3 block, int64_t sharedBytes,
+                bool needsSync);
+
+    // ---- instrumentation
+    int64_t bytesAllocated() const noexcept { return bytesLive_; }
+    int64_t peakBytes() const noexcept { return bytesPeak_; }
+    int64_t kernelsLaunched() const noexcept { return launches_; }
+    int64_t threadsExecuted() const noexcept { return threads_; }
+
+private:
+    void launchFast(KernelFn k, void* args, Dim3 grid, Dim3 block, float* shared,
+                    int64_t sharedFloats);
+    void launchFibered(KernelFn k, void* args, Dim3 grid, Dim3 block, float* shared,
+                       int64_t sharedFloats);
+
+    int id_;
+    std::unordered_map<void*, int64_t> live_;
+    int64_t bytesLive_ = 0;
+    int64_t bytesPeak_ = 0;
+    int64_t launches_ = 0;
+    int64_t threads_ = 0;
+};
+
+/// Block barrier; callable only from kernels launched with needsSync=true.
+void syncThreads(ThreadCtx* tc);
+
+} // namespace wj::gpusim

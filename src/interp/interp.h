@@ -1,0 +1,75 @@
+// Tree-walking interpreter for WJ IR — WootinC's stand-in for the JVM.
+//
+// Programs written against the @WootinJ class libraries "can run without
+// WootinJ unless they use MPI or GPUs" (paper, Section 4.4). Accordingly the
+// interpreter executes everything except MPI intrinsics, and executes CUDA
+// intrinsics only when device emulation is enabled (used for differential
+// testing of the JIT): a kernel launch then runs every logical GPU thread
+// sequentially.
+//
+// Execution cost is intentionally representative of unoptimized OO code:
+// every call is a dynamic dispatch through the class table, every object a
+// heap allocation, every array access bounds-checked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "interp/value.h"
+#include "ir/program.h"
+
+namespace wj {
+
+class Interp {
+public:
+    struct Options {
+        /// Execute CUDA intrinsics by sequential emulation. Kernels using
+        /// syncthreads or shared memory are rejected even in this mode.
+        bool deviceEmulation = false;
+    };
+
+    explicit Interp(const Program& prog);
+    Interp(const Program& prog, Options opts);
+
+    /// `new cls(args...)` — runs the constructor chain.
+    Value instantiate(const std::string& cls, std::vector<Value> args);
+
+    /// Dynamic dispatch of `method` on `recv` (an object value).
+    Value call(const Value& recv, const std::string& method, std::vector<Value> args);
+
+    /// Static method call.
+    Value callStatic(const std::string& cls, const std::string& method, std::vector<Value> args);
+
+    /// Allocates an interpreter array of `elem` with `len` default elements.
+    Value newArray(const Type& elem, int32_t len);
+
+    const Program& program() const noexcept { return prog_; }
+
+    // ---- instrumentation (tests assert optimization effects against these)
+    int64_t dynamicDispatches() const noexcept { return dispatches_; }
+    int64_t objectAllocations() const noexcept { return allocs_; }
+
+private:
+    struct Frame;
+    struct Flow;
+    struct GpuEmuCtx;
+
+    Value evalExpr(Frame& f, const Expr& e);
+    Flow execStmt(Frame& f, const Stmt& s);
+    Flow execBlock(Frame& f, const Block& b);
+    Value invokeMethod(const ObjRef& self, const ClassDecl& implCls, const Method& m,
+                       std::vector<Value> args);
+    void runCtor(const ObjRef& obj, const ClassDecl& cls, std::vector<Value> args);
+    Value evalIntrinsic(Frame& f, const IntrinsicExpr& e);
+    Value launchEmulated(const ObjRef& self, const ClassDecl& implCls, const Method& kernel,
+                         std::vector<Value> args);
+
+    const Program& prog_;
+    Options opts_;
+    GpuEmuCtx* gpu_ = nullptr;  // non-null only while emulating a kernel
+    int64_t dispatches_ = 0;
+    int64_t allocs_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace wj

@@ -1,0 +1,43 @@
+#include "interp/value.h"
+
+#include "support/strings.h"
+
+namespace wj {
+
+Value Value::defaultOf(const Type& t) {
+    switch (t.kind()) {
+    case Type::Kind::Void:
+        return Value();
+    case Type::Kind::Prim:
+        switch (t.prim()) {
+        case Prim::Bool: return ofBool(false);
+        case Prim::I32: return ofI32(0);
+        case Prim::I64: return ofI64(0);
+        case Prim::F32: return ofF32(0.0f);
+        case Prim::F64: return ofF64(0.0);
+        }
+        return Value();
+    case Type::Kind::Array:
+        return ofArr(nullptr);  // Java null
+    case Type::Kind::Class:
+        return ofObj(nullptr);  // Java null
+    }
+    return Value();
+}
+
+std::string Value::str() const {
+    if (isVoid()) return "void";
+    if (isBool()) return asBool() ? "true" : "false";
+    if (isI32()) return std::to_string(asI32());
+    if (isI64()) return std::to_string(asI64()) + "L";
+    if (isF32()) return format("%gf", static_cast<double>(asF32()));
+    if (isF64()) return format("%g", asF64());
+    if (isObj()) {
+        const ObjRef& o = asObj();
+        return o ? o->cls->name + "@obj" : "null";
+    }
+    const ArrRef& a = asArr();
+    return a ? a->elem.str() + "[" + std::to_string(a->data.size()) + "]" : "null";
+}
+
+} // namespace wj

@@ -1,0 +1,43 @@
+#include "ir/ast.h"
+
+namespace wj {
+
+bool isComparison(BinOp op) noexcept {
+    switch (op) {
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt:
+    case BinOp::Ge: case BinOp::Eq: case BinOp::Ne:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool isLogical(BinOp op) noexcept {
+    return op == BinOp::LAnd || op == BinOp::LOr;
+}
+
+const char* binOpName(BinOp op) noexcept {
+    switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::LAnd: return "&&";
+    case BinOp::LOr: return "||";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    }
+    return "?";
+}
+
+} // namespace wj

@@ -1,0 +1,92 @@
+// WJ IR declarations: fields, methods, classes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+#include "ir/type.h"
+
+namespace wj {
+
+/// An instance field.
+struct Field {
+    std::string name;
+    Type type;
+    bool isShared = false;  ///< @Shared (CUDA block-shared memory)
+};
+
+/// A static field. Coding rule 5: static fields are final and not arrays, so
+/// the value is a compile-time primitive constant carried here directly.
+struct StaticField {
+    std::string name;
+    Type type;    ///< always primitive for rule-compliant programs
+    int64_t i = 0;
+    double f = 0;
+};
+
+struct Param {
+    std::string name;
+    Type type;
+};
+
+/// A method, constructor (`name == "<init>"`), or interface method
+/// (`isAbstract`, empty body).
+struct Method {
+    std::string name;
+    std::vector<Param> params;
+    Type ret = Type::voidTy();
+    Block body;
+
+    bool isAbstract = false;  ///< declared on an interface / abstract class
+    bool isStatic = false;
+    bool isGlobal = false;    ///< @Global — translated to a CUDA kernel
+
+    bool isCtor() const noexcept { return name == "<init>"; }
+};
+
+/// A class or interface declaration.
+///
+/// `wootinj` marks the class as annotated @WootinJ: it claims to satisfy the
+/// coding rules and is eligible for translation. Untranslated host-side
+/// classes may set it false; the verifier skips them and the JIT refuses to
+/// translate into them.
+struct ClassDecl {
+    std::string name;
+    std::string superName;                 ///< empty means Object
+    std::vector<std::string> interfaces;
+    bool isInterface = false;
+    bool declaredFinal = false;
+    bool wootinj = true;
+
+    std::vector<Field> fields;             ///< declared here (not inherited)
+    std::vector<StaticField> statics;
+    std::unique_ptr<Method> ctor;          ///< null: implicit no-arg ctor
+    std::vector<std::unique_ptr<Method>> methods;
+
+    /// Declared (non-inherited) method by name, or nullptr.
+    const Method* ownMethod(const std::string& m) const noexcept {
+        for (const auto& mm : methods) {
+            if (mm->name == m) return mm.get();
+        }
+        return nullptr;
+    }
+
+    /// Declared field by name, or nullptr.
+    const Field* ownField(const std::string& f) const noexcept {
+        for (const auto& ff : fields) {
+            if (ff.name == f) return &ff;
+        }
+        return nullptr;
+    }
+
+    const StaticField* ownStatic(const std::string& f) const noexcept {
+        for (const auto& sf : statics) {
+            if (sf.name == f) return &sf;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace wj

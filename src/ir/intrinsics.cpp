@@ -1,0 +1,88 @@
+#include "ir/intrinsics.h"
+
+#include <array>
+
+#include "support/diagnostics.h"
+
+namespace wj {
+
+namespace {
+
+Type f32arr() { return Type::array(Type::f32()); }
+
+// The table is order-sensitive: it must match the enum declaration order.
+const std::vector<IntrinsicSig>& table() {
+    static const std::vector<IntrinsicSig> t = {
+        // MPI — host only, not runnable on the plain interpreter.
+        {"MPI.rank", Type::i32(), {}, false, true, false},
+        {"MPI.size", Type::i32(), {}, false, true, false},
+        {"MPI.barrier", Type::voidTy(), {}, false, true, false},
+        {"MPI.sendF32", Type::voidTy(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32(), Type::i32()}, false, true, false},
+        {"MPI.recvF32", Type::voidTy(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32(), Type::i32()}, false, true, false},
+        {"MPI.sendRecvF32", Type::voidTy(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32(),
+          f32arr(), Type::i32(), Type::i32(), Type::i32()}, false, true, false},
+        {"MPI.bcastF32", Type::voidTy(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32()}, false, true, false},
+        {"MPI.allreduceSumF64", Type::f64(), {Type::f64()}, false, true, false},
+        {"MPI.allreduceMaxF64", Type::f64(), {Type::f64()}, false, true, false},
+        {"MPI.irecvF32", Type::i32(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32(), Type::i32()}, false, true, false},
+        {"MPI.wait", Type::voidTy(), {Type::i32()}, false, true, false},
+
+        // CUDA device context — device only. The interpreter *can* evaluate
+        // them when device emulation is enabled (used by differential tests).
+        {"cuda.threadIdx.x", Type::i32(), {}, true, false, false},
+        {"cuda.threadIdx.y", Type::i32(), {}, true, false, false},
+        {"cuda.threadIdx.z", Type::i32(), {}, true, false, false},
+        {"cuda.blockIdx.x", Type::i32(), {}, true, false, false},
+        {"cuda.blockIdx.y", Type::i32(), {}, true, false, false},
+        {"cuda.blockIdx.z", Type::i32(), {}, true, false, false},
+        {"cuda.blockDim.x", Type::i32(), {}, true, false, false},
+        {"cuda.blockDim.y", Type::i32(), {}, true, false, false},
+        {"cuda.blockDim.z", Type::i32(), {}, true, false, false},
+        {"cuda.gridDim.x", Type::i32(), {}, true, false, false},
+        {"cuda.gridDim.y", Type::i32(), {}, true, false, false},
+        {"cuda.gridDim.z", Type::i32(), {}, true, false, false},
+        {"cuda.syncthreads", Type::voidTy(), {}, true, false, false},
+        {"cuda.sharedF32", f32arr(), {}, true, false, false},
+
+        // CUDA host API — host only.
+        {"cuda.mallocF32", f32arr(), {Type::i32()}, false, true, false},
+        {"cuda.free", Type::voidTy(), {f32arr()}, false, true, false},
+        {"cuda.memcpyH2DF32", Type::voidTy(), {f32arr(), f32arr(), Type::i32()}, false, true, false},
+        {"cuda.memcpyD2HF32", Type::voidTy(), {f32arr(), f32arr(), Type::i32()}, false, true, false},
+        {"cuda.memcpyH2DOffF32", Type::voidTy(),
+         {f32arr(), Type::i32(), f32arr(), Type::i32(), Type::i32()}, false, true, false},
+        {"cuda.memcpyD2HOffF32", Type::voidTy(),
+         {f32arr(), Type::i32(), f32arr(), Type::i32(), Type::i32()}, false, true, false},
+
+        // Math — runnable anywhere, including the interpreter.
+        {"Math.sqrt", Type::f64(), {Type::f64()}, false, false, true},
+        {"Math.fabs", Type::f64(), {Type::f64()}, false, false, true},
+        {"Math.exp", Type::f64(), {Type::f64()}, false, false, true},
+        {"Math.sqrtf", Type::f32(), {Type::f32()}, false, false, true},
+
+        // Misc runtime.
+        {"WootinJ.rngHashF32", Type::f32(), {Type::i32(), Type::i32()}, false, false, true},
+        {"WootinJ.free", Type::voidTy(), {f32arr()}, false, true, true},
+        {"WootinJ.printI64", Type::voidTy(), {Type::i64()}, false, true, true},
+        {"WootinJ.printF64", Type::voidTy(), {Type::f64()}, false, true, true},
+    };
+    return t;
+}
+
+} // namespace
+
+const IntrinsicSig& intrinsicSig(Intrinsic op) {
+    const auto& t = table();
+    const auto i = static_cast<size_t>(op);
+    if (i >= t.size()) panic("intrinsic table out of sync with enum");
+    return t[i];
+}
+
+int intrinsicCount() noexcept { return static_cast<int>(table().size()); }
+
+} // namespace wj

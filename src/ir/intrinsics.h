@@ -1,0 +1,82 @@
+// Intrinsic operations available to translated code.
+//
+// In the paper, the MPI and CUDA classes are "not wrapper classes that access
+// the MPI functions in C through JNI; ... a call in Java to a method in the
+// MPI class is translated by WootinJ into a direct call in C to the
+// corresponding MPI function" (Section 3). WootinC models those classes as
+// intrinsic operations in the IR: the interpreter either emulates or rejects
+// them (a JVM cannot run MPI/GPU code, Section 4.4), and the JIT translates
+// each one into a direct call to the wjrt_* C runtime, which binds to the
+// MiniMPI and GpuSim substrates with no per-call wrapper overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace wj {
+
+enum class Intrinsic : uint16_t {
+    // ---- MPI (paper's MPI class) ----
+    MpiRank,          // int rank()
+    MpiSize,          // int size()
+    MpiBarrier,       // void barrier()
+    MpiSendF32,       // void sendF32(float[] buf, int off, int n, int dest, int tag)
+    MpiRecvF32,       // void recvF32(float[] buf, int off, int n, int src, int tag)
+    MpiSendRecvF32,   // void sendRecvF32(float[] sbuf,int soff,int n,int dest, float[] rbuf,int roff,int src,int tag)
+    MpiBcastF32,      // void bcastF32(float[] buf, int off, int n, int root)
+    MpiAllreduceSumF64, // double allreduceSumF64(double v)
+    MpiAllreduceMaxF64, // double allreduceMaxF64(double v)
+    MpiIrecvF32,      // int irecvF32(float[] buf, int off, int n, int src, int tag)
+    MpiWait,          // void wait(int request)
+
+    // ---- CUDA device context (paper's cuda.threadIdx etc.) ----
+    CudaThreadIdxX, CudaThreadIdxY, CudaThreadIdxZ,
+    CudaBlockIdxX, CudaBlockIdxY, CudaBlockIdxZ,
+    CudaBlockDimX, CudaBlockDimY, CudaBlockDimZ,
+    CudaGridDimX, CudaGridDimY, CudaGridDimZ,
+    CudaSyncThreads,  // void syncthreads()
+    CudaSharedF32,    // float[] sharedF32() — the block's dynamic shared buffer
+                      // (paper's @Shared field, exposed extern-__shared__ style)
+
+    // ---- CUDA host API (paper's CUDA class: copyToGPU etc.) ----
+    GpuMallocF32,     // float[] gpuMallocF32(int n) — device-space array
+    GpuFree,          // void gpuFree(float[] a)
+    GpuMemcpyH2DF32,  // void gpuH2D(float[] dev, float[] host, int n)
+    GpuMemcpyD2HF32,  // void gpuD2H(float[] host, float[] dev, int n)
+    GpuMemcpyH2DOffF32, // void gpuH2DOff(float[] dev, int devOff, float[] host, int hostOff, int n)
+    GpuMemcpyD2HOffF32, // void gpuD2HOff(float[] host, int hostOff, float[] dev, int devOff, int n)
+
+    // ---- math (translated to libm calls) ----
+    MathSqrtF64,      // double sqrt(double)
+    MathFabsF64,      // double fabs(double)
+    MathExpF64,       // double exp(double)
+    MathSqrtF32,      // float sqrtf(float)
+
+    // ---- misc runtime ----
+    RngHashF32,       // float rngHashF32(int seed, int idx) — stateless generator
+    FreeArray,        // void free(anyarray) — the paper's explicit free
+    PrintI64,         // void printI64(long) — debugging aid in examples
+    PrintF64,         // void printF64(double)
+};
+
+/// Static signature of an intrinsic.
+struct IntrinsicSig {
+    const char* name;            ///< surface name used by the builder/printer
+    Type ret;
+    std::vector<Type> params;
+    bool deviceOnly;             ///< only legal inside @Global/device code
+    bool hostOnly;               ///< never legal inside device code
+    bool jvmRunnable;            ///< the interpreter can execute it (Section 4.4:
+                                 ///< programs run on the JVM *unless* they use MPI/GPU)
+};
+
+/// Signature for `op`; stable reference into an internal table.
+const IntrinsicSig& intrinsicSig(Intrinsic op);
+
+/// Total number of intrinsics (for exhaustive tests).
+int intrinsicCount() noexcept;
+
+} // namespace wj

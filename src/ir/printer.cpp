@@ -1,0 +1,215 @@
+#include "ir/printer.h"
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace wj {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+std::string printArgs(const std::vector<ExprPtr>& args) {
+    std::vector<std::string> parts;
+    parts.reserve(args.size());
+    for (const auto& a : args) parts.push_back(printExpr(*a));
+    return join(parts, ", ");
+}
+
+void printBlock(std::string& out, const Block& b, int indent) {
+    for (const auto& s : b) out += printStmt(*s, indent);
+}
+
+} // namespace
+
+std::string printExpr(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Const: {
+        const auto& n = as<ConstExpr>(e);
+        if (n.type.isPrim(Prim::Bool)) return n.i ? "true" : "false";
+        if (n.type.isPrim(Prim::I32)) return std::to_string(n.i);
+        if (n.type.isPrim(Prim::I64)) return std::to_string(n.i) + "L";
+        // Keep floating literals lexically floating ("2" would re-parse as
+        // an int): ensure a '.', exponent, or suffix is present.
+        auto floaty = [](std::string t) {
+            if (t.find_first_of(".eE") == std::string::npos &&
+                t.find_first_of("0123456789") != std::string::npos) {
+                t += ".0";
+            }
+            return t;
+        };
+        if (n.type.isPrim(Prim::F32)) return floaty(format("%g", n.f)) + "f";
+        return floaty(format("%g", n.f));
+    }
+    case ExprKind::Local:
+        return as<LocalExpr>(e).name;
+    case ExprKind::This:
+        return "this";
+    case ExprKind::FieldGet: {
+        const auto& n = as<FieldGetExpr>(e);
+        return printExpr(*n.obj) + "." + n.field;
+    }
+    case ExprKind::StaticGet: {
+        const auto& n = as<StaticGetExpr>(e);
+        return n.cls + "." + n.field;
+    }
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        return printExpr(*n.arr) + "[" + printExpr(*n.idx) + "]";
+    }
+    case ExprKind::ArrayLen:
+        return printExpr(*as<ArrayLenExpr>(e).arr) + ".length";
+    case ExprKind::Unary: {
+        const auto& n = as<UnaryExpr>(e);
+        return std::string(n.op == UnOp::Neg ? "-" : "!") + "(" + printExpr(*n.e) + ")";
+    }
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        return "(" + printExpr(*n.l) + " " + binOpName(n.op) + " " + printExpr(*n.r) + ")";
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        return "(" + printExpr(*n.c) + " ? " + printExpr(*n.t) + " : " + printExpr(*n.f) + ")";
+    }
+    case ExprKind::Call: {
+        const auto& n = as<CallExpr>(e);
+        return printExpr(*n.recv) + "." + n.method + "(" + printArgs(n.args) + ")";
+    }
+    case ExprKind::StaticCall: {
+        const auto& n = as<StaticCallExpr>(e);
+        return n.cls + "." + n.method + "(" + printArgs(n.args) + ")";
+    }
+    case ExprKind::New: {
+        const auto& n = as<NewExpr>(e);
+        return "new " + n.cls + "(" + printArgs(n.args) + ")";
+    }
+    case ExprKind::NewArray: {
+        const auto& n = as<NewArrayExpr>(e);
+        return "new " + n.elem.str() + "[" + printExpr(*n.len) + "]";
+    }
+    case ExprKind::Cast: {
+        const auto& n = as<CastExpr>(e);
+        return "((" + n.type.str() + ") " + printExpr(*n.e) + ")";
+    }
+    case ExprKind::IntrinsicCall: {
+        const auto& n = as<IntrinsicExpr>(e);
+        return std::string(intrinsicSig(n.op).name) + "(" + printArgs(n.args) + ")";
+    }
+    }
+    panic("unreachable expr kind in printer");
+}
+
+std::string printStmt(const Stmt& s, int indent) {
+    std::string out;
+    switch (s.kind) {
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(s);
+        out = ind(indent) + n.type.str() + " " + n.name + " = " + printExpr(*n.init) + ";\n";
+        return out;
+    }
+    case StmtKind::AssignLocal: {
+        const auto& n = as<AssignLocalStmt>(s);
+        return ind(indent) + n.name + " = " + printExpr(*n.value) + ";\n";
+    }
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(s);
+        return ind(indent) + printExpr(*n.obj) + "." + n.field + " = " + printExpr(*n.value) + ";\n";
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(s);
+        return ind(indent) + printExpr(*n.arr) + "[" + printExpr(*n.idx) + "] = " +
+               printExpr(*n.value) + ";\n";
+    }
+    case StmtKind::If: {
+        const auto& n = as<IfStmt>(s);
+        out = ind(indent) + "if (" + printExpr(*n.cond) + ") {\n";
+        printBlock(out, n.thenB, indent + 1);
+        if (!n.elseB.empty()) {
+            out += ind(indent) + "} else {\n";
+            printBlock(out, n.elseB, indent + 1);
+        }
+        out += ind(indent) + "}\n";
+        return out;
+    }
+    case StmtKind::While: {
+        const auto& n = as<WhileStmt>(s);
+        out = ind(indent) + "while (" + printExpr(*n.cond) + ") {\n";
+        printBlock(out, n.body, indent + 1);
+        out += ind(indent) + "}\n";
+        return out;
+    }
+    case StmtKind::For: {
+        const auto& n = as<ForStmt>(s);
+        out = ind(indent) + "for (" + n.varType.str() + " " + n.var + " = " + printExpr(*n.init) +
+              "; " + printExpr(*n.cond) + "; " + n.var + " = " + printExpr(*n.step) + ") {\n";
+        printBlock(out, n.body, indent + 1);
+        out += ind(indent) + "}\n";
+        return out;
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(s);
+        return ind(indent) + (n.value ? "return " + printExpr(*n.value) + ";\n" : "return;\n");
+    }
+    case StmtKind::ExprStmt:
+        return ind(indent) + printExpr(*as<ExprStmt>(s).e) + ";\n";
+    case StmtKind::SuperCtor: {
+        const auto& n = as<SuperCtorStmt>(s);
+        return ind(indent) + "super(" + printArgs(n.args) + ");\n";
+    }
+    }
+    panic("unreachable stmt kind in printer");
+}
+
+std::string printMethod(const Method& m, int indent, const std::string& ctorName) {
+    std::string out = ind(indent);
+    if (m.isGlobal) out += "@Global ";
+    if (m.isStatic) out += "static ";
+    if (m.isAbstract) out += "abstract ";
+    // Constructors render Java-style: the class name, no return type.
+    out += m.isCtor() ? ctorName : m.ret.str() + " " + m.name;
+    out += "(";
+    std::vector<std::string> ps;
+    ps.reserve(m.params.size());
+    for (const auto& p : m.params) ps.push_back(p.type.str() + " " + p.name);
+    out += join(ps, ", ") + ")";
+    if (m.isAbstract) return out + ";\n";
+    out += " {\n";
+    printBlock(out, m.body, indent + 1);
+    out += ind(indent) + "}\n";
+    return out;
+}
+
+std::string printClass(const ClassDecl& c) {
+    std::string out;
+    if (c.wootinj) out += "@WootinJ ";
+    out += c.isInterface ? "interface " : (c.declaredFinal ? "final class " : "class ");
+    out += c.name;
+    if (!c.superName.empty()) out += " extends " + c.superName;
+    if (!c.interfaces.empty()) out += " implements " + join(c.interfaces, ", ");
+    out += " {\n";
+    for (const auto& sf : c.statics) {
+        std::string lit = sf.type.isFloating() ? format("%g", sf.f) : std::to_string(sf.i);
+        if (sf.type.isFloating() && lit.find_first_of(".eE") == std::string::npos) lit += ".0";
+        if (sf.type.isPrim(Prim::F32)) lit += "f";
+        if (sf.type.isPrim(Prim::I64)) lit += "L";
+        out += ind(1) + "static final " + sf.type.str() + " " + sf.name + " = " + lit + ";\n";
+    }
+    for (const auto& f : c.fields) {
+        out += ind(1) + (f.isShared ? "@Shared " : "") + f.type.str() + " " + f.name + ";\n";
+    }
+    if (c.ctor) out += printMethod(*c.ctor, 1, c.name);
+    for (const auto& m : c.methods) out += printMethod(*m, 1);
+    out += "}\n";
+    return out;
+}
+
+std::string printProgram(const Program& p) {
+    std::string out;
+    for (const ClassDecl* c : p.classes()) {
+        out += printClass(*c);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wj

@@ -1,0 +1,19 @@
+// Pretty-printer for WJ IR — renders programs in a Java-like surface syntax.
+// Used by tests (golden comparisons), by error messages, and for inspecting
+// the class libraries the way the paper's listings show them.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace wj {
+
+std::string printExpr(const Expr& e);
+std::string printStmt(const Stmt& s, int indent = 0);
+std::string printMethod(const Method& m, int indent = 0,
+                        const std::string& ctorName = "<init>");
+std::string printClass(const ClassDecl& c);
+std::string printProgram(const Program& p);
+
+} // namespace wj

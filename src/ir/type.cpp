@@ -1,0 +1,90 @@
+#include "ir/type.h"
+
+#include "support/diagnostics.h"
+
+namespace wj {
+
+const char* primName(Prim p) noexcept {
+    switch (p) {
+    case Prim::Bool: return "boolean";
+    case Prim::I32: return "int";
+    case Prim::I64: return "long";
+    case Prim::F32: return "float";
+    case Prim::F64: return "double";
+    }
+    return "?";
+}
+
+const char* primCName(Prim p) noexcept {
+    switch (p) {
+    case Prim::Bool: return "int32_t";
+    case Prim::I32: return "int32_t";
+    case Prim::I64: return "int64_t";
+    case Prim::F32: return "float";
+    case Prim::F64: return "double";
+    }
+    return "?";
+}
+
+int primSize(Prim p) noexcept {
+    switch (p) {
+    case Prim::Bool: return 4; // stored as int32 both in arrays and locals
+    case Prim::I32: return 4;
+    case Prim::I64: return 8;
+    case Prim::F32: return 4;
+    case Prim::F64: return 8;
+    }
+    return 0;
+}
+
+Type Type::array(const Type& elem) {
+    if (elem.isVoid()) throw UsageError("array of void is not a type");
+    Type t(Kind::Array);
+    t.elem_ = std::make_shared<const Type>(elem);
+    return t;
+}
+
+Type Type::cls(std::string name) {
+    if (name.empty()) throw UsageError("class type requires a name");
+    Type t(Kind::Class);
+    t.cls_ = std::move(name);
+    return t;
+}
+
+Prim Type::prim() const {
+    if (!isPrim()) throw UsageError("Type::prim() on non-primitive " + str());
+    return prim_;
+}
+
+const Type& Type::elem() const {
+    if (!isArray()) throw UsageError("Type::elem() on non-array " + str());
+    return *elem_;
+}
+
+const std::string& Type::className() const {
+    if (!isClass()) throw UsageError("Type::className() on non-class " + str());
+    return cls_;
+}
+
+bool Type::operator==(const Type& o) const noexcept {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+    case Kind::Void: return true;
+    case Kind::Prim: return prim_ == o.prim_;
+    case Kind::Array: return *elem_ == *o.elem_;
+    case Kind::Class: return cls_ == o.cls_;
+    }
+    return false;
+}
+
+std::string Type::str() const {
+    switch (kind_) {
+    case Kind::Void: return "void";
+    case Kind::Prim: return primName(prim_);
+    case Kind::Array: return elem_->str() + "[]";
+    case Kind::Class: return cls_;
+    }
+    return "?";
+}
+
+} // namespace wj

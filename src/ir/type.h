@@ -1,0 +1,97 @@
+// The WJ IR type system.
+//
+// Mirrors the Java type system fragment the paper's coding rules talk about:
+// primitive types, array types (with strict-final element types), and class
+// types (classes or interfaces registered in a Program). `void` exists only
+// as a method return type.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace wj {
+
+/// Primitive kinds; Java's numeric tower minus char/short/byte, which the
+/// paper's libraries never use.
+enum class Prim {
+    Bool,
+    I32,
+    I64,
+    F32,
+    F64,
+};
+
+/// Name of a primitive kind as it appears in printed IR ("int", "float", ...).
+const char* primName(Prim p) noexcept;
+
+/// C spelling of a primitive kind ("int32_t", "float", ...), used by codegen.
+const char* primCName(Prim p) noexcept;
+
+/// Size in bytes of a primitive kind.
+int primSize(Prim p) noexcept;
+
+/// An immutable value type describing a WJ IR type.
+///
+/// Cheap to copy: array element types are shared. Class types are referenced
+/// by name; resolution happens against a Program.
+class Type {
+public:
+    enum class Kind { Void, Prim, Array, Class };
+
+    /// The `void` return type.
+    static Type voidTy() { return Type(Kind::Void); }
+    static Type boolean() { return Type(Prim::Bool); }
+    static Type i32() { return Type(Prim::I32); }
+    static Type i64() { return Type(Prim::I64); }
+    static Type f32() { return Type(Prim::F32); }
+    static Type f64() { return Type(Prim::F64); }
+    static Type prim(Prim p) { return Type(p); }
+
+    /// Array of `elem` (Java `elem[]`).
+    static Type array(const Type& elem);
+
+    /// Class or interface type, by name.
+    static Type cls(std::string name);
+
+    Kind kind() const noexcept { return kind_; }
+    bool isVoid() const noexcept { return kind_ == Kind::Void; }
+    bool isPrim() const noexcept { return kind_ == Kind::Prim; }
+    bool isPrim(Prim p) const noexcept { return kind_ == Kind::Prim && prim_ == p; }
+    bool isArray() const noexcept { return kind_ == Kind::Array; }
+    bool isClass() const noexcept { return kind_ == Kind::Class; }
+    bool isNumeric() const noexcept {
+        return isPrim() && prim_ != Prim::Bool;
+    }
+    bool isIntegral() const noexcept {
+        return isPrim() && (prim_ == Prim::I32 || prim_ == Prim::I64);
+    }
+    bool isFloating() const noexcept {
+        return isPrim() && (prim_ == Prim::F32 || prim_ == Prim::F64);
+    }
+
+    /// Primitive kind; only valid when isPrim().
+    Prim prim() const;
+
+    /// Array element type; only valid when isArray().
+    const Type& elem() const;
+
+    /// Class name; only valid when isClass().
+    const std::string& className() const;
+
+    bool operator==(const Type& o) const noexcept;
+    bool operator!=(const Type& o) const noexcept { return !(*this == o); }
+
+    /// Java-ish rendering: "float[]", "Solver", "int".
+    std::string str() const;
+
+private:
+    explicit Type(Kind k) : kind_(k) {}
+    explicit Type(Prim p) : kind_(Kind::Prim), prim_(p) {}
+
+    Kind kind_ = Kind::Void;
+    Prim prim_ = Prim::I32;
+    std::shared_ptr<const Type> elem_;  // Array
+    std::string cls_;                   // Class
+};
+
+} // namespace wj

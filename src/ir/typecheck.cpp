@@ -1,0 +1,402 @@
+#include "ir/typecheck.h"
+
+#include "support/diagnostics.h"
+
+namespace wj {
+
+namespace {
+
+[[noreturn]] void typeErr(const TypeScope& s, const std::string& msg) {
+    const std::string cls = s.thisClass() ? s.thisClass()->name : "<static>";
+    throw UsageError("type error in " + cls + "." + s.method().name + ": " + msg);
+}
+
+} // namespace
+
+TypeScope::TypeScope(const Program& prog, const ClassDecl* thisClass, const Method& m)
+    : prog_(&prog), thisClass_(thisClass), method_(&m) {
+    scopes_.emplace_back();
+    for (const auto& p : m.params) declare(p.name, p.type);
+}
+
+void TypeScope::declare(const std::string& name, const Type& t) {
+    if (isDeclared(name)) {
+        throw UsageError("duplicate local '" + name + "' in " + method_->name);
+    }
+    scopes_.back().emplace(name, t);
+}
+
+const Type& TypeScope::lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        auto f = it->find(name);
+        if (f != it->end()) return f->second;
+    }
+    throw UsageError("undeclared local '" + name + "' in " + method_->name);
+}
+
+bool TypeScope::isDeclared(const std::string& name) const noexcept {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        if (it->count(name)) return true;
+    }
+    return false;
+}
+
+bool TypeScope::isParam(const std::string& name) const noexcept {
+    for (const auto& p : method_->params) {
+        if (p.name == name) return true;
+    }
+    return false;
+}
+
+void TypeScope::push() { scopes_.emplace_back(); }
+
+void TypeScope::pop() { scopes_.pop_back(); }
+
+namespace {
+
+void checkArgs(TypeScope& s, const std::string& what, const std::vector<Param>& params,
+               const std::vector<ExprPtr>& args) {
+    if (params.size() != args.size()) {
+        typeErr(s, what + ": expected " + std::to_string(params.size()) + " arguments, got " +
+                       std::to_string(args.size()));
+    }
+    for (size_t i = 0; i < args.size(); ++i) {
+        Type at = typeOf(s, *args[i]);
+        if (!s.prog().assignable(params[i].type, at)) {
+            typeErr(s, what + ": argument " + std::to_string(i + 1) + " has type " + at.str() +
+                           ", expected " + params[i].type.str());
+        }
+    }
+}
+
+} // namespace
+
+Type typeOf(TypeScope& s, const Expr& e) {
+    const Program& prog = s.prog();
+    switch (e.kind) {
+    case ExprKind::Const:
+        return as<ConstExpr>(e).type;
+
+    case ExprKind::Local:
+        return s.lookup(as<LocalExpr>(e).name);
+
+    case ExprKind::This:
+        if (!s.thisClass()) typeErr(s, "'this' in static context");
+        return Type::cls(s.thisClass()->name);
+
+    case ExprKind::FieldGet: {
+        const auto& n = as<FieldGetExpr>(e);
+        Type ot = typeOf(s, *n.obj);
+        if (!ot.isClass()) typeErr(s, "field access ." + n.field + " on non-object " + ot.str());
+        const Field* f = prog.resolveField(ot.className(), n.field);
+        if (!f) typeErr(s, ot.className() + " has no field " + n.field);
+        return f->type;
+    }
+
+    case ExprKind::StaticGet: {
+        const auto& n = as<StaticGetExpr>(e);
+        const StaticField* f = prog.resolveStatic(n.cls, n.field);
+        if (!f) typeErr(s, n.cls + " has no static field " + n.field);
+        return f->type;
+    }
+
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        Type at = typeOf(s, *n.arr);
+        if (!at.isArray()) typeErr(s, "indexing non-array " + at.str());
+        Type it = typeOf(s, *n.idx);
+        if (!it.isPrim(Prim::I32)) typeErr(s, "array index must be int, got " + it.str());
+        return at.elem();
+    }
+
+    case ExprKind::ArrayLen: {
+        Type at = typeOf(s, *as<ArrayLenExpr>(e).arr);
+        if (!at.isArray()) typeErr(s, ".length on non-array " + at.str());
+        return Type::i32();
+    }
+
+    case ExprKind::Unary: {
+        const auto& n = as<UnaryExpr>(e);
+        Type t = typeOf(s, *n.e);
+        if (n.op == UnOp::Neg) {
+            if (!t.isNumeric()) typeErr(s, "negation of " + t.str());
+            return t;
+        }
+        if (!t.isPrim(Prim::Bool)) typeErr(s, "logical not of " + t.str());
+        return t;
+    }
+
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        Type l = typeOf(s, *n.l);
+        Type r = typeOf(s, *n.r);
+        if (isLogical(n.op)) {
+            if (!l.isPrim(Prim::Bool) || !r.isPrim(Prim::Bool)) {
+                typeErr(s, std::string(binOpName(n.op)) + " on " + l.str() + ", " + r.str());
+            }
+            return Type::boolean();
+        }
+        if (n.op == BinOp::Eq || n.op == BinOp::Ne) {
+            // Reference equality type-checks (rule 7 rejects it separately).
+            if (l != r) typeErr(s, "==/!= on mismatched types " + l.str() + ", " + r.str());
+            return Type::boolean();
+        }
+        if (isComparison(n.op)) {
+            if (!l.isNumeric() || l != r) {
+                typeErr(s, std::string(binOpName(n.op)) + " on " + l.str() + ", " + r.str());
+            }
+            return Type::boolean();
+        }
+        switch (n.op) {
+        case BinOp::Shl: case BinOp::Shr: case BinOp::BitAnd:
+        case BinOp::BitOr: case BinOp::BitXor:
+            if (!l.isIntegral() || l != r) {
+                typeErr(s, std::string(binOpName(n.op)) + " on " + l.str() + ", " + r.str());
+            }
+            return l;
+        default:
+            if (!l.isNumeric() || l != r) {
+                typeErr(s, std::string(binOpName(n.op)) + " on " + l.str() + ", " + r.str() +
+                               " (insert explicit casts; WJ has no implicit widening)");
+            }
+            return l;
+        }
+    }
+
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        Type c = typeOf(s, *n.c);
+        if (!c.isPrim(Prim::Bool)) typeErr(s, "?: condition must be boolean");
+        Type t = typeOf(s, *n.t);
+        Type f = typeOf(s, *n.f);
+        if (t != f) typeErr(s, "?: branches have different types " + t.str() + ", " + f.str());
+        return t;
+    }
+
+    case ExprKind::Call: {
+        const auto& n = as<CallExpr>(e);
+        Type rt = typeOf(s, *n.recv);
+        if (!rt.isClass()) typeErr(s, "call ." + n.method + "() on non-object " + rt.str());
+        const Method* m = prog.resolveMethod(rt.className(), n.method);
+        if (!m) typeErr(s, rt.className() + " has no method " + n.method);
+        if (m->isStatic) typeErr(s, rt.className() + "." + n.method + " is static; use a static call");
+        checkArgs(s, rt.className() + "." + n.method, m->params, n.args);
+        return m->ret;
+    }
+
+    case ExprKind::StaticCall: {
+        const auto& n = as<StaticCallExpr>(e);
+        const Method* m = prog.resolveMethod(n.cls, n.method);
+        if (!m) typeErr(s, n.cls + " has no method " + n.method);
+        if (!m->isStatic) typeErr(s, n.cls + "." + n.method + " is not static");
+        checkArgs(s, n.cls + "." + n.method, m->params, n.args);
+        return m->ret;
+    }
+
+    case ExprKind::New: {
+        const auto& n = as<NewExpr>(e);
+        const ClassDecl& c = prog.require(n.cls);
+        if (c.isInterface) typeErr(s, "cannot instantiate interface " + n.cls);
+        bool isAbstract = false;
+        for (const auto& m : c.methods) {
+            if (m->isAbstract) isAbstract = true;
+        }
+        if (isAbstract) typeErr(s, "cannot instantiate abstract class " + n.cls);
+        if (c.ctor) {
+            checkArgs(s, "new " + n.cls, c.ctor->params, n.args);
+        } else if (!n.args.empty()) {
+            typeErr(s, n.cls + " has no explicit constructor but arguments were passed");
+        }
+        return Type::cls(n.cls);
+    }
+
+    case ExprKind::NewArray: {
+        const auto& n = as<NewArrayExpr>(e);
+        Type lt = typeOf(s, *n.len);
+        if (!lt.isPrim(Prim::I32)) typeErr(s, "array length must be int, got " + lt.str());
+        return Type::array(n.elem);
+    }
+
+    case ExprKind::Cast: {
+        const auto& n = as<CastExpr>(e);
+        Type st = typeOf(s, *n.e);
+        const Type& tt = n.type;
+        if (st.isNumeric() && tt.isNumeric()) return tt;
+        if (st.isClass() && tt.isClass()) {
+            if (!prog.assignable(tt, st) && !prog.assignable(st, tt)) {
+                typeErr(s, "cast between unrelated classes " + st.str() + " -> " + tt.str());
+            }
+            return tt;
+        }
+        if (st == tt) return tt;
+        typeErr(s, "invalid cast " + st.str() + " -> " + tt.str());
+    }
+
+    case ExprKind::IntrinsicCall: {
+        const auto& n = as<IntrinsicExpr>(e);
+        const IntrinsicSig& sig = intrinsicSig(n.op);
+        if (sig.params.size() != n.args.size()) {
+            typeErr(s, std::string(sig.name) + ": expected " + std::to_string(sig.params.size()) +
+                           " arguments, got " + std::to_string(n.args.size()));
+        }
+        for (size_t i = 0; i < n.args.size(); ++i) {
+            Type at = typeOf(s, *n.args[i]);
+            if (at != sig.params[i]) {
+                typeErr(s, std::string(sig.name) + ": argument " + std::to_string(i + 1) +
+                               " has type " + at.str() + ", expected " + sig.params[i].str());
+            }
+        }
+        return sig.ret;
+    }
+    }
+    panic("unreachable expr kind");
+}
+
+namespace {
+
+void checkBlock(TypeScope& s, const Block& b);
+
+void checkStmt(TypeScope& s, const Stmt& st) {
+    const Program& prog = s.prog();
+    switch (st.kind) {
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(st);
+        Type it = typeOf(s, *n.init);
+        if (!prog.assignable(n.type, it)) {
+            typeErr(s, "initializer of '" + n.name + "' has type " + it.str() + ", expected " +
+                           n.type.str());
+        }
+        s.declare(n.name, n.type);
+        return;
+    }
+    case StmtKind::AssignLocal: {
+        const auto& n = as<AssignLocalStmt>(st);
+        const Type& lt = s.lookup(n.name);
+        Type vt = typeOf(s, *n.value);
+        if (!prog.assignable(lt, vt)) {
+            typeErr(s, "assignment to '" + n.name + "': " + vt.str() + " not assignable to " +
+                           lt.str());
+        }
+        return;
+    }
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(st);
+        Type ot = typeOf(s, *n.obj);
+        if (!ot.isClass()) typeErr(s, "field store ." + n.field + " on non-object " + ot.str());
+        const Field* f = prog.resolveField(ot.className(), n.field);
+        if (!f) typeErr(s, ot.className() + " has no field " + n.field);
+        Type vt = typeOf(s, *n.value);
+        if (!prog.assignable(f->type, vt)) {
+            typeErr(s, "store to " + ot.className() + "." + n.field + ": " + vt.str() +
+                           " not assignable to " + f->type.str());
+        }
+        return;
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(st);
+        Type at = typeOf(s, *n.arr);
+        if (!at.isArray()) typeErr(s, "indexing non-array " + at.str());
+        Type it = typeOf(s, *n.idx);
+        if (!it.isPrim(Prim::I32)) typeErr(s, "array index must be int");
+        Type vt = typeOf(s, *n.value);
+        if (!prog.assignable(at.elem(), vt)) {
+            typeErr(s, "array store: " + vt.str() + " not assignable to " + at.elem().str());
+        }
+        return;
+    }
+    case StmtKind::If: {
+        const auto& n = as<IfStmt>(st);
+        Type ct = typeOf(s, *n.cond);
+        if (!ct.isPrim(Prim::Bool)) typeErr(s, "if condition must be boolean, got " + ct.str());
+        s.push();
+        checkBlock(s, n.thenB);
+        s.pop();
+        s.push();
+        checkBlock(s, n.elseB);
+        s.pop();
+        return;
+    }
+    case StmtKind::While: {
+        const auto& n = as<WhileStmt>(st);
+        Type ct = typeOf(s, *n.cond);
+        if (!ct.isPrim(Prim::Bool)) typeErr(s, "while condition must be boolean");
+        s.push();
+        checkBlock(s, n.body);
+        s.pop();
+        return;
+    }
+    case StmtKind::For: {
+        const auto& n = as<ForStmt>(st);
+        s.push();
+        Type it = typeOf(s, *n.init);
+        if (!prog.assignable(n.varType, it)) {
+            typeErr(s, "for-init of '" + n.var + "' has type " + it.str());
+        }
+        s.declare(n.var, n.varType);
+        Type ct = typeOf(s, *n.cond);
+        if (!ct.isPrim(Prim::Bool)) typeErr(s, "for condition must be boolean");
+        Type stp = typeOf(s, *n.step);
+        if (!prog.assignable(n.varType, stp)) {
+            typeErr(s, "for-step of '" + n.var + "' has type " + stp.str());
+        }
+        s.push();
+        checkBlock(s, n.body);
+        s.pop();
+        s.pop();
+        return;
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(st);
+        const Type& rt = s.method().ret;
+        if (!n.value) {
+            if (!rt.isVoid()) typeErr(s, "return without value in non-void method");
+            return;
+        }
+        Type vt = typeOf(s, *n.value);
+        if (!prog.assignable(rt, vt)) {
+            typeErr(s, "return type " + vt.str() + " not assignable to " + rt.str());
+        }
+        return;
+    }
+    case StmtKind::ExprStmt:
+        typeOf(s, *as<ExprStmt>(st).e);
+        return;
+    case StmtKind::SuperCtor: {
+        const auto& n = as<SuperCtorStmt>(st);
+        if (!s.method().isCtor()) typeErr(s, "super(...) outside a constructor");
+        if (!s.thisClass() || s.thisClass()->superName.empty()) {
+            typeErr(s, "super(...) but class has no superclass");
+        }
+        const ClassDecl& sup = prog.require(s.thisClass()->superName);
+        if (sup.ctor) {
+            checkArgs(s, "super " + sup.name, sup.ctor->params, n.args);
+        } else if (!n.args.empty()) {
+            typeErr(s, sup.name + " has no explicit constructor");
+        }
+        return;
+    }
+    }
+    panic("unreachable stmt kind");
+}
+
+void checkBlock(TypeScope& s, const Block& b) {
+    for (const auto& st : b) checkStmt(s, *st);
+}
+
+} // namespace
+
+void checkMethodBody(const Program& prog, const ClassDecl& cls, const Method& m) {
+    if (m.isAbstract) return;
+    const ClassDecl* thisCls = m.isStatic ? nullptr : &cls;
+    TypeScope s(prog, thisCls, m);
+    checkBlock(s, m.body);
+}
+
+void checkProgramTypes(const Program& prog) {
+    for (const ClassDecl* c : prog.classes()) {
+        if (c->ctor) checkMethodBody(prog, *c, *c->ctor);
+        for (const auto& m : c->methods) checkMethodBody(prog, *c, *m);
+    }
+}
+
+} // namespace wj

@@ -1,0 +1,58 @@
+// Static type computation and checking for WJ IR.
+//
+// The rule verifier, the interpreter, and the JIT all need the static type
+// of expressions; this module provides a single implementation. Types are
+// strict (no implicit numeric widening — conversions must be explicit Cast
+// nodes), which mirrors how the paper's translator can rely on declared
+// types matching runtime representations exactly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace wj {
+
+/// Lexical scope for typing one method body.
+class TypeScope {
+public:
+    /// Scope for a method or constructor of `cls` (nullptr thisClass for
+    /// static methods). Parameters are entered as locals.
+    TypeScope(const Program& prog, const ClassDecl* thisClass, const Method& m);
+
+    const Program& prog() const noexcept { return *prog_; }
+    const ClassDecl* thisClass() const noexcept { return thisClass_; }
+    const Method& method() const noexcept { return *method_; }
+
+    /// Declares a local; throws UsageError on shadowing/duplicates.
+    void declare(const std::string& name, const Type& t);
+    /// Type of a local/param; throws UsageError if undeclared.
+    const Type& lookup(const std::string& name) const;
+    bool isDeclared(const std::string& name) const noexcept;
+    /// True if `name` is one of the method's parameters (rule 3 checks).
+    bool isParam(const std::string& name) const noexcept;
+
+    void push();
+    void pop();
+
+private:
+    const Program* prog_;
+    const ClassDecl* thisClass_;
+    const Method* method_;
+    std::vector<std::map<std::string, Type>> scopes_;
+};
+
+/// Computes the static type of `e` in `scope`; throws UsageError on any
+/// type error (unknown names, arity mismatch, non-assignable arguments...).
+Type typeOf(TypeScope& scope, const Expr& e);
+
+/// Type-checks one method body completely (statements + expressions,
+/// return-type agreement, definite declaration of locals).
+void checkMethodBody(const Program& prog, const ClassDecl& cls, const Method& m);
+
+/// Type-checks every method body of every class in the program.
+void checkProgramTypes(const Program& prog);
+
+} // namespace wj

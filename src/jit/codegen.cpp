@@ -1,0 +1,1053 @@
+#include "jit/codegen.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "jit/shape.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace wj {
+
+namespace {
+
+[[noreturn]] void xerr(const std::string& msg) {
+    throw UsageError("translation error: " + msg);
+}
+
+/// Formats a primitive literal exactly (hex floats keep bit-identity).
+std::string primLiteral(Prim p, int64_t i, double f) {
+    switch (p) {
+    case Prim::Bool: return i ? "1" : "0";
+    case Prim::I32: return format("%d", static_cast<int32_t>(i));
+    case Prim::I64: return format("INT64_C(%lld)", static_cast<long long>(i));
+    case Prim::F32: {
+        const float v = static_cast<float>(f);
+        if (std::isnan(v)) return "(0.0f/0.0f)";
+        if (std::isinf(v)) return v > 0 ? "(1.0f/0.0f)" : "(-1.0f/0.0f)";
+        return format("%af", static_cast<double>(v));
+    }
+    case Prim::F64:
+        if (std::isnan(f)) return "(0.0/0.0)";
+        if (std::isinf(f)) return f > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
+        return format("%a", f);
+    }
+    return "0";
+}
+
+std::string primLiteralOf(const Value& v) {
+    if (v.isBool()) return v.asBool() ? "1" : "0";
+    if (v.isI32()) return primLiteral(Prim::I32, v.asI32(), 0);
+    if (v.isI64()) return primLiteral(Prim::I64, v.asI64(), 0);
+    if (v.isF32()) return primLiteral(Prim::F32, 0, v.asF32());
+    if (v.isF64()) return primLiteral(Prim::F64, 0, v.asF64());
+    xerr("non-primitive literal");
+}
+
+/// Indented line collector for one C function body.
+class Emitter {
+public:
+    explicit Emitter(int indent = 1) : indent_(indent) {}
+    void line(const std::string& s) {
+        text_ += std::string(static_cast<size_t>(indent_) * 2, ' ') + s + "\n";
+    }
+    void open(const std::string& s) { line(s); ++indent_; }
+    void close(const std::string& s = "}") { --indent_; line(s); }
+    /// Prints at the enclosing level without changing depth ("} else {").
+    void mid(const std::string& s) {
+        --indent_;
+        line(s);
+        ++indent_;
+    }
+    /// Splices pre-formatted text produced by a sub-emitter started at this
+    /// emitter's current indent.
+    void splice(const Emitter& sub) { text_ += sub.text(); }
+    int indent() const noexcept { return indent_; }
+    const std::string& text() const noexcept { return text_; }
+
+private:
+    std::string text_;
+    int indent_ = 1;
+};
+
+class CodeGen {
+public:
+    explicit CodeGen(const Program& prog) : prog_(prog), shapes_(prog) {}
+
+    Translation run(const Value& receiver, const std::string& method,
+                    const std::vector<Value>& args);
+
+private:
+    // ---- value being generated: a C expression + exact shape.
+    struct CVal {
+        std::string text;      // object values: pointer expression
+        const Shape* shape = nullptr;
+        bool simple = false;   // safe to duplicate textually (no side effects)
+    };
+
+    /// One generated C function: a (class, method, shapes, device?) key.
+    struct Spec {
+        std::string fnName;
+        std::string thunkName;       // kernels only
+        const ClassDecl* owner = nullptr;
+        const Method* method = nullptr;
+        const Shape* recv = nullptr; // null for statics
+        std::vector<const Shape*> args;
+        bool device = false;
+        bool usesSync = false;       // kernel/device: reaches syncthreads
+        bool done = false;
+    };
+
+    struct Env {
+        std::map<std::string, CVal> vars;
+        CVal self;
+        bool hasThis = false;
+        bool device = false;
+        Spec* spec = nullptr;
+        Emitter* em = nullptr;
+    };
+
+    // ---- structs / types
+    const std::string& structFor(const Shape* s);
+    std::string cTypeVal(const Shape* s);   // value position (members, returns)
+    std::string cTypeParam(const Shape* s); // parameter position (objects by pointer)
+
+    // ---- specialization
+    Spec& specialize(const ClassDecl& owner, const Method& m, const Shape* recv,
+                     std::vector<const Shape*> argShapes, bool device);
+    void emitBody(Spec& spec);
+
+    // ---- expression / statement generation
+    CVal genExpr(Env& env, const Expr& e);
+    CVal genNew(Env& env, const NewExpr& n);
+    CVal genCall(Env& env, const CallExpr& n);
+    CVal genIntrinsic(Env& env, const IntrinsicExpr& n);
+    void genLaunch(Env& env, const CallExpr& n, const ClassDecl& owner, const Method& m,
+                   const CVal& recv);
+    void genStmts(Env& env, const Block& b);
+    void genStmt(Env& env, const Stmt& s);
+    void inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
+                    std::vector<CVal> argVals,
+                    std::map<std::string, const Shape*>& fieldShapes);
+    CVal materialize(Env& env, CVal v);
+    std::string freshTmp() { return format("t%d", tmpCount_++); }
+
+    // ---- statics
+    std::string staticRef(const std::string& cls, const std::string& field);
+
+    // ---- entry
+    void genEntry(const Value& receiver, const std::string& method,
+                  const std::vector<Value>& args);
+    void emitGraphInit(Emitter& em, const std::string& prefix, const Shape* shape,
+                       const Value& v);
+
+    const Program& prog_;
+    ShapeTable shapes_;
+
+    std::string structs_, protos_, fns_, entry_;
+    std::map<std::string, std::string> structNames_;
+    std::map<std::string, Spec> specs_;
+    std::set<std::string> staticsEmitted_;
+    std::string staticsSection_;
+    int structCount_ = 0;
+    int tmpCount_ = 0;
+    int fnCount_ = 0;
+    Translation out_;
+};
+
+// ------------------------------------------------------------ types/structs
+
+const std::string& CodeGen::structFor(const Shape* s) {
+    auto it = structNames_.find(s->key());
+    if (it != structNames_.end()) return it->second;
+    // Emit dependencies (nested object members) first.
+    for (const auto& [name, fs] : s->fields()) {
+        if (fs->isObject()) structFor(fs);
+    }
+    std::string name = format("S%d_%s", structCount_++, mangle(s->cls().name).c_str());
+    std::string def = "/* inlined object: " + s->key() + " */\n";
+    def += "typedef struct " + name + " {\n";
+    if (s->fields().empty()) {
+        def += "  int32_t wj_empty; /* C requires one member */\n";
+    }
+    for (const auto& [fname, fs] : s->fields()) {
+        def += "  " + cTypeVal(fs) + " f_" + fname + ";\n";
+    }
+    def += "} " + name + ";\n";
+    structs_ += def;
+    return structNames_.emplace(s->key(), std::move(name)).first->second;
+}
+
+std::string CodeGen::cTypeVal(const Shape* s) {
+    switch (s->kind()) {
+    case Shape::Kind::Prim: return primCName(s->prim());
+    case Shape::Kind::Array: return "wj_array*";
+    case Shape::Kind::Object: return structFor(s);
+    }
+    return "void";
+}
+
+std::string CodeGen::cTypeParam(const Shape* s) {
+    if (s->isObject()) return structFor(s) + "*";
+    return cTypeVal(s);
+}
+
+// ------------------------------------------------------------ specialization
+
+CodeGen::Spec& CodeGen::specialize(const ClassDecl& owner, const Method& m, const Shape* recv,
+                                   std::vector<const Shape*> argShapes, bool device) {
+    std::string key = owner.name + "." + m.name + "|" + (recv ? recv->key() : "static") + "|";
+    for (const Shape* a : argShapes) key += a->key() + ",";
+    key += device ? "D" : "H";
+
+    auto it = specs_.find(key);
+    if (it != specs_.end()) {
+        if (!it->second.done) {
+            // Rule 6 forbids recursion, and requireCodingRules runs before
+            // translation, so this is an internal inconsistency.
+            xerr("recursive specialization of " + owner.name + "." + m.name);
+        }
+        return it->second;
+    }
+    Spec& spec = specs_[key];
+    spec.fnName = format("wj_f%d_%s_%s", fnCount_++, mangle(owner.name).c_str(),
+                         mangle(m.name).c_str());
+    spec.owner = &owner;
+    spec.method = &m;
+    spec.recv = recv;
+    spec.args = std::move(argShapes);
+    spec.device = device || m.isGlobal;
+    emitBody(spec);
+    spec.done = true;
+    ++out_.specializations;
+    return spec;
+}
+
+void CodeGen::emitBody(Spec& spec) {
+    const Method& m = *spec.method;
+    // @Global: the CudaConfig parameter disappears; the kernel gets the
+    // thread context instead (Listing 4 -> Listing 5 in the paper).
+    size_t firstParam = m.isGlobal ? 1 : 0;
+    if (m.isGlobal && spec.args.size() != m.params.size() - 1) {
+        xerr("kernel argument shape count mismatch for " + m.name);
+    }
+    if (!m.isGlobal && spec.args.size() != m.params.size()) {
+        xerr("argument shape count mismatch for " + m.name);
+    }
+
+    const Shape* retShape = m.ret.isVoid() ? nullptr : shapes_.ofType(m.ret);
+    std::string sig = (retShape ? cTypeVal(retShape) : std::string("void")) + " " + spec.fnName + "(";
+    std::vector<std::string> ps;
+    if (spec.device) ps.push_back("wjrt_gpu_tctx* __wjt");
+    if (spec.recv) ps.push_back(structFor(spec.recv) + "* self");
+    for (size_t i = firstParam; i < m.params.size(); ++i) {
+        const Shape* as = spec.args[i - firstParam];
+        ps.push_back(cTypeParam(as) + " v_" + m.params[i].name);
+    }
+    if (ps.empty()) ps.push_back("void");
+    sig += join(ps, ", ") + ")";
+
+    protos_ += "static " + sig + ";\n";
+
+    Emitter em;
+    Env env;
+    env.em = &em;
+    env.spec = &spec;
+    env.device = spec.device;
+    if (spec.recv) {
+        env.hasThis = true;
+        env.self = {"self", spec.recv, true};
+    }
+    for (size_t i = firstParam; i < m.params.size(); ++i) {
+        env.vars["@p:" + m.params[i].name] = {};  // marker: reserved
+        env.vars[m.params[i].name] = {"v_" + m.params[i].name, spec.args[i - firstParam], true};
+    }
+    genStmts(env, m.body);
+
+    fns_ += "static " + sig + " {\n" + em.text();
+    if (m.ret.isVoid()) {
+        fns_ += "}\n\n";
+    } else {
+        // Unreachable fallthrough guard (WJ requires a return on all paths;
+        // the C compiler cannot always prove it).
+        fns_ += "  wjrt_trap(\"missing return in " + m.name + "\");\n";
+        const Shape* rs = shapes_.ofType(m.ret);
+        if (rs->isObject()) {
+            fns_ += "  { " + structFor(rs) + " z; memset(&z, 0, sizeof z); return z; }\n";
+        } else if (rs->isArray()) {
+            fns_ += "  return 0;\n";
+        } else {
+            fns_ += "  return 0;\n";
+        }
+        fns_ += "}\n\n";
+    }
+}
+
+// ------------------------------------------------------------------- stmts
+
+void CodeGen::genStmts(Env& env, const Block& b) {
+    for (const auto& st : b) genStmt(env, *st);
+}
+
+void CodeGen::genStmt(Env& env, const Stmt& s) {
+    Emitter& em = *env.em;
+    switch (s.kind) {
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(s);
+        CVal v = genExpr(env, *n.init);
+        const Shape* declShape = shapes_.ofType(n.type);  // strict-final (rule 2)
+        if (declShape->isObject()) {
+            if (v.shape != declShape) {
+                xerr("object local '" + n.name + "' initialized with shape " + v.shape->key() +
+                     " != declared " + declShape->key());
+            }
+            em.line(structFor(declShape) + "* v_" + n.name + " = " + v.text + ";");
+        } else {
+            em.line(cTypeVal(declShape) + " v_" + n.name + " = " + v.text + ";");
+        }
+        env.vars[n.name] = {"v_" + n.name, declShape, true};
+        return;
+    }
+    case StmtKind::AssignLocal: {
+        const auto& n = as<AssignLocalStmt>(s);
+        auto it = env.vars.find(n.name);
+        if (it == env.vars.end()) xerr("undeclared local " + n.name);
+        CVal v = genExpr(env, *n.value);
+        em.line(it->second.text + " = " + v.text + ";");
+        return;
+    }
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(s);
+        CVal obj = genExpr(env, *n.obj);
+        const Field* declF = prog_.resolveField(obj.shape->cls().name, n.field);
+        if (declF && declF->isShared) {
+            xerr("@Shared field ." + n.field + " cannot be reassigned (it names the block's "
+                 "shared memory, not an object slot)");
+        }
+        const Shape* fs = obj.shape->field(n.field);
+        CVal v = genExpr(env, *n.value);
+        if (fs->isObject()) {
+            em.line(obj.text + "->f_" + n.field + " = *" + v.text + ";");
+        } else {
+            em.line(obj.text + "->f_" + n.field + " = " + v.text + ";");
+        }
+        return;
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(s);
+        CVal a = genExpr(env, *n.arr);
+        CVal i = genExpr(env, *n.idx);
+        CVal v = genExpr(env, *n.value);
+        const Type& elem = a.shape->arrayElem();
+        if (elem.isClass()) {
+            const Shape* es = shapes_.ofType(elem);
+            em.line("((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + i.text +
+                    "] = *" + v.text + ";");
+        } else {
+            em.line("((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text +
+                    "))[" + i.text + "] = " + v.text + ";");
+        }
+        return;
+    }
+    case StmtKind::If: {
+        const auto& n = as<IfStmt>(s);
+        CVal c = genExpr(env, *n.cond);
+        auto saved = env.vars;
+        em.open("if (" + c.text + ") {");
+        genStmts(env, n.thenB);
+        env.vars = saved;
+        if (!n.elseB.empty()) {
+            em.mid("} else {");
+            genStmts(env, n.elseB);
+            env.vars = saved;
+        }
+        em.close();
+        return;
+    }
+    case StmtKind::While: {
+        const auto& n = as<WhileStmt>(s);
+        CVal c = genExpr(env, *n.cond);
+        auto saved = env.vars;
+        em.open("while (" + c.text + ") {");
+        genStmts(env, n.body);
+        env.vars = saved;
+        em.close();
+        return;
+    }
+    case StmtKind::For: {
+        const auto& n = as<ForStmt>(s);
+        auto saved = env.vars;
+        CVal init = genExpr(env, *n.init);
+        const Shape* vs = shapes_.ofType(n.varType);
+        if (vs->isObject()) xerr("object-typed loop variables are not supported");
+        env.vars[n.var] = {"v_" + n.var, vs, true};
+        CVal cond = genExpr(env, *n.cond);
+        CVal step = genExpr(env, *n.step);
+        em.open("for (" + cTypeVal(vs) + " v_" + n.var + " = " + init.text + "; " + cond.text +
+                "; v_" + n.var + " = " + step.text + ") {");
+        genStmts(env, n.body);
+        env.vars = saved;
+        em.close();
+        return;
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(s);
+        if (!n.value) {
+            em.line("return;");
+            return;
+        }
+        CVal v = genExpr(env, *n.value);
+        if (v.shape->isObject()) {
+            em.line("return *" + v.text + ";");
+        } else {
+            em.line("return " + v.text + ";");
+        }
+        return;
+    }
+    case StmtKind::ExprStmt: {
+        CVal v = genExpr(env, *as<ExprStmt>(s).e);
+        if (!v.text.empty()) em.line("(void)(" + v.text + ");");
+        return;
+    }
+    case StmtKind::SuperCtor:
+        xerr("super(...) outside constructor inlining");
+    }
+}
+
+// -------------------------------------------------------------------- exprs
+
+CodeGen::CVal CodeGen::materialize(Env& env, CVal v) {
+    if (v.simple) return v;
+    std::string tmp = freshTmp();
+    if (v.shape->isObject()) {
+        env.em->line(structFor(v.shape) + "* " + tmp + " = " + v.text + ";");
+    } else {
+        env.em->line(cTypeVal(v.shape) + " " + tmp + " = " + v.text + ";");
+    }
+    return {tmp, v.shape, true};
+}
+
+CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Const: {
+        const auto& n = as<ConstExpr>(e);
+        return {primLiteral(n.type.prim(), n.i, n.f), shapes_.ofPrim(n.type.prim()), true};
+    }
+    case ExprKind::Local: {
+        const auto& n = as<LocalExpr>(e);
+        auto it = env.vars.find(n.name);
+        if (it == env.vars.end()) xerr("undeclared local " + n.name);
+        return it->second;
+    }
+    case ExprKind::This:
+        if (!env.hasThis) xerr("'this' in static context");
+        return env.self;
+    case ExprKind::FieldGet: {
+        const auto& n = as<FieldGetExpr>(e);
+        CVal obj = genExpr(env, *n.obj);
+        const Shape* fs = obj.shape->field(n.field);
+        // @Shared fields (paper 3.3, "Other issues"): inside device code the
+        // field IS the block's __shared__ buffer; it has no per-object
+        // storage and cannot be touched from host code.
+        const Field* decl = prog_.resolveField(obj.shape->cls().name, n.field);
+        if (decl && decl->isShared) {
+            if (!env.device) xerr("@Shared field ." + n.field + " accessed outside device code");
+            return {"wjrt_gpu_shared_f32(__wjt)", shapes_.ofArray(decl->type.elem()), false};
+        }
+        if (fs->isObject()) {
+            return {"(&" + obj.text + "->f_" + n.field + ")", fs, obj.simple};
+        }
+        return {obj.text + "->f_" + n.field, fs, obj.simple};
+    }
+    case ExprKind::StaticGet: {
+        const auto& n = as<StaticGetExpr>(e);
+        const StaticField* sf = prog_.resolveStatic(n.cls, n.field);
+        if (!sf) xerr(n.cls + " has no static field " + n.field);
+        return {staticRef(n.cls, n.field), shapes_.ofType(sf->type), true};
+    }
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        CVal a = genExpr(env, *n.arr);
+        CVal i = genExpr(env, *n.idx);
+        const Type& elem = a.shape->arrayElem();
+        if (elem.isClass()) {
+            const Shape* es = shapes_.ofType(elem);
+            return {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + i.text + "])",
+                    es, false};
+        }
+        return {"((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text + "))[" +
+                    i.text + "]",
+                shapes_.ofType(elem), false};
+    }
+    case ExprKind::ArrayLen: {
+        CVal a = genExpr(env, *as<ArrayLenExpr>(e).arr);
+        return {"((int32_t)(" + a.text + ")->len)", shapes_.ofPrim(Prim::I32), a.simple};
+    }
+    case ExprKind::Unary: {
+        const auto& n = as<UnaryExpr>(e);
+        CVal v = genExpr(env, *n.e);
+        if (n.op == UnOp::Not) return {"(!" + v.text + ")", shapes_.ofPrim(Prim::Bool), v.simple};
+        // Space before '-': the operand may itself start with '-' (negative
+        // literal), and "--x" is a decrement in C.
+        return {"(- " + v.text + ")", v.shape, v.simple};
+    }
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        CVal l = genExpr(env, *n.l);
+        CVal r = genExpr(env, *n.r);
+        const bool simple = l.simple && r.simple;
+        const Shape* boolShape = shapes_.ofPrim(Prim::Bool);
+        if (isComparison(n.op) || isLogical(n.op)) {
+            return {"(" + l.text + " " + binOpName(n.op) + " " + r.text + ")", boolShape, simple};
+        }
+        if (n.op == BinOp::Rem && l.shape->isPrim() &&
+            (l.shape->prim() == Prim::F32 || l.shape->prim() == Prim::F64)) {
+            const char* fn = l.shape->prim() == Prim::F32 ? "fmodf" : "fmod";
+            return {std::string(fn) + "(" + l.text + ", " + r.text + ")", l.shape, simple};
+        }
+        if (n.op == BinOp::Shl || n.op == BinOp::Shr) {
+            // Java masks the shift count by the operand width.
+            const char* mask = l.shape->prim() == Prim::I64 ? "63" : "31";
+            return {"(" + l.text + " " + binOpName(n.op) + " (" + r.text + " & " + mask + "))",
+                    l.shape, simple};
+        }
+        return {"(" + l.text + " " + binOpName(n.op) + " " + r.text + ")", l.shape, simple};
+    }
+    case ExprKind::Cond:
+        xerr("conditional operator in translated code (coding rule 7)");
+    case ExprKind::Call:
+        return genCall(env, as<CallExpr>(e));
+    case ExprKind::StaticCall: {
+        const auto& n = as<StaticCallExpr>(e);
+        const ClassDecl* owner = prog_.methodOwner(n.cls, n.method);
+        const Method* m = owner ? owner->ownMethod(n.method) : nullptr;
+        if (!m || !m->isStatic) xerr(n.cls + " has no static method " + n.method);
+        std::vector<CVal> argVals;
+        std::vector<const Shape*> argShapes;
+        for (const auto& a : n.args) {
+            CVal v = genExpr(env, *a);
+            argShapes.push_back(v.shape);
+            argVals.push_back(std::move(v));
+        }
+        Spec& spec = specialize(*owner, *m, nullptr, argShapes, env.device);
+        if (env.spec && spec.usesSync) env.spec->usesSync = true;
+        std::vector<std::string> texts;
+        if (spec.device) texts.push_back("__wjt");
+        for (const auto& v : argVals) texts.push_back(v.text);
+        std::string callText = spec.fnName + "(" + join(texts, ", ") + ")";
+        if (m->ret.isVoid()) {
+            env.em->line(callText + ";");
+            return {"", nullptr, true};
+        }
+        const Shape* rs = shapes_.ofType(m->ret);
+        if (rs->isObject()) {
+            std::string tmp = freshTmp();
+            env.em->line(structFor(rs) + " " + tmp + " = " + callText + ";");
+            return {"(&" + tmp + ")", rs, true};
+        }
+        return {callText, rs, false};
+    }
+    case ExprKind::New:
+        return genNew(env, as<NewExpr>(e));
+    case ExprKind::NewArray: {
+        const auto& n = as<NewArrayExpr>(e);
+        CVal len = genExpr(env, *n.len);
+        std::string elemSize;
+        if (n.elem.isClass()) {
+            elemSize = "(int32_t)sizeof(" + structFor(shapes_.ofType(n.elem)) + ")";
+        } else {
+            elemSize = format("%d", primSize(n.elem.prim()));
+        }
+        return {"wjrt_alloc_array((int64_t)(" + len.text + "), " + elemSize + ")",
+                shapes_.ofArray(n.elem), false};
+    }
+    case ExprKind::Cast: {
+        const auto& n = as<CastExpr>(e);
+        CVal v = genExpr(env, *n.e);
+        if (n.type.isClass()) {
+            // Shapes are exact: a cast either trivially succeeds or would
+            // always throw; reject the latter at translation time.
+            if (!prog_.isSubtypeOf(v.shape->cls().name, n.type.className())) {
+                xerr("cast of " + v.shape->cls().name + " to unrelated " + n.type.className());
+            }
+            return v;
+        }
+        if (!n.type.isPrim()) return v;
+        return {"((" + std::string(primCName(n.type.prim())) + ")" + v.text + ")",
+                shapes_.ofPrim(n.type.prim()), v.simple};
+    }
+    case ExprKind::IntrinsicCall:
+        return genIntrinsic(env, as<IntrinsicExpr>(e));
+    }
+    xerr("unreachable expr kind");
+}
+
+CodeGen::CVal CodeGen::genCall(Env& env, const CallExpr& n) {
+    CVal recv = genExpr(env, *n.recv);
+    if (!recv.shape->isObject()) xerr("call on non-object value");
+    const ClassDecl& exact = recv.shape->cls();
+    const ClassDecl* owner = prog_.methodOwner(exact.name, n.method);
+    const Method* m = owner ? owner->ownMethod(n.method) : nullptr;
+    if (!m || m->isAbstract) xerr(exact.name + " has no concrete method " + n.method);
+
+    if (m->isGlobal) {
+        recv = materialize(env, recv);
+        genLaunch(env, n, *owner, *m, recv);
+        return {"", nullptr, true};
+    }
+
+    std::vector<CVal> argVals;
+    std::vector<const Shape*> argShapes;
+    for (const auto& a : n.args) {
+        CVal v = genExpr(env, *a);
+        argShapes.push_back(v.shape);
+        argVals.push_back(std::move(v));
+    }
+    Spec& spec = specialize(*owner, *m, recv.shape, argShapes, env.device);
+    if (env.spec && spec.usesSync) env.spec->usesSync = true;
+    ++out_.devirtualizedCalls;
+
+    std::vector<std::string> texts;
+    if (spec.device) texts.push_back("__wjt");
+    texts.push_back(recv.text);
+    for (const auto& v : argVals) texts.push_back(v.text);
+    std::string callText = spec.fnName + "(" + join(texts, ", ") + ")";
+    if (m->ret.isVoid()) {
+        env.em->line(callText + ";");
+        return {"", nullptr, true};
+    }
+    const Shape* rs = shapes_.ofType(m->ret);
+    if (rs->isObject()) {
+        std::string tmp = freshTmp();
+        env.em->line(structFor(rs) + " " + tmp + " = " + callText + ";");
+        return {"(&" + tmp + ")", rs, true};
+    }
+    return {callText, rs, false};
+}
+
+void CodeGen::genLaunch(Env& env, const CallExpr& n, const ClassDecl& owner, const Method& m,
+                        const CVal& recv) {
+    if (env.device) xerr("kernel launch from device code");
+    if (n.args.empty()) xerr("@Global call without CudaConfig argument");
+    CVal cfg = materialize(env, genExpr(env, *n.args[0]));
+    if (!cfg.shape->isObject() || cfg.shape->cls().name != Program::cudaConfigClass()) {
+        xerr("@Global first argument must be a CudaConfig");
+    }
+
+    // Evaluate kernel arguments (everything after the config).
+    std::vector<CVal> argVals;
+    std::vector<const Shape*> argShapes;
+    for (size_t i = 1; i < n.args.size(); ++i) {
+        CVal v = genExpr(env, *n.args[i]);
+        argShapes.push_back(v.shape);
+        argVals.push_back(std::move(v));
+    }
+
+    Spec& kspec = specialize(owner, m, recv.shape, argShapes, /*device=*/true);
+    ++out_.kernels;
+    ++out_.devirtualizedCalls;
+
+    // Packed-argument struct + thunk, once per kernel specialization.
+    if (kspec.thunkName.empty()) {
+        kspec.thunkName = "KT_" + kspec.fnName;
+        std::string ka = "KA_" + kspec.fnName;
+        std::string def = "typedef struct " + ka + " {\n";
+        def += "  " + structFor(kspec.recv) + " self; /* deep-copied receiver */\n";
+        for (size_t i = 0; i < kspec.args.size(); ++i) {
+            def += "  " + cTypeVal(kspec.args[i]) + " a" + std::to_string(i) + ";\n";
+        }
+        def += "} " + ka + ";\n";
+        structs_ += def;
+
+        protos_ += "static void " + kspec.thunkName + "(wjrt_gpu_tctx* t, void* p);\n";
+        std::string th = "static void " + kspec.thunkName + "(wjrt_gpu_tctx* t, void* p) {\n";
+        th += "  " + ka + "* a = (" + ka + "*)p;\n";
+        std::vector<std::string> texts{"t", "(&a->self)"};
+        for (size_t i = 0; i < kspec.args.size(); ++i) {
+            if (kspec.args[i]->isObject()) {
+                texts.push_back("(&a->a" + std::to_string(i) + ")");
+            } else {
+                texts.push_back("a->a" + std::to_string(i));
+            }
+        }
+        th += "  " + kspec.fnName + "(" + join(texts, ", ") + ");\n}\n\n";
+        fns_ += th;
+    }
+
+    // Launch site: pack (deep copies of object arguments) and go.
+    Emitter& em = *env.em;
+    std::string ka = "KA_" + kspec.fnName;
+    std::string pk = freshTmp();
+    em.open("{");
+    em.line(ka + " " + pk + ";");
+    em.line(pk + ".self = *" + recv.text + ";");
+    for (size_t i = 0; i < argVals.size(); ++i) {
+        if (kspec.args[i]->isObject()) {
+            em.line(pk + ".a" + std::to_string(i) + " = *" + argVals[i].text + ";");
+        } else {
+            em.line(pk + ".a" + std::to_string(i) + " = " + argVals[i].text + ";");
+        }
+    }
+    em.line("wjrt_gpu_launch(" + kspec.thunkName + ", &" + pk + ", " + cfg.text +
+            "->f_grid.f_x, " + cfg.text + "->f_grid.f_y, " + cfg.text + "->f_grid.f_z, " +
+            cfg.text + "->f_block.f_x, " + cfg.text + "->f_block.f_y, " + cfg.text +
+            "->f_block.f_z, (int64_t)" + cfg.text + "->f_sharedBytes, " +
+            (kspec.usesSync ? "1" : "0") + ");");
+    em.close();
+}
+
+CodeGen::CVal CodeGen::genNew(Env& env, const NewExpr& n) {
+    const ClassDecl& cls = prog_.require(n.cls);
+    std::vector<CVal> argVals;
+    argVals.reserve(n.args.size());
+    for (const auto& a : n.args) {
+        // Constructor parameters may be referenced several times in the
+        // inlined body; pin each argument to a single evaluation.
+        argVals.push_back(materialize(env, genExpr(env, *a)));
+    }
+
+    std::string var = freshTmp();
+    // Collect init lines into a sub-emitter so the struct declaration (whose
+    // type name depends on the field shapes the ctor produces) can precede
+    // them in the output.
+    Emitter sub(env.em->indent());
+    Env subEnv = env;
+    subEnv.em = &sub;
+    std::map<std::string, const Shape*> fieldShapes;
+    inlineCtor(subEnv, var, cls, std::move(argVals), fieldShapes);
+
+    // Assemble the shape: ctor-assigned fields take their assigned shape,
+    // untouched fields default to their declared (strict-final) type shape.
+    std::vector<std::pair<std::string, const Shape*>> fields;
+    for (const Field* f : prog_.allFields(cls.name)) {
+        auto it = fieldShapes.find(f->name);
+        fields.emplace_back(f->name, it != fieldShapes.end() ? it->second
+                                                             : shapes_.ofType(f->type));
+    }
+    const Shape* shape = shapes_.ofObject(cls, std::move(fields));
+    ++out_.inlinedObjects;
+
+    env.em->line(structFor(shape) + " " + var + "_s;");
+    env.em->line("memset(&" + var + "_s, 0, sizeof " + var + "_s);");
+    env.em->line(structFor(shape) + "* " + var + " = &" + var + "_s;");
+    env.em->splice(sub);  // replay the collected constructor body
+    return {var, shape, true};
+}
+
+void CodeGen::inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
+                         std::vector<CVal> argVals,
+                         std::map<std::string, const Shape*>& fieldShapes) {
+    const ClassDecl* super = cls.superName.empty() ? nullptr : &prog_.require(cls.superName);
+    if (!cls.ctor) {
+        if (!argVals.empty()) xerr(cls.name + ": implicit constructor takes no arguments");
+        if (super) inlineCtor(env, var, *super, {}, fieldShapes);
+        return;
+    }
+    if (argVals.size() != cls.ctor->params.size()) {
+        xerr(cls.name + ".<init>: argument count mismatch");
+    }
+
+    Env ctorEnv = env;
+    ctorEnv.vars.clear();
+    ctorEnv.hasThis = false;  // rules: `this` unavailable in ctor expressions
+    for (size_t i = 0; i < argVals.size(); ++i) {
+        ctorEnv.vars[cls.ctor->params[i].name] = argVals[i];
+    }
+
+    bool explicitSuper =
+        !cls.ctor->body.empty() && cls.ctor->body[0]->kind == StmtKind::SuperCtor;
+    if (super && !explicitSuper) inlineCtor(env, var, *super, {}, fieldShapes);
+
+    for (const auto& st : cls.ctor->body) {
+        switch (st->kind) {
+        case StmtKind::SuperCtor: {
+            const auto& sc = as<SuperCtorStmt>(*st);
+            if (!super) xerr(cls.name + ": super(...) without superclass");
+            std::vector<CVal> superArgs;
+            for (const auto& a : sc.args) {
+                superArgs.push_back(materialize(ctorEnv, genExpr(ctorEnv, *a)));
+            }
+            inlineCtor(env, var, *super, std::move(superArgs), fieldShapes);
+            break;
+        }
+        case StmtKind::FieldSet: {
+            const auto& n = as<FieldSetStmt>(*st);
+            if (n.obj->kind != ExprKind::This) xerr(cls.name + ": ctor stores to foreign object");
+            CVal v = genExpr(ctorEnv, *n.value);
+            if (v.shape->isObject()) {
+                ctorEnv.em->line(var + "_s.f_" + n.field + " = *" + v.text + ";");
+            } else {
+                ctorEnv.em->line(var + "_s.f_" + n.field + " = " + v.text + ";");
+            }
+            fieldShapes[n.field] = v.shape;
+            break;
+        }
+        case StmtKind::Decl: {
+            const auto& n = as<DeclStmt>(*st);
+            CVal v = materialize(ctorEnv, genExpr(ctorEnv, *n.init));
+            ctorEnv.vars[n.name] = v;
+            break;
+        }
+        case StmtKind::Return:
+            break;  // bare `return;` permitted
+        default:
+            xerr(cls.name + ": constructor statement violates the coding rules");
+        }
+    }
+}
+
+std::string CodeGen::staticRef(const std::string& cls, const std::string& field) {
+    std::string name = "SC_" + mangle(cls) + "_" + mangle(field);
+    if (staticsEmitted_.insert(name).second) {
+        const StaticField* sf = prog_.resolveStatic(cls, field);
+        // "A static field is translated into a set of global variables ...
+        // initialized by copying the values of the static field" (paper).
+        staticsSection_ += "static const " + std::string(primCName(sf->type.prim())) + " " +
+                           name + " = " + primLiteral(sf->type.prim(), sf->i, sf->f) + ";\n";
+    }
+    return name;
+}
+
+CodeGen::CVal CodeGen::genIntrinsic(Env& env, const IntrinsicExpr& n) {
+    const IntrinsicSig& sig = intrinsicSig(n.op);
+    if (sig.deviceOnly && !env.device) {
+        xerr(std::string(sig.name) + " outside @Global/device code");
+    }
+    if (sig.hostOnly && env.device) {
+        xerr(std::string(sig.name) + " inside @Global/device code");
+    }
+    std::vector<CVal> a;
+    a.reserve(n.args.size());
+    for (const auto& arg : n.args) a.push_back(genExpr(env, *arg));
+    auto t = [&](size_t i) { return a[i].text; };
+    auto i32 = [&](std::string s) { return CVal{std::move(s), shapes_.ofPrim(Prim::I32), false}; };
+    auto f64 = [&](std::string s) { return CVal{std::move(s), shapes_.ofPrim(Prim::F64), false}; };
+    auto f32 = [&](std::string s) { return CVal{std::move(s), shapes_.ofPrim(Prim::F32), false}; };
+    auto voidCall = [&](std::string s) {
+        env.em->line(s + ";");
+        return CVal{"", nullptr, true};
+    };
+    auto farr = [&](std::string s) {
+        return CVal{std::move(s), shapes_.ofArray(Type::f32()), false};
+    };
+
+    switch (n.op) {
+    case Intrinsic::MpiRank: return i32("wjrt_mpi_rank()");
+    case Intrinsic::MpiSize: return i32("wjrt_mpi_size()");
+    case Intrinsic::MpiBarrier: return voidCall("wjrt_mpi_barrier()");
+    case Intrinsic::MpiSendF32:
+        return voidCall("wjrt_mpi_send_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                        ", " + t(4) + ")");
+    case Intrinsic::MpiRecvF32:
+        return voidCall("wjrt_mpi_recv_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                        ", " + t(4) + ")");
+    case Intrinsic::MpiSendRecvF32:
+        return voidCall("wjrt_mpi_sendrecv_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                        ", " + t(4) + ", " + t(5) + ", " + t(6) + ", " + t(7) + ")");
+    case Intrinsic::MpiBcastF32:
+        return voidCall("wjrt_mpi_bcast_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                        ")");
+    case Intrinsic::MpiAllreduceSumF64: return f64("wjrt_mpi_allreduce_sum_f64(" + t(0) + ")");
+    case Intrinsic::MpiAllreduceMaxF64: return f64("wjrt_mpi_allreduce_max_f64(" + t(0) + ")");
+    case Intrinsic::MpiIrecvF32:
+        return i32("wjrt_mpi_irecv_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                   ", " + t(4) + ")");
+    case Intrinsic::MpiWait: return voidCall("wjrt_mpi_wait(" + t(0) + ")");
+
+    case Intrinsic::CudaThreadIdxX: return i32("wjrt_gpu_tidx_x(__wjt)");
+    case Intrinsic::CudaThreadIdxY: return i32("wjrt_gpu_tidx_y(__wjt)");
+    case Intrinsic::CudaThreadIdxZ: return i32("wjrt_gpu_tidx_z(__wjt)");
+    case Intrinsic::CudaBlockIdxX: return i32("wjrt_gpu_bidx_x(__wjt)");
+    case Intrinsic::CudaBlockIdxY: return i32("wjrt_gpu_bidx_y(__wjt)");
+    case Intrinsic::CudaBlockIdxZ: return i32("wjrt_gpu_bidx_z(__wjt)");
+    case Intrinsic::CudaBlockDimX: return i32("wjrt_gpu_bdim_x(__wjt)");
+    case Intrinsic::CudaBlockDimY: return i32("wjrt_gpu_bdim_y(__wjt)");
+    case Intrinsic::CudaBlockDimZ: return i32("wjrt_gpu_bdim_z(__wjt)");
+    case Intrinsic::CudaGridDimX: return i32("wjrt_gpu_gdim_x(__wjt)");
+    case Intrinsic::CudaGridDimY: return i32("wjrt_gpu_gdim_y(__wjt)");
+    case Intrinsic::CudaGridDimZ: return i32("wjrt_gpu_gdim_z(__wjt)");
+    case Intrinsic::CudaSyncThreads:
+        if (env.spec) env.spec->usesSync = true;
+        return voidCall("wjrt_gpu_sync(__wjt)");
+    case Intrinsic::CudaSharedF32: return farr("wjrt_gpu_shared_f32(__wjt)");
+
+    case Intrinsic::GpuMallocF32: return farr("wjrt_gpu_alloc_f32(" + t(0) + ")");
+    case Intrinsic::GpuFree: return voidCall("wjrt_gpu_free(" + t(0) + ")");
+    case Intrinsic::GpuMemcpyH2DF32:
+        return voidCall("wjrt_gpu_memcpy_h2d_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ")");
+    case Intrinsic::GpuMemcpyD2HF32:
+        return voidCall("wjrt_gpu_memcpy_d2h_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ")");
+    case Intrinsic::GpuMemcpyH2DOffF32:
+        return voidCall("wjrt_gpu_memcpy_h2d_off_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " +
+                        t(3) + ", " + t(4) + ")");
+    case Intrinsic::GpuMemcpyD2HOffF32:
+        return voidCall("wjrt_gpu_memcpy_d2h_off_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " +
+                        t(3) + ", " + t(4) + ")");
+
+    case Intrinsic::MathSqrtF64: return f64("sqrt(" + t(0) + ")");
+    case Intrinsic::MathFabsF64: return f64("fabs(" + t(0) + ")");
+    case Intrinsic::MathExpF64: return f64("exp(" + t(0) + ")");
+    case Intrinsic::MathSqrtF32: return f32("sqrtf(" + t(0) + ")");
+
+    case Intrinsic::RngHashF32: return f32("wj_rng_hash_f32(" + t(0) + ", " + t(1) + ")");
+    case Intrinsic::FreeArray: return voidCall("wjrt_free_array(" + t(0) + ")");
+    case Intrinsic::PrintI64: return voidCall("wjrt_print_i64(" + t(0) + ")");
+    case Intrinsic::PrintF64: return voidCall("wjrt_print_f64(" + t(0) + ")");
+    }
+    xerr("unhandled intrinsic");
+}
+
+// -------------------------------------------------------------------- entry
+
+void CodeGen::emitGraphInit(Emitter& em, const std::string& prefix, const Shape* shape,
+                            const Value& v) {
+    // Depth-first over fields; the invoke() marshaller walks the receiver
+    // Value in the same order to fill the arrays table.
+    for (const auto& [name, fs] : shape->fields()) {
+        const Value& fv = v.asObj()->fields.at(name);
+        const std::string member = prefix + ".f_" + name;
+        switch (fs->kind()) {
+        case Shape::Kind::Prim:
+            em.line(member + " = " + primLiteralOf(fv) + ";");
+            break;
+        case Shape::Kind::Array:
+            if (fv.asArr()) {
+                em.line(member + " = arrs[" + std::to_string(out_.plan.arraySlots++) + "];");
+            } else {
+                em.line(member + " = 0; /* null at jit time */");
+            }
+            break;
+        case Shape::Kind::Object:
+            emitGraphInit(em, member, fs, fv);
+            break;
+        }
+    }
+}
+
+void CodeGen::genEntry(const Value& receiver, const std::string& method,
+                       const std::vector<Value>& args) {
+    const Shape* recvShape = shapes_.ofValue(receiver);
+    if (!recvShape->isObject()) xerr("jit receiver must be an object");
+    const ClassDecl& exact = recvShape->cls();
+    if (!exact.wootinj) {
+        xerr(exact.name + " is not annotated @WootinJ and cannot be translated");
+    }
+    const ClassDecl* owner = prog_.methodOwner(exact.name, method);
+    const Method* m = owner ? owner->ownMethod(method) : nullptr;
+    if (!m || m->isAbstract) xerr(exact.name + " has no concrete method " + method);
+    if (m->isGlobal) xerr("the jit entry method cannot be @Global");
+    if (args.size() != m->params.size()) {
+        xerr(method + ": expected " + std::to_string(m->params.size()) + " arguments, got " +
+             std::to_string(args.size()));
+    }
+    if (!m->ret.isVoid() && !m->ret.isPrim()) {
+        xerr("entry method must return void or a primitive (got " + m->ret.str() + ")");
+    }
+    out_.plan.ret = m->ret;
+
+    Emitter em;
+    const std::string recvStruct = structFor(recvShape);
+    em.line(recvStruct + " self_s;");
+    em.line("memset(&self_s, 0, sizeof self_s);");
+    emitGraphInit(em, "self_s", recvShape, receiver);
+
+    // Explicit arguments: primitives from the prims[] table (bit-cast), and
+    // arrays from the tail of the arrays table. Object arguments are
+    // reconstructed from their jit-time snapshot like the receiver.
+    std::vector<const Shape*> argShapes;
+    std::vector<std::string> argTexts;
+    int primIdx = 0;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const Value& av = args[i];
+        const Shape* as = shapes_.ofValue(av);
+        argShapes.push_back(as);
+        switch (as->kind()) {
+        case Shape::Kind::Prim: {
+            out_.plan.primSlots.push_back(as->prim());
+            std::string slot = "prims[" + std::to_string(primIdx++) + "]";
+            switch (as->prim()) {
+            case Prim::Bool: argTexts.push_back("((int32_t)(" + slot + " != 0))"); break;
+            case Prim::I32: argTexts.push_back("((int32_t)" + slot + ")"); break;
+            case Prim::I64: argTexts.push_back(slot); break;
+            case Prim::F32: argTexts.push_back("wj_prim_f32(" + slot + ")"); break;
+            case Prim::F64: argTexts.push_back("wj_prim_f64(" + slot + ")"); break;
+            }
+            break;
+        }
+        case Shape::Kind::Array:
+            argTexts.push_back("arrs[" + std::to_string(out_.plan.arraySlots++) + "]");
+            break;
+        case Shape::Kind::Object: {
+            std::string av_s = format("arg%zu_s", i);
+            em.line(structFor(as) + " " + av_s + ";");
+            em.line("memset(&" + av_s + ", 0, sizeof " + av_s + ");");
+            emitGraphInit(em, av_s, as, av);
+            argTexts.push_back("(&" + av_s + ")");
+            break;
+        }
+        }
+    }
+
+    Spec& spec = specialize(*owner, *m, recvShape, argShapes, /*device=*/false);
+
+    std::vector<std::string> callArgs{"(&self_s)"};
+    for (auto& t : argTexts) callArgs.push_back(t);
+    std::string call = spec.fnName + "(" + join(callArgs, ", ") + ")";
+    if (m->ret.isVoid()) {
+        em.line(call + ";");
+        em.line("return 0;");
+    } else {
+        switch (m->ret.prim()) {
+        case Prim::Bool:
+        case Prim::I32: em.line("return (int64_t)(" + call + ");"); break;
+        case Prim::I64: em.line("return " + call + ";"); break;
+        case Prim::F32: em.line("return wj_bits_f32(" + call + ");"); break;
+        case Prim::F64: em.line("return wj_bits_f64(" + call + ");"); break;
+        }
+    }
+
+    entry_ = "int64_t wj_entry(const int64_t* prims, wj_array** arrs) {\n";
+    entry_ += "  (void)prims; (void)arrs;\n";
+    entry_ += em.text();
+    entry_ += "}\n";
+}
+
+Translation CodeGen::run(const Value& receiver, const std::string& method,
+                         const std::vector<Value>& args) {
+    Timer timer;
+    out_.entrySymbol = "wj_entry";
+    genEntry(receiver, method, args);
+
+    std::string src;
+    src += "/* Generated by WootinC (WootinJ reproduction). Do not edit. */\n";
+    src += "#include <stdint.h>\n#include <string.h>\n#include <math.h>\n";
+    src += "#include \"wjrt.h\"\n#include \"rng_hash.h\"\n\n";
+    src += "static inline float wj_prim_f32(int64_t b) { union { uint32_t u; float f; } x; "
+           "x.u = (uint32_t)b; return x.f; }\n";
+    src += "static inline double wj_prim_f64(int64_t b) { union { uint64_t u; double f; } x; "
+           "x.u = (uint64_t)b; return x.f; }\n";
+    src += "static inline int64_t wj_bits_f32(float f) { union { uint32_t u; float f; } x; "
+           "x.f = f; return (int64_t)x.u; }\n";
+    src += "static inline int64_t wj_bits_f64(double d) { union { uint64_t u; double f; } x; "
+           "x.f = d; return (int64_t)x.u; }\n\n";
+    src += staticsSection_ + "\n";
+    src += structs_ + "\n";
+    src += protos_ + "\n";
+    src += fns_;
+    src += entry_;
+    out_.cSource = std::move(src);
+    out_.codegenSeconds = timer.seconds();
+    return std::move(out_);
+}
+
+} // namespace
+
+Translation translate(const Program& prog, const Value& receiver, const std::string& method,
+                      const std::vector<Value>& args) {
+    CodeGen cg(prog);
+    return cg.run(receiver, method, args);
+}
+
+} // namespace wj

@@ -1,0 +1,79 @@
+#include "jit/compile.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+#ifndef WJ_RT_INCLUDE_DIR
+#define WJ_RT_INCLUDE_DIR "."
+#endif
+
+namespace wj {
+
+NativeModule::~NativeModule() {
+    if (handle_) dlclose(handle_);
+    if (!dir_.empty()) {
+        // Best-effort cleanup of the temp dir (source, object, module).
+        std::system(("rm -rf '" + dir_ + "'").c_str());
+    }
+}
+
+void* NativeModule::symbol(const std::string& name) const {
+    void* s = dlsym(handle_, name.c_str());
+    if (!s) throw UsageError("generated module is missing symbol " + name);
+    return s;
+}
+
+std::unique_ptr<NativeModule> compileAndLoad(const std::string& cSource, const std::string& tag) {
+    char tmpl[] = "/tmp/wootinc.XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    if (!dir) throw UsageError("cannot create temp directory for JIT output");
+
+    auto mod = std::unique_ptr<NativeModule>(new NativeModule());
+    mod->dir_ = dir;
+    mod->srcPath_ = std::string(dir) + "/" + mangle(tag) + ".c";
+    const std::string soPath = std::string(dir) + "/" + mangle(tag) + ".so";
+    const std::string errPath = std::string(dir) + "/cc.err";
+
+    {
+        std::ofstream out(mod->srcPath_);
+        if (!out) throw UsageError("cannot write " + mod->srcPath_);
+        out << cSource;
+    }
+
+    const char* cc = std::getenv("WJ_CC");
+    if (!cc || !*cc) cc = "cc";
+    // -O2 -fPIC -shared: the role icc's "-O3 -ipo" plays in the paper's
+    // Tables 1-2. WJ_CFLAGS overrides the optimization flags (used by the
+    // compile-cost ablation bench). rdynamic host exports provide wjrt_*.
+    const char* flags = std::getenv("WJ_CFLAGS");
+    if (!flags || !*flags) flags = "-O2";
+    mod->command_ =
+        format("%s -std=c11 %s -ffp-contract=off -fPIC -shared -I'%s' -o '%s' '%s' -lm 2> '%s'",
+               cc, flags, WJ_RT_INCLUDE_DIR, soPath.c_str(), mod->srcPath_.c_str(),
+               errPath.c_str());
+
+    Timer t;
+    const int rc = std::system(mod->command_.c_str());
+    mod->compileSeconds_ = t.seconds();
+    if (rc != 0) {
+        std::ifstream err(errPath);
+        std::string msg((std::istreambuf_iterator<char>(err)), std::istreambuf_iterator<char>());
+        throw UsageError("external C compiler failed (see " + mod->srcPath_ + "):\n" + msg);
+    }
+
+    mod->handle_ = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!mod->handle_) {
+        throw UsageError(std::string("dlopen failed: ") + dlerror());
+    }
+    return mod;
+}
+
+} // namespace wj

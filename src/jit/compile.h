@@ -1,0 +1,52 @@
+// External compilation and loading of generated C code.
+//
+// The paper compiles WootinJ's generated C with icc and invokes it through
+// JNI; WootinC compiles with the system C compiler (cc, overridable via the
+// WJ_CC environment variable) into a shared object and loads it with
+// dlopen(). Compilation wall time is reported separately because it is the
+// dominant part of the paper's Table 3.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace wj {
+
+/// A loaded shared object; closes the handle on destruction.
+class NativeModule {
+public:
+    ~NativeModule();
+    NativeModule(const NativeModule&) = delete;
+    NativeModule& operator=(const NativeModule&) = delete;
+
+    /// Resolves a symbol; throws UsageError if missing.
+    void* symbol(const std::string& name) const;
+
+    /// Wall-clock seconds the external compiler took.
+    double compileSeconds() const noexcept { return compileSeconds_; }
+
+    /// Path of the generated .c file (kept for inspection until the module
+    /// is destroyed).
+    const std::string& sourcePath() const noexcept { return srcPath_; }
+
+    /// The exact compiler command used (the paper records its options in
+    /// Tables 1-2; benches print this).
+    const std::string& compileCommand() const noexcept { return command_; }
+
+private:
+    friend std::unique_ptr<NativeModule> compileAndLoad(const std::string&, const std::string&);
+    NativeModule() = default;
+
+    void* handle_ = nullptr;
+    double compileSeconds_ = 0;
+    std::string srcPath_;
+    std::string dir_;
+    std::string command_;
+};
+
+/// Writes `cSource` to a fresh temp directory, compiles it as C11 with -O2,
+/// and dlopens the result. `tag` becomes part of the file name for easier
+/// debugging. Throws UsageError with the compiler's stderr on failure.
+std::unique_ptr<NativeModule> compileAndLoad(const std::string& cSource, const std::string& tag);
+
+} // namespace wj

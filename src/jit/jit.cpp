@@ -1,0 +1,222 @@
+#include "jit/jit.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "gpusim/gpusim.h"
+#include "minimpi/minimpi.h"
+#include "rules/rules.h"
+#include "runtime/context.h"
+#include "runtime/wjrt.h"
+#include "support/diagnostics.h"
+
+namespace wj {
+
+namespace {
+
+/// Depth-first walk over the receiver graph collecting non-null arrays, in
+/// the exact order codegen's emitGraphInit assigned arrs[] indices.
+void collectArrays(const Program& prog, const Value& v, std::vector<ArrRef>& out) {
+    const ObjRef& o = v.asObj();
+    if (!o) throw UsageError("null object in receiver graph at invoke time");
+    for (const Field* f : prog.allFields(o->cls->name)) {
+        const Value& fv = o->fields.at(f->name);
+        if (f->type.isArray()) {
+            if (fv.asArr()) out.push_back(fv.asArr());
+        } else if (f->type.isClass()) {
+            collectArrays(prog, fv, out);
+        }
+    }
+}
+
+/// Deep copy: interpreter array -> native wj_array (the translated code's
+/// own memory space, Section 3.1).
+wj_array* marshalArray(const Arr& a) {
+    if (!a.elem.isPrim()) {
+        throw UsageError("arrays crossing the jit boundary must have primitive elements (got " +
+                         a.elem.str() + "[])");
+    }
+    const Prim p = a.elem.prim();
+    wj_array* out = wjrt_alloc_array(static_cast<int64_t>(a.data.size()), primSize(p));
+    void* data = wj_array_data(out);
+    for (size_t i = 0; i < a.data.size(); ++i) {
+        switch (p) {
+        case Prim::Bool: static_cast<int32_t*>(data)[i] = a.data[i].asBool() ? 1 : 0; break;
+        case Prim::I32: static_cast<int32_t*>(data)[i] = a.data[i].asI32(); break;
+        case Prim::I64: static_cast<int64_t*>(data)[i] = a.data[i].asI64(); break;
+        case Prim::F32: static_cast<float*>(data)[i] = a.data[i].asF32(); break;
+        case Prim::F64: static_cast<double*>(data)[i] = a.data[i].asF64(); break;
+        }
+    }
+    return out;
+}
+
+/// Copy-back extension: native array -> interpreter array.
+void unmarshalArray(const wj_array* in, Arr& a) {
+    const void* data = wj_array_data(in);
+    const Prim p = a.elem.prim();
+    for (size_t i = 0; i < a.data.size(); ++i) {
+        switch (p) {
+        case Prim::Bool: a.data[i] = Value::ofBool(static_cast<const int32_t*>(data)[i] != 0); break;
+        case Prim::I32: a.data[i] = Value::ofI32(static_cast<const int32_t*>(data)[i]); break;
+        case Prim::I64: a.data[i] = Value::ofI64(static_cast<const int64_t*>(data)[i]); break;
+        case Prim::F32: a.data[i] = Value::ofF32(static_cast<const float*>(data)[i]); break;
+        case Prim::F64: a.data[i] = Value::ofF64(static_cast<const double*>(data)[i]); break;
+        }
+    }
+}
+
+int64_t primToSlot(const Value& v, Prim expected) {
+    switch (expected) {
+    case Prim::Bool: return v.asBool() ? 1 : 0;
+    case Prim::I32: return v.asI32();
+    case Prim::I64: return v.asI64();
+    case Prim::F32: {
+        uint32_t bits;
+        float f = v.asF32();
+        std::memcpy(&bits, &f, sizeof bits);
+        return static_cast<int64_t>(bits);
+    }
+    case Prim::F64: {
+        uint64_t bits;
+        double d = v.asF64();
+        std::memcpy(&bits, &d, sizeof bits);
+        return static_cast<int64_t>(bits);
+    }
+    }
+    throw UsageError("bad prim slot");
+}
+
+Value slotToValue(int64_t slot, const Type& ret) {
+    if (ret.isVoid()) return Value();
+    switch (ret.prim()) {
+    case Prim::Bool: return Value::ofBool(slot != 0);
+    case Prim::I32: return Value::ofI32(static_cast<int32_t>(slot));
+    case Prim::I64: return Value::ofI64(slot);
+    case Prim::F32: {
+        uint32_t bits = static_cast<uint32_t>(slot);
+        float f;
+        std::memcpy(&f, &bits, sizeof f);
+        return Value::ofF32(f);
+    }
+    case Prim::F64: {
+        uint64_t bits = static_cast<uint64_t>(slot);
+        double d;
+        std::memcpy(&d, &bits, sizeof d);
+        return Value::ofF64(d);
+    }
+    }
+    return Value();
+}
+
+} // namespace
+
+JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::vector<Value> args,
+                 bool mpi)
+    : prog_(&prog), receiver_(std::move(receiver)), method_(std::move(method)),
+      recordedArgs_(std::move(args)), mpi_(mpi) {
+    // The translated code must satisfy the coding rules (Section 3.2); the
+    // verifier runs before any code generation, like the paper's bytecode
+    // checks.
+    requireCodingRules(prog);
+    translation_ = translate(prog, receiver_, method_, recordedArgs_);
+    module_ = compileAndLoad(translation_.cSource, method_);
+    entry_ = reinterpret_cast<EntryFn>(module_->symbol(translation_.entrySymbol));
+}
+
+void JitCode::set4MPI(int ranks, const std::string& /*nodeList*/) {
+    if (!mpi_) throw UsageError("set4MPI on code translated with jit(); use jit4mpi()");
+    if (ranks <= 0) throw UsageError("MPI rank count must be positive");
+    ranks_ = ranks;
+}
+
+Value JitCode::invoke() { return invokeWith(recordedArgs_); }
+
+Value JitCode::invokeWith(const std::vector<Value>& args) {
+    if (args.size() != recordedArgs_.size()) {
+        throw UsageError("invoke: argument count differs from the jit-time recording");
+    }
+    if (mpi_ && ranks_ > 1) {
+        if (copyBack_) {
+            throw UsageError("copy-back is only defined for single-rank invocations");
+        }
+        minimpi::World world(ranks_);
+        Value rank0Result;
+        std::mutex m;
+        world.run([&](minimpi::Comm& comm) {
+            // One GPU per node (paper Section 4.1): each rank owns a device.
+            gpusim::Device dev(comm.rank());
+            runtime::RankScope scope(&comm, &dev);
+            Value r = invokeRank(args);
+            if (comm.rank() == 0) {
+                std::lock_guard<std::mutex> lock(m);
+                rank0Result = std::move(r);
+            }
+        });
+        return rank0Result;
+    }
+    gpusim::Device dev(0);
+    runtime::RankScope scope(nullptr, &dev);
+    return invokeRank(args);
+}
+
+Value JitCode::invokeRank(const std::vector<Value>& args) {
+    // Deep-copy the argument arrays into this rank's private memory space.
+    std::vector<ArrRef> interpArrays;
+    collectArrays(*prog_, receiver_, interpArrays);
+    for (const Value& v : args) {
+        if (v.isArr() && v.asArr()) interpArrays.push_back(v.asArr());
+    }
+    if (static_cast<int>(interpArrays.size()) != translation_.plan.arraySlots) {
+        throw UsageError("invoke: the receiver graph's array layout changed since jit() time (" +
+                         std::to_string(interpArrays.size()) + " arrays vs " +
+                         std::to_string(translation_.plan.arraySlots) + " recorded)");
+    }
+
+    std::vector<wj_array*> nativeArrays;
+    nativeArrays.reserve(interpArrays.size());
+    for (const ArrRef& a : interpArrays) nativeArrays.push_back(marshalArray(*a));
+
+    std::vector<int64_t> prims;
+    size_t slotIdx = 0;
+    for (const Value& v : args) {
+        if (v.isArr()) continue;
+        if (v.isObj()) continue;  // object args were baked in at jit() time
+        if (slotIdx >= translation_.plan.primSlots.size()) {
+            throw UsageError("invoke: more primitive arguments than recorded");
+        }
+        prims.push_back(primToSlot(v, translation_.plan.primSlots[slotIdx++]));
+    }
+    if (slotIdx != translation_.plan.primSlots.size()) {
+        throw UsageError("invoke: fewer primitive arguments than recorded");
+    }
+
+    int64_t raw;
+    try {
+        raw = entry_(prims.data(), nativeArrays.data());
+    } catch (...) {
+        for (wj_array* a : nativeArrays) wjrt_free_array(a);
+        throw;
+    }
+
+    if (copyBack_) {
+        for (size_t i = 0; i < interpArrays.size(); ++i) {
+            unmarshalArray(nativeArrays[i], *interpArrays[i]);
+        }
+    }
+    // No copy-back by default (paper Section 3.1); release the private space.
+    for (wj_array* a : nativeArrays) wjrt_free_array(a);
+    return slotToValue(raw, translation_.plan.ret);
+}
+
+JitCode WootinJ::jit(const Program& prog, const Value& receiver, const std::string& method,
+                     std::vector<Value> args) {
+    return JitCode(prog, receiver, method, std::move(args), /*mpi=*/false);
+}
+
+JitCode WootinJ::jit4mpi(const Program& prog, const Value& receiver, const std::string& method,
+                         std::vector<Value> args) {
+    return JitCode(prog, receiver, method, std::move(args), /*mpi=*/true);
+}
+
+} // namespace wj

@@ -1,0 +1,396 @@
+#include "matmul/matmul_lib.h"
+
+#include <vector>
+
+#include "runtime/rng_hash.h"
+#include "support/diagnostics.h"
+
+namespace wj::matmul {
+
+using namespace wj::dsl;
+
+namespace {
+
+Type f32() { return Type::f32(); }
+Type f32arr() { return Type::array(Type::f32()); }
+Type i32() { return Type::i32(); }
+Type f64() { return Type::f64(); }
+Type mtx() { return Type::cls("Matrix"); }
+
+void buildMatrix(ProgramBuilder& pb) {
+    {
+        auto& c = pb.cls("Matrix").interfaceClass();
+        c.method("get", f32()).param("i", i32()).param("j", i32()).abstractMethod();
+        c.method("set", Type::voidTy()).param("i", i32()).param("j", i32()).param("v", f32())
+            .abstractMethod();
+        c.method("rows", i32()).abstractMethod();
+        c.method("cols", i32()).abstractMethod();
+        c.method("raw", f32arr()).abstractMethod();
+    }
+    {
+        auto& c = pb.cls("SimpleMatrix").implements("Matrix").finalClass();
+        c.field("data", f32arr()).field("nr", i32()).field("nc", i32());
+        c.ctor()
+            .param("nr_", i32())
+            .param("nc_", i32())
+            .body(blk(setSelf("nr", lv("nr_")), setSelf("nc", lv("nc_")),
+                      setSelf("data", newArr(f32(), mul(lv("nr_"), lv("nc_"))))));
+        c.method("get", f32())
+            .param("i", i32())
+            .param("j", i32())
+            .body(blk(ret(aget(selff("data"), add(mul(lv("i"), selff("nc")), lv("j"))))));
+        c.method("set", Type::voidTy())
+            .param("i", i32())
+            .param("j", i32())
+            .param("v", f32())
+            .body(blk(aset(selff("data"), add(mul(lv("i"), selff("nc")), lv("j")), lv("v")),
+                      retVoid()));
+        c.method("rows", i32()).body(blk(ret(selff("nr"))));
+        c.method("cols", i32()).body(blk(ret(selff("nc"))));
+        c.method("raw", f32arr()).body(blk(ret(selff("data"))));
+        // Fill from GLOBAL element coordinates so a q x q decomposition of
+        // the same seed reproduces the q=1 matrix exactly.
+        c.method("fillGlobal", Type::voidTy())
+            .param("seed", i32())
+            .param("rowOff", i32())
+            .param("colOff", i32())
+            .param("stride", i32())
+            .body(blk(forRange("i", ci(0), selff("nr"),
+                      blk(forRange("j", ci(0), selff("nc"),
+                      blk(aset(selff("data"), add(mul(lv("i"), selff("nc")), lv("j")),
+                               intr(Intrinsic::RngHashF32, lv("seed"),
+                                    add(mul(add(lv("rowOff"), lv("i")), lv("stride")),
+                                        add(lv("colOff"), lv("j"))))))))),
+                      retVoid()));
+        c.method("copyFrom", Type::voidTy())
+            .param("src", mtx())
+            .body(blk(decl("s", f32arr(), call(lv("src"), "raw")),
+                      forRange("i", ci(0), alen(selff("data")),
+                               blk(aset(selff("data"), lv("i"), aget(lv("s"), lv("i"))))),
+                      retVoid()));
+        c.method("checksum", f64())
+            .body(blk(decl("sum", f64(), cd(0.0)),
+                      forRange("i", ci(0), alen(selff("data")),
+                               blk(assign("sum", add(lv("sum"),
+                                                     cast(f64(), aget(selff("data"), lv("i"))))))),
+                      ret(lv("sum"))));
+    }
+}
+
+void buildCalculators(ProgramBuilder& pb) {
+    pb.cls("Calculator").interfaceClass()
+        .method("multiplyAcc", Type::voidTy())
+        .param("a", mtx()).param("b", mtx()).param("c", mtx())
+        .abstractMethod();
+
+    // Naive ijk through the Matrix interface — every element access is a
+    // dynamic dispatch until the JIT devirtualizes it.
+    {
+        auto& c = pb.cls("SimpleCalculator").implements("Calculator").finalClass();
+        c.method("multiplyAcc", Type::voidTy())
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(decl("n", i32(), call(lv("a"), "rows")),
+                      forRange("i", ci(0), lv("n"),
+                      blk(forRange("j", ci(0), lv("n"),
+                      blk(forRange("k", ci(0), lv("n"),
+                      blk(exprS(call(lv("c"), "set", lv("i"), lv("j"),
+                                     add(call(lv("c"), "get", lv("i"), lv("j")),
+                                         mul(call(lv("a"), "get", lv("i"), lv("k")),
+                                             call(lv("b"), "get", lv("k"), lv("j")))))))))))),
+                      retVoid()));
+    }
+
+    // ikj over the raw arrays (the paper's OptimizedCalculator).
+    {
+        auto& c = pb.cls("OptimizedCalculator").implements("Calculator").finalClass();
+        c.method("multiplyAcc", Type::voidTy())
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(decl("n", i32(), call(lv("a"), "rows")),
+                      decl("ar", f32arr(), call(lv("a"), "raw")),
+                      decl("br", f32arr(), call(lv("b"), "raw")),
+                      decl("cr", f32arr(), call(lv("c"), "raw")),
+                      forRange("i", ci(0), lv("n"),
+                      blk(forRange("k", ci(0), lv("n"),
+                      blk(decl("av", f32(), aget(lv("ar"), add(mul(lv("i"), lv("n")), lv("k")))),
+                          forRange("j", ci(0), lv("n"),
+                          blk(aset(lv("cr"), add(mul(lv("i"), lv("n")), lv("j")),
+                                   add(aget(lv("cr"), add(mul(lv("i"), lv("n")), lv("j"))),
+                                       mul(lv("av"),
+                                           aget(lv("br"), add(mul(lv("k"), lv("n")), lv("j")))))))))))),
+                      retVoid()));
+    }
+
+    // Shared-memory tiled GPU multiply (@Shared + syncthreads: the fibered
+    // GpuSim path). Requires n % tile == 0 and tile*tile <= 1024.
+    {
+        auto& c = pb.cls("GpuTiledCalculator").implements("Calculator").finalClass();
+        c.field("tile", i32());
+        c.ctor().param("tile_", i32()).body(blk(setSelf("tile", lv("tile_"))));
+
+        auto& k = c.method("mmKernel", Type::voidTy()).global();
+        k.param("conf", Type::cls(Program::cudaConfigClass()));
+        k.param("a", f32arr()).param("b", f32arr()).param("cM", f32arr()).param("n", i32());
+        k.body(blk(
+            decl("tile", i32(), selff("tile")),
+            decl("sh", f32arr(), intr(Intrinsic::CudaSharedF32)),
+            decl("tx", i32(), tidxX()),
+            decl("ty", i32(), tidxY()),
+            decl("rowIdx", i32(), add(mul(bidxY(), lv("tile")), lv("ty"))),
+            decl("colIdx", i32(), add(mul(bidxX(), lv("tile")), lv("tx"))),
+            decl("acc", f32(), cf(0.0f)),
+            forRange("m", ci(0), divE(lv("n"), lv("tile")), blk(
+                // Stage one A tile and one B tile into shared memory.
+                aset(lv("sh"), add(mul(lv("ty"), lv("tile")), lv("tx")),
+                     aget(lv("a"), add(mul(lv("rowIdx"), lv("n")),
+                                       add(mul(lv("m"), lv("tile")), lv("tx"))))),
+                aset(lv("sh"), add(mul(lv("tile"), lv("tile")),
+                                   add(mul(lv("ty"), lv("tile")), lv("tx"))),
+                     aget(lv("b"), add(mul(add(mul(lv("m"), lv("tile")), lv("ty")), lv("n")),
+                                       lv("colIdx")))),
+                exprS(intr(Intrinsic::CudaSyncThreads)),
+                forRange("k2", ci(0), lv("tile"),
+                blk(assign("acc", add(lv("acc"),
+                                      mul(aget(lv("sh"), add(mul(lv("ty"), lv("tile")), lv("k2"))),
+                                          aget(lv("sh"),
+                                               add(mul(lv("tile"), lv("tile")),
+                                                   add(mul(lv("k2"), lv("tile")), lv("tx"))))))))),
+                exprS(intr(Intrinsic::CudaSyncThreads)))),
+            aset(lv("cM"), add(mul(lv("rowIdx"), lv("n")), lv("colIdx")),
+                 add(aget(lv("cM"), add(mul(lv("rowIdx"), lv("n")), lv("colIdx"))), lv("acc"))),
+            retVoid()));
+
+        c.method("multiplyAcc", Type::voidTy())
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(
+                decl("n", i32(), call(lv("a"), "rows")),
+                decl("sz", i32(), mul(lv("n"), lv("n"))),
+                decl("tile", i32(), selff("tile")),
+                decl("da", f32arr(), intr(Intrinsic::GpuMallocF32, lv("sz"))),
+                decl("db", f32arr(), intr(Intrinsic::GpuMallocF32, lv("sz"))),
+                decl("dc", f32arr(), intr(Intrinsic::GpuMallocF32, lv("sz"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("da"), call(lv("a"), "raw"), lv("sz"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("db"), call(lv("b"), "raw"), lv("sz"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("dc"), call(lv("c"), "raw"), lv("sz"))),
+                decl("conf", Type::cls(Program::cudaConfigClass()),
+                     cudaConfig(dim3of(divE(lv("n"), lv("tile")), divE(lv("n"), lv("tile"))),
+                                dim3of(lv("tile"), lv("tile")),
+                                mul(mul(ci(8), lv("tile")), lv("tile")))),
+                exprS(call(self(), "mmKernel", lv("conf"), lv("da"), lv("db"), lv("dc"), lv("n"))),
+                exprS(intr(Intrinsic::GpuMemcpyD2HF32, call(lv("c"), "raw"), lv("dc"), lv("sz"))),
+                exprS(intr(Intrinsic::GpuFree, lv("da"))),
+                exprS(intr(Intrinsic::GpuFree, lv("db"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dc"))),
+                retVoid()));
+    }
+}
+
+void buildThreads(ProgramBuilder& pb) {
+    {
+        auto& c = pb.cls("OuterThread").interfaceClass();
+        c.method("start", Type::voidTy()).param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .abstractMethod();
+        c.method("rank", i32()).abstractMethod();
+        c.method("gridSide", i32()).abstractMethod();
+    }
+    pb.cls("OuterThreadBody").interfaceClass()
+        .method("run", Type::voidTy())
+        .param("thread", Type::cls("OuterThread"))
+        .param("a", mtx()).param("b", mtx()).param("c", mtx())
+        .abstractMethod();
+
+    // Listing 6: MPIThread holds an OuterThreadBody and hands `this` back
+    // into run() — the mutual type reference templates could not express.
+    {
+        auto& c = pb.cls("MPIThread").implements("OuterThread").finalClass();
+        c.field("body", Type::cls("OuterThreadBody"));
+        c.field("q", i32());
+        c.ctor()
+            .param("body_", Type::cls("OuterThreadBody"))
+            .param("q_", i32())
+            .body(blk(setSelf("body", lv("body_")), setSelf("q", lv("q_"))));
+        c.method("start", Type::voidTy())
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(exprS(call(selff("body"), "run", self(), lv("a"), lv("b"), lv("c"))),
+                      retVoid()));
+        c.method("rank", i32()).body(blk(ret(mpiRank())));
+        c.method("gridSide", i32()).body(blk(ret(selff("q"))));
+    }
+    for (const char* name : {"CPULoop", "GPUThread"}) {
+        auto& c = pb.cls(name).implements("OuterThread").finalClass();
+        c.field("body", Type::cls("OuterThreadBody"));
+        c.ctor()
+            .param("body_", Type::cls("OuterThreadBody"))
+            .body(blk(setSelf("body", lv("body_"))));
+        c.method("start", Type::voidTy())
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(exprS(call(selff("body"), "run", self(), lv("a"), lv("b"), lv("c"))),
+                      retVoid()));
+        c.method("rank", i32()).body(blk(ret(ci(0))));
+        c.method("gridSide", i32()).body(blk(ret(ci(1))));
+    }
+}
+
+void buildBodies(ProgramBuilder& pb) {
+    {
+        auto& c = pb.cls("SimpleOuterBody").implements("OuterThreadBody").finalClass();
+        c.field("calc", Type::cls("Calculator"));
+        c.ctor().param("calc_", Type::cls("Calculator")).body(blk(setSelf("calc", lv("calc_"))));
+        c.method("run", Type::voidTy())
+            .param("thread", Type::cls("OuterThread"))
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(exprS(call(selff("calc"), "multiplyAcc", lv("a"), lv("b"), lv("c"))),
+                      retVoid()));
+    }
+    {
+        auto& c = pb.cls("FoxAlgorithm").implements("OuterThreadBody").finalClass();
+        c.field("calc", Type::cls("Calculator"));
+        c.ctor().param("calc_", Type::cls("Calculator")).body(blk(setSelf("calc", lv("calc_"))));
+        c.method("run", Type::voidTy())
+            .param("thread", Type::cls("OuterThread"))
+            .param("a", mtx()).param("b", mtx()).param("c", mtx())
+            .body(blk(
+                decl("q", i32(), call(lv("thread"), "gridSide")),
+                decl("rank", i32(), call(lv("thread"), "rank")),
+                decl("row", i32(), divE(lv("rank"), lv("q"))),
+                decl("col", i32(), rem(lv("rank"), lv("q"))),
+                decl("nb", i32(), call(lv("a"), "rows")),
+                decl("sz", i32(), mul(lv("nb"), lv("nb"))),
+                decl("atmp", Type::cls("SimpleMatrix"),
+                     newObj("SimpleMatrix", lv("nb"), lv("nb"))),
+                decl("btmp", f32arr(), newArr(f32(), lv("sz"))),
+                forRange("s", ci(0), lv("q"), blk(
+                    decl("root", i32(), rem(add(lv("row"), lv("s")), lv("q"))),
+                    ifs(eq(lv("col"), lv("root")),
+                        blk(exprS(call(lv("atmp"), "copyFrom", lv("a"))))),
+                    ifs(gt(lv("q"), ci(1)), blk(
+                        ifs(eq(lv("col"), lv("root")),
+                            // Row broadcast of the A block from `root`.
+                            blk(forRange("cc", ci(0), lv("q"),
+                                blk(ifs(ne(lv("cc"), lv("col")),
+                                        blk(exprS(intr(Intrinsic::MpiSendF32,
+                                                       call(lv("atmp"), "raw"), ci(0), lv("sz"),
+                                                       add(mul(lv("row"), lv("q")), lv("cc")),
+                                                       ci(31)))))))),
+                            blk(exprS(intr(Intrinsic::MpiRecvF32, call(lv("atmp"), "raw"),
+                                           ci(0), lv("sz"),
+                                           add(mul(lv("row"), lv("q")), lv("root")), ci(31))))))),
+                    exprS(call(selff("calc"), "multiplyAcc", lv("atmp"), lv("b"), lv("c"))),
+                    ifs(gt(lv("q"), ci(1)), blk(
+                        // Shift B one block upward along the column.
+                        decl("upRow", i32(), rem(add(sub(lv("row"), ci(1)), lv("q")), lv("q"))),
+                        decl("downRow", i32(), rem(add(lv("row"), ci(1)), lv("q"))),
+                        exprS(intr(Intrinsic::MpiSendRecvF32, call(lv("b"), "raw"), ci(0),
+                                   lv("sz"), add(mul(lv("upRow"), lv("q")), lv("col")),
+                                   lv("btmp"), ci(0),
+                                   add(mul(lv("downRow"), lv("q")), lv("col")), ci(32))),
+                        decl("braw", f32arr(), call(lv("b"), "raw")),
+                        forRange("i2", ci(0), lv("sz"),
+                                 blk(aset(lv("braw"), lv("i2"), aget(lv("btmp"), lv("i2"))))))))),
+                exprS(intr(Intrinsic::FreeArray, lv("btmp"))),
+                retVoid()));
+    }
+}
+
+void buildApp(ProgramBuilder& pb) {
+    auto& c = pb.cls("MatMulApp");
+    c.field("thread", Type::cls("OuterThread"));
+    c.ctor().param("thread_", Type::cls("OuterThread")).body(blk(setSelf("thread", lv("thread_"))));
+    c.method("run", f64())
+        .param("nLocal", i32())
+        .param("seed", i32())
+        .body(blk(
+            decl("q", i32(), call(selff("thread"), "gridSide")),
+            decl("rank", i32(), call(selff("thread"), "rank")),
+            decl("row", i32(), divE(lv("rank"), lv("q"))),
+            decl("col", i32(), rem(lv("rank"), lv("q"))),
+            decl("stride", i32(), mul(lv("q"), lv("nLocal"))),
+            decl("a", Type::cls("SimpleMatrix"), newObj("SimpleMatrix", lv("nLocal"), lv("nLocal"))),
+            decl("b", Type::cls("SimpleMatrix"), newObj("SimpleMatrix", lv("nLocal"), lv("nLocal"))),
+            decl("cM", Type::cls("SimpleMatrix"), newObj("SimpleMatrix", lv("nLocal"), lv("nLocal"))),
+            exprS(call(lv("a"), "fillGlobal", lv("seed"), mul(lv("row"), lv("nLocal")),
+                       mul(lv("col"), lv("nLocal")), lv("stride"))),
+            exprS(call(lv("b"), "fillGlobal", add(lv("seed"), ci(1)), mul(lv("row"), lv("nLocal")),
+                       mul(lv("col"), lv("nLocal")), lv("stride"))),
+            exprS(call(selff("thread"), "start", lv("a"), lv("b"), lv("cM"))),
+            decl("local", f64(), call(lv("cM"), "checksum")),
+            decl("sum", f64(), lv("local")),
+            ifs(gt(mpiSize(), ci(1)),
+                blk(assign("sum", intr(Intrinsic::MpiAllreduceSumF64, lv("local"))))),
+            ret(lv("sum"))));
+}
+
+} // namespace
+
+void registerLibrary(ProgramBuilder& pb) {
+    buildMatrix(pb);
+    buildCalculators(pb);
+    buildThreads(pb);
+    buildBodies(pb);
+    buildApp(pb);
+}
+
+Program buildProgram() {
+    ProgramBuilder pb;
+    registerLibrary(pb);
+    return pb.build();
+}
+
+// -------------------------------------------------------------- composition
+
+namespace {
+
+Value makeCalc(Interp& in, Calc calc, int tile) {
+    switch (calc) {
+    case Calc::Simple: return in.instantiate("SimpleCalculator", {});
+    case Calc::Optimized: return in.instantiate("OptimizedCalculator", {});
+    case Calc::GpuTiled: return in.instantiate("GpuTiledCalculator", {Value::ofI32(tile)});
+    }
+    throw UsageError("bad Calc");
+}
+
+} // namespace
+
+Value makeCpuApp(Interp& in, Calc calc) {
+    Value body = in.instantiate("SimpleOuterBody", {makeCalc(in, calc, 8)});
+    Value thread = in.instantiate("CPULoop", {body});
+    return in.instantiate("MatMulApp", {thread});
+}
+
+Value makeGpuApp(Interp& in, int tile) {
+    Value body = in.instantiate("SimpleOuterBody", {makeCalc(in, Calc::GpuTiled, tile)});
+    Value thread = in.instantiate("GPUThread", {body});
+    return in.instantiate("MatMulApp", {thread});
+}
+
+Value makeMpiFoxApp(Interp& in, Calc calc, int q) {
+    Value body = in.instantiate("FoxAlgorithm", {makeCalc(in, calc, 8)});
+    Value thread = in.instantiate("MPIThread", {body, Value::ofI32(q)});
+    return in.instantiate("MatMulApp", {thread});
+}
+
+Value makeMpiFoxGpuApp(Interp& in, int q, int tile) {
+    Value body = in.instantiate("FoxAlgorithm", {makeCalc(in, Calc::GpuTiled, tile)});
+    Value thread = in.instantiate("MPIThread", {body, Value::ofI32(q)});
+    return in.instantiate("MatMulApp", {thread});
+}
+
+// --------------------------------------------------------------- reference
+
+double referenceMatMulChecksum(int n, int seedA, int seedB) {
+    const size_t nn = static_cast<size_t>(n);
+    std::vector<float> a(nn * nn), b(nn * nn), c(nn * nn, 0.0f);
+    for (size_t i = 0; i < nn * nn; ++i) {
+        a[i] = wj_rng_hash_f32(seedA, static_cast<int32_t>(i));
+        b[i] = wj_rng_hash_f32(seedB, static_cast<int32_t>(i));
+    }
+    for (size_t i = 0; i < nn; ++i)
+        for (size_t k = 0; k < nn; ++k) {
+            const float av = a[i * nn + k];
+            for (size_t j = 0; j < nn; ++j) c[i * nn + j] += av * b[k * nn + j];
+        }
+    double sum = 0;
+    for (float v : c) sum += static_cast<double>(v);
+    return sum;
+}
+
+} // namespace wj::matmul

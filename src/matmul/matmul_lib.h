@@ -1,0 +1,55 @@
+// The matrix-multiplication class library (paper Section 4.2, Figure 8),
+// written in WJ IR through the builder DSL.
+//
+// Components, mirroring the class diagram:
+//   * Matrix (interface) / SimpleMatrix — the data-structure feature;
+//   * Calculator (interface) with SimpleCalculator (naive ijk),
+//     OptimizedCalculator (ikj over raw arrays), and GpuTiledCalculator
+//     (shared-memory tiled CUDA kernel — exercises @Shared + syncthreads);
+//   * OuterThread (interface) with CPULoop / MPIThread / GPUThread — how
+//     to run the kernel in parallel;
+//   * OuterThreadBody (interface) with SimpleOuterBody and FoxAlgorithm —
+//     the parallel algorithm. MPIThread and FoxAlgorithm reproduce the
+//     paper's Listing 6 MUTUAL TYPE REFERENCE (MPIThread holds an
+//     OuterThreadBody and passes `this` to run(OuterThread, ...)), the
+//     structure the paper could not express with C++ templates;
+//   * MatMulApp — the composed application whose run(nLocal, seed) is the
+//     jit entry; returns the global checksum of C.
+//
+// Fox's algorithm runs on a q x q rank grid: at step s, rank (i, j)
+// receives A(i, (i+s) mod q) by row broadcast, multiplies into its C block,
+// and shifts its B block upward along the column.
+#pragma once
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+
+namespace wj::matmul {
+
+/// Registers every library class listed above.
+void registerLibrary(ProgramBuilder& pb);
+
+/// Validated program containing just this library (+ builtins).
+Program buildProgram();
+
+// ---- composition helpers --------------------------------------------------
+
+enum class Calc { Simple, Optimized, GpuTiled };
+
+/// new MatMulApp(new CPULoop(new SimpleOuterBody(calc)))
+Value makeCpuApp(Interp& in, Calc calc);
+
+/// new MatMulApp(new GPUThread(new SimpleOuterBody(new GpuTiledCalculator(tile))))
+Value makeGpuApp(Interp& in, int tile = 8);
+
+/// new MatMulApp(new MPIThread(new FoxAlgorithm(calc), q))
+Value makeMpiFoxApp(Interp& in, Calc calc, int q);
+
+/// new MatMulApp(new MPIThread(new FoxAlgorithm(GpuTiled)), q) — GPU+MPI.
+Value makeMpiFoxGpuApp(Interp& in, int q, int tile = 8);
+
+/// Host-side reference: C = A*B with the same rng fill; returns checksum(C).
+/// `n` is the GLOBAL dimension.
+double referenceMatMulChecksum(int n, int seedA, int seedB);
+
+} // namespace wj::matmul

@@ -1,0 +1,194 @@
+#include "minimpi/minimpi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "support/diagnostics.h"
+
+namespace wj::minimpi {
+
+namespace {
+// Collective operations use distinct tags on the system channel so that
+// overlapping collectives (e.g. bcast inside allreduce) cannot cross-match.
+constexpr int kTagBcast = 1;
+constexpr int kTagReduceUp = 2;
+constexpr int kTagReduceDown = 3;
+} // namespace
+
+int Comm::size() const noexcept { return world_->size(); }
+
+World::World(int size) : size_(size), boxes_(static_cast<size_t>(std::max(size, 1))) {
+    if (size <= 0) throw UsageError("MPI world size must be positive");
+}
+
+void World::post(int dest, Message msg) {
+    if (dest < 0 || dest >= size_) {
+        throw ExecError("MPI send to invalid rank " + std::to_string(dest));
+    }
+    Mailbox& box = boxes_[static_cast<size_t>(dest)];
+    {
+        std::lock_guard<std::mutex> lock(box.m);
+        box.q.push_back(std::move(msg));
+    }
+    ++messages_;
+    box.cv.notify_all();
+}
+
+World::Message World::take(int me, int src, int tag, int channel) {
+    if (src != kAnySource && (src < 0 || src >= size_)) {
+        throw ExecError("MPI recv from invalid rank " + std::to_string(src));
+    }
+    Mailbox& box = boxes_[static_cast<size_t>(me)];
+    std::unique_lock<std::mutex> lock(box.m);
+    for (;;) {
+        if (aborted_.load()) throw ExecError("MPI world aborted by another rank");
+        auto it = std::find_if(box.q.begin(), box.q.end(), [&](const Message& m) {
+            return m.channel == channel && m.tag == tag && (src == kAnySource || m.src == src);
+        });
+        if (it != box.q.end()) {
+            Message msg = std::move(*it);
+            box.q.erase(it);
+            return msg;
+        }
+        box.cv.wait(lock);
+    }
+}
+
+void World::abort() noexcept {
+    aborted_.store(true);
+    for (auto& box : boxes_) {
+        std::lock_guard<std::mutex> lock(box.m);
+        box.cv.notify_all();
+    }
+    barrierCv_.notify_all();
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+    aborted_.store(false);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(size_));
+    std::mutex errM;
+    std::exception_ptr firstErr;
+
+    for (int r = 0; r < size_; ++r) {
+        threads.emplace_back([&, r] {
+            Comm comm(this, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(errM);
+                    if (!firstErr) firstErr = std::current_exception();
+                }
+                abort();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    // Drain undelivered messages so a reused World starts clean.
+    for (auto& box : boxes_) {
+        std::lock_guard<std::mutex> lock(box.m);
+        box.q.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(barrierM_);
+        barrierCount_ = 0;
+    }
+    if (firstErr) std::rethrow_exception(firstErr);
+}
+
+void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
+    World::Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.channel = 0;
+    msg.data.assign(static_cast<const uint8_t*>(buf), static_cast<const uint8_t*>(buf) + bytes);
+    world_->bytes_ += static_cast<int64_t>(bytes);
+    world_->post(dest, std::move(msg));
+}
+
+int Comm::recv(void* buf, size_t bytes, int src, int tag) {
+    World::Message msg = world_->take(rank_, src, tag, 0);
+    if (msg.data.size() != bytes) {
+        throw ExecError("MPI recv size mismatch: expected " + std::to_string(bytes) + " bytes, got " +
+                        std::to_string(msg.data.size()));
+    }
+    std::memcpy(buf, msg.data.data(), bytes);
+    return msg.src;
+}
+
+int Comm::sendrecv(const void* sbuf, size_t sbytes, int dest,
+                   void* rbuf, size_t rbytes, int src, int tag) {
+    send(sbuf, sbytes, dest, tag);
+    return recv(rbuf, rbytes, src, tag);
+}
+
+void Comm::barrier() {
+    std::unique_lock<std::mutex> lock(world_->barrierM_);
+    const int64_t gen = world_->barrierGen_;
+    if (++world_->barrierCount_ == world_->size_) {
+        world_->barrierCount_ = 0;
+        ++world_->barrierGen_;
+        world_->barrierCv_.notify_all();
+        return;
+    }
+    world_->barrierCv_.wait(lock, [&] {
+        return world_->barrierGen_ != gen || world_->aborted_.load();
+    });
+    if (world_->aborted_.load()) throw ExecError("MPI world aborted by another rank");
+}
+
+void World::sendSys(int me, const void* buf, size_t bytes, int dest, int tag) {
+    Message msg;
+    msg.src = me;
+    msg.tag = tag;
+    msg.channel = 1;
+    msg.data.assign(static_cast<const uint8_t*>(buf), static_cast<const uint8_t*>(buf) + bytes);
+    post(dest, std::move(msg));
+}
+
+void World::recvSys(int me, void* buf, size_t bytes, int src, int tag) {
+    Message msg = take(me, src, tag, 1);
+    if (msg.data.size() != bytes) throw ExecError("MPI collective size mismatch");
+    std::memcpy(buf, msg.data.data(), bytes);
+}
+
+void Comm::bcast(void* buf, size_t bytes, int root) {
+    if (root < 0 || root >= world_->size_) throw ExecError("bcast: invalid root");
+    if (rank_ == root) {
+        for (int r = 0; r < world_->size_; ++r) {
+            if (r != root) world_->sendSys(rank_, buf, bytes, r, kTagBcast);
+        }
+    } else {
+        world_->recvSys(rank_, buf, bytes, root, kTagBcast);
+    }
+    barrier();  // keep successive collectives from overtaking each other
+}
+
+double Comm::allreduce(double v, bool isMax) {
+    // Gather to rank 0 in rank order (deterministic floating-point result),
+    // reduce, broadcast back — the textbook layering over point-to-point.
+    double acc = v;
+    if (rank_ == 0) {
+        for (int r = 1; r < world_->size_; ++r) {
+            double other = 0;
+            world_->recvSys(0, &other, sizeof(other), r, kTagReduceUp);
+            acc = isMax ? std::max(acc, other) : acc + other;
+        }
+        for (int r = 1; r < world_->size_; ++r) {
+            world_->sendSys(0, &acc, sizeof(acc), r, kTagReduceDown);
+        }
+    } else {
+        world_->sendSys(rank_, &v, sizeof(v), 0, kTagReduceUp);
+        world_->recvSys(rank_, &acc, sizeof(acc), 0, kTagReduceDown);
+    }
+    barrier();
+    return acc;
+}
+
+double Comm::allreduceSum(double v) { return allreduce(v, false); }
+
+double Comm::allreduceMax(double v) { return allreduce(v, true); }
+
+} // namespace wj::minimpi

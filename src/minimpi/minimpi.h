@@ -1,0 +1,144 @@
+// MiniMPI: an in-process MPI substrate.
+//
+// The paper runs translated code under `mpirun` on TSUBAME 2.0. This machine
+// has no interconnect, so WootinC provides a functional MPI implementation
+// where ranks are OS threads inside one process, point-to-point messages
+// travel through tag-matched mailboxes, and the collectives the class
+// libraries need (barrier / bcast / allreduce) are built on top of the
+// point-to-point layer, the way an MPI library layers them.
+//
+// Semantics implemented (the subset the paper's libraries use):
+//   * send is buffered and never blocks (unbounded mailboxes);
+//   * recv blocks until a message matching (src, tag) arrives; messages from
+//     the same source are delivered in send order; ANY_SOURCE is supported;
+//   * sendrecv = buffered send then recv (deadlock-free for halo exchange);
+//   * an uncaught exception in any rank aborts the world: every blocked rank
+//     is woken with an error, and World::run rethrows the first exception —
+//     mirroring MPI_Abort. Tests use this for failure injection.
+//
+// Timing of a *cluster* is not simulated here; the perf module models
+// communication cost analytically (see src/perf/).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace wj::minimpi {
+
+/// Matches any source rank in recv().
+inline constexpr int kAnySource = -1;
+
+class World;
+
+/// Per-rank communicator handle, valid only inside World::run's callback on
+/// its own rank thread (like an MPI rank's COMM_WORLD view).
+class Comm {
+public:
+    int rank() const noexcept { return rank_; }
+    int size() const noexcept;
+
+    /// Buffered send of `bytes` bytes to `dest` with `tag`.
+    void send(const void* buf, size_t bytes, int dest, int tag);
+
+    /// Blocking receive of exactly `bytes` bytes from `src` (or kAnySource)
+    /// with matching `tag`. Throws ExecError on size mismatch or abort.
+    /// Returns the actual source rank.
+    int recv(void* buf, size_t bytes, int src, int tag);
+
+    /// Combined exchange: buffered send to `dest`, then receive from `src`.
+    int sendrecv(const void* sbuf, size_t sbytes, int dest,
+                 void* rbuf, size_t rbytes, int src, int tag);
+
+    /// Collective barrier over all ranks.
+    void barrier();
+
+    /// Broadcast `bytes` from `root`'s buffer into every rank's buffer.
+    void bcast(void* buf, size_t bytes, int root);
+
+    /// All-reduce of one double.
+    double allreduceSum(double v);
+    double allreduceMax(double v);
+
+private:
+    double allreduce(double v, bool isMax);
+
+public:
+
+    /// Convenience float-array wrappers (what the IR intrinsics bind to).
+    void sendF32(const float* buf, int n, int dest, int tag) {
+        send(buf, sizeof(float) * static_cast<size_t>(n), dest, tag);
+    }
+    void recvF32(float* buf, int n, int src, int tag) {
+        recv(buf, sizeof(float) * static_cast<size_t>(n), src, tag);
+    }
+
+private:
+    friend class World;
+    Comm(World* w, int rank) : world_(w), rank_(rank) {}
+    World* world_;
+    int rank_;
+};
+
+/// A fixed-size group of ranks. Construct, then call run() any number of
+/// times; each run spawns `size` rank threads and joins them.
+class World {
+public:
+    explicit World(int size);
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    int size() const noexcept { return size_; }
+
+    /// Runs `fn` once per rank on its own thread. If any rank throws, the
+    /// world aborts: all blocked ranks are released with an error and the
+    /// first exception is rethrown here after all threads joined.
+    void run(const std::function<void(Comm&)>& fn);
+
+    /// Total messages sent since construction (instrumentation for tests
+    /// and for the perf model's communication-volume accounting).
+    int64_t messagesSent() const noexcept { return messages_; }
+    int64_t bytesSent() const noexcept { return bytes_; }
+
+private:
+    friend class Comm;
+
+    struct Message {
+        int src;
+        int tag;
+        int channel;  // 0 = user point-to-point, 1 = collective internals
+        std::vector<uint8_t> data;
+    };
+
+    struct Mailbox {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<Message> q;
+    };
+
+    void post(int dest, Message msg);
+    Message take(int me, int src, int tag, int channel);
+    void abort() noexcept;
+
+    // Collective internals (channel 1).
+    void sendSys(int me, const void* buf, size_t bytes, int dest, int tag);
+    void recvSys(int me, void* buf, size_t bytes, int src, int tag);
+
+    int size_;
+    std::vector<Mailbox> boxes_;
+
+    std::mutex barrierM_;
+    std::condition_variable barrierCv_;
+    int barrierCount_ = 0;
+    int64_t barrierGen_ = 0;
+
+    std::atomic<bool> aborted_{false};
+    std::atomic<int64_t> messages_{0};
+    std::atomic<int64_t> bytes_{0};
+};
+
+} // namespace wj::minimpi

@@ -1,0 +1,124 @@
+#include "perf/perfmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wj::perf {
+
+double GpuModel::kernelTime(double bytes, double flops) const noexcept {
+    return launchOverhead + std::max(bytes / memBandwidth, flops / peakFlops);
+}
+
+MachineProfile MachineProfile::tsubame2() noexcept {
+    MachineProfile m;
+    m.net.latency = 2e-6;
+    m.net.bandwidth = 3.2e9;
+    m.gpu.peakFlops = 515e9;
+    m.gpu.memBandwidth = 148e9;
+    m.gpu.pciBandwidth = 6e9;
+    m.gpu.launchOverhead = 7e-6;
+    return m;
+}
+
+// ------------------------------------------------------------ StencilScaling
+
+double StencilScaling::computeCpu(int64_t nzLocal) const noexcept {
+    return static_cast<double>(nx * ny * nzLocal) * secondsPerCell;
+}
+
+double StencilScaling::computeGpu(const MachineProfile& m, int64_t nzLocal) const noexcept {
+    const double cells = static_cast<double>(nx * ny * nzLocal);
+    return m.gpu.kernelTime(cells * bytesPerCell, cells * flopsPerCell) * gpuVariantFactor;
+}
+
+double StencilScaling::haloTime(const MachineProfile& m, int P, bool gpu) const noexcept {
+    if (P <= 1) return 0.0;
+    const double faceBytes = static_cast<double>(nx * ny) * 4.0;  // one float plane
+    // Two neighbors (periodic ring), exchanged via sendrecv: the paper's
+    // runner overlaps nothing, so both directions serialize.
+    double t = 2.0 * m.net.transferTime(faceBytes);
+    if (gpu) {
+        // GPU+MPI must stage the boundary planes through host memory:
+        // D2H before the exchange and H2D after, both directions.
+        t += 4.0 * m.gpu.pciTime(faceBytes);
+    }
+    return t;
+}
+
+double StencilScaling::weakStepCpu(const MachineProfile& m, int P) const noexcept {
+    return computeCpu(nzPerNodeOrGlobal) + haloTime(m, P, false);
+}
+
+double StencilScaling::strongStepCpu(const MachineProfile& m, int P) const noexcept {
+    const int64_t nzLocal = std::max<int64_t>(1, nzPerNodeOrGlobal / P);
+    return computeCpu(nzLocal) + haloTime(m, P, false);
+}
+
+double StencilScaling::weakStepGpu(const MachineProfile& m, int P) const noexcept {
+    return computeGpu(m, nzPerNodeOrGlobal) + haloTime(m, P, true);
+}
+
+double StencilScaling::strongStepGpu(const MachineProfile& m, int P) const noexcept {
+    const int64_t nzLocal = std::max<int64_t>(1, nzPerNodeOrGlobal / P);
+    return computeGpu(m, nzLocal) + haloTime(m, P, true);
+}
+
+double StencilScaling::weakStepCpuOverlap(const MachineProfile& m, int P) const noexcept {
+    const int64_t nzLocal = nzPerNodeOrGlobal;
+    const double boundary = computeCpu(std::min<int64_t>(2, nzLocal));
+    const double interior = computeCpu(std::max<int64_t>(0, nzLocal - 2));
+    return std::max(haloTime(m, P, false), interior) + boundary;
+}
+
+// ---------------------------------------------------------------- FoxScaling
+
+int squareSide(int P) noexcept {
+    int q = static_cast<int>(std::sqrt(static_cast<double>(P)));
+    while ((q + 1) * (q + 1) <= P) ++q;
+    while (q > 1 && q * q > P) --q;
+    return std::max(q, 1);
+}
+
+double FoxScaling::totalCpu(const MachineProfile& m, int P, bool weak) const noexcept {
+    const int q = squareSide(P);
+    // Weak scaling keeps n^3 work per node constant: global n = nPer * q^(2/3)
+    // would keep flops/node constant, but the paper scales the problem as
+    // "2048^3 per node", i.e. the local block stays 2048 — global n = 2048*q.
+    const double n = weak ? static_cast<double>(nPerNodeOrGlobal) * q
+                          : static_cast<double>(nPerNodeOrGlobal);
+    const double blockDim = n / q;
+    const double blockBytes = blockDim * blockDim * 4.0;
+    const double compute = n * n * n / (static_cast<double>(q) * q) * secondsPerFma;
+    double comm = 0.0;
+    if (q > 1) {
+        // Per iteration: tree broadcast of the A block along the row
+        // (ceil(log2 q) stages) + column shift of the B block. q iterations.
+        const double stages = std::ceil(std::log2(static_cast<double>(q)));
+        comm = q * (stages * m.net.transferTime(blockBytes) + m.net.transferTime(blockBytes));
+    }
+    return compute + comm;
+}
+
+double FoxScaling::totalGpu(const MachineProfile& m, int P, bool weak) const noexcept {
+    const int q = squareSide(P);
+    const double n = weak ? static_cast<double>(nPerNodeOrGlobal) * q
+                          : static_cast<double>(nPerNodeOrGlobal);
+    const double blockDim = n / q;
+    const double blockBytes = blockDim * blockDim * 4.0;
+    // Per iteration the local multiply reads two blocks and writes one;
+    // with shared-memory tiling each element of A/B is read ~blockDim/TILE
+    // times from DRAM — model the classic tiled kernel at TILE=16.
+    const double tile = 16.0;
+    const double flops = 2.0 * blockDim * blockDim * blockDim;
+    const double bytes = (2.0 * blockDim * blockDim * blockDim / tile + blockDim * blockDim) * 4.0;
+    const double kernel = m.gpu.kernelTime(bytes, flops) * gpuVariantFactor;
+    double comm = 0.0;
+    if (q > 1) {
+        const double stages = std::ceil(std::log2(static_cast<double>(q)));
+        comm = stages * m.net.transferTime(blockBytes) + m.net.transferTime(blockBytes) +
+               2.0 * m.gpu.pciTime(blockBytes);  // stage blocks through the host
+    }
+    return static_cast<double>(q) * (kernel + comm);
+}
+
+} // namespace wj::perf

@@ -1,0 +1,107 @@
+// Analytic performance model for cluster-scale figures.
+//
+// This machine has one CPU core and no GPU or interconnect, so the weak/
+// strong scaling axes of the paper's Figures 4-16 cannot be measured
+// directly. Per DESIGN.md's substitution table, the benches MEASURE each
+// variant's real single-node kernel cost (interpreter, JIT output, C++/
+// template baselines, hand C) and feed it into this module, which models:
+//
+//   * point-to-point communication with the standard alpha-beta (latency +
+//     bytes/bandwidth) model, with TSUBAME-2.0-era constants (QDR
+//     InfiniBand) as the default profile;
+//   * GPU kernels with a roofline over the M2050's memory bandwidth and
+//     peak flops, plus PCIe transfers for the halo planes the paper's
+//     GPU+MPI runner must stage through host memory;
+//   * the two communication patterns the paper's libraries use: 1-D slab
+//     halo exchange (3-D diffusion, Section 4.1) and the Fox algorithm's
+//     row-broadcast + column-shift (matrix multiplication, Section 4.2).
+//
+// All quantities are seconds and bytes; sizes are element counts.
+#pragma once
+
+#include <cstdint>
+
+namespace wj::perf {
+
+/// alpha-beta link model.
+struct NetModel {
+    double latency;    ///< seconds per message
+    double bandwidth;  ///< bytes per second
+
+    double transferTime(double bytes) const noexcept {
+        return latency + bytes / bandwidth;
+    }
+};
+
+/// Roofline-style GPU model.
+struct GpuModel {
+    double peakFlops;       ///< flop/s (fused ops counted as 2)
+    double memBandwidth;    ///< device memory, bytes/s
+    double pciBandwidth;    ///< host<->device, bytes/s
+    double launchOverhead;  ///< seconds per kernel launch
+
+    /// Time for a kernel moving `bytes` and computing `flops`, as the
+    /// roofline max of the two plus launch cost.
+    double kernelTime(double bytes, double flops) const noexcept;
+
+    double pciTime(double bytes) const noexcept {
+        return bytes / pciBandwidth;
+    }
+};
+
+struct MachineProfile {
+    NetModel net;
+    GpuModel gpu;
+
+    /// TSUBAME-2.0-like constants: QDR InfiniBand (~2 us, ~3.2 GB/s
+    /// effective per rail), NVIDIA M2050 (515 GF/s DP peak, 148 GB/s,
+    /// PCIe 2.0 x16 ~6 GB/s effective).
+    static MachineProfile tsubame2() noexcept;
+};
+
+/// 3-D diffusion with 1-D slab decomposition along z (the paper's stencil
+/// library). `secondsPerCell` is the measured per-grid-point update cost of
+/// the variant being modeled (on CPU: measured directly; on GPU: derived
+/// from the roofline and the variant's measured relative factor).
+struct StencilScaling {
+    int64_t nx, ny;
+    int64_t nzPerNodeOrGlobal;  ///< weak: per node; strong: global
+    double secondsPerCell;      ///< CPU variants; ignored for GPU
+    double bytesPerCell = 8;    ///< one float read + one write per update
+    double flopsPerCell = 13;   ///< 7-point stencil: 6 adds + 7 muls
+    double gpuVariantFactor = 1.0;  ///< measured slowdown vs the C kernel
+
+    /// Seconds per simulation step on P CPU nodes, weak scaling
+    /// (nzPerNodeOrGlobal is per node).
+    double weakStepCpu(const MachineProfile& m, int P) const noexcept;
+    /// Seconds per step on P CPU nodes, strong scaling (global nz).
+    double strongStepCpu(const MachineProfile& m, int P) const noexcept;
+    /// GPU versions: compute from the roofline; halo planes cross PCIe.
+    double weakStepGpu(const MachineProfile& m, int P) const noexcept;
+    double strongStepGpu(const MachineProfile& m, int P) const noexcept;
+
+    /// EXTENSION: halo exchange overlapped with the interior sweep —
+    /// max(comm, interior compute) + boundary-plane compute.
+    double weakStepCpuOverlap(const MachineProfile& m, int P) const noexcept;
+
+private:
+    double haloTime(const MachineProfile& m, int P, bool gpu) const noexcept;
+    double computeCpu(int64_t nzLocal) const noexcept;
+    double computeGpu(const MachineProfile& m, int64_t nzLocal) const noexcept;
+};
+
+/// Fox's algorithm on a q x q process grid (the paper's matmul library).
+struct FoxScaling {
+    int64_t nPerNodeOrGlobal;  ///< matrix dimension; weak: per node
+    double secondsPerFma;      ///< measured per multiply-add of the variant
+    double gpuVariantFactor = 1.0;
+
+    /// Seconds for the whole multiplication on P = q*q CPU nodes.
+    double totalCpu(const MachineProfile& m, int P, bool weak) const noexcept;
+    double totalGpu(const MachineProfile& m, int P, bool weak) const noexcept;
+};
+
+/// Largest q with q*q <= P (Fox needs a square grid).
+int squareSide(int P) noexcept;
+
+} // namespace wj::perf

@@ -1,0 +1,32 @@
+// Host-side binding of wjrt_* calls to the substrates.
+//
+// When JitCode::invoke() runs translated code under an N-rank MiniMPI world,
+// each rank thread installs a RankScope binding its Comm and its GpuSim
+// Device before calling the generated entry function — the moral equivalent
+// of the process environment `mpirun` would give each real MPI process.
+#pragma once
+
+#include "gpusim/gpusim.h"
+#include "minimpi/minimpi.h"
+
+namespace wj::runtime {
+
+/// RAII: binds this thread's wjrt context; restores the previous binding on
+/// destruction (bindings can nest, e.g. tests driving multiple worlds).
+class RankScope {
+public:
+    RankScope(minimpi::Comm* comm, gpusim::Device* device);
+    ~RankScope();
+    RankScope(const RankScope&) = delete;
+    RankScope& operator=(const RankScope&) = delete;
+
+private:
+    minimpi::Comm* prevComm_;
+    gpusim::Device* prevDevice_;
+};
+
+/// Current thread's bindings (null when none installed).
+minimpi::Comm* currentComm() noexcept;
+gpusim::Device* currentDevice() noexcept;
+
+} // namespace wj::runtime

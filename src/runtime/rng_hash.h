@@ -1,0 +1,22 @@
+/* Stateless counter-based random generator shared by every execution
+ * platform. The interpreter ("JVM"), the JIT-generated C code, and the C++
+ * baseline programs all inline this exact function, so a Generator seeded
+ * with (seed, index) produces bit-identical data everywhere — the property
+ * the differential tests rely on.
+ *
+ * C-compatible: the code generator pastes this header into generated C. */
+#ifndef WJ_RNG_HASH_H
+#define WJ_RNG_HASH_H
+
+#include <stdint.h>
+
+static inline float wj_rng_hash_f32(int32_t seed, int32_t idx) {
+    uint64_t z = (((uint64_t)(uint32_t)seed) << 32) ^ (uint32_t)idx;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return (float)(z >> 40) * 0x1.0p-24f;
+}
+
+#endif /* WJ_RNG_HASH_H */

@@ -1,0 +1,247 @@
+#include "runtime/wjrt.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "runtime/context.h"
+#include "support/diagnostics.h"
+
+namespace wj::runtime {
+
+namespace {
+thread_local minimpi::Comm* g_comm = nullptr;
+thread_local gpusim::Device* g_device = nullptr;
+} // namespace
+
+RankScope::RankScope(minimpi::Comm* comm, gpusim::Device* device)
+    : prevComm_(g_comm), prevDevice_(g_device) {
+    g_comm = comm;
+    g_device = device;
+}
+
+RankScope::~RankScope() {
+    g_comm = prevComm_;
+    g_device = prevDevice_;
+}
+
+minimpi::Comm* currentComm() noexcept { return g_comm; }
+gpusim::Device* currentDevice() noexcept { return g_device; }
+
+} // namespace wj::runtime
+
+using wj::ExecError;
+using wj::gpusim::Device;
+using wj::gpusim::ThreadCtx;
+
+namespace {
+
+wj::minimpi::Comm& comm() {
+    auto* c = wj::runtime::currentComm();
+    if (!c) throw ExecError("MPI call without an MPI world (invoke via jit4mpi/set4MPI)");
+    return *c;
+}
+
+Device& device() {
+    auto* d = wj::runtime::currentDevice();
+    if (!d) throw ExecError("GPU call without a bound device");
+    return *d;
+}
+
+float* f32At(const wj_array* a, int32_t off) {
+    return static_cast<float*>(wj_array_data(a)) + off;
+}
+
+wj_array_full* full(wj_array* a) { return reinterpret_cast<wj_array_full*>(a); }
+
+} // namespace
+
+extern "C" {
+
+wj_array* wjrt_alloc_array(int64_t len, int32_t elem_size) {
+    if (len < 0) throw ExecError("negative array length");
+    auto* a = static_cast<wj_array_full*>(std::malloc(sizeof(wj_array_full)));
+    if (!a) throw ExecError("out of memory");
+    a->hdr.len = len;
+    a->hdr.elem_size = elem_size;
+    a->hdr.flags = 0;
+    a->data = std::calloc(static_cast<size_t>(len ? len : 1), static_cast<size_t>(elem_size));
+    if (!a->data) {
+        std::free(a);
+        throw ExecError("out of memory");
+    }
+    return &a->hdr;
+}
+
+void wjrt_free_array(wj_array* a) {
+    if (!a) return;
+    if (a->flags & WJ_ARRAY_DEVICE) throw ExecError("WootinJ.free on a device array (use cuda.free)");
+    std::free(full(a)->data);
+    std::free(a);
+}
+
+/* ---------------------------------------------------------------- MPI */
+
+int32_t wjrt_mpi_rank(void) {
+    auto* c = wj::runtime::currentComm();
+    return c ? c->rank() : 0;
+}
+
+int32_t wjrt_mpi_size(void) {
+    auto* c = wj::runtime::currentComm();
+    return c ? c->size() : 1;
+}
+
+void wjrt_mpi_barrier(void) { comm().barrier(); }
+
+void wjrt_mpi_send_f32(const wj_array* buf, int32_t off, int32_t n, int32_t dest, int32_t tag) {
+    comm().sendF32(f32At(buf, off), n, dest, tag);
+}
+
+void wjrt_mpi_recv_f32(wj_array* buf, int32_t off, int32_t n, int32_t src, int32_t tag) {
+    comm().recvF32(f32At(buf, off), n, src, tag);
+}
+
+void wjrt_mpi_sendrecv_f32(const wj_array* sbuf, int32_t soff, int32_t n, int32_t dest,
+                           wj_array* rbuf, int32_t roff, int32_t src, int32_t tag) {
+    comm().sendrecv(f32At(sbuf, soff), sizeof(float) * static_cast<size_t>(n), dest,
+                    f32At(rbuf, roff), sizeof(float) * static_cast<size_t>(n), src, tag);
+}
+
+void wjrt_mpi_bcast_f32(wj_array* buf, int32_t off, int32_t n, int32_t root) {
+    comm().bcast(f32At(buf, off), sizeof(float) * static_cast<size_t>(n), root);
+}
+
+namespace {
+
+struct PendingRecv {
+    wj_array* buf;
+    int32_t off, n, src, tag;
+    bool done;
+};
+thread_local std::vector<PendingRecv> g_pending;
+
+} // namespace
+
+int32_t wjrt_mpi_irecv_f32(wj_array* buf, int32_t off, int32_t n, int32_t src, int32_t tag) {
+    comm();  // validate a world is bound before deferring
+    g_pending.push_back({buf, off, n, src, tag, false});
+    return static_cast<int32_t>(g_pending.size() - 1);
+}
+
+void wjrt_mpi_wait(int32_t request) {
+    if (request < 0 || static_cast<size_t>(request) >= g_pending.size()) {
+        throw ExecError("MPI.wait on an unknown request");
+    }
+    PendingRecv& r = g_pending[static_cast<size_t>(request)];
+    if (r.done) throw ExecError("MPI.wait on an already-completed request");
+    comm().recvF32(f32At(r.buf, r.off), r.n, r.src, r.tag);
+    r.done = true;
+    // Compact fully-drained tables so ids stay small across steps.
+    bool allDone = true;
+    for (const auto& p : g_pending) allDone = allDone && p.done;
+    if (allDone) g_pending.clear();
+}
+
+double wjrt_mpi_allreduce_sum_f64(double v) { return comm().allreduceSum(v); }
+
+double wjrt_mpi_allreduce_max_f64(double v) { return comm().allreduceMax(v); }
+
+/* ----------------------------------------------------------- GPU (host) */
+
+wj_array* wjrt_gpu_alloc_f32(int32_t n) {
+    auto* a = static_cast<wj_array_full*>(std::malloc(sizeof(wj_array_full)));
+    if (!a) throw ExecError("out of memory");
+    a->hdr.len = n;
+    a->hdr.elem_size = sizeof(float);
+    a->hdr.flags = WJ_ARRAY_DEVICE;
+    a->data = device().malloc(static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(float)));
+    return &a->hdr;
+}
+
+void wjrt_gpu_free(wj_array* a) {
+    if (!a) return;
+    if (!(a->flags & WJ_ARRAY_DEVICE)) throw ExecError("cuda.free on a host array");
+    device().free(full(a)->data);
+    std::free(a);
+}
+
+void wjrt_gpu_memcpy_h2d_f32(wj_array* dst, const wj_array* src, int32_t n) {
+    device().memcpyH2D(wj_array_data(dst), wj_array_data(src),
+                       static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(float)));
+}
+
+void wjrt_gpu_memcpy_d2h_f32(wj_array* dst, const wj_array* src, int32_t n) {
+    device().memcpyD2H(wj_array_data(dst), wj_array_data(src),
+                       static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(float)));
+}
+
+void wjrt_gpu_memcpy_h2d_off_f32(wj_array* dst, int32_t dst_off, const wj_array* src,
+                                 int32_t src_off, int32_t n) {
+    if (!(dst->flags & WJ_ARRAY_DEVICE) || (src->flags & WJ_ARRAY_DEVICE)) {
+        throw ExecError("memcpyH2DOff: expected device destination and host source");
+    }
+    device().memcpyH2D(wj_array_data(dst), f32At(src, src_off), 0);  // ownership check
+    std::memcpy(f32At(dst, dst_off), f32At(src, src_off),
+                sizeof(float) * static_cast<size_t>(n));
+}
+
+void wjrt_gpu_memcpy_d2h_off_f32(wj_array* dst, int32_t dst_off, const wj_array* src,
+                                 int32_t src_off, int32_t n) {
+    if ((dst->flags & WJ_ARRAY_DEVICE) || !(src->flags & WJ_ARRAY_DEVICE)) {
+        throw ExecError("memcpyD2HOff: expected host destination and device source");
+    }
+    device().memcpyD2H(f32At(dst, dst_off), wj_array_data(src), 0);  // ownership check
+    std::memcpy(f32At(dst, dst_off), f32At(src, src_off),
+                sizeof(float) * static_cast<size_t>(n));
+}
+
+void wjrt_gpu_launch(wjrt_gpu_kernel k, void* args, int32_t gx, int32_t gy, int32_t gz,
+                     int32_t bx, int32_t by, int32_t bz, int64_t shared_bytes,
+                     int32_t needs_sync) {
+    device().launch(reinterpret_cast<wj::gpusim::KernelFn>(k), args, {gx, gy, gz}, {bx, by, bz},
+                    shared_bytes, needs_sync != 0);
+}
+
+/* --------------------------------------------------------- GPU (device) */
+
+#define WJ_TC(t) (reinterpret_cast<const ThreadCtx*>(t))
+
+int32_t wjrt_gpu_tidx_x(const wjrt_gpu_tctx* t) { return WJ_TC(t)->threadIdx.x; }
+int32_t wjrt_gpu_tidx_y(const wjrt_gpu_tctx* t) { return WJ_TC(t)->threadIdx.y; }
+int32_t wjrt_gpu_tidx_z(const wjrt_gpu_tctx* t) { return WJ_TC(t)->threadIdx.z; }
+int32_t wjrt_gpu_bidx_x(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockIdx.x; }
+int32_t wjrt_gpu_bidx_y(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockIdx.y; }
+int32_t wjrt_gpu_bidx_z(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockIdx.z; }
+int32_t wjrt_gpu_bdim_x(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockDim.x; }
+int32_t wjrt_gpu_bdim_y(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockDim.y; }
+int32_t wjrt_gpu_bdim_z(const wjrt_gpu_tctx* t) { return WJ_TC(t)->blockDim.z; }
+int32_t wjrt_gpu_gdim_x(const wjrt_gpu_tctx* t) { return WJ_TC(t)->gridDim.x; }
+int32_t wjrt_gpu_gdim_y(const wjrt_gpu_tctx* t) { return WJ_TC(t)->gridDim.y; }
+int32_t wjrt_gpu_gdim_z(const wjrt_gpu_tctx* t) { return WJ_TC(t)->gridDim.z; }
+
+void wjrt_gpu_sync(wjrt_gpu_tctx* t) { wj::gpusim::syncThreads(reinterpret_cast<ThreadCtx*>(t)); }
+
+wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t) {
+    // One header per OS thread; its payload aliases the block's shared
+    // buffer. Valid until the next wjrt_gpu_shared_f32 on this thread with a
+    // different block — which is fine, kernels re-fetch it per call.
+    thread_local wj_array_full hdr;
+    ThreadCtx* c = reinterpret_cast<ThreadCtx*>(t);
+    hdr.hdr.len = c->sharedFloats;
+    hdr.hdr.elem_size = sizeof(float);
+    hdr.hdr.flags = WJ_ARRAY_DEVICE;
+    hdr.data = c->shared;
+    return &hdr.hdr;
+}
+
+/* ------------------------------------------------------------------ misc */
+
+void wjrt_print_i64(int64_t v) { std::printf("%lld\n", static_cast<long long>(v)); }
+
+void wjrt_print_f64(double v) { std::printf("%.9g\n", v); }
+
+void wjrt_trap(const char* msg) { throw ExecError(std::string("translated code trapped: ") + msg); }
+
+} // extern "C"

@@ -1,0 +1,122 @@
+/* wjrt: the C ABI runtime for WootinC-generated code.
+ *
+ * The JIT's output is plain C (paper, Section 3.3). At load time (dlopen)
+ * it resolves these symbols from the host executable, the same way the
+ * paper's generated code resolves MPI_* / cuda* library symbols. The MPI
+ * functions bind to the MiniMPI substrate and the GPU functions to GpuSim,
+ * through per-thread rank bindings installed by the invoking host (see
+ * runtime/context.h). There is no per-call wrapper logic beyond the bind —
+ * "no runtime penalties are involved" (Section 3, Multiplatform).
+ *
+ * This header is included both by the C++ runtime implementation and by the
+ * GENERATED C CODE, so it must stay C99-clean.
+ */
+#ifndef WJ_WJRT_H
+#define WJ_WJRT_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ------------------------------------------------------------------ arrays
+ * The only heap data type in translated code (all other objects are inlined
+ * into stack structs). `data` points at len*elem_size bytes; `flags` bit 0
+ * marks device-resident payloads. Element accesses in generated code are
+ * raw pointer arithmetic with NO bounds checks, per the paper.
+ */
+typedef struct wj_array {
+    int64_t len;
+    int32_t elem_size;
+    int32_t flags; /* bit 0: payload lives in device memory */
+} wj_array;
+
+struct wj_array_full {
+    wj_array hdr;
+    void* data;
+};
+
+#define WJ_ARRAY_DEVICE 1
+
+/* Payload pointer. */
+static inline void* wj_array_data(const wj_array* a) {
+    return ((const struct wj_array_full*)a)->data;
+}
+
+/* Host array allocation (zero-initialized) and explicit free — the paper's
+ * WootinJ.free; there is no garbage collector on the translated side. */
+wj_array* wjrt_alloc_array(int64_t len, int32_t elem_size);
+void wjrt_free_array(wj_array* a);
+
+/* --------------------------------------------------------------------- MPI
+ * Direct bindings onto the current rank's MiniMPI communicator. Without a
+ * binding (plain jit(), no mpirun) rank()/size() report a 1-rank world and
+ * the communication calls trap.
+ */
+int32_t wjrt_mpi_rank(void);
+int32_t wjrt_mpi_size(void);
+void wjrt_mpi_barrier(void);
+void wjrt_mpi_send_f32(const wj_array* buf, int32_t off, int32_t n, int32_t dest, int32_t tag);
+void wjrt_mpi_recv_f32(wj_array* buf, int32_t off, int32_t n, int32_t src, int32_t tag);
+void wjrt_mpi_sendrecv_f32(const wj_array* sbuf, int32_t soff, int32_t n, int32_t dest,
+                           wj_array* rbuf, int32_t roff, int32_t src, int32_t tag);
+void wjrt_mpi_bcast_f32(wj_array* buf, int32_t off, int32_t n, int32_t root);
+double wjrt_mpi_allreduce_sum_f64(double v);
+double wjrt_mpi_allreduce_max_f64(double v);
+/* Nonblocking receive: registers the receive and returns a request id; the
+ * matching copy happens at wjrt_mpi_wait (sends are buffered, so the data
+ * is already in flight — semantics match a rendezvous-free MPI_Irecv). */
+int32_t wjrt_mpi_irecv_f32(wj_array* buf, int32_t off, int32_t n, int32_t src, int32_t tag);
+void wjrt_mpi_wait(int32_t request);
+
+/* ------------------------------------------------------------- GPU (host)
+ * Bindings onto the current rank's GpuSim device (one GPU per node).
+ */
+wj_array* wjrt_gpu_alloc_f32(int32_t n);
+void wjrt_gpu_free(wj_array* a);
+void wjrt_gpu_memcpy_h2d_f32(wj_array* dst, const wj_array* src, int32_t n);
+void wjrt_gpu_memcpy_d2h_f32(wj_array* dst, const wj_array* src, int32_t n);
+void wjrt_gpu_memcpy_h2d_off_f32(wj_array* dst, int32_t dst_off, const wj_array* src,
+                                 int32_t src_off, int32_t n);
+void wjrt_gpu_memcpy_d2h_off_f32(wj_array* dst, int32_t dst_off, const wj_array* src,
+                                 int32_t src_off, int32_t n);
+
+/* A kernel thunk receives the opaque thread context plus a pointer to the
+ * packed launch arguments the host side of the generated code built. */
+typedef struct wjrt_gpu_tctx wjrt_gpu_tctx;
+typedef void (*wjrt_gpu_kernel)(wjrt_gpu_tctx*, void*);
+
+void wjrt_gpu_launch(wjrt_gpu_kernel k, void* args, int32_t gx, int32_t gy, int32_t gz,
+                     int32_t bx, int32_t by, int32_t bz, int64_t shared_bytes,
+                     int32_t needs_sync);
+
+/* ----------------------------------------------------------- GPU (device) */
+int32_t wjrt_gpu_tidx_x(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_tidx_y(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_tidx_z(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bidx_x(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bidx_y(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bidx_z(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bdim_x(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bdim_y(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_bdim_z(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_gdim_x(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_gdim_y(const wjrt_gpu_tctx* t);
+int32_t wjrt_gpu_gdim_z(const wjrt_gpu_tctx* t);
+void wjrt_gpu_sync(wjrt_gpu_tctx* t);
+/* The block's dynamic shared buffer viewed as a float array (@Shared). The
+ * returned header is thread-local; its payload is the block's shared mem. */
+wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t);
+
+/* -------------------------------------------------------------------- misc */
+void wjrt_print_i64(int64_t v);
+void wjrt_print_f64(double v);
+/* Fatal runtime error from generated code (e.g. MPI use without a world). */
+void wjrt_trap(const char* msg);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* WJ_WJRT_H */

@@ -1,0 +1,1046 @@
+#include "stencil/stencil_lib.h"
+
+#include <vector>
+
+#include "runtime/rng_hash.h"
+#include "support/diagnostics.h"
+
+namespace wj::stencil {
+
+using namespace wj::dsl;
+
+DiffusionCoeffs DiffusionCoeffs::forKappa(float kappa, float dt, float dx) {
+    const float k = kappa * dt / (dx * dx);
+    return DiffusionCoeffs{1.0f - 6.0f * k, k, k, k, k, k, k};
+}
+
+namespace {
+
+Type f32() { return Type::f32(); }
+Type f32arr() { return Type::array(Type::f32()); }
+Type i32() { return Type::i32(); }
+Type f64() { return Type::f64(); }
+
+// The DSL trees are uniquely owned, so every use site builds its own nodes.
+// `(z*ny + y)*nx + x` on this-grid fields (FloatGridDblB bodies only).
+ExprPtr gridIdx(ExprPtr x, ExprPtr y, ExprPtr z) {
+    return add(mul(add(mul(std::move(z), selff("ny")), std::move(y)), selff("nx")), std::move(x));
+}
+
+void buildValueClasses(ProgramBuilder& pb) {
+    // ScalarFloat — the solver's boxed value (Listing 1). Strict-final and
+    // semi-immutable; the JIT flattens it to a bare float.
+    {
+        auto& c = pb.cls("ScalarFloat").finalClass();
+        c.field("v", f32());
+        c.ctor().param("v_", f32()).body(blk(setSelf("v", lv("v_"))));
+        c.method("val", f32()).body(blk(ret(selff("v"))));
+    }
+    // DiffusionQuantity — the PhysQuantity feature: 7-point coefficients.
+    {
+        auto& c = pb.cls("DiffusionQuantity").finalClass();
+        for (const char* f : {"cc", "cw", "ce", "cn", "cs", "cb", "ct"}) c.field(f, f32());
+        auto& ct = c.ctor();
+        for (const char* f : {"cc_", "cw_", "ce_", "cn_", "cs_", "cb_", "ct_"}) ct.param(f, f32());
+        ct.body(blk(setSelf("cc", lv("cc_")), setSelf("cw", lv("cw_")), setSelf("ce", lv("ce_")),
+                    setSelf("cn", lv("cn_")), setSelf("cs", lv("cs_")), setSelf("cb", lv("cb_")),
+                    setSelf("ct", lv("ct_"))));
+    }
+}
+
+void buildGrid(ProgramBuilder& pb) {
+    auto& c = pb.cls("FloatGridDblB").finalClass();
+    c.field("cur", f32arr()).field("nxt", f32arr());
+    c.field("nx", i32()).field("ny", i32()).field("nz", i32());
+    c.ctor()
+        .param("nx_", i32())
+        .param("ny_", i32())
+        .param("nz_", i32())
+        .body(blk(setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")), setSelf("nz", lv("nz_")),
+                  setSelf("cur", newArr(f32(), mul(mul(lv("nx_"), lv("ny_")), lv("nz_")))),
+                  setSelf("nxt", newArr(f32(), mul(mul(lv("nx_"), lv("ny_")), lv("nz_"))))));
+
+    c.method("idx", i32())
+        .param("x", i32())
+        .param("y", i32())
+        .param("z", i32())
+        .body(blk(ret(gridIdx(lv("x"), lv("y"), lv("z")))));
+
+    c.method("get", f32())
+        .param("x", i32())
+        .param("y", i32())
+        .param("z", i32())
+        .body(blk(ret(aget(selff("cur"), call(self(), "idx", lv("x"), lv("y"), lv("z"))))));
+
+    // Periodic read: indices may be -1..n, wrapped with (+n)%n.
+    c.method("getWrap", f32())
+        .param("x", i32())
+        .param("y", i32())
+        .param("z", i32())
+        .body(blk(decl("xx", i32(), rem(add(lv("x"), selff("nx")), selff("nx"))),
+                  decl("yy", i32(), rem(add(lv("y"), selff("ny")), selff("ny"))),
+                  decl("zz", i32(), rem(add(lv("z"), selff("nz")), selff("nz"))),
+                  ret(aget(selff("cur"), call(self(), "idx", lv("xx"), lv("yy"), lv("zz"))))));
+
+    c.method("set", Type::voidTy())
+        .param("x", i32())
+        .param("y", i32())
+        .param("z", i32())
+        .param("v", f32())
+        .body(blk(aset(selff("nxt"), call(self(), "idx", lv("x"), lv("y"), lv("z")), lv("v")),
+                  retVoid()));
+
+    // Double buffering: swap the (array-typed, hence mutable) buffers.
+    c.method("swap", Type::voidTy())
+        .body(blk(decl("t", f32arr(), selff("cur")), setSelf("cur", selff("nxt")),
+                  setSelf("nxt", lv("t")), retVoid()));
+
+    c.method("fill", Type::voidTy())
+        .param("seed", i32())
+        .body(blk(forRange("i", ci(0), alen(selff("cur")),
+                           blk(aset(selff("cur"), lv("i"),
+                                    intr(Intrinsic::RngHashF32, lv("seed"), lv("i"))))),
+                  retVoid()));
+
+    c.method("checksum", f64())
+        .body(blk(decl("s", f64(), cd(0.0)),
+                  forRange("i", ci(0), alen(selff("cur")),
+                           blk(assign("s", add(lv("s"),
+                                               cast(f64(), aget(selff("cur"), lv("i"))))))),
+                  ret(lv("s"))));
+}
+
+void buildSolverHierarchy(ProgramBuilder& pb) {
+    pb.cls("StencilSolver").interfaceClass();
+
+    {
+        auto& c = pb.cls("ThreeDSolver").implements("StencilSolver");
+        auto& m = c.method("solve", Type::cls("ScalarFloat")).abstractMethod();
+        for (const char* p : {"c", "w", "e", "n", "s", "b", "t"}) m.param(p, Type::cls("ScalarFloat"));
+        m.param("q", Type::cls("DiffusionQuantity"));
+    }
+    {
+        auto& c = pb.cls("OneDSolver").implements("StencilSolver");
+        c.method("solve", Type::cls("ScalarFloat"))
+            .param("left", Type::cls("ScalarFloat"))
+            .param("right", Type::cls("ScalarFloat"))
+            .param("selfv", Type::cls("ScalarFloat"))
+            .abstractMethod();
+    }
+    // Ablation twin of ThreeDSolver: identical math, raw floats instead of
+    // ScalarFloat boxes. Comparing the two quantifies what object inlining
+    // buys (bench_abl_boxing): after translation they should cost the same.
+    {
+        auto& c = pb.cls("ThreeDSolverRaw").implements("StencilSolver");
+        auto& m = c.method("solveRaw", f32()).abstractMethod();
+        for (const char* p2 : {"c", "w", "e", "n", "s", "b", "t"}) m.param(p2, f32());
+        m.param("q", Type::cls("DiffusionQuantity"));
+    }
+}
+
+void buildRunners(ProgramBuilder& pb) {
+    pb.cls("StencilRunner").method("run", f64()).param("steps", i32()).abstractMethod();
+
+    // ---------------------------------------------------------------- CPU
+    {
+        auto& c = pb.cls("StencilCPU3DDblB").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("grid", Type::cls("FloatGridDblB"));
+        c.field("seed", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("grid_", Type::cls("FloatGridDblB"))
+            .param("seed_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("grid", lv("grid_")), setSelf("seed", lv("seed_"))));
+
+        // One grid sweep: 7-point gather with periodic wrap, solver applied
+        // per cell. This is where the interpreter pays 7 boxed allocations
+        // and one dynamic dispatch per cell, and the JIT pays nothing.
+        c.method("step", Type::voidTy())
+            .body(blk(
+                forRange("z", ci(0), getf(selff("grid"), "nz"),
+                blk(forRange("y", ci(0), getf(selff("grid"), "ny"),
+                blk(forRange("x", ci(0), getf(selff("grid"), "nx"),
+                blk(decl("r", Type::cls("ScalarFloat"),
+                         call(selff("solver"), "solve",
+                              newObj("ScalarFloat", call(selff("grid"), "get", lv("x"), lv("y"), lv("z"))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", sub(lv("x"), ci(1)), lv("y"), lv("z"))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", add(lv("x"), ci(1)), lv("y"), lv("z"))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", lv("x"), sub(lv("y"), ci(1)), lv("z"))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", lv("x"), add(lv("y"), ci(1)), lv("z"))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", lv("x"), lv("y"), sub(lv("z"), ci(1)))),
+                              newObj("ScalarFloat", call(selff("grid"), "getWrap", lv("x"), lv("y"), add(lv("z"), ci(1)))),
+                              selff("q"))),
+                    exprS(call(selff("grid"), "set", lv("x"), lv("y"), lv("z"),
+                               call(lv("r"), "val"))))))))),
+                retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(exprS(call(selff("grid"), "fill", selff("seed"))),
+                      forRange("s", ci(0), lv("steps"),
+                               blk(exprS(call(self(), "step")),
+                                   exprS(call(selff("grid"), "swap")))),
+                      ret(call(selff("grid"), "checksum"))));
+    }
+
+
+    // -------------------------------------- CPU+MPI with comm/compute overlap
+    // EXTENSION beyond the paper: the classic halo-overlap optimization.
+    // Ghost receives are posted nonblocking, interior planes (which need no
+    // ghosts) are computed while the halos are in flight, then the runner
+    // waits and finishes the two boundary planes. Bit-identical to
+    // StencilCPU3D_MPI; bench_abl_overlap quantifies the hidden latency.
+    {
+        auto& c = pb.cls("StencilCPU3D_MPI_Overlap").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("nx", i32()).field("ny", i32()).field("nzLocal", i32()).field("seed", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("nx_", i32())
+            .param("ny_", i32())
+            .param("nzLocal_", i32())
+            .param("seed_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")),
+                      setSelf("nzLocal", lv("nzLocal_")), setSelf("seed", lv("seed_"))));
+
+        // Sweep of z in [z0, z1) over the ghost-padded slab.
+        auto& step = c.method("stepRange", Type::voidTy());
+        step.param("cur", f32arr()).param("nxt", f32arr()).param("z0", i32()).param("z1", i32());
+        step.body(blk(
+            decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+            decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+            forI32("z", lv("z0"), lt(lv("z"), lv("z1")), add(lv("z"), ci(1)),
+            blk(forRange("y", ci(0), lv("ny"),
+            blk(forRange("x", ci(0), lv("nx"),
+            blk(decl("xm", i32(), rem(add(sub(lv("x"), ci(1)), lv("nx")), lv("nx"))),
+                decl("xp", i32(), rem(add(lv("x"), ci(1)), lv("nx"))),
+                decl("ym", i32(), rem(add(sub(lv("y"), ci(1)), lv("ny")), lv("ny"))),
+                decl("yp", i32(), rem(add(lv("y"), ci(1)), lv("ny"))),
+                decl("base", i32(), add(mul(lv("z"), lv("plane")), mul(lv("y"), lv("nx")))),
+                decl("r", Type::cls("ScalarFloat"),
+                     call(selff("solver"), "solve",
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("xm")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("xp")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(mul(lv("z"), lv("plane")),
+                                                        mul(lv("ym"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(mul(lv("z"), lv("plane")),
+                                                        mul(lv("yp"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), sub(add(lv("base"), lv("x")), lv("plane")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(lv("base"), lv("x")), lv("plane")))),
+                          selff("q"))),
+                aset(lv("nxt"), add(lv("base"), lv("x")), call(lv("r"), "val")))))))),
+            retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("rank", i32(), mpiRank()),
+                decl("size", i32(), mpiSize()),
+                decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+                decl("nzL", i32(), selff("nzLocal")),
+                decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+                decl("total", i32(), mul(lv("plane"), add(lv("nzL"), ci(2)))),
+                decl("cur", f32arr(), newArr(f32(), lv("total"))),
+                decl("nxt", f32arr(), newArr(f32(), lv("total"))),
+                forRange("z", ci(0), lv("nzL"),
+                blk(decl("gz", i32(), add(mul(lv("rank"), lv("nzL")), lv("z"))),
+                    forRange("i", ci(0), lv("plane"),
+                    blk(aset(lv("cur"), add(mul(add(lv("z"), ci(1)), lv("plane")), lv("i")),
+                             intr(Intrinsic::RngHashF32, selff("seed"),
+                                  add(mul(lv("gz"), lv("plane")), lv("i")))))))),
+                decl("up", i32(), rem(add(lv("rank"), ci(1)), lv("size"))),
+                decl("down", i32(), rem(sub(add(lv("rank"), lv("size")), ci(1)), lv("size"))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    ifs(gt(lv("size"), ci(1)),
+                        blk(// Post ghost receives, push boundaries, compute the
+                            // interior while the halos are in flight.
+                            decl("rBot", i32(),
+                                 intr(Intrinsic::MpiIrecvF32, lv("cur"), ci(0), lv("plane"),
+                                      lv("down"), ci(11))),
+                            decl("rTop", i32(),
+                                 intr(Intrinsic::MpiIrecvF32, lv("cur"),
+                                      mul(add(lv("nzL"), ci(1)), lv("plane")), lv("plane"),
+                                      lv("up"), ci(12))),
+                            exprS(intr(Intrinsic::MpiSendF32, lv("cur"),
+                                       mul(lv("nzL"), lv("plane")), lv("plane"), lv("up"),
+                                       ci(11))),
+                            exprS(intr(Intrinsic::MpiSendF32, lv("cur"), lv("plane"),
+                                       lv("plane"), lv("down"), ci(12))),
+                            exprS(call(self(), "stepRange", lv("cur"), lv("nxt"), ci(2),
+                                       lv("nzL"))),
+                            exprS(intr(Intrinsic::MpiWait, lv("rBot"))),
+                            exprS(intr(Intrinsic::MpiWait, lv("rTop"))),
+                            exprS(call(self(), "stepRange", lv("cur"), lv("nxt"), ci(1), ci(2))),
+                            exprS(call(self(), "stepRange", lv("cur"), lv("nxt"), lv("nzL"),
+                                       add(lv("nzL"), ci(1))))),
+                        blk(forRange("i", ci(0), lv("plane"),
+                            blk(aset(lv("cur"), lv("i"),
+                                     aget(lv("cur"), add(mul(lv("nzL"), lv("plane")), lv("i")))),
+                                aset(lv("cur"),
+                                     add(mul(add(lv("nzL"), ci(1)), lv("plane")), lv("i")),
+                                     aget(lv("cur"), add(lv("plane"), lv("i")))))),
+                            exprS(call(self(), "stepRange", lv("cur"), lv("nxt"), ci(1),
+                                       add(lv("nzL"), ci(1)))))),
+                    decl("tswap", f32arr(), lv("cur")),
+                    assign("cur", lv("nxt")),
+                    assign("nxt", lv("tswap")))),
+                decl("local", f64(), cd(0.0)),
+                forRange("i", lv("plane"), mul(lv("plane"), add(lv("nzL"), ci(1))),
+                         blk(assign("local", add(lv("local"), cast(f64(), aget(lv("cur"), lv("i"))))))),
+                decl("sum", f64(), lv("local")),
+                ifs(gt(lv("size"), ci(1)),
+                    blk(assign("sum", intr(Intrinsic::MpiAllreduceSumF64, lv("local"))))),
+                exprS(intr(Intrinsic::FreeArray, lv("cur"))),
+                exprS(intr(Intrinsic::FreeArray, lv("nxt"))),
+                ret(lv("sum"))));
+    }
+
+    // ----------------------------------------------------- CPU (raw twin)
+    {
+        auto& c = pb.cls("StencilCPU3DRaw").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolverRaw"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("grid", Type::cls("FloatGridDblB"));
+        c.field("seed", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolverRaw"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("grid_", Type::cls("FloatGridDblB"))
+            .param("seed_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("grid", lv("grid_")), setSelf("seed", lv("seed_"))));
+        c.method("step", Type::voidTy())
+            .body(blk(
+                forRange("z", ci(0), getf(selff("grid"), "nz"),
+                blk(forRange("y", ci(0), getf(selff("grid"), "ny"),
+                blk(forRange("x", ci(0), getf(selff("grid"), "nx"),
+                blk(decl("r", f32(),
+                         call(selff("solver"), "solveRaw",
+                              call(selff("grid"), "get", lv("x"), lv("y"), lv("z")),
+                              call(selff("grid"), "getWrap", sub(lv("x"), ci(1)), lv("y"), lv("z")),
+                              call(selff("grid"), "getWrap", add(lv("x"), ci(1)), lv("y"), lv("z")),
+                              call(selff("grid"), "getWrap", lv("x"), sub(lv("y"), ci(1)), lv("z")),
+                              call(selff("grid"), "getWrap", lv("x"), add(lv("y"), ci(1)), lv("z")),
+                              call(selff("grid"), "getWrap", lv("x"), lv("y"), sub(lv("z"), ci(1))),
+                              call(selff("grid"), "getWrap", lv("x"), lv("y"), add(lv("z"), ci(1))),
+                              selff("q"))),
+                    exprS(call(selff("grid"), "set", lv("x"), lv("y"), lv("z"), lv("r"))))))))),
+                retVoid()));
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(exprS(call(selff("grid"), "fill", selff("seed"))),
+                      forRange("s", ci(0), lv("steps"),
+                               blk(exprS(call(self(), "step")),
+                                   exprS(call(selff("grid"), "swap")))),
+                      ret(call(selff("grid"), "checksum"))));
+    }
+
+    // ------------------------------------------------------------ CPU+MPI
+    {
+        auto& c = pb.cls("StencilCPU3D_MPI").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("nx", i32()).field("ny", i32()).field("nzLocal", i32()).field("seed", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("nx_", i32())
+            .param("ny_", i32())
+            .param("nzLocal_", i32())
+            .param("seed_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")),
+                      setSelf("nzLocal", lv("nzLocal_")), setSelf("seed", lv("seed_"))));
+
+        // Interior sweep over a ghost-padded slab (z in [1, nzLocal]).
+        auto& step = c.method("step", Type::voidTy());
+        step.param("cur", f32arr()).param("nxt", f32arr());
+        step.body(blk(
+            decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+            decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+            forRange("z", ci(1), add(selff("nzLocal"), ci(1)),
+            blk(forRange("y", ci(0), lv("ny"),
+            blk(forRange("x", ci(0), lv("nx"),
+            blk(decl("xm", i32(), rem(add(sub(lv("x"), ci(1)), lv("nx")), lv("nx"))),
+                decl("xp", i32(), rem(add(lv("x"), ci(1)), lv("nx"))),
+                decl("ym", i32(), rem(add(sub(lv("y"), ci(1)), lv("ny")), lv("ny"))),
+                decl("yp", i32(), rem(add(lv("y"), ci(1)), lv("ny"))),
+                decl("base", i32(), add(mul(lv("z"), lv("plane")), mul(lv("y"), lv("nx")))),
+                decl("r", Type::cls("ScalarFloat"),
+                     call(selff("solver"), "solve",
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("xm")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("base"), lv("xp")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(mul(lv("z"), lv("plane")),
+                                                        mul(lv("ym"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(mul(lv("z"), lv("plane")),
+                                                        mul(lv("yp"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), sub(add(lv("base"), lv("x")), lv("plane")))),
+                          newObj("ScalarFloat",
+                                 aget(lv("cur"), add(add(lv("base"), lv("x")), lv("plane")))),
+                          selff("q"))),
+                aset(lv("nxt"), add(lv("base"), lv("x")), call(lv("r"), "val")))))))),
+            retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("rank", i32(), mpiRank()),
+                decl("size", i32(), mpiSize()),
+                decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+                decl("nzL", i32(), selff("nzLocal")),
+                decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+                decl("total", i32(), mul(lv("plane"), add(lv("nzL"), ci(2)))),
+                decl("cur", f32arr(), newArr(f32(), lv("total"))),
+                decl("nxt", f32arr(), newArr(f32(), lv("total"))),
+                // Initialize interior from GLOBAL cell indices so every rank
+                // count computes the same global problem.
+                forRange("z", ci(0), lv("nzL"),
+                blk(decl("gz", i32(), add(mul(lv("rank"), lv("nzL")), lv("z"))),
+                    forRange("i", ci(0), lv("plane"),
+                    blk(aset(lv("cur"), add(mul(add(lv("z"), ci(1)), lv("plane")), lv("i")),
+                             intr(Intrinsic::RngHashF32, selff("seed"),
+                                  add(mul(lv("gz"), lv("plane")), lv("i")))))))),
+                decl("up", i32(), rem(add(lv("rank"), ci(1)), lv("size"))),
+                decl("down", i32(), rem(sub(add(lv("rank"), lv("size")), ci(1)), lv("size"))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    ifs(gt(lv("size"), ci(1)),
+                        // Halo exchange: top interior plane up / bottom ghost
+                        // from below, then the mirror direction.
+                        blk(exprS(intr(Intrinsic::MpiSendRecvF32, lv("cur"),
+                                       mul(lv("nzL"), lv("plane")), lv("plane"), lv("up"),
+                                       lv("cur"), ci(0), lv("down"), ci(11))),
+                            exprS(intr(Intrinsic::MpiSendRecvF32, lv("cur"),
+                                       mul(ci(1), lv("plane")), lv("plane"), lv("down"),
+                                       lv("cur"), mul(add(lv("nzL"), ci(1)), lv("plane")),
+                                       lv("up"), ci(12)))),
+                        // size == 1: periodic wrap within the local slab.
+                        blk(forRange("i", ci(0), lv("plane"),
+                            blk(aset(lv("cur"), lv("i"),
+                                     aget(lv("cur"), add(mul(lv("nzL"), lv("plane")), lv("i")))),
+                                aset(lv("cur"),
+                                     add(mul(add(lv("nzL"), ci(1)), lv("plane")), lv("i")),
+                                     aget(lv("cur"), add(lv("plane"), lv("i")))))))),
+                    exprS(call(self(), "step", lv("cur"), lv("nxt"))),
+                    decl("tswap", f32arr(), lv("cur")),
+                    assign("cur", lv("nxt")),
+                    assign("nxt", lv("tswap")))),
+                // Global checksum over interiors.
+                decl("local", f64(), cd(0.0)),
+                forRange("i", lv("plane"), mul(lv("plane"), add(lv("nzL"), ci(1))),
+                         blk(assign("local", add(lv("local"), cast(f64(), aget(lv("cur"), lv("i"))))))),
+                decl("sum", f64(), lv("local")),
+                ifs(gt(lv("size"), ci(1)),
+                    blk(assign("sum", intr(Intrinsic::MpiAllreduceSumF64, lv("local"))))),
+                exprS(intr(Intrinsic::FreeArray, lv("cur"))),
+                exprS(intr(Intrinsic::FreeArray, lv("nxt"))),
+                ret(lv("sum"))));
+    }
+
+    // ---------------------------------------------------------------- GPU
+    {
+        auto& c = pb.cls("StencilGPU3D").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("nx", i32()).field("ny", i32()).field("nz", i32());
+        c.field("seed", i32()).field("blockSize", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("nx_", i32()).param("ny_", i32()).param("nz_", i32())
+            .param("seed_", i32()).param("blockSize_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")),
+                      setSelf("nz", lv("nz_")), setSelf("seed", lv("seed_")),
+                      setSelf("blockSize", lv("blockSize_"))));
+
+        // The whole-grid update kernel (Listing 4's runGPU idiom): one
+        // logical thread per cell; the solver call inside is devirtualized
+        // into a __device__ function by the translator.
+        auto& k = c.method("stepKernel", Type::voidTy()).global();
+        k.param("conf", Type::cls(Program::cudaConfigClass()));
+        k.param("cur", f32arr()).param("nxt", f32arr());
+        k.body(blk(
+            decl("i", i32(), add(mul(bidxX(), bdimX()), tidxX())),
+            decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+            decl("nz", i32(), selff("nz")),
+            decl("total", i32(), mul(mul(lv("nx"), lv("ny")), lv("nz"))),
+            ifs(lt(lv("i"), lv("total")), blk(
+                decl("x", i32(), rem(lv("i"), lv("nx"))),
+                decl("y", i32(), rem(divE(lv("i"), lv("nx")), lv("ny"))),
+                decl("z", i32(), divE(lv("i"), mul(lv("nx"), lv("ny")))),
+                decl("xm", i32(), rem(add(sub(lv("x"), ci(1)), lv("nx")), lv("nx"))),
+                decl("xp", i32(), rem(add(lv("x"), ci(1)), lv("nx"))),
+                decl("ym", i32(), rem(add(sub(lv("y"), ci(1)), lv("ny")), lv("ny"))),
+                decl("yp", i32(), rem(add(lv("y"), ci(1)), lv("ny"))),
+                decl("zm", i32(), rem(add(sub(lv("z"), ci(1)), lv("nz")), lv("nz"))),
+                decl("zp", i32(), rem(add(lv("z"), ci(1)), lv("nz"))),
+                decl("r", Type::cls("ScalarFloat"),
+                     call(selff("solver"), "solve",
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("y")), lv("nx")), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("y")), lv("nx")), lv("xm")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("y")), lv("nx")), lv("xp")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("ym")), lv("nx")), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("yp")), lv("nx")), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("zm"), lv("ny")), lv("y")), lv("nx")), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(mul(add(mul(lv("zp"), lv("ny")), lv("y")), lv("nx")), lv("x")))),
+                          selff("q"))),
+                aset(lv("nxt"), lv("i"), call(lv("r"), "val")))),
+            retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("total", i32(), mul(mul(selff("nx"), selff("ny")), selff("nz"))),
+                decl("host", f32arr(), newArr(f32(), lv("total"))),
+                forRange("i", ci(0), lv("total"),
+                         blk(aset(lv("host"), lv("i"),
+                                  intr(Intrinsic::RngHashF32, selff("seed"), lv("i"))))),
+                decl("dcur", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                decl("dnxt", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("dcur"), lv("host"), lv("total"))),
+                decl("bs", i32(), selff("blockSize")),
+                decl("blocks", i32(), divE(sub(add(lv("total"), lv("bs")), ci(1)), lv("bs"))),
+                decl("conf", Type::cls(Program::cudaConfigClass()),
+                     cudaConfig(dim3of(lv("blocks")), dim3of(lv("bs")), ci(0))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    exprS(call(self(), "stepKernel", lv("conf"), lv("dcur"), lv("dnxt"))),
+                    decl("tswap", f32arr(), lv("dcur")),
+                    assign("dcur", lv("dnxt")),
+                    assign("dnxt", lv("tswap")))),
+                exprS(intr(Intrinsic::GpuMemcpyD2HF32, lv("host"), lv("dcur"), lv("total"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dcur"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dnxt"))),
+                decl("sum", f64(), cd(0.0)),
+                forRange("i", ci(0), lv("total"),
+                         blk(assign("sum", add(lv("sum"), cast(f64(), aget(lv("host"), lv("i"))))))),
+                exprS(intr(Intrinsic::FreeArray, lv("host"))),
+                ret(lv("sum"))));
+    }
+
+
+    // --------------------------------------------- GPU with @Shared tiles
+    // The paper's @Shared feature in the stencil library: each block stages
+    // its x-row segment (plus one halo cell each side) into shared memory,
+    // barriers, then reads x-neighbors from shared while y/z neighbors come
+    // from global memory. Requires nx %% blockSize == 0.
+    {
+        auto& c = pb.cls("StencilGPU3DShared").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("nx", i32()).field("ny", i32()).field("nz", i32());
+        c.field("seed", i32()).field("blockSize", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("nx_", i32()).param("ny_", i32()).param("nz_", i32())
+            .param("seed_", i32()).param("blockSize_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")),
+                      setSelf("nz", lv("nz_")), setSelf("seed", lv("seed_")),
+                      setSelf("blockSize", lv("blockSize_"))));
+
+        auto& k = c.method("stepKernel", Type::voidTy()).global();
+        k.param("conf", Type::cls(Program::cudaConfigClass()));
+        k.param("cur", f32arr()).param("nxt", f32arr());
+        k.body(blk(
+            decl("tx", i32(), tidxX()),
+            decl("bs", i32(), bdimX()),
+            decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+            decl("nz", i32(), selff("nz")),
+            decl("segsPerRow", i32(), divE(lv("nx"), lv("bs"))),
+            decl("seg", i32(), bidxX()),
+            decl("x0", i32(), mul(rem(lv("seg"), lv("segsPerRow")), lv("bs"))),
+            decl("y", i32(), rem(divE(lv("seg"), lv("segsPerRow")), lv("ny"))),
+            decl("z", i32(), divE(lv("seg"), mul(lv("segsPerRow"), lv("ny")))),
+            decl("x", i32(), add(lv("x0"), lv("tx"))),
+            decl("sh", f32arr(), intr(Intrinsic::CudaSharedF32)),
+            decl("rowBase", i32(), mul(add(mul(lv("z"), lv("ny")), lv("y")), lv("nx"))),
+            aset(lv("sh"), add(lv("tx"), ci(1)), aget(lv("cur"), add(lv("rowBase"), lv("x")))),
+            ifs(eq(lv("tx"), ci(0)), blk(
+                aset(lv("sh"), ci(0),
+                     aget(lv("cur"),
+                          add(lv("rowBase"),
+                              rem(add(sub(lv("x0"), ci(1)), lv("nx")), lv("nx"))))))),
+            ifs(eq(lv("tx"), sub(lv("bs"), ci(1))), blk(
+                aset(lv("sh"), add(lv("bs"), ci(1)),
+                     aget(lv("cur"), add(lv("rowBase"), rem(add(lv("x0"), lv("bs")), lv("nx"))))))),
+            exprS(intr(Intrinsic::CudaSyncThreads)),
+            decl("ym", i32(), rem(add(sub(lv("y"), ci(1)), lv("ny")), lv("ny"))),
+            decl("yp", i32(), rem(add(lv("y"), ci(1)), lv("ny"))),
+            decl("zm", i32(), rem(add(sub(lv("z"), ci(1)), lv("nz")), lv("nz"))),
+            decl("zp", i32(), rem(add(lv("z"), ci(1)), lv("nz"))),
+            decl("r", Type::cls("ScalarFloat"),
+                 call(selff("solver"), "solve",
+                      newObj("ScalarFloat", aget(lv("sh"), add(lv("tx"), ci(1)))),
+                      newObj("ScalarFloat", aget(lv("sh"), lv("tx"))),
+                      newObj("ScalarFloat", aget(lv("sh"), add(lv("tx"), ci(2)))),
+                      newObj("ScalarFloat",
+                             aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("ym")), lv("nx")), lv("x")))),
+                      newObj("ScalarFloat",
+                             aget(lv("cur"), add(mul(add(mul(lv("z"), lv("ny")), lv("yp")), lv("nx")), lv("x")))),
+                      newObj("ScalarFloat",
+                             aget(lv("cur"), add(mul(add(mul(lv("zm"), lv("ny")), lv("y")), lv("nx")), lv("x")))),
+                      newObj("ScalarFloat",
+                             aget(lv("cur"), add(mul(add(mul(lv("zp"), lv("ny")), lv("y")), lv("nx")), lv("x")))),
+                      selff("q"))),
+            aset(lv("nxt"), add(lv("rowBase"), lv("x")), call(lv("r"), "val")),
+            retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+                decl("nz", i32(), selff("nz")),
+                decl("total", i32(), mul(mul(lv("nx"), lv("ny")), lv("nz"))),
+                decl("host", f32arr(), newArr(f32(), lv("total"))),
+                forRange("i", ci(0), lv("total"),
+                         blk(aset(lv("host"), lv("i"),
+                                  intr(Intrinsic::RngHashF32, selff("seed"), lv("i"))))),
+                decl("dcur", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                decl("dnxt", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("dcur"), lv("host"), lv("total"))),
+                decl("bs", i32(), selff("blockSize")),
+                decl("blocks", i32(), mul(mul(divE(lv("nx"), lv("bs")), lv("ny")), lv("nz"))),
+                decl("conf", Type::cls(Program::cudaConfigClass()),
+                     cudaConfig(dim3of(lv("blocks")), dim3of(lv("bs")),
+                                mul(add(lv("bs"), ci(2)), ci(4)))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    exprS(call(self(), "stepKernel", lv("conf"), lv("dcur"), lv("dnxt"))),
+                    decl("tswap", f32arr(), lv("dcur")),
+                    assign("dcur", lv("dnxt")),
+                    assign("dnxt", lv("tswap")))),
+                exprS(intr(Intrinsic::GpuMemcpyD2HF32, lv("host"), lv("dcur"), lv("total"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dcur"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dnxt"))),
+                decl("sum", f64(), cd(0.0)),
+                forRange("i", ci(0), lv("total"),
+                         blk(assign("sum", add(lv("sum"), cast(f64(), aget(lv("host"), lv("i"))))))),
+                exprS(intr(Intrinsic::FreeArray, lv("host"))),
+                ret(lv("sum"))));
+    }
+
+    // ------------------------------------------------------------ GPU+MPI
+    {
+        auto& c = pb.cls("StencilGPU3D_MPI").extends("StencilRunner");
+        c.field("solver", Type::cls("ThreeDSolver"));
+        c.field("q", Type::cls("DiffusionQuantity"));
+        c.field("nx", i32()).field("ny", i32()).field("nzLocal", i32());
+        c.field("seed", i32()).field("blockSize", i32());
+        c.ctor()
+            .param("solver_", Type::cls("ThreeDSolver"))
+            .param("q_", Type::cls("DiffusionQuantity"))
+            .param("nx_", i32()).param("ny_", i32()).param("nzLocal_", i32())
+            .param("seed_", i32()).param("blockSize_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("q", lv("q_")),
+                      setSelf("nx", lv("nx_")), setSelf("ny", lv("ny_")),
+                      setSelf("nzLocal", lv("nzLocal_")), setSelf("seed", lv("seed_")),
+                      setSelf("blockSize", lv("blockSize_"))));
+
+        // Ghost-padded slab kernel: z in [1, nzLocal]; z neighbors read the
+        // ghost planes the host staged before the launch.
+        auto& k = c.method("stepKernel", Type::voidTy()).global();
+        k.param("conf", Type::cls(Program::cudaConfigClass()));
+        k.param("cur", f32arr()).param("nxt", f32arr());
+        k.body(blk(
+            decl("i", i32(), add(mul(bidxX(), bdimX()), tidxX())),
+            decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+            decl("nzL", i32(), selff("nzLocal")),
+            decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+            decl("inner", i32(), mul(lv("plane"), lv("nzL"))),
+            ifs(lt(lv("i"), lv("inner")), blk(
+                decl("x", i32(), rem(lv("i"), lv("nx"))),
+                decl("y", i32(), rem(divE(lv("i"), lv("nx")), lv("ny"))),
+                decl("z", i32(), add(divE(lv("i"), lv("plane")), ci(1))),
+                decl("xm", i32(), rem(add(sub(lv("x"), ci(1)), lv("nx")), lv("nx"))),
+                decl("xp", i32(), rem(add(lv("x"), ci(1)), lv("nx"))),
+                decl("ym", i32(), rem(add(sub(lv("y"), ci(1)), lv("ny")), lv("ny"))),
+                decl("yp", i32(), rem(add(lv("y"), ci(1)), lv("ny"))),
+                decl("idx", i32(), add(add(mul(lv("z"), lv("plane")), mul(lv("y"), lv("nx"))), lv("x"))),
+                decl("r", Type::cls("ScalarFloat"),
+                     call(selff("solver"), "solve",
+                          newObj("ScalarFloat", aget(lv("cur"), lv("idx"))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(add(mul(lv("z"), lv("plane")), mul(lv("y"), lv("nx"))), lv("xm")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(add(mul(lv("z"), lv("plane")), mul(lv("y"), lv("nx"))), lv("xp")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(add(mul(lv("z"), lv("plane")), mul(lv("ym"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(add(mul(lv("z"), lv("plane")), mul(lv("yp"), lv("nx"))), lv("x")))),
+                          newObj("ScalarFloat", aget(lv("cur"), sub(lv("idx"), lv("plane")))),
+                          newObj("ScalarFloat", aget(lv("cur"), add(lv("idx"), lv("plane")))),
+                          selff("q"))),
+                aset(lv("nxt"), lv("idx"), call(lv("r"), "val")))),
+            retVoid()));
+
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("rank", i32(), mpiRank()),
+                decl("size", i32(), mpiSize()),
+                decl("nx", i32(), selff("nx")), decl("ny", i32(), selff("ny")),
+                decl("nzL", i32(), selff("nzLocal")),
+                decl("plane", i32(), mul(lv("nx"), lv("ny"))),
+                decl("total", i32(), mul(lv("plane"), add(lv("nzL"), ci(2)))),
+                decl("host", f32arr(), newArr(f32(), lv("total"))),
+                forRange("z", ci(0), lv("nzL"),
+                blk(decl("gz", i32(), add(mul(lv("rank"), lv("nzL")), lv("z"))),
+                    forRange("i", ci(0), lv("plane"),
+                    blk(aset(lv("host"), add(mul(add(lv("z"), ci(1)), lv("plane")), lv("i")),
+                             intr(Intrinsic::RngHashF32, selff("seed"),
+                                  add(mul(lv("gz"), lv("plane")), lv("i")))))))),
+                decl("dcur", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                decl("dnxt", f32arr(), intr(Intrinsic::GpuMallocF32, lv("total"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("dcur"), lv("host"), lv("total"))),
+                decl("sTop", f32arr(), newArr(f32(), lv("plane"))),
+                decl("sBot", f32arr(), newArr(f32(), lv("plane"))),
+                decl("gTop", f32arr(), newArr(f32(), lv("plane"))),
+                decl("gBot", f32arr(), newArr(f32(), lv("plane"))),
+                decl("up", i32(), rem(add(lv("rank"), ci(1)), lv("size"))),
+                decl("down", i32(), rem(sub(add(lv("rank"), lv("size")), ci(1)), lv("size"))),
+                decl("bs", i32(), selff("blockSize")),
+                decl("inner", i32(), mul(lv("plane"), lv("nzL"))),
+                decl("blocks", i32(), divE(sub(add(lv("inner"), lv("bs")), ci(1)), lv("bs"))),
+                decl("conf", Type::cls(Program::cudaConfigClass()),
+                     cudaConfig(dim3of(lv("blocks")), dim3of(lv("bs")), ci(0))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    // Stage interior boundary planes through the host —
+                    // M2050-era CUDA had no GPUDirect here (paper setup).
+                    exprS(intr(Intrinsic::GpuMemcpyD2HOffF32, lv("sTop"), ci(0),
+                               lv("dcur"), mul(lv("nzL"), lv("plane")), lv("plane"))),
+                    exprS(intr(Intrinsic::GpuMemcpyD2HOffF32, lv("sBot"), ci(0),
+                               lv("dcur"), lv("plane"), lv("plane"))),
+                    ifs(gt(lv("size"), ci(1)),
+                        blk(exprS(intr(Intrinsic::MpiSendRecvF32, lv("sTop"), ci(0), lv("plane"),
+                                       lv("up"), lv("gBot"), ci(0), lv("down"), ci(21))),
+                            exprS(intr(Intrinsic::MpiSendRecvF32, lv("sBot"), ci(0), lv("plane"),
+                                       lv("down"), lv("gTop"), ci(0), lv("up"), ci(22)))),
+                        blk(forRange("i", ci(0), lv("plane"),
+                            blk(aset(lv("gBot"), lv("i"), aget(lv("sTop"), lv("i"))),
+                                aset(lv("gTop"), lv("i"), aget(lv("sBot"), lv("i"))))))),
+                    exprS(intr(Intrinsic::GpuMemcpyH2DOffF32, lv("dcur"), ci(0),
+                               lv("gBot"), ci(0), lv("plane"))),
+                    exprS(intr(Intrinsic::GpuMemcpyH2DOffF32, lv("dcur"),
+                               mul(add(lv("nzL"), ci(1)), lv("plane")),
+                               lv("gTop"), ci(0), lv("plane"))),
+                    exprS(call(self(), "stepKernel", lv("conf"), lv("dcur"), lv("dnxt"))),
+                    decl("tswap", f32arr(), lv("dcur")),
+                    assign("dcur", lv("dnxt")),
+                    assign("dnxt", lv("tswap")))),
+                exprS(intr(Intrinsic::GpuMemcpyD2HF32, lv("host"), lv("dcur"), lv("total"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dcur"))),
+                exprS(intr(Intrinsic::GpuFree, lv("dnxt"))),
+                decl("local", f64(), cd(0.0)),
+                forRange("i", lv("plane"), mul(lv("plane"), add(lv("nzL"), ci(1))),
+                         blk(assign("local", add(lv("local"), cast(f64(), aget(lv("host"), lv("i"))))))),
+                decl("sum", f64(), lv("local")),
+                ifs(gt(lv("size"), ci(1)),
+                    blk(assign("sum", intr(Intrinsic::MpiAllreduceSumF64, lv("local"))))),
+                exprS(intr(Intrinsic::FreeArray, lv("host"))),
+                exprS(intr(Intrinsic::FreeArray, lv("sTop"))),
+                exprS(intr(Intrinsic::FreeArray, lv("sBot"))),
+                exprS(intr(Intrinsic::FreeArray, lv("gTop"))),
+                exprS(intr(Intrinsic::FreeArray, lv("gBot"))),
+                ret(lv("sum"))));
+    }
+
+    // ----------------------------------------------------------- 1-D CPU
+    {
+        auto& c = pb.cls("StencilCPU1D").extends("StencilRunner");
+        c.field("solver", Type::cls("OneDSolver"));
+        c.field("n", i32()).field("seed", i32());
+        c.ctor()
+            .param("solver_", Type::cls("OneDSolver"))
+            .param("n_", i32())
+            .param("seed_", i32())
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("n", lv("n_")),
+                      setSelf("seed", lv("seed_"))));
+        c.method("run", f64())
+            .param("steps", i32())
+            .body(blk(
+                decl("n", i32(), selff("n")),
+                decl("cur", f32arr(), newArr(f32(), lv("n"))),
+                decl("nxt", f32arr(), newArr(f32(), lv("n"))),
+                forRange("i", ci(0), lv("n"),
+                         blk(aset(lv("cur"), lv("i"),
+                                  intr(Intrinsic::RngHashF32, selff("seed"), lv("i"))))),
+                forRange("s", ci(0), lv("steps"), blk(
+                    forRange("i", ci(0), lv("n"), blk(
+                        decl("r", Type::cls("ScalarFloat"),
+                             call(selff("solver"), "solve",
+                                  newObj("ScalarFloat",
+                                         aget(lv("cur"), rem(add(sub(lv("i"), ci(1)), lv("n")), lv("n")))),
+                                  newObj("ScalarFloat",
+                                         aget(lv("cur"), rem(add(lv("i"), ci(1)), lv("n")))),
+                                  newObj("ScalarFloat", aget(lv("cur"), lv("i"))))),
+                        aset(lv("nxt"), lv("i"), call(lv("r"), "val")))),
+                    decl("tswap", f32arr(), lv("cur")),
+                    assign("cur", lv("nxt")),
+                    assign("nxt", lv("tswap")))),
+                decl("sum", f64(), cd(0.0)),
+                forRange("i", ci(0), lv("n"),
+                         blk(assign("sum", add(lv("sum"), cast(f64(), aget(lv("cur"), lv("i"))))))),
+                exprS(intr(Intrinsic::FreeArray, lv("cur"))),
+                exprS(intr(Intrinsic::FreeArray, lv("nxt"))),
+                ret(lv("sum"))));
+    }
+
+    // ------------------------------------- Listings 3-4: one-point stencil
+    pb.cls("Generator").interfaceClass()
+        .method("make", f32arr()).param("length", i32()).param("seed", i32()).abstractMethod();
+    pb.cls("Solver").interfaceClass()
+        .method("solve", f32()).param("selfv", f32()).param("index", i32()).abstractMethod();
+    pb.cls("Stencil")
+        .method("run", f64()).param("length", i32()).param("updateCnt", i32()).abstractMethod();
+    {
+        auto& c = pb.cls("StencilOnGpuAndMPI").extends("Stencil");
+        c.field("solver", Type::cls("Solver"));
+        c.field("generator", Type::cls("Generator"));
+        c.ctor()
+            .param("solver_", Type::cls("Solver"))
+            .param("generator_", Type::cls("Generator"))
+            .body(blk(setSelf("solver", lv("solver_")), setSelf("generator", lv("generator_"))));
+
+        // Listing 4's runGPU: one thread per element, solver devirtualized.
+        auto& k = c.method("runGPU", Type::voidTy()).global();
+        k.param("conf", Type::cls(Program::cudaConfigClass()));
+        k.param("array", f32arr());
+        k.body(blk(decl("x", i32(), tidxX()),
+                   aset(lv("array"), lv("x"),
+                        call(selff("solver"), "solve", aget(lv("array"), lv("x")), lv("x"))),
+                   retVoid()));
+
+        c.method("run", f64())
+            .param("length", i32())
+            .param("updateCnt", i32())
+            .body(blk(
+                decl("rank", i32(), mpiRank()),
+                decl("array", f32arr(),
+                     call(selff("generator"), "make", lv("length"), lv("rank"))),
+                decl("arrayOnGPU", f32arr(), intr(Intrinsic::GpuMallocF32, lv("length"))),
+                exprS(intr(Intrinsic::GpuMemcpyH2DF32, lv("arrayOnGPU"), lv("array"),
+                           lv("length"))),
+                decl("conf", Type::cls(Program::cudaConfigClass()),
+                     cudaConfig(dim3of(ci(1)), dim3of(lv("length")), ci(0))),
+                forRange("i", ci(0), lv("updateCnt"),
+                         blk(exprS(call(self(), "runGPU", lv("conf"), lv("arrayOnGPU"))))),
+                exprS(intr(Intrinsic::GpuMemcpyD2HF32, lv("array"), lv("arrayOnGPU"),
+                           lv("length"))),
+                exprS(intr(Intrinsic::GpuFree, lv("arrayOnGPU"))),
+                decl("sum", f64(), cd(0.0)),
+                forRange("j", ci(0), lv("length"),
+                         blk(assign("sum", add(lv("sum"), cast(f64(), aget(lv("array"), lv("j"))))))),
+                ifs(gt(mpiSize(), ci(1)),
+                    blk(assign("sum", intr(Intrinsic::MpiAllreduceSumF64, lv("sum"))))),
+                exprS(intr(Intrinsic::FreeArray, lv("array"))),
+                ret(lv("sum"))));
+    }
+}
+
+} // namespace
+
+void registerLibrary(ProgramBuilder& pb) {
+    buildValueClasses(pb);
+    buildGrid(pb);
+    buildSolverHierarchy(pb);
+    buildRunners(pb);
+}
+
+void registerDiffusionApp(ProgramBuilder& pb) {
+    // Dif3DSolver — what the paper's Section 4.1 library user writes.
+    {
+        auto& c = pb.cls("Dif3DSolver").extends("ThreeDSolver").finalClass();
+        auto& m = c.method("solve", Type::cls("ScalarFloat"));
+        for (const char* p : {"c", "w", "e", "n", "s", "b", "t"}) m.param(p, Type::cls("ScalarFloat"));
+        m.param("q", Type::cls("DiffusionQuantity"));
+        m.body(blk(decl(
+                       "value", f32(),
+                       add(add(add(add(add(add(mul(getf(lv("q"), "cc"), call(lv("c"), "val")),
+                                               mul(getf(lv("q"), "cw"), call(lv("w"), "val"))),
+                                           mul(getf(lv("q"), "ce"), call(lv("e"), "val"))),
+                                       mul(getf(lv("q"), "cn"), call(lv("n"), "val"))),
+                                   mul(getf(lv("q"), "cs"), call(lv("s"), "val"))),
+                               mul(getf(lv("q"), "cb"), call(lv("b"), "val"))),
+                           mul(getf(lv("q"), "ct"), call(lv("t"), "val")))),
+                   ret(newObj("ScalarFloat", lv("value")))));
+    }
+    // Raw twin of Dif3DSolver (same arithmetic, no ScalarFloat boxes).
+    {
+        auto& c = pb.cls("Dif3DSolverRaw").extends("ThreeDSolverRaw").finalClass();
+        auto& m = c.method("solveRaw", f32());
+        for (const char* p2 : {"c", "w", "e", "n", "s", "b", "t"}) m.param(p2, f32());
+        m.param("q", Type::cls("DiffusionQuantity"));
+        m.body(blk(ret(
+            add(add(add(add(add(add(mul(getf(lv("q"), "cc"), lv("c")),
+                                    mul(getf(lv("q"), "cw"), lv("w"))),
+                                mul(getf(lv("q"), "ce"), lv("e"))),
+                            mul(getf(lv("q"), "cn"), lv("n"))),
+                        mul(getf(lv("q"), "cs"), lv("s"))),
+                    mul(getf(lv("q"), "cb"), lv("b"))),
+                mul(getf(lv("q"), "ct"), lv("t"))))));
+    }
+
+    // Dif1DSolver — Listing 1 verbatim.
+    {
+        auto& c = pb.cls("Dif1DSolver").extends("OneDSolver").finalClass();
+        c.field("a", f32()).field("b", f32());
+        c.ctor().param("a_", f32()).param("b_", f32())
+            .body(blk(setSelf("a", lv("a_")), setSelf("b", lv("b_"))));
+        c.method("solve", Type::cls("ScalarFloat"))
+            .param("left", Type::cls("ScalarFloat"))
+            .param("right", Type::cls("ScalarFloat"))
+            .param("selfv", Type::cls("ScalarFloat"))
+            .body(blk(decl("value", f32(),
+                           add(mul(selff("a"), add(call(lv("left"), "val"),
+                                                   call(lv("right"), "val"))),
+                               mul(selff("b"), call(lv("selfv"), "val")))),
+                      ret(newObj("ScalarFloat", lv("value")))));
+    }
+}
+
+Program buildProgram() {
+    ProgramBuilder pb;
+    registerLibrary(pb);
+    registerDiffusionApp(pb);
+    return pb.build();
+}
+
+// ---------------------------------------------------------- composition
+
+namespace {
+
+Value makeQuantity(Interp& in, const DiffusionCoeffs& c) {
+    return in.instantiate("DiffusionQuantity",
+                          {Value::ofF32(c.cc), Value::ofF32(c.cw), Value::ofF32(c.ce),
+                           Value::ofF32(c.cn), Value::ofF32(c.cs), Value::ofF32(c.cb),
+                           Value::ofF32(c.ct)});
+}
+
+} // namespace
+
+Value makeCpuRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed) {
+    Value solver = in.instantiate("Dif3DSolver", {});
+    Value grid = in.instantiate("FloatGridDblB",
+                                {Value::ofI32(nx), Value::ofI32(ny), Value::ofI32(nz)});
+    return in.instantiate("StencilCPU3DDblB",
+                          {solver, makeQuantity(in, c), grid, Value::ofI32(seed)});
+}
+
+Value makeCpuRawRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed) {
+    Value solver = in.instantiate("Dif3DSolverRaw", {});
+    Value grid = in.instantiate("FloatGridDblB",
+                                {Value::ofI32(nx), Value::ofI32(ny), Value::ofI32(nz)});
+    return in.instantiate("StencilCPU3DRaw",
+                          {solver, makeQuantity(in, c), grid, Value::ofI32(seed)});
+}
+
+Value makeMpiRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c, int seed) {
+    Value solver = in.instantiate("Dif3DSolver", {});
+    return in.instantiate("StencilCPU3D_MPI",
+                          {solver, makeQuantity(in, c), Value::ofI32(nx), Value::ofI32(ny),
+                           Value::ofI32(nzLocal), Value::ofI32(seed)});
+}
+
+Value makeMpiOverlapRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c,
+                           int seed) {
+    Value solver = in.instantiate("Dif3DSolver", {});
+    return in.instantiate("StencilCPU3D_MPI_Overlap",
+                          {solver, makeQuantity(in, c), Value::ofI32(nx), Value::ofI32(ny),
+                           Value::ofI32(nzLocal), Value::ofI32(seed)});
+}
+
+Value makeGpuRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                    int blockSize) {
+    Value solver = in.instantiate("Dif3DSolver", {});
+    return in.instantiate("StencilGPU3D",
+                          {solver, makeQuantity(in, c), Value::ofI32(nx), Value::ofI32(ny),
+                           Value::ofI32(nz), Value::ofI32(seed), Value::ofI32(blockSize)});
+}
+
+Value makeGpuSharedRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c,
+                          int seed, int blockSize) {
+    if (nx % blockSize != 0) throw UsageError("StencilGPU3DShared requires nx % blockSize == 0");
+    Value solver = in.instantiate("Dif3DSolver", {});
+    return in.instantiate("StencilGPU3DShared",
+                          {solver, makeQuantity(in, c), Value::ofI32(nx), Value::ofI32(ny),
+                           Value::ofI32(nz), Value::ofI32(seed), Value::ofI32(blockSize)});
+}
+
+Value makeGpuMpiRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c,
+                       int seed, int blockSize) {
+    Value solver = in.instantiate("Dif3DSolver", {});
+    return in.instantiate("StencilGPU3D_MPI",
+                          {solver, makeQuantity(in, c), Value::ofI32(nx), Value::ofI32(ny),
+                           Value::ofI32(nzLocal), Value::ofI32(seed), Value::ofI32(blockSize)});
+}
+
+Value makeCpu1DRunner(Interp& in, int n, float a, float b, int seed) {
+    Value solver = in.instantiate("Dif1DSolver", {Value::ofF32(a), Value::ofF32(b)});
+    return in.instantiate("StencilCPU1D", {solver, Value::ofI32(n), Value::ofI32(seed)});
+}
+
+// ----------------------------------------------------------- references
+//
+// Plain-C++ re-statements of the same numerics, with the same operation
+// order and the same rng. Tests pin every platform variant against these.
+
+double referenceDiffusion3D(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                            int steps) {
+    const size_t total = static_cast<size_t>(nx) * ny * nz;
+    std::vector<float> cur(total), nxt(total);
+    for (size_t i = 0; i < total; ++i) {
+        cur[i] = wj_rng_hash_f32(seed, static_cast<int32_t>(i));
+    }
+    auto idx = [&](int x, int y, int z) {
+        return (static_cast<size_t>(z) * ny + y) * nx + x;
+    };
+    for (int s = 0; s < steps; ++s) {
+        for (int z = 0; z < nz; ++z)
+            for (int y = 0; y < ny; ++y)
+                for (int x = 0; x < nx; ++x) {
+                    const int xm = (x - 1 + nx) % nx, xp = (x + 1) % nx;
+                    const int ym = (y - 1 + ny) % ny, yp = (y + 1) % ny;
+                    const int zm = (z - 1 + nz) % nz, zp = (z + 1) % nz;
+                    const float v = c.cc * cur[idx(x, y, z)] + c.cw * cur[idx(xm, y, z)] +
+                                    c.ce * cur[idx(xp, y, z)] + c.cn * cur[idx(x, ym, z)] +
+                                    c.cs * cur[idx(x, yp, z)] + c.cb * cur[idx(x, y, zm)] +
+                                    c.ct * cur[idx(x, y, zp)];
+                    nxt[idx(x, y, z)] = v;
+                }
+        cur.swap(nxt);
+    }
+    double sum = 0;
+    for (float v : cur) sum += static_cast<double>(v);
+    return sum;
+}
+
+double referenceDiffusion1D(int n, float a, float b, int seed, int steps) {
+    std::vector<float> cur(static_cast<size_t>(n)), nxt(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) cur[static_cast<size_t>(i)] = wj_rng_hash_f32(seed, i);
+    for (int s = 0; s < steps; ++s) {
+        for (int i = 0; i < n; ++i) {
+            const float left = cur[static_cast<size_t>((i - 1 + n) % n)];
+            const float right = cur[static_cast<size_t>((i + 1) % n)];
+            nxt[static_cast<size_t>(i)] = a * (left + right) + b * cur[static_cast<size_t>(i)];
+        }
+        cur.swap(nxt);
+    }
+    double sum = 0;
+    for (float v : cur) sum += static_cast<double>(v);
+    return sum;
+}
+
+} // namespace wj::stencil
+

@@ -1,0 +1,90 @@
+// The stencil-computation class library (paper Section 2, Figure 2),
+// written in WJ IR through the builder DSL — the code a WootinJ library
+// developer would write in restricted Java.
+//
+// Components (mirroring the class diagram):
+//   * StencilSolver (interface marker) with abstract OneDSolver /
+//     ThreeDSolver bases; users subclass them (Dif1DSolver per Listing 1,
+//     Dif3DSolver for Section 4.1's evaluation);
+//   * DiffusionQuantity — the PhysQuantity feature: the 7-point
+//     coefficients of the diffusion operator;
+//   * FloatGridDblB — double-buffered float grid with periodic indexing;
+//   * StencilRunner hierarchy — the Parallelism feature:
+//       StencilCPU3DDblB       sequential, double buffering
+//       StencilCPU3D_MPI       1-D slab decomposition over MPI ranks
+//       StencilGPU3D           all compute on the (simulated) GPU
+//       StencilGPU3D_MPI       slabs + GPU per node, halos staged via host
+//     every runner's `run(steps)` returns the final grid checksum (f64),
+//     the observable that differential tests and benches compare;
+//   * the one-point stencil of Listings 3-4 (Generator/Solver interfaces,
+//     Stencil base, StencilOnGpuAndMPI) used by the quickstart example.
+//
+// Host-side composition helpers build the runner object graphs through the
+// interpreter, exactly like Listing 2's main method.
+#pragma once
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+
+namespace wj::stencil {
+
+/// 7-point diffusion coefficients (the PhysQuantity feature).
+struct DiffusionCoeffs {
+    float cc, cw, ce, cn, cs, cb, ct;
+
+    /// Standard explicit scheme: kappa*dt/dx^2 per axis, center = 1-6k.
+    static DiffusionCoeffs forKappa(float kappa, float dt, float dx);
+};
+
+/// Registers the library classes (grid, solvers, quantities, runners).
+void registerLibrary(ProgramBuilder& pb);
+
+/// Registers the user-level classes of the evaluation apps (Dif1DSolver,
+/// Dif3DSolver) — what the paper's *library user* writes.
+void registerDiffusionApp(ProgramBuilder& pb);
+
+/// Library + diffusion app in one validated program.
+Program buildProgram();
+
+// ---- composition helpers (Listing 2's main-method idiom) -----------------
+
+/// new StencilCPU3DDblB(new Dif3DSolver(), quantity, new FloatGridDblB(nx,ny,nz), seed)
+Value makeCpuRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed);
+
+/// Ablation twin of makeCpuRunner: identical math through raw floats
+/// instead of ScalarFloat boxes (see bench_abl_boxing).
+Value makeCpuRawRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed);
+
+/// MPI runner; nzLocal is the per-rank slab depth.
+Value makeMpiRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c, int seed);
+
+/// EXTENSION: MPI runner with nonblocking halo exchange overlapped with the
+/// interior sweep. Bit-identical results to makeMpiRunner.
+Value makeMpiOverlapRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c,
+                           int seed);
+
+/// GPU runner (whole grid on one simulated device).
+Value makeGpuRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                    int blockSize = 128);
+
+/// GPU runner whose kernel stages x-rows through @Shared block memory with
+/// syncthreads (requires nx %% blockSize == 0).
+Value makeGpuSharedRunner(Interp& in, int nx, int ny, int nz, const DiffusionCoeffs& c,
+                          int seed, int blockSize);
+
+/// GPU+MPI runner (slab per rank, one device per rank).
+Value makeGpuMpiRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionCoeffs& c,
+                       int seed, int blockSize = 128);
+
+/// 1-D runner for the Listing 1 solver (heat1d example).
+Value makeCpu1DRunner(Interp& in, int n, float a, float b, int seed);
+
+/// Host-side reference: the same computation in plain C++ (used by tests to
+/// pin the numerics of every platform variant). Returns the checksum.
+double referenceDiffusion3D(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
+                            int steps);
+
+/// Reference for the 1-D solver.
+double referenceDiffusion1D(int n, float a, float b, int seed, int steps);
+
+} // namespace wj::stencil

@@ -1,0 +1,21 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wj {
+
+std::string RuleViolationError::render(const std::vector<Violation>& vs) {
+    std::string out = "coding-rule violations (" + std::to_string(vs.size()) + "):";
+    for (const auto& v : vs) {
+        out += "\n  " + v.str();
+    }
+    return out;
+}
+
+void panic(const std::string& msg) {
+    std::fprintf(stderr, "wootinc internal error: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace wj

@@ -1,0 +1,66 @@
+// Diagnostics: structured error reporting used across WootinC.
+//
+// The framework reports two classes of failure:
+//   * UsageError   — the caller violated an API contract (programming error
+//                    in the host program composing IR or invoking the JIT).
+//   * RuleViolation — the translated code breaks one of the paper's coding
+//                    rules (Section 3.2); carries the rule id and location.
+//
+// Both derive from WjError so call sites can catch the family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wj {
+
+/// Base class of all WootinC exceptions.
+class WjError : public std::runtime_error {
+public:
+    explicit WjError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Caller misused an API (malformed IR, unknown class, bad invoke args...).
+class UsageError : public WjError {
+public:
+    explicit UsageError(const std::string& what) : WjError(what) {}
+};
+
+/// Runtime failure inside interpreted or translated code execution.
+class ExecError : public WjError {
+public:
+    explicit ExecError(const std::string& what) : WjError(what) {}
+};
+
+/// One violation of the Section 3.2 coding rules, with enough context to fix it.
+struct Violation {
+    /// Which rule (1..8) or property ("strict-final", "semi-immutable") failed.
+    std::string rule;
+    /// Class::method (or Class alone) where the violation occurs.
+    std::string where;
+    /// Human-readable description of the offending construct.
+    std::string detail;
+
+    std::string str() const { return "[" + rule + "] " + where + ": " + detail; }
+};
+
+/// Thrown by the rule verifier and by the JIT when translated code does not
+/// satisfy the coding rules. Aggregates every violation found in one pass.
+class RuleViolationError : public WjError {
+public:
+    explicit RuleViolationError(std::vector<Violation> violations)
+        : WjError(render(violations)), violations_(std::move(violations)) {}
+
+    const std::vector<Violation>& violations() const noexcept { return violations_; }
+
+private:
+    static std::string render(const std::vector<Violation>& vs);
+    std::vector<Violation> violations_;
+};
+
+/// Internal invariant check; aborts with a message when the framework itself
+/// is inconsistent. Never triggered by user input alone.
+[[noreturn]] void panic(const std::string& msg);
+
+} // namespace wj

@@ -1,0 +1,3 @@
+#include "support/prng.h"
+
+// Header-only; TU anchors the library.

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators (grids, matrices) seed from explicit values so
+// every test and benchmark is reproducible run-to-run — the same discipline
+// the paper needs for its Generator components (Listing 3's PhysDataGen
+// takes an explicit seed).
+#pragma once
+
+#include <cstdint>
+
+namespace wj {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Used both from
+/// host C++ and mirrored by the wjrt_rng_* runtime intrinsics so that
+/// interpreted and JIT-translated generators produce identical data.
+class SplitMix64 {
+public:
+    explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+    uint64_t next() noexcept {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, 1).
+    double nextDouble() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform float in [0, 1).
+    float nextFloat() noexcept {
+        return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+    }
+
+    /// Uniform in [0, bound).
+    uint64_t nextBelow(uint64_t bound) noexcept {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+private:
+    uint64_t state_;
+};
+
+} // namespace wj

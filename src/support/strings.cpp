@@ -1,0 +1,56 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace wj {
+
+std::string format(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool isIdentifier(const std::string& s) noexcept {
+    if (s.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) return false;
+    for (char c : s) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+    }
+    return true;
+}
+
+std::string mangle(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (char c : s) {
+        out += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    }
+    if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+        out.insert(out.begin(), 'n');
+    }
+    if (out.empty()) out.push_back('_');
+    return out;
+}
+
+} // namespace wj

@@ -1,0 +1,22 @@
+// Small string helpers shared by the IR printer and the C code generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wj {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` is a valid C identifier (also our IR identifier rule).
+bool isIdentifier(const std::string& s) noexcept;
+
+/// Mangles an arbitrary name into a C identifier fragment: non-alnum
+/// characters become '_', a leading digit gains an 'n' prefix.
+std::string mangle(const std::string& s);
+
+} // namespace wj

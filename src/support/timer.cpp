@@ -1,0 +1,4 @@
+#include "support/timer.h"
+
+// Header-only today; the TU anchors the library and keeps the door open for
+// non-inline additions (e.g. rdtsc calibration) without touching users.

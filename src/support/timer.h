@@ -1,0 +1,55 @@
+// Wall-clock timing utilities used by the JIT (compilation-time accounting,
+// Table 3 of the paper) and by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wj {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+public:
+    Timer() noexcept : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or the last reset().
+    double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds.
+    double millis() const noexcept { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Runs `fn` once and returns the wall time in seconds.
+template <typename Fn>
+double timeOnce(Fn&& fn) {
+    Timer t;
+    fn();
+    return t.seconds();
+}
+
+/// Runs `fn` repeatedly until at least `minSeconds` elapsed (and at least
+/// `minIters` iterations ran); returns seconds per iteration. This is the
+/// measurement loop used by the figure benches for single-core kernel costs.
+template <typename Fn>
+double timePerIter(Fn&& fn, double minSeconds = 0.2, int minIters = 3) {
+    // Warm-up: touch caches / fault pages once before measuring.
+    fn();
+    int iters = 0;
+    Timer t;
+    do {
+        fn();
+        ++iters;
+    } while (t.seconds() < minSeconds || iters < minIters);
+    return t.seconds() / iters;
+}
+
+} // namespace wj

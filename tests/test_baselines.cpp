@@ -1,0 +1,60 @@
+// The comparator programs must compute bit-identical checksums: time is
+// the only thing the benches should be comparing (paper Section 4).
+#include <gtest/gtest.h>
+
+#include "baselines/diffusion_baselines.h"
+#include "baselines/matmul_baselines.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+using namespace wj::baselines;
+
+TEST(Baselines, DiffusionVariantsAgreeBitwise) {
+    const auto c = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    const double expect = stencil::referenceDiffusion3D(12, 10, 8, c, 3, 4);
+    EXPECT_DOUBLE_EQ(expect, diffusionC(12, 10, 8, c, 3, 4));
+    EXPECT_DOUBLE_EQ(expect, diffusionVirtual(12, 10, 8, c, 3, 4));
+    EXPECT_DOUBLE_EQ(expect, diffusionTemplate(12, 10, 8, c, 3, 4));
+    EXPECT_DOUBLE_EQ(expect, diffusionTemplateNoVirt(12, 10, 8, c, 3, 4));
+}
+
+TEST(Baselines, MatmulVariantsAgreeBitwise) {
+    const double expect = matmul::referenceMatMulChecksum(24, 5, 6);
+    EXPECT_DOUBLE_EQ(expect, matmulC(24, 5, 6));
+    EXPECT_DOUBLE_EQ(expect, matmulVirtual(24, 5, 6));
+    EXPECT_DOUBLE_EQ(expect, matmulTemplate(24, 5, 6));
+    EXPECT_DOUBLE_EQ(expect, matmulTemplateNoVirt(24, 5, 6));
+}
+
+class DiffusionSizes : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(DiffusionSizes, AllVariantsAgree) {
+    auto [nx, ny, nz, steps] = GetParam();
+    const auto c = stencil::DiffusionCoeffs::forKappa(0.2f, 0.05f, 1.0f);
+    const double expect = stencil::referenceDiffusion3D(nx, ny, nz, c, 9, steps);
+    EXPECT_DOUBLE_EQ(expect, diffusionC(nx, ny, nz, c, 9, steps));
+    EXPECT_DOUBLE_EQ(expect, diffusionVirtual(nx, ny, nz, c, 9, steps));
+    EXPECT_DOUBLE_EQ(expect, diffusionTemplate(nx, ny, nz, c, 9, steps));
+    EXPECT_DOUBLE_EQ(expect, diffusionTemplateNoVirt(nx, ny, nz, c, 9, steps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiffusionSizes,
+                         ::testing::Values(std::make_tuple(1, 1, 1, 1),
+                                           std::make_tuple(2, 3, 4, 2),
+                                           std::make_tuple(16, 16, 16, 1),
+                                           std::make_tuple(5, 7, 11, 3),
+                                           std::make_tuple(8, 8, 8, 0)));
+
+class MatmulSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulSizes, AllVariantsAgree) {
+    const int n = GetParam();
+    const double expect = matmul::referenceMatMulChecksum(n, 1, 2);
+    EXPECT_DOUBLE_EQ(expect, matmulC(n, 1, 2));
+    EXPECT_DOUBLE_EQ(expect, matmulVirtual(n, 1, 2));
+    EXPECT_DOUBLE_EQ(expect, matmulTemplate(n, 1, 2));
+    EXPECT_DOUBLE_EQ(expect, matmulTemplateNoVirt(n, 1, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulSizes, ::testing::Values(1, 2, 3, 8, 17, 32));

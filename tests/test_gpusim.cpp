@@ -1,0 +1,249 @@
+// GpuSim substrate: memory-space separation, launch geometry, shared
+// memory, fiber-scheduled barriers, and divergence detection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gpusim/gpusim.h"
+#include "support/diagnostics.h"
+
+using namespace wj;
+using namespace wj::gpusim;
+
+// ----------------------------------------------------------------- memory
+
+TEST(GpuMem, AllocateFreeTracksBytes) {
+    Device d;
+    void* p = d.malloc(1024);
+    EXPECT_TRUE(d.owns(p));
+    EXPECT_EQ(1024, d.bytesAllocated());
+    void* q = d.malloc(512);
+    EXPECT_EQ(1536, d.bytesAllocated());
+    EXPECT_EQ(1536, d.peakBytes());
+    d.free(p);
+    EXPECT_EQ(512, d.bytesAllocated());
+    EXPECT_EQ(1536, d.peakBytes());
+    d.free(q);
+    EXPECT_EQ(0, d.bytesAllocated());
+}
+
+TEST(GpuMem, ForeignFreeThrows) {
+    Device d;
+    int host = 0;
+    EXPECT_THROW(d.free(&host), ExecError);
+    void* p = d.malloc(16);
+    d.free(p);
+    EXPECT_THROW(d.free(p), ExecError);  // double free
+}
+
+TEST(GpuMem, SeparateMemorySpacesEnforced) {
+    Device d;
+    std::vector<float> host(16, 1.0f);
+    void* dev = d.malloc(16 * sizeof(float));
+    // Correct directions work.
+    d.memcpyH2D(dev, host.data(), 16 * sizeof(float));
+    d.memcpyD2H(host.data(), dev, 16 * sizeof(float));
+    // Wrong-side pointers are rejected (a real GPU would fault).
+    EXPECT_THROW(d.memcpyH2D(host.data(), dev, 4), ExecError);
+    EXPECT_THROW(d.memcpyD2H(dev, host.data(), 4), ExecError);
+    d.free(dev);
+}
+
+TEST(GpuMem, TwoDevicesAreDistinctSpaces) {
+    Device a(0), b(1);
+    void* pa = a.malloc(8);
+    EXPECT_FALSE(b.owns(pa));
+    EXPECT_THROW(b.free(pa), ExecError);
+    a.free(pa);
+}
+
+// ----------------------------------------------------------------- launch
+
+namespace {
+
+struct IotaArgs {
+    int* out;
+    int n;
+};
+
+void iotaKernel(ThreadCtx* t, void* argsv) {
+    auto* a = static_cast<IotaArgs*>(argsv);
+    const int i = t->blockIdx.x * t->blockDim.x + t->threadIdx.x;
+    if (i < a->n) a->out[i] = i;
+}
+
+} // namespace
+
+TEST(GpuLaunch, CoversWholeGrid) {
+    Device d;
+    std::vector<int> out(100, -1);
+    IotaArgs args{out.data(), 100};
+    d.launch(&iotaKernel, &args, {7, 1, 1}, {16, 1, 1}, 0, false);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(i, out[static_cast<size_t>(i)]);
+    EXPECT_EQ(1, d.kernelsLaunched());
+    EXPECT_EQ(7 * 16, d.threadsExecuted());
+}
+
+namespace {
+
+struct GeomArgs {
+    int* counts;  // indexed by linear (block, thread)
+    int bdx, bdy;
+};
+
+void geomKernel(ThreadCtx* t, void* argsv) {
+    auto* a = static_cast<GeomArgs*>(argsv);
+    const int threadLinear = t->threadIdx.y * a->bdx + t->threadIdx.x;
+    const int blockLinear = t->blockIdx.y * t->gridDim.x + t->blockIdx.x;
+    a->counts[blockLinear * (a->bdx * a->bdy) + threadLinear] += 1;
+}
+
+} // namespace
+
+TEST(GpuLaunch, TwoDimensionalGeometryEachThreadOnce) {
+    Device d;
+    const int gx = 3, gy = 2, bx = 4, by = 2;
+    std::vector<int> counts(static_cast<size_t>(gx * gy * bx * by), 0);
+    GeomArgs args{counts.data(), bx, by};
+    d.launch(&geomKernel, &args, {gx, gy, 1}, {bx, by, 1}, 0, false);
+    for (int v : counts) EXPECT_EQ(1, v);
+}
+
+TEST(GpuLaunch, RejectsBadGeometry) {
+    Device d;
+    IotaArgs args{nullptr, 0};
+    EXPECT_THROW(d.launch(&iotaKernel, &args, {0, 1, 1}, {4, 1, 1}, 0, false), ExecError);
+    EXPECT_THROW(d.launch(&iotaKernel, &args, {1, 1, 1}, {2048, 1, 1}, 0, false), ExecError);
+    EXPECT_THROW(d.launch(&iotaKernel, &args, {1, 1, 1}, {4, 1, 1}, -8, false), ExecError);
+}
+
+TEST(GpuLaunch, SyncInFastPathKernelThrows) {
+    Device d;
+    auto kernel = [](ThreadCtx* t, void*) { syncThreads(t); };
+    EXPECT_THROW(d.launch(kernel, nullptr, {1, 1, 1}, {4, 1, 1}, 0, /*needsSync=*/false),
+                 ExecError);
+}
+
+// --------------------------------------------------- shared memory + sync
+
+namespace {
+
+/// Block-wide reversal through shared memory: out[i] = in[blockDim-1-i].
+/// Requires a real barrier between the store and the crossed load.
+struct ReverseArgs {
+    const float* in;
+    float* out;
+};
+
+void reverseKernel(ThreadCtx* t, void* argsv) {
+    auto* a = static_cast<ReverseArgs*>(argsv);
+    const int i = t->threadIdx.x;
+    const int n = t->blockDim.x;
+    t->shared[i] = a->in[t->blockIdx.x * n + i];
+    syncThreads(t);
+    a->out[t->blockIdx.x * n + i] = t->shared[n - 1 - i];
+}
+
+} // namespace
+
+TEST(GpuSync, SharedMemoryReversal) {
+    Device d;
+    const int blocks = 3, bs = 32;
+    std::vector<float> in(static_cast<size_t>(blocks * bs)), out(in.size(), -1);
+    for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+    ReverseArgs args{in.data(), out.data()};
+    d.launch(&reverseKernel, &args, {blocks, 1, 1}, {bs, 1, 1},
+             bs * static_cast<int64_t>(sizeof(float)), /*needsSync=*/true);
+    for (int b = 0; b < blocks; ++b)
+        for (int i = 0; i < bs; ++i)
+            EXPECT_EQ(in[static_cast<size_t>(b * bs + bs - 1 - i)],
+                      out[static_cast<size_t>(b * bs + i)]);
+}
+
+namespace {
+
+/// Tree reduction with log2(n) barriers — the classic multi-barrier kernel.
+struct ReduceArgs {
+    const float* in;
+    float* blockSums;
+};
+
+void reduceKernel(ThreadCtx* t, void* argsv) {
+    auto* a = static_cast<ReduceArgs*>(argsv);
+    const int i = t->threadIdx.x;
+    const int n = t->blockDim.x;
+    t->shared[i] = a->in[t->blockIdx.x * n + i];
+    syncThreads(t);
+    for (int stride = n / 2; stride > 0; stride /= 2) {
+        if (i < stride) t->shared[i] += t->shared[i + stride];
+        syncThreads(t);
+    }
+    if (i == 0) a->blockSums[t->blockIdx.x] = t->shared[0];
+}
+
+} // namespace
+
+TEST(GpuSync, TreeReductionAcrossManyBarriers) {
+    Device d;
+    const int blocks = 4, bs = 64;
+    std::vector<float> in(static_cast<size_t>(blocks * bs));
+    for (size_t i = 0; i < in.size(); ++i) in[i] = 1.0f;
+    std::vector<float> sums(static_cast<size_t>(blocks), 0);
+    ReduceArgs args{in.data(), sums.data()};
+    d.launch(&reduceKernel, &args, {blocks, 1, 1}, {bs, 1, 1},
+             bs * static_cast<int64_t>(sizeof(float)), true);
+    for (float s : sums) EXPECT_EQ(static_cast<float>(bs), s);
+}
+
+TEST(GpuSync, SharedMemoryResetBetweenBlocks) {
+    // Each block increments shared[0] once; without per-block reset the
+    // second block would observe the first block's value.
+    Device d;
+    static thread_local float observed[8];
+    auto kernel = [](ThreadCtx* t, void*) {
+        if (t->threadIdx.x == 0) {
+            observed[t->blockIdx.x] = t->shared[0];
+            t->shared[0] += 1.0f;
+        }
+        syncThreads(t);
+    };
+    d.launch(kernel, nullptr, {8, 1, 1}, {4, 1, 1}, 16, true);
+    for (int b = 0; b < 8; ++b) EXPECT_EQ(0.0f, observed[b]);
+}
+
+namespace {
+
+void divergentKernel(ThreadCtx* t, void*) {
+    if (t->threadIdx.x == 0) return;  // thread 0 exits...
+    syncThreads(t);                   // ...while the others wait: UB in CUDA
+}
+
+} // namespace
+
+TEST(GpuSync, BarrierDivergenceDetected) {
+    Device d;
+    EXPECT_THROW(d.launch(&divergentKernel, nullptr, {1, 1, 1}, {8, 1, 1}, 0, true), ExecError);
+}
+
+TEST(GpuSync, UniformEarlyExitIsFine) {
+    // ALL threads skipping the barrier together is well-defined.
+    Device d;
+    auto kernel = [](ThreadCtx*, void*) { return; };
+    EXPECT_NO_THROW(d.launch(kernel, nullptr, {2, 1, 1}, {8, 1, 1}, 0, true));
+}
+
+class GpuBlockSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuBlockSizes, ReductionWorksAtEveryPowerOfTwo) {
+    const int bs = GetParam();
+    Device d;
+    std::vector<float> in(static_cast<size_t>(bs), 2.0f);
+    float sum = 0;
+    ReduceArgs args{in.data(), &sum};
+    d.launch(&reduceKernel, &args, {1, 1, 1}, {bs, 1, 1},
+             bs * static_cast<int64_t>(sizeof(float)), true);
+    EXPECT_EQ(2.0f * bs, sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, GpuBlockSizes, ::testing::Values(1, 2, 4, 16, 64, 256, 1024));

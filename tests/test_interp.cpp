@@ -1,0 +1,263 @@
+// Interpreter ("JVM") semantics: arithmetic, arrays, constructors, dynamic
+// dispatch, exceptions, and device emulation.
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+using namespace wj::dsl;
+
+namespace {
+
+/// One static method "f(p: int) -> ret" with the given body, evaluated.
+Value evalI32Body(Block body, Type ret, int32_t arg) {
+    ProgramBuilder pb;
+    pb.cls("T").method("f", std::move(ret)).staticMethod().param("p", Type::i32())
+        .body(std::move(body));
+    Program p = pb.build();
+    Interp in(p);
+    return in.callStatic("T", "f", {Value::ofI32(arg)});
+}
+
+} // namespace
+
+// ------------------------------------------------------------- arithmetic
+
+TEST(InterpArith, IntegerOps) {
+    EXPECT_EQ(7, evalI32Body(blk(ret(add(lv("p"), ci(3)))), Type::i32(), 4).asI32());
+    EXPECT_EQ(-12, evalI32Body(blk(ret(mul(lv("p"), ci(-3)))), Type::i32(), 4).asI32());
+    EXPECT_EQ(2, evalI32Body(blk(ret(rem(lv("p"), ci(5)))), Type::i32(), 7).asI32());
+    EXPECT_EQ(1, evalI32Body(blk(ret(divE(lv("p"), ci(4)))), Type::i32(), 7).asI32());
+    // Java semantics: integer division truncates toward zero.
+    EXPECT_EQ(-1, evalI32Body(blk(ret(divE(lv("p"), ci(4)))), Type::i32(), -7).asI32());
+}
+
+TEST(InterpArith, DivisionByZeroThrows) {
+    EXPECT_THROW(evalI32Body(blk(ret(divE(ci(1), lv("p")))), Type::i32(), 0), ExecError);
+    EXPECT_THROW(evalI32Body(blk(ret(rem(ci(1), lv("p")))), Type::i32(), 0), ExecError);
+}
+
+TEST(InterpArith, ShiftCountMaskedLikeJava) {
+    // 1 << 33 == 1 << 1 in Java.
+    EXPECT_EQ(2, evalI32Body(blk(ret(std::make_unique<BinaryExpr>(BinOp::Shl, ci(1), ci(33)))),
+                             Type::i32(), 0)
+                     .asI32());
+}
+
+TEST(InterpArith, ShortCircuitEvaluation) {
+    // (p != 0) && (10 / p > 1): must not divide when p == 0.
+    Block body = blk(ret(land(ne(lv("p"), ci(0)), gt(divE(ci(10), lv("p")), ci(1)))));
+    EXPECT_FALSE(evalI32Body(std::move(body), Type::boolean(), 0).asBool());
+}
+
+TEST(InterpArith, NumericCasts) {
+    EXPECT_DOUBLE_EQ(4.0, evalI32Body(blk(ret(cast(Type::f64(), lv("p")))), Type::f64(), 4).asF64());
+    EXPECT_EQ(3, evalI32Body(blk(ret(cast(Type::i32(), cd(3.9)))), Type::i32(), 0).asI32());
+    EXPECT_EQ(-3, evalI32Body(blk(ret(cast(Type::i32(), cd(-3.9)))), Type::i32(), 0).asI32());
+}
+
+TEST(InterpArith, FloatRemainder) {
+    Value v = evalI32Body(blk(ret(rem(cd(7.5), cd(2.0)))), Type::f64(), 0);
+    EXPECT_DOUBLE_EQ(1.5, v.asF64());
+}
+
+// ----------------------------------------------------------------- arrays
+
+TEST(InterpArrays, BoundsChecked) {
+    Block over = blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), ci(3))),
+                     ret(aget(lv("a"), lv("p"))));
+    EXPECT_EQ(0, evalI32Body(std::move(over), Type::i32(), 2).asI32());
+    Block over2 = blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), ci(3))),
+                      ret(aget(lv("a"), lv("p"))));
+    EXPECT_THROW(evalI32Body(std::move(over2), Type::i32(), 3), ExecError);
+    Block neg = blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), ci(3))),
+                    ret(aget(lv("a"), lv("p"))));
+    EXPECT_THROW(evalI32Body(std::move(neg), Type::i32(), -1), ExecError);
+}
+
+TEST(InterpArrays, NegativeLengthThrows) {
+    EXPECT_THROW(
+        evalI32Body(blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), ci(-1))),
+                        ret(ci(0))),
+                    Type::i32(), 0),
+        ExecError);
+}
+
+TEST(InterpArrays, LengthAndStores) {
+    Block body = blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), lv("p"))),
+                     forRange("i", ci(0), alen(lv("a")),
+                              blk(aset(lv("a"), lv("i"), mul(lv("i"), lv("i"))))),
+                     ret(aget(lv("a"), sub(alen(lv("a")), ci(1)))));
+    EXPECT_EQ(81, evalI32Body(std::move(body), Type::i32(), 10).asI32());
+}
+
+// --------------------------------------------------------- objects/dispatch
+
+namespace {
+
+Program dispatchProgram() {
+    ProgramBuilder pb;
+    pb.cls("Shape2").interfaceClass().method("area", Type::f64()).abstractMethod();
+    auto& sq = pb.cls("Square").implements("Shape2").finalClass().field("s", Type::f64());
+    sq.ctor().param("s_", Type::f64()).body(blk(setSelf("s", lv("s_"))));
+    sq.method("area", Type::f64()).body(blk(ret(mul(selff("s"), selff("s")))));
+    auto& ci_ = pb.cls("Circle").implements("Shape2").finalClass().field("r", Type::f64());
+    ci_.ctor().param("r_", Type::f64()).body(blk(setSelf("r", lv("r_"))));
+    ci_.method("area", Type::f64())
+        .body(blk(ret(mul(cd(3.0), mul(selff("r"), selff("r"))))));
+    return pb.build();
+}
+
+} // namespace
+
+TEST(InterpDispatch, VirtualCallsUseDynamicType) {
+    Program p = dispatchProgram();
+    Interp in(p);
+    Value sq = in.instantiate("Square", {Value::ofF64(4.0)});
+    Value circ = in.instantiate("Circle", {Value::ofF64(2.0)});
+    EXPECT_DOUBLE_EQ(16.0, in.call(sq, "area", {}).asF64());
+    EXPECT_DOUBLE_EQ(12.0, in.call(circ, "area", {}).asF64());
+}
+
+TEST(InterpDispatch, DispatchCounterAdvances) {
+    Program p = dispatchProgram();
+    Interp in(p);
+    Value sq = in.instantiate("Square", {Value::ofF64(1.0)});
+    const int64_t before = in.dynamicDispatches();
+    in.call(sq, "area", {});
+    EXPECT_EQ(before + 1, in.dynamicDispatches());
+}
+
+TEST(InterpCtor, SuperChainRuns) {
+    ProgramBuilder pb;
+    auto& base = pb.cls("Base").field("x", Type::i32());
+    base.ctor().param("x_", Type::i32()).body(blk(setSelf("x", lv("x_"))));
+    auto& sub = pb.cls("Sub").extends("Base").field("y", Type::i32());
+    sub.ctor()
+        .param("x_", Type::i32())
+        .param("y_", Type::i32())
+        .body(blk(superCtor(lv("x_")), setSelf("y", lv("y_"))));
+    sub.method("sum", Type::i32()).body(blk(ret(add(selff("x"), selff("y")))));
+    Program p = pb.build();
+    Interp in(p);
+    Value v = in.instantiate("Sub", {Value::ofI32(3), Value::ofI32(4)});
+    EXPECT_EQ(7, in.call(v, "sum", {}).asI32());
+}
+
+TEST(InterpCtor, ImplicitSuperRuns) {
+    ProgramBuilder pb;
+    auto& base = pb.cls("Base").field("x", Type::i32());
+    base.ctor().body(blk(setSelf("x", ci(42))));
+    auto& sub = pb.cls("Sub").extends("Base");
+    sub.method("get", Type::i32()).body(blk(ret(selff("x"))));
+    Program p = pb.build();
+    Interp in(p);
+    Value v = in.instantiate("Sub", {});
+    EXPECT_EQ(42, in.call(v, "get", {}).asI32());
+}
+
+TEST(InterpErrors, RecursionOverflowCaught) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("f", Type::i32()).param("n", Type::i32())
+        .body(blk(ret(call(self(), "f", add(lv("n"), ci(1))))));
+    Program p = pb.build();
+    Interp in(p);
+    Value v = in.instantiate("T", {});
+    EXPECT_THROW(in.call(v, "f", {Value::ofI32(0)}), ExecError);
+}
+
+TEST(InterpErrors, MissingReturnCaught) {
+    ProgramBuilder pb;
+    pb.cls("T").method("f", Type::i32()).param("p", Type::i32())
+        .body(blk(ifs(gt(lv("p"), ci(0)), blk(ret(ci(1))))));
+    Program p = pb.build();
+    Interp in(p);
+    Value v = in.instantiate("T", {});
+    EXPECT_EQ(1, in.call(v, "f", {Value::ofI32(5)}).asI32());
+    EXPECT_THROW(in.call(v, "f", {Value::ofI32(-5)}), ExecError);
+}
+
+TEST(InterpErrors, ClassCastExceptionOnBadDowncast) {
+    ProgramBuilder pb;
+    pb.cls("Base");
+    pb.cls("A").extends("Base").finalClass();
+    pb.cls("B").extends("Base").finalClass();
+    auto& t = pb.cls("T").notWootinJ();
+    // Takes a Base, downcasts to A — throws at run time when given a B.
+    t.method("f", Type::voidTy()).param("x", Type::cls("Base"))
+        .body(blk(decl("a", Type::cls("A"), cast(Type::cls("A"), lv("x"))), retVoid()));
+    Program p = pb.build();
+    Interp in(p);
+    Value t0 = in.instantiate("T", {});
+    EXPECT_NO_THROW(in.call(t0, "f", {in.instantiate("A", {})}));
+    EXPECT_THROW(in.call(t0, "f", {in.instantiate("B", {})}), ExecError);
+}
+
+// --------------------------------------------------------- MPI/GPU posture
+
+TEST(InterpPlatform, MpiRankSizeAreOneRankWorld) {
+    Block body = blk(ret(add(mpiRank(), mpiSize())));
+    EXPECT_EQ(1, evalI32Body(std::move(body), Type::i32(), 0).asI32());
+}
+
+TEST(InterpPlatform, MpiCommunicationRefused) {
+    Block body = blk(exprS(intr(Intrinsic::MpiBarrier)), retVoid());
+    EXPECT_THROW(evalI32Body(std::move(body), Type::voidTy(), 0), ExecError);
+}
+
+TEST(InterpPlatform, GlobalMethodRefusedWithoutEmulation) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("k", Type::voidTy()).global().param("conf", Type::cls("CudaConfig"))
+        .body(blk(retVoid()));
+    t.method("go", Type::voidTy())
+        .body(blk(exprS(call(self(), "k", cudaConfig(dim3of(ci(1)), dim3of(ci(4)), ci(0)))),
+                  retVoid()));
+    Program p = pb.build();
+    Interp in(p);
+    Value v = in.instantiate("T", {});
+    EXPECT_THROW(in.call(v, "go", {}), ExecError);
+}
+
+TEST(InterpPlatform, DeviceEmulationRunsKernels) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("k", Type::voidTy()).global()
+        .param("conf", Type::cls("CudaConfig"))
+        .param("a", Type::array(Type::i32()))
+        .body(blk(decl("i", Type::i32(), add(mul(bidxX(), bdimX()), tidxX())),
+                  aset(lv("a"), lv("i"), mul(lv("i"), ci(2))), retVoid()));
+    t.method("go", Type::i32())
+        .body(blk(decl("a", Type::array(Type::i32()), newArr(Type::i32(), ci(8))),
+                  exprS(call(self(), "k", cudaConfig(dim3of(ci(2)), dim3of(ci(4)), ci(0)),
+                             lv("a"))),
+                  ret(aget(lv("a"), ci(7)))));
+    Program p = pb.build();
+    Interp::Options opts;
+    opts.deviceEmulation = true;
+    Interp in(p, opts);
+    Value v = in.instantiate("T", {});
+    EXPECT_EQ(14, in.call(v, "go", {}).asI32());
+}
+
+TEST(InterpCost, StencilPaysAllocationsAndDispatchesPerCell) {
+    // Quantifies the "Java" overhead the JIT removes: every cell costs 8
+    // boxed allocations (7 ScalarFloat inputs + 1 result) and multiple
+    // dynamic dispatches (solver.solve, grid get/getWrap x7, set, val x8).
+    ProgramBuilder pb;
+    wj::stencil::registerLibrary(pb);
+    wj::stencil::registerDiffusionApp(pb);
+    Program p = pb.build();
+    Interp in(p);
+    const auto c = wj::stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    Value runner = wj::stencil::makeCpuRunner(in, 4, 4, 4, c, 1);
+    const int64_t a0 = in.objectAllocations();
+    const int64_t d0 = in.dynamicDispatches();
+    in.call(runner, "run", {Value::ofI32(1)});
+    const int64_t cells = 4 * 4 * 4;
+    EXPECT_GE(in.objectAllocations() - a0, cells * 8);
+    EXPECT_GE(in.dynamicDispatches() - d0, cells * 10);
+}

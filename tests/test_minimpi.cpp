@@ -1,0 +1,281 @@
+// MiniMPI substrate: point-to-point semantics, collectives, determinism,
+// and failure injection (world abort).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/minimpi.h"
+#include "support/diagnostics.h"
+
+using namespace wj;
+using namespace wj::minimpi;
+
+TEST(MiniMpi, RankAndSize) {
+    World w(4);
+    std::vector<int> seen(4, -1);
+    w.run([&](Comm& c) {
+        EXPECT_EQ(4, c.size());
+        seen[static_cast<size_t>(c.rank())] = c.rank();
+    });
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(r, seen[static_cast<size_t>(r)]);
+}
+
+TEST(MiniMpi, RejectsNonPositiveSize) {
+    EXPECT_THROW(World(0), UsageError);
+    EXPECT_THROW(World(-3), UsageError);
+}
+
+TEST(MiniMpi, PointToPoint) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int payload = 12345;
+            c.send(&payload, sizeof payload, 1, 7);
+        } else {
+            int got = 0;
+            const int src = c.recv(&got, sizeof got, 0, 7);
+            EXPECT_EQ(12345, got);
+            EXPECT_EQ(0, src);
+        }
+    });
+}
+
+TEST(MiniMpi, TagMatching) {
+    // Messages with a different tag must not satisfy a receive.
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            int a = 1, b = 2;
+            c.send(&a, sizeof a, 1, 10);
+            c.send(&b, sizeof b, 1, 20);
+        } else {
+            int got = 0;
+            c.recv(&got, sizeof got, 0, 20);  // out of order by tag
+            EXPECT_EQ(2, got);
+            c.recv(&got, sizeof got, 0, 10);
+            EXPECT_EQ(1, got);
+        }
+    });
+}
+
+TEST(MiniMpi, FifoPerSourceAndTag) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 100; ++i) c.send(&i, sizeof i, 1, 1);
+        } else {
+            for (int i = 0; i < 100; ++i) {
+                int got = -1;
+                c.recv(&got, sizeof got, 0, 1);
+                EXPECT_EQ(i, got);
+            }
+        }
+    });
+}
+
+TEST(MiniMpi, AnySource) {
+    World w(3);
+    w.run([](Comm& c) {
+        if (c.rank() != 0) {
+            const int v = c.rank() * 100;
+            c.send(&v, sizeof v, 0, 5);
+        } else {
+            int sum = 0;
+            for (int i = 0; i < 2; ++i) {
+                int got = 0;
+                const int src = c.recv(&got, sizeof got, kAnySource, 5);
+                EXPECT_EQ(src * 100, got);
+                sum += got;
+            }
+            EXPECT_EQ(300, sum);
+        }
+    });
+}
+
+TEST(MiniMpi, SizeMismatchThrows) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            int v = 0;
+            c.send(&v, sizeof v, 1, 1);
+        } else {
+            double got;
+            c.recv(&got, sizeof got, 0, 1);  // 8 bytes expected, 4 sent
+        }
+    }),
+                 ExecError);
+}
+
+TEST(MiniMpi, InvalidRankThrows) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+        int v = 0;
+        if (c.rank() == 0) c.send(&v, sizeof v, 5, 1);
+        else c.recv(&v, sizeof v, 0, 1);
+    }),
+                 ExecError);
+}
+
+TEST(MiniMpi, SendRecvRingExchange) {
+    // The stencil halo pattern: every rank exchanges with both neighbors.
+    const int P = 5;
+    World w(P);
+    w.run([&](Comm& c) {
+        const int up = (c.rank() + 1) % P;
+        const int down = (c.rank() + P - 1) % P;
+        const float mine = static_cast<float>(c.rank());
+        float fromDown = -1, fromUp = -1;
+        c.sendrecv(&mine, sizeof mine, up, &fromDown, sizeof fromDown, down, 1);
+        c.sendrecv(&mine, sizeof mine, down, &fromUp, sizeof fromUp, up, 2);
+        EXPECT_EQ(static_cast<float>(down), fromDown);
+        EXPECT_EQ(static_cast<float>(up), fromUp);
+    });
+}
+
+TEST(MiniMpi, SendRecvToSelf) {
+    // Buffered sends make self-exchange legal (used by 1-rank MPI runs).
+    World w(1);
+    w.run([](Comm& c) {
+        int out = 9, in_ = 0;
+        c.sendrecv(&out, sizeof out, 0, &in_, sizeof in_, 0, 3);
+        EXPECT_EQ(9, in_);
+    });
+}
+
+TEST(MiniMpi, Barrier) {
+    const int P = 8;
+    World w(P);
+    std::atomic<int> phase1{0};
+    std::atomic<bool> violated{false};
+    w.run([&](Comm& c) {
+        phase1.fetch_add(1);
+        c.barrier();
+        if (phase1.load() != P) violated.store(true);
+    });
+    EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, Bcast) {
+    World w(4);
+    w.run([](Comm& c) {
+        double buf[3] = {0, 0, 0};
+        if (c.rank() == 2) {
+            buf[0] = 1.5;
+            buf[1] = 2.5;
+            buf[2] = 3.5;
+        }
+        c.bcast(buf, sizeof buf, 2);
+        EXPECT_DOUBLE_EQ(1.5, buf[0]);
+        EXPECT_DOUBLE_EQ(3.5, buf[2]);
+    });
+}
+
+TEST(MiniMpi, AllreduceSumDeterministic) {
+    const int P = 6;
+    World w(P);
+    std::vector<double> results(P, 0);
+    w.run([&](Comm& c) {
+        results[static_cast<size_t>(c.rank())] = c.allreduceSum(0.1 * (c.rank() + 1));
+    });
+    // Reduction in rank order: 0.1 + 0.2 + ... + 0.6 with fixed grouping.
+    double expect = 0;
+    for (int r = 0; r < P; ++r) expect += 0.1 * (r + 1);
+    for (double r : results) EXPECT_DOUBLE_EQ(expect, r);
+}
+
+TEST(MiniMpi, AllreduceMax) {
+    World w(5);
+    w.run([](Comm& c) {
+        const double v = c.rank() == 3 ? 99.0 : static_cast<double>(c.rank());
+        EXPECT_DOUBLE_EQ(99.0, c.allreduceMax(v));
+    });
+}
+
+TEST(MiniMpi, RepeatedCollectives) {
+    World w(3);
+    w.run([](Comm& c) {
+        for (int i = 0; i < 50; ++i) {
+            EXPECT_DOUBLE_EQ(3.0 * i, c.allreduceSum(static_cast<double>(i)));
+        }
+    });
+}
+
+TEST(MiniMpi, WorldReusableAcrossRuns) {
+    World w(2);
+    for (int iter = 0; iter < 3; ++iter) {
+        w.run([](Comm& c) {
+            int v = c.rank();
+            int got = -1;
+            c.sendrecv(&v, sizeof v, 1 - c.rank(), &got, sizeof got, 1 - c.rank(), 1);
+            EXPECT_EQ(1 - c.rank(), got);
+        });
+    }
+}
+
+TEST(MiniMpi, FailureInjectionAbortsBlockedRanks) {
+    // Rank 1 dies; rank 0 is blocked in recv and must be released with an
+    // error instead of hanging (MPI_Abort semantics).
+    World w(2);
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 1) throw ExecError("injected fault");
+            int got;
+            c.recv(&got, sizeof got, 1, 1);  // never satisfied
+        });
+        FAIL() << "expected the injected fault to propagate";
+    } catch (const ExecError& e) {
+        EXPECT_NE(std::string(e.what()).find("injected fault"), std::string::npos);
+    }
+    // The world remains usable after an abort.
+    w.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(MiniMpi, FailureInjectionReleasesBarrier) {
+    World w(3);
+    EXPECT_THROW(w.run([](Comm& c) {
+        if (c.rank() == 2) throw ExecError("boom");
+        c.barrier();
+    }),
+                 ExecError);
+}
+
+TEST(MiniMpi, InstrumentationCounts) {
+    World w(2);
+    const int64_t m0 = w.messagesSent();
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            float buf[16] = {};
+            c.sendF32(buf, 16, 1, 1);
+        } else {
+            float buf[16];
+            c.recvF32(buf, 16, 0, 1);
+        }
+    });
+    EXPECT_EQ(m0 + 1, w.messagesSent());
+    EXPECT_EQ(static_cast<int64_t>(16 * sizeof(float)), w.bytesSent());
+}
+
+class MiniMpiScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniMpiScale, AllToAllRing) {
+    const int P = GetParam();
+    World w(P);
+    w.run([&](Comm& c) {
+        // Pass a token all the way around the ring.
+        int token = 0;
+        if (c.rank() == 0) {
+            token = 1;
+            c.send(&token, sizeof token, 1 % P, 9);
+            if (P > 1) c.recv(&token, sizeof token, P - 1, 9);
+            EXPECT_EQ(P, token);
+        } else {
+            c.recv(&token, sizeof token, c.rank() - 1, 9);
+            ++token;
+            c.send(&token, sizeof token, (c.rank() + 1) % P, 9);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, MiniMpiScale, ::testing::Values(1, 2, 3, 4, 8, 16, 32));

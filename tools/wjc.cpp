@@ -1,0 +1,217 @@
+// wjc — the WootinC command-line driver.
+//
+//   wjc check <file.wj>                  verify the Section 3.2 coding rules
+//   wjc print <file.wj>                  reformat (parse + pretty-print)
+//   wjc translate <file.wj> --new EXPR --method NAME [ARGS...]
+//                                        print the generated C
+//   wjc run <file.wj> --new EXPR --method NAME [--ranks N] [ARGS...]
+//                                        jit + invoke; prints the result
+//
+// EXPR is a composition expression, the textual form of Listing 2's main
+// method: nested constructor calls with int/float/double literals, e.g.
+//     --new 'PiEstimator(HashSampler())'
+//     --new 'StencilCPU3DDblB(Dif3DSolver(), DiffusionQuantity(0.4f,0.1f,
+//            0.1f,0.1f,0.1f,0.1f,0.1f), FloatGridDblB(8,8,8), 42)'
+// Remaining ARGS are the entry-method arguments (int/long/float/double by
+// suffix and form).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "jit/jit.h"
+#include "rules/rules.h"
+
+using namespace wj;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  wjc check <file.wj>\n"
+                 "  wjc print <file.wj>\n"
+                 "  wjc translate <file.wj> --new EXPR --method NAME [ARGS...]\n"
+                 "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [ARGS...]\n");
+    return 2;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw UsageError("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Parses one composition expression: Ident '(' args ')' where args are
+/// nested compositions or numeric literals, instantiating via the interp.
+class CompositionParser {
+public:
+    CompositionParser(Interp& in, const std::string& text)
+        : in_(in), toks_(frontend::lex(text)) {}
+
+    Value parse() {
+        Value v = parseValue();
+        if (!at(frontend::Tok::Eof)) err("trailing input after composition");
+        return v;
+    }
+
+private:
+    using Tok = frontend::Tok;
+    const frontend::Token& peek(size_t off = 0) const {
+        const size_t i = pos_ + off;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Tok k, size_t off = 0) const { return peek(off).kind == k; }
+    frontend::Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+    [[noreturn]] void err(const std::string& m) const {
+        throw UsageError("composition: " + m);
+    }
+
+    Value parseValue() {
+        if (at(Tok::Minus)) {
+            take();
+            Value v = parseValue();
+            if (v.isI32()) return Value::ofI32(-v.asI32());
+            if (v.isI64()) return Value::ofI64(-v.asI64());
+            if (v.isF32()) return Value::ofF32(-v.asF32());
+            if (v.isF64()) return Value::ofF64(-v.asF64());
+            err("cannot negate an object");
+        }
+        if (at(Tok::IntLit)) return Value::ofI32(static_cast<int32_t>(take().ival));
+        if (at(Tok::LongLit)) return Value::ofI64(take().ival);
+        if (at(Tok::FloatLit)) return Value::ofF32(static_cast<float>(take().fval));
+        if (at(Tok::DoubleLit)) return Value::ofF64(take().fval);
+        if (!at(Tok::Ident)) err("expected a class name or literal");
+        const std::string cls = take().text;
+        if (cls == "true") return Value::ofBool(true);
+        if (cls == "false") return Value::ofBool(false);
+        if (!at(Tok::LParen)) err("expected '(' after " + cls);
+        take();
+        std::vector<Value> args;
+        if (!at(Tok::RParen)) {
+            args.push_back(parseValue());
+            while (at(Tok::Comma)) {
+                take();
+                args.push_back(parseValue());
+            }
+        }
+        if (!at(Tok::RParen)) err("expected ')'");
+        take();
+        return in_.instantiate(cls, std::move(args));
+    }
+
+    Interp& in_;
+    std::vector<frontend::Token> toks_;
+    size_t pos_ = 0;
+};
+
+/// "12" -> i32, "12L" -> i64, "1.5f" -> f32, "1.5" -> f64, true/false -> bool.
+Value parseArgLiteral(const std::string& s) {
+    auto toks = frontend::lex(s);
+    bool neg = false;
+    size_t i = 0;
+    if (toks[i].kind == frontend::Tok::Minus) {
+        neg = true;
+        ++i;
+    }
+    const auto& t = toks[i];
+    switch (t.kind) {
+    case frontend::Tok::IntLit:
+        return Value::ofI32(static_cast<int32_t>(neg ? -t.ival : t.ival));
+    case frontend::Tok::LongLit: return Value::ofI64(neg ? -t.ival : t.ival);
+    case frontend::Tok::FloatLit:
+        return Value::ofF32(static_cast<float>(neg ? -t.fval : t.fval));
+    case frontend::Tok::DoubleLit: return Value::ofF64(neg ? -t.fval : t.fval);
+    case frontend::Tok::Ident:
+        if (t.text == "true") return Value::ofBool(true);
+        if (t.text == "false") return Value::ofBool(false);
+        [[fallthrough]];
+    default:
+        throw UsageError("cannot parse argument literal: " + s);
+    }
+}
+
+void printResult(const Value& v) {
+    if (v.isVoid()) std::printf("(void)\n");
+    else if (v.isBool()) std::printf("%s\n", v.asBool() ? "true" : "false");
+    else if (v.isI32()) std::printf("%d\n", v.asI32());
+    else if (v.isI64()) std::printf("%lld\n", static_cast<long long>(v.asI64()));
+    else if (v.isF32()) std::printf("%.9g\n", static_cast<double>(v.asF32()));
+    else if (v.isF64()) std::printf("%.17g\n", v.asF64());
+}
+
+int runMain(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    if (cmd == "check") {
+        Program p = frontend::parseProgram(slurp(path));
+        auto vs = verifyCodingRules(p);
+        if (vs.empty()) {
+            std::printf("%s: all @WootinJ classes satisfy the coding rules\n", path.c_str());
+            return 0;
+        }
+        for (const auto& v : vs) std::printf("%s\n", v.str().c_str());
+        return 1;
+    }
+    if (cmd == "print") {
+        Program p = frontend::parseProgram(slurp(path));
+        std::fputs(printProgram(p).c_str(), stdout);
+        return 0;
+    }
+    if (cmd != "translate" && cmd != "run") return usage();
+
+    std::string newExpr, method;
+    int ranks = 0;
+    std::vector<Value> args;
+    Program prog = frontend::parseProgram(slurp(path));
+    Interp in(prog);
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--new" && i + 1 < argc) newExpr = argv[++i];
+        else if (a == "--method" && i + 1 < argc) method = argv[++i];
+        else if (a == "--ranks" && i + 1 < argc) ranks = std::atoi(argv[++i]);
+        else args.push_back(parseArgLiteral(a));
+    }
+    if (newExpr.empty() || method.empty()) return usage();
+
+    Value receiver = CompositionParser(in, newExpr).parse();
+    JitCode code = ranks > 0 ? WootinJ::jit4mpi(prog, receiver, method, args)
+                             : WootinJ::jit(prog, receiver, method, args);
+    if (ranks > 0) code.set4MPI(ranks);
+
+    if (cmd == "translate") {
+        std::fputs(code.generatedC().c_str(), stdout);
+        std::fprintf(stderr, "// %lld specializations, %lld devirtualized calls, %lld kernels\n",
+                     static_cast<long long>(code.specializations()),
+                     static_cast<long long>(code.devirtualizedCalls()),
+                     static_cast<long long>(code.kernels()));
+        return 0;
+    }
+    Value result = code.invoke();
+    printResult(result);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return runMain(argc, argv);
+    } catch (const RuleViolationError& e) {
+        std::fprintf(stderr, "coding-rule violations:\n%s\n", e.what());
+        return 1;
+    } catch (const WjError& e) {
+        std::fprintf(stderr, "wjc: %s\n", e.what());
+        return 1;
+    }
+}
