@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_boxing.dir/bench_abl_boxing.cpp.o"
+  "CMakeFiles/bench_abl_boxing.dir/bench_abl_boxing.cpp.o.d"
+  "bench_abl_boxing"
+  "bench_abl_boxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_boxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

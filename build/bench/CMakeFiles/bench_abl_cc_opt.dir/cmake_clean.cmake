@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cc_opt.dir/bench_abl_cc_opt.cpp.o"
+  "CMakeFiles/bench_abl_cc_opt.dir/bench_abl_cc_opt.cpp.o.d"
+  "bench_abl_cc_opt"
+  "bench_abl_cc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

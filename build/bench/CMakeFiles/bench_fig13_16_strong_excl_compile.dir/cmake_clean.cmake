@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_16_strong_excl_compile.dir/bench_fig13_16_strong_excl_compile.cpp.o"
+  "CMakeFiles/bench_fig13_16_strong_excl_compile.dir/bench_fig13_16_strong_excl_compile.cpp.o.d"
+  "bench_fig13_16_strong_excl_compile"
+  "bench_fig13_16_strong_excl_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_16_strong_excl_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_16_strong_excl_compile.
+# This may be replaced when dependencies are built.

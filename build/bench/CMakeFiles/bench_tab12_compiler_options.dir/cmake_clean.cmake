@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab12_compiler_options.dir/bench_tab12_compiler_options.cpp.o"
+  "CMakeFiles/bench_tab12_compiler_options.dir/bench_tab12_compiler_options.cpp.o.d"
+  "bench_tab12_compiler_options"
+  "bench_tab12_compiler_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab12_compiler_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

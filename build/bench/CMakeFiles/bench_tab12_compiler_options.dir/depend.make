@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab12_compiler_options.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_benchsupport.dir/common.cpp.o"
+  "CMakeFiles/wj_benchsupport.dir/common.cpp.o.d"
+  "libwj_benchsupport.a"
+  "libwj_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

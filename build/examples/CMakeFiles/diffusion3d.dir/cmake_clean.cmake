@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion3d.dir/diffusion3d.cpp.o"
+  "CMakeFiles/diffusion3d.dir/diffusion3d.cpp.o.d"
+  "diffusion3d"
+  "diffusion3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dump_translation.cpp" "examples/CMakeFiles/dump_translation.dir/dump_translation.cpp.o" "gcc" "examples/CMakeFiles/dump_translation.dir/dump_translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jit/CMakeFiles/wj_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/wj_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/wj_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wj_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/wj_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/wj_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/wj_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wj_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

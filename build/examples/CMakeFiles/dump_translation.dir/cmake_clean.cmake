@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_translation.dir/dump_translation.cpp.o"
+  "CMakeFiles/dump_translation.dir/dump_translation.cpp.o.d"
+  "dump_translation"
+  "dump_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

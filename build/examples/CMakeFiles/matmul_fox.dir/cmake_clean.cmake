@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_fox.dir/matmul_fox.cpp.o"
+  "CMakeFiles/matmul_fox.dir/matmul_fox.cpp.o.d"
+  "matmul_fox"
+  "matmul_fox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_fox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_source.dir/wj_source.cpp.o"
+  "CMakeFiles/wj_source.dir/wj_source.cpp.o.d"
+  "wj_source"
+  "wj_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

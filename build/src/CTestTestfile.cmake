@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("rules")
+subdirs("interp")
+subdirs("minimpi")
+subdirs("gpusim")
+subdirs("runtime")
+subdirs("jit")
+subdirs("perf")
+subdirs("stencil")
+subdirs("matmul")
+subdirs("cg")
+subdirs("baselines")

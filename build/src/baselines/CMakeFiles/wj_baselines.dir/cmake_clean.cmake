@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_baselines.dir/diffusion_baselines.cpp.o"
+  "CMakeFiles/wj_baselines.dir/diffusion_baselines.cpp.o.d"
+  "CMakeFiles/wj_baselines.dir/matmul_baselines.cpp.o"
+  "CMakeFiles/wj_baselines.dir/matmul_baselines.cpp.o.d"
+  "libwj_baselines.a"
+  "libwj_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwj_baselines.a"
+)

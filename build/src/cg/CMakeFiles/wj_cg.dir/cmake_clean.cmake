@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_cg.dir/cg_lib.cpp.o"
+  "CMakeFiles/wj_cg.dir/cg_lib.cpp.o.d"
+  "libwj_cg.a"
+  "libwj_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/wj_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/wj_frontend.dir/parser.cpp.o"
+  "CMakeFiles/wj_frontend.dir/parser.cpp.o.d"
+  "libwj_frontend.a"
+  "libwj_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_gpusim.dir/gpusim.cpp.o"
+  "CMakeFiles/wj_gpusim.dir/gpusim.cpp.o.d"
+  "libwj_gpusim.a"
+  "libwj_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

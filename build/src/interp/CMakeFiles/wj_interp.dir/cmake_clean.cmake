@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_interp.dir/interp.cpp.o"
+  "CMakeFiles/wj_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/wj_interp.dir/value.cpp.o"
+  "CMakeFiles/wj_interp.dir/value.cpp.o.d"
+  "libwj_interp.a"
+  "libwj_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

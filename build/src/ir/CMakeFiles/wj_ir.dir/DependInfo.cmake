@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ast.cpp" "src/ir/CMakeFiles/wj_ir.dir/ast.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/ast.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/wj_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/intrinsics.cpp" "src/ir/CMakeFiles/wj_ir.dir/intrinsics.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/intrinsics.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/wj_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/wj_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/ir/CMakeFiles/wj_ir.dir/type.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/type.cpp.o.d"
+  "/root/repo/src/ir/typecheck.cpp" "src/ir/CMakeFiles/wj_ir.dir/typecheck.cpp.o" "gcc" "src/ir/CMakeFiles/wj_ir.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

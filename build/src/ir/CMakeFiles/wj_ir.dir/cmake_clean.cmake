@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_ir.dir/ast.cpp.o"
+  "CMakeFiles/wj_ir.dir/ast.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/builder.cpp.o"
+  "CMakeFiles/wj_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/intrinsics.cpp.o"
+  "CMakeFiles/wj_ir.dir/intrinsics.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/printer.cpp.o"
+  "CMakeFiles/wj_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/program.cpp.o"
+  "CMakeFiles/wj_ir.dir/program.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/type.cpp.o"
+  "CMakeFiles/wj_ir.dir/type.cpp.o.d"
+  "CMakeFiles/wj_ir.dir/typecheck.cpp.o"
+  "CMakeFiles/wj_ir.dir/typecheck.cpp.o.d"
+  "libwj_ir.a"
+  "libwj_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

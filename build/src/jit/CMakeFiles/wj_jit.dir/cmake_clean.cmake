@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_jit.dir/codegen.cpp.o"
+  "CMakeFiles/wj_jit.dir/codegen.cpp.o.d"
+  "CMakeFiles/wj_jit.dir/compile.cpp.o"
+  "CMakeFiles/wj_jit.dir/compile.cpp.o.d"
+  "CMakeFiles/wj_jit.dir/jit.cpp.o"
+  "CMakeFiles/wj_jit.dir/jit.cpp.o.d"
+  "CMakeFiles/wj_jit.dir/shape.cpp.o"
+  "CMakeFiles/wj_jit.dir/shape.cpp.o.d"
+  "libwj_jit.a"
+  "libwj_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

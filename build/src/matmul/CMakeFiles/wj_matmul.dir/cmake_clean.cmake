@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_matmul.dir/matmul_lib.cpp.o"
+  "CMakeFiles/wj_matmul.dir/matmul_lib.cpp.o.d"
+  "libwj_matmul.a"
+  "libwj_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_minimpi.dir/minimpi.cpp.o"
+  "CMakeFiles/wj_minimpi.dir/minimpi.cpp.o.d"
+  "libwj_minimpi.a"
+  "libwj_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_perf.dir/perfmodel.cpp.o"
+  "CMakeFiles/wj_perf.dir/perfmodel.cpp.o.d"
+  "libwj_perf.a"
+  "libwj_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

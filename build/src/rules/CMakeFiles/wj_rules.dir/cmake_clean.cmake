@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_rules.dir/rules.cpp.o"
+  "CMakeFiles/wj_rules.dir/rules.cpp.o.d"
+  "libwj_rules.a"
+  "libwj_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

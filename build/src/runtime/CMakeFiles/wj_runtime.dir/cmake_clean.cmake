@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_runtime.dir/wjrt.cpp.o"
+  "CMakeFiles/wj_runtime.dir/wjrt.cpp.o.d"
+  "libwj_runtime.a"
+  "libwj_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_stencil.dir/stencil_lib.cpp.o"
+  "CMakeFiles/wj_stencil.dir/stencil_lib.cpp.o.d"
+  "libwj_stencil.a"
+  "libwj_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wj_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/wj_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/wj_support.dir/prng.cpp.o"
+  "CMakeFiles/wj_support.dir/prng.cpp.o.d"
+  "CMakeFiles/wj_support.dir/strings.cpp.o"
+  "CMakeFiles/wj_support.dir/strings.cpp.o.d"
+  "CMakeFiles/wj_support.dir/timer.cpp.o"
+  "CMakeFiles/wj_support.dir/timer.cpp.o.d"
+  "libwj_support.a"
+  "libwj_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wj_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

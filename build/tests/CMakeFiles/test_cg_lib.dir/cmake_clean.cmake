@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cg_lib.dir/test_cg_lib.cpp.o"
+  "CMakeFiles/test_cg_lib.dir/test_cg_lib.cpp.o.d"
+  "test_cg_lib"
+  "test_cg_lib.pdb"
+  "test_cg_lib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cg_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

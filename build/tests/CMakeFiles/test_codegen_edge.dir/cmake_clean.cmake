@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_edge.dir/test_codegen_edge.cpp.o"
+  "CMakeFiles/test_codegen_edge.dir/test_codegen_edge.cpp.o.d"
+  "test_codegen_edge"
+  "test_codegen_edge.pdb"
+  "test_codegen_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

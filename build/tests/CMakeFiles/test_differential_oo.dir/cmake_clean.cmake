@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differential_oo.dir/test_differential_oo.cpp.o"
+  "CMakeFiles/test_differential_oo.dir/test_differential_oo.cpp.o.d"
+  "test_differential_oo"
+  "test_differential_oo.pdb"
+  "test_differential_oo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differential_oo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

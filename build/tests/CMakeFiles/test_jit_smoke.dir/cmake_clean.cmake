@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit_smoke.dir/test_jit_smoke.cpp.o"
+  "CMakeFiles/test_jit_smoke.dir/test_jit_smoke.cpp.o.d"
+  "test_jit_smoke"
+  "test_jit_smoke.pdb"
+  "test_jit_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

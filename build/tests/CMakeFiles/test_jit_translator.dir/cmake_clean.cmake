@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit_translator.dir/test_jit_translator.cpp.o"
+  "CMakeFiles/test_jit_translator.dir/test_jit_translator.cpp.o.d"
+  "test_jit_translator"
+  "test_jit_translator.pdb"
+  "test_jit_translator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

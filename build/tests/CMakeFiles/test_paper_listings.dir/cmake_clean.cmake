@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_listings.dir/test_paper_listings.cpp.o"
+  "CMakeFiles/test_paper_listings.dir/test_paper_listings.cpp.o.d"
+  "test_paper_listings"
+  "test_paper_listings.pdb"
+  "test_paper_listings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_listings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stencil_lib.dir/test_stencil_lib.cpp.o"
+  "CMakeFiles/test_stencil_lib.dir/test_stencil_lib.cpp.o.d"
+  "test_stencil_lib"
+  "test_stencil_lib.pdb"
+  "test_stencil_lib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stencil_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_jit_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_matmul_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_jit_translator[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_differential_random[1]_include.cmake")
+include("/root/repo/build/tests/test_cg_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_differential_oo[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_listings[1]_include.cmake")

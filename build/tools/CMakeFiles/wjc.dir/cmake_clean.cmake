@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wjc.dir/wjc.cpp.o"
+  "CMakeFiles/wjc.dir/wjc.cpp.o.d"
+  "wjc"
+  "wjc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wjc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

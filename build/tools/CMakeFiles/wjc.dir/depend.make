@@ -1,0 +1,2 @@
+# Empty dependencies file for wjc.
+# This may be replaced when dependencies are built.

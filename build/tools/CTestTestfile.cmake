@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wjc_check_good "/root/repo/build/tools/wjc" "check" "/root/repo/examples/pi.wj")
+set_tests_properties(wjc_check_good PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wjc_check_bad "/root/repo/build/tools/wjc" "check" "/root/repo/examples/bad_rules.wj")
+set_tests_properties(wjc_check_bad PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wjc_print_roundtrips "/root/repo/build/tools/wjc" "print" "/root/repo/examples/pi.wj")
+set_tests_properties(wjc_print_roundtrips PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wjc_run_pi "/root/repo/build/tools/wjc" "run" "/root/repo/examples/pi.wj" "--new" "PiEstimator(HashSampler())" "--method" "run" "--ranks" "2" "20000")
+set_tests_properties(wjc_run_pi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wjc_translate_pi "/root/repo/build/tools/wjc" "translate" "/root/repo/examples/pi.wj" "--new" "PiEstimator(HashSampler())" "--method" "run" "10")
+set_tests_properties(wjc_translate_pi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wjc_usage_error "/root/repo/build/tools/wjc")
+set_tests_properties(wjc_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
