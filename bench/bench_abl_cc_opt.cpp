@@ -18,6 +18,9 @@ using namespace wj::stencil;
 
 int main(int argc, char** argv) {
     const auto opts = wjbench::parseArgs(argc, argv);
+    // The "compile ms" column must be the real compiler cost per flag
+    // level, so the compile cache would defeat the measurement.
+    setenv("WJ_CACHE", "0", 1);
     wjbench::banner("Ablation: external compiler optimization level",
                     "same WootinJ translation compiled at -O0/-O1/-O2",
                     "all values MEASURED on this host");

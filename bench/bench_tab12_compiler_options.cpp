@@ -2,6 +2,8 @@
 // its icc flag sets; WootinC records the exact external-compiler command
 // each translation unit is built with (and the host flags the baselines
 // got). Informational — no timing.
+#include <cstdlib>
+
 #include "common.h"
 #include "interp/interp.h"
 #include "jit/jit.h"
@@ -12,6 +14,8 @@ using namespace wj;
 
 int main(int argc, char** argv) {
     (void)wjbench::parseArgs(argc, argv);
+    // Cache hits would print "(cached) ..." instead of the real command.
+    setenv("WJ_CACHE", "0", 1);
     wjbench::banner("Tables 1-2", "compiler options per program",
                     "actual commands used by this build (paper used icc; see EXPERIMENTS.md)");
 

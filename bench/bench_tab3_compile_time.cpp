@@ -2,24 +2,64 @@
 // plus the external C compiler. The paper measured ~4-5 s with icc on
 // TSUBAME; the structure (external compiler dominates, cost independent of
 // the problem size) is what reproduces here. Both columns MEASURED.
+//
+// The bench also reports what the paper could not: warm rows against the
+// persistent compile cache (what a relaunched job pays on the same
+// machine) and the async compile pipeline overlapping all four cold
+// compiles. It runs against a private throw-away WJ_CACHE_DIR so results
+// are reproducible and the user's real cache is untouched.
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
 #include "common.h"
 
 int main(int argc, char** argv) {
     (void)wjbench::parseArgs(argc, argv);
+
+    // Private, initially-empty cache so cold rows are genuinely cold.
+    std::string cacheTmpl = std::filesystem::temp_directory_path() / "wj-tab3-cache.XXXXXX";
+    const char* cacheDir = mkdtemp(cacheTmpl.data());
+    if (cacheDir) {
+        setenv("WJ_CACHE_DIR", cacheDir, 1);
+        setenv("WJ_CACHE", "1", 1);
+    }
+
     wjbench::banner("Table 3", "WootinJ compilation time (codegen + external C compiler)",
                     "all values MEASURED on this host");
 
     const auto rows = wjbench::measureCompileTimes();
-    std::printf("%-28s %12s %12s %12s\n", "program", "codegen", "external cc", "total");
+    std::printf("%-28s %12s %12s %12s | %12s %12s %6s\n", "program", "codegen", "external cc",
+                "cold total", "warm codegen", "cache lookup", "hit");
     for (const auto& r : rows) {
-        std::printf("%-28s %9.1f ms %9.1f ms %9.1f ms\n", r.what.c_str(), r.codegen * 1e3,
-                    r.external * 1e3, r.total() * 1e3);
+        std::printf("%-28s %9.1f ms %9.1f ms %9.1f ms | %9.1f ms %9.2f ms %6s\n", r.what.c_str(),
+                    r.codegen * 1e3, r.external * 1e3, r.total() * 1e3, r.warmCodegen * 1e3,
+                    r.warmLookup * 1e3, r.warmHit ? "yes" : "NO");
     }
+
     std::printf("\npaper shape check: external compiler dominates codegen in every row -> ");
     bool ok = true;
     for (const auto& r : rows) ok = ok && r.external > r.codegen;
     std::printf("%s\n", ok ? "holds" : "VIOLATED");
+    std::printf("cache shape check: every warm row skips the external compiler -> ");
+    bool warm = true;
+    for (const auto& r : rows) warm = warm && r.warmHit;
+    std::printf("%s\n", warm ? "holds" : "VIOLATED");
+
+    const auto par = wjbench::measureParallelCompileTimes();
+    std::printf("\nasync pipeline: %d cold units, %.1f ms summed cost, %.1f ms wall (%.2fx "
+                "overlap)\n",
+                par.units, par.sumSeconds * 1e3, par.wallSeconds * 1e3,
+                par.wallSeconds > 0 ? par.sumSeconds / par.wallSeconds : 0.0);
+
     std::printf("(absolute times are smaller than the paper's 4-5 s: cc -O2 on this host vs "
                 "icc -O3 -ipo on TSUBAME, and WJ programs are smaller than full Java apps)\n");
+
+    if (cacheDir) {
+        std::error_code ec;
+        std::filesystem::remove_all(cacheDir, ec);
+    }
     return 0;
 }

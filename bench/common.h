@@ -53,17 +53,34 @@ MatmulCosts measureMatmulCosts(bool withInterp, bool full);
 /// cell (used to sanity-print beside the roofline-model numbers).
 double measureGpuDiffusionPerCell(bool full);
 
-/// Compilation-time measurements for Table 3.
+/// Compilation-time measurements for Table 3, cold and warm. The cold
+/// columns are a first-ever jit() (external compiler runs); the warm
+/// columns re-jit the same translation unit against the populated compile
+/// cache with the in-process registry dropped — i.e. what a NEW process
+/// pays on a warm machine.
 struct CompileTime {
     std::string what;
-    double codegen = 0;  ///< WootinJ code generation (seconds)
-    double external = 0; ///< external C compiler (seconds)
+    double codegen = 0;      ///< WootinJ code generation (seconds)
+    double external = 0;     ///< external C compiler (seconds)
     double total() const { return codegen + external; }
+    double warmCodegen = 0;  ///< codegen on the warm re-jit
+    double warmLookup = 0;   ///< cache probe + dlopen-from-cache time
+    bool warmHit = false;    ///< the warm construction skipped the compiler
 };
 
 /// jit()s the four evaluation apps and reports their compilation costs.
 /// Returns {diffusion CPU, diffusion GPU, matmul CPU(Fox), matmul GPU}.
 std::vector<CompileTime> measureCompileTimes();
+
+/// Async-pipeline measurement: the same four translation units compiled
+/// cold but concurrently on the JIT's compile pool.
+struct ParallelCompile {
+    double wallSeconds = 0;  ///< start of first to completion of last
+    double sumSeconds = 0;   ///< sum of the per-unit compilation costs
+    int units = 0;
+};
+
+ParallelCompile measureParallelCompileTimes();
 
 /// Prints the standard banner: which figure, what workload, what is
 /// measured vs modeled.

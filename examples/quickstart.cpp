@@ -68,7 +68,8 @@ int main() {
     std::printf("one-point stencil on 4 ranks x 1 GPU each:\n");
     std::printf("  global checksum  = %.6f\n", result.asF64());
     std::printf("  jit codegen      = %.1f ms\n", code.codegenSeconds() * 1e3);
-    std::printf("  external cc      = %.1f ms\n", code.compileSeconds() * 1e3);
+    std::printf("  external cc      = %.1f ms%s\n", code.compileSeconds() * 1e3,
+                code.cacheHit() ? " (compile cache hit)" : "");
     std::printf("  devirtualized    = %lld call sites\n",
                 static_cast<long long>(code.devirtualizedCalls()));
     std::printf("  kernels          = %lld\n", static_cast<long long>(code.kernels()));

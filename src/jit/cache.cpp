@@ -1,0 +1,280 @@
+#include "jit/cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace fs = std::filesystem;
+
+namespace wj {
+
+namespace {
+
+constexpr uint64_t kDefaultMaxBytes = 256ull << 20;
+
+bool envFlagOff(const char* name) {
+    const char* v = std::getenv(name);
+    if (!v) return false;
+    const std::string s(v);
+    return s == "0" || s == "off" || s == "false" || s == "no";
+}
+
+std::string hexKey(uint64_t key) { return format("%016llx", static_cast<unsigned long long>(key)); }
+
+/// Reads a whole file; returns false if it cannot be opened.
+bool slurp(const fs::path& p, std::string& out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    return true;
+}
+
+struct Entry {
+    fs::path path;
+    uint64_t bytes;
+    fs::file_time_type mtime;
+};
+
+/// All .so entries in the store, oldest mtime first.
+std::vector<Entry> scanEntries(const fs::path& dir) {
+    std::vector<Entry> out;
+    std::error_code ec;
+    for (const auto& de : fs::directory_iterator(dir, ec)) {
+        if (de.path().extension() != ".so") continue;
+        std::error_code ec2;
+        const uint64_t n = de.file_size(ec2);
+        const auto mt = de.last_write_time(ec2);
+        if (!ec2) out.push_back({de.path(), n, mt});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+        return a.mtime < b.mtime;
+    });
+    return out;
+}
+
+} // namespace
+
+uint64_t fnv1a64(const void* data, size_t n, uint64_t seed) noexcept {
+    uint64_t h = seed;
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct JitCache::Impl {
+    std::mutex m;  // guards loaded + stats (disk ops rely on atomic rename)
+    std::unordered_map<uint64_t, std::weak_ptr<NativeModule>> loaded;
+    CacheStats stats;
+};
+
+JitCache& JitCache::instance() {
+    static JitCache c;
+    return c;
+}
+
+JitCache::Impl& JitCache::impl() const {
+    static Impl i;
+    return i;
+}
+
+bool JitCache::enabled() const { return !envFlagOff("WJ_CACHE"); }
+
+std::string JitCache::dir() const {
+    if (const char* d = std::getenv("WJ_CACHE_DIR"); d && *d) return d;
+    if (const char* x = std::getenv("XDG_CACHE_HOME"); x && *x) {
+        return std::string(x) + "/wootinc";
+    }
+    if (const char* h = std::getenv("HOME"); h && *h) {
+        return std::string(h) + "/.cache/wootinc";
+    }
+    const char* tmp = std::getenv("TMPDIR");
+    return std::string(tmp && *tmp ? tmp : "/tmp") + "/wootinc-cache";
+}
+
+uint64_t JitCache::maxBytes() const {
+    if (const char* v = std::getenv("WJ_CACHE_MAX_BYTES"); v && *v) {
+        const long long n = std::atoll(v);
+        if (n > 0) return static_cast<uint64_t>(n);
+    }
+    return kDefaultMaxBytes;
+}
+
+uint64_t JitCache::keyOf(const std::string& cSource, const std::string& cc,
+                         const std::string& flags, uint64_t rtVersion) noexcept {
+    uint64_t h = fnv1a64(cSource.data(), cSource.size());
+    h = fnv1a64(cc.data(), cc.size(), h);
+    h = fnv1a64(flags.data(), flags.size(), h);
+    h = fnv1a64(&rtVersion, sizeof rtVersion, h);
+    return h;
+}
+
+uint64_t JitCache::runtimeHeadersVersion(const std::string& includeDir) {
+    // The runtime contract of the generated C is exactly these headers; a
+    // change to either must invalidate every cached binary. Computed once —
+    // the headers cannot change under a running process.
+    static std::once_flag once;
+    static uint64_t version = 0;
+    std::call_once(once, [&] {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (const char* name : {"wjrt.h", "rng_hash.h", "context.h"}) {
+            std::string text;
+            if (slurp(fs::path(includeDir) / name, text)) {
+                h = fnv1a64(text.data(), text.size(), h);
+            }
+        }
+        version = h;
+    });
+    return version;
+}
+
+std::string JitCache::lookup(uint64_t key) {
+    if (!enabled()) return "";
+    const fs::path p = fs::path(dir()) / (hexKey(key) + ".so");
+    std::error_code ec;
+    if (!fs::exists(p, ec) || ec) return "";
+    // Refresh the LRU stamp so hot entries survive eviction.
+    fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
+    return p.string();
+}
+
+std::string JitCache::store(uint64_t key, const std::string& soPath, const std::string& tag) {
+    if (!enabled()) return "";
+    const fs::path d(dir());
+    std::error_code ec;
+    fs::create_directories(d, ec);
+    if (ec) return "";
+
+    const fs::path dst = d / (hexKey(key) + ".so");
+    // Write-to-temp + rename: readers either see the old entry, no entry,
+    // or the complete new one — never a half-copied .so. The temp name is
+    // pid-unique so concurrent stores of the same key cannot collide.
+    const fs::path tmp = d / format(".tmp-%s-%d", hexKey(key).c_str(),
+                                    static_cast<int>(::getpid()));
+    fs::copy_file(soPath, tmp, fs::copy_options::overwrite_existing, ec);
+    if (ec) return "";
+    fs::rename(tmp, dst, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return "";
+    }
+
+    {
+        std::ofstream idx(d / "index.tsv", std::ios::app);
+        std::error_code sec;
+        idx << hexKey(key) << '\t' << tag << '\t' << fs::file_size(dst, sec) << '\n';
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl().m);
+        ++impl().stats.stores;
+    }
+    enforceCap();
+    return dst.string();
+}
+
+void JitCache::enforceCap() {
+    const fs::path d(dir());
+    const uint64_t cap = maxBytes();
+    auto entries = scanEntries(d);
+    uint64_t total = 0;
+    for (const auto& e : entries) total += e.bytes;
+    int64_t evicted = 0;
+    for (const auto& e : entries) {
+        if (total <= cap) break;
+        std::error_code ec;
+        if (fs::remove(e.path, ec) && !ec) {
+            total -= e.bytes;
+            ++evicted;
+        }
+    }
+    if (evicted) {
+        std::lock_guard<std::mutex> lock(impl().m);
+        impl().stats.evictions += evicted;
+    }
+}
+
+void JitCache::invalidate(uint64_t key) {
+    std::error_code ec;
+    fs::remove(fs::path(dir()) / (hexKey(key) + ".so"), ec);
+}
+
+void JitCache::clearDisk() {
+    const fs::path d(dir());
+    std::error_code ec;
+    for (const auto& de : fs::directory_iterator(d, ec)) {
+        if (de.path().extension() == ".so" || de.path().filename() == "index.tsv") {
+            std::error_code ec2;
+            fs::remove(de.path(), ec2);
+        }
+    }
+}
+
+uint64_t JitCache::diskBytes() const {
+    uint64_t total = 0;
+    for (const auto& e : scanEntries(dir())) total += e.bytes;
+    return total;
+}
+
+std::shared_ptr<NativeModule> JitCache::findLoaded(uint64_t key) {
+    if (!enabled()) return nullptr;
+    std::lock_guard<std::mutex> lock(impl().m);
+    auto it = impl().loaded.find(key);
+    if (it == impl().loaded.end()) return nullptr;
+    return it->second.lock();
+}
+
+void JitCache::registerLoaded(uint64_t key, const std::shared_ptr<NativeModule>& mod) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(impl().m);
+    impl().loaded[key] = mod;
+}
+
+void JitCache::clearLoaded() {
+    std::lock_guard<std::mutex> lock(impl().m);
+    impl().loaded.clear();
+}
+
+CacheStats JitCache::stats() const {
+    std::lock_guard<std::mutex> lock(impl().m);
+    return impl().stats;
+}
+
+void JitCache::resetStats() {
+    std::lock_guard<std::mutex> lock(impl().m);
+    impl().stats = CacheStats{};
+}
+
+void JitCache::noteMiss(double lookupSeconds) {
+    std::lock_guard<std::mutex> lock(impl().m);
+    ++impl().stats.misses;
+    impl().stats.lookupSeconds += lookupSeconds;
+}
+
+void JitCache::noteMemoryHit() {
+    std::lock_guard<std::mutex> lock(impl().m);
+    ++impl().stats.memoryHits;
+}
+
+void JitCache::noteDiskHit(double lookupSeconds) {
+    std::lock_guard<std::mutex> lock(impl().m);
+    ++impl().stats.diskHits;
+    impl().stats.lookupSeconds += lookupSeconds;
+}
+
+void JitCache::noteCorrupt() {
+    std::lock_guard<std::mutex> lock(impl().m);
+    ++impl().stats.corrupt;
+}
+
+} // namespace wj

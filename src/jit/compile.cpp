@@ -1,12 +1,20 @@
 #include "jit/compile.h"
 
 #include <dlfcn.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "jit/cache.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 #include "support/timer.h"
@@ -17,11 +25,104 @@
 
 namespace wj {
 
+namespace {
+
+/// A fixed-size worker pool for external compilations. The work is almost
+/// entirely "wait for cc", so a handful of threads is enough to keep a
+/// multi-TU bench's compile phase fully overlapped.
+class CompilePool {
+public:
+    static CompilePool& instance() {
+        static CompilePool p;
+        return p;
+    }
+
+    std::future<CompileResult> submit(std::string cSource, std::string tag) {
+        auto task = std::packaged_task<CompileResult()>(
+            [src = std::move(cSource), t = std::move(tag)] { return compileAndLoad(src, t); });
+        auto fut = task.get_future();
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            q_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+private:
+    CompilePool() {
+        // Workers mostly block on the external cc process, so more workers
+        // than cores still overlaps useful work; floor of 2 keeps the
+        // pipeline parallel even on single-core hosts.
+        const unsigned hw = std::thread::hardware_concurrency();
+        const unsigned n = std::max(2u, std::min(hw ? hw : 2u, 4u));
+        for (unsigned i = 0; i < n; ++i) {
+            workers_.emplace_back([this] { workerLoop(); });
+        }
+    }
+
+    ~CompilePool() {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    void workerLoop() {
+        for (;;) {
+            std::packaged_task<CompileResult()> task;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cv_.wait(lock, [&] { return done_ || !q_.empty(); });
+                if (q_.empty()) return;  // done_ and drained
+                task = std::move(q_.front());
+                q_.pop_front();
+            }
+            task();  // exceptions land in the future
+        }
+    }
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<std::packaged_task<CompileResult()>> q_;
+    std::vector<std::thread> workers_;
+    bool done_ = false;
+};
+
+/// Human-readable decoding of std::system()'s raw wait status.
+std::string describeExitStatus(int raw) {
+    if (raw == -1) return "could not launch the shell";
+    if (WIFEXITED(raw)) {
+        const int code = WEXITSTATUS(raw);
+        // The shell folds a signal-killed child into exit code 128+N;
+        // surface that so "cc segfaulted" reads differently from "cc
+        // found an error".
+        if (code > 128) {
+            return format("exit code %d: compiler killed by signal %d", code, code - 128);
+        }
+        return format("exit code %d", code);
+    }
+    if (WIFSIGNALED(raw)) return format("killed by signal %d", WTERMSIG(raw));
+    return format("unrecognized wait status 0x%x", static_cast<unsigned>(raw));
+}
+
+/// $TMPDIR if set (the paper's clusters put scratch on fast local disks),
+/// else /tmp.
+std::string tempRoot() {
+    const char* t = std::getenv("TMPDIR");
+    return t && *t ? t : "/tmp";
+}
+
+} // namespace
+
 NativeModule::~NativeModule() {
     if (handle_) dlclose(handle_);
     if (!dir_.empty()) {
         // Best-effort cleanup of the temp dir (source, object, module).
-        std::system(("rm -rf '" + dir_ + "'").c_str());
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
     }
 }
 
@@ -31,12 +132,55 @@ void* NativeModule::symbol(const std::string& name) const {
     return s;
 }
 
-std::unique_ptr<NativeModule> compileAndLoad(const std::string& cSource, const std::string& tag) {
-    char tmpl[] = "/tmp/wootinc.XXXXXX";
-    const char* dir = mkdtemp(tmpl);
-    if (!dir) throw UsageError("cannot create temp directory for JIT output");
+CompileResult compileAndLoad(const std::string& cSource, const std::string& tag) {
+    const char* cc = std::getenv("WJ_CC");
+    if (!cc || !*cc) cc = "cc";
+    // -O2 -fPIC -shared: the role icc's "-O3 -ipo" plays in the paper's
+    // Tables 1-2. WJ_CFLAGS overrides the optimization flags (used by the
+    // compile-cost ablation bench). rdynamic host exports provide wjrt_*.
+    const char* flags = std::getenv("WJ_CFLAGS");
+    if (!flags || !*flags) flags = "-O2";
 
-    auto mod = std::unique_ptr<NativeModule>(new NativeModule());
+    JitCache& cache = JitCache::instance();
+    const uint64_t rtv = JitCache::runtimeHeadersVersion(WJ_RT_INCLUDE_DIR);
+    const uint64_t key = JitCache::keyOf(cSource, cc, flags, rtv);
+
+    CompileResult res;
+    Timer lookupT;
+    if (auto hit = cache.findLoaded(key)) {
+        cache.noteMemoryHit();
+        res.module = std::move(hit);
+        res.cacheHit = true;
+        res.lookupSeconds = lookupT.seconds();
+        return res;
+    }
+
+    auto mod = std::shared_ptr<NativeModule>(new NativeModule());
+    const std::string cachedSo = cache.lookup(key);
+    if (!cachedSo.empty()) {
+        mod->handle_ = dlopen(cachedSo.c_str(), RTLD_NOW | RTLD_LOCAL);
+        if (mod->handle_) {
+            mod->command_ = format("(cached) %s %s [key %016llx]", cc, flags,
+                                   static_cast<unsigned long long>(key));
+            cache.registerLoaded(key, mod);
+            res.module = std::move(mod);
+            res.cacheHit = true;
+            res.lookupSeconds = lookupT.seconds();
+            cache.noteDiskHit(res.lookupSeconds);
+            return res;
+        }
+        // A truncated or stale entry (e.g. written by a crashed process on
+        // a filesystem without atomic rename): drop it and recompile.
+        cache.noteCorrupt();
+        cache.invalidate(key);
+    }
+    res.lookupSeconds = lookupT.seconds();
+    cache.noteMiss(res.lookupSeconds);
+
+    std::string tmpl = tempRoot() + "/wootinc.XXXXXX";
+    const char* dir = mkdtemp(tmpl.data());
+    if (!dir) throw UsageError("cannot create temp directory for JIT output under " + tempRoot());
+
     mod->dir_ = dir;
     mod->srcPath_ = std::string(dir) + "/" + mangle(tag) + ".c";
     const std::string soPath = std::string(dir) + "/" + mangle(tag) + ".so";
@@ -48,32 +192,42 @@ std::unique_ptr<NativeModule> compileAndLoad(const std::string& cSource, const s
         out << cSource;
     }
 
-    const char* cc = std::getenv("WJ_CC");
-    if (!cc || !*cc) cc = "cc";
-    // -O2 -fPIC -shared: the role icc's "-O3 -ipo" plays in the paper's
-    // Tables 1-2. WJ_CFLAGS overrides the optimization flags (used by the
-    // compile-cost ablation bench). rdynamic host exports provide wjrt_*.
-    const char* flags = std::getenv("WJ_CFLAGS");
-    if (!flags || !*flags) flags = "-O2";
     mod->command_ =
         format("%s -std=c11 %s -ffp-contract=off -fPIC -shared -I'%s' -o '%s' '%s' -lm 2> '%s'",
                cc, flags, WJ_RT_INCLUDE_DIR, soPath.c_str(), mod->srcPath_.c_str(),
                errPath.c_str());
 
     Timer t;
-    const int rc = std::system(mod->command_.c_str());
+    const int raw = std::system(mod->command_.c_str());
     mod->compileSeconds_ = t.seconds();
-    if (rc != 0) {
+    // std::system returns a raw wait(2) status, not an exit code: decode
+    // it so "cc segfaulted" and "cc exited 1" read differently.
+    const bool ok = raw != -1 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0;
+    if (!ok) {
         std::ifstream err(errPath);
         std::string msg((std::istreambuf_iterator<char>(err)), std::istreambuf_iterator<char>());
-        throw UsageError("external C compiler failed (see " + mod->srcPath_ + "):\n" + msg);
+        throw UsageError("external C compiler failed (" + describeExitStatus(raw) + ", see " +
+                         mod->srcPath_ + "):\n" + msg);
     }
 
-    mod->handle_ = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    // Publish to the persistent cache, then load the cached copy so the
+    // temp dir is not load-bearing; fall back to the temp .so if the store
+    // failed (cache disabled, disk full, ...).
+    const std::string published = cache.store(key, soPath, tag);
+    const std::string& loadPath = published.empty() ? soPath : published;
+    mod->handle_ = dlopen(loadPath.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!mod->handle_) {
         throw UsageError(std::string("dlopen failed: ") + dlerror());
     }
-    return mod;
+    cache.registerLoaded(key, mod);
+    res.compileSeconds = mod->compileSeconds_;
+    res.module = std::move(mod);
+    return res;
+}
+
+std::future<CompileResult> compileAndLoadAsync(const std::string& cSource,
+                                               const std::string& tag) {
+    return CompilePool::instance().submit(cSource, tag);
 }
 
 } // namespace wj

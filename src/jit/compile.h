@@ -4,15 +4,25 @@
 // JNI; WootinC compiles with the system C compiler (cc, overridable via the
 // WJ_CC environment variable) into a shared object and loads it with
 // dlopen(). Compilation wall time is reported separately because it is the
-// dominant part of the paper's Table 3.
+// dominant part of the paper's Table 3 — which is exactly why the result is
+// cached: compileAndLoad() first consults the persistent compile cache
+// (see cache.h) and only shells out to the compiler on a miss. An async
+// variant compiles several translation units in parallel on a small
+// thread pool (the compile pipeline is I/O + external-process bound, so
+// parallel cold compiles of independent TUs scale almost linearly).
 #pragma once
 
+#include <future>
 #include <memory>
 #include <string>
 
 namespace wj {
 
-/// A loaded shared object; closes the handle on destruction.
+struct CompileResult;
+
+/// A loaded shared object; closes the handle on destruction. Modules are
+/// shared: the in-process registry hands the same instance to every
+/// JitCode built from an identical translation unit.
 class NativeModule {
 public:
     ~NativeModule();
@@ -22,19 +32,22 @@ public:
     /// Resolves a symbol; throws UsageError if missing.
     void* symbol(const std::string& name) const;
 
-    /// Wall-clock seconds the external compiler took.
+    /// Wall-clock seconds the external compiler took when this module was
+    /// actually built (0 if it was loaded from the on-disk cache).
     double compileSeconds() const noexcept { return compileSeconds_; }
 
     /// Path of the generated .c file (kept for inspection until the module
-    /// is destroyed).
+    /// is destroyed; empty when served from the on-disk cache).
     const std::string& sourcePath() const noexcept { return srcPath_; }
 
     /// The exact compiler command used (the paper records its options in
-    /// Tables 1-2; benches print this).
+    /// Tables 1-2; benches print this). On a cache hit this is the command
+    /// that WOULD have run.
     const std::string& compileCommand() const noexcept { return command_; }
 
 private:
-    friend std::unique_ptr<NativeModule> compileAndLoad(const std::string&, const std::string&);
+    friend struct CompileResult;
+    friend CompileResult compileAndLoad(const std::string&, const std::string&);
     NativeModule() = default;
 
     void* handle_ = nullptr;
@@ -44,9 +57,28 @@ private:
     std::string command_;
 };
 
-/// Writes `cSource` to a fresh temp directory, compiles it as C11 with -O2,
-/// and dlopens the result. `tag` becomes part of the file name for easier
-/// debugging. Throws UsageError with the compiler's stderr on failure.
-std::unique_ptr<NativeModule> compileAndLoad(const std::string& cSource, const std::string& tag);
+/// The outcome of one compileAndLoad() call. Cache-hit accounting is per
+/// CALL, not per module: the registry hands the same NativeModule to many
+/// callers, but only the first one paid for the compile.
+struct CompileResult {
+    std::shared_ptr<NativeModule> module;
+    bool cacheHit = false;     ///< this call skipped the external compiler
+    double lookupSeconds = 0;  ///< wall time probing registry + disk store
+    double compileSeconds = 0; ///< external compiler time paid by THIS call
+};
+
+/// Returns the module for `cSource`: from the in-process registry, the
+/// on-disk compile cache, or — on a cold miss — by writing the source to a
+/// fresh temp directory (honoring $TMPDIR), compiling it as C11, dlopening
+/// the result, and publishing the .so to the cache. `tag` becomes part of
+/// the file name for easier debugging. Throws UsageError with the
+/// compiler's stderr (and decoded exit status or signal) on failure.
+CompileResult compileAndLoad(const std::string& cSource, const std::string& tag);
+
+/// Queues compileAndLoad() on the shared compile thread pool. Independent
+/// translation units compile in parallel (bench_fig17/18 build all their
+/// variants this way); the future rethrows any compile error on get().
+std::future<CompileResult> compileAndLoadAsync(const std::string& cSource,
+                                               const std::string& tag);
 
 } // namespace wj

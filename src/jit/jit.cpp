@@ -120,8 +120,16 @@ JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::v
     // checks.
     requireCodingRules(prog);
     translation_ = translate(prog, receiver_, method_, recordedArgs_);
-    module_ = compileAndLoad(translation_.cSource, method_);
-    entry_ = reinterpret_cast<EntryFn>(module_->symbol(translation_.entrySymbol));
+    compile_ = compileAndLoad(translation_.cSource, method_);
+    entry_ = reinterpret_cast<EntryFn>(compile_.module->symbol(translation_.entrySymbol));
+}
+
+JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::vector<Value> args,
+                 bool mpi, Translation tr, CompileResult compiled)
+    : prog_(&prog), receiver_(std::move(receiver)), method_(std::move(method)),
+      recordedArgs_(std::move(args)), mpi_(mpi), translation_(std::move(tr)),
+      compile_(std::move(compiled)) {
+    entry_ = reinterpret_cast<EntryFn>(compile_.module->symbol(translation_.entrySymbol));
 }
 
 void JitCode::set4MPI(int ranks, const std::string& /*nodeList*/) {
@@ -217,6 +225,37 @@ JitCode WootinJ::jit(const Program& prog, const Value& receiver, const std::stri
 JitCode WootinJ::jit4mpi(const Program& prog, const Value& receiver, const std::string& method,
                          std::vector<Value> args) {
     return JitCode(prog, receiver, method, std::move(args), /*mpi=*/true);
+}
+
+/// Shared async pipeline: rule-check + translate on the calling thread
+/// (milliseconds), external compilation on the compile pool (the Table 3
+/// dominant cost), final assembly deferred to the future's get().
+std::future<JitCode> WootinJ::jitAsyncImpl(const Program& prog, Value receiver,
+                                           std::string method, std::vector<Value> args,
+                                           bool mpi) {
+    requireCodingRules(prog);
+    Translation tr = translate(prog, receiver, method, args);
+    auto modFut = compileAndLoadAsync(tr.cSource, method);
+    return std::async(
+        std::launch::deferred,
+        [&prog, receiver = std::move(receiver), method = std::move(method),
+         args = std::move(args), mpi, tr = std::move(tr),
+         modFut = std::move(modFut)]() mutable {
+            return JitCode(prog, std::move(receiver), std::move(method), std::move(args), mpi,
+                           std::move(tr), modFut.get());
+        });
+}
+
+std::future<JitCode> WootinJ::jitAsync(const Program& prog, Value receiver, std::string method,
+                                       std::vector<Value> args) {
+    return jitAsyncImpl(prog, std::move(receiver), std::move(method), std::move(args),
+                        /*mpi=*/false);
+}
+
+std::future<JitCode> WootinJ::jit4mpiAsync(const Program& prog, Value receiver,
+                                           std::string method, std::vector<Value> args) {
+    return jitAsyncImpl(prog, std::move(receiver), std::move(method), std::move(args),
+                        /*mpi=*/true);
 }
 
 } // namespace wj

@@ -26,12 +26,21 @@ void World::post(int dest, Message msg) {
     if (dest < 0 || dest >= size_) {
         throw ExecError("MPI send to invalid rank " + std::to_string(dest));
     }
+    // Traffic accounting lives here, not in Comm::send, so collective
+    // internals (bcast/allreduce via sendSys) count toward bytesSent() —
+    // the perf model's communication-volume input — exactly like user
+    // point-to-point traffic.
+    messages_ += 1;
+    bytes_ += static_cast<int64_t>(msg.data.size());
     Mailbox& box = boxes_[static_cast<size_t>(dest)];
     {
         std::lock_guard<std::mutex> lock(box.m);
         box.q.push_back(std::move(msg));
     }
-    ++messages_;
+    // Notifying after the unlock is safe: a receiver can only be between
+    // its predicate check and its wait while holding box.m, which the
+    // enqueue above also required — so the message is either seen by the
+    // check or the wakeup arrives after the wait began.
     box.cv.notify_all();
 }
 
@@ -57,11 +66,19 @@ World::Message World::take(int me, int src, int tag, int channel) {
 
 void World::abort() noexcept {
     aborted_.store(true);
+    // Every notification below is issued while holding the mutex its
+    // waiters wait under. Without the lock, a rank that has just evaluated
+    // its wait predicate (seeing aborted_ == false) but not yet blocked
+    // would miss the wakeup and hang forever — the notifier must serialize
+    // with the check-then-wait step, which only the mutex provides.
     for (auto& box : boxes_) {
         std::lock_guard<std::mutex> lock(box.m);
         box.cv.notify_all();
     }
-    barrierCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(barrierM_);
+        barrierCv_.notify_all();
+    }
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
@@ -104,7 +121,6 @@ void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
     msg.tag = tag;
     msg.channel = 0;
     msg.data.assign(static_cast<const uint8_t*>(buf), static_cast<const uint8_t*>(buf) + bytes);
-    world_->bytes_ += static_cast<int64_t>(bytes);
     world_->post(dest, std::move(msg));
 }
 

@@ -99,8 +99,10 @@ public:
     /// first exception is rethrown here after all threads joined.
     void run(const std::function<void(Comm&)>& fn);
 
-    /// Total messages sent since construction (instrumentation for tests
-    /// and for the perf model's communication-volume accounting).
+    /// Total messages/bytes posted since construction (instrumentation for
+    /// tests and the perf model's communication-volume accounting). Counted
+    /// at post() time, so collective-internal traffic (bcast / allreduce
+    /// fan-out) is included alongside user point-to-point sends.
     int64_t messagesSent() const noexcept { return messages_; }
     int64_t bytesSent() const noexcept { return bytes_; }
 

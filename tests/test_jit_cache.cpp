@@ -1,0 +1,297 @@
+// The persistent JIT compile cache (src/jit/cache.h): content-addressed
+// hit/miss behavior, invalidation on flag changes, recovery from corrupted
+// entries, LRU eviction, reuse across MPI worlds, and the decoded
+// diagnostics of the external-compiler failure path.
+//
+// Every test redirects the store with WJ_CACHE_DIR into a private temp
+// directory (the cache re-reads its environment on each call) and clears
+// the in-process module registry, so tests are hermetic against each other
+// and against developer caches.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "interp/interp.h"
+#include "ir/builder.h"
+#include "jit/cache.h"
+#include "jit/compile.h"
+#include "jit/jit.h"
+#include "support/diagnostics.h"
+
+namespace fs = std::filesystem;
+using namespace wj;
+using namespace wj::dsl;
+
+namespace {
+
+/// A minimal but distinct program per test: `bias + n*k` so each test can
+/// vary `k` to get a unique translation unit (unique cache key).
+Program makeProgram() {
+    ProgramBuilder pb;
+    auto& c = pb.cls("Calc").finalClass();
+    c.field("bias", Type::f64());
+    c.ctor().param("b", Type::f64()).body(blk(setSelf("bias", lv("b"))));
+    c.method("run", Type::f64())
+        .param("n", Type::i32())
+        .body(blk(decl("acc", Type::f64(), selff("bias")),
+                  forRange("i", ci(0), lv("n"), blk(assign("acc", add(lv("acc"), cd(1.0))))),
+                  ret(lv("acc"))));
+    return pb.build();
+}
+
+class JitCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / ("wjcache-test-" + std::to_string(::getpid()) + "-" +
+                                            ::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        setenv("WJ_CACHE_DIR", dir_.c_str(), 1);
+        unsetenv("WJ_CACHE_MAX_BYTES");
+        unsetenv("WJ_CFLAGS");
+        unsetenv("WJ_CC");
+        setenv("WJ_CACHE", "1", 1);
+        JitCache::instance().clearLoaded();
+        JitCache::instance().resetStats();
+    }
+
+    void TearDown() override {
+        unsetenv("WJ_CACHE_DIR");
+        unsetenv("WJ_CACHE_MAX_BYTES");
+        unsetenv("WJ_CFLAGS");
+        unsetenv("WJ_CC");
+        unsetenv("WJ_CACHE");
+        unsetenv("TMPDIR");
+        JitCache::instance().clearLoaded();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /// Number of .so entries currently stored.
+    size_t entryCount() const {
+        size_t n = 0;
+        for (const auto& de : fs::directory_iterator(dir_)) {
+            if (de.path().extension() == ".so") ++n;
+        }
+        return n;
+    }
+
+    fs::path dir_;
+};
+
+} // namespace
+
+TEST_F(JitCacheTest, ColdMissThenWarmHit) {
+    Program p = makeProgram();
+    Interp in(p);
+    Value calc = in.instantiate("Calc", {Value::ofF64(2.0)});
+
+    JitCode cold = WootinJ::jit(p, calc, "run", {Value::ofI32(5)});
+    EXPECT_FALSE(cold.cacheHit());
+    EXPECT_GT(cold.compileSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(7.0, cold.invoke().asF64());
+    EXPECT_EQ(1u, entryCount());
+
+    // Same translation unit again in-process: served by the registry.
+    JitCode warmMem = WootinJ::jit(p, calc, "run", {Value::ofI32(5)});
+    EXPECT_TRUE(warmMem.cacheHit());
+    EXPECT_EQ(0.0, warmMem.compileSeconds());
+    EXPECT_DOUBLE_EQ(7.0, warmMem.invoke().asF64());
+
+    // Drop the registry: the next jit() exercises the on-disk store (what
+    // a fresh process would see) and still skips the external compiler.
+    JitCache::instance().clearLoaded();
+    JitCode warmDisk = WootinJ::jit(p, calc, "run", {Value::ofI32(5)});
+    EXPECT_TRUE(warmDisk.cacheHit());
+    EXPECT_EQ(0.0, warmDisk.compileSeconds());
+    EXPECT_DOUBLE_EQ(7.0, warmDisk.invoke().asF64());
+
+    const CacheStats s = JitCache::instance().stats();
+    EXPECT_GE(s.misses, 1);
+    EXPECT_GE(s.memoryHits, 1);
+    EXPECT_GE(s.diskHits, 1);
+    EXPECT_GE(s.stores, 1);
+}
+
+TEST_F(JitCacheTest, FlagChangeInvalidates) {
+    Program p = makeProgram();
+    Interp in(p);
+    Value calc = in.instantiate("Calc", {Value::ofF64(0.0)});
+
+    setenv("WJ_CFLAGS", "-O1", 1);
+    JitCode o1 = WootinJ::jit(p, calc, "run", {Value::ofI32(3)});
+    EXPECT_FALSE(o1.cacheHit());
+
+    // Different flags -> different key -> a fresh compile, even though the
+    // generated C is byte-identical.
+    setenv("WJ_CFLAGS", "-O0", 1);
+    JitCache::instance().clearLoaded();
+    JitCode o0 = WootinJ::jit(p, calc, "run", {Value::ofI32(3)});
+    EXPECT_FALSE(o0.cacheHit());
+    EXPECT_EQ(2u, entryCount());
+
+    // Returning to the first flag set hits the first entry again.
+    setenv("WJ_CFLAGS", "-O1", 1);
+    JitCache::instance().clearLoaded();
+    JitCode again = WootinJ::jit(p, calc, "run", {Value::ofI32(3)});
+    EXPECT_TRUE(again.cacheHit());
+}
+
+TEST_F(JitCacheTest, CorruptedEntryIsRecompiled) {
+    Program p = makeProgram();
+    Interp in(p);
+    Value calc = in.instantiate("Calc", {Value::ofF64(1.0)});
+
+    {
+        JitCode cold = WootinJ::jit(p, calc, "run", {Value::ofI32(4)});
+        EXPECT_FALSE(cold.cacheHit());
+        ASSERT_EQ(1u, entryCount());
+    }
+    // Drop the registry so the module is unloaded (its mapping must be
+    // gone before the file is rewritten in place), then garble the stored
+    // .so as a crashed writer on a non-atomic filesystem would. The next
+    // lookup's dlopen fails; the cache must drop the entry and recompile
+    // instead of surfacing the dlopen error.
+    JitCache::instance().clearLoaded();
+    for (const auto& de : fs::directory_iterator(dir_)) {
+        if (de.path().extension() != ".so") continue;
+        std::ofstream garble(de.path(), std::ios::trunc);
+        garble << "not an ELF object";
+    }
+
+    JitCode recovered = WootinJ::jit(p, calc, "run", {Value::ofI32(4)});
+    EXPECT_FALSE(recovered.cacheHit());  // it really recompiled
+    EXPECT_DOUBLE_EQ(5.0, recovered.invoke().asF64());
+    EXPECT_GE(JitCache::instance().stats().corrupt, 1);
+
+    // And the rewritten entry serves the next lookup.
+    JitCache::instance().clearLoaded();
+    EXPECT_TRUE(WootinJ::jit(p, calc, "run", {Value::ofI32(4)}).cacheHit());
+}
+
+TEST_F(JitCacheTest, CrossWorldReuse) {
+    // The same MPI translation unit jit4mpi()ed twice (fresh World each
+    // invoke) reuses one compiled module and computes identical results.
+    Program p = makeProgram();
+    Interp in(p);
+    Value calc = in.instantiate("Calc", {Value::ofF64(0.5)});
+
+    JitCode a = WootinJ::jit4mpi(p, calc, "run", {Value::ofI32(8)});
+    a.set4MPI(3);
+    const double ra = a.invoke().asF64();
+    EXPECT_FALSE(a.cacheHit());
+
+    JitCode b = WootinJ::jit4mpi(p, calc, "run", {Value::ofI32(8)});
+    b.set4MPI(2);  // different world size, same binary
+    const double rb = b.invoke().asF64();
+    EXPECT_TRUE(b.cacheHit());
+    EXPECT_DOUBLE_EQ(ra, rb);
+    EXPECT_EQ(1u, entryCount());
+}
+
+TEST_F(JitCacheTest, LruEvictionRespectsByteCap) {
+    // Compile three distinct TUs under a cap that fits only ~one entry;
+    // the oldest entries must be evicted.
+    Program p = makeProgram();
+    Interp in(p);
+
+    JitCode first = WootinJ::jit(p, in.instantiate("Calc", {Value::ofF64(1.0)}), "run",
+                                 {Value::ofI32(1)});
+    uint64_t oneEntry = JitCache::instance().diskBytes();
+    ASSERT_GT(oneEntry, 0u);
+    setenv("WJ_CACHE_MAX_BYTES", std::to_string(oneEntry + oneEntry / 2).c_str(), 1);
+
+    // Distinct receivers bake distinct constants into the C source, giving
+    // unique translation units.
+    for (double bias : {2.0, 3.0, 4.0}) {
+        JitCache::instance().clearLoaded();
+        WootinJ::jit(p, in.instantiate("Calc", {Value::ofF64(bias)}), "run", {Value::ofI32(1)});
+    }
+    EXPECT_GE(JitCache::instance().stats().evictions, 1);
+    EXPECT_LE(JitCache::instance().diskBytes(), oneEntry + oneEntry / 2);
+}
+
+TEST_F(JitCacheTest, DisabledCacheAlwaysCompiles) {
+    setenv("WJ_CACHE", "0", 1);
+    Program p = makeProgram();
+    Interp in(p);
+    Value calc = in.instantiate("Calc", {Value::ofF64(6.0)});
+    JitCode a = WootinJ::jit(p, calc, "run", {Value::ofI32(2)});
+    JitCode b = WootinJ::jit(p, calc, "run", {Value::ofI32(2)});
+    EXPECT_FALSE(a.cacheHit());
+    EXPECT_FALSE(b.cacheHit());
+    EXPECT_GT(b.compileSeconds(), 0.0);
+    EXPECT_EQ(0u, entryCount());
+}
+
+TEST_F(JitCacheTest, ParallelAsyncCompilesOfDistinctUnits) {
+    Program p = makeProgram();
+    Interp in(p);
+    std::vector<std::future<JitCode>> futs;
+    for (double bias : {10.0, 20.0, 30.0, 40.0}) {
+        futs.push_back(WootinJ::jitAsync(p, in.instantiate("Calc", {Value::ofF64(bias)}), "run",
+                                         {Value::ofI32(3)}));
+    }
+    double expect = 13.0;
+    for (auto& f : futs) {
+        JitCode code = f.get();
+        EXPECT_DOUBLE_EQ(expect, code.invoke().asF64());
+        expect += 10.0;
+    }
+    EXPECT_EQ(4u, entryCount());
+}
+
+// ---- external-compiler failure diagnostics (the decoded-status bugfix) --
+
+TEST_F(JitCacheTest, CompilerExitCodeIsDecoded) {
+    // Invalid C source: the compiler exits non-zero; the error must carry
+    // a decoded exit code, not a raw wait status.
+    try {
+        compileAndLoad("this is not C at all !!!", "broken");
+        FAIL() << "expected the compile to fail";
+    } catch (const UsageError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("exit code"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("signal"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(JitCacheTest, CompilerSignalDeathIsReported) {
+    // A "compiler" that kills itself: the diagnostic must say signal, and
+    // nothing may be cached for this key.
+    const fs::path cc = dir_ / "killer-cc.sh";
+    {
+        std::ofstream out(cc);
+        out << "#!/bin/sh\nkill -KILL $$\n";
+    }
+    ::chmod(cc.c_str(), 0755);
+    setenv("WJ_CC", cc.c_str(), 1);
+    try {
+        compileAndLoad("int wj_entry(void) { return 0; }\n", "sigdeath");
+        FAIL() << "expected the compile to fail";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("signal"), std::string::npos) << e.what();
+    }
+    EXPECT_EQ(0u, entryCount());
+}
+
+TEST_F(JitCacheTest, HonorsTmpdirForScratch) {
+    // Point TMPDIR at a private dir: the generated .c must land there.
+    const fs::path scratch = dir_ / "scratch";
+    fs::create_directories(scratch);
+    setenv("TMPDIR", scratch.c_str(), 1);
+    auto res = compileAndLoad("int wj_probe(void) { return 41; }\n", "tmpdir_probe");
+    unsetenv("TMPDIR");
+    EXPECT_FALSE(res.cacheHit);
+    ASSERT_FALSE(res.module->sourcePath().empty());
+    EXPECT_EQ(res.module->sourcePath().rfind(scratch.string(), 0), 0u)
+        << "source " << res.module->sourcePath() << " not under " << scratch;
+    using Fn = int (*)(void);
+    EXPECT_EQ(41, reinterpret_cast<Fn>(res.module->symbol("wj_probe"))());
+}

@@ -241,6 +241,71 @@ TEST(MiniMpi, FailureInjectionReleasesBarrier) {
                  ExecError);
 }
 
+TEST(MiniMpi, AbortDuringBarrierStress) {
+    // Regression for the missed-wakeup race in World::abort(): the abort
+    // notified barrierCv_ without holding barrierM_, so a rank that had
+    // just evaluated the wait predicate (not yet blocked) could sleep
+    // forever. Many iterations of ranks piling into a barrier while one
+    // rank throws makes the window reliably observable (run under TSan via
+    // the tsan ctest label).
+    const int P = 4;
+    World w(P);
+    for (int iter = 0; iter < 150; ++iter) {
+        EXPECT_THROW(w.run([&](Comm& c) {
+                         if (c.rank() == iter % P) {
+                             throw ExecError("abort-in-barrier stress");
+                         }
+                         // No pre-synchronization: some ranks are already
+                         // waiting, some are between check and wait, some
+                         // have not arrived when the abort fires.
+                         c.barrier();
+                         c.barrier();
+                     }),
+                     ExecError);
+    }
+    // The world stays usable after every abort.
+    w.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(MiniMpi, AbortDuringCollectivesStress) {
+    // Same race, via the mailbox path: ranks blocked in recvSys inside
+    // bcast/allreduce must all be released when a peer dies.
+    const int P = 3;
+    World w(P);
+    for (int iter = 0; iter < 100; ++iter) {
+        EXPECT_THROW(w.run([&](Comm& c) {
+                         if (c.rank() == iter % P) throw ExecError("die");
+                         double v = c.rank();
+                         c.bcast(&v, sizeof v, (iter + 1) % P);
+                         c.allreduceSum(v);
+                     }),
+                     ExecError);
+    }
+}
+
+TEST(MiniMpi, CollectiveBytesAreCounted) {
+    // Regression for bytesSent() undercounting: sendSys posted collective
+    // messages without accounting, so bcast/allreduce traffic was invisible
+    // to the perf model's communication-volume input.
+    const int P = 4;
+    {
+        World w(P);
+        w.run([](Comm& c) {
+            double buf[2] = {1.0, 2.0};
+            c.bcast(buf, sizeof buf, 0);
+        });
+        // Root sends the 16-byte payload to each of the P-1 others.
+        EXPECT_EQ(static_cast<int64_t>(sizeof(double) * 2 * (P - 1)), w.bytesSent());
+        EXPECT_EQ(static_cast<int64_t>(P - 1), w.messagesSent());
+    }
+    {
+        World w(P);
+        w.run([](Comm& c) { c.allreduceSum(1.0); });
+        // Gather to rank 0 then fan back out: 2*(P-1) doubles on the wire.
+        EXPECT_EQ(static_cast<int64_t>(sizeof(double) * 2 * (P - 1)), w.bytesSent());
+    }
+}
+
 TEST(MiniMpi, InstrumentationCounts) {
     World w(2);
     const int64_t m0 = w.messagesSent();

@@ -6,6 +6,10 @@
 //                                        print the generated C
 //   wjc run <file.wj> --new EXPR --method NAME [--ranks N] [ARGS...]
 //                                        jit + invoke; prints the result
+//   wjc cache [stats|dir|clear]          inspect / clear the compile cache
+//
+// translate/run accept --no-cache to bypass the persistent compile cache
+// (equivalent to WJ_CACHE=0) — useful when timing the external compiler.
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -15,7 +19,9 @@
 // Remaining ARGS are the entry-method arguments (int/long/float/double by
 // suffix and form).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +31,7 @@
 #include "frontend/parser.h"
 #include "interp/interp.h"
 #include "ir/printer.h"
+#include "jit/cache.h"
 #include "jit/jit.h"
 #include "rules/rules.h"
 
@@ -37,9 +44,38 @@ int usage() {
                  "usage:\n"
                  "  wjc check <file.wj>\n"
                  "  wjc print <file.wj>\n"
-                 "  wjc translate <file.wj> --new EXPR --method NAME [ARGS...]\n"
-                 "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [ARGS...]\n");
+                 "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache] [ARGS...]\n"
+                 "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--no-cache] "
+                 "[ARGS...]\n"
+                 "  wjc cache [stats|dir|clear]\n");
     return 2;
+}
+
+int cacheMain(int argc, char** argv) {
+    const std::string sub = argc > 2 ? argv[2] : "stats";
+    JitCache& cache = JitCache::instance();
+    if (sub == "dir") {
+        std::printf("%s\n", cache.dir().c_str());
+        return 0;
+    }
+    if (sub == "clear") {
+        cache.clearDisk();
+        std::printf("cleared %s\n", cache.dir().c_str());
+        return 0;
+    }
+    if (sub != "stats") return usage();
+    size_t entries = 0;
+    std::error_code ec;
+    for (const auto& e : std::filesystem::directory_iterator(cache.dir(), ec)) {
+        if (e.path().extension() == ".so") ++entries;
+    }
+    std::printf("dir:       %s\n", cache.dir().c_str());
+    std::printf("enabled:   %s\n", cache.enabled() ? "yes" : "no (WJ_CACHE=0)");
+    std::printf("entries:   %zu\n", entries);
+    std::printf("bytes:     %llu of %llu max\n",
+                static_cast<unsigned long long>(cache.diskBytes()),
+                static_cast<unsigned long long>(cache.maxBytes()));
+    return 0;
 }
 
 std::string slurp(const std::string& path) {
@@ -149,8 +185,10 @@ void printResult(const Value& v) {
 }
 
 int runMain(int argc, char** argv) {
-    if (argc < 3) return usage();
+    if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    if (cmd == "cache") return cacheMain(argc, argv);
+    if (argc < 3) return usage();
     const std::string path = argv[2];
 
     if (cmd == "check") {
@@ -180,6 +218,7 @@ int runMain(int argc, char** argv) {
         if (a == "--new" && i + 1 < argc) newExpr = argv[++i];
         else if (a == "--method" && i + 1 < argc) method = argv[++i];
         else if (a == "--ranks" && i + 1 < argc) ranks = std::atoi(argv[++i]);
+        else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
         else args.push_back(parseArgLiteral(a));
     }
     if (newExpr.empty() || method.empty()) return usage();
