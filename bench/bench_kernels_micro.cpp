@@ -63,6 +63,34 @@ void BM_DiffusionWootinJ(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffusionWootinJ);
 
+// Bounds-guard overhead: the same diffusion jit under the three WJ_BOUNDS
+// modes. "Elide" runs the interval pass and guards only unproven accesses
+// (zero in this kernel — it should match "Off"); "All" guards every access,
+// measuring what the static analysis saves.
+void diffusionBoundsRow(benchmark::State& state, const char* mode) {
+    setenv("WJ_BOUNDS", mode, 1);
+    Program prog = stencil::buildProgram();
+    Interp in(prog);
+    Value runner = stencil::makeCpuRunner(in, kN, kN, kN, kCoeffs, kSeed);
+    JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(2)});
+    unsetenv("WJ_BOUNDS");
+    state.counters["guards"] = static_cast<double>(code.boundsGuards());
+    state.counters["elided"] = static_cast<double>(code.boundsElided());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.invoke().asF64());
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN * 2);
+}
+
+void BM_DiffusionBoundsOff(benchmark::State& state) { diffusionBoundsRow(state, "0"); }
+BENCHMARK(BM_DiffusionBoundsOff);
+
+void BM_DiffusionBoundsElide(benchmark::State& state) { diffusionBoundsRow(state, "1"); }
+BENCHMARK(BM_DiffusionBoundsElide);
+
+void BM_DiffusionBoundsAll(benchmark::State& state) { diffusionBoundsRow(state, "all"); }
+BENCHMARK(BM_DiffusionBoundsAll);
+
 void BM_DiffusionInterp(benchmark::State& state) {
     static Program prog = stencil::buildProgram();
     static Interp in(prog);

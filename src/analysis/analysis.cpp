@@ -1,0 +1,1998 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "analysis/callgraph.h"
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/effects.h"
+#include "analysis/interval.h"
+#include "ir/intrinsics.h"
+#include "ir/typecheck.h"
+
+namespace wj::analysis {
+
+namespace {
+
+// ---------------------------------------------------------------- utilities
+
+std::string strBound(int64_t v) {
+    if (v == Itv::kNegInf) return "-inf";
+    if (v == Itv::kPosInf) return "+inf";
+    return std::to_string(v);
+}
+
+std::string strItv(const Itv& v) {
+    return "[" + strBound(v.lo) + ", " + strBound(v.hi) + "]";
+}
+
+/// "Cls.field" keyed by the class in `cls`'s superclass chain that declares
+/// the field (so FloatGrid.cur and a subclass's view of it share one key).
+std::string fieldKeyOf(const Program& prog, const std::string& cls, const std::string& field) {
+    const ClassDecl* c = prog.cls(cls);
+    while (c) {
+        if (c->ownField(field)) return c->name + "." + field;
+        c = c->superName.empty() ? nullptr : prog.cls(c->superName);
+    }
+    return cls + "." + field;  // unresolvable: private key, still deterministic
+}
+
+/// Collects every local name read by an expression tree.
+void collectReads(const Expr& e, std::vector<std::string>& out) {
+    switch (e.kind) {
+    case ExprKind::Const:
+    case ExprKind::This:
+    case ExprKind::StaticGet: return;
+    case ExprKind::Local: out.push_back(as<LocalExpr>(e).name); return;
+    case ExprKind::FieldGet: collectReads(*as<FieldGetExpr>(e).obj, out); return;
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        collectReads(*n.arr, out);
+        collectReads(*n.idx, out);
+        return;
+    }
+    case ExprKind::ArrayLen: collectReads(*as<ArrayLenExpr>(e).arr, out); return;
+    case ExprKind::Unary: collectReads(*as<UnaryExpr>(e).e, out); return;
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        collectReads(*n.l, out);
+        collectReads(*n.r, out);
+        return;
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        collectReads(*n.c, out);
+        collectReads(*n.t, out);
+        collectReads(*n.f, out);
+        return;
+    }
+    case ExprKind::Call: {
+        const auto& n = as<CallExpr>(e);
+        collectReads(*n.recv, out);
+        for (const auto& a : n.args) collectReads(*a, out);
+        return;
+    }
+    case ExprKind::StaticCall:
+        for (const auto& a : as<StaticCallExpr>(e).args) collectReads(*a, out);
+        return;
+    case ExprKind::New:
+        for (const auto& a : as<NewExpr>(e).args) collectReads(*a, out);
+        return;
+    case ExprKind::NewArray: collectReads(*as<NewArrayExpr>(e).len, out); return;
+    case ExprKind::Cast: collectReads(*as<CastExpr>(e).e, out); return;
+    case ExprKind::IntrinsicCall:
+        for (const auto& a : as<IntrinsicExpr>(e).args) collectReads(*a, out);
+        return;
+    }
+}
+
+/// Local names a CFG node reads (in its expressions, before its own defs).
+std::vector<std::string> nodeReads(const CfgNode& nd) {
+    std::vector<std::string> out;
+    switch (nd.kind) {
+    case CfgNode::Kind::Entry:
+    case CfgNode::Kind::Exit: break;
+    case CfgNode::Kind::Branch: collectReads(*nd.cond, out); break;
+    case CfgNode::Kind::ForInit: collectReads(*nd.forS->init, out); break;
+    case CfgNode::Kind::ForStep: collectReads(*nd.forS->step, out); break;
+    case CfgNode::Kind::Stmt:
+        switch (nd.stmt->kind) {
+        case StmtKind::Decl: {
+            const auto& n = as<DeclStmt>(*nd.stmt);
+            if (n.init) collectReads(*n.init, out);
+            break;
+        }
+        case StmtKind::AssignLocal: collectReads(*as<AssignLocalStmt>(*nd.stmt).value, out); break;
+        case StmtKind::FieldSet: {
+            const auto& n = as<FieldSetStmt>(*nd.stmt);
+            collectReads(*n.obj, out);
+            collectReads(*n.value, out);
+            break;
+        }
+        case StmtKind::ArraySet: {
+            const auto& n = as<ArraySetStmt>(*nd.stmt);
+            collectReads(*n.arr, out);
+            collectReads(*n.idx, out);
+            collectReads(*n.value, out);
+            break;
+        }
+        case StmtKind::Return: {
+            const auto& n = as<ReturnStmt>(*nd.stmt);
+            if (n.value) collectReads(*n.value, out);
+            break;
+        }
+        case StmtKind::ExprStmt: collectReads(*as<ExprStmt>(*nd.stmt).e, out); break;
+        case StmtKind::SuperCtor:
+            for (const auto& a : as<SuperCtorStmt>(*nd.stmt).args) collectReads(*a, out);
+            break;
+        default: break;
+        }
+        break;
+    }
+    return out;
+}
+
+/// Local name a node defines, if any; `uninit` is set for a Decl without an
+/// initializer (which *revokes* definite assignment of the name — the IR
+/// reuses names across sibling scopes).
+const std::string* nodeDef(const CfgNode& nd, bool& uninit) {
+    uninit = false;
+    switch (nd.kind) {
+    case CfgNode::Kind::ForInit:
+    case CfgNode::Kind::ForStep: return &nd.forS->var;
+    case CfgNode::Kind::Stmt:
+        if (nd.stmt->kind == StmtKind::Decl) {
+            const auto& n = as<DeclStmt>(*nd.stmt);
+            uninit = n.init == nullptr;
+            return &n.name;
+        }
+        if (nd.stmt->kind == StmtKind::AssignLocal) return &as<AssignLocalStmt>(*nd.stmt).name;
+        return nullptr;
+    default: return nullptr;
+    }
+}
+
+bool exprHasEffects(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Call:
+    case ExprKind::StaticCall:
+    case ExprKind::IntrinsicCall:
+    case ExprKind::New:
+    case ExprKind::NewArray: return true;
+    case ExprKind::FieldGet: return exprHasEffects(*as<FieldGetExpr>(e).obj);
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        return exprHasEffects(*n.arr) || exprHasEffects(*n.idx);
+    }
+    case ExprKind::ArrayLen: return exprHasEffects(*as<ArrayLenExpr>(e).arr);
+    case ExprKind::Unary: return exprHasEffects(*as<UnaryExpr>(e).e);
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        return exprHasEffects(*n.l) || exprHasEffects(*n.r);
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        return exprHasEffects(*n.c) || exprHasEffects(*n.t) || exprHasEffects(*n.f);
+    }
+    case ExprKind::Cast: return exprHasEffects(*as<CastExpr>(e).e);
+    default: return false;
+    }
+}
+
+// ------------------------------------------------------- definite assignment
+
+/// Forward must-analysis: the set of locals definitely assigned on every
+/// path into a node. Join is set intersection; `reach` distinguishes the
+/// bottom element (no path yet) from "reached with nothing assigned".
+struct DaState {
+    bool reach = false;
+    std::set<std::string> assigned;
+};
+
+struct DaDomain {
+    const Cfg& cfg;
+    DaState entryState;
+
+    using State = DaState;
+    State boundary() { return entryState; }
+
+    State transfer(int node, State s) {
+        if (!s.reach) return s;
+        bool uninit = false;
+        if (const std::string* def = nodeDef(cfg.nodes[node], uninit)) {
+            if (uninit) {
+                s.assigned.erase(*def);
+            } else {
+                s.assigned.insert(*def);
+            }
+        }
+        return s;
+    }
+
+    void refine(const CfgEdge&, State&) {}
+
+    bool join(State& into, const State& from) {
+        if (!from.reach) return false;
+        if (!into.reach) {
+            into = from;
+            return true;
+        }
+        std::set<std::string> meet;
+        std::set_intersection(into.assigned.begin(), into.assigned.end(), from.assigned.begin(),
+                              from.assigned.end(), std::inserter(meet, meet.begin()));
+        if (meet == into.assigned) return false;
+        into.assigned = std::move(meet);
+        return true;
+    }
+
+    void widen(State&, const State&) {}  // finite lattice
+};
+
+// ------------------------------------------------------------ live variables
+
+/// Backward may-analysis for the dead-store warning. The solver's in[] for a
+/// backward direction holds the state at the node's OUT edge — i.e. live-out.
+struct LiveDomain {
+    const Cfg& cfg;
+
+    using State = std::set<std::string>;
+    State boundary() { return {}; }
+
+    State transfer(int node, State s) {
+        bool uninit = false;
+        if (const std::string* def = nodeDef(cfg.nodes[node], uninit)) s.erase(*def);
+        for (const std::string& r : nodeReads(cfg.nodes[node])) s.insert(r);
+        return s;
+    }
+
+    void refine(const CfgEdge&, State&) {}
+
+    bool join(State& into, const State& from) {
+        bool changed = false;
+        for (const std::string& v : from) changed |= into.insert(v).second;
+        return changed;
+    }
+
+    void widen(State&, const State&) {}
+};
+
+} // namespace
+
+std::vector<Violation> checkDefiniteAssignment(const Program& prog, const ClassDecl& cls,
+                                               const Method& m,
+                                               std::vector<Violation>* warnings) {
+    (void)prog;
+    std::vector<Violation> errors;
+    if (m.isAbstract) return errors;
+    const std::string where = cls.name + "." + (m.isCtor() ? "<init>" : m.name);
+
+    const Cfg cfg = Cfg::build(m);
+
+    DaDomain da{cfg, {}};
+    da.entryState.reach = true;
+    for (const Param& p : m.params) da.entryState.assigned.insert(p.name);
+    const auto states = solve(cfg, da, Direction::Forward);
+
+    std::set<std::string> reported;
+    for (int node : cfg.rpo()) {
+        const DaState& in = states[node];
+        if (!in.reach) continue;  // unreachable code: nothing to report
+        for (const std::string& name : nodeReads(cfg.nodes[node])) {
+            if (in.assigned.count(name)) continue;
+            if (!reported.insert(name).second) continue;
+            errors.push_back({"uninit", where,
+                              "local '" + name + "' may be read before it is assigned"});
+        }
+    }
+
+    if (warnings) {
+        LiveDomain live{cfg};
+        const auto liveOut = solve(cfg, live, Direction::Backward);
+        for (size_t node = 0; node < cfg.nodes.size(); ++node) {
+            const CfgNode& nd = cfg.nodes[node];
+            if (nd.kind != CfgNode::Kind::Stmt || nd.stmt->kind != StmtKind::AssignLocal) continue;
+            const auto& st = as<AssignLocalStmt>(*nd.stmt);
+            if (liveOut[node].count(st.name)) continue;
+            if (exprHasEffects(*st.value)) continue;  // keep the computation's effects
+            warnings->push_back({"dead-store", where,
+                                 "value stored to '" + st.name + "' is never read"});
+        }
+    }
+    return errors;
+}
+
+// ======================================================== interval analysis
+
+namespace {
+
+struct AbsObj;
+using AbsObjPtr = std::shared_ptr<AbsObj>;
+
+/// One abstract value covering every WJ type:
+///   numerics  — `num` (floats are always top; only the *type* matters)
+///   arrays    — `len` interval + `roots` allocation-site set (empty set =
+///               unknown provenance, may alias anything)
+///   objects   — `objs` points-to set (empty = unknown object)
+///   requests  — `tokens`, the MpiIrecvF32 sites an `int` request may carry
+struct AVal {
+    Type type = Type::voidTy();
+    Itv num = Itv::top();
+    Itv len = Itv::top();
+    std::set<int> roots;
+    std::vector<AbsObjPtr> objs;
+    std::set<const void*> tokens;
+};
+
+/// An abstract object: exact class plus per-field abstract values. Produced
+/// either from a concrete interpreter Obj (jit entry analysis) or by
+/// abstractly executing a constructor at a `new` site.
+struct AbsObj {
+    const ClassDecl* cls = nullptr;
+    std::map<std::string, AVal> fields;
+};
+
+constexpr size_t kMaxRoots = 8;
+constexpr size_t kMaxObjs = 4;
+constexpr size_t kMaxTokens = 8;
+constexpr int kMaxInlineDepth = 48;
+
+bool joinAVal(AVal& a, const AVal& b) {
+    bool changed = false;
+    if (a.type.isVoid() && !b.type.isVoid()) {
+        a.type = b.type;
+        changed = true;
+    }
+    const Itv n = a.num.join(b.num);
+    if (n != a.num) {
+        a.num = n;
+        changed = true;
+    }
+    const Itv l = a.len.join(b.len);
+    if (l != a.len) {
+        a.len = l;
+        changed = true;
+    }
+    // Roots: empty means "unknown, intersects everything" — absorbing.
+    if (!a.roots.empty()) {
+        if (b.roots.empty()) {
+            a.roots.clear();
+            changed = true;
+        } else {
+            for (int r : b.roots) changed |= a.roots.insert(r).second;
+            if (a.roots.size() > kMaxRoots) {
+                a.roots.clear();
+                changed = true;
+            }
+        }
+    }
+    if (!a.objs.empty()) {
+        if (b.objs.empty() && b.type.isClass()) {
+            a.objs.clear();
+            changed = true;
+        } else {
+            for (const AbsObjPtr& o : b.objs) {
+                if (std::find(a.objs.begin(), a.objs.end(), o) == a.objs.end()) {
+                    a.objs.push_back(o);
+                    changed = true;
+                }
+            }
+            if (a.objs.size() > kMaxObjs) {
+                a.objs.clear();
+                changed = true;
+            }
+        }
+    }
+    if (!a.tokens.empty() || !b.tokens.empty()) {
+        for (const void* t : b.tokens) changed |= a.tokens.insert(t).second;
+        if (a.tokens.size() > kMaxTokens) a.tokens.clear();
+    }
+    return changed;
+}
+
+/// The abstract environment at a program point.
+struct Env {
+    bool reach = false;  // default-constructed = bottom
+    std::map<std::string, AVal> vars;
+};
+
+bool joinEnv(Env& a, const Env& b) {
+    if (!b.reach) return false;
+    if (!a.reach) {
+        a = b;
+        return true;
+    }
+    bool changed = false;
+    for (const auto& [k, v] : b.vars) {
+        auto it = a.vars.find(k);
+        if (it == a.vars.end()) {
+            a.vars.emplace(k, v);
+            changed = true;
+        } else {
+            changed |= joinAVal(it->second, v);
+        }
+    }
+    return changed;
+}
+
+void widenEnv(Env& s, const Env& prev) {
+    if (!s.reach || !prev.reach) return;
+    for (auto& [k, v] : s.vars) {
+        auto it = prev.vars.find(k);
+        if (it == prev.vars.end()) continue;
+        v.num = v.num.widen(it->second.num);
+        v.len = v.len.widen(it->second.len);
+    }
+}
+
+// ----------------------------------------------------- mutated field groups
+
+/// Which array fields are reassigned after construction, and which fields
+/// can alias each other through those reassignments (the double-buffer swap
+/// `t = cur; cur = nxt; nxt = t` puts cur and nxt in one group). A read of a
+/// mutated field on a known object is the join of that object's values over
+/// its whole group; a group is "open" (unknown) when some store's source
+/// could not be traced to a same-object field.
+class FieldGroups {
+public:
+    void build(const Program& prog) {
+        for (const ClassDecl* cls : prog.classes()) {
+            if (cls->ctor) scanMethod(prog, *cls, *cls->ctor, /*inCtor=*/true);
+            for (const auto& m : cls->methods) {
+                if (!m->isAbstract) scanMethod(prog, *cls, *m, /*inCtor=*/false);
+            }
+        }
+    }
+
+    bool isMutated(const std::string& key) const { return mutated_.count(key) > 0; }
+    bool isOpen(const std::string& key) const { return open_.count(find(key)) > 0; }
+
+    /// Every key in `key`'s group (including itself).
+    std::vector<std::string> groupOf(const std::string& key) const {
+        const std::string leader = find(key);
+        std::vector<std::string> out;
+        for (const auto& [k, _] : parent_) {
+            if (find(k) == leader) out.push_back(k);
+        }
+        if (out.empty()) out.push_back(key);
+        return out;
+    }
+
+private:
+    // Union-find over field keys.
+    std::string find(const std::string& k) const {
+        auto it = parent_.find(k);
+        if (it == parent_.end() || it->second == k) return k;
+        return find(it->second);
+    }
+    void ensure(const std::string& k) {
+        if (!parent_.count(k)) parent_[k] = k;
+    }
+    void unite(const std::string& a, const std::string& b) {
+        ensure(a);
+        ensure(b);
+        const std::string ra = find(a), rb = find(b);
+        if (ra == rb) return;
+        const bool openUnion = open_.count(ra) || open_.count(rb);
+        parent_[ra] = rb;
+        if (openUnion) open_.insert(rb);
+    }
+    void markOpen(const std::string& k) {
+        ensure(k);
+        open_.insert(find(k));
+    }
+
+    void scanMethod(const Program& prog, const ClassDecl& cls, const Method& m, bool inCtor) {
+        // Per-method syntactic bindings: array local -> traced source field
+        // keys, or nullopt meaning "untraceable".
+        std::map<std::string, std::optional<std::set<std::string>>> localSrc;
+
+        auto traceExpr = [&](const Expr& e) -> std::optional<std::set<std::string>> {
+            if (e.kind == ExprKind::FieldGet) {
+                const auto& fg = as<FieldGetExpr>(e);
+                if (fg.obj->kind == ExprKind::This) {
+                    return std::set<std::string>{fieldKeyOf(prog, cls.name, fg.field)};
+                }
+                return std::nullopt;
+            }
+            if (e.kind == ExprKind::Local) {
+                auto it = localSrc.find(as<LocalExpr>(e).name);
+                if (it != localSrc.end()) return it->second;
+                return std::nullopt;
+            }
+            return std::nullopt;  // NewArray, calls, ... — not a same-object field
+        };
+
+        std::function<void(const Block&)> walk = [&](const Block& b) {
+            for (const auto& stp : b) {
+                const Stmt& st = *stp;
+                switch (st.kind) {
+                case StmtKind::Decl: {
+                    const auto& n = as<DeclStmt>(st);
+                    if (n.type.isArray()) localSrc[n.name] = n.init ? traceExpr(*n.init) : std::nullopt;
+                    break;
+                }
+                case StmtKind::AssignLocal: {
+                    const auto& n = as<AssignLocalStmt>(st);
+                    if (localSrc.count(n.name)) localSrc[n.name] = traceExpr(*n.value);
+                    break;
+                }
+                case StmtKind::FieldSet: {
+                    const auto& n = as<FieldSetStmt>(st);
+                    const bool selfStore = n.obj->kind == ExprKind::This;
+                    if (inCtor && selfStore) break;  // construction, not mutation
+                    // Which field? Only array fields matter (rule: post-ctor
+                    // stores are legal only for arrays anyway).
+                    const std::string key = fieldKeyOf(
+                        prog, selfStore ? cls.name : staticClassOf(prog, cls, m, *n.obj), n.field);
+                    mutated_.insert(key);
+                    ensure(key);
+                    if (!selfStore) {
+                        markOpen(key);
+                        break;
+                    }
+                    auto src = traceExpr(*n.value);
+                    if (!src) {
+                        markOpen(key);
+                    } else {
+                        for (const std::string& s : *src) unite(key, s);
+                    }
+                    break;
+                }
+                case StmtKind::If: {
+                    const auto& n = as<IfStmt>(st);
+                    walk(n.thenB);
+                    walk(n.elseB);
+                    break;
+                }
+                case StmtKind::While: walk(as<WhileStmt>(st).body); break;
+                case StmtKind::For: walk(as<ForStmt>(st).body); break;
+                default: break;
+                }
+            }
+        };
+        try {
+            walk(m.body);
+        } catch (const WjError&) {
+            // Ill-typed lint input; the typechecker reports it separately.
+        }
+    }
+
+    /// Static class of a FieldSet receiver for keying; best effort (falls
+    /// back to a per-class private key when untypeable).
+    static std::string staticClassOf(const Program& prog, const ClassDecl& cls, const Method& m,
+                                     const Expr& obj) {
+        try {
+            TypeScope scope(prog, &cls, m);
+            const Type t = typeOf(scope, obj);
+            if (t.isClass()) return t.className();
+        } catch (const WjError&) {
+        }
+        return cls.name;
+    }
+
+    std::map<std::string, std::string> parent_;
+    std::set<std::string> mutated_;
+    std::set<std::string> open_;  // group leaders with untraceable stores
+};
+
+// ------------------------------------------------------------------ engine
+
+struct Pending;  // race-walk state, defined below
+
+class Engine {
+public:
+    Engine(const Program& prog, Result& out, bool lint)
+        : prog_(prog), out_(out), lint_(lint) {
+        groups_.build(prog);
+        effects_ = computeEffects(prog);
+    }
+
+    void runEntry(const Value& receiver, const std::string& method, const std::vector<Value>& args);
+    void runLint();
+
+    // -- shared helpers used by the dataflow domain (public for the local
+    //    domain struct; everything lives in an anonymous namespace anyway).
+    AVal evalExpr(Env& env, const Expr& e);
+    void stmtTransfer(Env& env, const Stmt& st, AVal* retJoin, bool* retSet);
+    void refineGuard(Env& env, const Expr& cond, bool sense);
+
+private:
+    // ---- identity of abstract array allocations
+    int rootOf(const void* site) {
+        auto it = rootIds_.find(site);
+        if (it != rootIds_.end()) return it->second;
+        const int id = nextRoot_++;
+        rootIds_.emplace(site, id);
+        return id;
+    }
+
+    AVal unknownOf(const Type& t) {
+        AVal v;
+        v.type = t;
+        if (t.isArray()) v.len = Itv::atLeast(0);
+        if (t.isPrim(Prim::Bool)) v.num = Itv::range(0, 1);
+        return v;
+    }
+
+    // ---- conversion of concrete interpreter values (jit-entry analysis)
+    AVal absOfValue(const Value& v, const Type& declared);
+    AbsObjPtr absOfObj(const ObjRef& ref);
+
+    /// Re-joins mutated-group array fields of a freshly built object so
+    /// every later read already sees the over-approximation (cur/nxt swap).
+    void normalizeMutatedFields(const AbsObjPtr& o);
+
+    // ---- context-sensitive interprocedural core
+    std::string keyOfAVal(const AVal& v) const;
+    AVal analyzeCall(const ClassDecl& owner, const Method& m, const AVal* self,
+                     const std::vector<AVal>& args);
+    AVal evalNew(Env& env, const NewExpr& n);
+    void execCtor(const ClassDecl& cls, const AbsObjPtr& obj, const std::vector<AVal>& args);
+
+    AVal readField(const AVal& obj, const std::string& field);
+    const Effects& effectsOf(const Method& m) const;
+    AVal evalCall(Env& env, const CallExpr& n);
+    AVal evalStaticCall(Env& env, const StaticCallExpr& n);
+    AVal evalIntrinsic(Env& env, const IntrinsicExpr& n);
+    AVal evalBinary(const BinaryExpr& n, const AVal& l, const AVal& r);
+
+    void recordAccess(const void* site, const AVal& arr, const AVal& idx, bool reachable);
+
+    // ---- communication race walk (structural, per unique method body)
+    void raceWalk(const Method& m, Env env);
+    void raceBlock(Env& env, const Block& b, std::vector<Pending>& p);
+    void raceStmt(Env& env, const Stmt& st, std::vector<Pending>& p);
+    void raceExpr(Env& env, const Expr& e, std::vector<Pending>& p);
+    void checkWrite(const std::vector<Pending>& p, const std::set<int>& roots, const Itv& region,
+                    const void* wsite, const std::string& what);
+
+    std::string where() const {
+        return whereStack_.empty() ? std::string("?") : whereStack_.back();
+    }
+
+    const Program& prog_;
+    Result& out_;
+    bool lint_;
+    FieldGroups groups_;
+    std::map<const Method*, Effects> effects_;
+
+    std::map<const void*, int> rootIds_;
+    int nextRoot_ = 1;
+    std::map<const Obj*, AbsObjPtr> absMemo_;
+    std::map<std::string, AbsObjPtr> newMemo_;
+    std::map<std::string, AVal> callMemo_;
+    std::set<std::string> inProgress_;
+    int depth_ = 0;
+
+    std::set<const Method*> daDone_;
+    std::set<const Method*> raceDone_;
+    std::set<std::pair<const void*, const void*>> raceReported_;
+    std::set<const void*> oobReported_;
+    std::set<const void*> loopWarned_;
+    std::vector<std::string> whereStack_;
+
+    friend struct IntervalDomain;
+};
+
+AVal Engine::absOfValue(const Value& v, const Type& declared) {
+    if (v.isBool()) {
+        AVal r = unknownOf(Type::boolean());
+        r.num = Itv::of(v.asBool() ? 1 : 0);
+        return r;
+    }
+    if (v.isI32()) {
+        AVal r = unknownOf(Type::i32());
+        r.num = Itv::of(v.asI32());
+        return r;
+    }
+    if (v.isI64()) {
+        AVal r = unknownOf(Type::i64());
+        r.num = Itv::of(v.asI64());
+        return r;
+    }
+    if (v.isF32()) return unknownOf(Type::f32());
+    if (v.isF64()) return unknownOf(Type::f64());
+    if (v.isArr()) {
+        const ArrRef& a = v.asArr();
+        if (!a) return unknownOf(declared);
+        AVal r;
+        r.type = Type::array(a->elem);
+        r.len = Itv::of(static_cast<int64_t>(a->data.size()));
+        r.roots = {rootOf(a.get())};
+        return r;
+    }
+    if (v.isObj()) {
+        const ObjRef& o = v.asObj();
+        if (!o) return unknownOf(declared);
+        AVal r;
+        r.type = Type::cls(o->cls->name);
+        r.objs = {absOfObj(o)};
+        return r;
+    }
+    return unknownOf(declared);
+}
+
+AbsObjPtr Engine::absOfObj(const ObjRef& ref) {
+    auto it = absMemo_.find(ref.get());
+    if (it != absMemo_.end()) return it->second;
+    AbsObjPtr o = std::make_shared<AbsObj>();
+    o->cls = ref->cls;
+    absMemo_.emplace(ref.get(), o);  // insert first: object graphs may be cyclic
+    for (const auto& [name, val] : ref->fields) {
+        const Field* fd = prog_.resolveField(ref->cls->name, name);
+        const Type declared = fd ? fd->type : Type::voidTy();
+        o->fields.emplace(name, absOfValue(val, declared));
+    }
+    normalizeMutatedFields(o);
+    return o;
+}
+
+void Engine::normalizeMutatedFields(const AbsObjPtr& o) {
+    if (!o->cls) return;
+    for (const Field* fd : prog_.allFields(o->cls->name)) {
+        if (!fd->type.isArray()) continue;
+        const std::string key = fieldKeyOf(prog_, o->cls->name, fd->name);
+        if (!groups_.isMutated(key)) continue;
+        if (groups_.isOpen(key)) {
+            o->fields[fd->name] = unknownOf(fd->type);
+            continue;
+        }
+        // Closed group: join this object's values across all member fields
+        // this object actually has, then assign the join to each of them.
+        AVal joined;
+        bool first = true;
+        std::vector<std::string> members;
+        for (const std::string& k : groups_.groupOf(key)) {
+            const std::string fname = k.substr(k.find('.') + 1);
+            auto fit = o->fields.find(fname);
+            if (fit == o->fields.end()) continue;
+            members.push_back(fname);
+            if (first) {
+                joined = fit->second;
+                first = false;
+            } else {
+                joinAVal(joined, fit->second);
+            }
+        }
+        for (const std::string& fname : members) o->fields[fname] = joined;
+    }
+}
+
+AVal Engine::readField(const AVal& obj, const std::string& field) {
+    std::string scls;
+    if (!obj.objs.empty()) {
+        scls = obj.objs[0]->cls->name;
+    } else if (obj.type.isClass()) {
+        scls = obj.type.className();
+    }
+    const Field* fd = scls.empty() ? nullptr : prog_.resolveField(scls, field);
+    const Type ft = fd ? fd->type : Type::voidTy();
+    if (obj.objs.empty()) return unknownOf(ft);
+    AVal r;
+    bool first = true;
+    for (const AbsObjPtr& o : obj.objs) {
+        auto it = o->fields.find(field);
+        const AVal v = it != o->fields.end() ? it->second : unknownOf(ft);
+        if (first) {
+            r = v;
+            first = false;
+        } else {
+            joinAVal(r, v);
+        }
+    }
+    if (r.type.isVoid()) r.type = ft;
+    return r;
+}
+
+std::string Engine::keyOfAVal(const AVal& v) const {
+    std::ostringstream os;
+    os << v.type.str() << '/' << v.num.lo << ':' << v.num.hi << '/' << v.len.lo << ':' << v.len.hi
+       << "/r";
+    for (int r : v.roots) os << r << ',';
+    os << "/o";
+    for (const AbsObjPtr& o : v.objs) os << o.get() << ',';
+    os << "/t" << v.tokens.size();
+    return os.str();
+}
+
+/// The dataflow client for one method body at one calling context.
+struct IntervalDomain {
+    Engine& eng;
+    const Cfg& cfg;
+    Env entryEnv;
+    AVal ret;
+    bool retSet = false;
+
+    using State = Env;
+    State boundary() { return entryEnv; }
+
+    State transfer(int node, State s) {
+        if (!s.reach) return s;
+        const CfgNode& nd = cfg.nodes[node];
+        switch (nd.kind) {
+        case CfgNode::Kind::Entry:
+        case CfgNode::Kind::Exit: break;
+        case CfgNode::Kind::Branch: eng.evalExpr(s, *nd.cond); break;
+        case CfgNode::Kind::ForInit: {
+            AVal v = eng.evalExpr(s, *nd.forS->init);
+            v.type = nd.forS->varType;
+            s.vars[nd.forS->var] = std::move(v);
+            break;
+        }
+        case CfgNode::Kind::ForStep: {
+            AVal v = eng.evalExpr(s, *nd.forS->step);
+            v.type = nd.forS->varType;
+            s.vars[nd.forS->var] = std::move(v);
+            break;
+        }
+        case CfgNode::Kind::Stmt: eng.stmtTransfer(s, *nd.stmt, &ret, &retSet); break;
+        }
+        return s;
+    }
+
+    void refine(const CfgEdge& e, State& s) {
+        if (e.guard && s.reach) eng.refineGuard(s, *e.guard, e.sense);
+    }
+
+    bool join(State& into, const State& from) { return joinEnv(into, from); }
+    void widen(State& s, const State& prev) { widenEnv(s, prev); }
+};
+
+AVal Engine::analyzeCall(const ClassDecl& owner, const Method& m, const AVal* self,
+                         const std::vector<AVal>& args) {
+    if (m.isAbstract) return unknownOf(m.ret);
+
+    if (daDone_.insert(&m).second) {
+        auto errs = checkDefiniteAssignment(prog_, owner, m, &out_.warnings);
+        out_.errors.insert(out_.errors.end(), errs.begin(), errs.end());
+    }
+
+    std::ostringstream ks;
+    ks << &m << '|';
+    if (self) ks << keyOfAVal(*self);
+    ks << '|';
+    for (const AVal& a : args) ks << keyOfAVal(a) << ';';
+    const std::string key = ks.str();
+
+    auto memo = callMemo_.find(key);
+    if (memo != callMemo_.end()) return memo->second;
+    if (inProgress_.count(key) || depth_ > kMaxInlineDepth) {
+        // Recursive context (rule 6 forbids it for @WootinJ code, but lint
+        // inputs may contain it) or pathological depth: give up soundly.
+        return unknownOf(m.ret);
+    }
+    inProgress_.insert(key);
+    ++depth_;
+    whereStack_.push_back(owner.name + "." + m.name);
+
+    Env entry;
+    entry.reach = true;
+    if (self) entry.vars.emplace("@this", *self);
+    for (size_t i = 0; i < m.params.size(); ++i) {
+        AVal v = i < args.size() ? args[i] : unknownOf(m.params[i].type);
+        if (v.type.isVoid()) v.type = m.params[i].type;
+        entry.vars.emplace(m.params[i].name, std::move(v));
+    }
+
+    const Cfg cfg = Cfg::build(m);
+    IntervalDomain dom{*this, cfg, entry, unknownOf(m.ret), false};
+    solve(cfg, dom, Direction::Forward);
+
+    AVal ret = dom.retSet || m.ret.isVoid() ? dom.ret : unknownOf(m.ret);
+    if (ret.type.isVoid() && !m.ret.isVoid()) ret.type = m.ret;
+
+    // Race walk: once per unique body, in the first context that reaches it.
+    if (effectsOf(m).usesComm() && raceDone_.insert(&m).second) {
+        raceWalk(m, entry);
+    }
+
+    whereStack_.pop_back();
+    --depth_;
+    inProgress_.erase(key);
+    callMemo_.emplace(std::move(key), ret);
+    return ret;
+}
+
+AVal Engine::evalNew(Env& env, const NewExpr& n) {
+    std::vector<AVal> args;
+    args.reserve(n.args.size());
+    for (const auto& a : n.args) args.push_back(evalExpr(env, *a));
+
+    const ClassDecl* cls = prog_.cls(n.cls);
+    if (!cls) return unknownOf(Type::cls(n.cls));
+
+    std::ostringstream ks;
+    ks << &n << '|';
+    for (const AVal& a : args) ks << keyOfAVal(a) << ';';
+    const std::string key = ks.str();
+    auto memo = newMemo_.find(key);
+    if (memo != newMemo_.end()) {
+        AVal r;
+        r.type = Type::cls(cls->name);
+        r.objs = {memo->second};
+        return r;
+    }
+
+    AbsObjPtr o = std::make_shared<AbsObj>();
+    o->cls = cls;
+    execCtor(*cls, o, args);
+    normalizeMutatedFields(o);
+    newMemo_.emplace(std::move(key), o);
+
+    AVal r;
+    r.type = Type::cls(cls->name);
+    r.objs = {o};
+    return r;
+}
+
+void Engine::execCtor(const ClassDecl& cls, const AbsObjPtr& obj, const std::vector<AVal>& args) {
+    auto allUnknown = [&] {
+        obj->fields.clear();
+        if (!obj->cls) return;
+        for (const Field* fd : prog_.allFields(obj->cls->name)) {
+            obj->fields[fd->name] = unknownOf(fd->type);
+        }
+    };
+
+    if (!cls.ctor) {
+        // Implicit no-arg ctor: Java default values. Walk the chain so
+        // inherited fields are covered too.
+        for (const Field* fd : prog_.allFields(cls.name)) {
+            if (obj->fields.count(fd->name)) continue;
+            AVal v = unknownOf(fd->type);
+            if (fd->type.isPrim() && !fd->type.isFloating()) v.num = Itv::of(0);
+            obj->fields[fd->name] = std::move(v);
+        }
+        return;
+    }
+
+    const Method& ctor = *cls.ctor;
+    if (daDone_.insert(&ctor).second) {
+        auto errs = checkDefiniteAssignment(prog_, cls, ctor, &out_.warnings);
+        out_.errors.insert(out_.errors.end(), errs.begin(), errs.end());
+    }
+    if (depth_ > kMaxInlineDepth) {
+        allUnknown();
+        return;
+    }
+    ++depth_;
+    whereStack_.push_back(cls.name + ".<init>");
+
+    Env env;
+    env.reach = true;
+    {
+        AVal selfV;
+        selfV.type = Type::cls(obj->cls ? obj->cls->name : cls.name);
+        selfV.objs = {obj};
+        env.vars.emplace("@this", std::move(selfV));
+    }
+    for (size_t i = 0; i < ctor.params.size(); ++i) {
+        AVal v = i < args.size() ? args[i] : unknownOf(ctor.params[i].type);
+        if (v.type.isVoid()) v.type = ctor.params[i].type;
+        env.vars.emplace(ctor.params[i].name, std::move(v));
+    }
+
+    // Abstract ctor execution is straight-line only; any control flow bails
+    // to all-unknown fields (none of the paper's library ctors branch).
+    bool bailed = false;
+    for (const auto& stp : ctor.body) {
+        const Stmt& st = *stp;
+        if (st.kind == StmtKind::If || st.kind == StmtKind::While || st.kind == StmtKind::For) {
+            bailed = true;
+            break;
+        }
+        switch (st.kind) {
+        case StmtKind::Decl: {
+            const auto& n = as<DeclStmt>(st);
+            env.vars[n.name] = n.init ? evalExpr(env, *n.init) : unknownOf(n.type);
+            break;
+        }
+        case StmtKind::AssignLocal: {
+            const auto& n = as<AssignLocalStmt>(st);
+            env.vars[n.name] = evalExpr(env, *n.value);
+            break;
+        }
+        case StmtKind::FieldSet: {
+            const auto& n = as<FieldSetStmt>(st);
+            AVal v = evalExpr(env, *n.value);
+            if (n.obj->kind == ExprKind::This) {
+                obj->fields[n.field] = std::move(v);
+            } else {
+                evalExpr(env, *n.obj);  // cross-object ctor store: rare; evaluate only
+            }
+            break;
+        }
+        case StmtKind::SuperCtor: {
+            const auto& n = as<SuperCtorStmt>(st);
+            std::vector<AVal> superArgs;
+            superArgs.reserve(n.args.size());
+            for (const auto& a : n.args) superArgs.push_back(evalExpr(env, *a));
+            if (const ClassDecl* sup = cls.superName.empty() ? nullptr : prog_.cls(cls.superName)) {
+                execCtor(*sup, obj, superArgs);
+            }
+            break;
+        }
+        case StmtKind::ArraySet: {
+            const auto& n = as<ArraySetStmt>(st);
+            const AVal a = evalExpr(env, *n.arr);
+            const AVal i = evalExpr(env, *n.idx);
+            evalExpr(env, *n.value);
+            recordAccess(&st, a, i, env.reach);
+            break;
+        }
+        case StmtKind::ExprStmt: evalExpr(env, *as<ExprStmt>(st).e); break;
+        case StmtKind::Return: break;
+        default: break;
+        }
+        if (st.kind == StmtKind::Return) break;
+    }
+    if (bailed) allUnknown();
+
+    whereStack_.pop_back();
+    --depth_;
+}
+
+const Effects& Engine::effectsOf(const Method& m) const {
+    static const Effects kNone{};
+    auto it = effects_.find(&m);
+    return it != effects_.end() ? it->second : kNone;
+}
+
+AVal Engine::evalExpr(Env& env, const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Const: {
+        const auto& n = as<ConstExpr>(e);
+        AVal r = unknownOf(n.type);
+        if (n.type.isPrim() && !n.type.isFloating()) r.num = Itv::of(n.i);
+        return r;
+    }
+    case ExprKind::Local: {
+        const auto& n = as<LocalExpr>(e);
+        auto it = env.vars.find(n.name);
+        return it != env.vars.end() ? it->second : AVal{};
+    }
+    case ExprKind::This: {
+        auto it = env.vars.find("@this");
+        return it != env.vars.end() ? it->second : AVal{};
+    }
+    case ExprKind::FieldGet: {
+        const auto& n = as<FieldGetExpr>(e);
+        return readField(evalExpr(env, *n.obj), n.field);
+    }
+    case ExprKind::StaticGet: {
+        const auto& n = as<StaticGetExpr>(e);
+        const StaticField* sf = prog_.resolveStatic(n.cls, n.field);
+        if (!sf) return AVal{};
+        AVal r = unknownOf(sf->type);
+        if (sf->type.isPrim() && !sf->type.isFloating()) r.num = Itv::of(sf->i);
+        return r;
+    }
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        const AVal a = evalExpr(env, *n.arr);
+        const AVal i = evalExpr(env, *n.idx);
+        recordAccess(&n, a, i, env.reach);
+        // Element contents are not tracked.
+        return unknownOf(a.type.isArray() ? a.type.elem() : Type::voidTy());
+    }
+    case ExprKind::ArrayLen: {
+        const auto& n = as<ArrayLenExpr>(e);
+        const AVal a = evalExpr(env, *n.arr);
+        AVal r = unknownOf(Type::i32());
+        r.num = a.len.meetGe(0);
+        if (r.num.hi > INT32_MAX) r.num.hi = INT32_MAX;  // wj_array.len is int32
+        if (r.num.empty()) r.num = Itv::range(0, INT32_MAX);
+        return r;
+    }
+    case ExprKind::Unary: {
+        const auto& n = as<UnaryExpr>(e);
+        const AVal v = evalExpr(env, *n.e);
+        AVal r = unknownOf(v.type);
+        if (n.op == UnOp::Neg && v.type.isIntegral()) {
+            r.num = v.num.neg();
+            if (v.type.isPrim(Prim::I32) && !r.num.fitsI32()) r.num = Itv::top();
+        } else if (n.op == UnOp::Not) {
+            r.type = Type::boolean();
+            if (v.num == Itv::of(0)) {
+                r.num = Itv::of(1);
+            } else if (v.num == Itv::of(1)) {
+                r.num = Itv::of(0);
+            } else {
+                r.num = Itv::range(0, 1);
+            }
+        }
+        return r;
+    }
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        const AVal l = evalExpr(env, *n.l);
+        const AVal r = evalExpr(env, *n.r);
+        return evalBinary(n, l, r);
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        evalExpr(env, *n.c);
+        AVal t = evalExpr(env, *n.t);
+        const AVal f = evalExpr(env, *n.f);
+        joinAVal(t, f);
+        return t;
+    }
+    case ExprKind::Call: return evalCall(env, as<CallExpr>(e));
+    case ExprKind::StaticCall: return evalStaticCall(env, as<StaticCallExpr>(e));
+    case ExprKind::New: return evalNew(env, as<NewExpr>(e));
+    case ExprKind::NewArray: {
+        const auto& n = as<NewArrayExpr>(e);
+        const AVal lv = evalExpr(env, *n.len);
+        AVal r;
+        r.type = Type::array(n.elem);
+        r.roots = {rootOf(&n)};
+        const Itv len = lv.num.meetGe(0);
+        r.len = len.empty() ? Itv::atLeast(0) : len;
+        return r;
+    }
+    case ExprKind::Cast: {
+        const auto& n = as<CastExpr>(e);
+        AVal v = evalExpr(env, *n.e);
+        v.type = n.type;
+        if (n.type.isPrim()) {
+            v.objs.clear();
+            v.roots.clear();
+            v.len = Itv::top();
+            switch (n.type.prim()) {
+            case Prim::I32:
+                if (!v.num.fitsI32()) v.num = Itv::top();
+                break;
+            case Prim::I64: break;  // widening from i32/bool keeps the interval
+            case Prim::F32:
+            case Prim::F64: v.num = Itv::top(); break;
+            case Prim::Bool: break;
+            }
+        }
+        return v;
+    }
+    case ExprKind::IntrinsicCall: return evalIntrinsic(env, as<IntrinsicExpr>(e));
+    }
+    return AVal{};
+}
+
+AVal Engine::evalBinary(const BinaryExpr& n, const AVal& l, const AVal& r) {
+    // Result type: comparisons/logicals are bool; arithmetic follows the
+    // wider operand (matches the typechecker's promotion).
+    if (isComparison(n.op) || isLogical(n.op)) {
+        AVal b = unknownOf(Type::boolean());
+        if (l.type.isIntegral() && r.type.isIntegral()) {
+            // Decide constant outcomes when the intervals are disjoint.
+            const Itv& a = l.num;
+            const Itv& c = r.num;
+            auto always = [&](bool v) { b.num = Itv::of(v ? 1 : 0); };
+            switch (n.op) {
+            case BinOp::Lt:
+                if (a.hiFinite() && c.loFinite() && a.hi < c.lo) always(true);
+                else if (a.loFinite() && c.hiFinite() && a.lo >= c.hi) always(false);
+                break;
+            case BinOp::Le:
+                if (a.hiFinite() && c.loFinite() && a.hi <= c.lo) always(true);
+                else if (a.loFinite() && c.hiFinite() && a.lo > c.hi) always(false);
+                break;
+            case BinOp::Gt:
+                if (a.loFinite() && c.hiFinite() && a.lo > c.hi) always(true);
+                else if (a.hiFinite() && c.loFinite() && a.hi <= c.lo) always(false);
+                break;
+            case BinOp::Ge:
+                if (a.loFinite() && c.hiFinite() && a.lo >= c.hi) always(true);
+                else if (a.hiFinite() && c.loFinite() && a.hi < c.lo) always(false);
+                break;
+            case BinOp::Eq:
+                if (a.isConst() && c.isConst() && a.lo == c.lo) always(true);
+                else if ((a.hiFinite() && c.loFinite() && a.hi < c.lo) ||
+                         (a.loFinite() && c.hiFinite() && a.lo > c.hi)) always(false);
+                break;
+            case BinOp::Ne:
+                if (a.isConst() && c.isConst() && a.lo == c.lo) always(false);
+                else if ((a.hiFinite() && c.loFinite() && a.hi < c.lo) ||
+                         (a.loFinite() && c.hiFinite() && a.lo > c.hi)) always(true);
+                break;
+            default: break;
+            }
+        }
+        return b;
+    }
+
+    const Type ty = l.type.isPrim(Prim::I64) || r.type.isPrim(Prim::I64)
+                        ? Type::i64()
+                        : (l.type.isIntegral() && r.type.isIntegral() ? Type::i32() : l.type);
+    AVal out = unknownOf(ty);
+    if (!ty.isIntegral()) return out;  // float arithmetic: top
+
+    const Itv& a = l.num;
+    const Itv& b = r.num;
+    Itv res = Itv::top();
+    switch (n.op) {
+    case BinOp::Add: res = a.add(b); break;
+    case BinOp::Sub: res = a.sub(b); break;
+    case BinOp::Mul: res = a.mul(b); break;
+    case BinOp::Rem: res = a.rem(b); break;
+    case BinOp::Div: {
+        // Only when the divisor's sign is definite and excludes zero.
+        if (b.loFinite() && b.lo >= 1 && b.hiFinite()) {
+            if (a.loFinite() && a.hiFinite()) {
+                const int64_t c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+                res = {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+            } else if (a.loFinite() && a.lo >= 0) {
+                res = Itv::atLeast(0);
+            }
+        }
+        break;
+    }
+    case BinOp::BitAnd:
+        if (a.loFinite() && a.lo >= 0 && b.loFinite() && b.lo >= 0) {
+            res = Itv::range(0, std::min(a.hi, b.hi));
+        }
+        break;
+    default: break;  // shifts, BitOr, BitXor: top
+    }
+
+    if (ty.isPrim(Prim::I32)) {
+        if (!res.fitsI32()) res = Itv::top();  // C i32 wraps; don't trust partial bounds
+    } else if (res != Itv::top()) {
+        // i64: a saturated bound computed from fully finite operands means a
+        // real overflow happened — the C result wrapped, so give up.
+        const bool finiteIn = a.loFinite() && a.hiFinite() && b.loFinite() && b.hiFinite();
+        if (finiteIn && (!res.loFinite() || !res.hiFinite())) res = Itv::top();
+    }
+    out.num = res;
+    return out;
+}
+
+AVal Engine::evalCall(Env& env, const CallExpr& n) {
+    const AVal recv = evalExpr(env, *n.recv);
+    std::vector<AVal> args;
+    args.reserve(n.args.size());
+    for (const auto& a : n.args) args.push_back(evalExpr(env, *a));
+
+    AVal ret;
+    bool first = true;
+    auto accumulate = [&](const ClassDecl& owner, const Method& m, const AVal* self) {
+        const AVal r = analyzeCall(owner, m, self, args);
+        if (first) {
+            ret = r;
+            first = false;
+        } else {
+            joinAVal(ret, r);
+        }
+    };
+
+    if (!recv.objs.empty()) {
+        // Devirtualized through the points-to set.
+        for (const AbsObjPtr& o : recv.objs) {
+            const ClassDecl* owner = prog_.methodOwner(o->cls->name, n.method);
+            const Method* m = owner ? owner->ownMethod(n.method) : nullptr;
+            if (!owner || !m) continue;
+            AVal self;
+            self.type = Type::cls(o->cls->name);
+            self.objs = {o};
+            accumulate(*owner, *m, &self);
+        }
+    } else if (recv.type.isClass()) {
+        for (const auto& [owner, m] : resolveVirtual(prog_, recv.type.className(), n.method)) {
+            AVal self = unknownOf(Type::cls(owner->name));
+            accumulate(*owner, *m, &self);
+        }
+    }
+    if (first) {
+        // No resolvable target (interface with no impls, ill-typed input).
+        const Method* m =
+            recv.type.isClass() ? prog_.resolveMethod(recv.type.className(), n.method) : nullptr;
+        return unknownOf(m ? m->ret : Type::voidTy());
+    }
+    return ret;
+}
+
+AVal Engine::evalStaticCall(Env& env, const StaticCallExpr& n) {
+    std::vector<AVal> args;
+    args.reserve(n.args.size());
+    for (const auto& a : n.args) args.push_back(evalExpr(env, *a));
+    const ClassDecl* owner = prog_.methodOwner(n.cls, n.method);
+    const Method* m = owner ? owner->ownMethod(n.method) : nullptr;
+    if (!owner || !m) return AVal{};
+    return analyzeCall(*owner, *m, nullptr, args);
+}
+
+AVal Engine::evalIntrinsic(Env& env, const IntrinsicExpr& n) {
+    std::vector<AVal> args;
+    args.reserve(n.args.size());
+    for (const auto& a : n.args) args.push_back(evalExpr(env, *a));
+
+    AVal r = unknownOf(intrinsicSig(n.op).ret);
+    switch (n.op) {
+    case Intrinsic::MpiRank:
+    case Intrinsic::CudaThreadIdxX:
+    case Intrinsic::CudaThreadIdxY:
+    case Intrinsic::CudaThreadIdxZ:
+    case Intrinsic::CudaBlockIdxX:
+    case Intrinsic::CudaBlockIdxY:
+    case Intrinsic::CudaBlockIdxZ: r.num = Itv::atLeast(0); break;
+    case Intrinsic::MpiSize:
+    case Intrinsic::CudaBlockDimX:
+    case Intrinsic::CudaBlockDimY:
+    case Intrinsic::CudaBlockDimZ:
+    case Intrinsic::CudaGridDimX:
+    case Intrinsic::CudaGridDimY:
+    case Intrinsic::CudaGridDimZ: r.num = Itv::atLeast(1); break;
+    case Intrinsic::MpiIrecvF32:
+        r.num = Itv::atLeast(0);
+        r.tokens = {&n};
+        break;
+    case Intrinsic::GpuMallocF32: {
+        r.roots = {rootOf(&n)};
+        const Itv len = args.empty() ? Itv::atLeast(0) : args[0].num.meetGe(0);
+        r.len = len.empty() ? Itv::atLeast(0) : len;
+        break;
+    }
+    case Intrinsic::CudaSharedF32:
+        r.roots = {rootOf(&n)};
+        r.len = Itv::atLeast(0);
+        break;
+    default: break;
+    }
+    return r;
+}
+
+void Engine::stmtTransfer(Env& env, const Stmt& st, AVal* retJoin, bool* retSet) {
+    switch (st.kind) {
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(st);
+        env.vars[n.name] = n.init ? evalExpr(env, *n.init) : unknownOf(n.type);
+        break;
+    }
+    case StmtKind::AssignLocal: {
+        const auto& n = as<AssignLocalStmt>(st);
+        AVal v = evalExpr(env, *n.value);
+        auto it = env.vars.find(n.name);
+        if (v.type.isVoid() && it != env.vars.end()) v.type = it->second.type;
+        env.vars[n.name] = std::move(v);
+        break;
+    }
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(st);
+        evalExpr(env, *n.obj);
+        evalExpr(env, *n.value);
+        // The store itself is modeled by the mutated-field groups: reads of
+        // the field already see the group join, so no strong update here.
+        break;
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(st);
+        const AVal a = evalExpr(env, *n.arr);
+        const AVal i = evalExpr(env, *n.idx);
+        evalExpr(env, *n.value);
+        recordAccess(&n, a, i, env.reach);
+        break;
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(st);
+        if (n.value) {
+            const AVal v = evalExpr(env, *n.value);
+            if (retJoin) {
+                if (*retSet) {
+                    joinAVal(*retJoin, v);
+                } else {
+                    *retJoin = v;
+                    *retSet = true;
+                }
+            }
+        }
+        break;
+    }
+    case StmtKind::ExprStmt: evalExpr(env, *as<ExprStmt>(st).e); break;
+    default: break;  // If/While/For are CFG structure; SuperCtor only in ctors
+    }
+}
+
+void Engine::refineGuard(Env& env, const Expr& cond, bool sense) {
+    if (!env.reach) return;
+    switch (cond.kind) {
+    case ExprKind::Unary: {
+        const auto& n = as<UnaryExpr>(cond);
+        if (n.op == UnOp::Not) refineGuard(env, *n.e, !sense);
+        return;
+    }
+    case ExprKind::Local: {
+        const auto& n = as<LocalExpr>(cond);
+        auto it = env.vars.find(n.name);
+        if (it == env.vars.end() || !it->second.type.isPrim(Prim::Bool)) return;
+        const Itv want = Itv::of(sense ? 1 : 0);
+        Itv m = it->second.num;
+        m.lo = std::max(m.lo, want.lo);
+        m.hi = std::min(m.hi, want.hi);
+        if (m.empty()) {
+            env.reach = false;
+        } else {
+            it->second.num = m;
+        }
+        return;
+    }
+    case ExprKind::Binary: break;
+    default: return;
+    }
+
+    const auto& n = as<BinaryExpr>(cond);
+    if (n.op == BinOp::LAnd) {
+        if (sense) {  // both true
+            refineGuard(env, *n.l, true);
+            refineGuard(env, *n.r, true);
+        }
+        return;  // !(a && b) gives no conjunctive fact
+    }
+    if (n.op == BinOp::LOr) {
+        if (!sense) {  // both false
+            refineGuard(env, *n.l, false);
+            refineGuard(env, *n.r, false);
+        }
+        return;
+    }
+    if (!isComparison(n.op)) return;
+
+    // Normalize to the op that holds on this edge.
+    BinOp op = n.op;
+    if (!sense) {
+        switch (n.op) {
+        case BinOp::Lt: op = BinOp::Ge; break;
+        case BinOp::Le: op = BinOp::Gt; break;
+        case BinOp::Gt: op = BinOp::Le; break;
+        case BinOp::Ge: op = BinOp::Lt; break;
+        case BinOp::Eq: op = BinOp::Ne; break;
+        case BinOp::Ne: op = BinOp::Eq; break;
+        default: return;
+        }
+    }
+
+    const AVal lv = evalExpr(env, *n.l);
+    const AVal rv = evalExpr(env, *n.r);
+    if (!lv.type.isIntegral() || !rv.type.isIntegral()) return;
+
+    auto meet = [&](const Expr& side, int64_t lo, int64_t hi) {
+        if (side.kind != ExprKind::Local) return;
+        auto it = env.vars.find(as<LocalExpr>(side).name);
+        if (it == env.vars.end() || !it->second.type.isIntegral()) return;
+        Itv m = it->second.num;
+        m.lo = std::max(m.lo, lo);
+        m.hi = std::min(m.hi, hi);
+        if (m.empty()) {
+            env.reach = false;
+        } else {
+            it->second.num = m;
+        }
+    };
+    const int64_t NI = Itv::kNegInf, PI = Itv::kPosInf;
+    auto dec = [](int64_t v) { return v == Itv::kPosInf ? v : v - 1; };
+    auto inc = [](int64_t v) { return v == Itv::kNegInf ? v : v + 1; };
+
+    switch (op) {
+    case BinOp::Lt:  // l < r
+        meet(*n.l, NI, dec(rv.num.hi));
+        meet(*n.r, inc(lv.num.lo), PI);
+        break;
+    case BinOp::Le:
+        meet(*n.l, NI, rv.num.hi);
+        meet(*n.r, lv.num.lo, PI);
+        break;
+    case BinOp::Gt:  // l > r
+        meet(*n.l, inc(rv.num.lo), PI);
+        meet(*n.r, NI, dec(lv.num.hi));
+        break;
+    case BinOp::Ge:
+        meet(*n.l, rv.num.lo, PI);
+        meet(*n.r, NI, lv.num.hi);
+        break;
+    case BinOp::Eq:
+        meet(*n.l, rv.num.lo, rv.num.hi);
+        meet(*n.r, lv.num.lo, lv.num.hi);
+        break;
+    case BinOp::Ne:
+        // Only useful against a constant at an interval endpoint.
+        if (rv.num.isConst()) {
+            auto it = n.l->kind == ExprKind::Local ? env.vars.find(as<LocalExpr>(*n.l).name)
+                                                  : env.vars.end();
+            if (it != env.vars.end() && it->second.type.isIntegral()) {
+                Itv& m = it->second.num;
+                if (m.lo == rv.num.lo && m.loFinite()) m.lo = inc(m.lo);
+                if (m.hi == rv.num.lo && m.hiFinite()) m.hi = dec(m.hi);
+                if (m.empty()) env.reach = false;
+            }
+        }
+        break;
+    default: break;
+    }
+}
+
+void Engine::recordAccess(const void* site, const AVal& arr, const AVal& idx, bool reachable) {
+    if (!reachable) return;
+    const Itv& i = idx.num;
+    const Itv& len = arr.len;
+
+    Safety s = Safety::Unknown;
+    if (i.loFinite() && i.lo >= 0 && i.hiFinite() && len.loFinite() && i.hi < len.lo) {
+        s = Safety::Safe;
+    } else if (i.hiFinite() && i.hi < 0) {
+        s = Safety::OutOfBounds;
+    } else if (i.loFinite() && len.hiFinite() && i.lo >= len.hi) {
+        s = Safety::OutOfBounds;
+    }
+
+    auto [it, inserted] = out_.accessSafety.emplace(site, s);
+    if (!inserted && static_cast<int>(s) > static_cast<int>(it->second)) it->second = s;
+
+    if (s == Safety::OutOfBounds && oobReported_.insert(site).second) {
+        out_.errors.push_back({"bounds", where(),
+                               "array index " + strItv(i) + " is provably outside length " +
+                                   strItv(len)});
+    }
+}
+
+// ------------------------------------------------------ communication races
+
+/// A posted nonblocking receive whose completion has not been awaited.
+struct Pending {
+    const void* site = nullptr;   ///< the MpiIrecvF32 expression node
+    std::set<int> roots;          ///< buffer allocation sites; empty = unknown
+    Itv region = Itv::top();      ///< element range [off, off+n-1] being filled
+    bool exact = false;           ///< off and n were compile-time constants
+};
+
+namespace {
+
+bool rootsMayIntersect(const std::set<int>& a, const std::set<int>& b) {
+    if (a.empty() || b.empty()) return true;  // unknown provenance
+    for (int r : a) {
+        if (b.count(r)) return true;
+    }
+    return false;
+}
+
+bool regionsMayOverlap(const Itv& a, const Itv& b) {
+    if (a.empty() || b.empty()) return false;
+    const bool aBelow = a.hiFinite() && b.loFinite() && a.hi < b.lo;
+    const bool bBelow = b.hiFinite() && a.loFinite() && b.hi < a.lo;
+    return !(aBelow || bBelow);
+}
+
+Itv regionOf(const Itv& off, const Itv& n) {
+    return {off.lo, Itv::satAdd(off.hi, Itv::satAdd(n.hi, -1))};
+}
+
+} // namespace
+
+void Engine::checkWrite(const std::vector<Pending>& p, const std::set<int>& roots,
+                        const Itv& region, const void* wsite, const std::string& what) {
+    for (const Pending& q : p) {
+        if (!rootsMayIntersect(q.roots, roots)) continue;
+        if (!regionsMayOverlap(q.region, region)) continue;
+        if (!raceReported_.insert({q.site, wsite}).second) continue;
+        out_.errors.push_back({"halo-race", where(),
+                               what + " may overlap a nonblocking receive still in flight "
+                                      "(region " + strItv(q.region) + ")"});
+    }
+}
+
+void Engine::raceWalk(const Method& m, Env env) {
+    std::vector<Pending> pending;
+    raceBlock(env, m.body, pending);
+    if (!pending.empty()) {
+        out_.warnings.push_back({"halo-race", where(),
+                                 "nonblocking receive still in flight when the method returns"});
+    }
+}
+
+void Engine::raceBlock(Env& env, const Block& b, std::vector<Pending>& p) {
+    for (const auto& stp : b) {
+        raceStmt(env, *stp, p);
+        if (stp->kind == StmtKind::Return) break;
+    }
+}
+
+void Engine::raceStmt(Env& env, const Stmt& st, std::vector<Pending>& p) {
+    switch (st.kind) {
+    case StmtKind::If: {
+        const auto& n = as<IfStmt>(st);
+        raceExpr(env, *n.cond, p);
+        Env envT = env, envF = env;
+        std::vector<Pending> pT = p, pF = p;
+        raceBlock(envT, n.thenB, pT);
+        raceBlock(envF, n.elseB, pF);
+        joinEnv(envT, envF);
+        env = std::move(envT);
+        // Union of the two outcomes (entries already in pT keep their slot).
+        for (const Pending& q : pF) {
+            const bool dup = std::any_of(pT.begin(), pT.end(),
+                                         [&](const Pending& r) { return r.site == q.site; });
+            if (!dup) pT.push_back(q);
+        }
+        p = std::move(pT);
+        break;
+    }
+    case StmtKind::While:
+    case StmtKind::For: {
+        // Walk the body twice sequentially: double-buffered halo exchanges
+        // rotate their buffer aliases once per iteration, and two passes
+        // cover both phases without joining the aliases together. Receives
+        // must not stay in flight across an iteration boundary.
+        const Block* body;
+        const ForStmt* fs = nullptr;
+        if (st.kind == StmtKind::For) {
+            fs = &as<ForStmt>(st);
+            body = &fs->body;
+            raceExpr(env, *fs->init, p);
+            AVal v = evalExpr(env, *fs->init);
+            v.type = fs->varType;
+            env.vars[fs->var] = std::move(v);
+        } else {
+            body = &as<WhileStmt>(st).body;
+        }
+        const Expr& cond = st.kind == StmtKind::For ? *fs->cond : *as<WhileStmt>(st).cond;
+
+        const Env preEnv = env;
+        std::set<const void*> entrySites;
+        for (const Pending& q : p) entrySites.insert(q.site);
+
+        for (int iter = 0; iter < 2; ++iter) {
+            raceExpr(env, cond, p);
+            raceBlock(env, *body, p);
+            if (fs) {
+                raceExpr(env, *fs->step, p);
+                AVal v = evalExpr(env, *fs->step);
+                v.type = fs->varType;
+                env.vars[fs->var] = std::move(v);
+            }
+            std::vector<Pending> kept;
+            bool leaked = false;
+            for (Pending& q : p) {
+                if (entrySites.count(q.site)) {
+                    kept.push_back(std::move(q));
+                } else {
+                    leaked = true;
+                }
+            }
+            if (leaked && loopWarned_.insert(&st).second) {
+                out_.warnings.push_back(
+                    {"halo-race", where(),
+                     "nonblocking receive posted in a loop body is still in flight at the "
+                     "end of the iteration"});
+            }
+            p = std::move(kept);
+        }
+        Env joined = preEnv;
+        joinEnv(joined, env);
+        env = std::move(joined);
+        break;
+    }
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(st);
+        if (n.init) raceExpr(env, *n.init, p);
+        break;
+    }
+    case StmtKind::AssignLocal: raceExpr(env, *as<AssignLocalStmt>(st).value, p); break;
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(st);
+        raceExpr(env, *n.obj, p);
+        raceExpr(env, *n.value, p);
+        break;
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(st);
+        raceExpr(env, *n.arr, p);
+        raceExpr(env, *n.idx, p);
+        raceExpr(env, *n.value, p);
+        const AVal a = evalExpr(env, *n.arr);
+        const AVal i = evalExpr(env, *n.idx);
+        checkWrite(p, a.roots, i.num, &st, "array store");
+        break;
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(st);
+        if (n.value) raceExpr(env, *n.value, p);
+        break;
+    }
+    case StmtKind::ExprStmt: raceExpr(env, *as<ExprStmt>(st).e, p); break;
+    default: break;
+    }
+    // Keep the abstract environment in sync for Decl/Assign (strong update).
+    if (st.kind == StmtKind::Decl || st.kind == StmtKind::AssignLocal) {
+        stmtTransfer(env, st, nullptr, nullptr);
+    }
+}
+
+void Engine::raceExpr(Env& env, const Expr& e, std::vector<Pending>& p) {
+    switch (e.kind) {
+    case ExprKind::Const:
+    case ExprKind::Local:
+    case ExprKind::This:
+    case ExprKind::StaticGet: return;
+    case ExprKind::FieldGet: raceExpr(env, *as<FieldGetExpr>(e).obj, p); return;
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        raceExpr(env, *n.arr, p);
+        raceExpr(env, *n.idx, p);
+        return;  // reads of an in-flight buffer are not flagged (see DESIGN.md)
+    }
+    case ExprKind::ArrayLen: raceExpr(env, *as<ArrayLenExpr>(e).arr, p); return;
+    case ExprKind::Unary: raceExpr(env, *as<UnaryExpr>(e).e, p); return;
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        raceExpr(env, *n.l, p);
+        raceExpr(env, *n.r, p);
+        return;
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        raceExpr(env, *n.c, p);
+        raceExpr(env, *n.t, p);
+        raceExpr(env, *n.f, p);
+        return;
+    }
+    case ExprKind::Cast: raceExpr(env, *as<CastExpr>(e).e, p); return;
+    case ExprKind::New:
+        for (const auto& a : as<NewExpr>(e).args) raceExpr(env, *a, p);
+        return;  // rule-compliant ctors neither communicate nor write arrays
+    case ExprKind::NewArray: raceExpr(env, *as<NewArrayExpr>(e).len, p); return;
+    case ExprKind::IntrinsicCall: {
+        const auto& n = as<IntrinsicExpr>(e);
+        for (const auto& a : n.args) raceExpr(env, *a, p);
+        auto argVal = [&](size_t i) {
+            return i < n.args.size() ? evalExpr(env, *n.args[i]) : AVal{};
+        };
+        switch (n.op) {
+        case Intrinsic::MpiIrecvF32: {
+            const AVal buf = argVal(0);
+            const Itv off = argVal(1).num, cnt = argVal(2).num;
+            Pending np;
+            np.site = &n;
+            np.roots = buf.roots;
+            np.region = regionOf(off, cnt);
+            np.exact = off.isConst() && cnt.isConst();
+            // Two receives into provably the same region of provably the
+            // same buffer: flagged outright.
+            for (const Pending& q : p) {
+                if (q.roots.size() == 1 && np.roots.size() == 1 && q.roots == np.roots &&
+                    q.exact && np.exact && regionsMayOverlap(q.region, np.region) &&
+                    raceReported_.insert({q.site, np.site}).second) {
+                    out_.errors.push_back({"halo-race", where(),
+                                           "two nonblocking receives into overlapping region " +
+                                               strItv(np.region) + " of the same buffer"});
+                }
+            }
+            p.push_back(std::move(np));
+            return;
+        }
+        case Intrinsic::MpiRecvF32: {
+            const AVal buf = argVal(0);
+            checkWrite(p, buf.roots, regionOf(argVal(1).num, argVal(2).num), &n,
+                       "blocking receive");
+            return;
+        }
+        case Intrinsic::MpiSendRecvF32: {
+            const AVal rbuf = argVal(4);
+            checkWrite(p, rbuf.roots, regionOf(argVal(5).num, argVal(2).num), &n,
+                       "sendrecv receive half");
+            return;
+        }
+        case Intrinsic::MpiBcastF32: {
+            const AVal buf = argVal(0);
+            checkWrite(p, buf.roots, regionOf(argVal(1).num, argVal(2).num), &n, "broadcast");
+            return;
+        }
+        case Intrinsic::MpiWait: {
+            const AVal req = argVal(0);
+            if (req.tokens.empty()) {
+                p.clear();  // unknown request: assume it completes everything
+            } else {
+                p.erase(std::remove_if(p.begin(), p.end(),
+                                       [&](const Pending& q) { return req.tokens.count(q.site); }),
+                        p.end());
+            }
+            return;
+        }
+        case Intrinsic::GpuMemcpyD2HF32:
+            checkWrite(p, argVal(0).roots, regionOf(Itv::of(0), argVal(2).num), &n,
+                       "device-to-host copy");
+            return;
+        case Intrinsic::GpuMemcpyD2HOffF32:
+            checkWrite(p, argVal(0).roots, regionOf(argVal(1).num, argVal(4).num), &n,
+                       "device-to-host copy");
+            return;
+        case Intrinsic::GpuMemcpyH2DF32:
+            checkWrite(p, argVal(0).roots, regionOf(Itv::of(0), argVal(2).num), &n,
+                       "host-to-device copy");
+            return;
+        case Intrinsic::GpuMemcpyH2DOffF32:
+            checkWrite(p, argVal(0).roots, regionOf(argVal(1).num, argVal(4).num), &n,
+                       "host-to-device copy");
+            return;
+        default: return;
+        }
+    }
+    case ExprKind::Call:
+    case ExprKind::StaticCall: {
+        const CallExpr* vc = e.kind == ExprKind::Call ? &as<CallExpr>(e) : nullptr;
+        const StaticCallExpr* sc = vc ? nullptr : &as<StaticCallExpr>(e);
+        AVal recv;
+        if (vc) {
+            raceExpr(env, *vc->recv, p);
+            recv = evalExpr(env, *vc->recv);
+        }
+        const auto& argExprs = vc ? vc->args : sc->args;
+        for (const auto& a : argExprs) raceExpr(env, *a, p);
+
+        std::vector<const Method*> targets;
+        if (vc) {
+            if (!recv.objs.empty()) {
+                for (const AbsObjPtr& o : recv.objs) {
+                    if (const Method* m = prog_.resolveMethod(o->cls->name, vc->method)) {
+                        targets.push_back(m);
+                    }
+                }
+            } else if (recv.type.isClass()) {
+                for (const auto& [owner, m] :
+                     resolveVirtual(prog_, recv.type.className(), vc->method)) {
+                    (void)owner;
+                    targets.push_back(m);
+                }
+            }
+        } else {
+            const ClassDecl* owner = prog_.methodOwner(sc->cls, sc->method);
+            if (const Method* m = owner ? owner->ownMethod(sc->method) : nullptr) {
+                targets.push_back(m);
+            }
+        }
+
+        for (const Method* m : targets) {
+            const Effects& eff = effectsOf(*m);
+            for (int j : eff.writesParams) {
+                if (j < 0 || static_cast<size_t>(j) >= argExprs.size()) continue;
+                const AVal buf = evalExpr(env, *argExprs[j]);
+                // Object params: the callee writes arrays *behind* the
+                // object; root through its array fields when known.
+                std::set<int> roots = buf.roots;
+                if (buf.type.isClass()) {
+                    roots.clear();
+                    bool known = !buf.objs.empty();
+                    for (const AbsObjPtr& o : buf.objs) {
+                        for (const auto& [fname, fv] : o->fields) {
+                            if (!fv.type.isArray()) continue;
+                            if (fv.roots.empty()) known = false;
+                            roots.insert(fv.roots.begin(), fv.roots.end());
+                        }
+                    }
+                    if (!known) roots.clear();
+                }
+                checkWrite(p, roots, Itv::top(), &e, "call to " + m->name + " writing argument");
+            }
+            if (!eff.writesFields.empty()) {
+                std::set<int> roots;
+                bool known = vc && !recv.objs.empty();
+                if (known) {
+                    for (const std::string& key : eff.writesFields) {
+                        const std::string fname = key.substr(key.find('.') + 1);
+                        for (const AbsObjPtr& o : recv.objs) {
+                            auto it = o->fields.find(fname);
+                            if (it == o->fields.end()) continue;
+                            if (it->second.roots.empty()) known = false;
+                            roots.insert(it->second.roots.begin(), it->second.roots.end());
+                        }
+                    }
+                }
+                if (!known) roots.clear();
+                checkWrite(p, roots, Itv::top(), &e, "call to " + m->name + " writing fields");
+            }
+            if (eff.writesUnknown) {
+                checkWrite(p, {}, Itv::top(), &e, "call to " + m->name);
+            }
+            if (eff.postsIrecv && !eff.waits) {
+                out_.warnings.push_back({"halo-race", where(),
+                                         "call to " + m->name +
+                                             " posts a nonblocking receive it never awaits"});
+                Pending np;
+                np.site = &e;
+                p.push_back(std::move(np));
+            } else if (eff.waits) {
+                p.clear();  // callee may complete any request
+            }
+        }
+        return;
+    }
+    }
+}
+
+// ----------------------------------------------------------------- drivers
+
+void Engine::runEntry(const Value& receiver, const std::string& method,
+                      const std::vector<Value>& args) {
+    const AVal self = absOfValue(receiver, Type::voidTy());
+    if (self.objs.empty()) return;  // jit() rejects non-object receivers itself
+    const std::string clsName = self.objs[0]->cls->name;
+    const ClassDecl* owner = prog_.methodOwner(clsName, method);
+    const Method* m = owner ? owner->ownMethod(method) : nullptr;
+    if (!owner || !m) return;
+    std::vector<AVal> argVals;
+    argVals.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        const Type declared = i < m->params.size() ? m->params[i].type : Type::voidTy();
+        argVals.push_back(absOfValue(args[i], declared));
+    }
+    analyzeCall(*owner, *m, &self, argVals);
+}
+
+void Engine::runLint() {
+    for (const ClassDecl* cls : prog_.classes()) {
+        if (cls->isInterface) continue;
+        if (cls->ctor && daDone_.insert(cls->ctor.get()).second) {
+            auto errs = checkDefiniteAssignment(prog_, *cls, *cls->ctor, &out_.warnings);
+            out_.errors.insert(out_.errors.end(), errs.begin(), errs.end());
+        }
+        for (const auto& m : cls->methods) {
+            if (m->isAbstract) continue;
+            AVal self = unknownOf(Type::cls(cls->name));
+            std::vector<AVal> args;
+            args.reserve(m->params.size());
+            for (const Param& prm : m->params) {
+                AVal v = unknownOf(prm.type);
+                // Lint assumption: distinct array parameters do not alias.
+                if (prm.type.isArray()) v.roots = {rootOf(&prm)};
+                args.push_back(std::move(v));
+            }
+            try {
+                analyzeCall(*cls, *m, m->isStatic ? nullptr : &self, args);
+            } catch (const WjError&) {
+                // Ill-typed lint input; reported by the typechecker instead.
+            }
+        }
+    }
+}
+
+} // namespace
+
+void Result::require() const {
+    if (!errors.empty()) throw AnalysisError(errors);
+}
+
+namespace {
+
+void tally(Result& r) {
+    r.safeAccesses = 0;
+    r.unknownAccesses = 0;
+    for (const auto& [site, s] : r.accessSafety) {
+        (void)site;
+        if (s == Safety::Safe) {
+            ++r.safeAccesses;
+        } else {
+            ++r.unknownAccesses;
+        }
+    }
+}
+
+} // namespace
+
+Result lintProgram(const Program& prog) {
+    Result out;
+    Engine eng(prog, out, /*lint=*/true);
+    eng.runLint();
+    tally(out);
+    return out;
+}
+
+Result analyzeEntry(const Program& prog, const Value& receiver, const std::string& method,
+                    const std::vector<Value>& args) {
+    Result out;
+    Engine eng(prog, out, /*lint=*/false);
+    eng.runEntry(receiver, method, args);
+    tally(out);
+    return out;
+}
+
+} // namespace wj::analysis

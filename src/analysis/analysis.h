@@ -1,0 +1,77 @@
+// The WJ static-analysis passes built on the dataflow engine (cfg.h /
+// dataflow.h / interval.h):
+//
+//   * definite assignment — every read of a local is dominated by a store
+//     (DeclStmt.init may be null since the IR grew uninitialized locals);
+//     runs forward over the CFG. A backward liveness pass piggybacks to
+//     warn about dead stores.
+//   * interval/shape bounds analysis — abstract interpretation of method
+//     bodies over integer intervals plus array length/alias facts,
+//     interprocedural by context-sensitive inlining (memoized; rule 6
+//     keeps the call graph acyclic). Classifies every ArrayGet/ArraySet
+//     as proven-safe, proven-out-of-bounds (hard error), or unknown. The
+//     translator consumes the per-node classification to elide bounds
+//     guards (WJ_BOUNDS=1 guards only unproven accesses).
+//   * communication race check — structural walk using the effect
+//     summaries (effects.h) to flag writes that can overlap a posted
+//     nonblocking receive of the same buffer region.
+//
+// Two drivers: lintProgram() analyzes every method with unknown
+// parameters ("wjc lint" — only *proven* defects are errors), and
+// analyzeEntry() analyzes one jit() call with the concrete receiver
+// graph, where field constants and exact array lengths make most
+// accesses provable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+#include "ir/program.h"
+#include "support/diagnostics.h"
+
+namespace wj::analysis {
+
+enum class Safety {
+    Safe,         ///< in bounds for every execution reaching the access
+    Unknown,      ///< not provable either way — needs a runtime guard
+    OutOfBounds,  ///< out of bounds whenever a reaching execution gets there
+};
+
+struct Result {
+    std::vector<Violation> errors;    ///< uninit reads, proven OOB, halo races
+    std::vector<Violation> warnings;  ///< dead stores, receives left in flight
+    /// Per-access classification, keyed by the ArrayGetExpr / ArraySetStmt
+    /// node address; accesses never reached by the analysis are absent
+    /// (treated as Unknown by consumers). Joined across call contexts: an
+    /// access is Safe only if it is safe in every analyzed context.
+    std::map<const void*, Safety> accessSafety;
+    int safeAccesses = 0;
+    int unknownAccesses = 0;
+
+    bool clean() const { return errors.empty(); }
+    /// Throws AnalysisError if any error-level finding was recorded.
+    void require() const;
+};
+
+/// Definite assignment (+ dead-store warnings appended to `warnings` when
+/// non-null) for one method body. Cheap enough for the interpreter to run
+/// memoized on first invoke of each method.
+std::vector<Violation> checkDefiniteAssignment(const Program& prog, const ClassDecl& cls,
+                                               const Method& m,
+                                               std::vector<Violation>* warnings = nullptr);
+
+/// Whole-program lint: every pass over every concrete method, with unknown
+/// receiver/arguments. Distinct array parameters are assumed non-aliasing
+/// (documented lint assumption); only proven defects become errors.
+Result lintProgram(const Program& prog);
+
+/// Analysis of one jit() entry: `method` invoked on the concrete composed
+/// `receiver` with `args`, covering everything reachable. Field primitives
+/// and array lengths from the receiver graph are treated as constants —
+/// exactly the specialization contract the translator itself uses.
+Result analyzeEntry(const Program& prog, const Value& receiver, const std::string& method,
+                    const std::vector<Value>& args);
+
+} // namespace wj::analysis

@@ -1,0 +1,39 @@
+// The static call graph over WJ method bodies.
+//
+// One shared implementation serves two clients: the rule verifier's
+// recursion check (Section 3.2 rule 6 — the graph must be acyclic over
+// @WootinJ code) and the effect analysis, which propagates read/write/comm
+// summaries bottom-up over the same edges. Virtual calls are resolved
+// conservatively: every concrete subtype's implementation is a possible
+// callee.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace wj::analysis {
+
+struct CallGraph {
+    /// Adjacency: "OwnerClass.method" -> possible callee bodies, where the
+    /// owner is the class DECLARING the executing body (so one node per
+    /// body, however many receivers dispatch into it).
+    std::map<std::string, std::set<std::string>> edges;
+};
+
+/// Builds the call graph. `wootinjOnly` restricts roots to @WootinJ classes
+/// (the rule checker's view); the effect analysis passes false and covers
+/// every method body in the program.
+CallGraph buildCallGraph(const Program& prog, bool wootinjOnly);
+
+/// The possible executing bodies of a virtual call `recv.method(...)` where
+/// recv's static class is `className`: one (owner, method) per concrete
+/// subtype whose resolution provides a non-abstract body.
+std::vector<std::pair<const ClassDecl*, const Method*>>
+resolveVirtual(const Program& prog, const std::string& className, const std::string& method);
+
+} // namespace wj::analysis

@@ -331,11 +331,17 @@ private:
             // Could still be an expression like `cls.method()`: require the
             // TYPE IDENT '=' / TYPE[] shape.
             const bool decl2 =
-                (at(Tok::Ident, 1) && at(Tok::Assign, 2)) ||
+                (at(Tok::Ident, 1) && (at(Tok::Assign, 2) || at(Tok::Semi, 2))) ||
                 (at(Tok::LBracket, 1) && at(Tok::RBracket, 2));
             if (decl2) {
                 Type t = parseType();
                 const Token n = expect(Tok::Ident, "variable name");
+                if (at(Tok::Semi)) {
+                    // `T name;` — uninitialized declaration; the definite-
+                    // assignment pass polices reads.
+                    take();
+                    return declUninit(n.text, std::move(t));
+                }
                 expect(Tok::Assign, "'='");
                 ExprPtr init = parseExpr();
                 expect(Tok::Semi, "';'");

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/analysis.h"
 #include "runtime/rng_hash.h"
 
 namespace wj {
@@ -79,6 +80,7 @@ void Interp::runCtor(const ObjRef& obj, const ClassDecl& cls, std::vector<Value>
         throw ExecError(cls.name + ".<init>: expected " + std::to_string(cls.ctor->params.size()) +
                         " arguments, got " + std::to_string(args.size()));
     }
+    verifyAssigned(cls, *cls.ctor);
     Frame f;
     f.self = obj;
     f.implCls = &cls;
@@ -112,8 +114,15 @@ Value Interp::callStatic(const std::string& cls, const std::string& method,
     return invokeMethod(nullptr, *prog_.methodOwner(cls, method), *m, std::move(args));
 }
 
+void Interp::verifyAssigned(const ClassDecl& implCls, const Method& m) {
+    if (!daChecked_.insert(&m).second) return;
+    auto errs = analysis::checkDefiniteAssignment(prog_, implCls, m);
+    if (!errs.empty()) throw AnalysisError(std::move(errs));
+}
+
 Value Interp::invokeMethod(const ObjRef& self, const ClassDecl& implCls, const Method& m,
                            std::vector<Value> args) {
+    verifyAssigned(implCls, m);
     if (args.size() != m.params.size()) {
         throw ExecError(implCls.name + "." + m.name + ": expected " +
                         std::to_string(m.params.size()) + " arguments, got " +
@@ -195,7 +204,8 @@ Interp::Flow Interp::execStmt(Frame& f, const Stmt& s) {
     switch (s.kind) {
     case StmtKind::Decl: {
         const auto& n = as<DeclStmt>(s);
-        f.scopes.back().insert_or_assign(n.name, evalExpr(f, *n.init));
+        f.scopes.back().insert_or_assign(n.name,
+                                         n.init ? evalExpr(f, *n.init) : Value::defaultOf(n.type));
         return Flow::normal();
     }
     case StmtKind::AssignLocal: {

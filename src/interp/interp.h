@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 
 #include "interp/value.h"
 #include "ir/program.h"
@@ -67,9 +68,15 @@ private:
     const Program& prog_;
     Options opts_;
     GpuEmuCtx* gpu_ = nullptr;  // non-null only while emulating a kernel
+    /// First-invoke definite-assignment check (the JVM analogue: bytecode
+    /// verification happens once per method, not per call). Throws
+    /// AnalysisError before executing an unsound body.
+    void verifyAssigned(const ClassDecl& implCls, const Method& m);
+
     int64_t dispatches_ = 0;
     int64_t allocs_ = 0;
     int depth_ = 0;
+    std::set<const Method*> daChecked_;
 };
 
 } // namespace wj

@@ -198,8 +198,11 @@ protected:
 using StmtPtr = std::unique_ptr<Stmt>;
 using Block = std::vector<StmtPtr>;
 
-/// `T name = init;` — all locals are declared with an initializer, the
-/// definite-assignment form the translator relies on.
+/// `T name = init;` or `T name;` — `init` may be null for primitive and
+/// array locals (object locals must be initialized: the translator needs
+/// an exact shape at the declaration). Reads of a possibly-uninitialized
+/// local are rejected by the definite-assignment pass (src/analysis/)
+/// before the interpreter or the translator sees them.
 struct DeclStmt final : Stmt {
     std::string name;
     Type type;

@@ -259,6 +259,9 @@ Block blk() { return {}; }
 StmtPtr decl(std::string name, Type t, ExprPtr init) {
     return std::make_unique<DeclStmt>(std::move(name), std::move(t), std::move(init));
 }
+StmtPtr declUninit(std::string name, Type t) {
+    return std::make_unique<DeclStmt>(std::move(name), std::move(t), nullptr);
+}
 StmtPtr assign(std::string name, ExprPtr v) {
     return std::make_unique<AssignLocalStmt>(std::move(name), std::move(v));
 }

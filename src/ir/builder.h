@@ -192,6 +192,8 @@ Block blk(StmtPtr first, Ss... rest) {
 }
 
 StmtPtr decl(std::string name, Type t, ExprPtr init);
+/// `T name;` — declaration without initializer (primitive/array types only).
+StmtPtr declUninit(std::string name, Type t);
 StmtPtr assign(std::string name, ExprPtr v);
 StmtPtr setf(ExprPtr obj, std::string field, ExprPtr v);
 StmtPtr setSelf(std::string field, ExprPtr v);   ///< this.field = v

@@ -104,7 +104,8 @@ std::string printStmt(const Stmt& s, int indent) {
     switch (s.kind) {
     case StmtKind::Decl: {
         const auto& n = as<DeclStmt>(s);
-        out = ind(indent) + n.type.str() + " " + n.name + " = " + printExpr(*n.init) + ";\n";
+        out = ind(indent) + n.type.str() + " " + n.name +
+              (n.init ? " = " + printExpr(*n.init) : "") + ";\n";
         return out;
     }
     case StmtKind::AssignLocal: {

@@ -261,6 +261,16 @@ void checkStmt(TypeScope& s, const Stmt& st) {
     switch (st.kind) {
     case StmtKind::Decl: {
         const auto& n = as<DeclStmt>(st);
+        if (!n.init) {
+            // Uninitialized declarations are restricted to primitives and
+            // arrays: object locals carry an exact shape that only an
+            // initializer can establish (strict-final, rule 2).
+            if (n.type.isClass()) {
+                typeErr(s, "object local '" + n.name + "' must be declared with an initializer");
+            }
+            s.declare(n.name, n.type);
+            return;
+        }
         Type it = typeOf(s, *n.init);
         if (!prog.assignable(n.type, it)) {
             typeErr(s, "initializer of '" + n.name + "' has type " + it.str() + ", expected " +

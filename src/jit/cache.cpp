@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/scratch.h"
 #include "support/strings.h"
 #include "support/timer.h"
 
@@ -99,8 +100,7 @@ std::string JitCache::dir() const {
     if (const char* h = std::getenv("HOME"); h && *h) {
         return std::string(h) + "/.cache/wootinc";
     }
-    const char* tmp = std::getenv("TMPDIR");
-    return std::string(tmp && *tmp ? tmp : "/tmp") + "/wootinc-cache";
+    return tempRoot() + "/wootinc-cache";
 }
 
 uint64_t JitCache::maxBytes() const {

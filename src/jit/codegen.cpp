@@ -1,9 +1,11 @@
 #include "jit/codegen.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 
+#include "analysis/analysis.h"
 #include "jit/shape.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
@@ -75,6 +77,14 @@ private:
 class CodeGen {
 public:
     explicit CodeGen(const Program& prog) : prog_(prog), shapes_(prog) {}
+
+    /// Bounds-guard policy: mode 0 = no guards, 1 = guard accesses the
+    /// interval analysis could not prove safe (`safety` holds its verdicts),
+    /// 2 = guard everything.
+    void setBounds(int mode, const std::map<const void*, analysis::Safety>* safety) {
+        boundsMode_ = mode;
+        safety_ = safety;
+    }
 
     Translation run(const Value& receiver, const std::string& method,
                     const std::vector<Value>& args);
@@ -154,7 +164,33 @@ private:
     int structCount_ = 0;
     int tmpCount_ = 0;
     int fnCount_ = 0;
+    int boundsMode_ = 0;
+    const std::map<const void*, analysis::Safety>* safety_ = nullptr;
     Translation out_;
+
+    /// Index expression for an array access, wrapped in a wj_chk guard when
+    /// the policy asks for one. Guarding materializes `a` and `i` first:
+    /// the guard macro mentions the array twice and must not re-evaluate a
+    /// side-effecting operand. Device code is never guarded — wjrt_trap
+    /// unwinds with a C++ exception, which must not cross the simulated
+    /// kernel's thread boundary.
+    std::string indexExpr(Env& env, CVal& a, CVal& i, const void* site) {
+        bool guard = false;
+        if (!env.device && boundsMode_ > 0) {
+            if (boundsMode_ >= 2 || !safety_) {
+                guard = true;
+            } else {
+                auto it = safety_->find(site);
+                guard = it == safety_->end() || it->second != analysis::Safety::Safe;
+                if (!guard) ++out_.boundsElided;
+            }
+        }
+        if (!guard) return i.text;
+        a = materialize(env, a);
+        i = materialize(env, i);
+        ++out_.boundsGuards;
+        return "wj_chk(" + a.text + ", (int64_t)(" + i.text + "))";
+    }
 };
 
 // ------------------------------------------------------------ types/structs
@@ -296,6 +332,16 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
     switch (s.kind) {
     case StmtKind::Decl: {
         const auto& n = as<DeclStmt>(s);
+        const Shape* uShape = shapes_.ofType(n.type);
+        if (!n.init) {
+            // Uninitialized prim/array local (definite assignment guarantees
+            // every read is dominated by a store); zero-init keeps the C
+            // well-defined regardless.
+            if (uShape->isObject()) xerr("object local '" + n.name + "' lacks an initializer");
+            em.line(cTypeVal(uShape) + " v_" + n.name + " = 0;");
+            env.vars[n.name] = {"v_" + n.name, uShape, true};
+            return;
+        }
         CVal v = genExpr(env, *n.init);
         const Shape* declShape = shapes_.ofType(n.type);  // strict-final (rule 2)
         if (declShape->isObject()) {
@@ -339,15 +385,16 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
         const auto& n = as<ArraySetStmt>(s);
         CVal a = genExpr(env, *n.arr);
         CVal i = genExpr(env, *n.idx);
+        const std::string idx = indexExpr(env, a, i, &n);
         CVal v = genExpr(env, *n.value);
         const Type& elem = a.shape->arrayElem();
         if (elem.isClass()) {
             const Shape* es = shapes_.ofType(elem);
-            em.line("((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + i.text +
+            em.line("((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx +
                     "] = *" + v.text + ";");
         } else {
             em.line("((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text +
-                    "))[" + i.text + "] = " + v.text + ";");
+                    "))[" + idx + "] = " + v.text + ";");
         }
         return;
     }
@@ -471,14 +518,15 @@ CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
         const auto& n = as<ArrayGetExpr>(e);
         CVal a = genExpr(env, *n.arr);
         CVal i = genExpr(env, *n.idx);
+        const std::string idx = indexExpr(env, a, i, &n);
         const Type& elem = a.shape->arrayElem();
         if (elem.isClass()) {
             const Shape* es = shapes_.ofType(elem);
-            return {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + i.text + "])",
+            return {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx + "])",
                     es, false};
         }
         return {"((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text + "))[" +
-                    i.text + "]",
+                    idx + "]",
                 shapes_.ofType(elem), false};
     }
     case ExprKind::ArrayLen: {
@@ -786,6 +834,7 @@ void CodeGen::inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
         }
         case StmtKind::Decl: {
             const auto& n = as<DeclStmt>(*st);
+            if (!n.init) xerr(cls.name + ": constructor locals must be initialized");
             CVal v = materialize(ctorEnv, genExpr(ctorEnv, *n.init));
             ctorEnv.vars[n.name] = v;
             break;
@@ -1031,7 +1080,13 @@ Translation CodeGen::run(const Value& receiver, const std::string& method,
     src += "static inline int64_t wj_bits_f32(float f) { union { uint32_t u; float f; } x; "
            "x.f = f; return (int64_t)x.u; }\n";
     src += "static inline int64_t wj_bits_f64(double d) { union { uint64_t u; double f; } x; "
-           "x.f = d; return (int64_t)x.u; }\n\n";
+           "x.f = d; return (int64_t)x.u; }\n";
+    if (boundsMode_ > 0) {
+        src += "static inline int64_t wj_chk(wj_array* a, int64_t i) { "
+               "if (i < 0 || i >= (int64_t)a->len) wjrt_trap(\"array index out of bounds\"); "
+               "return i; }\n";
+    }
+    src += "\n";
     src += staticsSection_ + "\n";
     src += structs_ + "\n";
     src += protos_ + "\n";
@@ -1044,9 +1099,25 @@ Translation CodeGen::run(const Value& receiver, const std::string& method,
 
 } // namespace
 
+int boundsModeFromEnv() {
+    const char* env = std::getenv("WJ_BOUNDS");
+    if (!env || !*env || std::string(env) == "0") return 0;
+    if (std::string(env) == "all" || std::string(env) == "2") return 2;
+    return 1;
+}
+
 Translation translate(const Program& prog, const Value& receiver, const std::string& method,
                       const std::vector<Value>& args) {
+    // The analysis passes are mandatory: translation refuses statically
+    // unsound entries (uninit reads, proven out-of-bounds, halo races)
+    // regardless of the guard mode. The guard mode only decides what the
+    // interval verdicts are *used* for.
+    analysis::Result facts = analysis::analyzeEntry(prog, receiver, method, args);
+    facts.require();
+
+    const int mode = boundsModeFromEnv();
     CodeGen cg(prog);
+    cg.setBounds(mode, mode == 1 ? &facts.accessSafety : nullptr);
     return cg.run(receiver, method, args);
 }
 

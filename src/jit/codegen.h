@@ -55,12 +55,17 @@ struct Translation {
     int64_t devirtualizedCalls = 0;///< dynamic dispatches turned into direct calls
     int64_t inlinedObjects = 0;    ///< `new` sites flattened onto the stack
     int64_t kernels = 0;           ///< @Global methods turned into kernels
+    int64_t boundsGuards = 0;      ///< array accesses emitted with a wj_chk guard
+    int64_t boundsElided = 0;      ///< guards skipped because the interval pass proved safety
     double codegenSeconds = 0;     ///< translator time (Table 3 component)
 };
 
 /// Translates `method`, called on `receiver` with `args`, plus everything
 /// reachable from it. The program must already satisfy the coding rules
-/// (the public jit() entry verifies them first).
+/// (the public jit() entry verifies them first). Runs the mandatory
+/// dataflow analyses first and throws AnalysisError on a proven defect;
+/// with WJ_BOUNDS=1 the interval verdicts elide guards on proven-safe
+/// accesses, with WJ_BOUNDS=all every access is guarded.
 Translation translate(const Program& prog, const Value& receiver, const std::string& method,
                       const std::vector<Value>& args);
 

@@ -16,6 +16,7 @@
 
 #include "jit/cache.h"
 #include "support/diagnostics.h"
+#include "support/scratch.h"
 #include "support/strings.h"
 #include "support/timer.h"
 
@@ -108,13 +109,6 @@ std::string describeExitStatus(int raw) {
     return format("unrecognized wait status 0x%x", static_cast<unsigned>(raw));
 }
 
-/// $TMPDIR if set (the paper's clusters put scratch on fast local disks),
-/// else /tmp.
-std::string tempRoot() {
-    const char* t = std::getenv("TMPDIR");
-    return t && *t ? t : "/tmp";
-}
-
 } // namespace
 
 NativeModule::~NativeModule() {
@@ -177,14 +171,11 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     res.lookupSeconds = lookupT.seconds();
     cache.noteMiss(res.lookupSeconds);
 
-    std::string tmpl = tempRoot() + "/wootinc.XXXXXX";
-    const char* dir = mkdtemp(tmpl.data());
-    if (!dir) throw UsageError("cannot create temp directory for JIT output under " + tempRoot());
-
+    const std::string dir = makeScratchDir("wootinc");
     mod->dir_ = dir;
-    mod->srcPath_ = std::string(dir) + "/" + mangle(tag) + ".c";
-    const std::string soPath = std::string(dir) + "/" + mangle(tag) + ".so";
-    const std::string errPath = std::string(dir) + "/cc.err";
+    mod->srcPath_ = dir + "/" + mangle(tag) + ".c";
+    const std::string soPath = dir + "/" + mangle(tag) + ".so";
+    const std::string errPath = dir + "/cc.err";
 
     {
         std::ofstream out(mod->srcPath_);

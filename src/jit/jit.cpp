@@ -201,6 +201,10 @@ Value JitCode::invokeRank(const std::vector<Value>& args) {
 
     int64_t raw;
     try {
+        // The scope reclaims every array the translated code allocates —
+        // entries return only primitives, so none of them escape — and is
+        // the only cleanup on the trap path (bounds guard, wjrt_trap).
+        runtime::AllocScope allocs;
         raw = entry_(prims.data(), nativeArrays.data());
     } catch (...) {
         for (wj_array* a : nativeArrays) wjrt_free_array(a);

@@ -54,6 +54,9 @@ public:
     // time THIS construction paid: 0 when the compile cache served the
     // module (the shared NativeModule may have cost its first builder more).
     double codegenSeconds() const noexcept { return translation_.codegenSeconds; }
+    // ---- bounds-guard accounting (WJ_BOUNDS; see src/analysis/)
+    int64_t boundsGuards() const noexcept { return translation_.boundsGuards; }
+    int64_t boundsElided() const noexcept { return translation_.boundsElided; }
     double compileSeconds() const noexcept { return compile_.compileSeconds; }
     double totalCompilationSeconds() const noexcept {
         return codegenSeconds() + compileSeconds();

@@ -3,6 +3,7 @@
 #include <functional>
 #include <set>
 
+#include "analysis/callgraph.h"
 #include "ir/typecheck.h"
 
 namespace wj {
@@ -183,8 +184,8 @@ std::string ctorViolation(const Method& ctor) {
         }
         case StmtKind::Decl: {
             const auto& n = as<DeclStmt>(*st);
-            if (usesThis(*n.init)) return "constructor uses `this` in a local initializer";
-            if (containsCall(*n.init)) return "constructor calls a method";
+            if (n.init && usesThis(*n.init)) return "constructor uses `this` in a local initializer";
+            if (n.init && containsCall(*n.init)) return "constructor calls a method";
             break;
         }
         case StmtKind::Return:
@@ -358,7 +359,7 @@ private:
             const auto& n = as<DeclStmt>(st);
             requireStrictFinal(n.type, where, "local '" + n.name + "'");
             requireSemiImmutable(n.type, where);
-            checkExpr(s, *n.init, where);
+            if (n.init) checkExpr(s, *n.init, where);
             s.declare(n.name, n.type);
             return;
         }
@@ -526,15 +527,10 @@ private:
 
     // ---- rule 6: the static call graph over @WootinJ methods is acyclic.
     void checkRecursion() {
-        // Node = ownerClass + "." + method (the declaring class of the body).
-        std::map<std::string, std::set<std::string>> edges;
-        for (const ClassDecl* c : prog_.classes()) {
-            if (!c->wootinj) continue;
-            for (const auto& m : c->methods) {
-                if (m->isAbstract) continue;
-                collectEdges(*c, *m, edges[c->name + "." + m->name]);
-            }
-        }
+        // Node = ownerClass + "." + method (the declaring class of the body);
+        // the graph itself is shared with the effect analysis (src/analysis/).
+        std::map<std::string, std::set<std::string>> edges =
+            analysis::buildCallGraph(prog_, /*wootinjOnly=*/true).edges;
         // DFS cycle detection.
         std::set<std::string> done;
         std::vector<std::string> stack;
@@ -559,158 +555,6 @@ private:
             done.insert(node);
         };
         for (const auto& [node, _] : edges) dfs(node);
-    }
-
-    void collectEdges(const ClassDecl& c, const Method& m, std::set<std::string>& out) {
-        TypeScope scope(prog_, m.isStatic ? nullptr : &c, m);
-        walkForCalls(scope, m.body, out);
-    }
-
-    void walkForCalls(TypeScope& s, const Block& b, std::set<std::string>& out) {
-        for (const auto& st : b) walkStmtForCalls(s, *st, out);
-    }
-
-    void addCallTargets(TypeScope& s, const CallExpr& n, std::set<std::string>& out) {
-        Type rt = typeOf(s, *n.recv);
-        if (!rt.isClass()) return;
-        // Conservative: any concrete subtype's implementation may be invoked.
-        for (const ClassDecl* impl : prog_.concreteSubtypes(rt.className())) {
-            const ClassDecl* owner = prog_.methodOwner(impl->name, n.method);
-            if (owner && owner->ownMethod(n.method) && !owner->ownMethod(n.method)->isAbstract) {
-                out.insert(owner->name + "." + n.method);
-            }
-        }
-    }
-
-    void walkExprForCalls(TypeScope& s, const Expr& e, std::set<std::string>& out) {
-        switch (e.kind) {
-        case ExprKind::Call: {
-            const auto& n = as<CallExpr>(e);
-            addCallTargets(s, n, out);
-            walkExprForCalls(s, *n.recv, out);
-            for (const auto& a : n.args) walkExprForCalls(s, *a, out);
-            return;
-        }
-        case ExprKind::StaticCall: {
-            const auto& n = as<StaticCallExpr>(e);
-            const ClassDecl* owner = prog_.methodOwner(n.cls, n.method);
-            if (owner) out.insert(owner->name + "." + n.method);
-            for (const auto& a : n.args) walkExprForCalls(s, *a, out);
-            return;
-        }
-        case ExprKind::FieldGet:
-            walkExprForCalls(s, *as<FieldGetExpr>(e).obj, out);
-            return;
-        case ExprKind::ArrayGet: {
-            const auto& n = as<ArrayGetExpr>(e);
-            walkExprForCalls(s, *n.arr, out);
-            walkExprForCalls(s, *n.idx, out);
-            return;
-        }
-        case ExprKind::ArrayLen:
-            walkExprForCalls(s, *as<ArrayLenExpr>(e).arr, out);
-            return;
-        case ExprKind::Unary:
-            walkExprForCalls(s, *as<UnaryExpr>(e).e, out);
-            return;
-        case ExprKind::Binary: {
-            const auto& n = as<BinaryExpr>(e);
-            walkExprForCalls(s, *n.l, out);
-            walkExprForCalls(s, *n.r, out);
-            return;
-        }
-        case ExprKind::Cond: {
-            const auto& n = as<CondExpr>(e);
-            walkExprForCalls(s, *n.c, out);
-            walkExprForCalls(s, *n.t, out);
-            walkExprForCalls(s, *n.f, out);
-            return;
-        }
-        case ExprKind::New:
-            for (const auto& a : as<NewExpr>(e).args) walkExprForCalls(s, *a, out);
-            return;
-        case ExprKind::NewArray:
-            walkExprForCalls(s, *as<NewArrayExpr>(e).len, out);
-            return;
-        case ExprKind::Cast:
-            walkExprForCalls(s, *as<CastExpr>(e).e, out);
-            return;
-        case ExprKind::IntrinsicCall:
-            for (const auto& a : as<IntrinsicExpr>(e).args) walkExprForCalls(s, *a, out);
-            return;
-        default:
-            return;
-        }
-    }
-
-    void walkStmtForCalls(TypeScope& s, const Stmt& st, std::set<std::string>& out) {
-        switch (st.kind) {
-        case StmtKind::Decl: {
-            const auto& n = as<DeclStmt>(st);
-            walkExprForCalls(s, *n.init, out);
-            s.declare(n.name, n.type);
-            return;
-        }
-        case StmtKind::AssignLocal:
-            walkExprForCalls(s, *as<AssignLocalStmt>(st).value, out);
-            return;
-        case StmtKind::FieldSet: {
-            const auto& n = as<FieldSetStmt>(st);
-            walkExprForCalls(s, *n.obj, out);
-            walkExprForCalls(s, *n.value, out);
-            return;
-        }
-        case StmtKind::ArraySet: {
-            const auto& n = as<ArraySetStmt>(st);
-            walkExprForCalls(s, *n.arr, out);
-            walkExprForCalls(s, *n.idx, out);
-            walkExprForCalls(s, *n.value, out);
-            return;
-        }
-        case StmtKind::If: {
-            const auto& n = as<IfStmt>(st);
-            walkExprForCalls(s, *n.cond, out);
-            s.push();
-            walkForCalls(s, n.thenB, out);
-            s.pop();
-            s.push();
-            walkForCalls(s, n.elseB, out);
-            s.pop();
-            return;
-        }
-        case StmtKind::While: {
-            const auto& n = as<WhileStmt>(st);
-            walkExprForCalls(s, *n.cond, out);
-            s.push();
-            walkForCalls(s, n.body, out);
-            s.pop();
-            return;
-        }
-        case StmtKind::For: {
-            const auto& n = as<ForStmt>(st);
-            s.push();
-            walkExprForCalls(s, *n.init, out);
-            s.declare(n.var, n.varType);
-            walkExprForCalls(s, *n.cond, out);
-            walkExprForCalls(s, *n.step, out);
-            s.push();
-            walkForCalls(s, n.body, out);
-            s.pop();
-            s.pop();
-            return;
-        }
-        case StmtKind::Return: {
-            const auto& n = as<ReturnStmt>(st);
-            if (n.value) walkExprForCalls(s, *n.value, out);
-            return;
-        }
-        case StmtKind::ExprStmt:
-            walkExprForCalls(s, *as<ExprStmt>(st).e, out);
-            return;
-        case StmtKind::SuperCtor:
-            for (const auto& a : as<SuperCtorStmt>(st).args) walkExprForCalls(s, *a, out);
-            return;
-        }
     }
 
     const Program& prog_;

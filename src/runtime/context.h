@@ -6,8 +6,12 @@
 // of the process environment `mpirun` would give each real MPI process.
 #pragma once
 
+#include <vector>
+
 #include "gpusim/gpusim.h"
 #include "minimpi/minimpi.h"
+
+struct wj_array;
 
 namespace wj::runtime {
 
@@ -28,5 +32,23 @@ private:
 /// Current thread's bindings (null when none installed).
 minimpi::Comm* currentComm() noexcept;
 gpusim::Device* currentDevice() noexcept;
+
+/// RAII: tracks every host array the translated code allocates through
+/// wjrt_alloc_array on this thread and frees the survivors on destruction.
+/// Sound because an entry function returns only primitives and WJ statics
+/// are constants — nothing allocated during an invoke outlives it. Also
+/// covers the trap path (bounds guard, negative length), where the
+/// generated C has no unwind cleanup of its own.
+class AllocScope {
+public:
+    AllocScope();
+    ~AllocScope();
+    AllocScope(const AllocScope&) = delete;
+    AllocScope& operator=(const AllocScope&) = delete;
+
+private:
+    void* prevLog_;  // the enclosing scope's log (scopes can nest)
+    std::vector<wj_array*> log_;
+};
 
 } // namespace wj::runtime

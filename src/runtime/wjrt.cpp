@@ -1,5 +1,6 @@
 #include "runtime/wjrt.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +16,11 @@ thread_local minimpi::Comm* g_comm = nullptr;
 thread_local gpusim::Device* g_device = nullptr;
 } // namespace
 
+/// Active AllocScope's log (null outside an invoke — e.g. on simulated
+/// kernel threads, whose allocations stay untracked as before). Referenced
+/// by the extern "C" allocator below, hence not in the anonymous namespace.
+thread_local std::vector<wj_array*>* g_allocLog = nullptr;
+
 RankScope::RankScope(minimpi::Comm* comm, gpusim::Device* device)
     : prevComm_(g_comm), prevDevice_(g_device) {
     g_comm = comm;
@@ -28,6 +34,16 @@ RankScope::~RankScope() {
 
 minimpi::Comm* currentComm() noexcept { return g_comm; }
 gpusim::Device* currentDevice() noexcept { return g_device; }
+
+AllocScope::AllocScope() : prevLog_(g_allocLog) { g_allocLog = &log_; }
+
+AllocScope::~AllocScope() {
+    g_allocLog = static_cast<std::vector<wj_array*>*>(prevLog_);
+    for (wj_array* a : log_) {
+        std::free(reinterpret_cast<wj_array_full*>(a)->data);
+        std::free(a);
+    }
+}
 
 } // namespace wj::runtime
 
@@ -71,12 +87,17 @@ wj_array* wjrt_alloc_array(int64_t len, int32_t elem_size) {
         std::free(a);
         throw ExecError("out of memory");
     }
+    if (wj::runtime::g_allocLog) wj::runtime::g_allocLog->push_back(&a->hdr);
     return &a->hdr;
 }
 
 void wjrt_free_array(wj_array* a) {
     if (!a) return;
     if (a->flags & WJ_ARRAY_DEVICE) throw ExecError("WootinJ.free on a device array (use cuda.free)");
+    if (auto* log = wj::runtime::g_allocLog) {
+        auto it = std::find(log->begin(), log->end(), a);
+        if (it != log->end()) log->erase(it);
+    }
     std::free(full(a)->data);
     std::free(a);
 }

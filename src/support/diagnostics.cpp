@@ -13,6 +13,14 @@ std::string RuleViolationError::render(const std::vector<Violation>& vs) {
     return out;
 }
 
+std::string AnalysisError::render(const std::vector<Violation>& vs) {
+    std::string out = "static-analysis errors (" + std::to_string(vs.size()) + "):";
+    for (const auto& v : vs) {
+        out += "\n  " + v.str();
+    }
+    return out;
+}
+
 void panic(const std::string& msg) {
     std::fprintf(stderr, "wootinc internal error: %s\n", msg.c_str());
     std::abort();

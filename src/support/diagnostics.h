@@ -59,6 +59,24 @@ private:
     std::vector<Violation> violations_;
 };
 
+/// Thrown by the dataflow-analysis passes (src/analysis/) when a method body
+/// is statically unsound: a read of a possibly-uninitialized local, an array
+/// access proven out of bounds, or a communication race. Reuses Violation as
+/// the finding record (`rule` holds the pass name: "uninit", "bounds",
+/// "halo-race", ...). Both jit() and the interpreter surface analysis
+/// failures through this type.
+class AnalysisError : public WjError {
+public:
+    explicit AnalysisError(std::vector<Violation> findings)
+        : WjError(render(findings)), findings_(std::move(findings)) {}
+
+    const std::vector<Violation>& findings() const noexcept { return findings_; }
+
+private:
+    static std::string render(const std::vector<Violation>& vs);
+    std::vector<Violation> findings_;
+};
+
 /// Internal invariant check; aborts with a message when the framework itself
 /// is inconsistent. Never triggered by user input alone.
 [[noreturn]] void panic(const std::string& msg);

@@ -1,0 +1,23 @@
+#include "support/scratch.h"
+
+#include <cstdlib>
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+
+namespace wj {
+
+std::string tempRoot() {
+    const char* t = std::getenv("TMPDIR");
+    return t && *t ? t : "/tmp";
+}
+
+std::string makeScratchDir(const std::string& prefix) {
+    std::string tmpl = tempRoot() + "/" + prefix + ".XXXXXX";
+    if (!mkdtemp(tmpl.data())) {
+        throw UsageError("cannot create scratch directory under " + tempRoot() + " for " + prefix);
+    }
+    return tmpl;
+}
+
+} // namespace wj

@@ -1,0 +1,18 @@
+// Scratch / temp directory resolution shared by the JIT compile pipeline
+// and the persistent compile cache — one definition of "where does
+// WootinC put transient files" instead of per-module copies.
+#pragma once
+
+#include <string>
+
+namespace wj {
+
+/// $TMPDIR if set (the paper's clusters put scratch on fast local disks),
+/// else /tmp. No trailing slash.
+std::string tempRoot();
+
+/// Creates a fresh private directory `<tempRoot()>/<prefix>.XXXXXX` via
+/// mkdtemp and returns its path. Throws UsageError on failure.
+std::string makeScratchDir(const std::string& prefix);
+
+} // namespace wj

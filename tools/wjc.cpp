@@ -1,6 +1,8 @@
 // wjc — the WootinC command-line driver.
 //
 //   wjc check <file.wj>                  verify the Section 3.2 coding rules
+//   wjc lint <file.wj> [--Werror]        run the dataflow analyses (definite
+//                                        assignment, bounds, halo races)
 //   wjc print <file.wj>                  reformat (parse + pretty-print)
 //   wjc translate <file.wj> --new EXPR --method NAME [ARGS...]
 //                                        print the generated C
@@ -18,6 +20,9 @@
 //            0.1f,0.1f,0.1f,0.1f,0.1f), FloatGridDblB(8,8,8), 42)'
 // Remaining ARGS are the entry-method arguments (int/long/float/double by
 // suffix and form).
+//
+// Exit codes: 0 clean, 1 violations or execution failure, 2 usage or parse
+// error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
 #include "interp/interp.h"
@@ -43,6 +49,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  wjc check <file.wj>\n"
+                 "  wjc lint <file.wj> [--Werror]\n"
                  "  wjc print <file.wj>\n"
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--no-cache] "
@@ -201,6 +208,23 @@ int runMain(int argc, char** argv) {
         for (const auto& v : vs) std::printf("%s\n", v.str().c_str());
         return 1;
     }
+    if (cmd == "lint") {
+        bool werror = false;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--Werror") == 0) werror = true;
+            else return usage();
+        }
+        Program p = frontend::parseProgram(slurp(path));
+        analysis::Result r = analysis::lintProgram(p);
+        for (const auto& v : r.errors) std::printf("error: %s\n", v.str().c_str());
+        for (const auto& v : r.warnings)
+            std::printf("%s: %s\n", werror ? "error" : "warning", v.str().c_str());
+        const bool fail = !r.errors.empty() || (werror && !r.warnings.empty());
+        if (!fail)
+            std::printf("%s: %d array accesses proven safe, %d unproven; no defects found\n",
+                        path.c_str(), r.safeAccesses, r.unknownAccesses);
+        return fail ? 1 : 0;
+    }
     if (cmd == "print") {
         Program p = frontend::parseProgram(slurp(path));
         std::fputs(printProgram(p).c_str(), stdout);
@@ -249,6 +273,14 @@ int main(int argc, char** argv) {
     } catch (const RuleViolationError& e) {
         std::fprintf(stderr, "coding-rule violations:\n%s\n", e.what());
         return 1;
+    } catch (const AnalysisError& e) {
+        std::fprintf(stderr, "analysis errors:\n%s\n", e.what());
+        return 1;
+    } catch (const UsageError& e) {
+        // Bad CLI input or a .wj parse error — distinct from a program that
+        // parsed fine but has defects (exit 1).
+        std::fprintf(stderr, "wjc: %s\n", e.what());
+        return 2;
     } catch (const WjError& e) {
         std::fprintf(stderr, "wjc: %s\n", e.what());
         return 1;
