@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cmath>
 
+#include "fault/checkpoint.h"
+#include "fault/fault.h"
 #include "interp/interp.h"
 #include "jit/jit.h"
 #include "stencil/stencil_lib.h"
@@ -69,6 +71,37 @@ int main() {
         Timer t;
         Value r = code.invoke();
         report("WootinJ (MPI x2 + GPU)", r.asF64(), t.seconds());
+    }
+    {   // Fault tolerance (src/fault/): a seeded FaultPlan kills rank 2 at
+        // its 6th MPI call mid-run; the per-step checkpoints let a re-run
+        // resume from the last consistent snapshot and still produce the
+        // bitwise-identical checksum.
+        auto& ckpt = fault::CheckpointStore::instance();
+        ckpt.arm(/*ranks=*/4, /*interval=*/1);
+        fault::FaultPlan::instance().configure("seed=42;kill:rank=2,op=6");
+
+        Value runner = makeMpiRunner(in, nx, ny, nz / 4, coeffs, seed);
+        JitCode code = WootinJ::jit4mpi(prog, runner, "run", {Value::ofI32(steps)});
+        code.set4MPI(4);
+        Timer t;
+        bool killed = false;
+        try {
+            code.invoke();
+        } catch (const ExecError& e) {
+            killed = true;
+            std::printf("\n%s\n", e.what());
+        }
+        // The kill rule is one-shot (spent after firing); freeze the restart
+        // generation and run the same world again.
+        const long long resume = static_cast<long long>(ckpt.resolve());
+        Value r = code.invoke();
+        std::printf("restarted from checkpointed step %lld (%lld snapshots, %lld restores)\n",
+                    resume, static_cast<long long>(ckpt.saves()),
+                    static_cast<long long>(ckpt.restores()));
+        report("WootinJ (MPI x4, restarted)", r.asF64(), t.seconds());
+        fault::FaultPlan::instance().disarm();
+        ckpt.disarm();
+        if (!killed || std::abs(r.asF64() - expect) > std::abs(expect) * 1e-9 + 1e-9) return 1;
     }
     return 0;
 }

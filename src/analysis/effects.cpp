@@ -149,6 +149,8 @@ private:
         case Intrinsic::GpuMemcpyD2HF32: write(arg(0)); read(arg(1)); break;
         case Intrinsic::GpuMemcpyH2DOffF32: write(arg(0)); read(arg(2)); break;
         case Intrinsic::GpuMemcpyD2HOffF32: write(arg(0)); read(arg(2)); break;
+        case Intrinsic::CkptSaveF32: read(arg(0)); break;
+        case Intrinsic::CkptLoadF32: write(arg(0)); break;
         default: break;
         }
     }

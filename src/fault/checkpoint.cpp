@@ -1,0 +1,234 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "support/crc32.h"
+
+namespace wj::fault {
+
+namespace {
+
+struct Snapshot {
+    int64_t iter = -1;
+    std::vector<float> data;
+    uint32_t crc = 0;
+
+    bool intact() const noexcept {
+        return crc32(data.data(), data.size() * sizeof(float)) == crc;
+    }
+};
+
+struct SlotKey {
+    int rank;
+    int slot;
+    bool operator<(const SlotKey& o) const noexcept {
+        return rank != o.rank ? rank < o.rank : slot < o.slot;
+    }
+};
+
+} // namespace
+
+struct CheckpointStore::Impl {
+    mutable std::mutex m;
+    bool armed = false;
+    int ranks = 0;
+    int interval = 1;
+    int keep = 2;
+    // Last `keep` generations per (rank, slot), oldest first.
+    std::map<SlotKey, std::vector<Snapshot>> gens;
+    bool resolved = false;
+    int64_t resolvedIter = -1;
+    int64_t saves = 0;
+    int64_t restores = 0;
+    int64_t crcFailures = 0;
+};
+
+CheckpointStore& CheckpointStore::instance() {
+    static CheckpointStore s;
+    return s;
+}
+
+CheckpointStore::Impl& CheckpointStore::impl() const {
+    static Impl i;
+    return i;
+}
+
+void CheckpointStore::arm(int ranks, int interval, int keep) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.armed = true;
+    im.ranks = std::max(ranks, 1);
+    im.interval = std::max(interval, 1);
+    im.keep = std::max(keep, 1);
+    im.gens.clear();
+    im.resolved = false;
+    im.resolvedIter = -1;
+    im.saves = im.restores = im.crcFailures = 0;
+}
+
+void CheckpointStore::disarm() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.armed = false;
+    im.gens.clear();
+    im.resolved = false;
+    im.resolvedIter = -1;
+    im.saves = 0;
+    im.restores = 0;
+    im.crcFailures = 0;
+}
+
+bool CheckpointStore::armed() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.armed;
+}
+
+int CheckpointStore::interval() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.interval;
+}
+
+int CheckpointStore::keep() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.keep;
+}
+
+void CheckpointStore::save(int rank, int slot, int64_t iter, const float* data, int64_t n) {
+    if (n < 0) return;
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    if (!im.armed || iter <= 0 || iter % im.interval != 0) return;
+    Snapshot snap;
+    snap.iter = iter;
+    snap.data.assign(data, data + n);
+    snap.crc = crc32(snap.data.data(), snap.data.size() * sizeof(float));
+    auto& slots = im.gens[{rank, slot}];
+    // Re-saving an iteration (a restarted rank passing its old save points)
+    // overwrites in place; otherwise append and prune to the keep window.
+    auto it = std::find_if(slots.begin(), slots.end(),
+                           [&](const Snapshot& s) { return s.iter == iter; });
+    if (it != slots.end()) {
+        *it = std::move(snap);
+    } else {
+        slots.push_back(std::move(snap));
+        std::sort(slots.begin(), slots.end(),
+                  [](const Snapshot& a, const Snapshot& b) { return a.iter < b.iter; });
+        const auto keep = static_cast<size_t>(im.keep);
+        if (slots.size() > keep) slots.erase(slots.begin(), slots.end() - keep);
+    }
+    ++im.saves;
+}
+
+int64_t CheckpointStore::load(int rank, int slot, float* data, int64_t n) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    if (!im.armed || !im.resolved || im.resolvedIter < 0) return -1;
+    auto it = im.gens.find({rank, slot});
+    if (it == im.gens.end()) return -1;
+    for (const Snapshot& s : it->second) {
+        if (s.iter != im.resolvedIter) continue;
+        if (static_cast<int64_t>(s.data.size()) != n) return -1;
+        if (!s.intact()) {
+            ++im.crcFailures;
+            return -1;
+        }
+        std::memcpy(data, s.data.data(), s.data.size() * sizeof(float));
+        ++im.restores;
+        return s.iter;
+    }
+    return -1;
+}
+
+int64_t CheckpointStore::resolve() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.resolved = true;
+    im.resolvedIter = -1;
+    if (!im.armed) return -1;
+
+    // Which slots must a generation cover? Every slot each rank ever saved.
+    std::map<int, std::set<int>> slotsOf;
+    std::set<int64_t> candidates;
+    for (const auto& [key, slots] : im.gens) {
+        slotsOf[key.rank].insert(key.slot);
+        for (const Snapshot& s : slots) candidates.insert(s.iter);
+    }
+    // A rank with no snapshots at all means no generation is complete.
+    for (int r = 0; r < im.ranks; ++r) {
+        if (slotsOf.find(r) == slotsOf.end()) return -1;
+    }
+
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+        const int64_t iter = *it;
+        bool complete = true;
+        for (int r = 0; r < im.ranks && complete; ++r) {
+            for (int slot : slotsOf[r]) {
+                const auto& slots = im.gens[{r, slot}];
+                const auto snap = std::find_if(slots.begin(), slots.end(),
+                                               [&](const Snapshot& s) { return s.iter == iter; });
+                if (snap == slots.end()) {
+                    complete = false;
+                    break;
+                }
+                if (!snap->intact()) {
+                    ++im.crcFailures;
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if (complete) {
+            im.resolvedIter = iter;
+            return iter;
+        }
+    }
+    return -1;
+}
+
+int64_t CheckpointStore::saves() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.saves;
+}
+
+int64_t CheckpointStore::restores() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.restores;
+}
+
+int64_t CheckpointStore::crcFailures() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.crcFailures;
+}
+
+int64_t CheckpointStore::latestIter(int rank, int slot) const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    auto it = im.gens.find({rank, slot});
+    if (it == im.gens.end() || it->second.empty()) return -1;
+    return it->second.back().iter;
+}
+
+void CheckpointStore::corruptSnapshot(int rank, int slot) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    auto it = im.gens.find({rank, slot});
+    if (it == im.gens.end() || it->second.empty()) return;
+    Snapshot& s = it->second.back();
+    if (s.data.empty()) return;
+    // Flip a mantissa bit without touching the recorded CRC.
+    auto* bytes = reinterpret_cast<uint8_t*>(s.data.data());
+    bytes[s.data.size() * sizeof(float) / 2] ^= 0x01;
+}
+
+} // namespace wj::fault

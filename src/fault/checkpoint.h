@@ -1,0 +1,90 @@
+// In-memory coordinated checkpoint store for checkpoint/restart.
+//
+// Real MPI applications on failure-prone machines checkpoint their field
+// arrays every K iterations so a rank kill costs at most K steps of rework.
+// WootinC's translated code runs in per-rank private memory that is
+// deliberately NOT copied back to the host (paper Section 3.1), so recovery
+// state must leave the world through a dedicated channel: the
+// WootinJ.ckptSaveF32 / ckptLoadF32 intrinsics call into this host-side
+// store, which outlives any single World::run.
+//
+// Consistency model (what coordinated checkpointing gives real MPI codes):
+// every rank saves snapshots tagged with its iteration counter; a kill can
+// land between two ranks' saves of the same generation, so the store keeps
+// the last `keep` generations per (rank, slot) (default two) and restart
+// uses the newest generation that EVERY rank completed ("last consistent
+// checkpoint"). Ranks drift apart by up to one step per neighbour hop, so
+// deeply skewed worlds (e.g. ring halo exchanges with a fast rank several
+// steps ahead) should arm with a deeper window to guarantee an overlap.
+// Snapshots are CRC-checked; a corrupt snapshot disqualifies its
+// generation, falling back to the previous one (or a from-scratch run).
+//
+// Driver protocol:
+//   store.arm(ranks, interval);      // before the first run
+//   try { code.invoke(); }           // saves happen inside the world
+//   catch (ExecError&) {
+//       store.resolve();             // freeze the restart generation
+//       code.invoke();               // loads resume from it
+//   }
+//
+// Saves are ignored while the store is disarmed, so checkpoint-aware
+// kernels cost one no-op call per iteration in normal runs.
+#pragma once
+
+#include <cstdint>
+
+namespace wj::fault {
+
+class CheckpointStore {
+public:
+    static CheckpointStore& instance();
+
+    /// Enables the store for a `ranks`-rank world, saving every `interval`
+    /// iterations (interval <= 1 keeps every save) and retaining the last
+    /// `keep` generations per (rank, slot). Clears previous state.
+    void arm(int ranks, int interval, int keep = 2);
+
+    /// Disables the store, drops all snapshots, and zeroes the counters.
+    void disarm();
+
+    bool armed() const;
+    int interval() const;
+    int keep() const;
+
+    // ---- world-side (wjrt intrinsics) ---------------------------------
+    /// Records a snapshot of `n` floats for (rank, slot) at iteration
+    /// `iter`. No-op when disarmed or when `iter` is off the interval.
+    /// Keeps the last `keep` generations per (rank, slot).
+    void save(int rank, int slot, int64_t iter, const float* data, int64_t n);
+
+    /// Restores (rank, slot) from the resolved generation into `data`.
+    /// Returns the restored iteration, or -1 when there is nothing to
+    /// restore (disarmed, unresolved, missing snapshot, size mismatch, or
+    /// CRC failure).
+    int64_t load(int rank, int slot, float* data, int64_t n);
+
+    // ---- driver-side ---------------------------------------------------
+    /// Freezes the restart generation: the newest iteration for which every
+    /// rank holds a CRC-valid snapshot of every slot it ever saved. Returns
+    /// that iteration, or -1 if no consistent generation exists (subsequent
+    /// loads then return -1 and kernels restart from scratch).
+    int64_t resolve();
+
+    // ---- observability -------------------------------------------------
+    int64_t saves() const;     ///< snapshots actually recorded
+    int64_t restores() const;  ///< successful load() calls
+    int64_t crcFailures() const;
+    /// Latest snapshot iteration held for (rank, slot); -1 if none.
+    int64_t latestIter(int rank, int slot) const;
+    /// Flips one payload byte of the newest (rank, slot) snapshot without
+    /// updating its CRC (tests exercise the corruption path with this).
+    void corruptSnapshot(int rank, int slot);
+
+private:
+    CheckpointStore() = default;
+
+    struct Impl;
+    Impl& impl() const;
+};
+
+} // namespace wj::fault

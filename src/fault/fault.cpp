@@ -1,0 +1,374 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+#include "support/strings.h"
+
+namespace wj::fault {
+
+namespace {
+
+enum class Action { Kill, Drop, Dup, Corrupt, Delay, FailCompile, CorruptCache };
+
+constexpr int kAny = -1;
+
+const char* actionName(Action a) {
+    switch (a) {
+    case Action::Kill: return "kill";
+    case Action::Drop: return "drop";
+    case Action::Dup: return "dup";
+    case Action::Corrupt: return "corrupt";
+    case Action::Delay: return "delay";
+    case Action::FailCompile: return "failcompile";
+    case Action::CorruptCache: return "corruptcache";
+    }
+    return "?";
+}
+
+struct Rule {
+    Action act;
+    int rank = kAny;   // kill
+    int src = kAny;    // message filters
+    int dest = kAny;
+    int tag = kAny;
+    int64_t nth = 1;   // 1-based trigger index among matching events
+    int64_t count = 1; // how many consecutive matches to affect
+    double prob = -1;  // >= 0 replaces nth/count with a seeded coin flip
+    int ms = 10;       // delay duration
+
+    // Mutable firing state (guarded by the plan mutex).
+    int64_t matched = 0;
+    // Per-rank op counters for kill rules (index = rank, grown on demand).
+    std::vector<int64_t> ops;
+};
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (;;) {
+        const size_t p = s.find(sep, start);
+        if (p == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, p - start));
+        start = p + 1;
+    }
+}
+
+std::string trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+int64_t parseI64(const std::string& seg, const std::string& v) {
+    try {
+        size_t pos = 0;
+        const long long n = std::stoll(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return n;
+    } catch (const std::exception&) {
+        throw UsageError("WJ_FAULT: bad integer '" + v + "' in '" + seg + "'");
+    }
+}
+
+double parseProb(const std::string& seg, const std::string& v) {
+    try {
+        size_t pos = 0;
+        const double p = std::stod(v, &pos);
+        if (pos != v.size() || p < 0 || p > 1) throw std::invalid_argument(v);
+        return p;
+    } catch (const std::exception&) {
+        throw UsageError("WJ_FAULT: bad probability '" + v + "' in '" + seg + "' (want 0..1)");
+    }
+}
+
+} // namespace
+
+std::atomic<bool> FaultPlan::active_{false};
+
+struct FaultPlan::Impl {
+    mutable std::mutex m;
+    uint64_t seed = 1;
+    std::vector<Rule> rules;
+    int64_t compileAttempts = 0;
+    int64_t cacheStores = 0;
+    Stats stats;
+};
+
+FaultPlan::Impl& FaultPlan::impl() const {
+    static Impl i;
+    return i;
+}
+
+FaultPlan& FaultPlan::instance() {
+    static FaultPlan plan;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char* spec = std::getenv("WJ_FAULT"); spec && *spec) {
+            plan.configure(spec);
+        }
+    });
+    return plan;
+}
+
+void FaultPlan::configure(const std::string& spec) {
+    uint64_t seed = 1;
+    std::vector<Rule> rules;
+    for (const std::string& rawSeg : splitOn(spec, ';')) {
+        const std::string seg = trim(rawSeg);
+        if (seg.empty()) continue;
+        const size_t colon = seg.find(':');
+        const std::string head = trim(seg.substr(0, colon));
+        if (head.rfind("seed=", 0) == 0) {
+            if (colon != std::string::npos) {
+                throw UsageError("WJ_FAULT: seed takes no ':' arguments in '" + seg + "'");
+            }
+            seed = static_cast<uint64_t>(parseI64(seg, head.substr(5)));
+            continue;
+        }
+        Rule r;
+        if (head == "kill") r.act = Action::Kill;
+        else if (head == "drop") r.act = Action::Drop;
+        else if (head == "dup") r.act = Action::Dup;
+        else if (head == "corrupt") r.act = Action::Corrupt;
+        else if (head == "delay") r.act = Action::Delay;
+        else if (head == "failcompile") r.act = Action::FailCompile;
+        else if (head == "corruptcache") r.act = Action::CorruptCache;
+        else throw UsageError("WJ_FAULT: unknown action '" + head + "' in '" + seg + "'");
+
+        if (colon != std::string::npos) {
+            for (const std::string& rawKv : splitOn(seg.substr(colon + 1), ',')) {
+                const std::string kv = trim(rawKv);
+                if (kv.empty()) continue;
+                const size_t eq = kv.find('=');
+                if (eq == std::string::npos) {
+                    throw UsageError("WJ_FAULT: expected key=value, got '" + kv + "' in '" + seg +
+                                     "'");
+                }
+                const std::string k = trim(kv.substr(0, eq));
+                const std::string v = trim(kv.substr(eq + 1));
+                if (k == "rank") r.rank = static_cast<int>(parseI64(seg, v));
+                else if (k == "src") r.src = static_cast<int>(parseI64(seg, v));
+                else if (k == "dest") r.dest = static_cast<int>(parseI64(seg, v));
+                else if (k == "tag") r.tag = static_cast<int>(parseI64(seg, v));
+                else if (k == "op" || k == "nth") r.nth = parseI64(seg, v);
+                else if (k == "count") r.count = parseI64(seg, v);
+                else if (k == "prob") r.prob = parseProb(seg, v);
+                else if (k == "ms") r.ms = static_cast<int>(parseI64(seg, v));
+                else throw UsageError("WJ_FAULT: unknown key '" + k + "' in '" + seg + "'");
+            }
+        }
+        if (r.act == Action::Kill && r.rank < 0) {
+            throw UsageError("WJ_FAULT: kill requires rank=<r> in '" + seg + "'");
+        }
+        if (r.nth < 1) throw UsageError("WJ_FAULT: nth/op must be >= 1 in '" + seg + "'");
+        if (r.count < 1) throw UsageError("WJ_FAULT: count must be >= 1 in '" + seg + "'");
+        rules.push_back(std::move(r));
+    }
+
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.seed = seed;
+    im.rules = std::move(rules);
+    im.compileAttempts = 0;
+    im.cacheStores = 0;
+    active_.store(!im.rules.empty(), std::memory_order_relaxed);
+}
+
+void FaultPlan::disarm() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.rules.clear();
+    im.compileAttempts = 0;
+    im.cacheStores = 0;
+    active_.store(false, std::memory_order_relaxed);
+}
+
+std::string FaultPlan::describe() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    std::string out = format("seed=%llu", static_cast<unsigned long long>(im.seed));
+    for (const Rule& r : im.rules) {
+        out += format(";%s", actionName(r.act));
+        std::string kv;
+        auto add = [&](const char* k, int64_t v) {
+            kv += kv.empty() ? ":" : ",";
+            kv += format("%s=%lld", k, static_cast<long long>(v));
+        };
+        if (r.rank != kAny) add("rank", r.rank);
+        if (r.src != kAny) add("src", r.src);
+        if (r.dest != kAny) add("dest", r.dest);
+        if (r.tag != kAny) add("tag", r.tag);
+        if (r.prob >= 0) {
+            kv += kv.empty() ? ":" : ",";
+            kv += format("prob=%g", r.prob);
+        } else {
+            add(r.act == Action::Kill ? "op" : "nth", r.nth);
+            if (r.count != 1) add("count", r.count);
+        }
+        if (r.act == Action::Delay) add("ms", r.ms);
+        out += kv;
+    }
+    return out;
+}
+
+namespace {
+
+/// Counter-window or seeded-coin trigger decision for one matching event.
+/// `matched` has already been incremented for this event.
+bool fires(const Rule& r, uint64_t planSeed) {
+    if (r.prob >= 0) {
+        // Deterministic per-event draw: hash (seed, event index) so replay
+        // with the same schedule reproduces the same verdicts.
+        SplitMix64 g(planSeed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(r.matched)));
+        return g.nextDouble() < r.prob;
+    }
+    return r.matched >= r.nth && r.matched < r.nth + r.count;
+}
+
+} // namespace
+
+void FaultPlan::onCommOp(int rank) {
+    Impl& im = impl();
+    std::string killMsg;
+    {
+        std::lock_guard<std::mutex> lock(im.m);
+        for (Rule& r : im.rules) {
+            if (r.act != Action::Kill) continue;
+            if (r.rank != rank) continue;
+            if (r.ops.size() <= static_cast<size_t>(rank)) {
+                r.ops.resize(static_cast<size_t>(rank) + 1, 0);
+            }
+            const int64_t op = ++r.ops[static_cast<size_t>(rank)];
+            if (op >= r.nth && op < r.nth + r.count) {
+                ++im.stats.kills;
+                killMsg = format("injected fault: rank %d killed at comm op %lld (WJ_FAULT)",
+                                 rank, static_cast<long long>(op));
+                break;
+            }
+        }
+    }
+    if (!killMsg.empty()) throw ExecError(killMsg);
+}
+
+MsgFate FaultPlan::onMessage(int src, int dest, int tag, std::vector<uint8_t>& payload) {
+    Impl& im = impl();
+    MsgFate fate = MsgFate::Deliver;
+    int delayMs = 0;
+    {
+        std::lock_guard<std::mutex> lock(im.m);
+        for (Rule& r : im.rules) {
+            if (r.act == Action::Kill || r.act == Action::FailCompile ||
+                r.act == Action::CorruptCache) {
+                continue;
+            }
+            if (r.src != kAny && r.src != src) continue;
+            if (r.dest != kAny && r.dest != dest) continue;
+            if (r.tag != kAny && r.tag != tag) continue;
+            ++r.matched;
+            if (!fires(r, im.seed)) continue;
+            switch (r.act) {
+            case Action::Drop:
+                ++im.stats.drops;
+                return MsgFate::Drop;
+            case Action::Dup:
+                ++im.stats.duplicates;
+                fate = MsgFate::Duplicate;
+                break;
+            case Action::Corrupt:
+                if (!payload.empty()) {
+                    // Deterministic position and mask from the plan seed and
+                    // the rule's match index.
+                    SplitMix64 g(im.seed ^ static_cast<uint64_t>(r.matched));
+                    const size_t at = static_cast<size_t>(g.nextBelow(payload.size()));
+                    payload[at] ^= static_cast<uint8_t>(g.next() | 1);
+                    ++im.stats.corruptions;
+                }
+                break;
+            case Action::Delay:
+                delayMs = std::max(delayMs, r.ms);
+                ++im.stats.delays;
+                break;
+            default:
+                break;
+            }
+        }
+    }
+    // Sleep outside the plan lock so a delayed sender stalls only itself.
+    if (delayMs > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    return fate;
+}
+
+bool FaultPlan::failThisCompile() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    const int64_t attempt = ++im.compileAttempts;
+    for (Rule& r : im.rules) {
+        if (r.act != Action::FailCompile) continue;
+        r.matched = attempt;
+        if (fires(r, im.seed)) {
+            ++im.stats.compileFailures;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool FaultPlan::maybeCorruptCacheFile(const std::string& path) {
+    Impl& im = impl();
+    bool corrupt = false;
+    {
+        std::lock_guard<std::mutex> lock(im.m);
+        const int64_t store = ++im.cacheStores;
+        for (Rule& r : im.rules) {
+            if (r.act != Action::CorruptCache) continue;
+            r.matched = store;
+            if (fires(r, im.seed)) {
+                corrupt = true;
+                break;
+            }
+        }
+    }
+    if (!corrupt) return false;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (!f) return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size > 0) {
+        std::fseek(f, size / 2, SEEK_SET);
+        int c = std::fgetc(f);
+        if (c != EOF) {
+            std::fseek(f, size / 2, SEEK_SET);
+            std::fputc((c ^ 0x5a) & 0xff, f);
+        }
+    }
+    std::fclose(f);
+    {
+        std::lock_guard<std::mutex> lock(im.m);
+        ++im.stats.cacheCorruptions;
+    }
+    return true;
+}
+
+FaultPlan::Stats FaultPlan::stats() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.stats;
+}
+
+void FaultPlan::resetStats() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.stats = Stats{};
+}
+
+} // namespace wj::fault

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "analysis/analysis.h"
+#include "fault/checkpoint.h"
 #include "runtime/rng_hash.h"
 
 namespace wj {
@@ -603,6 +604,40 @@ Value Interp::evalIntrinsic(Frame& f, const IntrinsicExpr& e) {
         }
         for (int32_t i = 0; i < n; ++i) d->data[static_cast<size_t>(i)] = s->data[static_cast<size_t>(i)];
         return Value();
+    }
+
+    // Checkpoint/restart: the interpreter is a 1-rank world, so the store is
+    // keyed with rank 0 — matching wjrt_ckpt_*_f32 without a bound world.
+    case Intrinsic::CkptSaveF32: {
+        Value buf = arg(0);
+        int32_t n = arg(1).asI32();
+        int32_t slot = arg(2).asI32();
+        int32_t iter = arg(3).asI32();
+        const ArrRef& a = buf.asArr();
+        if (!a) throw ExecError("NullPointerException: ckptSaveF32");
+        if (n < 0 || static_cast<size_t>(n) > a->data.size()) {
+            throw ExecError("ckptSaveF32 length out of range");
+        }
+        std::vector<float> raw(static_cast<size_t>(n));
+        for (int32_t i = 0; i < n; ++i) raw[static_cast<size_t>(i)] = a->data[static_cast<size_t>(i)].asF32();
+        fault::CheckpointStore::instance().save(0, slot, iter, raw.data(), raw.size());
+        return Value();
+    }
+    case Intrinsic::CkptLoadF32: {
+        Value buf = arg(0);
+        int32_t n = arg(1).asI32();
+        int32_t slot = arg(2).asI32();
+        const ArrRef& a = buf.asArr();
+        if (!a) throw ExecError("NullPointerException: ckptLoadF32");
+        if (n < 0 || static_cast<size_t>(n) > a->data.size()) {
+            throw ExecError("ckptLoadF32 length out of range");
+        }
+        std::vector<float> raw(static_cast<size_t>(n));
+        int32_t got = fault::CheckpointStore::instance().load(0, slot, raw.data(), raw.size());
+        if (got >= 0) {
+            for (int32_t i = 0; i < n; ++i) a->data[static_cast<size_t>(i)] = Value::ofF32(raw[static_cast<size_t>(i)]);
+        }
+        return Value::ofI32(got);
     }
 
     default:

@@ -70,6 +70,14 @@ const std::vector<IntrinsicSig>& table() {
         {"WootinJ.free", Type::voidTy(), {f32arr()}, false, true, true},
         {"WootinJ.printI64", Type::voidTy(), {Type::i64()}, false, true, true},
         {"WootinJ.printF64", Type::voidTy(), {Type::f64()}, false, true, true},
+
+        // Checkpoint/restart — host only (the snapshot leaves the rank's
+        // private memory space through the host-side CheckpointStore), and
+        // runnable on the interpreter (rank 0 semantics).
+        {"WootinJ.ckptSaveF32", Type::voidTy(),
+         {f32arr(), Type::i32(), Type::i32(), Type::i32()}, false, true, true},
+        {"WootinJ.ckptLoadF32", Type::i32(),
+         {f32arr(), Type::i32(), Type::i32()}, false, true, true},
     };
     return t;
 }

@@ -60,6 +60,14 @@ enum class Intrinsic : uint16_t {
     FreeArray,        // void free(anyarray) — the paper's explicit free
     PrintI64,         // void printI64(long) — debugging aid in examples
     PrintF64,         // void printF64(double)
+
+    // ---- checkpoint/restart (src/fault/checkpoint.h) ----
+    CkptSaveF32,      // void ckptSaveF32(float[] buf, int n, int slot, int iter)
+                      //   snapshot buf[0..n) for this rank; no-op unless the
+                      //   host armed the CheckpointStore
+    CkptLoadF32,      // int ckptLoadF32(float[] buf, int n, int slot)
+                      //   restore the resolved snapshot into buf; returns the
+                      //   checkpointed iteration, or -1 when starting fresh
 };
 
 /// Static signature of an intrinsic.

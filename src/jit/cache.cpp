@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
+#include "support/crc32.h"
 #include "support/scratch.h"
 #include "support/strings.h"
 #include "support/timer.h"
@@ -144,6 +146,22 @@ std::string JitCache::lookup(uint64_t key) {
     const fs::path p = fs::path(dir()) / (hexKey(key) + ".so");
     std::error_code ec;
     if (!fs::exists(p, ec) || ec) return "";
+    // Integrity check against the CRC sidecar written at store time: a
+    // corrupted .so can still dlopen (bit flips in code pages, not ELF
+    // headers), so "it loaded" is not proof the entry is intact. A mismatch
+    // evicts the entry; the caller recompiles. Entries without a sidecar
+    // (pre-CRC stores) keep the old dlopen-only validation.
+    std::string want;
+    if (slurp(fs::path(p.string() + ".crc"), want)) {
+        std::string bytes;
+        const unsigned long stored = std::strtoul(want.c_str(), nullptr, 16);
+        if (!slurp(p, bytes) ||
+            crc32(bytes.data(), bytes.size()) != static_cast<uint32_t>(stored)) {
+            noteCorrupt();
+            invalidate(key);
+            return "";
+        }
+    }
     // Refresh the LRU stamp so hot entries survive eviction.
     fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
     return p.string();
@@ -171,6 +189,15 @@ std::string JitCache::store(uint64_t key, const std::string& soPath, const std::
     }
 
     {
+        // CRC sidecar: lookup() verifies the entry's bytes before serving
+        // it, catching corruption that dlopen alone would not.
+        std::string bytes;
+        if (slurp(dst, bytes)) {
+            std::ofstream crcOut(dst.string() + ".crc", std::ios::trunc);
+            crcOut << format("%08x", crc32(bytes.data(), bytes.size()));
+        }
+    }
+    {
         std::ofstream idx(d / "index.tsv", std::ios::app);
         std::error_code sec;
         idx << hexKey(key) << '\t' << tag << '\t' << fs::file_size(dst, sec) << '\n';
@@ -180,6 +207,11 @@ std::string JitCache::store(uint64_t key, const std::string& soPath, const std::
         ++impl().stats.stores;
     }
     enforceCap();
+    // Fault injection happens after the sidecar is written, so an injected
+    // corruption is exactly what lookup()'s CRC check is built to catch.
+    if (fault::FaultPlan::active()) {
+        fault::FaultPlan::instance().maybeCorruptCacheFile(dst.string());
+    }
     return dst.string();
 }
 
@@ -196,6 +228,8 @@ void JitCache::enforceCap() {
         if (fs::remove(e.path, ec) && !ec) {
             total -= e.bytes;
             ++evicted;
+            std::error_code ec2;
+            fs::remove(fs::path(e.path.string() + ".crc"), ec2);
         }
     }
     if (evicted) {
@@ -207,13 +241,15 @@ void JitCache::enforceCap() {
 void JitCache::invalidate(uint64_t key) {
     std::error_code ec;
     fs::remove(fs::path(dir()) / (hexKey(key) + ".so"), ec);
+    fs::remove(fs::path(dir()) / (hexKey(key) + ".so.crc"), ec);
 }
 
 void JitCache::clearDisk() {
     const fs::path d(dir());
     std::error_code ec;
     for (const auto& de : fs::directory_iterator(d, ec)) {
-        if (de.path().extension() == ".so" || de.path().filename() == "index.tsv") {
+        if (de.path().extension() == ".so" || de.path().extension() == ".crc" ||
+            de.path().filename() == "index.tsv") {
             std::error_code ec2;
             fs::remove(de.path(), ec2);
         }

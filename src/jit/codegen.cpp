@@ -944,6 +944,12 @@ CodeGen::CVal CodeGen::genIntrinsic(Env& env, const IntrinsicExpr& n) {
     case Intrinsic::FreeArray: return voidCall("wjrt_free_array(" + t(0) + ")");
     case Intrinsic::PrintI64: return voidCall("wjrt_print_i64(" + t(0) + ")");
     case Intrinsic::PrintF64: return voidCall("wjrt_print_f64(" + t(0) + ")");
+
+    case Intrinsic::CkptSaveF32:
+        return voidCall("wjrt_ckpt_save_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ", " + t(3) +
+                        ")");
+    case Intrinsic::CkptLoadF32:
+        return i32("wjrt_ckpt_load_f32(" + t(0) + ", " + t(1) + ", " + t(2) + ")");
     }
     xerr("unhandled intrinsic");
 }

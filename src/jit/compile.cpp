@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "jit/cache.h"
 #include "support/diagnostics.h"
 #include "support/scratch.h"
@@ -109,6 +111,16 @@ std::string describeExitStatus(int raw) {
     return format("unrecognized wait status 0x%x", static_cast<unsigned>(raw));
 }
 
+int envInt(const char* name, int dflt) {
+    const char* v = std::getenv(name);
+    return (v && *v) ? std::atoi(v) : dflt;
+}
+
+std::string slurpFile(const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
 } // namespace
 
 NativeModule::~NativeModule() {
@@ -188,18 +200,52 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
                cc, flags, WJ_RT_INCLUDE_DIR, soPath.c_str(), mod->srcPath_.c_str(),
                errPath.c_str());
 
-    Timer t;
-    const int raw = std::system(mod->command_.c_str());
-    mod->compileSeconds_ = t.seconds();
-    // std::system returns a raw wait(2) status, not an exit code: decode
-    // it so "cc segfaulted" and "cc exited 1" read differently.
-    const bool ok = raw != -1 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0;
-    if (!ok) {
-        std::ifstream err(errPath);
-        std::string msg((std::istreambuf_iterator<char>(err)), std::istreambuf_iterator<char>());
-        throw UsageError("external C compiler failed (" + describeExitStatus(raw) + ", see " +
-                         mod->srcPath_ + "):\n" + msg);
+    // Transient failures — the compiler being OOM-killed, the shell failing
+    // to launch, or an injected WJ_FAULT failcompile — are retried with
+    // exponential backoff, like any robust build farm client. Deterministic
+    // compile errors (nonzero exit with diagnostics) are not retried, and a
+    // missing compiler (shell exit 127) escalates to CompilerUnavailableError
+    // so jit() can fall back to the interpreter.
+    const int extraRetries = std::max(0, envInt("WJ_JIT_RETRIES", 2));
+    int backoffMs = std::max(1, envInt("WJ_JIT_BACKOFF_MS", 10));
+    int attempts = 0;
+    for (;;) {
+        ++attempts;
+        const bool injected = fault::FaultPlan::active() &&
+                              fault::FaultPlan::instance().failThisCompile();
+        int raw = 0;
+        bool ok = false;
+        if (!injected) {
+            Timer t;
+            raw = std::system(mod->command_.c_str());
+            mod->compileSeconds_ += t.seconds();
+            // std::system returns a raw wait(2) status, not an exit code:
+            // decode it so "cc segfaulted" and "cc exited 1" read
+            // differently.
+            ok = raw != -1 && WIFEXITED(raw) && WEXITSTATUS(raw) == 0;
+        }
+        if (ok) break;
+        if (!injected && raw != -1 && WIFEXITED(raw) && WEXITSTATUS(raw) == 127) {
+            throw CompilerUnavailableError("external C compiler '" + std::string(cc) +
+                                           "' is unavailable (" + describeExitStatus(raw) +
+                                           "):\n" + slurpFile(errPath));
+        }
+        const bool transient = injected || raw == -1 || WIFSIGNALED(raw) ||
+                               (WIFEXITED(raw) && WEXITSTATUS(raw) > 128);
+        if (transient && attempts <= extraRetries) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+            backoffMs *= 2;
+            continue;
+        }
+        const std::string status =
+            injected ? std::string("injected transient failure (WJ_FAULT failcompile)")
+                     : describeExitStatus(raw);
+        throw UsageError(format("external C compiler failed after %d attempt%s (%s, see %s):\n",
+                                attempts, attempts == 1 ? "" : "s", status.c_str(),
+                                mod->srcPath_.c_str()) +
+                         slurpFile(errPath));
     }
+    res.attempts = attempts;
 
     // Publish to the persistent cache, then load the cached copy so the
     // temp dir is not load-bearing; fall back to the temp .so if the store

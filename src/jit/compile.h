@@ -16,9 +16,19 @@
 #include <memory>
 #include <string>
 
+#include "support/diagnostics.h"
+
 namespace wj {
 
 struct CompileResult;
+
+/// The external C compiler cannot run at all (the shell reports "command
+/// not found"). Distinct from a compile *error* so jit() can degrade to the
+/// interpreter instead of failing — transient failures are retried first.
+class CompilerUnavailableError : public UsageError {
+public:
+    explicit CompilerUnavailableError(const std::string& what) : UsageError(what) {}
+};
 
 /// A loaded shared object; closes the handle on destruction. Modules are
 /// shared: the in-process registry hands the same instance to every
@@ -65,14 +75,20 @@ struct CompileResult {
     bool cacheHit = false;     ///< this call skipped the external compiler
     double lookupSeconds = 0;  ///< wall time probing registry + disk store
     double compileSeconds = 0; ///< external compiler time paid by THIS call
+    int attempts = 0;          ///< compiler invocations (> 1 means retries)
 };
 
 /// Returns the module for `cSource`: from the in-process registry, the
 /// on-disk compile cache, or — on a cold miss — by writing the source to a
 /// fresh temp directory (honoring $TMPDIR), compiling it as C11, dlopening
 /// the result, and publishing the .so to the cache. `tag` becomes part of
-/// the file name for easier debugging. Throws UsageError with the
-/// compiler's stderr (and decoded exit status or signal) on failure.
+/// the file name for easier debugging. Transient compiler failures (signal
+/// kills, launch failures, injected WJ_FAULT failures) are retried with
+/// exponential backoff — WJ_JIT_RETRIES extra attempts (default 2),
+/// starting at WJ_JIT_BACKOFF_MS (default 10, doubling). Throws
+/// CompilerUnavailableError when the compiler binary cannot be found, and
+/// UsageError with the compiler's stderr (and decoded exit status or
+/// signal) on a genuine compile error.
 CompileResult compileAndLoad(const std::string& cSource, const std::string& tag);
 
 /// Queues compileAndLoad() on the shared compile thread pool. Independent

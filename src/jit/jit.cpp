@@ -1,9 +1,12 @@
 #include "jit/jit.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <unordered_map>
 
 #include "gpusim/gpusim.h"
+#include "interp/interp.h"
 #include "minimpi/minimpi.h"
 #include "rules/rules.h"
 #include "runtime/context.h"
@@ -66,6 +69,41 @@ void unmarshalArray(const wj_array* in, Arr& a) {
     }
 }
 
+/// True unless WJ_JIT_FALLBACK is "0"/"off"/"false"/"no": when the external
+/// C compiler is unavailable, degrade to the interpreter instead of failing.
+bool fallbackEnabled() {
+    const char* v = std::getenv("WJ_JIT_FALLBACK");
+    if (!v) return true;
+    const std::string s(v);
+    return !(s == "0" || s == "off" || s == "false" || s == "no");
+}
+
+/// Deep copy of a value graph (objects, arrays, primitives). The
+/// interpreter fallback runs on copies so the paper's no-copy-back
+/// contract (Section 3.1) holds on every rung of the degradation ladder.
+Value deepCopyValue(const Value& v, std::unordered_map<const Obj*, ObjRef>& memo) {
+    if (v.isArr()) {
+        const ArrRef& a = v.asArr();
+        if (!a) return v;
+        auto copy = std::make_shared<Arr>();
+        copy->elem = a->elem;
+        copy->data.reserve(a->data.size());
+        for (const Value& e : a->data) copy->data.push_back(deepCopyValue(e, memo));
+        return Value::ofArr(std::move(copy));
+    }
+    if (v.isObj()) {
+        const ObjRef& o = v.asObj();
+        if (!o) return v;
+        if (auto it = memo.find(o.get()); it != memo.end()) return Value::ofObj(it->second);
+        auto copy = std::make_shared<Obj>();
+        copy->cls = o->cls;
+        memo.emplace(o.get(), copy);
+        for (const auto& [name, fv] : o->fields) copy->fields[name] = deepCopyValue(fv, memo);
+        return Value::ofObj(std::move(copy));
+    }
+    return v;
+}
+
 int64_t primToSlot(const Value& v, Prim expected) {
     switch (expected) {
     case Prim::Bool: return v.asBool() ? 1 : 0;
@@ -120,7 +158,14 @@ JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::v
     // checks.
     requireCodingRules(prog);
     translation_ = translate(prog, receiver_, method_, recordedArgs_);
-    compile_ = compileAndLoad(translation_.cSource, method_);
+    try {
+        compile_ = compileAndLoad(translation_.cSource, method_);
+    } catch (const CompilerUnavailableError&) {
+        if (!fallbackEnabled()) throw;
+        mode_ = ExecMode::Interpreter;
+        return;
+    }
+    mode_ = compile_.cacheHit ? ExecMode::NativeCached : ExecMode::Native;
     entry_ = reinterpret_cast<EntryFn>(compile_.module->symbol(translation_.entrySymbol));
 }
 
@@ -129,8 +174,15 @@ JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::v
     : prog_(&prog), receiver_(std::move(receiver)), method_(std::move(method)),
       recordedArgs_(std::move(args)), mpi_(mpi), translation_(std::move(tr)),
       compile_(std::move(compiled)) {
+    mode_ = compile_.cacheHit ? ExecMode::NativeCached : ExecMode::Native;
     entry_ = reinterpret_cast<EntryFn>(compile_.module->symbol(translation_.entrySymbol));
 }
+
+JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::vector<Value> args,
+                 bool mpi, Translation tr)
+    : prog_(&prog), receiver_(std::move(receiver)), method_(std::move(method)),
+      recordedArgs_(std::move(args)), mpi_(mpi), translation_(std::move(tr)),
+      mode_(ExecMode::Interpreter) {}
 
 void JitCode::set4MPI(int ranks, const std::string& /*nodeList*/) {
     if (!mpi_) throw UsageError("set4MPI on code translated with jit(); use jit4mpi()");
@@ -144,6 +196,7 @@ Value JitCode::invokeWith(const std::vector<Value>& args) {
     if (args.size() != recordedArgs_.size()) {
         throw UsageError("invoke: argument count differs from the jit-time recording");
     }
+    if (mode_ == ExecMode::Interpreter) return invokeInterpreter(args);
     if (mpi_ && ranks_ > 1) {
         if (copyBack_) {
             throw UsageError("copy-back is only defined for single-rank invocations");
@@ -166,6 +219,29 @@ Value JitCode::invokeWith(const std::vector<Value>& args) {
     gpusim::Device dev(0);
     runtime::RankScope scope(nullptr, &dev);
     return invokeRank(args);
+}
+
+Value JitCode::invokeInterpreter(const std::vector<Value>& args) {
+    // Bottom rung of the degradation ladder: programs written against the
+    // class libraries "can run without WootinJ unless they use MPI or GPUs"
+    // (paper, Section 4.4) — so single-process code interprets; a multi-rank
+    // world cannot degrade and reports why.
+    if (mpi_ && ranks_ > 1) {
+        throw UsageError("interpreter fallback cannot run an MPI world (" +
+                         std::to_string(ranks_) +
+                         " ranks requested, and the C compiler is unavailable)");
+    }
+    Interp interp(*prog_);
+    if (copyBack_) {
+        // Copy-back semantics are exactly in-place interpretation.
+        return interp.call(receiver_, method_, args);
+    }
+    std::unordered_map<const Obj*, ObjRef> memo;
+    Value recvCopy = deepCopyValue(receiver_, memo);
+    std::vector<Value> argCopies;
+    argCopies.reserve(args.size());
+    for (const Value& v : args) argCopies.push_back(deepCopyValue(v, memo));
+    return interp.call(recvCopy, method_, std::move(argCopies));
 }
 
 Value JitCode::invokeRank(const std::vector<Value>& args) {
@@ -245,8 +321,16 @@ std::future<JitCode> WootinJ::jitAsyncImpl(const Program& prog, Value receiver,
         [&prog, receiver = std::move(receiver), method = std::move(method),
          args = std::move(args), mpi, tr = std::move(tr),
          modFut = std::move(modFut)]() mutable {
+            CompileResult compiled;
+            try {
+                compiled = modFut.get();
+            } catch (const CompilerUnavailableError&) {
+                if (!fallbackEnabled()) throw;
+                return JitCode(prog, std::move(receiver), std::move(method), std::move(args),
+                               mpi, std::move(tr));
+            }
             return JitCode(prog, std::move(receiver), std::move(method), std::move(args), mpi,
-                           std::move(tr), modFut.get());
+                           std::move(tr), std::move(compiled));
         });
 }
 

@@ -25,6 +25,14 @@
 
 namespace wj {
 
+/// Which engine invoke() drives — the degradation ladder's rungs. Tests and
+/// benches assert on this instead of guessing from timings.
+enum class ExecMode {
+    Native,       ///< freshly compiled by the external C compiler
+    NativeCached, ///< served by the compile cache (memory or disk layer)
+    Interpreter,  ///< fallback: the C compiler was unavailable
+};
+
 class JitCode {
 public:
     JitCode(JitCode&&) = default;
@@ -68,6 +76,14 @@ public:
     bool cacheHit() const noexcept { return compile_.cacheHit; }
     double cacheLookupSeconds() const noexcept { return compile_.lookupSeconds; }
 
+    // ---- robustness observability (see src/fault/). execMode() reports
+    // which rung of the degradation ladder this code runs on; Interpreter
+    // means the external C compiler was unavailable and WJ_JIT_FALLBACK
+    // (default on) allowed graceful degradation. compileAttempts() exceeds
+    // 1 when transient compiler failures were retried (0 on a cache hit).
+    ExecMode execMode() const noexcept { return mode_; }
+    int compileAttempts() const noexcept { return compile_.attempts; }
+
     // ---- optimization evidence (tests assert on these)
     int64_t specializations() const noexcept { return translation_.specializations; }
     int64_t devirtualizedCalls() const noexcept { return translation_.devirtualizedCalls; }
@@ -76,7 +92,10 @@ public:
 
     /// The generated C translation unit (Listing 5's analogue).
     const std::string& generatedC() const noexcept { return translation_.cSource; }
-    const std::string& compileCommand() const noexcept { return compile_.module->compileCommand(); }
+    const std::string& compileCommand() const noexcept {
+        static const std::string kNone = "(none: interpreter fallback)";
+        return compile_.module ? compile_.module->compileCommand() : kNone;
+    }
 
 private:
     friend class WootinJ;
@@ -85,8 +104,12 @@ private:
     /// Assembles from a finished translation + compile result (async path).
     JitCode(const Program& prog, Value receiver, std::string method, std::vector<Value> args,
             bool mpi, Translation tr, CompileResult compiled);
+    /// Assembles in interpreter-fallback mode (compiler unavailable).
+    JitCode(const Program& prog, Value receiver, std::string method, std::vector<Value> args,
+            bool mpi, Translation tr);
 
     Value invokeRank(const std::vector<Value>& args);
+    Value invokeInterpreter(const std::vector<Value>& args);
 
     const Program* prog_;
     Value receiver_;
@@ -98,6 +121,7 @@ private:
 
     Translation translation_;
     CompileResult compile_;  // module is shared via the module registry
+    ExecMode mode_ = ExecMode::Native;
     using EntryFn = int64_t (*)(const int64_t*, ::wj_array**);
     EntryFn entry_ = nullptr;
 };

@@ -258,7 +258,18 @@ void buildBodies(ProgramBuilder& pb) {
                 decl("atmp", Type::cls("SimpleMatrix"),
                      newObj("SimpleMatrix", lv("nb"), lv("nb"))),
                 decl("btmp", f32arr(), newArr(f32(), lv("sz"))),
-                forRange("s", ci(0), lv("q"), blk(
+                // Checkpoint/restart: the per-stage state is the C accumulator
+                // (slot 0) and the shifting B block (slot 1); A is rebroadcast
+                // from the caller's immutable block each stage. No-ops unless
+                // the host armed the CheckpointStore.
+                decl("start", i32(),
+                     intr(Intrinsic::CkptLoadF32, call(lv("c"), "raw"), lv("sz"), ci(0))),
+                ifs(lt(lv("start"), ci(0)),
+                    blk(assign("start", ci(0))),
+                    blk(decl("bIter", i32(),
+                             intr(Intrinsic::CkptLoadF32, call(lv("b"), "raw"),
+                                  lv("sz"), ci(1))))),
+                forRange("s", lv("start"), lv("q"), blk(
                     decl("root", i32(), rem(add(lv("row"), lv("s")), lv("q"))),
                     ifs(eq(lv("col"), lv("root")),
                         blk(exprS(call(lv("atmp"), "copyFrom", lv("a"))))),
@@ -285,7 +296,11 @@ void buildBodies(ProgramBuilder& pb) {
                                    add(mul(lv("downRow"), lv("q")), lv("col")), ci(32))),
                         decl("braw", f32arr(), call(lv("b"), "raw")),
                         forRange("i2", ci(0), lv("sz"),
-                                 blk(aset(lv("braw"), lv("i2"), aget(lv("btmp"), lv("i2"))))))))),
+                                 blk(aset(lv("braw"), lv("i2"), aget(lv("btmp"), lv("i2"))))))),
+                    exprS(intr(Intrinsic::CkptSaveF32, call(lv("c"), "raw"), lv("sz"),
+                               ci(0), add(lv("s"), ci(1)))),
+                    exprS(intr(Intrinsic::CkptSaveF32, call(lv("b"), "raw"), lv("sz"),
+                               ci(1), add(lv("s"), ci(1)))))),
                 exprS(intr(Intrinsic::FreeArray, lv("btmp"))),
                 retVoid()));
     }

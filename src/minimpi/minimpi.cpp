@@ -1,10 +1,14 @@
 #include "minimpi/minimpi.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
+#include "fault/fault.h"
 #include "support/diagnostics.h"
+#include "support/strings.h"
 
 namespace wj::minimpi {
 
@@ -14,17 +18,34 @@ namespace {
 constexpr int kTagBcast = 1;
 constexpr int kTagReduceUp = 2;
 constexpr int kTagReduceDown = 3;
+
+constexpr int kDefaultWatchdogMs = 30000;
+
+int watchdogDefaultMs() {
+    if (const char* v = std::getenv("WJ_WATCHDOG_MS"); v && *v) {
+        return std::atoi(v);
+    }
+    return kDefaultWatchdogMs;
+}
+
+std::string srcName(int src) {
+    return src == kAnySource ? std::string("ANY") : std::to_string(src);
+}
+
 } // namespace
 
 int Comm::size() const noexcept { return world_->size(); }
 
-World::World(int size) : size_(size), boxes_(static_cast<size_t>(std::max(size, 1))) {
+World::World(int size)
+    : size_(size), boxes_(static_cast<size_t>(std::max(size, 1))),
+      waits_(static_cast<size_t>(std::max(size, 1))), watchdogMs_(watchdogDefaultMs()) {
     if (size <= 0) throw UsageError("MPI world size must be positive");
 }
 
 void World::post(int dest, Message msg) {
     if (dest < 0 || dest >= size_) {
-        throw ExecError("MPI send to invalid rank " + std::to_string(dest));
+        throw ExecError(format("MPI send to invalid rank %d (from rank %d, tag %d)", dest,
+                               msg.src, msg.tag));
     }
     // Traffic accounting lives here, not in Comm::send, so collective
     // internals (bcast/allreduce via sendSys) count toward bytesSent() —
@@ -32,11 +53,23 @@ void World::post(int dest, Message msg) {
     // point-to-point traffic.
     messages_ += 1;
     bytes_ += static_cast<int64_t>(msg.data.size());
+    bool duplicate = false;
+    if (fault::FaultPlan::active()) {
+        // The injector models the link: it may corrupt or delay the payload
+        // in flight, deliver it twice, or lose it entirely.
+        switch (fault::FaultPlan::instance().onMessage(msg.src, dest, msg.tag, msg.data)) {
+        case fault::MsgFate::Drop: return;
+        case fault::MsgFate::Duplicate: duplicate = true; break;
+        case fault::MsgFate::Deliver: break;
+        }
+    }
     Mailbox& box = boxes_[static_cast<size_t>(dest)];
     {
         std::lock_guard<std::mutex> lock(box.m);
-        box.q.push_back(std::move(msg));
+        box.q.push_back(msg);
+        if (duplicate) box.q.push_back(std::move(msg));
     }
+    progress_.fetch_add(1, std::memory_order_relaxed);
     // Notifying after the unlock is safe: a receiver can only be between
     // its predicate check and its wait while holding box.m, which the
     // enqueue above also required — so the message is either seen by the
@@ -44,28 +77,52 @@ void World::post(int dest, Message msg) {
     box.cv.notify_all();
 }
 
-World::Message World::take(int me, int src, int tag, int channel) {
+World::Message World::take(int me, int src, int tag, int channel, int timeoutMs) {
     if (src != kAnySource && (src < 0 || src >= size_)) {
-        throw ExecError("MPI recv from invalid rank " + std::to_string(src));
+        throw ExecError(format("rank %d: MPI recv from invalid rank %d (tag %d)", me, src, tag));
     }
     Mailbox& box = boxes_[static_cast<size_t>(me)];
+    RankWait& w = waits_[static_cast<size_t>(me)];
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+    bool timedOut = false;
     std::unique_lock<std::mutex> lock(box.m);
     for (;;) {
-        if (aborted_.load()) throw ExecError("MPI world aborted by another rank");
+        if (aborted_.load()) {
+            throw ExecError(format(
+                "MPI world aborted by another rank (rank %d was in recv src=%s tag=%d)", me,
+                srcName(src).c_str(), tag));
+        }
         auto it = std::find_if(box.q.begin(), box.q.end(), [&](const Message& m) {
             return m.channel == channel && m.tag == tag && (src == kAnySource || m.src == src);
         });
         if (it != box.q.end()) {
             Message msg = std::move(*it);
             box.q.erase(it);
+            progress_.fetch_add(1, std::memory_order_relaxed);
             return msg;
         }
-        box.cv.wait(lock);
+        if (timedOut) {
+            throw ExecError(format("MPI recv timeout at rank %d after %d ms (src=%s, tag=%d)",
+                                   me, timeoutMs, srcName(src).c_str(), tag));
+        }
+        // Publish what this rank is waiting for, then block: the watchdog
+        // reads these fields to build its per-rank stall dump.
+        w.src.store(src, std::memory_order_relaxed);
+        w.tag.store(tag, std::memory_order_relaxed);
+        w.channel.store(channel, std::memory_order_relaxed);
+        w.state.store(kBlockedRecv, std::memory_order_release);
+        if (timeoutMs < 0) {
+            box.cv.wait(lock);
+        } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+            timedOut = true;  // one more pass over the queue before throwing
+        }
+        w.state.store(kRunning, std::memory_order_release);
     }
 }
 
 void World::abort() noexcept {
     aborted_.store(true);
+    progress_.fetch_add(1, std::memory_order_relaxed);
     // Every notification below is issued while holding the mutex its
     // waiters wait under. Without the lock, a rank that has just evaluated
     // its wait predicate (seeing aborted_ == false) but not yet blocked
@@ -81,8 +138,56 @@ void World::abort() noexcept {
     }
 }
 
+std::string World::stallReport(int quantumMs) {
+    std::string out = format(
+        "MiniMPI watchdog: global stall — no progress for ~%d ms with every live rank blocked; "
+        "aborting world. Per-rank wait state:",
+        quantumMs);
+    for (int r = 0; r < size_; ++r) {
+        RankWait& w = waits_[static_cast<size_t>(r)];
+        size_t depth;
+        {
+            std::lock_guard<std::mutex> lock(boxes_[static_cast<size_t>(r)].m);
+            depth = boxes_[static_cast<size_t>(r)].q.size();
+        }
+        switch (w.state.load(std::memory_order_acquire)) {
+        case kBlockedRecv:
+            out += format("\n  rank %d: blocked in recv(src=%s, tag=%d, %s channel), "
+                          "mailbox depth %zu",
+                          r, srcName(w.src.load()).c_str(), w.tag.load(),
+                          w.channel.load() == 0 ? "user" : "collective", depth);
+            break;
+        case kBlockedBarrier:
+            out += format("\n  rank %d: blocked in barrier, mailbox depth %zu", r, depth);
+            break;
+        case kDone:
+            out += format("\n  rank %d: finished", r);
+            break;
+        default:
+            out += format("\n  rank %d: running, mailbox depth %zu", r, depth);
+            break;
+        }
+    }
+    return out;
+}
+
 void World::run(const std::function<void(Comm&)>& fn) {
+    // Reset per-run state FIRST: an aborted previous run leaves undelivered
+    // messages in the mailboxes and possibly a partial barrier count; a
+    // reused World must not let this run consume the dead run's state.
+    for (auto& box : boxes_) {
+        std::lock_guard<std::mutex> lock(box.m);
+        box.q.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(barrierM_);
+        barrierCount_ = 0;
+    }
+    for (auto& w : waits_) w.state.store(kRunning, std::memory_order_relaxed);
+    progress_.store(0, std::memory_order_relaxed);
+    watchdogFired_.store(false);
     aborted_.store(false);
+
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(size_));
     std::mutex errM;
@@ -100,22 +205,71 @@ void World::run(const std::function<void(Comm&)>& fn) {
                 }
                 abort();
             }
+            waits_[static_cast<size_t>(r)].state.store(kDone, std::memory_order_release);
         });
     }
-    for (auto& t : threads) t.join();
-    // Drain undelivered messages so a reused World starts clean.
-    for (auto& box : boxes_) {
-        std::lock_guard<std::mutex> lock(box.m);
-        box.q.clear();
+
+    // Stall watchdog: samples twice per quantum; fires only after two
+    // consecutive samples in which the progress counter stood still and
+    // every rank was blocked (or finished) — i.e. the world cannot advance
+    // on its own. Disabled with quantum 0.
+    std::thread watchdog;
+    std::mutex wdM;
+    std::condition_variable wdCv;
+    bool wdStop = false;
+    const int quantum = watchdogMs_;
+    if (quantum > 0) {
+        watchdog = std::thread([&] {
+            std::unique_lock<std::mutex> lk(wdM);
+            uint64_t lastProgress = ~uint64_t{0};
+            bool stalledOnce = false;
+            const auto tick = std::chrono::milliseconds(std::max(1, quantum / 2));
+            for (;;) {
+                if (wdCv.wait_for(lk, tick, [&] { return wdStop; })) return;
+                if (aborted_.load()) return;
+                const uint64_t p = progress_.load(std::memory_order_relaxed);
+                bool anyBlocked = false, allQuiet = true;
+                for (int r = 0; r < size_; ++r) {
+                    const int s = waits_[static_cast<size_t>(r)].state.load(
+                        std::memory_order_acquire);
+                    if (s == kBlockedRecv || s == kBlockedBarrier) anyBlocked = true;
+                    else if (s != kDone) allQuiet = false;
+                }
+                const bool stalled = anyBlocked && allQuiet && p == lastProgress;
+                if (stalled && stalledOnce) {
+                    watchdogFired_.store(true);
+                    auto err = std::make_exception_ptr(ExecError(stallReport(quantum)));
+                    {
+                        std::lock_guard<std::mutex> lock(errM);
+                        if (!firstErr) firstErr = std::move(err);
+                    }
+                    abort();
+                    return;
+                }
+                stalledOnce = stalled;
+                lastProgress = p;
+            }
+        });
     }
-    {
-        std::lock_guard<std::mutex> lock(barrierM_);
-        barrierCount_ = 0;
+
+    for (auto& t : threads) t.join();
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(wdM);
+            wdStop = true;
+        }
+        wdCv.notify_all();
+        watchdog.join();
     }
     if (firstErr) std::rethrow_exception(firstErr);
 }
 
+void Comm::faultHook() {
+    if (fault::FaultPlan::active()) fault::FaultPlan::instance().onCommOp(rank_);
+}
+
 void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
+    faultHook();
     World::Message msg;
     msg.src = rank_;
     msg.tag = tag;
@@ -125,10 +279,25 @@ void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
 }
 
 int Comm::recv(void* buf, size_t bytes, int src, int tag) {
+    faultHook();
     World::Message msg = world_->take(rank_, src, tag, 0);
     if (msg.data.size() != bytes) {
-        throw ExecError("MPI recv size mismatch: expected " + std::to_string(bytes) + " bytes, got " +
-                        std::to_string(msg.data.size()));
+        throw ExecError(format(
+            "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
+            rank_, msg.src, tag, bytes, msg.data.size()));
+    }
+    std::memcpy(buf, msg.data.data(), bytes);
+    return msg.src;
+}
+
+int Comm::recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs) {
+    if (timeoutMs < 0) throw UsageError("recvTimeout: timeout must be >= 0 ms");
+    faultHook();
+    World::Message msg = world_->take(rank_, src, tag, 0, timeoutMs);
+    if (msg.data.size() != bytes) {
+        throw ExecError(format(
+            "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
+            rank_, msg.src, tag, bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
     return msg.src;
@@ -141,18 +310,26 @@ int Comm::sendrecv(const void* sbuf, size_t sbytes, int dest,
 }
 
 void Comm::barrier() {
+    faultHook();
     std::unique_lock<std::mutex> lock(world_->barrierM_);
     const int64_t gen = world_->barrierGen_;
     if (++world_->barrierCount_ == world_->size_) {
         world_->barrierCount_ = 0;
         ++world_->barrierGen_;
+        world_->progress_.fetch_add(1, std::memory_order_relaxed);
         world_->barrierCv_.notify_all();
         return;
     }
+    World::RankWait& w = world_->waits_[static_cast<size_t>(rank_)];
+    w.state.store(World::kBlockedBarrier, std::memory_order_release);
     world_->barrierCv_.wait(lock, [&] {
         return world_->barrierGen_ != gen || world_->aborted_.load();
     });
-    if (world_->aborted_.load()) throw ExecError("MPI world aborted by another rank");
+    w.state.store(World::kRunning, std::memory_order_release);
+    if (world_->aborted_.load()) {
+        throw ExecError(format("MPI world aborted by another rank (rank %d was in barrier)",
+                               rank_));
+    }
 }
 
 void World::sendSys(int me, const void* buf, size_t bytes, int dest, int tag) {
@@ -166,12 +343,20 @@ void World::sendSys(int me, const void* buf, size_t bytes, int dest, int tag) {
 
 void World::recvSys(int me, void* buf, size_t bytes, int src, int tag) {
     Message msg = take(me, src, tag, 1);
-    if (msg.data.size() != bytes) throw ExecError("MPI collective size mismatch");
+    if (msg.data.size() != bytes) {
+        throw ExecError(format(
+            "MPI collective size mismatch at rank %d (src %d, tag %d): expected %zu bytes, "
+            "got %zu",
+            me, msg.src, tag, bytes, msg.data.size()));
+    }
     std::memcpy(buf, msg.data.data(), bytes);
 }
 
 void Comm::bcast(void* buf, size_t bytes, int root) {
-    if (root < 0 || root >= world_->size_) throw ExecError("bcast: invalid root");
+    faultHook();
+    if (root < 0 || root >= world_->size_) {
+        throw ExecError(format("bcast: invalid root %d at rank %d", root, rank_));
+    }
     if (rank_ == root) {
         for (int r = 0; r < world_->size_; ++r) {
             if (r != root) world_->sendSys(rank_, buf, bytes, r, kTagBcast);
@@ -183,6 +368,7 @@ void Comm::bcast(void* buf, size_t bytes, int root) {
 }
 
 double Comm::allreduce(double v, bool isMax) {
+    faultHook();
     // Gather to rank 0 in rank order (deterministic floating-point result),
     // reduce, broadcast back — the textbook layering over point-to-point.
     double acc = v;

@@ -16,6 +16,18 @@
 //     is woken with an error, and World::run rethrows the first exception —
 //     mirroring MPI_Abort. Tests use this for failure injection.
 //
+// Robustness layer (src/fault/):
+//   * every Comm operation consults the process FaultPlan, so a seeded
+//     WJ_FAULT spec can kill a rank at its Nth operation or drop /
+//     duplicate / corrupt / delay a message in post();
+//   * each run() is monitored by a watchdog thread: when every live rank
+//     has been blocked in recv/barrier with no global progress for a
+//     configurable quantum (WJ_WATCHDOG_MS or setWatchdogMillis, default
+//     30 s, 0 disables), the world is aborted with a per-rank wait dump
+//     instead of hanging forever — the moral equivalent of a batch
+//     scheduler's stuck-job killer;
+//   * recvTimeout() gives opt-in per-receive deadlines.
+//
 // Timing of a *cluster* is not simulated here; the perf module models
 // communication cost analytically (see src/perf/).
 #pragma once
@@ -50,6 +62,10 @@ public:
     /// Returns the actual source rank.
     int recv(void* buf, size_t bytes, int src, int tag);
 
+    /// recv() with a deadline: throws ExecError (with rank/src/tag context)
+    /// if no matching message arrives within `timeoutMs` milliseconds.
+    int recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs);
+
     /// Combined exchange: buffered send to `dest`, then receive from `src`.
     int sendrecv(const void* sbuf, size_t sbytes, int dest,
                  void* rbuf, size_t rbytes, int src, int tag);
@@ -66,6 +82,9 @@ public:
 
 private:
     double allreduce(double v, bool isMax);
+
+    /// FaultPlan hook: one "comm op" per public operation entry.
+    void faultHook();
 
 public:
 
@@ -99,6 +118,14 @@ public:
     /// first exception is rethrown here after all threads joined.
     void run(const std::function<void(Comm&)>& fn);
 
+    /// Overrides the stall-watchdog quantum for this world (milliseconds;
+    /// 0 disables). Default: $WJ_WATCHDOG_MS, else 30000.
+    void setWatchdogMillis(int ms) { watchdogMs_ = ms; }
+    int watchdogMillis() const noexcept { return watchdogMs_; }
+
+    /// True when the last run() was aborted by the stall watchdog.
+    bool watchdogFired() const noexcept { return watchdogFired_.load(); }
+
     /// Total messages/bytes posted since construction (instrumentation for
     /// tests and the perf model's communication-volume accounting). Counted
     /// at post() time, so collective-internal traffic (bcast / allreduce
@@ -122,9 +149,27 @@ private:
         std::deque<Message> q;
     };
 
+    /// Watchdog-visible wait state of one rank thread. All fields are
+    /// atomics because the watchdog samples them from its own thread.
+    struct RankWait {
+        std::atomic<int> state{kRunning};
+        std::atomic<int> src{0};
+        std::atomic<int> tag{0};
+        std::atomic<int> channel{0};
+    };
+    static constexpr int kRunning = 0;
+    static constexpr int kBlockedRecv = 1;
+    static constexpr int kBlockedBarrier = 2;
+    static constexpr int kDone = 3;
+
     void post(int dest, Message msg);
-    Message take(int me, int src, int tag, int channel);
+    /// Blocks until a matching message arrives; `timeoutMs < 0` waits
+    /// forever, otherwise throws ExecError after the deadline.
+    Message take(int me, int src, int tag, int channel, int timeoutMs = -1);
     void abort() noexcept;
+
+    /// Per-rank diagnostic dump for the watchdog's abort error.
+    std::string stallReport(int quantumMs);
 
     // Collective internals (channel 1).
     void sendSys(int me, const void* buf, size_t bytes, int dest, int tag);
@@ -132,11 +177,19 @@ private:
 
     int size_;
     std::vector<Mailbox> boxes_;
+    std::vector<RankWait> waits_;
 
     std::mutex barrierM_;
     std::condition_variable barrierCv_;
     int barrierCount_ = 0;
     int64_t barrierGen_ = 0;
+
+    int watchdogMs_;
+    std::atomic<bool> watchdogFired_{false};
+    /// Bumped by every post, successful take, and barrier release; the
+    /// watchdog declares a stall only when this stands still for a quantum
+    /// while every live rank is blocked.
+    std::atomic<uint64_t> progress_{0};
 
     std::atomic<bool> aborted_{false};
     std::atomic<int64_t> messages_{0};

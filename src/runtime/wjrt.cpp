@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/context.h"
 #include "support/diagnostics.h"
 
@@ -264,5 +265,25 @@ void wjrt_print_i64(int64_t v) { std::printf("%lld\n", static_cast<long long>(v)
 void wjrt_print_f64(double v) { std::printf("%.9g\n", v); }
 
 void wjrt_trap(const char* msg) { throw ExecError(std::string("translated code trapped: ") + msg); }
+
+/* -------------------------------------------------------- checkpointing */
+
+void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t iter) {
+    if (n < 0 || n > buf->len) {
+        throw ExecError("ckptSaveF32: length " + std::to_string(n) + " exceeds array of " +
+                        std::to_string(buf->len));
+    }
+    wj::fault::CheckpointStore::instance().save(wjrt_mpi_rank(), slot, iter,
+                                                static_cast<const float*>(wj_array_data(buf)), n);
+}
+
+int32_t wjrt_ckpt_load_f32(wj_array* buf, int32_t n, int32_t slot) {
+    if (n < 0 || n > buf->len) {
+        throw ExecError("ckptLoadF32: length " + std::to_string(n) + " exceeds array of " +
+                        std::to_string(buf->len));
+    }
+    return static_cast<int32_t>(wj::fault::CheckpointStore::instance().load(
+        wjrt_mpi_rank(), slot, static_cast<float*>(wj_array_data(buf)), n));
+}
 
 } // extern "C"

@@ -115,6 +115,15 @@ void wjrt_print_f64(double v);
 /* Fatal runtime error from generated code (e.g. MPI use without a world). */
 void wjrt_trap(const char* msg);
 
+/* -------------------------------------- checkpoint/restart (src/fault/) */
+/* Snapshot buf[0..n) for the calling rank under (slot, iter); a no-op
+ * unless the host armed the CheckpointStore. The store CRC-checks the
+ * payload and keeps the last two generations per (rank, slot). */
+void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t iter);
+/* Restore the resolved consistent snapshot for (rank, slot) into buf.
+ * Returns the checkpointed iteration, or -1 to start from scratch. */
+int32_t wjrt_ckpt_load_f32(wj_array* buf, int32_t n, int32_t slot);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -418,7 +418,14 @@ void buildRunners(ProgramBuilder& pb) {
                                   add(mul(lv("gz"), lv("plane")), lv("i")))))))),
                 decl("up", i32(), rem(add(lv("rank"), ci(1)), lv("size"))),
                 decl("down", i32(), rem(sub(add(lv("rank"), lv("size")), ci(1)), lv("size"))),
-                forRange("s", ci(0), lv("steps"), blk(
+                // Checkpoint/restart: when the host armed the CheckpointStore,
+                // resume from the last consistent snapshot of the whole slab
+                // (ghosts included; they are refreshed by the next exchange).
+                // Returns -1 when starting fresh or the store is disarmed.
+                decl("start", i32(),
+                     intr(Intrinsic::CkptLoadF32, lv("cur"), lv("total"), ci(0))),
+                ifs(lt(lv("start"), ci(0)), blk(assign("start", ci(0)))),
+                forRange("s", lv("start"), lv("steps"), blk(
                     ifs(gt(lv("size"), ci(1)),
                         // Halo exchange: top interior plane up / bottom ghost
                         // from below, then the mirror direction.
@@ -439,7 +446,9 @@ void buildRunners(ProgramBuilder& pb) {
                     exprS(call(self(), "step", lv("cur"), lv("nxt"))),
                     decl("tswap", f32arr(), lv("cur")),
                     assign("cur", lv("nxt")),
-                    assign("nxt", lv("tswap")))),
+                    assign("nxt", lv("tswap")),
+                    exprS(intr(Intrinsic::CkptSaveF32, lv("cur"), lv("total"),
+                               ci(0), add(lv("s"), ci(1)))))),
                 // Global checksum over interiors.
                 decl("local", f64(), cd(0.0)),
                 forRange("i", lv("plane"), mul(lv("plane"), add(lv("nzL"), ci(1))),

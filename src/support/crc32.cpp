@@ -1,0 +1,32 @@
+#include "support/crc32.h"
+
+namespace wj {
+
+namespace {
+
+struct Crc32Table {
+    uint32_t t[256];
+    Crc32Table() noexcept {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+            }
+            t[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+uint32_t crc32(const void* data, size_t n, uint32_t seed) noexcept {
+    static const Crc32Table table;
+    uint32_t c = seed ^ 0xffffffffu;
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) {
+        c = table.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+} // namespace wj

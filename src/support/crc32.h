@@ -1,0 +1,18 @@
+// CRC-32 (the zlib/IEEE 802.3 polynomial, reflected form).
+//
+// Used as an end-to-end integrity check on state that survives a failure
+// domain: checkpoint snapshots (src/fault/checkpoint.h) and on-disk compile
+// cache entries (src/jit/cache.h), where "the bytes came back unchanged" is
+// a correctness property, not an optimization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wj {
+
+/// CRC-32 of `n` bytes. `seed` is the running CRC for incremental use
+/// (pass the previous return value to continue a checksum).
+uint32_t crc32(const void* data, size_t n, uint32_t seed = 0) noexcept;
+
+} // namespace wj

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "minimpi/minimpi.h"
@@ -344,3 +346,180 @@ TEST_P(MiniMpiScale, AllToAllRing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rings, MiniMpiScale, ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+// ----------------------------------------------------- robustness (PR 3)
+
+TEST(MiniMpi, SizeMismatchDiagnosticsNameBothEnds) {
+    // The error must identify who was receiving, from whom, on which tag,
+    // and both byte counts — enough to debug a type mismatch from the log.
+    World w(2);
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 0) {
+                const int v = 0;
+                c.send(&v, sizeof v, 1, 7);
+            } else {
+                double got;
+                c.recv(&got, sizeof got, 0, 7);
+            }
+        });
+        FAIL() << "expected a size-mismatch error";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("src 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tag 7"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("expected 8 bytes, got 4"), std::string::npos) << msg;
+    }
+}
+
+TEST(MiniMpi, AnySourceDeliveryIsFifoPerSender) {
+    // kAnySource must preserve each sender's own ordering even when
+    // matching across sources.
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 1) {
+            for (int i = 0; i < 5; ++i) c.send(&i, sizeof i, 0, 3);
+        } else {
+            for (int i = 0; i < 5; ++i) {
+                int got = -1;
+                const int src = c.recv(&got, sizeof got, kAnySource, 3);
+                EXPECT_EQ(1, src);
+                EXPECT_EQ(i, got);  // FIFO within the (src, tag) stream
+            }
+        }
+    });
+}
+
+TEST(MiniMpi, AbortDuringBcast) {
+    World w(3);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 2) throw ExecError("die in bcast");
+                     double v = 1.0;
+                     c.bcast(&v, sizeof v, 0);
+                 }),
+                 ExecError);
+    // Reusable afterwards.
+    w.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(MiniMpi, AbortDuringAllreduce) {
+    World w(3);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 0) throw ExecError("die in allreduce");
+                     c.allreduceSum(1.0);
+                 }),
+                 ExecError);
+    w.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(MiniMpi, RunDrainsStaleMailboxesAfterAbort) {
+    // Regression: an aborted run used to leave in-flight messages queued,
+    // so the next run() on the same World could deliver a stale payload.
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 0) {
+                         const int stale = 111;
+                         c.send(&stale, sizeof stale, 1, 9);
+                         throw ExecError("die after send");
+                     }
+                     // Rank 1 blocks on a different tag so the tag-9 message
+                     // is still undelivered when the abort fires.
+                     int got = 0;
+                     c.recv(&got, sizeof got, 0, 8);
+                 }),
+                 ExecError);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int fresh = 222;
+            c.send(&fresh, sizeof fresh, 1, 9);
+        } else {
+            int got = 0;
+            c.recv(&got, sizeof got, 0, 9);
+            EXPECT_EQ(222, got) << "stale message from the aborted run leaked through";
+        }
+    });
+}
+
+TEST(MiniMpi, RecvTimeoutDeliversWhenMessageArrives) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int v = 42;
+            c.send(&v, sizeof v, 1, 4);
+        } else {
+            int got = 0;
+            const int src = c.recvTimeout(&got, sizeof got, 0, 4, 5000);
+            EXPECT_EQ(0, src);
+            EXPECT_EQ(42, got);
+        }
+    });
+}
+
+TEST(MiniMpi, RecvTimeoutExpires) {
+    World w(2);
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 1) {
+                int got = 0;
+                c.recvTimeout(&got, sizeof got, 0, 4, 50);  // nothing coming
+            }
+        });
+        FAIL() << "expected the receive to time out";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("timeout"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tag=4"), std::string::npos) << msg;
+    }
+}
+
+TEST(MiniMpi, RecvTimeoutRejectsNegative) {
+    World w(1);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     int got;
+                     c.recvTimeout(&got, sizeof got, 0, 1, -5);
+                 }),
+                 UsageError);
+}
+
+TEST(MiniMpi, WatchdogFiresOnDeadlock) {
+    // A classic head-to-head deadlock: both ranks receive first. The
+    // watchdog must abort within its quantum and name every waiter.
+    World w(2);
+    w.setWatchdogMillis(150);
+    EXPECT_EQ(150, w.watchdogMillis());
+    try {
+        w.run([](Comm& c) {
+            int got = 0;
+            c.recv(&got, sizeof got, 1 - c.rank(), 6);  // neither sends
+        });
+        FAIL() << "expected the watchdog to break the deadlock";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("rank 0: blocked in recv(src=1, tag=6"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("rank 1: blocked in recv(src=0, tag=6"), std::string::npos) << msg;
+    }
+    EXPECT_TRUE(w.watchdogFired());
+    // The same world runs cleanly afterwards and the flag resets.
+    w.run([](Comm& c) { c.barrier(); });
+    EXPECT_FALSE(w.watchdogFired());
+}
+
+TEST(MiniMpi, WatchdogSparesProgressingWorlds) {
+    // Slow-but-alive traffic must never trip the stall detector: each
+    // exchange bumps the progress counter, so consecutive quiet samples
+    // never accumulate.
+    World w(2);
+    w.setWatchdogMillis(60);
+    w.run([](Comm& c) {
+        for (int i = 0; i < 8; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            int v = i, got = -1;
+            c.sendrecv(&v, sizeof v, 1 - c.rank(), &got, sizeof got, 1 - c.rank(), 2);
+            EXPECT_EQ(i, got);
+        }
+    });
+    EXPECT_FALSE(w.watchdogFired());
+}

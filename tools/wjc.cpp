@@ -11,7 +11,9 @@
 //   wjc cache [stats|dir|clear]          inspect / clear the compile cache
 //
 // translate/run accept --no-cache to bypass the persistent compile cache
-// (equivalent to WJ_CACHE=0) — useful when timing the external compiler.
+// (equivalent to WJ_CACHE=0) — useful when timing the external compiler —
+// and --fault SPEC to arm the deterministic fault injector (equivalent to
+// WJ_FAULT=SPEC; grammar in src/fault/fault.h).
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "fault/fault.h"
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
 #include "interp/interp.h"
@@ -51,9 +54,10 @@ int usage() {
                  "  wjc check <file.wj>\n"
                  "  wjc lint <file.wj> [--Werror]\n"
                  "  wjc print <file.wj>\n"
-                 "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache] [ARGS...]\n"
+                 "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
+                 "                [--fault SPEC] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--no-cache] "
-                 "[ARGS...]\n"
+                 "[--fault SPEC] [ARGS...]\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
 }
@@ -243,6 +247,14 @@ int runMain(int argc, char** argv) {
         else if (a == "--method" && i + 1 < argc) method = argv[++i];
         else if (a == "--ranks" && i + 1 < argc) ranks = std::atoi(argv[++i]);
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
+        else if (a == "--fault" && i + 1 < argc) {
+            // Same grammar as WJ_FAULT; a malformed spec is a usage error
+            // (exit 2), an injected fault during run is an execution
+            // failure (exit 1).
+            fault::FaultPlan::instance().configure(argv[++i]);
+            std::fprintf(stderr, "wjc: fault plan: %s\n",
+                         fault::FaultPlan::instance().describe().c_str());
+        }
         else args.push_back(parseArgLiteral(a));
     }
     if (newExpr.empty() || method.empty()) return usage();
