@@ -36,8 +36,23 @@ int main(int argc, char** argv) {
     co.set4MPI(ranks);
     const double a = cs.invoke().asF64();
     const double b = co.invoke().asF64();
-    std::printf("real run on %d ranks: sync %.6f, overlapped %.6f -> %s\n\n", ranks, a, b,
+    std::printf("real run on %d ranks: sync %.6f, overlapped %.6f -> %s\n", ranks, a, b,
                 a == b ? "bit-identical" : "MISMATCH");
+
+    // Real traffic, from MiniMPI's accounting: how much of the halo volume
+    // actually crossed through a memcpy vs the pooled / zero-copy paths.
+    const auto traffic = [](const char* name, const JitCode& code) {
+        const auto st = code.commStats();
+        std::printf("%-10s traffic: %lld msgs, %lld B total, %lld B pooled, "
+                    "%lld B zero-copy, %lld B copied\n",
+                    name, static_cast<long long>(st.messages),
+                    static_cast<long long>(st.bytes), static_cast<long long>(st.pooledBytes),
+                    static_cast<long long>(st.zeroCopyBytes),
+                    static_cast<long long>(st.copiedBytes()));
+    };
+    traffic("sync", cs);
+    traffic("overlapped", co);
+    std::printf("\n");
 
     // Modeled benefit as the per-node slab shrinks (strong-scaling regime:
     // the thinner the slab, the larger the comm fraction and the payoff).

@@ -1,0 +1,101 @@
+// Ablation: the intra-rank multithreaded execution backend.
+//
+// The paper's hybrid runs put one MPI rank per node and fill the node's
+// cores with threads. This bench sweeps WJ_THREADS over {1, 2, 4, 8} for
+// the two loops the dependence prover parallelizes automatically — the
+// diffusion interior sweep (StencilCPU3D_MPI.step, guarded on cur != nxt)
+// and the Fox block multiply (OptimizedCalculator.multiplyAcc, guarded on
+// br != cr) — and checks every threaded result bitwise against the serial
+// run (WJ_PARALLEL=0). Wall times are REAL; speedups only materialize on a
+// host with that many cores (a 1-core container shows ~1.0x throughout).
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+
+namespace {
+
+struct Sample {
+    double value = 0;    ///< checksum of the run (bitwise-compared)
+    double seconds = 0;  ///< wall time of the timed invoke
+};
+
+/// jit4mpi + one warm invoke + one timed invoke under the given env.
+template <typename MakeCode>
+Sample timeRun(int threads, bool parallel, MakeCode make) {
+    setenv("WJ_PARALLEL", parallel ? "1" : "0", 1);
+    setenv("WJ_THREADS", std::to_string(threads).c_str(), 1);
+    JitCode code = make();
+    (void)code.invoke();  // warm: pool spawn + cache fill out of the timing
+    const auto t0 = std::chrono::steady_clock::now();
+    Sample s;
+    s.value = code.invoke().asF64();
+    s.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return s;
+}
+
+bool bitEq(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+/// One sweep table: serial row, then WJ_THREADS in {1,2,4,8}.
+template <typename MakeCode>
+bool sweep(const char* what, MakeCode make) {
+    const Sample serial = timeRun(1, false, make);
+    std::printf("%s (serial %.6fs, checksum %.17g)\n", what, serial.seconds, serial.value);
+    std::printf("%10s %12s %10s %10s\n", "threads", "time", "speedup", "bitwise");
+    bool ok = true;
+    for (int t : {1, 2, 4, 8}) {
+        const Sample par = timeRun(t, true, make);
+        const bool eq = bitEq(serial.value, par.value);
+        ok &= eq;
+        std::printf("%10d %11.6fs %9.2fx %10s\n", t, par.seconds,
+                    serial.seconds / par.seconds, eq ? "equal" : "MISMATCH");
+    }
+    std::printf("\n");
+    return ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Ablation: intra-rank threading (WJ_THREADS sweep)",
+                    "analysis-proven parallel loops: diffusion interior + Fox multiply",
+                    "wall time REAL on this host; determinism checked bitwise");
+
+    // Deep single-rank slab: all compute in the proven interior loop.
+    const int n = opts.full ? 66 : 34;
+    const int nz = opts.full ? 256 : 64;
+    const int steps = opts.full ? 20 : 8;
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    Program sprog = stencil::buildProgram();
+    Interp sin(sprog);
+    bool ok = sweep("diffusion MPI x1 rank", [&] {
+        Value r = stencil::makeMpiRunner(sin, n, n, nz, coeffs, 42);
+        JitCode code = WootinJ::jit4mpi(sprog, r, "run", {Value::ofI32(steps)});
+        code.set4MPI(1);
+        return code;
+    });
+
+    const int mm = opts.full ? 256 : 128;
+    Program mprog = matmul::buildProgram();
+    Interp min(mprog);
+    ok &= sweep("Fox matmul q=2 x4 ranks", [&] {
+        Value app = matmul::makeMpiFoxApp(min, matmul::Calc::Optimized, 2);
+        JitCode code = WootinJ::jit4mpi(mprog, app, "run",
+                                        {Value::ofI32(mm), Value::ofI32(7)});
+        code.set4MPI(4);
+        return code;
+    });
+
+    std::printf("ablation check: threaded results bitwise-equal serial -> %s\n",
+                ok ? "holds" : "VIOLATED");
+    return ok ? 0 : 1;
+}

@@ -644,6 +644,26 @@ private:
 
     void recordAccess(const void* site, const AVal& arr, const AVal& idx, bool reachable);
 
+    // ---- loop-parallelization prover (wjrt_parallel_for outlining + lint)
+    /// index = k * v + w, where v is the candidate loop variable and w is an
+    /// interval covering the iteration-dependent remainder. The fallback for
+    /// any expression the structural rules cannot decompose is (k = 0,
+    /// w = its node-state interval), which is always sound: the widened
+    /// interval covers the value in every iteration, and k = 0 pairs use the
+    /// full-footprint overlap test.
+    struct LinForm {
+        int64_t k = 0;
+        Itv w = Itv::top();
+    };
+    void proveLoops(const std::string& label, const Method& m, const Cfg& cfg,
+                    const std::vector<Env>& states);
+    ParVerdict proveLoop(const std::string& label, const ForStmt& fs, const Cfg& cfg,
+                         const std::vector<Env>& states);
+    bool ctorAllowsParallel(const ClassDecl* cls);
+    void noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v, std::string reason,
+                  std::vector<std::pair<std::string, std::string>> pairs);
+    void finishParallelReport();
+
     // ---- communication race walk (structural, per unique method body)
     void raceWalk(const Method& m, Env env);
     void raceBlock(Env& env, const Block& b, std::vector<Pending>& p);
@@ -676,6 +696,10 @@ private:
     std::set<const void*> oobReported_;
     std::set<const void*> loopWarned_;
     std::vector<std::string> whereStack_;
+
+    std::map<const ClassDecl*, bool> ctorParOk_;
+    std::vector<const void*> loopOrder_;            ///< report order (first proof)
+    std::map<const void*, std::string> loopLabel_;  ///< "Cls.method: for (v)"
 
     friend struct IntervalDomain;
 };
@@ -882,7 +906,7 @@ AVal Engine::analyzeCall(const ClassDecl& owner, const Method& m, const AVal* se
 
     const Cfg cfg = Cfg::build(m);
     IntervalDomain dom{*this, cfg, entry, unknownOf(m.ret), false};
-    solve(cfg, dom, Direction::Forward);
+    const auto nodeStates = solve(cfg, dom, Direction::Forward);
 
     AVal ret = dom.retSet || m.ret.isVoid() ? dom.ret : unknownOf(m.ret);
     if (ret.type.isVoid() && !m.ret.isVoid()) ret.type = m.ret;
@@ -891,6 +915,10 @@ AVal Engine::analyzeCall(const ClassDecl& owner, const Method& m, const AVal* se
     if (effectsOf(m).usesComm() && raceDone_.insert(&m).second) {
         raceWalk(m, entry);
     }
+
+    // Loop-parallelization proof in this context; verdicts join across
+    // contexts (memoized contexts were already folded in the first time).
+    if (!m.isGlobal) proveLoops(owner.name + "." + m.name, m, cfg, nodeStates);
 
     whereStack_.pop_back();
     --depth_;
@@ -1909,6 +1937,703 @@ void Engine::raceExpr(Env& env, const Expr& e, std::vector<Pending>& p) {
     }
 }
 
+// ------------------------------------------------ loop parallelization
+
+namespace {
+
+/// Syntactic index of one candidate loop body, built in a single recursive
+/// walk: the statements/nested-loop pieces whose CFG nodes belong to the
+/// body, plus every name (re)bound inside it. `kills` holds names that can
+/// never carry a linear form (reassigned, shadow-declared, or nested loop
+/// variables); `declCount` finds the shadow declarations.
+struct ParBodyIndex {
+    std::set<const Stmt*> stmts;
+    std::set<const ForStmt*> fors;
+    std::set<const Expr*> conds;
+    std::set<std::string> defined;
+    std::set<std::string> kills;
+    std::map<std::string, int> declCount;
+};
+
+void indexParBody(const Block& b, ParBodyIndex& ix) {
+    for (const auto& stp : b) {
+        const Stmt& st = *stp;
+        ix.stmts.insert(&st);
+        switch (st.kind) {
+        case StmtKind::Decl: {
+            const auto& n = as<DeclStmt>(st);
+            ix.defined.insert(n.name);
+            if (++ix.declCount[n.name] > 1) ix.kills.insert(n.name);
+            break;
+        }
+        case StmtKind::AssignLocal:
+            ix.kills.insert(as<AssignLocalStmt>(st).name);
+            break;
+        case StmtKind::If: {
+            const auto& n = as<IfStmt>(st);
+            ix.conds.insert(n.cond.get());
+            indexParBody(n.thenB, ix);
+            indexParBody(n.elseB, ix);
+            break;
+        }
+        case StmtKind::While: {
+            const auto& n = as<WhileStmt>(st);
+            ix.conds.insert(n.cond.get());
+            indexParBody(n.body, ix);
+            break;
+        }
+        case StmtKind::For: {
+            const auto& n = as<ForStmt>(st);
+            ix.fors.insert(&n);
+            ix.conds.insert(n.cond.get());
+            ix.defined.insert(n.var);
+            ix.kills.insert(n.var);
+            indexParBody(n.body, ix);
+            break;
+        }
+        default: break;
+        }
+    }
+}
+
+/// Any ArrayGet in the tree? (Loop bounds must not read array elements the
+/// body could write — the parallel dispatch evaluates the bound once.)
+bool exprReadsArray(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::ArrayGet: return true;
+    case ExprKind::FieldGet: return exprReadsArray(*as<FieldGetExpr>(e).obj);
+    case ExprKind::ArrayLen: return exprReadsArray(*as<ArrayLenExpr>(e).arr);
+    case ExprKind::Unary: return exprReadsArray(*as<UnaryExpr>(e).e);
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        return exprReadsArray(*n.l) || exprReadsArray(*n.r);
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        return exprReadsArray(*n.c) || exprReadsArray(*n.t) || exprReadsArray(*n.f);
+    }
+    case ExprKind::Cast: return exprReadsArray(*as<CastExpr>(e).e);
+    default: return false;
+    }
+}
+
+bool rangesIntersect(int64_t lo1, int64_t hi1, int64_t lo2, int64_t hi2) {
+    return lo1 <= hi2 && lo2 <= hi1;
+}
+
+} // namespace
+
+// Constructors are not covered by the effect summaries (computeEffects
+// walks methods only), so `new` inside a parallel body is proven safe
+// structurally: the ctor chain must take only primitive parameters and be
+// straight-line code that initializes locals and own fields from call-free,
+// array-free expressions. That makes every constructed object private to
+// its iteration — exactly the wrapper-object pattern (ScalarFloat) the
+// translator flattens onto the stack anyway.
+bool Engine::ctorAllowsParallel(const ClassDecl* cls) {
+    if (!cls) return false;
+    auto it = ctorParOk_.find(cls);
+    if (it != ctorParOk_.end()) return it->second;
+    ctorParOk_[cls] = false;  // refuse cyclic ctor chains while in progress
+
+    std::function<bool(const Expr&)> pure = [&](const Expr& e) -> bool {
+        switch (e.kind) {
+        case ExprKind::Const:
+        case ExprKind::Local:
+        case ExprKind::This:
+        case ExprKind::StaticGet: return true;
+        case ExprKind::FieldGet: return pure(*as<FieldGetExpr>(e).obj);
+        case ExprKind::Unary: return pure(*as<UnaryExpr>(e).e);
+        case ExprKind::Binary: {
+            const auto& n = as<BinaryExpr>(e);
+            return pure(*n.l) && pure(*n.r);
+        }
+        case ExprKind::Cond: {
+            const auto& n = as<CondExpr>(e);
+            return pure(*n.c) && pure(*n.t) && pure(*n.f);
+        }
+        case ExprKind::Cast: return pure(*as<CastExpr>(e).e);
+        case ExprKind::New: {
+            const auto& n = as<NewExpr>(e);
+            if (!ctorAllowsParallel(prog_.cls(n.cls))) return false;
+            for (const auto& a : n.args) {
+                if (!pure(*a)) return false;
+            }
+            return true;
+        }
+        default: return false;  // calls, intrinsics, array traffic, allocation
+        }
+    };
+
+    bool ok = true;
+    if (cls->ctor) {
+        for (const Param& p : cls->ctor->params) ok = ok && p.type.isPrim();
+        if (ok) {
+            for (const auto& stp : cls->ctor->body) {
+                const Stmt& st = *stp;
+                switch (st.kind) {
+                case StmtKind::Decl: {
+                    const auto& n = as<DeclStmt>(st);
+                    if (n.init && !pure(*n.init)) ok = false;
+                    break;
+                }
+                case StmtKind::AssignLocal:
+                    if (!pure(*as<AssignLocalStmt>(st).value)) ok = false;
+                    break;
+                case StmtKind::FieldSet: {
+                    const auto& n = as<FieldSetStmt>(st);
+                    if (n.obj->kind != ExprKind::This || !pure(*n.value)) ok = false;
+                    break;
+                }
+                case StmtKind::SuperCtor: {
+                    const auto& n = as<SuperCtorStmt>(st);
+                    for (const auto& a : n.args) {
+                        if (!pure(*a)) ok = false;
+                    }
+                    const ClassDecl* sup =
+                        cls->superName.empty() ? nullptr : prog_.cls(cls->superName);
+                    if (sup && !ctorAllowsParallel(sup)) ok = false;
+                    break;
+                }
+                case StmtKind::Return: break;
+                default: ok = false; break;  // control flow, array stores, calls
+                }
+                if (!ok) break;
+            }
+        }
+    }
+    ctorParOk_[cls] = ok;
+    return ok;
+}
+
+void Engine::noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v,
+                      std::string reason, std::vector<std::pair<std::string, std::string>> pairs) {
+    auto it = out_.loopParallel.find(fs);
+    if (it == out_.loopParallel.end()) {
+        LoopParallel lp;
+        lp.verdict = v;
+        lp.reason = std::move(reason);
+        lp.neqPairs = std::move(pairs);
+        out_.loopParallel.emplace(fs, std::move(lp));
+        loopOrder_.push_back(fs);
+        loopLabel_.emplace(fs, label + ": for (" + fs->var + ")");
+        return;
+    }
+    // Join with earlier contexts: Serial anywhere poisons the loop; a
+    // conditional proof weakens an unconditional one; guard pairs union.
+    LoopParallel& lp = it->second;
+    if (lp.verdict == ParVerdict::Serial) return;
+    if (v == ParVerdict::Serial) {
+        lp.verdict = v;
+        lp.reason = std::move(reason);
+        lp.neqPairs.clear();
+        return;
+    }
+    for (auto& pr : pairs) {
+        if (std::find(lp.neqPairs.begin(), lp.neqPairs.end(), pr) == lp.neqPairs.end()) {
+            lp.neqPairs.push_back(std::move(pr));
+        }
+    }
+    if (v == ParVerdict::CondParallel && lp.verdict == ParVerdict::Parallel) {
+        lp.verdict = v;
+        lp.reason = std::move(reason);
+    }
+}
+
+void Engine::finishParallelReport() {
+    for (const void* fs : loopOrder_) {
+        const LoopParallel& lp = out_.loopParallel.at(fs);
+        std::string line = loopLabel_.at(fs) + ": ";
+        switch (lp.verdict) {
+        case ParVerdict::Parallel: line += "parallel"; break;
+        case ParVerdict::CondParallel: line += "parallel (guarded)"; break;
+        case ParVerdict::Serial: line += "serial"; break;
+        }
+        line += " -- " + lp.reason;
+        out_.parallelReport.push_back(std::move(line));
+    }
+}
+
+/// Scans `m`'s body for outermost counted loops and attempts a dependence
+/// proof for each. A refused loop's nested loops are tried instead, so a
+/// serial driver loop still gets its compute-heavy inner loops outlined.
+void Engine::proveLoops(const std::string& label, const Method& m, const Cfg& cfg,
+                        const std::vector<Env>& states) {
+    std::function<void(const Block&)> scan = [&](const Block& b) {
+        for (const auto& stp : b) {
+            switch (stp->kind) {
+            case StmtKind::For: {
+                const auto& fs = as<ForStmt>(*stp);
+                if (proveLoop(label, fs, cfg, states) == ParVerdict::Serial) {
+                    scan(fs.body);
+                }
+                break;
+            }
+            case StmtKind::If:
+                scan(as<IfStmt>(*stp).thenB);
+                scan(as<IfStmt>(*stp).elseB);
+                break;
+            case StmtKind::While: scan(as<WhileStmt>(*stp).body); break;
+            default: break;
+            }
+        }
+    };
+    scan(m.body);
+}
+
+ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const Cfg& cfg,
+                             const std::vector<Env>& states) {
+    auto refuse = [&](std::string why) {
+        noteLoop(&fs, label, ParVerdict::Serial, std::move(why), {});
+        return ParVerdict::Serial;
+    };
+
+    // ---- candidate shape: `for (v = init; v < bound; v = v + 1)` over an
+    //      integral variable — exactly what the forRange/forI32 builders emit.
+    if (!fs.varType.isIntegral()) return refuse("loop variable is not integral");
+    const auto* condB = fs.cond->kind == ExprKind::Binary ? &as<BinaryExpr>(*fs.cond) : nullptr;
+    if (!condB || condB->op != BinOp::Lt || condB->l->kind != ExprKind::Local ||
+        as<LocalExpr>(*condB->l).name != fs.var) {
+        return refuse("condition is not `" + fs.var + " < bound`");
+    }
+    const Expr& bound = *condB->r;
+    const auto* stepB = fs.step->kind == ExprKind::Binary ? &as<BinaryExpr>(*fs.step) : nullptr;
+    const bool unitStep = stepB && stepB->op == BinOp::Add &&
+                          stepB->l->kind == ExprKind::Local &&
+                          as<LocalExpr>(*stepB->l).name == fs.var &&
+                          stepB->r->kind == ExprKind::Const && as<ConstExpr>(*stepB->r).i == 1;
+    if (!unitStep) return refuse("step is not `" + fs.var + " + 1`");
+
+    ParBodyIndex ix;
+    indexParBody(fs.body, ix);
+    if (ix.defined.count(fs.var)) return refuse("body rebinds the loop variable");
+
+    // The bound is hoisted and evaluated once by the parallel dispatch, so
+    // it must be effect-free, independent of body-defined names, and must
+    // not read array elements the body could write.
+    if (exprHasEffects(bound) || exprReadsArray(bound)) {
+        return refuse("bound is not a pure expression");
+    }
+    {
+        std::vector<std::string> reads;
+        collectReads(bound, reads);
+        for (const std::string& r : reads) {
+            if (r == fs.var || ix.defined.count(r)) {
+                return refuse("bound depends on values computed in the body");
+            }
+        }
+    }
+
+    // ---- locate this loop's CFG pieces and its pre-loop state
+    int initNode = -1;
+    std::map<const Stmt*, int> stmtNode;
+    std::map<const ForStmt*, int> forInitNode, forStepNode;
+    std::map<const Expr*, int> condNode;
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+        const CfgNode& nd = cfg.nodes[i];
+        switch (nd.kind) {
+        case CfgNode::Kind::Stmt:
+            if (ix.stmts.count(nd.stmt)) stmtNode[nd.stmt] = static_cast<int>(i);
+            break;
+        case CfgNode::Kind::Branch:
+            if (ix.conds.count(nd.cond)) condNode[nd.cond] = static_cast<int>(i);
+            break;
+        case CfgNode::Kind::ForInit:
+            if (nd.forS == &fs) initNode = static_cast<int>(i);
+            if (ix.fors.count(nd.forS)) forInitNode[nd.forS] = static_cast<int>(i);
+            break;
+        case CfgNode::Kind::ForStep:
+            if (ix.fors.count(nd.forS)) forStepNode[nd.forS] = static_cast<int>(i);
+            break;
+        default: break;
+        }
+    }
+    if (initNode < 0 || !states[static_cast<size_t>(initNode)].reach) {
+        return refuse("loop is unreachable in this context");
+    }
+
+    Env preEnv = states[static_cast<size_t>(initNode)];
+    const Itv initV = evalExpr(preEnv, *fs.init).num;
+    const Itv boundV = evalExpr(preEnv, bound).num;
+    const Itv V{initV.lo, Itv::satAdd(boundV.hi, -1)};
+    if (V.empty()) return refuse("trip count is zero in every analyzed execution");
+    // Largest possible |i - j| between two iterations; 0 means a single
+    // iteration, which cannot carry a dependence.
+    const int64_t span =
+        (V.lo != Itv::kNegInf && V.hi != Itv::kPosInf) ? V.hi - V.lo : Itv::kPosInf;
+
+    // ---- one pass over the body's CFG nodes in reverse postorder:
+    //      legality checks, linear-form building, and access collection,
+    //      each against that node's fixed-point IN state.
+    std::map<std::string, LinForm> lfMap;
+    struct PAcc {
+        bool isWrite = false;
+        std::string name;     ///< local the array flows through
+        std::set<int> roots;  ///< abstract allocation roots (may be empty)
+        int64_t k = 0;
+        Itv w = Itv::top();
+        Itv foot = Itv::top();  ///< footprint over the whole iteration space
+    };
+    std::vector<PAcc> accs;
+    std::string why;
+
+    // Linear form of an index expression in the candidate variable. Never
+    // fails: the fallback (k = 0, node interval) is sound by construction.
+    std::function<LinForm(Env&, const Expr&)> linOf = [&](Env& env, const Expr& e) -> LinForm {
+        auto fall = [&]() -> LinForm { return {0, evalExpr(env, e).num}; };
+        switch (e.kind) {
+        case ExprKind::Const: {
+            const auto& n = as<ConstExpr>(e);
+            if (n.type.isIntegral()) return {0, Itv::of(n.i)};
+            return fall();
+        }
+        case ExprKind::Local: {
+            const std::string& nm = as<LocalExpr>(e).name;
+            if (nm == fs.var) return {1, Itv::of(0)};
+            auto lf = lfMap.find(nm);
+            if (lf != lfMap.end()) return lf->second;
+            return fall();
+        }
+        case ExprKind::Binary: {
+            const auto& n = as<BinaryExpr>(e);
+            if (n.op == BinOp::Add || n.op == BinOp::Sub) {
+                const LinForm l = linOf(env, *n.l);
+                const LinForm r = linOf(env, *n.r);
+                int64_t k = 0;
+                if (__builtin_add_overflow(l.k, n.op == BinOp::Add ? r.k : -r.k, &k)) {
+                    return fall();
+                }
+                return {k, n.op == BinOp::Add ? l.w.add(r.w) : l.w.sub(r.w)};
+            }
+            if (n.op == BinOp::Mul) {
+                LinForm l = linOf(env, *n.l);
+                LinForm r = linOf(env, *n.r);
+                if (l.k != 0 && r.k == 0 && r.w.isConst()) std::swap(l, r);
+                if (l.k == 0 && l.w.isConst() && l.w.lo != Itv::kNegInf) {
+                    int64_t k = 0;
+                    if (__builtin_mul_overflow(l.w.lo, r.k, &k)) return fall();
+                    return {k, r.w.mul(l.w)};
+                }
+                if (l.k == 0 && r.k == 0) return {0, l.w.mul(r.w)};
+                return fall();
+            }
+            return fall();
+        }
+        default: return fall();
+        }
+    };
+
+    auto recordPAcc = [&](Env& env, bool isWrite, const std::string& name, const Expr& idx) {
+        PAcc a;
+        a.isWrite = isWrite;
+        a.name = name;
+        auto vit = env.vars.find(name);
+        if (vit != env.vars.end()) a.roots = vit->second.roots;
+        const LinForm lf = linOf(env, idx);
+        a.k = lf.k;
+        a.w = lf.w;
+        a.foot = Itv::of(lf.k).mul(V).add(lf.w);
+        accs.push_back(std::move(a));
+    };
+
+    // Legality + access collection over one expression tree. Returns false
+    // (with `why` set) on the first construct that cannot run off the
+    // rank's main thread or whose memory behaviour cannot be bounded.
+    std::function<bool(Env&, const Expr&)> checkExpr = [&](Env& env, const Expr& e) -> bool {
+        switch (e.kind) {
+        case ExprKind::Const:
+        case ExprKind::Local:
+        case ExprKind::This:
+        case ExprKind::StaticGet: return true;
+        case ExprKind::FieldGet: return checkExpr(env, *as<FieldGetExpr>(e).obj);
+        case ExprKind::ArrayLen: return checkExpr(env, *as<ArrayLenExpr>(e).arr);
+        case ExprKind::Unary: return checkExpr(env, *as<UnaryExpr>(e).e);
+        case ExprKind::Binary: {
+            const auto& n = as<BinaryExpr>(e);
+            return checkExpr(env, *n.l) && checkExpr(env, *n.r);
+        }
+        case ExprKind::Cond: {
+            const auto& n = as<CondExpr>(e);
+            return checkExpr(env, *n.c) && checkExpr(env, *n.t) && checkExpr(env, *n.f);
+        }
+        case ExprKind::Cast: return checkExpr(env, *as<CastExpr>(e).e);
+        case ExprKind::ArrayGet: {
+            const auto& n = as<ArrayGetExpr>(e);
+            if (!checkExpr(env, *n.arr) || !checkExpr(env, *n.idx)) return false;
+            if (n.arr->kind != ExprKind::Local) {
+                why = "reads an array through a non-local expression";
+                return false;
+            }
+            recordPAcc(env, false, as<LocalExpr>(*n.arr).name, *n.idx);
+            return true;
+        }
+        case ExprKind::New: {
+            const auto& n = as<NewExpr>(e);
+            for (const auto& a : n.args) {
+                if (!checkExpr(env, *a)) return false;
+            }
+            if (!ctorAllowsParallel(prog_.cls(n.cls))) {
+                why = "constructs '" + n.cls + "', whose constructor is not provably iteration-private";
+                return false;
+            }
+            return true;
+        }
+        case ExprKind::NewArray:
+            why = "allocates an array inside the loop";
+            return false;
+        case ExprKind::IntrinsicCall: {
+            const auto& n = as<IntrinsicExpr>(e);
+            for (const auto& a : n.args) {
+                if (!checkExpr(env, *a)) return false;
+            }
+            switch (n.op) {
+            case Intrinsic::MathSqrtF64:
+            case Intrinsic::MathFabsF64:
+            case Intrinsic::MathExpF64:
+            case Intrinsic::MathSqrtF32:
+            case Intrinsic::RngHashF32: return true;
+            default:
+                why = std::string("calls intrinsic '") + intrinsicSig(n.op).name +
+                      "', which must stay on the rank's main thread";
+                return false;
+            }
+        }
+        case ExprKind::Call:
+        case ExprKind::StaticCall: {
+            const CallExpr* vc = e.kind == ExprKind::Call ? &as<CallExpr>(e) : nullptr;
+            const StaticCallExpr* sc = vc ? nullptr : &as<StaticCallExpr>(e);
+            AVal recv;
+            if (vc) {
+                if (!checkExpr(env, *vc->recv)) return false;
+                recv = evalExpr(env, *vc->recv);
+            }
+            const auto& argExprs = vc ? vc->args : sc->args;
+            for (const auto& a : argExprs) {
+                if (!checkExpr(env, *a)) return false;
+            }
+
+            std::vector<const Method*> targets;
+            if (vc) {
+                if (!recv.objs.empty()) {
+                    for (const AbsObjPtr& o : recv.objs) {
+                        if (const Method* t = prog_.resolveMethod(o->cls->name, vc->method)) {
+                            targets.push_back(t);
+                        }
+                    }
+                } else if (recv.type.isClass()) {
+                    for (const auto& [owner, t] :
+                         resolveVirtual(prog_, recv.type.className(), vc->method)) {
+                        (void)owner;
+                        targets.push_back(t);
+                    }
+                }
+            } else {
+                const ClassDecl* owner = prog_.methodOwner(sc->cls, sc->method);
+                if (const Method* t = owner ? owner->ownMethod(sc->method) : nullptr) {
+                    targets.push_back(t);
+                }
+            }
+            const std::string callee = vc ? vc->method : sc->method;
+            if (targets.empty()) {
+                why = "calls '" + callee + "', which could not be resolved";
+                return false;
+            }
+            for (const Method* t : targets) {
+                if (t->isGlobal) {
+                    why = "launches kernel '" + t->name + "'";
+                    return false;
+                }
+                const Effects& eff = effectsOf(*t);
+                if (!eff.writesParams.empty() || !eff.writesFields.empty() || eff.writesUnknown) {
+                    why = "calls '" + t->name + "', which may write shared state";
+                    return false;
+                }
+                if (eff.usesComm() || eff.ckpt) {
+                    why = "calls '" + t->name + "', which communicates or checkpoints";
+                    return false;
+                }
+                if (eff.gpu || eff.allocates || eff.frees || eff.prints) {
+                    why = "calls '" + t->name + "', which has device/alloc/IO effects";
+                    return false;
+                }
+                for (const Param& p : t->params) {
+                    if (p.type.isArray()) {
+                        why = "calls '" + t->name + "' with an array parameter";
+                        return false;
+                    }
+                }
+                // A read of an array *field* inside the callee escapes the
+                // index analysis; any element it reads could be written by a
+                // collected store. Scalar field reads are fine.
+                for (const std::string& fk : eff.readsFields) {
+                    const auto dot = fk.find('.');
+                    const Field* fd =
+                        prog_.resolveField(fk.substr(0, dot), fk.substr(dot + 1));
+                    if (!fd || fd->type.isArray()) {
+                        why = "calls '" + t->name + "', which reads array field " + fk;
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        }
+        return true;
+    };
+
+    bool legal = true;
+    for (int node : cfg.rpo()) {
+        const CfgNode& nd = cfg.nodes[static_cast<size_t>(node)];
+        int mapped = -1;
+        const ForStmt* innerInit = nullptr;
+        const ForStmt* innerStep = nullptr;
+        const Expr* branchCond = nullptr;
+        const Stmt* bodyStmt = nullptr;
+        switch (nd.kind) {
+        case CfgNode::Kind::Stmt: {
+            auto it = stmtNode.find(nd.stmt);
+            if (it != stmtNode.end() && it->second == node) bodyStmt = nd.stmt, mapped = node;
+            break;
+        }
+        case CfgNode::Kind::Branch: {
+            auto it = condNode.find(nd.cond);
+            if (it != condNode.end() && it->second == node) branchCond = nd.cond, mapped = node;
+            break;
+        }
+        case CfgNode::Kind::ForInit: {
+            auto it = forInitNode.find(nd.forS);
+            if (it != forInitNode.end() && it->second == node) innerInit = nd.forS, mapped = node;
+            break;
+        }
+        case CfgNode::Kind::ForStep: {
+            auto it = forStepNode.find(nd.forS);
+            if (it != forStepNode.end() && it->second == node) innerStep = nd.forS, mapped = node;
+            break;
+        }
+        default: break;
+        }
+        if (mapped < 0) continue;
+        if (!states[static_cast<size_t>(node)].reach) continue;  // dead body code
+        Env env = states[static_cast<size_t>(node)];
+
+        if (branchCond) {
+            legal = checkExpr(env, *branchCond);
+        } else if (innerInit) {
+            legal = checkExpr(env, *innerInit->init);
+        } else if (innerStep) {
+            legal = checkExpr(env, *innerStep->step);
+        } else {
+            const Stmt& st = *bodyStmt;
+            switch (st.kind) {
+            case StmtKind::Decl: {
+                const auto& n = as<DeclStmt>(st);
+                legal = !n.init || checkExpr(env, *n.init);
+                // Single-assignment integral locals carry a linear form so
+                // hoisted index bases (`base = z*plane + y*nx`) stay affine.
+                if (legal && n.init && n.type.isIntegral() && !ix.kills.count(n.name)) {
+                    lfMap[n.name] = linOf(env, *n.init);
+                }
+                break;
+            }
+            case StmtKind::AssignLocal: {
+                const auto& n = as<AssignLocalStmt>(st);
+                if (!ix.defined.count(n.name)) {
+                    why = "updates '" + n.name +
+                          "' declared outside the loop (loop-carried scalar dependence)";
+                    legal = false;
+                    break;
+                }
+                legal = checkExpr(env, *n.value);
+                break;
+            }
+            case StmtKind::ArraySet: {
+                const auto& n = as<ArraySetStmt>(st);
+                legal = checkExpr(env, *n.arr) && checkExpr(env, *n.idx) &&
+                        checkExpr(env, *n.value);
+                if (!legal) break;
+                if (n.arr->kind != ExprKind::Local) {
+                    why = "stores to an array through a non-local expression";
+                    legal = false;
+                    break;
+                }
+                recordPAcc(env, true, as<LocalExpr>(*n.arr).name, *n.idx);
+                break;
+            }
+            case StmtKind::FieldSet:
+                why = "stores to an object field";
+                legal = false;
+                break;
+            case StmtKind::Return:
+                why = "returns from inside the loop";
+                legal = false;
+                break;
+            case StmtKind::ExprStmt: legal = checkExpr(env, *as<ExprStmt>(st).e); break;
+            default:
+                why = "unsupported statement";
+                legal = false;
+                break;
+            }
+        }
+        if (!legal) break;
+    }
+    if (!legal) return refuse(why.empty() ? "body has unsupported constructs" : why);
+
+    // ---- pairwise dependence test over the collected accesses. Two
+    // accesses with equal coefficient k collide across iterations i != j
+    // exactly when (w2 - w1) can land in ±[|k|, |k|*span]; unequal or
+    // unknown coefficients fall back to whole-footprint overlap.
+    auto collides = [&](const PAcc& a, const PAcc& b) -> bool {
+        if (span <= 0) return false;  // at most one iteration
+        if (a.k == b.k) {
+            if (a.k == 0) return regionsMayOverlap(a.w, b.w);
+            const int64_t mag = a.k < 0 ? Itv::satNeg(a.k) : a.k;
+            const int64_t magSpan = Itv::satMul(mag, span);
+            const Itv diff = b.w.sub(a.w);
+            if (diff.empty()) return false;
+            return rangesIntersect(diff.lo, diff.hi, mag, magSpan) ||
+                   rangesIntersect(diff.lo, diff.hi, Itv::satNeg(magSpan), Itv::satNeg(mag));
+        }
+        return regionsMayOverlap(a.foot, b.foot);
+    };
+
+    std::set<std::pair<std::string, std::string>> guards;
+    for (size_t i = 0; i < accs.size(); ++i) {
+        for (size_t j = i; j < accs.size(); ++j) {
+            const PAcc& a = accs[i];
+            const PAcc& b = accs[j];
+            if (!a.isWrite && !b.isWrite) continue;
+            if (i == j && !a.isWrite) continue;
+            if (a.name == b.name) {
+                if (collides(a, b)) {
+                    return refuse("accesses to '" + a.name + "' may collide across iterations");
+                }
+            } else {
+                if (!rootsMayIntersect(a.roots, b.roots)) continue;  // provably distinct
+                if (collides(a, b)) {
+                    guards.insert(a.name < b.name ? std::make_pair(a.name, b.name)
+                                                  : std::make_pair(b.name, a.name));
+                }
+            }
+        }
+    }
+
+    if (!guards.empty()) {
+        std::string desc = "iterations are independent provided ";
+        bool first = true;
+        for (const auto& [a, b] : guards) {
+            if (!first) desc += ", ";
+            desc += "'" + a + "' != '" + b + "'";
+            first = false;
+        }
+        desc += " (runtime pointer guard)";
+        std::vector<std::pair<std::string, std::string>> pairs(guards.begin(), guards.end());
+        noteLoop(&fs, label, ParVerdict::CondParallel, std::move(desc), std::move(pairs));
+        return ParVerdict::CondParallel;
+    }
+    noteLoop(&fs, label, ParVerdict::Parallel, "no loop-carried dependence", {});
+    return ParVerdict::Parallel;
+}
+
 // ----------------------------------------------------------------- drivers
 
 void Engine::runEntry(const Value& receiver, const std::string& method,
@@ -1926,6 +2651,7 @@ void Engine::runEntry(const Value& receiver, const std::string& method,
         argVals.push_back(absOfValue(args[i], declared));
     }
     analyzeCall(*owner, *m, &self, argVals);
+    finishParallelReport();
 }
 
 void Engine::runLint() {
@@ -1953,6 +2679,7 @@ void Engine::runLint() {
             }
         }
     }
+    finishParallelReport();
 }
 
 } // namespace

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "interp/value.h"
@@ -39,6 +40,23 @@ enum class Safety {
     OutOfBounds,  ///< out of bounds whenever a reaching execution gets there
 };
 
+/// Loop-parallelization verdict for one counted For loop (see the
+/// dependence prover in analysis.cpp). Parallel: iterations provably
+/// independent for every aliasing. CondParallel: independent provided the
+/// listed local array pairs refer to distinct wj_array objects — the
+/// translator emits a pointer-inequality runtime guard and keeps a serial
+/// fallback. Serial: a loop-carried dependence (or an effect that must stay
+/// on the rank's main thread) was found or could not be excluded.
+enum class ParVerdict { Parallel, CondParallel, Serial };
+
+struct LoopParallel {
+    ParVerdict verdict = ParVerdict::Serial;
+    std::string reason;  ///< human-readable justification ("wjc lint" report)
+    /// Local-variable name pairs that must be pointer-distinct for the
+    /// parallel version to be valid (CondParallel only).
+    std::vector<std::pair<std::string, std::string>> neqPairs;
+};
+
 struct Result {
     std::vector<Violation> errors;    ///< uninit reads, proven OOB, halo races
     std::vector<Violation> warnings;  ///< dead stores, receives left in flight
@@ -49,6 +67,14 @@ struct Result {
     std::map<const void*, Safety> accessSafety;
     int safeAccesses = 0;
     int unknownAccesses = 0;
+    /// Parallelization verdicts keyed by the ForStmt node address, joined
+    /// across call contexts (Serial in any context poisons the loop; the
+    /// guard-pair sets union). Only outermost counted loops of candidate
+    /// shape appear; absent loops are serial.
+    std::map<const void*, LoopParallel> loopParallel;
+    /// One line per candidate loop explaining its verdict ("wjc lint
+    /// --parallel" report). Filled by both drivers.
+    std::vector<std::string> parallelReport;
 
     bool clean() const { return errors.empty(); }
     /// Throws AnalysisError if any error-level finding was recorded.

@@ -122,6 +122,11 @@ private:
         eff_.postsIrecv |= ce.postsIrecv;
         eff_.waits |= ce.waits;
         eff_.collectives |= ce.collectives;
+        eff_.ckpt |= ce.ckpt;
+        eff_.gpu |= ce.gpu;
+        eff_.allocates |= ce.allocates;
+        eff_.frees |= ce.frees;
+        eff_.prints |= ce.prints;
     }
 
     void walkIntrinsic(TypeScope& s, const IntrinsicExpr& n) {
@@ -145,12 +150,17 @@ private:
         case Intrinsic::MpiAllreduceMaxF64:
             eff_.collectives = true;
             break;
-        case Intrinsic::GpuMemcpyH2DF32: write(arg(0)); read(arg(1)); break;
-        case Intrinsic::GpuMemcpyD2HF32: write(arg(0)); read(arg(1)); break;
-        case Intrinsic::GpuMemcpyH2DOffF32: write(arg(0)); read(arg(2)); break;
-        case Intrinsic::GpuMemcpyD2HOffF32: write(arg(0)); read(arg(2)); break;
-        case Intrinsic::CkptSaveF32: read(arg(0)); break;
-        case Intrinsic::CkptLoadF32: write(arg(0)); break;
+        case Intrinsic::GpuMemcpyH2DF32: eff_.gpu = true; write(arg(0)); read(arg(1)); break;
+        case Intrinsic::GpuMemcpyD2HF32: eff_.gpu = true; write(arg(0)); read(arg(1)); break;
+        case Intrinsic::GpuMemcpyH2DOffF32: eff_.gpu = true; write(arg(0)); read(arg(2)); break;
+        case Intrinsic::GpuMemcpyD2HOffF32: eff_.gpu = true; write(arg(0)); read(arg(2)); break;
+        case Intrinsic::GpuMallocF32: eff_.gpu = eff_.allocates = true; break;
+        case Intrinsic::GpuFree: eff_.gpu = eff_.frees = true; break;
+        case Intrinsic::CudaSharedF32: eff_.gpu = true; break;
+        case Intrinsic::CkptSaveF32: eff_.ckpt = true; read(arg(0)); break;
+        case Intrinsic::CkptLoadF32: eff_.ckpt = true; write(arg(0)); break;
+        case Intrinsic::FreeArray: eff_.frees = true; break;
+        case Intrinsic::PrintI64: case Intrinsic::PrintF64: eff_.prints = true; break;
         default: break;
         }
     }
@@ -214,7 +224,10 @@ private:
         case ExprKind::New:
             for (const auto& a : as<NewExpr>(e).args) walkExpr(s, *a);
             return;
-        case ExprKind::NewArray: walkExpr(s, *as<NewArrayExpr>(e).len); return;
+        case ExprKind::NewArray:
+            eff_.allocates = true;
+            walkExpr(s, *as<NewArrayExpr>(e).len);
+            return;
         case ExprKind::Cast: walkExpr(s, *as<CastExpr>(e).e); return;
         case ExprKind::Const: case ExprKind::Local: case ExprKind::This:
         case ExprKind::StaticGet:
@@ -331,6 +344,11 @@ bool Effects::merge(const Effects& o) {
     postsIrecv |= o.postsIrecv;
     waits |= o.waits;
     collectives |= o.collectives;
+    ckpt |= o.ckpt;
+    gpu |= o.gpu;
+    allocates |= o.allocates;
+    frees |= o.frees;
+    prints |= o.prints;
     return !(*this == before);
 }
 
@@ -350,6 +368,15 @@ std::string Effects::str() const {
         if (postsIrecv) out += "irecv,";
         if (waits) out += "wait,";
         if (collectives) out += "coll,";
+        out += "}";
+    }
+    if (ckpt || gpu || allocates || frees || prints) {
+        out += " side{";
+        if (ckpt) out += "ckpt,";
+        if (gpu) out += "gpu,";
+        if (allocates) out += "alloc,";
+        if (frees) out += "free,";
+        if (prints) out += "print,";
         out += "}";
     }
     return out;

@@ -42,12 +42,21 @@ struct Effects {
         return sends || receives || postsIrecv || waits || collectives;
     }
 
+    // ---- additional side channels (consumed by the loop parallelizer,
+    // which must keep comm/ckpt/alloc/IO on the rank's main thread)
+    bool ckpt = false;       ///< checkpoint save / load
+    bool gpu = false;        ///< any GPU intrinsic or @Global kernel launch
+    bool allocates = false;  ///< NewArray / device allocation
+    bool frees = false;      ///< WootinJ.free / cuda.free
+    bool prints = false;     ///< printI64 / printF64
+
     bool operator==(const Effects& o) const {
         return readsParams == o.readsParams && writesParams == o.writesParams &&
                readsFields == o.readsFields && writesFields == o.writesFields &&
                writesUnknown == o.writesUnknown && sends == o.sends &&
                receives == o.receives && postsIrecv == o.postsIrecv && waits == o.waits &&
-               collectives == o.collectives;
+               collectives == o.collectives && ckpt == o.ckpt && gpu == o.gpu &&
+               allocates == o.allocates && frees == o.frees && prints == o.prints;
     }
 
     /// Merges `o` into this; true if anything grew.

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "runtime/threadpool.h"
 #include "support/diagnostics.h"
 
 namespace wj::gpusim {
@@ -119,27 +120,54 @@ void Device::launch(KernelFn k, void* args, Dim3 grid, Dim3 block, int64_t share
     }
 }
 
+namespace {
+
+/// parallelFor context for the barrier-free path: blocks of a grid are
+/// independent by construction (CUDA blocks may not communicate without
+/// grid-wide cooperation, which needsSync-free kernels cannot express), so
+/// the flattened block range fans out across the WJ_THREADS pool. Each
+/// chunk carries a private ThreadCtx and a private shared-memory buffer —
+/// shared memory is per-block state, never cross-block.
+struct FastLaunch {
+    KernelFn k;
+    void* args;
+    Dim3 grid, block;
+    int64_t sharedFloats;
+    Device* device;
+};
+
+void wjGpusimFastChunk(int64_t lo, int64_t hi, void* ctx) {
+    const FastLaunch& L = *static_cast<const FastLaunch*>(ctx);
+    std::vector<float> shared(static_cast<size_t>(L.sharedFloats));
+    ThreadCtx tc;
+    tc.gridDim = L.grid;
+    tc.blockDim = L.block;
+    tc.shared = shared.data();
+    tc.sharedFloats = L.sharedFloats;
+    tc.device = L.device;
+    for (int64_t b = lo; b < hi; ++b) {
+        const int bx = static_cast<int>(b % L.grid.x);
+        const int by = static_cast<int>((b / L.grid.x) % L.grid.y);
+        const int bz = static_cast<int>(b / (static_cast<int64_t>(L.grid.x) * L.grid.y));
+        tc.blockIdx = {bx, by, bz};
+        // Shared memory is per-block: reset between blocks.
+        std::memset(shared.data(), 0, static_cast<size_t>(L.sharedFloats) * sizeof(float));
+        for (int tz = 0; tz < L.block.z; ++tz)
+            for (int ty = 0; ty < L.block.y; ++ty)
+                for (int tx = 0; tx < L.block.x; ++tx) {
+                    tc.threadIdx = {tx, ty, tz};
+                    L.k(&tc, L.args);
+                }
+    }
+}
+
+} // namespace
+
 void Device::launchFast(KernelFn k, void* args, Dim3 grid, Dim3 block, float* shared,
                         int64_t sharedFloats) {
-    ThreadCtx tc;
-    tc.gridDim = grid;
-    tc.blockDim = block;
-    tc.shared = shared;
-    tc.sharedFloats = sharedFloats;
-    tc.device = this;
-    for (int bz = 0; bz < grid.z; ++bz)
-        for (int by = 0; by < grid.y; ++by)
-            for (int bx = 0; bx < grid.x; ++bx) {
-                tc.blockIdx = {bx, by, bz};
-                // Shared memory is per-block: reset between blocks.
-                std::memset(shared, 0, static_cast<size_t>(sharedFloats) * sizeof(float));
-                for (int tz = 0; tz < block.z; ++tz)
-                    for (int ty = 0; ty < block.y; ++ty)
-                        for (int tx = 0; tx < block.x; ++tx) {
-                            tc.threadIdx = {tx, ty, tz};
-                            k(&tc, args);
-                        }
-            }
+    (void)shared;  // each block chunk allocates its own per-block buffer
+    FastLaunch L{k, args, grid, block, sharedFloats, this};
+    runtime::ThreadPool::instance().parallelFor(0, grid.count(), wjGpusimFastChunk, &L);
 }
 
 // swapcontext has setjmp-like semantics and GCC's -Wclobbered cannot see

@@ -18,9 +18,12 @@
 //   * dynamic shared memory per block (the @Shared / extern __shared__
 //     model), sized by the launch configuration.
 //
-// Kernels without barriers take a fast path: a plain loop over logical
-// threads, no fiber setup. The JIT knows statically whether a kernel can
-// reach syncthreads and passes that flag to launch().
+// Kernels without barriers take a fast path: no fiber setup, and the
+// blocks of the grid — independent by construction in CUDA unless a
+// kernel synchronizes, which a needsSync-free kernel cannot — fan out
+// across the WJ_THREADS pool (runtime/threadpool.h), each chunk with its
+// own private per-block shared buffer. The JIT knows statically whether a
+// kernel can reach syncthreads and passes that flag to launch().
 #pragma once
 
 #include <cstdint>

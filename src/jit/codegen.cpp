@@ -86,6 +86,13 @@ public:
         safety_ = safety;
     }
 
+    /// Loop-parallelization verdicts (keyed by ForStmt address). When set,
+    /// host loops proven Parallel/CondParallel are outlined into a chunk
+    /// function dispatched through wjrt_parallel_for.
+    void setParallel(const std::map<const void*, analysis::LoopParallel>* verdicts) {
+        parLoops_ = verdicts;
+    }
+
     Translation run(const Value& receiver, const std::string& method,
                     const std::vector<Value>& args);
 
@@ -138,6 +145,8 @@ private:
                    const CVal& recv);
     void genStmts(Env& env, const Block& b);
     void genStmt(Env& env, const Stmt& s);
+    void genSerialFor(Env& env, const ForStmt& n);
+    void genParallelFor(Env& env, const ForStmt& n, const analysis::LoopParallel& lp);
     void inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
                     std::vector<CVal> argVals,
                     std::map<std::string, const Shape*>& fieldShapes);
@@ -166,6 +175,8 @@ private:
     int fnCount_ = 0;
     int boundsMode_ = 0;
     const std::map<const void*, analysis::Safety>* safety_ = nullptr;
+    const std::map<const void*, analysis::LoopParallel>* parLoops_ = nullptr;
+    int pfCount_ = 0;
     Translation out_;
 
     /// Index expression for an array access, wrapped in a wj_chk guard when
@@ -425,18 +436,14 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
     }
     case StmtKind::For: {
         const auto& n = as<ForStmt>(s);
-        auto saved = env.vars;
-        CVal init = genExpr(env, *n.init);
-        const Shape* vs = shapes_.ofType(n.varType);
-        if (vs->isObject()) xerr("object-typed loop variables are not supported");
-        env.vars[n.var] = {"v_" + n.var, vs, true};
-        CVal cond = genExpr(env, *n.cond);
-        CVal step = genExpr(env, *n.step);
-        em.open("for (" + cTypeVal(vs) + " v_" + n.var + " = " + init.text + "; " + cond.text +
-                "; v_" + n.var + " = " + step.text + ") {");
-        genStmts(env, n.body);
-        env.vars = saved;
-        em.close();
+        if (parLoops_ && !env.device) {
+            auto it = parLoops_->find(&n);
+            if (it != parLoops_->end() && it->second.verdict != analysis::ParVerdict::Serial) {
+                genParallelFor(env, n, it->second);
+                return;
+            }
+        }
+        genSerialFor(env, n);
         return;
     }
     case StmtKind::Return: {
@@ -461,6 +468,163 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
     case StmtKind::SuperCtor:
         xerr("super(...) outside constructor inlining");
     }
+}
+
+void CodeGen::genSerialFor(Env& env, const ForStmt& n) {
+    Emitter& em = *env.em;
+    auto saved = env.vars;
+    CVal init = genExpr(env, *n.init);
+    const Shape* vs = shapes_.ofType(n.varType);
+    if (vs->isObject()) xerr("object-typed loop variables are not supported");
+    env.vars[n.var] = {"v_" + n.var, vs, true};
+    CVal cond = genExpr(env, *n.cond);
+    CVal step = genExpr(env, *n.step);
+    em.open("for (" + cTypeVal(vs) + " v_" + n.var + " = " + init.text + "; " + cond.text +
+            "; v_" + n.var + " = " + step.text + ") {");
+    genStmts(env, n.body);
+    env.vars = saved;
+    em.close();
+}
+
+namespace {
+
+/// Evaluating an expression twice (or hoisting it out of the loop header)
+/// must not duplicate side effects; refuse anything that can emit code.
+bool safeToHoist(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Call:
+    case ExprKind::StaticCall:
+    case ExprKind::IntrinsicCall:
+    case ExprKind::New:
+    case ExprKind::NewArray: return false;
+    case ExprKind::FieldGet: return safeToHoist(*as<FieldGetExpr>(e).obj);
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        return safeToHoist(*n.arr) && safeToHoist(*n.idx);
+    }
+    case ExprKind::ArrayLen: return safeToHoist(*as<ArrayLenExpr>(e).arr);
+    case ExprKind::Unary: return safeToHoist(*as<UnaryExpr>(e).e);
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        return safeToHoist(*n.l) && safeToHoist(*n.r);
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        return safeToHoist(*n.c) && safeToHoist(*n.t) && safeToHoist(*n.f);
+    }
+    case ExprKind::Cast: return safeToHoist(*as<CastExpr>(e).e);
+    default: return true;
+    }
+}
+
+} // namespace
+
+// Outlines a proven loop body into `static void wj_pfbN(lo, hi, ctx)` and
+// replaces the loop with a wjrt_parallel_for dispatch over [init, bound).
+// Every in-scope local (and `self`) is packed by value into a capture
+// struct: the analysis guarantees the body only reads them, and array/object
+// captures are pointers into the caller's frame. CondParallel loops get a
+// runtime pointer-inequality guard with the serial loop as the else-branch,
+// so aliased calls (e.g. multiplyAcc(c, c, c)) keep exact serial semantics.
+void CodeGen::genParallelFor(Env& env, const ForStmt& n, const analysis::LoopParallel& lp) {
+    Emitter& em = *env.em;
+    const Shape* vs = shapes_.ofType(n.varType);
+
+    // Re-derive the bound from the proven shape `for (v = init; v < bound;
+    // v = v + 1)`; anything unexpected falls back to the serial loop.
+    const auto* condB = n.cond->kind == ExprKind::Binary ? &as<BinaryExpr>(*n.cond) : nullptr;
+    if (vs->isObject() || !condB || condB->op != BinOp::Lt ||
+        condB->l->kind != ExprKind::Local || as<LocalExpr>(*condB->l).name != n.var ||
+        !safeToHoist(*n.init) || !safeToHoist(*condB->r)) {
+        genSerialFor(env, n);
+        return;
+    }
+    const Expr& boundE = *condB->r;
+
+    // CondParallel: build the pointer-distinctness guard from the verdict's
+    // local-name pairs; a name out of scope means the proof context does not
+    // match this emission context, so stay serial.
+    std::string guard;
+    for (const auto& [a, b] : lp.neqPairs) {
+        auto ia = env.vars.find(a);
+        auto ib = env.vars.find(b);
+        if (ia == env.vars.end() || ib == env.vars.end()) {
+            genSerialFor(env, n);
+            return;
+        }
+        if (!guard.empty()) guard += " && ";
+        guard += ia->second.text + " != " + ib->second.text;
+    }
+
+    const int id = pfCount_++;
+    const std::string sname = format("wj_pfc%d", id);
+    const std::string fnName = format("wj_pfb%d", id);
+
+    // ---- capture struct: every named local in scope, plus the receiver.
+    std::vector<std::pair<std::string, const Shape*>> caps;
+    if (env.hasThis) caps.emplace_back(env.self.text, env.self.shape);
+    for (const auto& [name, cv] : env.vars) {
+        if (name.rfind("@p:", 0) == 0 || cv.text.empty()) continue;
+        caps.emplace_back(cv.text, cv.shape);
+    }
+    std::string def = "/* parallel-for captures (loop over " + n.var + ") */\n";
+    def += "typedef struct " + sname + " {\n";
+    if (caps.empty()) def += "  int32_t wj_empty;\n";
+    for (const auto& [txt, sh] : caps) {
+        def += "  " + (sh->isObject() ? structFor(sh) + "*" : cTypeVal(sh)) + " " + txt + ";\n";
+    }
+    def += "} " + sname + ";\n";
+    structs_ += def;
+
+    protos_ += "static void " + fnName + "(int64_t wj_lo, int64_t wj_hi, void* wj_ctx);\n";
+
+    // ---- chunk function: unpack captures under their original names and
+    // run the body for [wj_lo, wj_hi). Identical per-iteration code to the
+    // serial loop, so any thread count produces bit-identical results.
+    Emitter bem;
+    bem.line(sname + "* wj_c = (" + sname + "*)wj_ctx;");
+    for (const auto& [txt, sh] : caps) {
+        bem.line((sh->isObject() ? structFor(sh) + "*" : cTypeVal(sh)) + " " + txt + " = wj_c->" +
+                 txt + ";");
+    }
+    const std::string vct = cTypeVal(vs);
+    bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var + " < (" + vct +
+             ")wj_hi; ++v_" + n.var + ") {");
+    {
+        Env benv = env;
+        benv.em = &bem;
+        benv.vars[n.var] = {"v_" + n.var, vs, true};
+        genStmts(benv, n.body);
+    }
+    bem.close();
+    fns_ += "static void " + fnName + "(int64_t wj_lo, int64_t wj_hi, void* wj_ctx) {\n" +
+            bem.text() + "}\n\n";
+
+    // ---- dispatch site
+    auto emitDispatch = [&]() {
+        CVal init = genExpr(env, *n.init);
+        CVal bound = genExpr(env, boundE);
+        const std::string cap = format("wj_cap%d", id);
+        em.line(sname + " " + cap + ";");
+        for (const auto& [txt, sh] : caps) {
+            (void)sh;
+            em.line(cap + "." + txt + " = " + txt + ";");
+        }
+        em.line("wjrt_parallel_for((int64_t)(" + init.text + "), (int64_t)(" + bound.text +
+                "), " + fnName + ", &" + cap + ");");
+    };
+    if (guard.empty()) {
+        em.open("{");
+        emitDispatch();
+        em.close();
+    } else {
+        em.open("if (" + guard + ") {");
+        emitDispatch();
+        em.mid("} else {");
+        genSerialFor(env, n);
+        em.close();
+    }
+    ++out_.parallelLoops;
 }
 
 // -------------------------------------------------------------------- exprs
@@ -1124,6 +1288,11 @@ Translation translate(const Program& prog, const Value& receiver, const std::str
     const int mode = boundsModeFromEnv();
     CodeGen cg(prog);
     cg.setBounds(mode, mode == 1 ? &facts.accessSafety : nullptr);
+    // WJ_PARALLEL=1 turns proven loops into wjrt_parallel_for dispatches
+    // (the worker count is a pure runtime decision via WJ_THREADS, so the
+    // generated code — and its cache key — is thread-count independent).
+    const char* par = std::getenv("WJ_PARALLEL");
+    if (par && *par && std::string(par) != "0") cg.setParallel(&facts.loopParallel);
     return cg.run(receiver, method, args);
 }
 

@@ -214,6 +214,7 @@ Value JitCode::invokeWith(const std::vector<Value>& args) {
                 rank0Result = std::move(r);
             }
         });
+        commStats_ = world.stats();
         return rank0Result;
     }
     gpusim::Device dev(0);

@@ -21,6 +21,7 @@
 #include "jit/codegen.h"
 #include "jit/compile.h"
 #include "ir/program.h"
+#include "minimpi/minimpi.h"
 #include "runtime/wjrt.h"
 
 namespace wj {
@@ -89,6 +90,13 @@ public:
     int64_t devirtualizedCalls() const noexcept { return translation_.devirtualizedCalls; }
     int64_t inlinedObjects() const noexcept { return translation_.inlinedObjects; }
     int64_t kernels() const noexcept { return translation_.kernels; }
+    /// Loops the analysis proved dependence-free and the translator
+    /// dispatched through wjrt_parallel_for (WJ_PARALLEL, WJ_THREADS).
+    int64_t parallelLoops() const noexcept { return translation_.parallelLoops; }
+
+    /// MiniMPI traffic of the most recent multi-rank invoke(): total plus
+    /// the pooled / zero-copy split (all zeros before the first MPI run).
+    minimpi::CommStats commStats() const noexcept { return commStats_; }
 
     /// The generated C translation unit (Listing 5's analogue).
     const std::string& generatedC() const noexcept { return translation_.cSource; }
@@ -120,6 +128,7 @@ private:
     bool copyBack_ = false;
 
     Translation translation_;
+    minimpi::CommStats commStats_;
     CompileResult compile_;  // module is shared via the module registry
     ExecMode mode_ = ExecMode::Native;
     using EntryFn = int64_t (*)(const int64_t*, ::wj_array**);

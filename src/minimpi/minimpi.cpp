@@ -36,6 +36,43 @@ std::string srcName(int src) {
 
 int Comm::size() const noexcept { return world_->size(); }
 
+// ------------------------------------------------------------- buffer pool
+
+std::vector<uint8_t> World::BufferPool::acquire(size_t bytes) {
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        // Smallest cached buffer that fits, searched from the back so the
+        // most recently released (cache-warm) candidates win ties.
+        size_t best = free_.size();
+        for (size_t i = free_.size(); i-- > 0;) {
+            if (free_[i].capacity() < bytes) continue;
+            if (best == free_.size() || free_[i].capacity() < free_[best].capacity()) best = i;
+        }
+        if (best != free_.size()) {
+            std::vector<uint8_t> buf = std::move(free_[best]);
+            free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
+            cachedBytes_ -= buf.capacity();
+            buf.clear();
+            return buf;
+        }
+    }
+    std::vector<uint8_t> buf;
+    // Round capacity up to the next power of two so repeated traffic at
+    // nearby sizes lands in the same size class.
+    size_t cap = kPooledThreshold;
+    while (cap < bytes) cap *= 2;
+    buf.reserve(cap);
+    return buf;
+}
+
+void World::BufferPool::release(std::vector<uint8_t>&& buf) {
+    if (buf.capacity() < kPooledThreshold) return;
+    std::lock_guard<std::mutex> lock(m_);
+    if (cachedBytes_ + buf.capacity() > kMaxCachedBytes) return;  // drop: bounded cache
+    cachedBytes_ += buf.capacity();
+    free_.push_back(std::move(buf));
+}
+
 World::World(int size)
     : size_(size), boxes_(static_cast<size_t>(std::max(size, 1))),
       waits_(static_cast<size_t>(std::max(size, 1))), watchdogMs_(watchdogDefaultMs()) {
@@ -53,6 +90,13 @@ void World::post(int dest, Message msg) {
     // point-to-point traffic.
     messages_ += 1;
     bytes_ += static_cast<int64_t>(msg.data.size());
+    if (msg.origin == kOriginPooled) {
+        pooledMessages_ += 1;
+        pooledBytes_ += static_cast<int64_t>(msg.data.size());
+    } else if (msg.origin == kOriginMoved) {
+        zeroCopyMessages_ += 1;
+        zeroCopyBytes_ += static_cast<int64_t>(msg.data.size());
+    }
     bool duplicate = false;
     if (fault::FaultPlan::active()) {
         // The injector models the link: it may corrupt or delay the payload
@@ -268,13 +312,39 @@ void Comm::faultHook() {
     if (fault::FaultPlan::active()) fault::FaultPlan::instance().onCommOp(rank_);
 }
 
+/// Fills a Message payload from a raw region: large payloads ride a
+/// recycled pool buffer (no allocation on the steady state), small ones a
+/// plain fresh vector.
+void World::fillPayload(Message* msg, const void* buf, size_t bytes) {
+    if (bytes >= kPooledThreshold) {
+        msg->data = pool_.acquire(bytes);
+        msg->data.resize(bytes);
+        std::memcpy(msg->data.data(), buf, bytes);
+        msg->origin = kOriginPooled;
+    } else {
+        msg->data.assign(static_cast<const uint8_t*>(buf),
+                         static_cast<const uint8_t*>(buf) + bytes);
+    }
+}
+
 void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
     faultHook();
     World::Message msg;
     msg.src = rank_;
     msg.tag = tag;
     msg.channel = 0;
-    msg.data.assign(static_cast<const uint8_t*>(buf), static_cast<const uint8_t*>(buf) + bytes);
+    world_->fillPayload(&msg, buf, bytes);
+    world_->post(dest, std::move(msg));
+}
+
+void Comm::send(std::vector<uint8_t>&& data, int dest, int tag) {
+    faultHook();
+    World::Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.channel = 0;
+    msg.origin = World::kOriginMoved;
+    msg.data = std::move(data);
     world_->post(dest, std::move(msg));
 }
 
@@ -287,6 +357,7 @@ int Comm::recv(void* buf, size_t bytes, int src, int tag) {
             rank_, msg.src, tag, bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
+    world_->pool_.release(std::move(msg.data));
     return msg.src;
 }
 
@@ -300,12 +371,19 @@ int Comm::recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs) 
             rank_, msg.src, tag, bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
+    world_->pool_.release(std::move(msg.data));
     return msg.src;
 }
 
 int Comm::sendrecv(const void* sbuf, size_t sbytes, int dest,
                    void* rbuf, size_t rbytes, int src, int tag) {
     send(sbuf, sbytes, dest, tag);
+    return recv(rbuf, rbytes, src, tag);
+}
+
+int Comm::sendrecv(std::vector<uint8_t>&& sbuf, int dest,
+                   void* rbuf, size_t rbytes, int src, int tag) {
+    send(std::move(sbuf), dest, tag);
     return recv(rbuf, rbytes, src, tag);
 }
 
@@ -337,7 +415,7 @@ void World::sendSys(int me, const void* buf, size_t bytes, int dest, int tag) {
     msg.src = me;
     msg.tag = tag;
     msg.channel = 1;
-    msg.data.assign(static_cast<const uint8_t*>(buf), static_cast<const uint8_t*>(buf) + bytes);
+    fillPayload(&msg, buf, bytes);
     post(dest, std::move(msg));
 }
 
@@ -350,6 +428,36 @@ void World::recvSys(int me, void* buf, size_t bytes, int src, int tag) {
             me, msg.src, tag, bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
+    pool_.release(std::move(msg.data));
+}
+
+/// Binomial-tree fan-out from `root` (MPICH's bcast shape): relabel ranks
+/// so the root is virtual rank 0, receive from the parent (clear the
+/// lowest set bit of the virtual rank), then forward down the remaining
+/// subtrees. size-1 messages in ceil(log2(size)) rounds instead of the
+/// root pushing size-1 sends serially.
+void Comm::treeBcast(void* buf, size_t bytes, int root, int tag) {
+    const int size = world_->size_;
+    const int vrank = (rank_ - root + size) % size;
+    int mask = 1;
+    while (mask < size) {
+        if (vrank & mask) {
+            const int parent = ((vrank & ~mask) + root) % size;
+            world_->recvSys(rank_, buf, bytes, parent, tag);
+            break;
+        }
+        mask <<= 1;
+    }
+    // `mask` is now the lowest set bit of vrank (past the top for the
+    // root); everything below it is this node's subtree to forward to.
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < size) {
+            const int child = ((vrank + mask) + root) % size;
+            world_->sendSys(rank_, buf, bytes, child, tag);
+        }
+        mask >>= 1;
+    }
 }
 
 void Comm::bcast(void* buf, size_t bytes, int root) {
@@ -357,40 +465,45 @@ void Comm::bcast(void* buf, size_t bytes, int root) {
     if (root < 0 || root >= world_->size_) {
         throw ExecError(format("bcast: invalid root %d at rank %d", root, rank_));
     }
-    if (rank_ == root) {
-        for (int r = 0; r < world_->size_; ++r) {
-            if (r != root) world_->sendSys(rank_, buf, bytes, r, kTagBcast);
-        }
-    } else {
-        world_->recvSys(rank_, buf, bytes, root, kTagBcast);
-    }
+    treeBcast(buf, bytes, root, kTagBcast);
     barrier();  // keep successive collectives from overtaking each other
 }
 
-double Comm::allreduce(double v, bool isMax) {
+void Comm::allreduceF64(double* buf, int n, bool isMax) {
     faultHook();
+    if (n < 0) throw ExecError(format("allreduce: negative count %d at rank %d", n, rank_));
+    const size_t bytes = sizeof(double) * static_cast<size_t>(n);
     // Gather to rank 0 in rank order (deterministic floating-point result),
-    // reduce, broadcast back — the textbook layering over point-to-point.
-    double acc = v;
+    // reduce element-wise, then binomial-tree broadcast of the reduced
+    // buffer — the textbook layering over point-to-point.
     if (rank_ == 0) {
+        std::vector<double> other(static_cast<size_t>(n));
         for (int r = 1; r < world_->size_; ++r) {
-            double other = 0;
-            world_->recvSys(0, &other, sizeof(other), r, kTagReduceUp);
-            acc = isMax ? std::max(acc, other) : acc + other;
-        }
-        for (int r = 1; r < world_->size_; ++r) {
-            world_->sendSys(0, &acc, sizeof(acc), r, kTagReduceDown);
+            world_->recvSys(0, other.data(), bytes, r, kTagReduceUp);
+            for (int i = 0; i < n; ++i) {
+                buf[i] = isMax ? std::max(buf[i], other[static_cast<size_t>(i)])
+                               : buf[i] + other[static_cast<size_t>(i)];
+            }
         }
     } else {
-        world_->sendSys(rank_, &v, sizeof(v), 0, kTagReduceUp);
-        world_->recvSys(rank_, &acc, sizeof(acc), 0, kTagReduceDown);
+        world_->sendSys(rank_, buf, bytes, 0, kTagReduceUp);
     }
+    treeBcast(buf, bytes, 0, kTagReduceDown);
     barrier();
-    return acc;
 }
 
-double Comm::allreduceSum(double v) { return allreduce(v, false); }
+void Comm::allreduceSumF64(double* buf, int n) { allreduceF64(buf, n, false); }
 
-double Comm::allreduceMax(double v) { return allreduce(v, true); }
+void Comm::allreduceMaxF64(double* buf, int n) { allreduceF64(buf, n, true); }
+
+double Comm::allreduceSum(double v) {
+    allreduceF64(&v, 1, false);
+    return v;
+}
+
+double Comm::allreduceMax(double v) {
+    allreduceF64(&v, 1, true);
+    return v;
+}
 
 } // namespace wj::minimpi

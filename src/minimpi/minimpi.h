@@ -45,6 +45,25 @@ namespace wj::minimpi {
 /// Matches any source rank in recv().
 inline constexpr int kAnySource = -1;
 
+/// Traffic accounting snapshot (World::stats()). `bytes` counts every
+/// payload byte posted; the pooled/zeroCopy splits say how those bytes
+/// travelled, so benches can report how much was actually memcpy'd:
+///   copied      = plain assign into a fresh vector (small messages),
+///   pooled      = one memcpy into a recycled pool buffer (large messages:
+///                 no allocation, and the buffer returns to the pool at
+///                 recv), and
+///   zero-copy   = the caller's vector moved straight into the mailbox.
+struct CommStats {
+    int64_t messages = 0;
+    int64_t bytes = 0;
+    int64_t pooledMessages = 0;
+    int64_t pooledBytes = 0;
+    int64_t zeroCopyMessages = 0;
+    int64_t zeroCopyBytes = 0;
+    /// Bytes that crossed the mailbox via at least one send-side memcpy.
+    int64_t copiedBytes() const noexcept { return bytes - zeroCopyBytes; }
+};
+
 class World;
 
 /// Per-rank communicator handle, valid only inside World::run's callback on
@@ -54,8 +73,13 @@ public:
     int rank() const noexcept { return rank_; }
     int size() const noexcept;
 
-    /// Buffered send of `bytes` bytes to `dest` with `tag`.
+    /// Buffered send of `bytes` bytes to `dest` with `tag`. Payloads of
+    /// kPooledThreshold bytes or more travel in recycled pool buffers.
     void send(const void* buf, size_t bytes, int dest, int tag);
+
+    /// Zero-copy send: the caller's buffer is moved into the mailbox with
+    /// no payload copy (its size is the message size).
+    void send(std::vector<uint8_t>&& data, int dest, int tag);
 
     /// Blocking receive of exactly `bytes` bytes from `src` (or kAnySource)
     /// with matching `tag`. Throws ExecError on size mismatch or abort.
@@ -70,18 +94,34 @@ public:
     int sendrecv(const void* sbuf, size_t sbytes, int dest,
                  void* rbuf, size_t rbytes, int src, int tag);
 
+    /// Combined exchange posting the send as a move (zero-copy) when the
+    /// caller hands over an rvalue buffer.
+    int sendrecv(std::vector<uint8_t>&& sbuf, int dest,
+                 void* rbuf, size_t rbytes, int src, int tag);
+
     /// Collective barrier over all ranks.
     void barrier();
 
-    /// Broadcast `bytes` from `root`'s buffer into every rank's buffer.
+    /// Broadcast `bytes` from `root`'s buffer into every rank's buffer
+    /// along a binomial tree (ceil(log2(size)) rounds, size-1 messages).
     void bcast(void* buf, size_t bytes, int root);
+
+    /// Element-wise all-reduce of buf[0..n): gather to rank 0 in rank
+    /// order (deterministic floating point), reduce, binomial-tree
+    /// broadcast of the result. The scalar overloads route through this.
+    void allreduceSumF64(double* buf, int n);
+    void allreduceMaxF64(double* buf, int n);
 
     /// All-reduce of one double.
     double allreduceSum(double v);
     double allreduceMax(double v);
 
 private:
-    double allreduce(double v, bool isMax);
+    void allreduceF64(double* buf, int n, bool isMax);
+
+    /// Binomial-tree fan-out of `bytes` from `root` on the system channel;
+    /// shared by bcast and the allreduce down-phase (distinct tags).
+    void treeBcast(void* buf, size_t bytes, int root, int tag);
 
     /// FaultPlan hook: one "comm op" per public operation entry.
     void faultHook();
@@ -133,14 +173,48 @@ public:
     int64_t messagesSent() const noexcept { return messages_; }
     int64_t bytesSent() const noexcept { return bytes_; }
 
+    /// Full traffic snapshot including the pooled / zero-copy split.
+    CommStats stats() const noexcept {
+        CommStats s;
+        s.messages = messages_;
+        s.bytes = bytes_;
+        s.pooledMessages = pooledMessages_;
+        s.pooledBytes = pooledBytes_;
+        s.zeroCopyMessages = zeroCopyMessages_;
+        s.zeroCopyBytes = zeroCopyBytes_;
+        return s;
+    }
+
+    /// Messages at or above this size ride in recycled pool buffers; the
+    /// buffer returns to the pool when the receiver drains it.
+    static constexpr size_t kPooledThreshold = 256;
+
 private:
     friend class Comm;
+
+    enum Origin : uint8_t { kOriginCopied = 0, kOriginPooled = 1, kOriginMoved = 2 };
 
     struct Message {
         int src;
         int tag;
         int channel;  // 0 = user point-to-point, 1 = collective internals
+        uint8_t origin = kOriginCopied;
         std::vector<uint8_t> data;
+    };
+
+    /// Size-bucketed freelist of payload vectors. Bounded: at most
+    /// kMaxCachedBytes of capacity is retained; oversize or surplus
+    /// buffers are simply dropped (freed).
+    class BufferPool {
+    public:
+        std::vector<uint8_t> acquire(size_t bytes);
+        void release(std::vector<uint8_t>&& buf);
+
+    private:
+        static constexpr size_t kMaxCachedBytes = 64u << 20;
+        std::mutex m_;
+        std::vector<std::vector<uint8_t>> free_;
+        size_t cachedBytes_ = 0;
     };
 
     struct Mailbox {
@@ -163,6 +237,9 @@ private:
     static constexpr int kDone = 3;
 
     void post(int dest, Message msg);
+    /// Payload setup for raw-region sends: pool buffer at or above
+    /// kPooledThreshold, plain vector below.
+    void fillPayload(Message* msg, const void* buf, size_t bytes);
     /// Blocks until a matching message arrives; `timeoutMs < 0` waits
     /// forever, otherwise throws ExecError after the deadline.
     Message take(int me, int src, int tag, int channel, int timeoutMs = -1);
@@ -194,6 +271,11 @@ private:
     std::atomic<bool> aborted_{false};
     std::atomic<int64_t> messages_{0};
     std::atomic<int64_t> bytes_{0};
+    std::atomic<int64_t> pooledMessages_{0};
+    std::atomic<int64_t> pooledBytes_{0};
+    std::atomic<int64_t> zeroCopyMessages_{0};
+    std::atomic<int64_t> zeroCopyBytes_{0};
+    BufferPool pool_;
 };
 
 } // namespace wj::minimpi

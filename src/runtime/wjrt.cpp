@@ -8,6 +8,7 @@
 
 #include "fault/checkpoint.h"
 #include "runtime/context.h"
+#include "runtime/threadpool.h"
 #include "support/diagnostics.h"
 
 namespace wj::runtime {
@@ -54,7 +55,21 @@ using wj::gpusim::ThreadCtx;
 
 namespace {
 
+/// Comm and checkpoint intrinsics must run on the rank's MAIN thread: the
+/// fault injector and the watchdog count operations per rank in program
+/// order, and pool workers carry no rank binding anyway. The loop
+/// parallelizer refuses loops containing these intrinsics, so tripping
+/// this guard means a translator bug, not a user error.
+void requireMainThread(const char* what) {
+    if (wj::runtime::ThreadPool::onWorkerThread()) {
+        throw ExecError(std::string(what) +
+                        " on a pool worker thread — comm/ckpt intrinsics are only legal on "
+                        "the rank's main thread (parallelized loop must not contain them)");
+    }
+}
+
 wj::minimpi::Comm& comm() {
+    requireMainThread("MPI operation");
     auto* c = wj::runtime::currentComm();
     if (!c) throw ExecError("MPI call without an MPI world (invoke via jit4mpi/set4MPI)");
     return *c;
@@ -106,11 +121,13 @@ void wjrt_free_array(wj_array* a) {
 /* ---------------------------------------------------------------- MPI */
 
 int32_t wjrt_mpi_rank(void) {
+    requireMainThread("MPI.rank");
     auto* c = wj::runtime::currentComm();
     return c ? c->rank() : 0;
 }
 
 int32_t wjrt_mpi_size(void) {
+    requireMainThread("MPI.size");
     auto* c = wj::runtime::currentComm();
     return c ? c->size() : 1;
 }
@@ -258,6 +275,12 @@ wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t) {
     return &hdr.hdr;
 }
 
+/* ---------------------------------------------------------- parallel-for */
+
+void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx) {
+    wj::runtime::ThreadPool::instance().parallelFor(lo, hi, body, ctx);
+}
+
 /* ------------------------------------------------------------------ misc */
 
 void wjrt_print_i64(int64_t v) { std::printf("%lld\n", static_cast<long long>(v)); }
@@ -269,6 +292,7 @@ void wjrt_trap(const char* msg) { throw ExecError(std::string("translated code t
 /* -------------------------------------------------------- checkpointing */
 
 void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t iter) {
+    requireMainThread("ckptSaveF32");
     if (n < 0 || n > buf->len) {
         throw ExecError("ckptSaveF32: length " + std::to_string(n) + " exceeds array of " +
                         std::to_string(buf->len));
@@ -278,6 +302,7 @@ void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t it
 }
 
 int32_t wjrt_ckpt_load_f32(wj_array* buf, int32_t n, int32_t slot) {
+    requireMainThread("ckptLoadF32");
     if (n < 0 || n > buf->len) {
         throw ExecError("ckptLoadF32: length " + std::to_string(n) + " exceeds array of " +
                         std::to_string(buf->len));

@@ -109,6 +109,19 @@ void wjrt_gpu_sync(wjrt_gpu_tctx* t);
  * returned header is thread-local; its payload is the block's shared mem. */
 wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t);
 
+/* ------------------------------------------------------------ parallel-for
+ * Intra-rank loop parallelism. The translator outlines a loop body the
+ * dataflow analyses proved free of loop-carried dependences into a
+ * `wjrt_pf_body` over a half-open iteration range and dispatches it here.
+ * The runtime splits [lo, hi) into static contiguous chunks on the
+ * persistent WJ_THREADS pool (chunk boundaries depend only on the range
+ * and thread count, so the disjoint writes land identically for every
+ * thread count — bitwise-equal to the serial loop). Nested or 1-thread
+ * dispatches degrade to a plain inline call.
+ */
+typedef void (*wjrt_pf_body)(int64_t lo, int64_t hi, void* ctx);
+void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx);
+
 /* -------------------------------------------------------------------- misc */
 void wjrt_print_i64(int64_t v);
 void wjrt_print_f64(double v);

@@ -1,0 +1,410 @@
+// The intra-rank multithreaded execution backend, end to end: the static
+// chunker and thread pool (runtime/threadpool.h), the dependence prover's
+// per-loop verdicts (analysis/analysis.cpp), the parallel-for outliner in
+// the translator (WJ_PARALLEL), and the determinism contract — threaded
+// runs must be bitwise-identical to serial for every WJ_THREADS value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "gpusim/gpusim.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "runtime/threadpool.h"
+#include "runtime/wjrt.h"
+#include "stencil/stencil_lib.h"
+#include "support/diagnostics.h"
+
+using namespace wj;
+using runtime::ThreadPool;
+using runtime::staticChunk;
+
+namespace {
+
+/// Scoped setenv that restores the previous value on destruction.
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv() {
+        if (had_) setenv(name_, old_.c_str(), 1);
+        else unsetenv(name_);
+    }
+
+private:
+    const char* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+bool bitEq(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+bool reportHas(const analysis::Result& r, const std::string& needle) {
+    for (const auto& line : r.parallelReport) {
+        if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ staticChunk
+
+TEST(StaticChunk, PartitionIsExactAndContiguous) {
+    for (int chunks : {1, 2, 3, 7, 8}) {
+        for (int64_t lo : {0, 5, -3}) {
+            const int64_t hi = lo + 29;
+            int64_t prev = lo;
+            for (int i = 0; i < chunks; ++i) {
+                int64_t clo, chi;
+                staticChunk(lo, hi, chunks, i, &clo, &chi);
+                EXPECT_EQ(prev, clo) << "gap before chunk " << i;
+                EXPECT_LE(clo, chi);
+                prev = chi;
+            }
+            EXPECT_EQ(hi, prev) << chunks << " chunks over [" << lo << "," << hi << ")";
+        }
+    }
+}
+
+TEST(StaticChunk, BoundariesDependOnlyOnRangeAndCount) {
+    int64_t a0, a1, b0, b1;
+    staticChunk(0, 100, 4, 2, &a0, &a1);
+    staticChunk(0, 100, 4, 2, &b0, &b1);
+    EXPECT_EQ(a0, b0);
+    EXPECT_EQ(a1, b1);
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+namespace {
+
+struct FillCtx {
+    int64_t* out;
+};
+
+void fillBody(int64_t lo, int64_t hi, void* ctx) {
+    auto* c = static_cast<FillCtx*>(ctx);
+    for (int64_t i = lo; i < hi; ++i) c->out[i] = i * i;
+}
+
+std::vector<int64_t> runFill(int threads, int64_t n) {
+    ScopedEnv env("WJ_THREADS", std::to_string(threads).c_str());
+    std::vector<int64_t> out(static_cast<size_t>(n), -1);
+    FillCtx ctx{out.data()};
+    ThreadPool::instance().parallelFor(0, n, fillBody, &ctx);
+    return out;
+}
+
+} // namespace
+
+TEST(ThreadPoolTest, DisjointWritesIdenticalAcrossThreadCounts) {
+    const auto serial = runFill(1, 1000);
+    for (int t : {2, 3, 8}) {
+        EXPECT_EQ(serial, runFill(t, 1000)) << "WJ_THREADS=" << t;
+    }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleIterationRanges) {
+    ScopedEnv env("WJ_THREADS", "8");
+    std::vector<int64_t> out(4, -1);
+    FillCtx ctx{out.data()};
+    ThreadPool::instance().parallelFor(3, 3, fillBody, &ctx);  // empty: no-op
+    EXPECT_EQ(-1, out[0]);
+    ThreadPool::instance().parallelFor(2, 3, fillBody, &ctx);  // one iteration
+    EXPECT_EQ(4, out[2]);
+}
+
+TEST(ThreadPoolTest, PoolPersistsAcrossDispatches) {
+    ScopedEnv env("WJ_THREADS", "4");
+    std::vector<int64_t> out(64);
+    FillCtx ctx{out.data()};
+    ThreadPool::instance().parallelFor(0, 64, fillBody, &ctx);
+    const int64_t spawned = ThreadPool::instance().workersSpawned();
+    EXPECT_GE(spawned, 3);  // 4 chunks = caller + at least 3 workers
+    for (int i = 0; i < 5; ++i) ThreadPool::instance().parallelFor(0, 64, fillBody, &ctx);
+    EXPECT_EQ(spawned, ThreadPool::instance().workersSpawned())
+        << "dispatches at a fixed WJ_THREADS must reuse workers, not respawn";
+}
+
+namespace {
+
+void throwBody(int64_t lo, int64_t, void*) {
+    if (lo >= 8) throw ExecError("chunk failed");
+}
+
+void nestedBody(int64_t lo, int64_t hi, void* ctx) {
+    // A nested dispatch from a worker must run inline and serial rather
+    // than deadlock on the pool it is already occupying.
+    ThreadPool::instance().parallelFor(lo, hi, fillBody, ctx);
+}
+
+void mpiFromWorkerBody(int64_t, int64_t, void*) {
+    // Comm intrinsics are only legal on the rank's main thread; the guard
+    // must trip on a pool worker (the prover keeps them out of parallel
+    // loops, so reaching this is a translator bug in real runs).
+    if (ThreadPool::onWorkerThread()) (void)wjrt_mpi_rank();
+}
+
+} // namespace
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownAtDispatch) {
+    ScopedEnv env("WJ_THREADS", "4");
+    EXPECT_THROW(ThreadPool::instance().parallelFor(0, 16, throwBody, nullptr), ExecError);
+    // The pool stays usable after a failed job.
+    std::vector<int64_t> out(16);
+    FillCtx ctx{out.data()};
+    ThreadPool::instance().parallelFor(0, 16, fillBody, &ctx);
+    EXPECT_EQ(225, out[15]);
+}
+
+TEST(ThreadPoolTest, NestedDispatchRunsInline) {
+    ScopedEnv env("WJ_THREADS", "4");
+    std::vector<int64_t> out(100, -1);
+    FillCtx ctx{out.data()};
+    ThreadPool::instance().parallelFor(0, 100, nestedBody, &ctx);
+    for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(i * i, out[static_cast<size_t>(i)]);
+}
+
+TEST(ThreadPoolTest, CommIntrinsicOnWorkerThreadTrips) {
+    ScopedEnv env("WJ_THREADS", "4");
+    try {
+        ThreadPool::instance().parallelFor(0, 4, mpiFromWorkerBody, nullptr);
+        FAIL() << "expected the main-thread guard to throw";
+    } catch (const ExecError& e) {
+        EXPECT_NE(nullptr, std::strstr(e.what(), "main thread"));
+    }
+}
+
+TEST(ThreadPoolTest, ConcurrentDispatchersStayCorrect) {
+    // Two MiniMPI ranks racing for the pool: the loser runs inline and
+    // serial (busy flag), so both results must still be exact.
+    ScopedEnv env("WJ_THREADS", "4");
+    constexpr int64_t kN = 4096;
+    std::vector<int64_t> outA(kN), outB(kN);
+    std::atomic<int> ready{0};
+    auto race = [&ready](std::vector<int64_t>* out) {
+        FillCtx ctx{out->data()};
+        ready.fetch_add(1);
+        while (ready.load() < 2) {}
+        for (int rep = 0; rep < 50; ++rep) {
+            ThreadPool::instance().parallelFor(0, kN, fillBody, &ctx);
+        }
+    };
+    std::thread ta(race, &outA), tb(race, &outB);
+    ta.join();
+    tb.join();
+    for (int64_t i = 0; i < kN; i += 97) {
+        ASSERT_EQ(i * i, outA[static_cast<size_t>(i)]);
+        ASSERT_EQ(i * i, outB[static_cast<size_t>(i)]);
+    }
+}
+
+// -------------------------------------------------- prover verdicts (lint)
+
+TEST(ParallelProver, StencilInteriorLoopProvenWithAliasGuard) {
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    Value r = stencil::makeMpiRunner(in, 18, 18, 8,
+                                     stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f), 42);
+    auto res = analysis::analyzeEntry(p, r, "run", {Value::ofI32(2)});
+    // The interior triple loop: outermost z proven independent up to
+    // cur/nxt aliasing, which the translator guards at runtime.
+    EXPECT_TRUE(reportHas(res, "StencilCPU3D_MPI.step: for (z): parallel (guarded)"));
+    EXPECT_TRUE(reportHas(res, "'cur' != 'nxt'"));
+    // The halo-exchange step loop must stay on the rank's main thread.
+    EXPECT_TRUE(reportHas(res, "StencilCPU3D_MPI.run: for (s): serial"));
+    EXPECT_TRUE(reportHas(res, "must stay on the rank's main thread"));
+    // The checksum reduction carries a scalar.
+    EXPECT_TRUE(reportHas(res, "loop-carried scalar dependence"));
+}
+
+TEST(ParallelProver, FoxBlockMultiplyProvenChecksumRefused) {
+    Program p = matmul::buildProgram();
+    Interp in(p);
+    Value app = matmul::makeMpiFoxApp(in, matmul::Calc::Optimized, 2);
+    auto res = analysis::analyzeEntry(p, app, "run", {Value::ofI32(32), Value::ofI32(7)});
+    EXPECT_TRUE(
+        reportHas(res, "OptimizedCalculator.multiplyAcc: for (i): parallel (guarded)"));
+    EXPECT_TRUE(reportHas(res, "'br' != 'cr'"));
+    EXPECT_TRUE(reportHas(res, "SimpleMatrix.checksum: for (i): serial"));
+    // Verdict map agrees with the report: at least one non-serial loop.
+    bool anyParallel = false;
+    for (const auto& [_, lp] : res.loopParallel) {
+        anyParallel |= lp.verdict != analysis::ParVerdict::Serial;
+    }
+    EXPECT_TRUE(anyParallel);
+}
+
+TEST(ParallelProver, VirtualAccessorLoopsStaySerial) {
+    // The double-buffered CPU runner reads grids through virtual get/set —
+    // outside the prover's effect allowance, so everything stays serial.
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    Value r = stencil::makeCpuRunner(in, 8, 8, 8,
+                                     stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f), 1);
+    auto res = analysis::analyzeEntry(p, r, "run", {Value::ofI32(1)});
+    for (const auto& [_, lp] : res.loopParallel) {
+        EXPECT_EQ(analysis::ParVerdict::Serial, lp.verdict);
+    }
+    EXPECT_TRUE(reportHas(res, "StencilCPU3DDblB.step: for (z): serial"));
+}
+
+TEST(ParallelProver, LintModeDegradesToSerialWithoutEntryContext) {
+    // Without a concrete receiver the interval/alias facts are weaker; the
+    // prover must degrade to serial verdicts, never to unsound parallel.
+    Program p = matmul::buildProgram();
+    auto res = analysis::lintProgram(p);
+    for (const auto& [_, lp] : res.loopParallel) {
+        EXPECT_EQ(analysis::ParVerdict::Serial, lp.verdict);
+    }
+    EXPECT_TRUE(reportHas(res, "OptimizedCalculator.multiplyAcc: for (i): serial"));
+}
+
+// ------------------------------------------------------- codegen outlining
+
+TEST(ParallelCodegen, OutlinesOnlyUnderWjParallel) {
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    Value r = stencil::makeMpiRunner(in, 18, 18, 8,
+                                     stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f), 42);
+    {
+        ScopedEnv off("WJ_PARALLEL", "0");
+        Translation t = translate(p, r, "run", {Value::ofI32(2)});
+        EXPECT_EQ(0, t.parallelLoops);
+        EXPECT_EQ(std::string::npos, t.cSource.find("wjrt_parallel_for"));
+    }
+    {
+        ScopedEnv on("WJ_PARALLEL", "1");
+        Translation t = translate(p, r, "run", {Value::ofI32(2)});
+        EXPECT_GT(t.parallelLoops, 0);
+        EXPECT_NE(std::string::npos, t.cSource.find("wjrt_parallel_for"));
+        // The guarded loop keeps a serial fallback branch on the guard.
+        EXPECT_NE(std::string::npos, t.cSource.find("wj_pfb"));
+    }
+}
+
+// --------------------------------------- end-to-end bitwise reproducibility
+
+namespace {
+
+double runStencilMpi(int threads, const char* par, int ranks) {
+    ScopedEnv p1("WJ_PARALLEL", par);
+    ScopedEnv p2("WJ_THREADS", std::to_string(threads).c_str());
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    Value r = stencil::makeMpiRunner(in, 34, 34, 16,
+                                     stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f), 42);
+    JitCode code = WootinJ::jit4mpi(p, r, "run", {Value::ofI32(4)});
+    code.set4MPI(ranks);
+    return code.invoke().asF64();
+}
+
+double runFox(int threads, const char* par, int ranks) {
+    ScopedEnv p1("WJ_PARALLEL", par);
+    ScopedEnv p2("WJ_THREADS", std::to_string(threads).c_str());
+    Program p = matmul::buildProgram();
+    Interp in(p);
+    Value app = matmul::makeMpiFoxApp(in, matmul::Calc::Optimized, 2);
+    JitCode code = WootinJ::jit4mpi(p, app, "run", {Value::ofI32(64), Value::ofI32(7)});
+    code.set4MPI(ranks);
+    return code.invoke().asF64();
+}
+
+} // namespace
+
+TEST(ParallelEndToEnd, DiffusionBitwiseEqualAcrossThreadCounts) {
+    const double serial = runStencilMpi(1, "0", 2);
+    for (int t : {1, 2, 8}) {
+        const double par = runStencilMpi(t, "1", 2);
+        EXPECT_TRUE(bitEq(serial, par))
+            << "WJ_THREADS=" << t << ": serial=" << serial << " parallel=" << par;
+    }
+}
+
+TEST(ParallelEndToEnd, FoxBitwiseEqualAcrossThreadCounts) {
+    const double serial = runFox(1, "0", 4);
+    for (int t : {1, 2, 8}) {
+        const double par = runFox(t, "1", 4);
+        EXPECT_TRUE(bitEq(serial, par))
+            << "WJ_THREADS=" << t << ": serial=" << serial << " parallel=" << par;
+    }
+}
+
+TEST(ParallelEndToEnd, PoolReusedAcrossJitInvocations) {
+    (void)runStencilMpi(8, "1", 2);  // warm: spawns up to 7 workers
+    const int64_t spawned = ThreadPool::instance().workersSpawned();
+    (void)runStencilMpi(8, "1", 2);
+    (void)runFox(8, "1", 4);
+    EXPECT_EQ(spawned, ThreadPool::instance().workersSpawned())
+        << "JIT invocations must share the persistent pool";
+}
+
+TEST(ParallelEndToEnd, CommStatsReportPooledTraffic) {
+    ScopedEnv p1("WJ_PARALLEL", "1");
+    ScopedEnv p2("WJ_THREADS", "2");
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    Value r = stencil::makeMpiRunner(in, 34, 34, 16,
+                                     stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f), 42);
+    JitCode code = WootinJ::jit4mpi(p, r, "run", {Value::ofI32(4)});
+    code.set4MPI(2);
+    (void)code.invoke();
+    const minimpi::CommStats s = code.commStats();
+    EXPECT_GT(s.messages, 0);
+    EXPECT_GT(s.bytes, 0);
+    // Halo planes (34*34 floats) are far above the pooling threshold, so
+    // the large-message fast path must have engaged.
+    EXPECT_GT(s.pooledBytes + s.zeroCopyBytes, 0);
+    EXPECT_LE(s.copiedBytes(), s.bytes);
+}
+
+// -------------------------------------------------- GpuSim block fan-out
+
+namespace {
+
+struct ScaleArgs {
+    const float* in;
+    float* out;
+    int n;
+};
+
+void scaleKernel(gpusim::ThreadCtx* t, void* argsv) {
+    auto* a = static_cast<ScaleArgs*>(argsv);
+    const int i = t->blockIdx.x * t->blockDim.x + t->threadIdx.x;
+    if (i < a->n) a->out[i] = a->in[i] * 1.5f + static_cast<float>(t->blockIdx.x);
+}
+
+std::vector<float> runScale(int threads, int n) {
+    ScopedEnv env("WJ_THREADS", std::to_string(threads).c_str());
+    gpusim::Device d;
+    std::vector<float> in(static_cast<size_t>(n)), out(static_cast<size_t>(n), -1.0f);
+    for (int i = 0; i < n; ++i) in[static_cast<size_t>(i)] = 0.37f * static_cast<float>(i);
+    ScaleArgs args{in.data(), out.data(), n};
+    d.launch(&scaleKernel, &args, {(n + 63) / 64, 1, 1}, {64, 1, 1}, 0, /*needsSync=*/false);
+    return out;
+}
+
+} // namespace
+
+TEST(GpuSimParallel, BlockFanOutBitwiseEqualsSerial) {
+    const auto serial = runScale(1, 1000);
+    for (int t : {2, 8}) {
+        const auto par = runScale(t, 1000);
+        ASSERT_EQ(serial.size(), par.size());
+        EXPECT_EQ(0, std::memcmp(serial.data(), par.data(), serial.size() * sizeof(float)))
+            << "WJ_THREADS=" << t;
+    }
+}

@@ -2,18 +2,23 @@
 //
 //   wjc check <file.wj>                  verify the Section 3.2 coding rules
 //   wjc lint <file.wj> [--Werror]        run the dataflow analyses (definite
-//                                        assignment, bounds, halo races)
+//                                        assignment, bounds, halo races) and
+//                                        print the per-loop parallel report
 //   wjc print <file.wj>                  reformat (parse + pretty-print)
 //   wjc translate <file.wj> --new EXPR --method NAME [ARGS...]
 //                                        print the generated C
-//   wjc run <file.wj> --new EXPR --method NAME [--ranks N] [ARGS...]
+//   wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]
+//                                        [ARGS...]
 //                                        jit + invoke; prints the result
 //   wjc cache [stats|dir|clear]          inspect / clear the compile cache
 //
 // translate/run accept --no-cache to bypass the persistent compile cache
 // (equivalent to WJ_CACHE=0) — useful when timing the external compiler —
 // and --fault SPEC to arm the deterministic fault injector (equivalent to
-// WJ_FAULT=SPEC; grammar in src/fault/fault.h).
+// WJ_FAULT=SPEC; grammar in src/fault/fault.h). --threads N turns on the
+// analysis-proven parallel-for codegen (WJ_PARALLEL=1) and sizes the
+// intra-rank worker pool (WJ_THREADS=N); results are bitwise-identical to
+// the serial run for every N.
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -55,9 +60,9 @@ int usage() {
                  "  wjc lint <file.wj> [--Werror]\n"
                  "  wjc print <file.wj>\n"
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
-                 "                [--fault SPEC] [ARGS...]\n"
-                 "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--no-cache] "
-                 "[--fault SPEC] [ARGS...]\n"
+                 "                [--threads N] [--fault SPEC] [ARGS...]\n"
+                 "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]\n"
+                 "                [--no-cache] [--fault SPEC] [ARGS...]\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
 }
@@ -223,6 +228,10 @@ int runMain(int argc, char** argv) {
         for (const auto& v : r.errors) std::printf("error: %s\n", v.str().c_str());
         for (const auto& v : r.warnings)
             std::printf("%s: %s\n", werror ? "error" : "warning", v.str().c_str());
+        // The per-loop verdicts of the dependence prover: which counted
+        // loops the translator may fan out across the thread pool, and why
+        // the rest stay serial. Informational — never affects the exit code.
+        for (const auto& line : r.parallelReport) std::printf("parallel: %s\n", line.c_str());
         const bool fail = !r.errors.empty() || (werror && !r.warnings.empty());
         if (!fail)
             std::printf("%s: %d array accesses proven safe, %d unproven; no defects found\n",
@@ -246,6 +255,13 @@ int runMain(int argc, char** argv) {
         if (a == "--new" && i + 1 < argc) newExpr = argv[++i];
         else if (a == "--method" && i + 1 < argc) method = argv[++i];
         else if (a == "--ranks" && i + 1 < argc) ranks = std::atoi(argv[++i]);
+        else if (a == "--threads" && i + 1 < argc) {
+            // Opting into threads opts into the parallel codegen too; the
+            // translation is thread-count-independent, so the cache key only
+            // changes with WJ_PARALLEL, not with N.
+            setenv("WJ_THREADS", argv[++i], 1);
+            setenv("WJ_PARALLEL", "1", 1);
+        }
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
         else if (a == "--fault" && i + 1 < argc) {
             // Same grammar as WJ_FAULT; a malformed spec is a usage error
