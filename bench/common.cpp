@@ -13,6 +13,7 @@
 #include "matmul/matmul_lib.h"
 #include "stencil/stencil_lib.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace wjbench {
 
@@ -21,7 +22,24 @@ using namespace wj;
 Options parseArgs(int argc, char** argv) {
     Options o;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+        if (std::strcmp(argv[i], "--full") == 0) {
+            o.full = true;
+        } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
+            if (argv[i][7] == '=' && argv[i][8]) {
+                o.traceFile = argv[i] + 8;
+            } else {
+                // Default: one trace per figure, named after the binary.
+                std::string base = argv[0];
+                const size_t slash = base.find_last_of('/');
+                if (slash != std::string::npos) base = base.substr(slash + 1);
+                o.traceFile = base + ".trace.json";
+            }
+        }
+    }
+    if (!o.traceFile.empty()) {
+        wj::trace::Tracer::instance().enable(o.traceFile);
+        std::fprintf(stderr, "tracing to %s (+ %s.metrics.json)\n", o.traceFile.c_str(),
+                     o.traceFile.c_str());
     }
     return o;
 }

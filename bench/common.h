@@ -7,7 +7,12 @@
 // part decides who wins and by what factor; the model supplies the cluster.
 //
 // Benches accept:
-//   --full   paper-scale problem sizes (slow; default sizes are scaled down)
+//   --full          paper-scale problem sizes (slow; default sizes are
+//                   scaled down)
+//   --trace[=FILE]  arm the span tracer (src/trace/) for the whole bench;
+//                   the default FILE is <bench>.trace.json next to the
+//                   binary, so each figure gets its own Perfetto-loadable
+//                   timeline (+ a .metrics.json counters sidecar)
 #pragma once
 
 #include <cstdio>
@@ -19,6 +24,7 @@ namespace wjbench {
 
 struct Options {
     bool full = false;
+    std::string traceFile;  ///< empty = tracing not requested
 };
 
 Options parseArgs(int argc, char** argv);

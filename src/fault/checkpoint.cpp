@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "support/crc32.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj::fault {
 
@@ -106,6 +108,10 @@ void CheckpointStore::save(int rank, int slot, int64_t iter, const float* data, 
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
     if (!im.armed || iter <= 0 || iter % im.interval != 0) return;
+    trace::Span span("ckpt", "save", "slot", slot, "iter", iter,
+                     "bytes", n * static_cast<int64_t>(sizeof(float)));
+    static auto& bytes = trace::Metrics::instance().counter("ckpt.bytes.saved");
+    bytes.add(n * static_cast<int64_t>(sizeof(float)));
     Snapshot snap;
     snap.iter = iter;
     snap.data.assign(data, data + n);
@@ -142,6 +148,10 @@ int64_t CheckpointStore::load(int rank, int slot, float* data, int64_t n) {
         }
         std::memcpy(data, s.data.data(), s.data.size() * sizeof(float));
         ++im.restores;
+        trace::instant("ckpt", "load", "slot", slot, "iter", s.iter,
+                       "bytes", static_cast<int64_t>(s.data.size() * sizeof(float)));
+        static auto& bytes = trace::Metrics::instance().counter("ckpt.bytes.restored");
+        bytes.add(static_cast<int64_t>(s.data.size() * sizeof(float)));
         return s.iter;
     }
     return -1;

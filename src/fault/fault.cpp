@@ -9,6 +9,7 @@
 #include "support/diagnostics.h"
 #include "support/prng.h"
 #include "support/strings.h"
+#include "trace/trace.h"
 
 namespace wj::fault {
 
@@ -257,7 +258,10 @@ void FaultPlan::onCommOp(int rank) {
             }
         }
     }
-    if (!killMsg.empty()) throw ExecError(killMsg);
+    if (!killMsg.empty()) {
+        trace::instant("fault", "kill", "rank", rank);
+        throw ExecError(killMsg);
+    }
 }
 
 MsgFate FaultPlan::onMessage(int src, int dest, int tag, std::vector<uint8_t>& payload) {
@@ -279,9 +283,11 @@ MsgFate FaultPlan::onMessage(int src, int dest, int tag, std::vector<uint8_t>& p
             switch (r.act) {
             case Action::Drop:
                 ++im.stats.drops;
+                trace::instant("fault", "drop", "src", src, "dest", dest, "tag", tag);
                 return MsgFate::Drop;
             case Action::Dup:
                 ++im.stats.duplicates;
+                trace::instant("fault", "dup", "src", src, "dest", dest, "tag", tag);
                 fate = MsgFate::Duplicate;
                 break;
             case Action::Corrupt:
@@ -292,6 +298,7 @@ MsgFate FaultPlan::onMessage(int src, int dest, int tag, std::vector<uint8_t>& p
                     const size_t at = static_cast<size_t>(g.nextBelow(payload.size()));
                     payload[at] ^= static_cast<uint8_t>(g.next() | 1);
                     ++im.stats.corruptions;
+                    trace::instant("fault", "corrupt", "src", src, "dest", dest, "tag", tag);
                 }
                 break;
             case Action::Delay:

@@ -9,6 +9,8 @@
 
 #include "runtime/threadpool.h"
 #include "support/diagnostics.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj::gpusim {
 
@@ -110,6 +112,14 @@ void Device::launch(KernelFn k, void* args, Dim3 grid, Dim3 block, int64_t share
     if (sharedBytes < 0) throw ExecError("negative shared memory size");
     ++launches_;
     threads_ += grid.count() * block.count();
+    trace::Span span("gpu", needsSync ? "launch.fibered" : "launch.fast",
+                     "blocks", grid.count(), "block_threads", block.count());
+    {
+        static auto& launches = trace::Metrics::instance().counter("gpu.launches");
+        static auto& threads = trace::Metrics::instance().counter("gpu.threads");
+        launches.inc();
+        threads.add(grid.count() * block.count());
+    }
 
     const int64_t sharedFloats = sharedBytes / static_cast<int64_t>(sizeof(float));
     std::vector<float> shared(static_cast<size_t>(sharedFloats), 0.0f);

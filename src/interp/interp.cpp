@@ -6,6 +6,8 @@
 #include "analysis/analysis.h"
 #include "fault/checkpoint.h"
 #include "runtime/rng_hash.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj {
 
@@ -96,6 +98,12 @@ void Interp::runCtor(const ObjRef& obj, const ClassDecl& cls, std::vector<Value>
 }
 
 Value Interp::call(const Value& recv, const std::string& method, std::vector<Value> args) {
+    trace::Span span("interp",
+                     trace::enabled() ? trace::intern("call " + method) : "call");
+    {
+        static auto& calls = trace::Metrics::instance().counter("interp.calls");
+        calls.inc();
+    }
     const ObjRef& obj = recv.asObj();
     if (!obj) throw ExecError("NullPointerException: call ." + method + "() on null");
     const Method* m = prog_.resolveMethod(obj->cls->name, method);

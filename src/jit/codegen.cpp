@@ -621,6 +621,7 @@ void CodeGen::genParallelFor(Env& env, const ForStmt& n, const analysis::LoopPar
         em.open("if (" + guard + ") {");
         emitDispatch();
         em.mid("} else {");
+        em.line("wjrt_guard_fallback();");
         genSerialFor(env, n);
         em.close();
     }

@@ -21,6 +21,8 @@
 #include "support/scratch.h"
 #include "support/strings.h"
 #include "support/timer.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 #ifndef WJ_RT_INCLUDE_DIR
 #define WJ_RT_INCLUDE_DIR "."
@@ -151,10 +153,18 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     const uint64_t rtv = JitCache::runtimeHeadersVersion(WJ_RT_INCLUDE_DIR);
     const uint64_t key = JitCache::keyOf(cSource, cc, flags, rtv);
 
+    static auto& memHits = trace::Metrics::instance().counter("jit.cache.hits.memory");
+    static auto& diskHits = trace::Metrics::instance().counter("jit.cache.hits.disk");
+    static auto& misses = trace::Metrics::instance().counter("jit.cache.misses");
+    static auto& corrupt = trace::Metrics::instance().counter("jit.cache.corrupt");
+
     CompileResult res;
+    trace::Span lookupSpan("jit", "cache.lookup");
     Timer lookupT;
     if (auto hit = cache.findLoaded(key)) {
         cache.noteMemoryHit();
+        memHits.inc();
+        lookupSpan.arg(0, "hit", 1);
         res.module = std::move(hit);
         res.cacheHit = true;
         res.lookupSeconds = lookupT.seconds();
@@ -164,8 +174,11 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     auto mod = std::shared_ptr<NativeModule>(new NativeModule());
     const std::string cachedSo = cache.lookup(key);
     if (!cachedSo.empty()) {
+        trace::Span dlopenSpan("jit", "dlopen");
         mod->handle_ = dlopen(cachedSo.c_str(), RTLD_NOW | RTLD_LOCAL);
         if (mod->handle_) {
+            diskHits.inc();
+            lookupSpan.arg(0, "hit", 1);
             mod->command_ = format("(cached) %s %s [key %016llx]", cc, flags,
                                    static_cast<unsigned long long>(key));
             cache.registerLoaded(key, mod);
@@ -178,10 +191,14 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         // A truncated or stale entry (e.g. written by a crashed process on
         // a filesystem without atomic rename): drop it and recompile.
         cache.noteCorrupt();
+        corrupt.inc();
         cache.invalidate(key);
     }
     res.lookupSeconds = lookupT.seconds();
     cache.noteMiss(res.lookupSeconds);
+    misses.inc();
+    lookupSpan.arg(0, "hit", 0);
+    lookupSpan.end();
 
     const std::string dir = makeScratchDir("wootinc");
     mod->dir_ = dir;
@@ -216,9 +233,12 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         int raw = 0;
         bool ok = false;
         if (!injected) {
+            trace::Span ccSpan("jit", "cc", "attempt", attempts);
             Timer t;
             raw = std::system(mod->command_.c_str());
             mod->compileSeconds_ += t.seconds();
+            static auto& ccMs = trace::Metrics::instance().histogram("jit.cc.millis");
+            ccMs.observe(static_cast<int64_t>(t.seconds() * 1e3));
             // std::system returns a raw wait(2) status, not an exit code:
             // decode it so "cc segfaulted" and "cc exited 1" read
             // differently.
@@ -233,6 +253,9 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         const bool transient = injected || raw == -1 || WIFSIGNALED(raw) ||
                                (WIFEXITED(raw) && WEXITSTATUS(raw) > 128);
         if (transient && attempts <= extraRetries) {
+            trace::instant("jit", "cc.retry", "attempt", attempts, "backoff_ms", backoffMs);
+            static auto& retries = trace::Metrics::instance().counter("jit.cc.retries");
+            retries.inc();
             std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
             backoffMs *= 2;
             continue;
@@ -252,6 +275,7 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     // failed (cache disabled, disk full, ...).
     const std::string published = cache.store(key, soPath, tag);
     const std::string& loadPath = published.empty() ? soPath : published;
+    trace::Span dlopenSpan("jit", "dlopen");
     mod->handle_ = dlopen(loadPath.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!mod->handle_) {
         throw UsageError(std::string("dlopen failed: ") + dlerror());

@@ -12,6 +12,8 @@
 #include "runtime/context.h"
 #include "runtime/wjrt.h"
 #include "support/diagnostics.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj {
 
@@ -157,11 +159,25 @@ JitCode::JitCode(const Program& prog, Value receiver, std::string method, std::v
     // verifier runs before any code generation, like the paper's bytecode
     // checks.
     requireCodingRules(prog);
-    translation_ = translate(prog, receiver_, method_, recordedArgs_);
+    {
+        // Dynamic span names must be interned; skip the allocation entirely
+        // when tracing is off.
+        trace::Span span("jit", trace::enabled()
+                                    ? trace::intern("translate " + method_)
+                                    : "translate");
+        translation_ = translate(prog, receiver_, method_, recordedArgs_);
+    }
     try {
+        trace::Span span("jit", trace::enabled()
+                                    ? trace::intern("compile " + method_)
+                                    : "compile");
         compile_ = compileAndLoad(translation_.cSource, method_);
     } catch (const CompilerUnavailableError&) {
         if (!fallbackEnabled()) throw;
+        static auto& fallbacks =
+            trace::Metrics::instance().counter("jit.fallbacks.interpreter");
+        fallbacks.inc();
+        trace::instant("jit", "fallback.interpreter");
         mode_ = ExecMode::Interpreter;
         return;
     }
@@ -196,6 +212,9 @@ Value JitCode::invokeWith(const std::vector<Value>& args) {
     if (args.size() != recordedArgs_.size()) {
         throw UsageError("invoke: argument count differs from the jit-time recording");
     }
+    trace::Span span("jit",
+                     trace::enabled() ? trace::intern("invoke " + method_) : "invoke",
+                     "ranks", mpi_ ? ranks_ : 1);
     if (mode_ == ExecMode::Interpreter) return invokeInterpreter(args);
     if (mpi_ && ranks_ > 1) {
         if (copyBack_) {
@@ -277,6 +296,11 @@ Value JitCode::invokeRank(const std::vector<Value>& args) {
     }
 
     int64_t raw;
+    {
+        static auto& invokes = trace::Metrics::instance().counter("jit.invocations.native");
+        invokes.inc();
+    }
+    trace::Span entrySpan("jit", "entry");
     try {
         // The scope reclaims every array the translated code allocates —
         // entries return only primitives, so none of them escape — and is
@@ -287,6 +311,7 @@ Value JitCode::invokeRank(const std::vector<Value>& args) {
         for (wj_array* a : nativeArrays) wjrt_free_array(a);
         throw;
     }
+    entrySpan.end();
 
     if (copyBack_) {
         for (size_t i = 0; i < interpArrays.size(); ++i) {

@@ -23,6 +23,7 @@
 #include "ir/program.h"
 #include "minimpi/minimpi.h"
 #include "runtime/wjrt.h"
+#include "trace/metrics.h"
 
 namespace wj {
 
@@ -97,6 +98,16 @@ public:
     /// MiniMPI traffic of the most recent multi-rank invoke(): total plus
     /// the pooled / zero-copy split (all zeros before the first MPI run).
     minimpi::CommStats commStats() const noexcept { return commStats_; }
+
+    /// Snapshot of the process-wide metrics registry (src/trace/metrics.h):
+    /// cache hits, bytes by collective channel, pool dispatches, guard
+    /// fallbacks, checkpoint bytes, ... — the same values the WJ_TRACE
+    /// sidecar exports, queryable without touching the filesystem. The
+    /// registry is process-wide (cumulative across JitCode instances); diff
+    /// two snapshots to attribute work to one invoke.
+    static std::vector<trace::MetricValue> metrics() {
+        return trace::Metrics::instance().snapshot();
+    }
 
     /// The generated C translation unit (Listing 5's analogue).
     const std::string& generatedC() const noexcept { return translation_.cSource; }

@@ -9,6 +9,8 @@
 #include "fault/fault.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj::minimpi {
 
@@ -90,6 +92,13 @@ void World::post(int dest, Message msg) {
     // point-to-point traffic.
     messages_ += 1;
     bytes_ += static_cast<int64_t>(msg.data.size());
+    {
+        static auto& userBytes = trace::Metrics::instance().counter("comm.bytes.user");
+        static auto& sysBytes = trace::Metrics::instance().counter("comm.bytes.collective");
+        static auto& msgs = trace::Metrics::instance().counter("comm.messages");
+        (msg.channel == 0 ? userBytes : sysBytes).add(static_cast<int64_t>(msg.data.size()));
+        msgs.inc();
+    }
     if (msg.origin == kOriginPooled) {
         pooledMessages_ += 1;
         pooledBytes_ += static_cast<int64_t>(msg.data.size());
@@ -240,6 +249,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
     for (int r = 0; r < size_; ++r) {
         threads.emplace_back([&, r] {
             Comm comm(this, r);
+            trace::setThreadRank(r);
             try {
                 fn(comm);
             } catch (...) {
@@ -250,6 +260,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
                 abort();
             }
             waits_[static_cast<size_t>(r)].state.store(kDone, std::memory_order_release);
+            trace::setThreadRank(-1);
         });
     }
 
@@ -305,6 +316,10 @@ void World::run(const std::function<void(Comm&)>& fn) {
         wdCv.notify_all();
         watchdog.join();
     }
+    // All rank threads are joined (quiesced), so this is a safe point to
+    // merge their rings — and it runs even when a rank threw, so a crashing
+    // multi-rank program still leaves a trace of what it did.
+    trace::Tracer::instance().flushIfArmed();
     if (firstErr) std::rethrow_exception(firstErr);
 }
 
@@ -328,6 +343,8 @@ void World::fillPayload(Message* msg, const void* buf, size_t bytes) {
 }
 
 void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
+    trace::Span span("comm", "send", "peer", dest, "tag", tag,
+                     "bytes", static_cast<int64_t>(bytes));
     faultHook();
     World::Message msg;
     msg.src = rank_;
@@ -338,6 +355,8 @@ void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
 }
 
 void Comm::send(std::vector<uint8_t>&& data, int dest, int tag) {
+    trace::Span span("comm", "send", "peer", dest, "tag", tag,
+                     "bytes", static_cast<int64_t>(data.size()));
     faultHook();
     World::Message msg;
     msg.src = rank_;
@@ -349,8 +368,11 @@ void Comm::send(std::vector<uint8_t>&& data, int dest, int tag) {
 }
 
 int Comm::recv(void* buf, size_t bytes, int src, int tag) {
+    trace::Span span("comm", "recv", "peer", src, "tag", tag,
+                     "bytes", static_cast<int64_t>(bytes));
     faultHook();
     World::Message msg = world_->take(rank_, src, tag, 0);
+    span.arg(0, "peer", msg.src);  // resolve ANY to the actual source
     if (msg.data.size() != bytes) {
         throw ExecError(format(
             "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
@@ -363,8 +385,11 @@ int Comm::recv(void* buf, size_t bytes, int src, int tag) {
 
 int Comm::recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs) {
     if (timeoutMs < 0) throw UsageError("recvTimeout: timeout must be >= 0 ms");
+    trace::Span span("comm", "recvTimeout", "peer", src, "tag", tag,
+                     "bytes", static_cast<int64_t>(bytes));
     faultHook();
     World::Message msg = world_->take(rank_, src, tag, 0, timeoutMs);
+    span.arg(0, "peer", msg.src);
     if (msg.data.size() != bytes) {
         throw ExecError(format(
             "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
@@ -388,6 +413,7 @@ int Comm::sendrecv(std::vector<uint8_t>&& sbuf, int dest,
 }
 
 void Comm::barrier() {
+    trace::Span span("comm", "barrier");
     faultHook();
     std::unique_lock<std::mutex> lock(world_->barrierM_);
     const int64_t gen = world_->barrierGen_;
@@ -461,6 +487,8 @@ void Comm::treeBcast(void* buf, size_t bytes, int root, int tag) {
 }
 
 void Comm::bcast(void* buf, size_t bytes, int root) {
+    trace::Span span("comm", "bcast", "peer", root, "bytes",
+                     static_cast<int64_t>(bytes));
     faultHook();
     if (root < 0 || root >= world_->size_) {
         throw ExecError(format("bcast: invalid root %d at rank %d", root, rank_));
@@ -470,6 +498,9 @@ void Comm::bcast(void* buf, size_t bytes, int root) {
 }
 
 void Comm::allreduceF64(double* buf, int n, bool isMax) {
+    trace::Span span(
+        "comm", isMax ? "allreduceMax" : "allreduceSum", "bytes",
+        static_cast<int64_t>(sizeof(double)) * std::max(n, 0));
     faultHook();
     if (n < 0) throw ExecError(format("allreduce: negative count %d at rank %d", n, rank_));
     const size_t bytes = sizeof(double) * static_cast<size_t>(n);

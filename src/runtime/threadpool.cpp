@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
 namespace wj::runtime {
 
 namespace {
@@ -58,10 +61,19 @@ void ThreadPool::workerMain(int slot) {
         staticChunk(job.lo, job.hi, job.chunks, slot + 1, &clo, &chi);
         std::exception_ptr err;
         try {
-            if (clo < chi) job.body(clo, chi, job.ctx);
+            if (clo < chi) {
+                // Workers carry no rank binding of their own; tag the chunk
+                // span with the dispatching rank so Perfetto groups it under
+                // the rank that issued the loop.
+                trace::setThreadRank(job.traceRank);
+                trace::Span span("pool", "chunk", "lo", clo, "hi", chi,
+                                 "slot", slot + 1);
+                job.body(clo, chi, job.ctx);
+            }
         } catch (...) {
             err = std::current_exception();
         }
+        trace::setThreadRank(-1);
         lock.lock();
         if (err && !error_) error_ = err;
         if (--pending_ == 0) done_.notify_all();
@@ -72,7 +84,12 @@ void ThreadPool::parallelFor(int64_t lo, int64_t hi, Body body, void* ctx) {
     if (hi <= lo) return;
     const int64_t n = hi - lo;
     const int threads = static_cast<int>(std::min<int64_t>(configuredThreads(), n));
+    static auto& dispatchCount = trace::Metrics::instance().counter("pool.dispatches");
+    static auto& inlineCount = trace::Metrics::instance().counter("pool.dispatches.inline");
+    trace::Span span("pool", "parallelFor", "n", n, "threads", threads);
     if (threads <= 1 || g_onWorker) {
+        inlineCount.inc();
+        span.arg(1, "threads", 1);
         body(lo, hi, ctx);
         return;
     }
@@ -80,12 +97,15 @@ void ThreadPool::parallelFor(int64_t lo, int64_t hi, Body body, void* ctx) {
     // owner may hold the workers for a whole compute region) — run inline.
     bool expected = false;
     if (!busy_.compare_exchange_strong(expected, true)) {
+        inlineCount.inc();
+        span.arg(1, "threads", 1);
         body(lo, hi, ctx);
         return;
     }
+    dispatchCount.inc();
     std::unique_lock<std::mutex> lock(m_);
     ensureWorkers(threads - 1);
-    job_ = {body, ctx, lo, hi, threads, ++gen_};
+    job_ = {body, ctx, lo, hi, threads, ++gen_, trace::threadRank()};
     pending_ = threads - 1;
     error_ = nullptr;
     ++dispatches_;

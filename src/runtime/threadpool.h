@@ -72,6 +72,7 @@ private:
         int64_t lo = 0, hi = 0;
         int chunks = 0;     // chunk 0 is the caller's
         int64_t gen = 0;    // generation tag workers wake on
+        int traceRank = -1; // dispatching rank, for worker-chunk spans
     };
 
     std::mutex m_;

@@ -10,6 +10,8 @@
 #include "runtime/context.h"
 #include "runtime/threadpool.h"
 #include "support/diagnostics.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace wj::runtime {
 
@@ -279,6 +281,13 @@ wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t) {
 
 void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx) {
     wj::runtime::ThreadPool::instance().parallelFor(lo, hi, body, ctx);
+}
+
+void wjrt_guard_fallback(void) {
+    static auto& fallbacks =
+        wj::trace::Metrics::instance().counter("parallel.guard.fallbacks");
+    fallbacks.inc();
+    wj::trace::instant("pool", "guard.fallback");
 }
 
 /* ------------------------------------------------------------------ misc */

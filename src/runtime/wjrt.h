@@ -122,6 +122,11 @@ wj_array* wjrt_gpu_shared_f32(wjrt_gpu_tctx* t);
 typedef void (*wjrt_pf_body)(int64_t lo, int64_t hi, void* ctx);
 void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx);
 
+/* Emitted in the serial else-branch of a CondParallel loop: the runtime
+ * pointer-distinctness guard failed (aliasing buffers), so the loop ran
+ * serially. Feeds the "parallel.guard.fallbacks" metric. */
+void wjrt_guard_fallback(void);
+
 /* -------------------------------------------------------------------- misc */
 void wjrt_print_i64(int64_t v);
 void wjrt_print_f64(double v);

@@ -1,11 +1,23 @@
-// Wall-clock timing utilities used by the JIT (compilation-time accounting,
-// Table 3 of the paper) and by the benchmark harnesses.
+// Monotonic (steady_clock) timing utilities used by the JIT
+// (compilation-time accounting, Table 3 of the paper), the benchmark
+// harnesses, and the span tracer. Durations are immune to wall-clock
+// adjustments; absolute values are meaningful only within one process.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 
 namespace wj {
+
+/// Nanoseconds on the process's monotonic timeline — THE clock source for
+/// every span timestamp (src/trace/) and, via Timer below, for every bench
+/// measurement, so traces and bench numbers are directly comparable. The
+/// epoch is steady_clock's (usually boot); the tracer normalizes at export.
+inline int64_t nowNs() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /// Monotonic stopwatch. Construction starts it.
 class Timer {

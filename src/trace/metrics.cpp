@@ -1,0 +1,135 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace wj::trace {
+
+void Histogram::observe(int64_t sample) noexcept {
+    if (sample < 0) sample = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    int64_t prev = min_.load(std::memory_order_relaxed);
+    while (sample < prev &&
+           !min_.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+    }
+    prev = max_.load(std::memory_order_relaxed);
+    while (sample > prev &&
+           !max_.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+    }
+    int b = 0;
+    if (sample > 0) b = 64 - __builtin_clzll(static_cast<uint64_t>(sample));
+    if (b >= kBuckets) b = kBuckets - 1;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::min() const noexcept { return min_.load(std::memory_order_relaxed); }
+int64_t Histogram::max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(INT64_MAX, std::memory_order_relaxed);
+    max_.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+struct Metrics::Impl {
+    // std::map: stable node addresses (references handed out live forever)
+    // and already name-sorted for snapshot()/toJson().
+    std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Metrics::Impl& Metrics::impl() const {
+    static Impl* impl = new Impl();  // leaked: usable during at-exit flush
+    return *impl;
+}
+
+Metrics& Metrics::instance() {
+    static Metrics m;
+    return m;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    auto& slot = im.counters[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    auto& slot = im.histograms[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<MetricValue> Metrics::snapshot() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    std::vector<MetricValue> out;
+    out.reserve(im.counters.size() + im.histograms.size());
+    for (const auto& [name, c] : im.counters) {
+        MetricValue v;
+        v.name = name;
+        v.value = c->value();
+        out.push_back(std::move(v));
+    }
+    for (const auto& [name, h] : im.histograms) {
+        MetricValue v;
+        v.name = name;
+        v.isHistogram = true;
+        v.value = h->count();
+        v.sum = h->sum();
+        v.min = h->count() ? h->min() : 0;
+        v.max = h->count() ? h->max() : 0;
+        out.push_back(std::move(v));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+    return out;
+}
+
+std::string Metrics::toJson() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : im.counters) {
+        out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : im.histograms) {
+        int64_t n = h->count();
+        out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << n
+            << ", \"sum\": " << h->sum() << ", \"min\": " << (n ? h->min() : 0)
+            << ", \"max\": " << (n ? h->max() : 0) << ", \"buckets\": [";
+        // Trailing zero buckets are noise; stop at the last nonzero one.
+        int last = Histogram::kBuckets - 1;
+        while (last > 0 && h->bucket(last) == 0) --last;
+        for (int i = 0; i <= last; ++i) out << (i ? ", " : "") << h->bucket(i);
+        out << "]}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+void Metrics::reset() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (auto& [name, c] : im.counters) c->reset();
+    for (auto& [name, h] : im.histograms) h->reset();
+}
+
+} // namespace wj::trace

@@ -1,0 +1,93 @@
+// Process-wide counters and histograms registry (the tracer's sidecar).
+//
+// Spans answer "where did the time go"; metrics answer "how much work was
+// done": cache hits, bytes by collective channel, pool dispatches,
+// interpreter fallbacks, checkpoint bytes. Counters are plain atomics and
+// always on (same cost class as MiniMPI's existing CommStats fields);
+// registration is a one-time name lookup that call sites amortize with a
+// static local reference:
+//
+//     static auto& c = trace::Metrics::instance().counter("comm.bytes.p2p");
+//     c.add(bytes);
+//
+// The registry exports as JSON — written as "<trace>.metrics.json" beside
+// every trace flush — and is queryable in-process via snapshot()
+// (JitCode::metrics() surfaces it to paper-API clients).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wj::trace {
+
+/// Monotonic event/volume counter.
+class Counter {
+public:
+    void add(int64_t delta) noexcept { v_.fetch_add(delta, std::memory_order_relaxed); }
+    void inc() noexcept { add(1); }
+    int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<int64_t> v_{0};
+};
+
+/// Power-of-two-bucket histogram of a nonnegative int64 sample (bucket i
+/// counts samples in [2^(i-1), 2^i), bucket 0 counts zeros), plus
+/// count/sum/min/max. Lock-free; merges races benignly (relaxed atomics).
+class Histogram {
+public:
+    static constexpr int kBuckets = 64;
+
+    void observe(int64_t sample) noexcept;
+
+    int64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    int64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    int64_t min() const noexcept;  ///< INT64_MAX when empty
+    int64_t max() const noexcept;
+    int64_t bucket(int i) const noexcept { return buckets_[i].load(std::memory_order_relaxed); }
+
+    void reset() noexcept;
+
+private:
+    std::atomic<int64_t> count_{0};
+    std::atomic<int64_t> sum_{0};
+    std::atomic<int64_t> min_{INT64_MAX};
+    std::atomic<int64_t> max_{INT64_MIN};
+    std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time view of one metric (Metrics::snapshot()).
+struct MetricValue {
+    std::string name;
+    int64_t value = 0;        ///< counter value, or histogram count
+    bool isHistogram = false;
+    int64_t sum = 0, min = 0, max = 0;  ///< histogram-only
+};
+
+class Metrics {
+public:
+    static Metrics& instance();
+
+    /// Finds or creates; the returned reference is stable forever.
+    Counter& counter(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// Every registered metric, sorted by name.
+    std::vector<MetricValue> snapshot() const;
+
+    /// {"counters": {...}, "histograms": {...}} — the flush sidecar.
+    std::string toJson() const;
+
+    /// Zeroes every metric (registrations survive — references stay valid).
+    void reset();
+
+private:
+    Metrics() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+} // namespace wj::trace

@@ -1,0 +1,332 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/metrics.h"
+
+namespace wj::trace {
+
+namespace {
+
+// The global on/off flag checked by every Span constructor. Kept at
+// namespace scope (not inside Impl) so enabled() stays a single load with
+// no indirection through instance().
+std::atomic<bool> g_enabled{false};
+
+// MiniMPI rank tag for the calling thread. Plain thread_local: only the
+// owning thread reads/writes it.
+thread_local int t_rank = -1;
+
+/// One thread's span storage: a single-writer ring. The owning thread is
+/// the only writer; readers (snapshot at quiesced points) acquire `count`
+/// to see every slot the release in push() published.
+struct ThreadBuf {
+    explicit ThreadBuf(int tid) : tid(tid) {}
+
+    void push(const SpanRec& rec) noexcept {
+        uint64_t n = count.load(std::memory_order_relaxed);
+        slots[n % Tracer::kRingCapacity] = rec;
+        count.store(n + 1, std::memory_order_release);
+    }
+
+    const int tid;
+    std::atomic<uint64_t> count{0};  ///< total ever pushed (wraps the ring)
+    std::vector<SpanRec> slots{Tracer::kRingCapacity};
+};
+
+} // namespace
+
+struct Tracer::Impl {
+    // Buffers are heap-allocated and never freed: a thread may exit while
+    // its spans are still waiting to be flushed, and Span::record() must
+    // never race with deallocation.
+    std::mutex mu;                                     // registry + path + intern
+    std::vector<std::unique_ptr<ThreadBuf>> buffers;   // all threads, ever
+    std::string path;
+    bool armed = false;        // enable() was called with a destination
+    bool atExitRegistered = false;
+    std::unordered_set<std::string> interned;
+
+    ThreadBuf& bufferForThisThread() {
+        thread_local ThreadBuf* t_buf = nullptr;
+        if (!t_buf) {
+            std::lock_guard<std::mutex> lk(mu);
+            buffers.push_back(
+                std::make_unique<ThreadBuf>(static_cast<int>(buffers.size())));
+            t_buf = buffers.back().get();
+        }
+        return *t_buf;
+    }
+};
+
+Tracer::Impl& Tracer::impl() const {
+    static Impl* impl = new Impl();  // leaked: usable during at-exit flush
+    return *impl;
+}
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    // Arm from the environment exactly once, on first use.
+    static const bool envArmed = [&] {
+        const char* p = std::getenv("WJ_TRACE");
+        if (p && *p) tracer.enable(p);
+        return true;
+    }();
+    (void)envArmed;
+    return tracer;
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void setThreadRank(int rank) noexcept { t_rank = rank; }
+int threadRank() noexcept { return t_rank; }
+
+const char* intern(const std::string& s) {
+    Tracer::Impl& im = Tracer::instance().impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    return im.interned.insert(s).first->c_str();  // node-stable
+}
+
+void Span::record() noexcept {
+    // The tracer may have been disabled between construction and now;
+    // record anyway — the span was started under an enabled tracer and
+    // dropping it here would truncate enclosing timelines mid-run.
+    SpanRec rec;
+    rec.name = name_;
+    rec.cat = cat_;
+    rec.startNs = startNs_;
+    rec.durNs = nowNs() - startNs_;
+    rec.rank = t_rank;
+    for (int i = 0; i < 3; ++i) { rec.argKey[i] = k_[i]; rec.argVal[i] = v_[i]; }
+    ThreadBuf& buf = Tracer::instance().impl().bufferForThisThread();
+    rec.tid = buf.tid;
+    buf.push(rec);
+}
+
+void instant(const char* cat, const char* name,
+             const char* k0, int64_t v0,
+             const char* k1, int64_t v1,
+             const char* k2, int64_t v2) {
+    if (!enabled()) return;
+    SpanRec rec;
+    rec.name = name;
+    rec.cat = cat;
+    rec.startNs = nowNs();
+    rec.durNs = -1;
+    rec.rank = t_rank;
+    rec.argKey[0] = k0; rec.argVal[0] = v0;
+    rec.argKey[1] = k1; rec.argVal[1] = v1;
+    rec.argKey[2] = k2; rec.argVal[2] = v2;
+    ThreadBuf& buf = Tracer::instance().impl().bufferForThisThread();
+    rec.tid = buf.tid;
+    buf.push(rec);
+}
+
+void Tracer::enable(const std::string& path) {
+    Impl& im = impl();
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        im.path = path;
+        im.armed = !path.empty();
+        if (im.armed && !im.atExitRegistered) {
+            im.atExitRegistered = true;
+            std::atexit([] { Tracer::instance().flushIfArmed(); });
+        }
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+std::string Tracer::path() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    return im.path;
+}
+
+void Tracer::reset() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    for (auto& b : im.buffers) b->count.store(0, std::memory_order_relaxed);
+}
+
+int64_t Tracer::spansRecorded() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    int64_t n = 0;
+    for (auto& b : im.buffers)
+        n += static_cast<int64_t>(b->count.load(std::memory_order_acquire));
+    return n;
+}
+
+int64_t Tracer::spansDropped() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    int64_t n = 0;
+    for (auto& b : im.buffers) {
+        uint64_t c = b->count.load(std::memory_order_acquire);
+        if (c > kRingCapacity) n += static_cast<int64_t>(c - kRingCapacity);
+    }
+    return n;
+}
+
+int64_t Tracer::buffersCreated() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    return static_cast<int64_t>(im.buffers.size());
+}
+
+std::vector<SpanRec> Tracer::snapshot() const {
+    Impl& im = impl();
+    std::vector<SpanRec> out;
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        for (auto& b : im.buffers) {
+            uint64_t c = b->count.load(std::memory_order_acquire);
+            uint64_t live = std::min<uint64_t>(c, kRingCapacity);
+            // Oldest surviving span first: when wrapped, the slot at
+            // count % capacity is the oldest.
+            uint64_t start = c - live;
+            for (uint64_t i = 0; i < live; ++i)
+                out.push_back(b->slots[(start + i) % kRingCapacity]);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanRec& a, const SpanRec& b) {
+                         return a.startNs < b.startNs;
+                     });
+    return out;
+}
+
+namespace {
+
+void appendJsonEscaped(std::string& out, const char* s) {
+    for (; *s; ++s) {
+        char c = *s;
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+} // namespace
+
+std::string Tracer::toJson() const {
+    std::vector<SpanRec> spans = snapshot();
+
+    int64_t epochNs = 0;
+    if (!spans.empty()) epochNs = spans.front().startNs;  // sorted by start
+
+    // Which rank pids appear? pid = rank + 1 (host rank -1 -> pid 0).
+    std::vector<int> pids;
+    for (const SpanRec& s : spans) {
+        int pid = s.rank + 1;
+        if (std::find(pids.begin(), pids.end(), pid) == pids.end())
+            pids.push_back(pid);
+    }
+    std::sort(pids.begin(), pids.end());
+
+    std::string out;
+    out.reserve(spans.size() * 128 + 256);
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    for (int pid : pids) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+        out += std::to_string(pid);
+        out += ",\"tid\":0,\"args\":{\"name\":\"";
+        out += pid == 0 ? "host" : "rank " + std::to_string(pid - 1);
+        out += "\"}}";
+    }
+    for (const SpanRec& s : spans) {
+        if (!first) out += ",\n";
+        first = false;
+        // Trace-event timestamps are microseconds; keep sub-µs precision by
+        // emitting three decimals.
+        int64_t tsNs = s.startNs - epochNs;
+        char num[32];
+        out += "{\"ph\":\"";
+        out += s.durNs < 0 ? 'i' : 'X';
+        out += "\",\"name\":\"";
+        appendJsonEscaped(out, s.name ? s.name : "?");
+        out += "\",\"cat\":\"";
+        appendJsonEscaped(out, s.cat ? s.cat : "?");
+        out += "\",\"ts\":";
+        std::snprintf(num, sizeof num, "%lld.%03d",
+                      static_cast<long long>(tsNs / 1000),
+                      static_cast<int>(tsNs % 1000));
+        out += num;
+        if (s.durNs < 0) {
+            out += ",\"s\":\"t\"";
+        } else {
+            out += ",\"dur\":";
+            std::snprintf(num, sizeof num, "%lld.%03d",
+                          static_cast<long long>(s.durNs / 1000),
+                          static_cast<int>(s.durNs % 1000));
+            out += num;
+        }
+        out += ",\"pid\":";
+        out += std::to_string(s.rank + 1);
+        out += ",\"tid\":";
+        out += std::to_string(s.tid);
+        bool haveArgs = false;
+        for (int i = 0; i < 3; ++i) {
+            if (!s.argKey[i]) continue;
+            out += haveArgs ? "," : ",\"args\":{";
+            haveArgs = true;
+            out += '"';
+            appendJsonEscaped(out, s.argKey[i]);
+            out += "\":";
+            out += std::to_string(s.argVal[i]);
+        }
+        if (haveArgs) out += '}';
+        out += '}';
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool Tracer::flush() const {
+    std::string dest = path();
+    if (dest.empty()) return false;
+    {
+        std::ofstream f(dest, std::ios::trunc);
+        if (!f) return false;
+        f << toJson();
+    }
+    std::ofstream m(dest + ".metrics.json", std::ios::trunc);
+    if (m) m << Metrics::instance().toJson();
+    return true;
+}
+
+bool Tracer::flushIfArmed() const {
+    Impl& im = impl();
+    {
+        std::lock_guard<std::mutex> lk(im.mu);
+        if (!im.armed) return false;
+    }
+    return flush();
+}
+
+} // namespace wj::trace

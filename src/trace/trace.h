@@ -1,0 +1,190 @@
+// Span tracing for every WootinC layer (the observability substrate).
+//
+// The paper evaluates WootinJ by timing whole runs; the reproduction has
+// many more moving parts — async JIT + compile cache, MiniMPI collectives,
+// the thread pool, checkpoint/restart — whose costs are invisible inside an
+// end-to-end number. The tracer turns a run into an explainable timeline:
+// every instrumented operation records a span (name, category, start,
+// duration, rank, thread, up to three integer args) and the merged result
+// exports as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing.
+//
+// Cost model (the contract tests/test_trace.cpp enforces):
+//   * DISABLED (the default): constructing a Span is ONE relaxed atomic
+//     load and a branch. No allocation, no clock read, no buffer touch.
+//     Instrumentation can therefore live on real hot paths (every MiniMPI
+//     message, every pool dispatch).
+//   * ENABLED: each span is two steady_clock reads plus one record written
+//     into a per-thread lock-free ring buffer (single writer — the owning
+//     thread; no lock, no allocation after the buffer exists). When a ring
+//     wraps, the OLDEST spans are overwritten and counted as dropped —
+//     tracing never blocks and never grows without bound.
+//
+// Enabling:
+//   * WJ_TRACE=<file> in the environment arms the tracer at first use and
+//     registers an at-exit flush to <file> (+ a "<file>.metrics.json"
+//     sidecar, see metrics.h);
+//   * Tracer::instance().enable(path) does the same programmatically
+//     (wjc --trace, bench --trace, tests);
+//   * MiniMPI's World::run flushes at exit of every run, so a crashing
+//     multi-rank program still leaves a trace of what it did.
+//
+// Rank attribution: spans carry the MiniMPI rank of the recording thread
+// (set by World::run via setThreadRank; -1 = host/untagged). The exporter
+// maps rank r to Chrome pid r+1 (pid 0 = host) and emits process_name
+// metadata, so Perfetto groups the timeline per rank.
+//
+// Span names and categories must be string literals or strings interned
+// with trace::intern() — records outlive local std::strings.
+//
+// All span timestamps come from wj::nowNs() (support/timer.h): the same
+// steady_clock the bench Timers use, so trace durations and bench numbers
+// agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/timer.h"
+
+namespace wj::trace {
+
+/// Categories used by the built-in instrumentation (any literal works):
+///   "jit"    translation, cache lookup, external cc, dlopen, invoke
+///   "comm"   MiniMPI sends/recvs/collectives (args: peer, tag, bytes)
+///   "pool"   ThreadPool dispatches and per-chunk worker execution
+///   "interp" interpreter entry calls
+///   "gpu"    GpuSim kernel launches
+///   "ckpt"   checkpoint save/load
+///   "fault"  injected-fault instants
+
+/// One recorded span (POD — lives in the per-thread ring).
+struct SpanRec {
+    const char* name = nullptr;  ///< literal or interned
+    const char* cat = nullptr;   ///< literal or interned
+    int64_t startNs = 0;
+    int64_t durNs = 0;           ///< -1 for an instant event
+    int32_t rank = -1;           ///< MiniMPI rank; -1 = host
+    int32_t tid = 0;             ///< small per-thread id (registration order)
+    const char* argKey[3] = {nullptr, nullptr, nullptr};
+    int64_t argVal[3] = {0, 0, 0};
+};
+
+/// True when spans are being recorded. The ONLY check on the disabled hot
+/// path: one relaxed atomic load.
+bool enabled() noexcept;
+
+/// Interns a dynamic string (stable for process lifetime) so it can be used
+/// as a span name. Literals do not need interning.
+const char* intern(const std::string& s);
+
+/// Tags the calling thread's spans with a MiniMPI rank (-1 clears).
+void setThreadRank(int rank) noexcept;
+int threadRank() noexcept;
+
+/// Records an instant event (a vertical tick in Perfetto).
+void instant(const char* cat, const char* name,
+             const char* k0 = nullptr, int64_t v0 = 0,
+             const char* k1 = nullptr, int64_t v1 = 0,
+             const char* k2 = nullptr, int64_t v2 = 0);
+
+/// RAII span: construction stamps the start, destruction records. When the
+/// tracer is disabled, construction is a single atomic check and the
+/// destructor does nothing.
+class Span {
+public:
+    Span(const char* cat, const char* name,
+         const char* k0 = nullptr, int64_t v0 = 0,
+         const char* k1 = nullptr, int64_t v1 = 0,
+         const char* k2 = nullptr, int64_t v2 = 0) noexcept {
+        if (!enabled()) return;
+        armed_ = true;
+        cat_ = cat;
+        name_ = name;
+        k_[0] = k0; k_[1] = k1; k_[2] = k2;
+        v_[0] = v0; v_[1] = v1; v_[2] = v2;
+        startNs_ = nowNs();
+    }
+    ~Span() { if (armed_) record(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Sets/overwrites arg slot `i` (0..2) after construction — for values
+    /// only known at completion (e.g. the actual source of an ANY recv).
+    void arg(int i, const char* key, int64_t val) noexcept {
+        if (armed_ && i >= 0 && i < 3) { k_[i] = key; v_[i] = val; }
+    }
+
+    /// Records now instead of at scope exit — for spans whose logical end
+    /// precedes the enclosing scope's (e.g. a lookup that falls through to
+    /// a compile). Idempotent; the destructor becomes a no-op.
+    void end() noexcept {
+        if (armed_) { record(); armed_ = false; }
+    }
+
+private:
+    void record() noexcept;
+
+    bool armed_ = false;
+    const char* cat_ = nullptr;
+    const char* name_ = nullptr;
+    const char* k_[3] = {nullptr, nullptr, nullptr};
+    int64_t v_[3] = {0, 0, 0};
+    int64_t startNs_ = 0;
+};
+
+class Tracer {
+public:
+    /// Spans each thread's ring can hold before wrapping (oldest dropped).
+    static constexpr size_t kRingCapacity = 1 << 14;
+
+    /// Process-wide tracer. First access arms it from $WJ_TRACE (if set).
+    static Tracer& instance();
+
+    /// Arms recording and sets the flush destination. Registers an at-exit
+    /// flush once per process. Empty path records without a destination
+    /// (tests use snapshot()/toJson() directly).
+    void enable(const std::string& path);
+
+    /// Stops recording (buffers and their contents are kept).
+    void disable();
+
+    bool isEnabled() const noexcept { return enabled(); }
+    std::string path() const;
+
+    /// Drops every recorded span and resets the counters (tests).
+    void reset();
+
+    // ---- observability (the overhead-guard tests assert on these)
+    int64_t spansRecorded() const;   ///< total ever recorded (incl. dropped)
+    int64_t spansDropped() const;    ///< overwritten by ring wraparound
+    int64_t buffersCreated() const;  ///< per-thread rings ever allocated
+
+    /// Merged snapshot of every thread's ring, sorted by start time.
+    /// Callers must quiesce recording threads first (flush points do).
+    std::vector<SpanRec> snapshot() const;
+
+    /// Chrome trace-event JSON of snapshot() (+ process_name metadata),
+    /// timestamps normalized to the earliest span.
+    std::string toJson() const;
+
+    /// Writes toJson() to path() and the metrics registry sidecar to
+    /// "<path>.metrics.json". No-op (returns false) without a path.
+    bool flush() const;
+
+    /// flush() only when armed by enable()/$WJ_TRACE with a destination —
+    /// the World::run-exit hook.
+    bool flushIfArmed() const;
+
+private:
+    Tracer() = default;
+    struct Impl;
+    Impl& impl() const;
+    friend class Span;
+    friend const char* intern(const std::string&);
+    friend void instant(const char*, const char*, const char*, int64_t,
+                        const char*, int64_t, const char*, int64_t);
+};
+
+} // namespace wj::trace

@@ -1,0 +1,173 @@
+// Golden-snapshot tests for the translator's C output on the two paper
+// kernels (Section 4.1 diffusion, Section 4.2 matmul). The generated C IS
+// the product the paper evaluates — a silent change to devirtualization,
+// object inlining, guard emission, or runtime-call lowering shifts every
+// measurement, so these tests pin the exact bytes.
+//
+// The snapshots live in tests/golden/*.golden (checked in). On mismatch the
+// test prints the first diverging line with context. To refresh after an
+// INTENTIONAL codegen change, run tests/update_goldens.sh (or set
+// WJ_UPDATE_GOLDEN=1 around this binary) and review the diff like any other
+// source change.
+//
+// translate() is called directly — no external compiler, no dlopen — so
+// these tests are fast and hermetic. WJ_BOUNDS / WJ_PARALLEL are pinned per
+// test because they legitimately change the output (that is the point of
+// the guarded/parallel variants below).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "interp/interp.h"
+#include "jit/codegen.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+
+using namespace wj;
+
+namespace {
+
+// WJ_GOLDEN_DIR is a compile definition pointing at tests/golden in the
+// SOURCE tree, so update mode rewrites the checked-in files directly.
+std::string goldenPath(const std::string& name) {
+    return std::string(WJ_GOLDEN_DIR) + "/" + name;
+}
+
+bool updateMode() {
+    const char* v = std::getenv("WJ_UPDATE_GOLDEN");
+    return v && *v && std::string(v) != "0";
+}
+
+bool slurp(const std::string& path, std::string& out) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/// Line number (1-based) and text of the first line where a and b differ.
+struct FirstDiff {
+    int line = 0;
+    std::string expected, actual;
+};
+
+FirstDiff firstDiff(const std::string& expected, const std::string& actual) {
+    std::istringstream ea(expected), aa(actual);
+    std::string el, al;
+    FirstDiff d;
+    for (int line = 1;; ++line) {
+        const bool he = static_cast<bool>(std::getline(ea, el));
+        const bool ha = static_cast<bool>(std::getline(aa, al));
+        if (!he && !ha) break;
+        if (el != al || he != ha) {
+            d.line = line;
+            d.expected = he ? el : "<end of file>";
+            d.actual = ha ? al : "<end of file>";
+            break;
+        }
+    }
+    return d;
+}
+
+void checkGolden(const std::string& name, const std::string& actual) {
+    const std::string path = goldenPath(name);
+    if (updateMode()) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(f.good()) << "cannot write " << path;
+        f << actual;
+        std::fprintf(stderr, "[golden] updated %s (%zu bytes)\n", path.c_str(), actual.size());
+        return;
+    }
+    std::string expected;
+    ASSERT_TRUE(slurp(path, expected))
+        << "missing golden file " << path
+        << " — run tests/update_goldens.sh to create it, then check it in";
+    if (expected == actual) return;
+    const FirstDiff d = firstDiff(expected, actual);
+    FAIL() << "generated C diverged from " << path << " at line " << d.line << "\n"
+           << "  golden: " << d.expected << "\n"
+           << "  actual: " << d.actual << "\n"
+           << "If the codegen change is intentional, refresh with tests/update_goldens.sh "
+           << "and review the golden diff.";
+}
+
+/// Clears an env var for the scope (the translator reads WJ_BOUNDS /
+/// WJ_PARALLEL at translate() time) and restores it on exit.
+class ScopedUnset {
+public:
+    explicit ScopedUnset(const char* name) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        unsetenv(name);
+    }
+    ~ScopedUnset() {
+        if (had_) setenv(name_, old_.c_str(), 1);
+    }
+    ScopedUnset(const ScopedUnset&) = delete;
+    ScopedUnset& operator=(const ScopedUnset&) = delete;
+
+private:
+    const char* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+Translation translateDiffusion() {
+    static Program prog = stencil::buildProgram();
+    Interp in(prog);
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    Value runner = stencil::makeCpuRunner(in, 8, 8, 8, coeffs, 7);
+    return translate(prog, runner, "run", {Value::ofI32(1)});
+}
+
+Translation translateMatmul() {
+    static Program prog = matmul::buildProgram();
+    Interp in(prog);
+    Value app = matmul::makeCpuApp(in, matmul::Calc::Optimized);
+    return translate(prog, app, "run", {Value::ofI32(8), Value::ofI32(7)});
+}
+
+} // namespace
+
+class CodegenGolden : public ::testing::Test {
+protected:
+    // Pin the knobs that legitimately change the output; each variant test
+    // re-sets exactly the one it exercises.
+    ScopedUnset bounds_{"WJ_BOUNDS"};
+    ScopedUnset parallel_{"WJ_PARALLEL"};
+};
+
+TEST_F(CodegenGolden, Diffusion3DCpu) {
+    checkGolden("diffusion3d_cpu.c.golden", translateDiffusion().cSource);
+}
+
+TEST_F(CodegenGolden, MatmulCpu) {
+    checkGolden("matmul_cpu.c.golden", translateMatmul().cSource);
+}
+
+// The WJ_BOUNDS=all variant pins guard emission (wj_chk on every access).
+TEST_F(CodegenGolden, Diffusion3DCpuBoundsAll) {
+    setenv("WJ_BOUNDS", "all", 1);
+    checkGolden("diffusion3d_cpu_bounds.c.golden", translateDiffusion().cSource);
+}
+
+// The WJ_PARALLEL=1 variant pins parallel-for outlining and the guarded
+// dispatch (wjrt_parallel_for + wjrt_guard_fallback serial else-branch).
+TEST_F(CodegenGolden, MatmulCpuParallel) {
+    setenv("WJ_PARALLEL", "1", 1);
+    checkGolden("matmul_cpu_parallel.c.golden", translateMatmul().cSource);
+}
+
+// Determinism prerequisite: two translations of the same unit in one
+// process must be byte-identical, otherwise golden comparison is noise.
+TEST_F(CodegenGolden, TranslationIsDeterministic) {
+    EXPECT_EQ(translateDiffusion().cSource, translateDiffusion().cSource);
+    EXPECT_EQ(translateMatmul().cSource, translateMatmul().cSource);
+}

@@ -1,8 +1,18 @@
 // Property-based differential testing: generate random rule-compliant WJ
-// programs and check that the interpreter ("JVM") and the JIT-translated C
-// compute bit-identical results. This is the strongest evidence that the
-// translation preserves semantics: any divergence in arithmetic, control
-// flow, dispatch, inlining, or marshalling shows up as a mismatch.
+// programs and check that every execution config computes bit-identical
+// results. This is the strongest evidence that the translation preserves
+// semantics: any divergence in arithmetic, control flow, dispatch,
+// inlining, marshalling, bounds-guard insertion, or parallel-for outlining
+// shows up as a mismatch.
+//
+// The config matrix, per generated program:
+//   interp        the tree-walking interpreter (the reference)
+//   jit           plain translation (no guards, serial)
+//   jit+bounds    WJ_BOUNDS=all — every array access guarded
+//   jit+par@1     WJ_PARALLEL=1 codegen, WJ_THREADS=1 (inline dispatch)
+//   jit+par@4     the same translation fanned out over 4 pool threads
+// All five must agree BITWISE (uint64 payload of the f64 result) on every
+// argument; the failing seed is printed so a divergence replays exactly.
 //
 // The generator is deliberately conservative about C undefined behaviour:
 // integer expressions stay in a small range (constants, bounded add/sub,
@@ -11,6 +21,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include <string>
 #include <vector>
@@ -153,26 +165,96 @@ Program randomProgram(uint64_t seed) {
     return pb.build();
 }
 
+/// Sets (or clears, for nullptr) an env var for the enclosing scope and
+/// restores the previous state on exit — the translator reads WJ_BOUNDS /
+/// WJ_PARALLEL at translate() time and the pool reads WJ_THREADS per
+/// dispatch, so configs are just env scopes around jit()/invoke().
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value) setenv(name, value, 1);
+        else unsetenv(name);
+    }
+    ~ScopedEnv() {
+        if (had_) setenv(name_, old_.c_str(), 1);
+        else unsetenv(name_);
+    }
+    ScopedEnv(const ScopedEnv&) = delete;
+    ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+private:
+    const char* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+uint64_t bitsOf(double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    return u;
+}
+
 } // namespace
 
 class RandomDifferential : public ::testing::TestWithParam<int> {};
 
-TEST_P(RandomDifferential, InterpreterAndJitBitwiseAgree) {
+TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
     const uint64_t seed = static_cast<uint64_t>(GetParam()) * 0x9e3779b9u + 1;
+    // Pin the knobs the matrix varies so the ambient environment cannot
+    // skew a config (a stray WJ_BOUNDS=all would make "plain" = "bounds").
+    ScopedEnv pinB("WJ_BOUNDS", nullptr);
+    ScopedEnv pinP("WJ_PARALLEL", nullptr);
+    ScopedEnv pinT("WJ_THREADS", nullptr);
+
     Program p = randomProgram(seed);
     Interp in(p);
     Value obj = in.instantiate("T", {});
 
-    JitCode code = WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    JitCode plain = WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    JitCode bounds = [&] {
+        ScopedEnv e("WJ_BOUNDS", "all");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+    // One translation serves both thread counts: the generated C is
+    // WJ_THREADS-independent (chunking happens in wjrt_parallel_for).
+    JitCode par = [&] {
+        ScopedEnv e("WJ_PARALLEL", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+
     for (int arg : {0, 1, 7, -5, 123}) {
-        Value iv = in.call(obj, "run", {Value::ofI32(arg)});
-        Value jv = code.invokeWith({Value::ofI32(arg)});
-        ASSERT_FALSE(std::isnan(iv.asF64()) != std::isnan(jv.asF64()))
-            << "seed=" << seed << " arg=" << arg;
-        if (!std::isnan(iv.asF64())) {
-            EXPECT_DOUBLE_EQ(iv.asF64(), jv.asF64()) << "seed=" << seed << " arg=" << arg;
+        const std::vector<Value> args{Value::ofI32(arg)};
+        const uint64_t ref = bitsOf(in.call(obj, "run", args).asF64());
+
+        struct Row {
+            const char* config;
+            uint64_t bits;
+        };
+        std::vector<Row> rows;
+        rows.push_back({"jit", bitsOf(plain.invokeWith(args).asF64())});
+        rows.push_back({"jit+bounds=all", bitsOf(bounds.invokeWith(args).asF64())});
+        {
+            ScopedEnv t("WJ_THREADS", "1");
+            rows.push_back({"jit+parallel@1", bitsOf(par.invokeWith(args).asF64())});
+        }
+        {
+            ScopedEnv t("WJ_THREADS", "4");
+            rows.push_back({"jit+parallel@4", bitsOf(par.invokeWith(args).asF64())});
+        }
+        for (const Row& r : rows) {
+            EXPECT_EQ(ref, r.bits)
+                << "config=" << r.config << " diverged from the interpreter: seed=" << seed
+                << " arg=" << arg << " (replay: RandomDifferential sweep index "
+                << GetParam() << ")";
         }
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sweep, RandomDifferential, ::testing::Range(0, 24));
+// 200+ programs x 5 configs x 5 arguments, per the tracing-PR acceptance
+// criteria. Each sweep index is its own ctest entry (gtest_discover_tests),
+// so the three compiles per program run under per-test timeouts.
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDifferential, ::testing::Range(0, 200));

@@ -1,0 +1,330 @@
+// Unit tests for the span tracer (src/trace/) — the observability contract
+// the rest of the codebase leans on:
+//
+//   * disabled-tracer overhead guard: with tracing off, Span construction
+//     records nothing and allocates nothing (no per-thread buffer appears);
+//   * span nesting: an enclosing span brackets its children in time and the
+//     snapshot orders spans by start;
+//   * ring-buffer wraparound: pushing past kRingCapacity drops the OLDEST
+//     spans, keeps the newest, and accounts the drops;
+//   * multi-rank merge: spans recorded by MiniMPI ranks carry their rank,
+//     and toJson() is valid JSON with per-rank process metadata and
+//     non-decreasing timestamps.
+//
+// Every test runs against the process-global tracer, so each pins the state
+// it needs (enable("")/disable() + reset()) rather than assuming a fresh
+// process — the suite passes filtered per-test (ctest) and all-in-one.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minimpi/minimpi.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+using namespace wj;
+using trace::SpanRec;
+using trace::Tracer;
+
+namespace {
+
+/// Minimal recursive-descent JSON validity checker (no parser dependency).
+class JsonChecker {
+public:
+    static bool valid(const std::string& s) {
+        JsonChecker c(s);
+        c.skipWs();
+        if (!c.value()) return false;
+        c.skipWs();
+        return c.i_ == s.size();
+    }
+
+private:
+    explicit JsonChecker(const std::string& s) : s_(s) {}
+
+    bool value() {
+        if (i_ >= s_.size()) return false;
+        switch (s_[i_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool object() {
+        ++i_;  // '{'
+        skipWs();
+        if (peek() == '}') { ++i_; return true; }
+        for (;;) {
+            skipWs();
+            if (!string()) return false;
+            skipWs();
+            if (peek() != ':') return false;
+            ++i_;
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++i_; continue; }
+            if (peek() == '}') { ++i_; return true; }
+            return false;
+        }
+    }
+
+    bool array() {
+        ++i_;  // '['
+        skipWs();
+        if (peek() == ']') { ++i_; return true; }
+        for (;;) {
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++i_; continue; }
+            if (peek() == ']') { ++i_; return true; }
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        for (++i_; i_ < s_.size(); ++i_) {
+            if (s_[i_] == '\\') { ++i_; continue; }
+            if (s_[i_] == '"') { ++i_; return true; }
+        }
+        return false;
+    }
+
+    bool number() {
+        size_t start = i_;
+        if (peek() == '-') ++i_;
+        while (i_ < s_.size() && (std::isdigit(s_[i_]) || s_[i_] == '.' ||
+                                  s_[i_] == 'e' || s_[i_] == 'E' ||
+                                  s_[i_] == '+' || s_[i_] == '-'))
+            ++i_;
+        return i_ > start;
+    }
+
+    bool literal(const char* lit) {
+        for (; *lit; ++lit, ++i_)
+            if (i_ >= s_.size() || s_[i_] != *lit) return false;
+        return true;
+    }
+
+    char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+    void skipWs() {
+        while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                                  s_[i_] == '\t' || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    const std::string& s_;
+    size_t i_ = 0;
+};
+
+/// Extracts every "ts": value from a trace JSON, in document order.
+std::vector<double> timestamps(const std::string& json) {
+    std::vector<double> out;
+    size_t pos = 0;
+    while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        out.push_back(std::stod(json.substr(pos)));
+    }
+    return out;
+}
+
+/// Pins the tracer enabled (no flush destination) with empty rings for the
+/// duration of a test, restoring "disabled" after.
+struct EnabledScope {
+    EnabledScope() {
+        Tracer::instance().enable("");
+        Tracer::instance().reset();
+    }
+    ~EnabledScope() { Tracer::instance().disable(); }
+};
+
+} // namespace
+
+TEST(TraceDisabled, SpansCostNothingWhenOff) {
+    Tracer& tr = Tracer::instance();
+    tr.disable();
+    const int64_t before = tr.spansRecorded();
+    const int64_t buffersBefore = tr.buffersCreated();
+
+    for (int i = 0; i < 1000; ++i) {
+        trace::Span span("test", "hot", "i", i);
+        span.arg(1, "j", i * 2);
+        trace::instant("test", "tick", "i", i);
+    }
+
+    // Nothing recorded, and — the allocation guard — no per-thread ring was
+    // created: the disabled path must not touch the buffer registry at all.
+    EXPECT_EQ(before, tr.spansRecorded());
+    EXPECT_EQ(buffersBefore, tr.buffersCreated());
+}
+
+TEST(TraceDisabled, SpanStartedWhileEnabledStillRecords) {
+    EnabledScope on;
+    Tracer& tr = Tracer::instance();
+    {
+        trace::Span span("test", "crossing");
+        tr.disable();
+        // Destructor records even though tracing stopped mid-span: dropping
+        // it would truncate the enclosing timeline.
+    }
+    ASSERT_EQ(1, tr.spansRecorded());
+    tr.enable("");
+}
+
+TEST(TraceSpans, NestingBracketsChildren) {
+    EnabledScope on;
+    {
+        trace::Span outer("test", "outer");
+        {
+            trace::Span inner("test", "inner", "k", 42);
+        }
+    }
+    std::vector<SpanRec> spans = Tracer::instance().snapshot();
+    ASSERT_EQ(2u, spans.size());
+    // snapshot() sorts by start: the outer span started first.
+    EXPECT_STREQ("outer", spans[0].name);
+    EXPECT_STREQ("inner", spans[1].name);
+    // The child lies inside the parent's [start, start+dur] window.
+    EXPECT_GE(spans[1].startNs, spans[0].startNs);
+    EXPECT_LE(spans[1].startNs + spans[1].durNs, spans[0].startNs + spans[0].durNs);
+    EXPECT_STREQ("k", spans[1].argKey[0]);
+    EXPECT_EQ(42, spans[1].argVal[0]);
+}
+
+TEST(TraceSpans, EndRecordsOnceAndDisarms) {
+    EnabledScope on;
+    {
+        trace::Span span("test", "lookup");
+        span.end();
+        span.end();  // idempotent
+    }                // destructor must not record again
+    EXPECT_EQ(1, Tracer::instance().spansRecorded());
+}
+
+TEST(TraceSpans, InstantsAreMarked) {
+    EnabledScope on;
+    trace::instant("test", "blip", "a", 1, "b", 2, "c", 3);
+    std::vector<SpanRec> spans = Tracer::instance().snapshot();
+    ASSERT_EQ(1u, spans.size());
+    EXPECT_EQ(-1, spans[0].durNs);
+    EXPECT_EQ(3, spans[0].argVal[2]);
+}
+
+TEST(TraceSpans, InternReturnsStablePointers) {
+    const char* a = trace::intern("invoke run");
+    const char* b = trace::intern("invoke run");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ("invoke run", a);
+}
+
+TEST(TraceRing, WraparoundDropsOldestKeepsNewest) {
+    EnabledScope on;
+    Tracer& tr = Tracer::instance();
+    const int64_t extra = 100;
+    const int64_t total = static_cast<int64_t>(Tracer::kRingCapacity) + extra;
+    for (int64_t i = 0; i < total; ++i)
+        trace::instant("test", "n", "i", i);
+
+    EXPECT_EQ(total, tr.spansRecorded());
+    EXPECT_EQ(extra, tr.spansDropped());
+
+    // This thread's ring holds exactly capacity spans: the newest `total`
+    // minus the dropped oldest `extra`. Other threads' rings are empty
+    // (reset() in the fixture), so the merged snapshot is this ring.
+    std::vector<SpanRec> spans = tr.snapshot();
+    ASSERT_EQ(Tracer::kRingCapacity, spans.size());
+    // Oldest surviving span is #extra, newest is #total-1, in order.
+    EXPECT_EQ(extra, spans.front().argVal[0]);
+    EXPECT_EQ(total - 1, spans.back().argVal[0]);
+}
+
+TEST(TraceJson, EmptyTraceIsValid) {
+    EnabledScope on;
+    const std::string json = Tracer::instance().toJson();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+}
+
+TEST(TraceJson, EscapesSpecialCharacters) {
+    EnabledScope on;
+    trace::instant("test", trace::intern("quote\" slash\\ tab\t"));
+    const std::string json = Tracer::instance().toJson();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(std::string::npos, json.find("quote\\\" slash\\\\ tab\\t"));
+}
+
+TEST(TraceJson, MultiRankMergeIsValidAndOrdered) {
+    EnabledScope on;
+    // Four MiniMPI ranks, each recording comm spans (World::run tags the
+    // rank threads via setThreadRank; barrier/send/recv are instrumented).
+    minimpi::World world(4);
+    world.run([](minimpi::Comm& comm) {
+        trace::Span span("test", "rankwork", "rank", comm.rank());
+        comm.barrier();
+        if (comm.rank() == 0) {
+            for (int r = 1; r < comm.size(); ++r) {
+                int v = r;
+                comm.send(&v, sizeof v, r, 7);
+            }
+        } else {
+            int v = 0;
+            comm.recv(&v, sizeof v, 0, 7);
+        }
+        comm.barrier();
+    });
+
+    Tracer& tr = Tracer::instance();
+    std::vector<SpanRec> spans = tr.snapshot();
+    ASSERT_FALSE(spans.empty());
+
+    // Every rank contributed, with its own rank tag.
+    for (int r = 0; r < 4; ++r) {
+        bool found = false;
+        for (const SpanRec& s : spans)
+            if (s.rank == r) { found = true; break; }
+        EXPECT_TRUE(found) << "no spans from rank " << r;
+    }
+    // The snapshot is sorted by start time across all per-thread rings.
+    for (size_t i = 1; i < spans.size(); ++i)
+        EXPECT_LE(spans[i - 1].startNs, spans[i].startNs);
+
+    const std::string json = tr.toJson();
+    ASSERT_TRUE(JsonChecker::valid(json)) << json.substr(0, 400);
+    // Per-rank process metadata: pid = rank+1, named "rank r".
+    for (int r = 0; r < 4; ++r)
+        EXPECT_NE(std::string::npos, json.find("rank " + std::to_string(r)));
+    // Event timestamps are normalized (first = 0) and non-decreasing.
+    std::vector<double> ts = timestamps(json);
+    ASSERT_FALSE(ts.empty());
+    EXPECT_EQ(0.0, ts.front());
+    for (size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+}
+
+TEST(TraceMetrics, CountersAndHistogramsRoundTrip) {
+    trace::Metrics& m = trace::Metrics::instance();
+    m.reset();
+    m.counter("test.count").add(5);
+    m.counter("test.count").inc();
+    auto& h = m.histogram("test.lat");
+    h.observe(1);
+    h.observe(1000);
+    h.observe(0);
+
+    EXPECT_EQ(6, m.counter("test.count").value());
+    EXPECT_EQ(3, h.count());
+    EXPECT_EQ(1001, h.sum());
+    EXPECT_EQ(0, h.min());
+    EXPECT_EQ(1000, h.max());
+
+    const std::string json = m.toJson();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(std::string::npos, json.find("\"test.count\": 6"));
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Refreshes the checked-in codegen snapshots in tests/golden/ after an
+# INTENTIONAL translator change. Builds test_codegen_golden, reruns it in
+# update mode (WJ_UPDATE_GOLDEN=1), then shows the resulting diff so it can
+# be reviewed like any other source change.
+#
+# Usage: tests/update_goldens.sh [build-dir]   (default: ./build)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "error: $build is not a configured build tree (pass the build dir)" >&2
+    exit 1
+fi
+
+cmake --build "$build" --target test_codegen_golden
+WJ_UPDATE_GOLDEN=1 "$build/tests/test_codegen_golden"
+
+echo
+echo "== golden diff (review before committing) =="
+git -C "$repo" --no-pager diff --stat -- tests/golden || true

@@ -10,6 +10,11 @@
 //   wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]
 //                                        [ARGS...]
 //                                        jit + invoke; prints the result
+//   wjc trace <file.wj> ... (same flags as run)
+//                                        run with the span tracer armed;
+//                                        writes <file>.trace.json (Chrome
+//                                        trace-event format, open in
+//                                        Perfetto) + a .metrics.json sidecar
 //   wjc cache [stats|dir|clear]          inspect / clear the compile cache
 //
 // translate/run accept --no-cache to bypass the persistent compile cache
@@ -18,7 +23,8 @@
 // WJ_FAULT=SPEC; grammar in src/fault/fault.h). --threads N turns on the
 // analysis-proven parallel-for codegen (WJ_PARALLEL=1) and sizes the
 // intra-rank worker pool (WJ_THREADS=N); results are bitwise-identical to
-// the serial run for every N.
+// the serial run for every N. --trace FILE (run/trace) overrides the trace
+// destination, equivalent to WJ_TRACE=FILE.
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -48,6 +54,7 @@
 #include "jit/cache.h"
 #include "jit/jit.h"
 #include "rules/rules.h"
+#include "trace/trace.h"
 
 using namespace wj;
 
@@ -62,7 +69,8 @@ int usage() {
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
                  "                [--threads N] [--fault SPEC] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]\n"
-                 "                [--no-cache] [--fault SPEC] [ARGS...]\n"
+                 "                [--no-cache] [--fault SPEC] [--trace FILE] [ARGS...]\n"
+                 "  wjc trace <file.wj> ...           (run with the span tracer armed)\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
 }
@@ -243,9 +251,9 @@ int runMain(int argc, char** argv) {
         std::fputs(printProgram(p).c_str(), stdout);
         return 0;
     }
-    if (cmd != "translate" && cmd != "run") return usage();
+    if (cmd != "translate" && cmd != "run" && cmd != "trace") return usage();
 
-    std::string newExpr, method;
+    std::string newExpr, method, traceOut;
     int ranks = 0;
     std::vector<Value> args;
     Program prog = frontend::parseProgram(slurp(path));
@@ -263,6 +271,7 @@ int runMain(int argc, char** argv) {
             setenv("WJ_PARALLEL", "1", 1);
         }
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
+        else if (a == "--trace" && i + 1 < argc) traceOut = argv[++i];
         else if (a == "--fault" && i + 1 < argc) {
             // Same grammar as WJ_FAULT; a malformed spec is a usage error
             // (exit 2), an injected fault during run is an execution
@@ -274,6 +283,10 @@ int runMain(int argc, char** argv) {
         else args.push_back(parseArgLiteral(a));
     }
     if (newExpr.empty() || method.empty()) return usage();
+    if (cmd == "trace" && traceOut.empty()) {
+        traceOut = std::filesystem::path(path).stem().string() + ".trace.json";
+    }
+    if (!traceOut.empty()) trace::Tracer::instance().enable(traceOut);
 
     Value receiver = CompositionParser(in, newExpr).parse();
     JitCode code = ranks > 0 ? WootinJ::jit4mpi(prog, receiver, method, args)
@@ -290,6 +303,10 @@ int runMain(int argc, char** argv) {
     }
     Value result = code.invoke();
     printResult(result);
+    if (!traceOut.empty() && trace::Tracer::instance().flush()) {
+        std::fprintf(stderr, "wjc: trace written to %s (+ %s.metrics.json)\n",
+                     traceOut.c_str(), traceOut.c_str());
+    }
     return 0;
 }
 
