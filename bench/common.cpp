@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <vector>
@@ -19,11 +20,82 @@ namespace wjbench {
 
 using namespace wj;
 
+namespace {
+
+/// The per-figure machine-readable report (see common.h for the schema).
+/// parseArgs() names the file after the binary, banner() supplies the
+/// figure id and arms the exit-time flush.
+struct JsonReport {
+    std::string file;    ///< BENCH_<name>.json; empty until parseArgs()
+    std::string figure;  ///< banner()'s figure id; empty until banner()
+    struct Row {
+        std::string config;
+        double medianNs = 0;
+        int threads = 1;
+        int ranks = 1;
+    };
+    std::vector<Row> rows;
+    bool armed = false;
+};
+
+JsonReport& jsonReport() {
+    static JsonReport r;
+    return r;
+}
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void flushJsonReport() {
+    const JsonReport& r = jsonReport();
+    if (r.file.empty()) return;
+    FILE* f = std::fopen(r.file.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench: cannot write %s\n", r.file.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"rows\": [", jsonEscape(r.figure).c_str());
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+        const JsonReport::Row& row = r.rows[i];
+        std::fprintf(f,
+                     "%s\n    { \"config\": \"%s\", \"median_ns\": %.17g, "
+                     "\"threads\": %d, \"ranks\": %d }",
+                     i ? "," : "", jsonEscape(row.config).c_str(), row.medianNs, row.threads,
+                     row.ranks);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "rows persisted to %s\n", r.file.c_str());
+}
+
+} // namespace
+
+void jsonRow(const std::string& config, double medianNs, int threads, int ranks) {
+    jsonReport().rows.push_back({config, medianNs, threads, ranks});
+}
+
 Options parseArgs(int argc, char** argv) {
     Options o;
+    {
+        // Name the JSON report after the binary: bench_abl_threads ->
+        // BENCH_abl_threads.json (written into the working directory).
+        std::string base = argv[0];
+        const size_t slash = base.find_last_of('/');
+        if (slash != std::string::npos) base = base.substr(slash + 1);
+        if (base.rfind("bench_", 0) == 0) base = base.substr(6);
+        jsonReport().file = "BENCH_" + base + ".json";
+    }
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0) {
             o.full = true;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            o.smoke = true;
         } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
             if (argv[i][7] == '=' && argv[i][8]) {
                 o.traceFile = argv[i] + 8;
@@ -46,6 +118,12 @@ Options parseArgs(int argc, char** argv) {
 
 void banner(const char* fig, const char* what, const char* method) {
     std::printf("== %s ==\n%s\n[%s]\n\n", fig, what, method);
+    JsonReport& r = jsonReport();
+    r.figure = fig;
+    if (!r.armed) {
+        r.armed = true;
+        std::atexit(flushJsonReport);
+    }
 }
 
 namespace {
@@ -99,6 +177,12 @@ DiffusionCosts measureDiffusionCosts(bool withInterp, bool full) {
         out.interp = marginal([&](int s) { in.call(small, "run", {Value::ofI32(s)}); }, 1, 3,
                               static_cast<double>(ni) * ni * ni);
     }
+    jsonRow("diffusion ns/cell-step: wootinj", out.wootinj * 1e9);
+    jsonRow("diffusion ns/cell-step: c", out.c * 1e9);
+    jsonRow("diffusion ns/cell-step: cpp-virtual", out.cppVirtual * 1e9);
+    jsonRow("diffusion ns/cell-step: template", out.tmpl * 1e9);
+    jsonRow("diffusion ns/cell-step: template-novirt", out.tmplNoVirt * 1e9);
+    if (withInterp) jsonRow("diffusion ns/cell-step: interp", out.interp * 1e9);
     return out;
 }
 
@@ -145,6 +229,12 @@ MatmulCosts measureMatmulCosts(bool withInterp, bool full) {
         in.call(iapp, "run", {Value::ofI32(m2), Value::ofI32(kSeed)});
         out.interp = (t.seconds() - t1) / df;
     }
+    jsonRow("matmul ns/fma: wootinj", out.wootinj * 1e9);
+    jsonRow("matmul ns/fma: c", out.c * 1e9);
+    jsonRow("matmul ns/fma: cpp-virtual", out.cppVirtual * 1e9);
+    jsonRow("matmul ns/fma: template", out.tmpl * 1e9);
+    jsonRow("matmul ns/fma: template-novirt", out.tmplNoVirt * 1e9);
+    if (withInterp) jsonRow("matmul ns/fma: interp", out.interp * 1e9);
     return out;
 }
 
@@ -155,8 +245,10 @@ double measureGpuDiffusionPerCell(bool full) {
     Interp in(prog);
     Value runner = stencil::makeGpuRunner(in, n, n, n, coeffs, kSeed, 128);
     JitCode code = WootinJ::jit(prog, runner, "run", {Value::ofI32(1)});
-    return marginal([&](int s) { code.invokeWith({Value::ofI32(s)}); }, 1, 5,
-                    static_cast<double>(n) * n * n);
+    const double perCell = marginal([&](int s) { code.invokeWith({Value::ofI32(s)}); }, 1, 5,
+                                    static_cast<double>(n) * n * n);
+    jsonRow("gpu diffusion ns/cell-step: wootinj", perCell * 1e9);
+    return perCell;
 }
 
 namespace {
@@ -183,6 +275,8 @@ CompileTime compileColdWarm(const char* what, Program& prog, Interp& in, MakeRec
         row.warmLookup = c.cacheLookupSeconds();
         row.warmHit = c.cacheHit();
     }
+    jsonRow(std::string("compile cold: ") + what, row.total() * 1e9);
+    jsonRow(std::string("compile warm: ") + what, (row.warmCodegen + row.warmLookup) * 1e9);
     return row;
 }
 
@@ -247,6 +341,8 @@ ParallelCompile measureParallelCompileTimes() {
         ++out.units;
     }
     out.wallSeconds = wall.seconds();
+    jsonRow("compile 4 units overlapped: wall", out.wallSeconds * 1e9);
+    jsonRow("compile 4 units overlapped: sum", out.sumSeconds * 1e9);
     return out;
 }
 

@@ -13,6 +13,20 @@
 //                   the default FILE is <bench>.trace.json next to the
 //                   binary, so each figure gets its own Perfetto-loadable
 //                   timeline (+ a .metrics.json counters sidecar)
+//   --smoke         one fast representative row (CI regression tripwire;
+//                   honored by the ablation benches, ignored elsewhere)
+//
+// Besides the stdout tables, every bench persists its measured rows
+// machine-readably: banner() opens a per-figure report and process exit
+// writes BENCH_<name>.json into the working directory (<name> is the
+// binary name minus the bench_ prefix). Schema — a single object:
+//
+//   { "figure": "<banner figure id>",
+//     "rows": [ { "config": "<row label>", "median_ns": <number>,
+//                 "threads": <int>, "ranks": <int> }, ... ] }
+//
+// The shared measurement helpers below emit their per-variant costs as
+// rows automatically; benches add their own sweep rows with jsonRow().
 #pragma once
 
 #include <cstdio>
@@ -24,10 +38,17 @@ namespace wjbench {
 
 struct Options {
     bool full = false;
+    bool smoke = false;     ///< --smoke: one fast row for CI tripwires
     std::string traceFile;  ///< empty = tracing not requested
 };
 
 Options parseArgs(int argc, char** argv);
+
+/// Appends one row to this bench's BENCH_<name>.json report (flushed at
+/// process exit, once banner() has named the figure). `medianNs` is the
+/// median (best-of-N for the marginal-cost helpers) wall cost of the row
+/// in nanoseconds; `threads`/`ranks` record the execution configuration.
+void jsonRow(const std::string& config, double medianNs, int threads = 1, int ranks = 1);
 
 /// Per-cell-step costs (seconds) of the 3-D diffusion kernel per variant.
 struct DiffusionCosts {

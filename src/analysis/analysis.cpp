@@ -14,6 +14,7 @@
 #include "analysis/effects.h"
 #include "analysis/interval.h"
 #include "ir/intrinsics.h"
+#include "ir/printer.h"
 #include "ir/typecheck.h"
 
 namespace wj::analysis {
@@ -661,7 +662,8 @@ private:
                          const std::vector<Env>& states);
     bool ctorAllowsParallel(const ClassDecl* cls);
     void noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v, std::string reason,
-                  std::vector<std::pair<std::string, std::string>> pairs);
+                  std::vector<std::pair<std::string, std::string>> pairs,
+                  std::vector<Reduction> reds = {});
     void finishParallelReport();
 
     // ---- communication race walk (structural, per unique method body)
@@ -2021,6 +2023,262 @@ bool rangesIntersect(int64_t lo1, int64_t hi1, int64_t lo2, int64_t hi2) {
     return lo1 <= hi2 && lo2 <= hi1;
 }
 
+// --------------------------------------------------- reduction recognition
+//
+// Structural matcher for the two sanctioned `acc = acc op f(i)` shapes
+// behind ParVerdict::ParallelReduce (see analysis.h):
+//
+//   Form A:  acc = acc + e;   acc = e + acc;    (likewise for *)
+//   Form B:  if (e cmp acc) acc = e;            (min/max; cmp in < <= > >=)
+//
+// where `acc` is a local declared outside the loop and `e` never reads
+// `acc`. Any other write to an outside local remains a refusal, and
+// proveLoop audits that `acc` appears nowhere else in the body, so the
+// sanctioned updates are the loop's only cross-iteration scalar flow.
+
+struct RedUpdate {
+    std::string var;
+    RedOp op = RedOp::Add;
+    bool accOnLeft = true;  ///< see analysis.h Reduction
+    BinOp cmp = BinOp::Lt;  ///< Min/Max only
+};
+
+/// Number of `Local(name)` reads in an expression tree.
+int countLocalReads(const Expr& e, const std::string& name) {
+    switch (e.kind) {
+    case ExprKind::Local: return as<LocalExpr>(e).name == name ? 1 : 0;
+    case ExprKind::FieldGet: return countLocalReads(*as<FieldGetExpr>(e).obj, name);
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        return countLocalReads(*n.arr, name) + countLocalReads(*n.idx, name);
+    }
+    case ExprKind::ArrayLen: return countLocalReads(*as<ArrayLenExpr>(e).arr, name);
+    case ExprKind::Unary: return countLocalReads(*as<UnaryExpr>(e).e, name);
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        return countLocalReads(*n.l, name) + countLocalReads(*n.r, name);
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        return countLocalReads(*n.c, name) + countLocalReads(*n.t, name) +
+               countLocalReads(*n.f, name);
+    }
+    case ExprKind::Cast: return countLocalReads(*as<CastExpr>(e).e, name);
+    case ExprKind::Call: {
+        const auto& n = as<CallExpr>(e);
+        int c = countLocalReads(*n.recv, name);
+        for (const auto& a : n.args) c += countLocalReads(*a, name);
+        return c;
+    }
+    case ExprKind::StaticCall: {
+        const auto& n = as<StaticCallExpr>(e);
+        int c = 0;
+        for (const auto& a : n.args) c += countLocalReads(*a, name);
+        return c;
+    }
+    case ExprKind::New: {
+        const auto& n = as<NewExpr>(e);
+        int c = 0;
+        for (const auto& a : n.args) c += countLocalReads(*a, name);
+        return c;
+    }
+    case ExprKind::NewArray: return countLocalReads(*as<NewArrayExpr>(e).len, name);
+    case ExprKind::IntrinsicCall: {
+        const auto& n = as<IntrinsicExpr>(e);
+        int c = 0;
+        for (const auto& a : n.args) c += countLocalReads(*a, name);
+        return c;
+    }
+    default: return 0;  // Const, This, StaticGet
+    }
+}
+
+int countLocalReadsBlock(const Block& b, const std::string& name);
+
+/// Reads of `name` across every expression of one statement, including
+/// nested control flow (the proveLoop read audit).
+int countLocalReadsStmt(const Stmt& st, const std::string& name) {
+    switch (st.kind) {
+    case StmtKind::Decl: {
+        const auto& n = as<DeclStmt>(st);
+        return n.init ? countLocalReads(*n.init, name) : 0;
+    }
+    case StmtKind::AssignLocal: return countLocalReads(*as<AssignLocalStmt>(st).value, name);
+    case StmtKind::FieldSet: {
+        const auto& n = as<FieldSetStmt>(st);
+        return countLocalReads(*n.obj, name) + countLocalReads(*n.value, name);
+    }
+    case StmtKind::ArraySet: {
+        const auto& n = as<ArraySetStmt>(st);
+        return countLocalReads(*n.arr, name) + countLocalReads(*n.idx, name) +
+               countLocalReads(*n.value, name);
+    }
+    case StmtKind::If: {
+        const auto& n = as<IfStmt>(st);
+        return countLocalReads(*n.cond, name) + countLocalReadsBlock(n.thenB, name) +
+               countLocalReadsBlock(n.elseB, name);
+    }
+    case StmtKind::While: {
+        const auto& n = as<WhileStmt>(st);
+        return countLocalReads(*n.cond, name) + countLocalReadsBlock(n.body, name);
+    }
+    case StmtKind::For: {
+        const auto& n = as<ForStmt>(st);
+        return countLocalReads(*n.init, name) + countLocalReads(*n.cond, name) +
+               countLocalReads(*n.step, name) + countLocalReadsBlock(n.body, name);
+    }
+    case StmtKind::Return: {
+        const auto& n = as<ReturnStmt>(st);
+        return n.value ? countLocalReads(*n.value, name) : 0;
+    }
+    case StmtKind::ExprStmt: return countLocalReads(*as<ExprStmt>(st).e, name);
+    case StmtKind::SuperCtor: {
+        const auto& n = as<SuperCtorStmt>(st);
+        int c = 0;
+        for (const auto& a : n.args) c += countLocalReads(*a, name);
+        return c;
+    }
+    }
+    return 0;
+}
+
+int countLocalReadsBlock(const Block& b, const std::string& name) {
+    int c = 0;
+    for (const auto& st : b) c += countLocalReadsStmt(*st, name);
+    return c;
+}
+
+/// One statement rendered on a single line for diagnostics.
+std::string stmtOneLine(const Stmt& st) {
+    const std::string s = printStmt(st);
+    std::string out;
+    bool ws = false;
+    for (char ch : s) {
+        if (ch == '\n' || ch == ' ' || ch == '\t') {
+            ws = !out.empty();
+            continue;
+        }
+        if (ws) out += ' ';
+        ws = false;
+        out += ch;
+    }
+    return out;
+}
+
+const char* redOpName(RedOp op) {
+    switch (op) {
+    case RedOp::Add: return "+";
+    case RedOp::Mul: return "*";
+    case RedOp::Min: return "min";
+    case RedOp::Max: return "max";
+    }
+    return "?";
+}
+
+/// Form A on one assignment to an outside local.
+bool matchFormA(const AssignLocalStmt& n, RedUpdate& u) {
+    if (n.value->kind != ExprKind::Binary) return false;
+    const auto& b = as<BinaryExpr>(*n.value);
+    if (b.op != BinOp::Add && b.op != BinOp::Mul) return false;
+    const bool lAcc = b.l->kind == ExprKind::Local && as<LocalExpr>(*b.l).name == n.name;
+    const bool rAcc = b.r->kind == ExprKind::Local && as<LocalExpr>(*b.r).name == n.name;
+    if (lAcc == rAcc) return false;  // exactly one operand is the accumulator
+    if (countLocalReads(lAcc ? *b.r : *b.l, n.name) != 0) return false;
+    u.var = n.name;
+    u.op = b.op == BinOp::Add ? RedOp::Add : RedOp::Mul;
+    u.accOnLeft = lAcc;
+    return true;
+}
+
+/// Form B on one if-statement; on success `upd` is the sanctioned inner
+/// assignment.
+bool matchFormB(const IfStmt& n, const ParBodyIndex& ix, const std::string& loopVar,
+                const AssignLocalStmt** upd, RedUpdate& u) {
+    if (!n.elseB.empty() || n.thenB.size() != 1) return false;
+    if (n.thenB[0]->kind != StmtKind::AssignLocal) return false;
+    const auto& a = as<AssignLocalStmt>(*n.thenB[0]);
+    if (ix.defined.count(a.name) || a.name == loopVar) return false;
+    if (n.cond->kind != ExprKind::Binary) return false;
+    const auto& c = as<BinaryExpr>(*n.cond);
+    if (c.op != BinOp::Lt && c.op != BinOp::Le && c.op != BinOp::Gt && c.op != BinOp::Ge) {
+        return false;
+    }
+    const bool lAcc = c.l->kind == ExprKind::Local && as<LocalExpr>(*c.l).name == a.name;
+    const bool rAcc = c.r->kind == ExprKind::Local && as<LocalExpr>(*c.r).name == a.name;
+    if (lAcc == rAcc) return false;
+    // The compared value must be the stored value, and must not read acc.
+    if (printExpr(lAcc ? *c.r : *c.l) != printExpr(*a.value)) return false;
+    if (countLocalReads(*a.value, a.name) != 0) return false;
+    const bool less = c.op == BinOp::Lt || c.op == BinOp::Le;
+    // `acc := e` fires when the comparison holds: `e < acc` keeps the
+    // smaller value (Min); `acc < e` keeps the larger (Max).
+    u.var = a.name;
+    u.op = (lAcc ? !less : less) ? RedOp::Min : RedOp::Max;
+    u.accOnLeft = lAcc;
+    u.cmp = c.op;
+    *upd = &a;
+    return true;
+}
+
+/// Collects every sanctioned reduction update in `body`, keyed by the
+/// update statement. `vars` gets one entry per accumulator in first-update
+/// order. Accumulators whose updates mix operators are dropped again —
+/// their updates then refuse the loop with the scalar-dependence
+/// diagnostic (`acc = (acc + a) * b` split over two statements is an
+/// affine recurrence, not a combinable reduction).
+void matchRedUpdates(const Block& body, const ParBodyIndex& ix, const std::string& loopVar,
+                     std::map<const Stmt*, RedUpdate>& out, std::vector<RedUpdate>& vars) {
+    std::vector<std::pair<const Stmt*, RedUpdate>> found;
+    std::function<void(const Block&)> walk = [&](const Block& b) {
+        for (const auto& stp : b) {
+            const Stmt& st = *stp;
+            switch (st.kind) {
+            case StmtKind::AssignLocal: {
+                const auto& n = as<AssignLocalStmt>(st);
+                if (ix.defined.count(n.name) || n.name == loopVar) break;
+                RedUpdate u;
+                if (matchFormA(n, u)) found.emplace_back(&st, std::move(u));
+                break;
+            }
+            case StmtKind::If: {
+                const auto& n = as<IfStmt>(st);
+                const AssignLocalStmt* upd = nullptr;
+                RedUpdate u;
+                if (matchFormB(n, ix, loopVar, &upd, u)) {
+                    found.emplace_back(upd, std::move(u));
+                } else {
+                    walk(n.thenB);
+                    walk(n.elseB);
+                }
+                break;
+            }
+            case StmtKind::While: walk(as<WhileStmt>(st).body); break;
+            case StmtKind::For: walk(as<ForStmt>(st).body); break;
+            default: break;
+            }
+        }
+    };
+    walk(body);
+
+    std::map<std::string, RedOp> opOf;
+    std::set<std::string> poisoned;
+    for (const auto& [st, u] : found) {
+        (void)st;
+        auto it = opOf.find(u.var);
+        if (it == opOf.end()) {
+            opOf.emplace(u.var, u.op);
+        } else if (it->second != u.op) {
+            poisoned.insert(u.var);
+        }
+    }
+    std::set<std::string> seen;
+    for (auto& [st, u] : found) {
+        if (poisoned.count(u.var)) continue;
+        if (seen.insert(u.var).second) vars.push_back(u);
+        out.emplace(st, std::move(u));
+    }
+}
+
 } // namespace
 
 // Constructors are not covered by the effect summaries (computeEffects
@@ -2107,13 +2365,15 @@ bool Engine::ctorAllowsParallel(const ClassDecl* cls) {
 }
 
 void Engine::noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v,
-                      std::string reason, std::vector<std::pair<std::string, std::string>> pairs) {
+                      std::string reason, std::vector<std::pair<std::string, std::string>> pairs,
+                      std::vector<Reduction> reds) {
     auto it = out_.loopParallel.find(fs);
     if (it == out_.loopParallel.end()) {
         LoopParallel lp;
         lp.verdict = v;
         lp.reason = std::move(reason);
         lp.neqPairs = std::move(pairs);
+        lp.reductions = std::move(reds);
         out_.loopParallel.emplace(fs, std::move(lp));
         loopOrder_.push_back(fs);
         loopLabel_.emplace(fs, label + ": for (" + fs->var + ")");
@@ -2127,8 +2387,20 @@ void Engine::noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v,
         lp.verdict = v;
         lp.reason = std::move(reason);
         lp.neqPairs.clear();
+        lp.reductions.clear();
         return;
     }
+    // A reduction proof joins only with itself. Recognition is structural
+    // (same loop, same updates in every context), so a mixed join means a
+    // context disagreed about the loop's nature — poison to serial.
+    if ((v == ParVerdict::ParallelReduce) != (lp.verdict == ParVerdict::ParallelReduce)) {
+        lp.verdict = ParVerdict::Serial;
+        lp.reason = "verdict differs across call contexts";
+        lp.neqPairs.clear();
+        lp.reductions.clear();
+        return;
+    }
+    if (v == ParVerdict::ParallelReduce) return;  // identical structural reductions
     for (auto& pr : pairs) {
         if (std::find(lp.neqPairs.begin(), lp.neqPairs.end(), pr) == lp.neqPairs.end()) {
             lp.neqPairs.push_back(std::move(pr));
@@ -2147,6 +2419,7 @@ void Engine::finishParallelReport() {
         switch (lp.verdict) {
         case ParVerdict::Parallel: line += "parallel"; break;
         case ParVerdict::CondParallel: line += "parallel (guarded)"; break;
+        case ParVerdict::ParallelReduce: line += "parallel (reduction)"; break;
         case ParVerdict::Serial: line += "serial"; break;
         }
         line += " -- " + lp.reason;
@@ -2208,9 +2481,16 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     indexParBody(fs.body, ix);
     if (ix.defined.count(fs.var)) return refuse("body rebinds the loop variable");
 
+    // Sanctioned reduction updates (`acc = acc op f(i)`; see analysis.h).
+    // Updates of outside locals not in this map refuse the loop below.
+    std::map<const Stmt*, RedUpdate> redUpd;
+    std::vector<RedUpdate> redVars;
+    matchRedUpdates(fs.body, ix, fs.var, redUpd, redVars);
+
     // The bound is hoisted and evaluated once by the parallel dispatch, so
-    // it must be effect-free, independent of body-defined names, and must
-    // not read array elements the body could write.
+    // it must be effect-free, independent of any name the body assigns
+    // (including reduction accumulators), and must not read array elements
+    // the body could write.
     if (exprHasEffects(bound) || exprReadsArray(bound)) {
         return refuse("bound is not a pure expression");
     }
@@ -2218,7 +2498,7 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
         std::vector<std::string> reads;
         collectReads(bound, reads);
         for (const std::string& r : reads) {
-            if (r == fs.var || ix.defined.count(r)) {
+            if (r == fs.var || ix.defined.count(r) || ix.kills.count(r)) {
                 return refuse("bound depends on values computed in the body");
             }
         }
@@ -2538,8 +2818,18 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
             case StmtKind::AssignLocal: {
                 const auto& n = as<AssignLocalStmt>(st);
                 if (!ix.defined.count(n.name)) {
+                    if (redUpd.count(&st)) {
+                        // Sanctioned reduction update: only the rhs needs
+                        // the legality walk here; the accumulator itself is
+                        // audited after the walk (type + read count).
+                        legal = checkExpr(env, *n.value);
+                        break;
+                    }
                     why = "updates '" + n.name +
-                          "' declared outside the loop (loop-carried scalar dependence)";
+                          "' declared outside the loop (loop-carried scalar dependence): `" +
+                          stmtOneLine(st) +
+                          "` is not a recognized reduction (acc = acc op f(i) over +, *, "
+                          "min, max)";
                     legal = false;
                     break;
                 }
@@ -2578,6 +2868,49 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     }
     if (!legal) return refuse(why.empty() ? "body has unsupported constructs" : why);
 
+    // A tiny outer trip count cannot amortize a parallel dispatch over
+    // nested loops; refuse it (after legality, so real defects keep their
+    // actionable reason) and proveLoops proves the larger inner loops
+    // instead of pinning the whole collapse on the outer one.
+    if (!ix.fors.empty() && span != Itv::kPosInf && span <= 2) {
+        return refuse("outer trip count is at most " + std::to_string(span + 1) +
+                      " -- collapsed in favor of its inner loops");
+    }
+
+    // ---- reduction audit. Each sanctioned update contributes exactly one
+    // read of its accumulator (Form A: the binop operand; Form B: the
+    // comparison operand), so the body-wide read count must equal the
+    // update count — a mismatch means the accumulator's running value
+    // leaks into the body somewhere else, which chunked partials cannot
+    // reproduce. The accumulator must be a float/double/long local live
+    // before the loop (i32 wrap-around under reassociation is excluded).
+    std::vector<Reduction> reds;
+    for (const RedUpdate& u : redVars) {
+        int sanctioned = 0;
+        for (const auto& kv : redUpd) {
+            if (kv.second.var == u.var) ++sanctioned;
+        }
+        if (countLocalReadsBlock(fs.body, u.var) != sanctioned) {
+            return refuse("'" + u.var +
+                          "' is read outside its reduction update (loop-carried scalar "
+                          "dependence)");
+        }
+        auto vit = preEnv.vars.find(u.var);
+        const Type accT = vit == preEnv.vars.end() ? Type::voidTy() : vit->second.type;
+        if (!accT.isPrim(Prim::F32) && !accT.isPrim(Prim::F64) && !accT.isPrim(Prim::I64)) {
+            return refuse("reduction accumulator '" + u.var + "' has unsupported type '" +
+                          (accT.isPrim() ? primName(accT.prim()) : "non-primitive") +
+                          "' (supported: long, float, double)");
+        }
+        Reduction r;
+        r.var = u.var;
+        r.prim = accT.prim();
+        r.op = u.op;
+        r.accOnLeft = u.accOnLeft;
+        r.cmp = u.cmp;
+        reds.push_back(std::move(r));
+    }
+
     // ---- pairwise dependence test over the collected accesses. Two
     // accesses with equal coefficient k collide across iterations i != j
     // exactly when (w2 - w1) can land in ±[|k|, |k|*span]; unequal or
@@ -2615,6 +2948,30 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 }
             }
         }
+    }
+
+    if (!reds.empty()) {
+        if (!guards.empty()) {
+            return refuse("reduction over '" + reds[0].var +
+                          "' would also need alias guards -- unsupported combination");
+        }
+        std::string desc = "reduction over ";
+        bool first = true;
+        for (const Reduction& r : reds) {
+            if (!first) desc += ", ";
+            desc += "'" + r.var + "' (" + redOpName(r.op) + ", " + primName(r.prim) + ")";
+            first = false;
+        }
+        if (lint_) {
+            // Without an entry context the interval/alias facts backing the
+            // outlined dispatch are too weak; report the recognition so the
+            // lint output stays actionable, but degrade to serial — never
+            // to an unsound parallel verdict.
+            return refuse(desc + " recognized; parallelized when jitted with an entry context");
+        }
+        desc += "; per-chunk partials combined in fixed chunk order";
+        noteLoop(&fs, label, ParVerdict::ParallelReduce, std::move(desc), {}, std::move(reds));
+        return ParVerdict::ParallelReduce;
     }
 
     if (!guards.empty()) {

@@ -45,9 +45,35 @@ enum class Safety {
 /// independent for every aliasing. CondParallel: independent provided the
 /// listed local array pairs refer to distinct wj_array objects — the
 /// translator emits a pointer-inequality runtime guard and keeps a serial
-/// fallback. Serial: a loop-carried dependence (or an effect that must stay
-/// on the rank's main thread) was found or could not be excluded.
-enum class ParVerdict { Parallel, CondParallel, Serial };
+/// fallback. ParallelReduce: independent except for `acc = acc op f(i)`
+/// chains over recognized reduction operators; the translator outlines the
+/// body with per-chunk partial accumulators and combines the partials in
+/// fixed chunk-index order (deterministic at every WJ_THREADS). Serial: a
+/// loop-carried dependence (or an effect that must stay on the rank's main
+/// thread) was found or could not be excluded.
+enum class ParVerdict { Parallel, CondParallel, ParallelReduce, Serial };
+
+/// Recognized reduction operator over an accumulator local.
+enum class RedOp {
+    Add,  ///< acc = acc + f(i)   (either operand order)
+    Mul,  ///< acc = acc * f(i)   (either operand order)
+    Min,  ///< if (f(i) cmp acc) acc = f(i);  selecting the smaller value
+    Max,  ///< same shape selecting the larger value
+};
+
+/// One accumulator of a ParallelReduce loop. The translator re-derives the
+/// update expressions from the loop body; this record carries what it needs
+/// to pick the identity element and to replay the source's exact combine
+/// structure (operand order / comparison op), so single-update chunks stay
+/// bitwise-faithful to the serial fold.
+struct Reduction {
+    std::string var;          ///< accumulator local, declared outside the loop
+    Prim prim = Prim::F64;    ///< F32, F64, or I64
+    RedOp op = RedOp::Add;
+    bool accOnLeft = true;    ///< Add/Mul: acc is the left operand of the binop
+                              ///< Min/Max: acc is the left operand of the compare
+    BinOp cmp = BinOp::Lt;    ///< Min/Max only: the comparison as written
+};
 
 struct LoopParallel {
     ParVerdict verdict = ParVerdict::Serial;
@@ -55,6 +81,8 @@ struct LoopParallel {
     /// Local-variable name pairs that must be pointer-distinct for the
     /// parallel version to be valid (CondParallel only).
     std::vector<std::pair<std::string, std::string>> neqPairs;
+    /// Accumulators, in first-update order (ParallelReduce only).
+    std::vector<Reduction> reductions;
 };
 
 struct Result {

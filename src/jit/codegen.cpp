@@ -147,6 +147,7 @@ private:
     void genStmt(Env& env, const Stmt& s);
     void genSerialFor(Env& env, const ForStmt& n);
     void genParallelFor(Env& env, const ForStmt& n, const analysis::LoopParallel& lp);
+    void genParallelReduce(Env& env, const ForStmt& n, const analysis::LoopParallel& lp);
     void inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
                     std::vector<CVal> argVals,
                     std::map<std::string, const Shape*>& fieldShapes);
@@ -439,7 +440,11 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
         if (parLoops_ && !env.device) {
             auto it = parLoops_->find(&n);
             if (it != parLoops_->end() && it->second.verdict != analysis::ParVerdict::Serial) {
-                genParallelFor(env, n, it->second);
+                if (it->second.verdict == analysis::ParVerdict::ParallelReduce) {
+                    genParallelReduce(env, n, it->second);
+                } else {
+                    genParallelFor(env, n, it->second);
+                }
                 return;
             }
         }
@@ -626,6 +631,167 @@ void CodeGen::genParallelFor(Env& env, const ForStmt& n, const analysis::LoopPar
         em.close();
     }
     ++out_.parallelLoops;
+}
+
+// Outlines a ParallelReduce loop into `static void wj_rbN(lo, hi, ctx,
+// partial)`: the chunk function folds one contiguous iteration range into
+// per-chunk partial accumulators seeded with the operator's exact identity
+// (-0.0 for +, 1.0 for *, +/-inf for min/max — chosen so `x op identity`
+// is bitwise `x`), dispatched through wjrt_parallel_reduce over a fixed
+// thread-count-independent chunk grid, and combined here in chunk order
+// 0..K-1 replaying the source's operand order / comparison. See wjrt.h for
+// the full determinism contract.
+void CodeGen::genParallelReduce(Env& env, const ForStmt& n, const analysis::LoopParallel& lp) {
+    Emitter& em = *env.em;
+    const Shape* vs = shapes_.ofType(n.varType);
+
+    // Re-derive the proven shape, exactly as genParallelFor does.
+    const auto* condB = n.cond->kind == ExprKind::Binary ? &as<BinaryExpr>(*n.cond) : nullptr;
+    if (vs->isObject() || !condB || condB->op != BinOp::Lt ||
+        condB->l->kind != ExprKind::Local || as<LocalExpr>(*condB->l).name != n.var ||
+        !safeToHoist(*n.init) || !safeToHoist(*condB->r) || lp.reductions.empty()) {
+        genSerialFor(env, n);
+        return;
+    }
+    const Expr& boundE = *condB->r;
+
+    // Every accumulator must be a live scalar local here; a missing or
+    // non-scalar name means the proof context does not match this emission
+    // context, so stay serial.
+    std::vector<const CVal*> accs;
+    for (const auto& r : lp.reductions) {
+        auto it = env.vars.find(r.var);
+        if (it == env.vars.end() || it->second.shape->isObject() || it->second.text.empty()) {
+            genSerialFor(env, n);
+            return;
+        }
+        accs.push_back(&it->second);
+    }
+
+    auto identity = [](const analysis::Reduction& r) -> std::string {
+        const bool f32 = r.prim == Prim::F32;
+        switch (r.op) {
+        case analysis::RedOp::Add: return r.prim == Prim::I64 ? "0" : (f32 ? "-0.0f" : "-0.0");
+        case analysis::RedOp::Mul: return r.prim == Prim::I64 ? "1" : (f32 ? "1.0f" : "1.0");
+        case analysis::RedOp::Min: return r.prim == Prim::I64 ? "INT64_MAX" : "INFINITY";
+        case analysis::RedOp::Max: return r.prim == Prim::I64 ? "INT64_MIN" : "-INFINITY";
+        }
+        return "0";
+    };
+    auto cmpOp = [](BinOp op) -> const char* {
+        switch (op) {
+        case BinOp::Lt: return "<";
+        case BinOp::Le: return "<=";
+        case BinOp::Gt: return ">";
+        case BinOp::Ge: return ">=";
+        default: return "<";
+        }
+    };
+
+    const int id = pfCount_++;
+    const std::string sname = format("wj_rcc%d", id);  // capture struct
+    const std::string pname = format("wj_rp%d", id);   // partials record
+    const std::string fnName = format("wj_rb%d", id);
+
+    // ---- capture struct: in-scope locals minus the accumulators (chunks
+    // fold from the identity; the caller's running value enters only in the
+    // ordered combine below), plus the receiver.
+    std::set<std::string> accNames;
+    for (const auto& r : lp.reductions) accNames.insert(r.var);
+    std::vector<std::pair<std::string, const Shape*>> caps;
+    if (env.hasThis) caps.emplace_back(env.self.text, env.self.shape);
+    for (const auto& [name, cv] : env.vars) {
+        if (name.rfind("@p:", 0) == 0 || cv.text.empty() || accNames.count(name)) continue;
+        caps.emplace_back(cv.text, cv.shape);
+    }
+    std::string def = "/* parallel-reduce partials + captures (loop over " + n.var + ") */\n";
+    def += "typedef struct " + pname + " {\n";
+    for (const auto& r : lp.reductions) {
+        def += "  " + std::string(primCName(r.prim)) + " m_" + r.var + ";\n";
+    }
+    def += "} " + pname + ";\n";
+    def += "typedef struct " + sname + " {\n";
+    if (caps.empty()) def += "  int32_t wj_empty;\n";
+    for (const auto& [txt, sh] : caps) {
+        def += "  " + (sh->isObject() ? structFor(sh) + "*" : cTypeVal(sh)) + " " + txt + ";\n";
+    }
+    def += "} " + sname + ";\n";
+    structs_ += def;
+
+    protos_ += "static void " + fnName +
+               "(int64_t wj_lo, int64_t wj_hi, void* wj_ctx, void* wj_part);\n";
+
+    // ---- chunk function: unpack captures, seed the accumulators with the
+    // identity, run the body verbatim for [wj_lo, wj_hi), store partials.
+    Emitter bem;
+    bem.line(sname + "* wj_c = (" + sname + "*)wj_ctx;");
+    for (const auto& [txt, sh] : caps) {
+        bem.line((sh->isObject() ? structFor(sh) + "*" : cTypeVal(sh)) + " " + txt + " = wj_c->" +
+                 txt + ";");
+    }
+    for (size_t ri = 0; ri < lp.reductions.size(); ++ri) {
+        bem.line(cTypeVal(accs[ri]->shape) + " " + accs[ri]->text + " = " +
+                 identity(lp.reductions[ri]) + ";");
+    }
+    const std::string vct = cTypeVal(vs);
+    bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var + " < (" + vct +
+             ")wj_hi; ++v_" + n.var + ") {");
+    {
+        Env benv = env;
+        benv.em = &bem;
+        benv.vars[n.var] = {"v_" + n.var, vs, true};
+        genStmts(benv, n.body);
+    }
+    bem.close();
+    for (size_t ri = 0; ri < lp.reductions.size(); ++ri) {
+        bem.line("((" + pname + "*)wj_part)->m_" + lp.reductions[ri].var + " = " +
+                 accs[ri]->text + ";");
+    }
+    fns_ += "static void " + fnName +
+            "(int64_t wj_lo, int64_t wj_hi, void* wj_ctx, void* wj_part) {\n" + bem.text() +
+            "}\n\n";
+
+    // ---- dispatch site + ordered combine
+    em.open("{");
+    CVal init = genExpr(env, *n.init);
+    CVal bound = genExpr(env, boundE);
+    const std::string cap = format("wj_rcap%d", id);
+    em.line(sname + " " + cap + ";");
+    for (const auto& [txt, sh] : caps) {
+        (void)sh;
+        em.line(cap + "." + txt + " = " + txt + ";");
+    }
+    const std::string parts = format("wj_parts%d", id);
+    const std::string k = format("wj_k%d", id);
+    const std::string c = format("wj_i%d", id);
+    em.line(pname + " " + parts + "[WJRT_REDUCE_MAX_CHUNKS];");
+    em.line("int32_t " + k + " = wjrt_parallel_reduce((int64_t)(" + init.text + "), (int64_t)(" +
+            bound.text + "), " + fnName + ", &" + cap + ", " + parts + ", (int64_t)sizeof(" +
+            pname + "));");
+    em.open("for (int32_t " + c + " = 0; " + c + " < " + k + "; ++" + c + ") {");
+    for (size_t ri = 0; ri < lp.reductions.size(); ++ri) {
+        const analysis::Reduction& r = lp.reductions[ri];
+        const std::string accT = accs[ri]->text;
+        const std::string p = parts + "[" + c + "].m_" + r.var;
+        switch (r.op) {
+        case analysis::RedOp::Add:
+        case analysis::RedOp::Mul: {
+            const std::string op = r.op == analysis::RedOp::Add ? " + " : " * ";
+            em.line(accT + " = " + (r.accOnLeft ? accT + op + p : p + op + accT) + ";");
+            break;
+        }
+        case analysis::RedOp::Min:
+        case analysis::RedOp::Max: {
+            const std::string cond = r.accOnLeft ? accT + " " + cmpOp(r.cmp) + " " + p
+                                                 : p + " " + cmpOp(r.cmp) + " " + accT;
+            em.line("if (" + cond + ") " + accT + " = " + p + ";");
+            break;
+        }
+        }
+    }
+    em.close();
+    em.close();
+    ++out_.reduceLoops;
 }
 
 // -------------------------------------------------------------------- exprs

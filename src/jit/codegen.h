@@ -58,6 +58,7 @@ struct Translation {
     int64_t boundsGuards = 0;      ///< array accesses emitted with a wj_chk guard
     int64_t boundsElided = 0;      ///< guards skipped because the interval pass proved safety
     int64_t parallelLoops = 0;     ///< loops outlined through wjrt_parallel_for (WJ_PARALLEL)
+    int64_t reduceLoops = 0;       ///< reduction loops outlined through wjrt_parallel_reduce
     double codegenSeconds = 0;     ///< translator time (Table 3 component)
 };
 

@@ -94,6 +94,9 @@ public:
     /// Loops the analysis proved dependence-free and the translator
     /// dispatched through wjrt_parallel_for (WJ_PARALLEL, WJ_THREADS).
     int64_t parallelLoops() const noexcept { return translation_.parallelLoops; }
+    /// Reduction loops (`acc = acc op f(i)`) outlined through
+    /// wjrt_parallel_reduce with the ordered deterministic combine.
+    int64_t reduceLoops() const noexcept { return translation_.reduceLoops; }
 
     /// MiniMPI traffic of the most recent multi-rank invoke(): total plus
     /// the pooled / zero-copy split (all zeros before the first MPI run).

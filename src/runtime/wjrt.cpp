@@ -290,6 +290,47 @@ void wjrt_guard_fallback(void) {
     wj::trace::instant("pool", "guard.fallback");
 }
 
+/* ------------------------------------------------------- parallel-reduce */
+
+namespace {
+
+struct ReduceCtx {
+    wjrt_reduce_body body;
+    void* ctx;
+    char* partials;
+    int64_t slot;
+    int64_t lo, hi;
+    int chunks;
+};
+
+/// Pool body over the chunk grid: folds each chunk index in [clo, chi)
+/// into its own partial record. Chunk boundaries come from the same
+/// staticChunk() split at a FIXED chunk count, so the records are
+/// identical for every WJ_THREADS value.
+void reduceDriver(int64_t clo, int64_t chi, void* rcv) {
+    const ReduceCtx& rc = *static_cast<const ReduceCtx*>(rcv);
+    for (int64_t c = clo; c < chi; ++c) {
+        int64_t a = 0, b = 0;
+        wj::runtime::staticChunk(rc.lo, rc.hi, rc.chunks, static_cast<int>(c), &a, &b);
+        rc.body(a, b, rc.ctx, rc.partials + c * rc.slot);
+    }
+}
+
+} // namespace
+
+int32_t wjrt_parallel_reduce(int64_t lo, int64_t hi, wjrt_reduce_body body, void* ctx,
+                             void* partials, int64_t slot) {
+    const int64_t n = hi - lo;
+    if (n <= 0) return 0;
+    const int chunks = static_cast<int>(n < WJRT_REDUCE_MAX_CHUNKS ? n : WJRT_REDUCE_MAX_CHUNKS);
+    ReduceCtx rc{body, ctx, static_cast<char*>(partials), slot, lo, hi, chunks};
+    wj::runtime::ThreadPool::instance().parallelFor(0, chunks, reduceDriver, &rc);
+    static auto& dispatches =
+        wj::trace::Metrics::instance().counter("parallel.reduce.dispatches");
+    dispatches.inc();
+    return chunks;
+}
+
 /* ------------------------------------------------------------------ misc */
 
 void wjrt_print_i64(int64_t v) { std::printf("%lld\n", static_cast<long long>(v)); }

@@ -127,6 +127,31 @@ void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx);
  * serially. Feeds the "parallel.guard.fallbacks" metric. */
 void wjrt_guard_fallback(void);
 
+/* ------------------------------------------------------- parallel-reduce
+ * Deterministic reduction dispatch for loops the prover classified
+ * ParallelReduce (`acc = acc op f(i)` chains). The translator outlines the
+ * body into a `wjrt_reduce_body` that folds one contiguous chunk [lo, hi)
+ * into a per-chunk partial record (accumulators start at the operator's
+ * exact identity: -0.0 for +, 1.0 for *, +/-inf for min/max).
+ *
+ * Unlike wjrt_parallel_for's thread-count-sized split, the chunk grid here
+ * is fixed: K = min(n, WJRT_REDUCE_MAX_CHUNKS) chunks via the same
+ * staticChunk() boundaries at every WJ_THREADS value. The partial records
+ * are disjoint (no races), and the generated code combines them in chunk
+ * order 0..K-1 replaying the source's operand order — so the result is
+ * bitwise-identical at every thread count. With n <= K every chunk is a
+ * single iteration and the ordered combine IS the serial fold, making the
+ * parallel result bitwise-equal to the serial one as well; beyond that the
+ * grouping (not the order) changes, which reassociates float add/mul but
+ * stays deterministic and exact for min/max and long.
+ *
+ * Returns K (0 when the range is empty: the caller keeps the identity).
+ * `partials` must hold WJRT_REDUCE_MAX_CHUNKS records of `slot` bytes. */
+#define WJRT_REDUCE_MAX_CHUNKS 64
+typedef void (*wjrt_reduce_body)(int64_t lo, int64_t hi, void* ctx, void* partial);
+int32_t wjrt_parallel_reduce(int64_t lo, int64_t hi, wjrt_reduce_body body, void* ctx,
+                             void* partials, int64_t slot);
+
 /* -------------------------------------------------------------------- misc */
 void wjrt_print_i64(int64_t v);
 void wjrt_print_f64(double v);

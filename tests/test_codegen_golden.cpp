@@ -22,11 +22,13 @@
 #include <string>
 
 #include "interp/interp.h"
+#include "ir/builder.h"
 #include "jit/codegen.h"
 #include "matmul/matmul_lib.h"
 #include "stencil/stencil_lib.h"
 
 using namespace wj;
+using namespace wj::dsl;
 
 namespace {
 
@@ -134,6 +136,36 @@ Translation translateMatmul() {
     return translate(prog, app, "run", {Value::ofI32(8), Value::ofI32(7)});
 }
 
+/// Array fill + dot product — the CG reduction kernel in miniature. Under
+/// WJ_PARALLEL the fill outlines through wjrt_parallel_for and the dot
+/// through wjrt_parallel_reduce (chunk fn + identity seeding + ordered
+/// combine), which is exactly what this snapshot pins.
+Translation translateDot() {
+    static Program prog = [] {
+        ProgramBuilder pb;
+        pb.cls("Dot")
+            .method("run", Type::f64())
+            .param("n", Type::i32())
+            .body(blk(
+                decl("a", Type::array(Type::f32()), newArr(Type::f32(), lv("n"))),
+                forRange("i", ci(0), lv("n"),
+                         blk(aset(lv("a"), lv("i"),
+                                  cast(Type::f32(),
+                                       mul(cast(Type::f64(), lv("i")), cd(0.125)))))),
+                decl("s", Type::f64(), cd(0.0)),
+                forRange("i", ci(0), lv("n"),
+                         blk(assign("s",
+                                    add(lv("s"),
+                                        mul(cast(Type::f64(), aget(lv("a"), lv("i"))),
+                                            cast(Type::f64(), aget(lv("a"), lv("i")))))))),
+                ret(lv("s"))));
+        return pb.build();
+    }();
+    Interp in(prog);
+    Value obj = in.instantiate("Dot", {});
+    return translate(prog, obj, "run", {Value::ofI32(100)});
+}
+
 } // namespace
 
 class CodegenGolden : public ::testing::Test {
@@ -163,6 +195,14 @@ TEST_F(CodegenGolden, Diffusion3DCpuBoundsAll) {
 TEST_F(CodegenGolden, MatmulCpuParallel) {
     setenv("WJ_PARALLEL", "1", 1);
     checkGolden("matmul_cpu_parallel.c.golden", translateMatmul().cSource);
+}
+
+// The WJ_PARALLEL=1 dot-product variant pins the ParallelReduce outlining:
+// per-chunk partial record, exact-identity seeding, fixed chunk grid, and
+// the ordered combine loop.
+TEST_F(CodegenGolden, DotProductParallelReduce) {
+    setenv("WJ_PARALLEL", "1", 1);
+    checkGolden("cg_dot_parallel.c.golden", translateDot().cSource);
 }
 
 // Determinism prerequisite: two translations of the same unit in one

@@ -258,3 +258,98 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
 // criteria. Each sweep index is its own ctest entry (gtest_discover_tests),
 // so the three compiles per program run under per-test timeouts.
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomDifferential, ::testing::Range(0, 200));
+
+// ------------------------------------------------- reduction-heavy family
+//
+// Programs whose loops are all recognized reductions (`acc = acc op f(i)`
+// over +, *, min, max on f64/i64/f32 accumulators). Trip counts stay at or
+// below 48 — within the fixed WJRT_REDUCE_MAX_CHUNKS grid every chunk is a
+// single iteration, so the ordered combine IS the serial fold and the
+// bitwise interp-vs-jit contract extends to the parallel configs.
+
+namespace {
+
+/// One random reduction program: double run(int p) folding four
+/// accumulators (sum, product, i64 sum, f32 min) over seeded trip counts.
+Program reductionProgram(uint64_t seed) {
+    SplitMix64 rng(seed);
+    const int32_t tSum = 1 + static_cast<int32_t>(rng.nextBelow(48));
+    const int32_t tProd = 1 + static_cast<int32_t>(rng.nextBelow(48));
+    const int32_t tLong = 1 + static_cast<int32_t>(rng.nextBelow(48));
+    const int32_t tMin = 1 + static_cast<int32_t>(rng.nextBelow(48));
+    const double w = 0.25 + rng.nextDouble();
+    // Exactly representable factor near 1: product stays finite and the
+    // mul-by-identity seeding cannot flush anything denormal.
+    const double q = 1.0 + static_cast<double>(rng.nextBelow(16)) / 1024.0;
+    const int32_t mMod = 3 + static_cast<int32_t>(rng.nextBelow(9));
+
+    // arr[j] = f32(j * w + p), filled by a proven parallel-for; the min
+    // reduction then scans it through the same index expression twice
+    // (textually equal sides, the recognized guarded-update form).
+    auto scan = [] { return aget(lv("arr"), rem(lv("i"), ci(16))); };
+
+    Block body;
+    body.push_back(decl("arr", Type::array(Type::f32()), newArr(Type::f32(), ci(16))));
+    body.push_back(forRange(
+        "j", ci(0), ci(16),
+        blk(aset(lv("arr"), lv("j"),
+                 cast(Type::f32(), add(mul(cast(Type::f64(), lv("j")), cd(w)),
+                                       cast(Type::f64(), lv("p"))))))));
+    body.push_back(decl("s", Type::f64(), cd(0.0)));
+    body.push_back(forRange(
+        "i", ci(0), ci(tSum),
+        blk(assign("s", add(lv("s"),
+                            mul(cast(Type::f64(), aget(lv("arr"), rem(lv("i"), ci(16)))),
+                                cd(w)))))));
+    body.push_back(decl("prod", Type::f64(), cd(1.0)));
+    body.push_back(
+        forRange("i", ci(0), ci(tProd), blk(assign("prod", mul(cd(q), lv("prod"))))));
+    body.push_back(decl("m", Type::i64(), cast(Type::i64(), lv("p"))));
+    body.push_back(forRange(
+        "i", ci(0), ci(tLong),
+        blk(assign("m", add(lv("m"), cast(Type::i64(), rem(lv("i"), ci(mMod))))))));
+    body.push_back(decl("lo", Type::f32(), cf(1e30f)));
+    body.push_back(forRange("i", ci(0), ci(tMin),
+                            blk(ifs(lt(scan(), lv("lo")), blk(assign("lo", scan()))))));
+    body.push_back(ret(add(add(lv("s"), lv("prod")),
+                           add(cast(Type::f64(), lv("m")), cast(Type::f64(), lv("lo"))))));
+    ProgramBuilder pb;
+    pb.cls("R").method("run", Type::f64()).param("p", Type::i32()).body(std::move(body));
+    return pb.build();
+}
+
+} // namespace
+
+class ReductionDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionDifferential, ParallelReduceConfigsBitwiseAgree) {
+    const uint64_t seed = static_cast<uint64_t>(GetParam()) * 0x51c64b6u + 3;
+    ScopedEnv pinB("WJ_BOUNDS", nullptr);
+    ScopedEnv pinP("WJ_PARALLEL", nullptr);
+    ScopedEnv pinT("WJ_THREADS", nullptr);
+
+    Program p = reductionProgram(seed);
+    Interp in(p);
+    Value obj = in.instantiate("R", {});
+
+    JitCode plain = WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    JitCode par = [&] {
+        ScopedEnv e("WJ_PARALLEL", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+    EXPECT_GE(par.reduceLoops(), 4) << "every accumulator loop must outline";
+
+    for (int arg : {0, 2, -7, 55}) {
+        const std::vector<Value> args{Value::ofI32(arg)};
+        const uint64_t ref = bitsOf(in.call(obj, "run", args).asF64());
+        EXPECT_EQ(ref, bitsOf(plain.invokeWith(args).asF64()))
+            << "jit diverged: seed=" << seed << " arg=" << arg;
+        for (int t : {1, 4, 8}) {
+            ScopedEnv e("WJ_THREADS", std::to_string(t).c_str());
+            EXPECT_EQ(ref, bitsOf(par.invokeWith(args).asF64()))
+                << "jit+parallel@" << t << " diverged: seed=" << seed << " arg=" << arg;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReduceSweep, ReductionDifferential, ::testing::Range(0, 24));

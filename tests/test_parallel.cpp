@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "cg/cg_lib.h"
 #include "gpusim/gpusim.h"
 #include "interp/interp.h"
+#include "ir/builder.h"
 #include "jit/jit.h"
 #include "matmul/matmul_lib.h"
 #include "runtime/threadpool.h"
@@ -23,6 +25,7 @@
 #include "support/diagnostics.h"
 
 using namespace wj;
+using namespace wj::dsl;
 using runtime::ThreadPool;
 using runtime::staticChunk;
 
@@ -227,8 +230,9 @@ TEST(ParallelProver, StencilInteriorLoopProvenWithAliasGuard) {
     // The halo-exchange step loop must stay on the rank's main thread.
     EXPECT_TRUE(reportHas(res, "StencilCPU3D_MPI.run: for (s): serial"));
     EXPECT_TRUE(reportHas(res, "must stay on the rank's main thread"));
-    // The checksum reduction carries a scalar.
-    EXPECT_TRUE(reportHas(res, "loop-carried scalar dependence"));
+    // The checksum loop is a recognized sum reduction over 'local'.
+    EXPECT_TRUE(reportHas(res, "StencilCPU3D_MPI.run: for (i): parallel (reduction)"));
+    EXPECT_TRUE(reportHas(res, "reduction over 'local' (+, double)"));
 }
 
 TEST(ParallelProver, FoxBlockMultiplyProvenChecksumRefused) {
@@ -271,6 +275,251 @@ TEST(ParallelProver, LintModeDegradesToSerialWithoutEntryContext) {
         EXPECT_EQ(analysis::ParVerdict::Serial, lp.verdict);
     }
     EXPECT_TRUE(reportHas(res, "OptimizedCalculator.multiplyAcc: for (i): serial"));
+}
+
+// ---------------------------------------------- reduction prover (oracle)
+
+namespace {
+
+/// `double run(int n)` around the given body statements; the analysis and
+/// translation entry context is T.run(kProbeN).
+Program oneMethodProgram(Block body) {
+    ProgramBuilder pb;
+    pb.cls("T").method("run", Type::f64()).param("n", Type::i32()).body(std::move(body));
+    return pb.build();
+}
+
+constexpr int kProbeN = 100;
+
+analysis::Result analyzeRun(const Program& p) {
+    Interp in(p);
+    Value obj = in.instantiate("T", {});
+    return analysis::analyzeEntry(p, obj, "run", {Value::ofI32(kProbeN)});
+}
+
+} // namespace
+
+TEST(ReductionProver, RecognizesSumInBothOperandOrders) {
+    Program p = oneMethodProgram(blk(
+        decl("s", Type::f64(), cd(0.0)),
+        decl("s2", Type::f64(), cd(0.0)),
+        forRange("i", ci(0), lv("n"),
+                 blk(assign("s", add(lv("s"), cast(Type::f64(), lv("i")))))),
+        forRange("j", ci(0), lv("n"),
+                 blk(assign("s2", add(cast(Type::f64(), lv("j")), lv("s2"))))),
+        ret(add(lv("s"), lv("s2")))));
+    auto res = analyzeRun(p);
+    EXPECT_TRUE(reportHas(res, "T.run: for (i): parallel (reduction)"));
+    EXPECT_TRUE(reportHas(res, "reduction over 's' (+, double)"));
+    EXPECT_TRUE(reportHas(res, "T.run: for (j): parallel (reduction)"));
+    EXPECT_TRUE(reportHas(res, "reduction over 's2' (+, double)"));
+}
+
+TEST(ReductionProver, RecognizesMulMinMax) {
+    // min/max are the guarded-update form `if (e cmp acc) acc = e;` — the
+    // language has no min/max operator and rule 7 forbids the ternary.
+    auto minExpr = [] { return cast(Type::f32(), lv("i")); };
+    auto maxExpr = [] { return cast(Type::i64(), lv("i")); };
+    Program p = oneMethodProgram(blk(
+        decl("prod", Type::f64(), cd(1.0)),
+        decl("m", Type::f32(), cf(1e30f)),
+        decl("mx", Type::i64(), cl(0)),
+        forRange("i", ci(0), lv("n"),
+                 blk(assign("prod", mul(lv("prod"), cd(1.0009765625))))),
+        forRange("i", ci(0), lv("n"),
+                 blk(ifs(lt(minExpr(), lv("m")), blk(assign("m", minExpr()))))),
+        forRange("i", ci(0), lv("n"),
+                 blk(ifs(lt(lv("mx"), maxExpr()), blk(assign("mx", maxExpr()))))),
+        ret(add(lv("prod"), add(cast(Type::f64(), lv("m")), cast(Type::f64(), lv("mx")))))));
+    auto res = analyzeRun(p);
+    EXPECT_TRUE(reportHas(res, "reduction over 'prod' (*, double)"));
+    EXPECT_TRUE(reportHas(res, "reduction over 'm' (min, float)"));
+    EXPECT_TRUE(reportHas(res, "reduction over 'mx' (max, long)"));
+}
+
+TEST(ReductionProver, RejectsNonReductionChains) {
+    // i32 accumulator: wraparound under reassociation is observable.
+    auto res = analyzeRun(oneMethodProgram(blk(
+        decl("c", Type::i32(), ci(0)),
+        forRange("i", ci(0), lv("n"), blk(assign("c", add(lv("c"), ci(1))))),
+        ret(cast(Type::f64(), lv("c"))))));
+    EXPECT_TRUE(reportHas(res, "T.run: for (i): serial"));
+    EXPECT_TRUE(reportHas(res, "unsupported type"));
+
+    // The accumulator is read outside its own update statement (here into
+    // a loop-local temp), so per-chunk partials would observe stale sums.
+    res = analyzeRun(oneMethodProgram(blk(
+        decl("s", Type::f64(), cd(0.0)),
+        decl("a", Type::array(Type::f32()), newArr(Type::f32(), lv("n"))),
+        forRange("i", ci(0), lv("n"),
+                 blk(decl("t", Type::f64(), lv("s")),
+                     aset(lv("a"), lv("i"), cast(Type::f32(), lv("t"))),
+                     assign("s", add(lv("s"), cast(Type::f64(), lv("i")))))),
+        ret(lv("s")))));
+    EXPECT_TRUE(reportHas(res, "read outside its reduction update"));
+
+    // Mixed operators over one accumulator: an affine recurrence, not a
+    // reduction — neither grouping is safe.
+    res = analyzeRun(oneMethodProgram(blk(
+        decl("s", Type::f64(), cd(0.0)),
+        forRange("i", ci(0), lv("n"),
+                 blk(assign("s", add(lv("s"), cd(2.0))),
+                     assign("s", mul(lv("s"), cd(0.5))))),
+        ret(lv("s")))));
+    EXPECT_TRUE(reportHas(res, "T.run: for (i): serial"));
+    EXPECT_TRUE(reportHas(res, "loop-carried scalar dependence"));
+
+    // Plain overwrite: the diagnostic names the variable AND the statement.
+    res = analyzeRun(oneMethodProgram(blk(
+        decl("s", Type::f64(), cd(0.0)),
+        forRange("i", ci(0), lv("n"), blk(assign("s", cast(Type::f64(), lv("i"))))),
+        ret(lv("s")))));
+    EXPECT_TRUE(reportHas(res, "updates 's'"));
+    EXPECT_TRUE(reportHas(res, "is not a recognized reduction"));
+
+    // The update's f(i) side reads the accumulator: not acc = acc op f(i).
+    res = analyzeRun(oneMethodProgram(blk(
+        decl("s", Type::f64(), cd(1.0)),
+        forRange("i", ci(0), lv("n"),
+                 blk(assign("s", add(lv("s"), mul(lv("s"), cd(0.5)))))),
+        ret(lv("s")))));
+    EXPECT_TRUE(reportHas(res, "T.run: for (i): serial"));
+    EXPECT_TRUE(reportHas(res, "is not a recognized reduction"));
+}
+
+TEST(ReductionProver, SmallOuterLoopCollapsesInFavorOfInner) {
+    Program p = oneMethodProgram(blk(
+        decl("a", Type::array(Type::f32()), newArr(Type::f32(), lv("n"))),
+        forRange("k", ci(0), ci(2),
+                 blk(forRange("i", ci(0), lv("n"),
+                              blk(aset(lv("a"), lv("i"), cast(Type::f32(), lv("i"))))))),
+        ret(cast(Type::f64(), aget(lv("a"), ci(0))))));
+    auto res = analyzeRun(p);
+    EXPECT_TRUE(reportHas(res, "T.run: for (k): serial"));
+    EXPECT_TRUE(reportHas(res, "collapsed in favor of its inner loops"));
+    EXPECT_TRUE(reportHas(res, "T.run: for (i): parallel"));
+}
+
+// --------------------------------------------- reduction codegen + runtime
+
+namespace {
+
+/// arr fill + dot-product: the CG kernel shape in miniature.
+Program dotProgram() {
+    return oneMethodProgram(blk(
+        decl("a", Type::array(Type::f32()), newArr(Type::f32(), lv("n"))),
+        forRange("i", ci(0), lv("n"),
+                 blk(aset(lv("a"), lv("i"),
+                          cast(Type::f32(), mul(cast(Type::f64(), lv("i")), cd(0.125)))))),
+        decl("s", Type::f64(), cd(0.0)),
+        forRange("i", ci(0), lv("n"),
+                 blk(assign("s", add(lv("s"),
+                                     mul(cast(Type::f64(), aget(lv("a"), lv("i"))),
+                                         cast(Type::f64(), aget(lv("a"), lv("i")))))))),
+        ret(lv("s"))));
+}
+
+} // namespace
+
+TEST(ReductionCodegen, OutlinesThroughWjrtParallelReduce) {
+    Program p = dotProgram();
+    Interp in(p);
+    Value obj = in.instantiate("T", {});
+    {
+        ScopedEnv off("WJ_PARALLEL", "0");
+        Translation t = translate(p, obj, "run", {Value::ofI32(kProbeN)});
+        EXPECT_EQ(0, t.reduceLoops);
+        EXPECT_EQ(std::string::npos, t.cSource.find("wjrt_parallel_reduce"));
+    }
+    {
+        ScopedEnv on("WJ_PARALLEL", "1");
+        Translation t = translate(p, obj, "run", {Value::ofI32(kProbeN)});
+        EXPECT_EQ(1, t.reduceLoops);
+        EXPECT_GE(t.parallelLoops, 1);  // the fill loop
+        EXPECT_NE(std::string::npos, t.cSource.find("wjrt_parallel_reduce"));
+        EXPECT_NE(std::string::npos, t.cSource.find("wj_rb"));  // outlined chunk fn
+    }
+}
+
+TEST(ReductionEndToEnd, ShortTripBitwiseEqualsSerialAndInterp) {
+    // Up to WJRT_REDUCE_MAX_CHUNKS iterations every chunk holds a single
+    // iteration, so the ordered combine IS the serial fold: parallel,
+    // serial jit, and the interpreter must agree bitwise.
+    Program p = dotProgram();
+    Interp in(p);
+    Value obj = in.instantiate("T", {});
+    const std::vector<Value> args{Value::ofI32(48)};
+    const double ref = in.call(obj, "run", args).asF64();
+    JitCode serial = [&] {
+        ScopedEnv e("WJ_PARALLEL", "0");
+        return WootinJ::jit(p, obj, "run", args);
+    }();
+    JitCode par = [&] {
+        ScopedEnv e("WJ_PARALLEL", "1");
+        return WootinJ::jit(p, obj, "run", args);
+    }();
+    EXPECT_TRUE(bitEq(ref, serial.invokeWith(args).asF64()));
+    for (int t : {1, 2, 8}) {
+        ScopedEnv e("WJ_THREADS", std::to_string(t).c_str());
+        EXPECT_TRUE(bitEq(ref, par.invokeWith(args).asF64())) << "WJ_THREADS=" << t;
+    }
+}
+
+TEST(ReductionEndToEnd, LongTripBitwiseIdenticalAcrossThreadCounts) {
+    // Beyond the chunk grid the f64 sum is regrouped (not bitwise vs the
+    // serial fold), but the fixed grid + ordered combine make the result
+    // invariant in WJ_THREADS.
+    Program p = dotProgram();
+    Interp in(p);
+    Value obj = in.instantiate("T", {});
+    const std::vector<Value> args{Value::ofI32(10000)};
+    ScopedEnv on("WJ_PARALLEL", "1");
+    JitCode par = WootinJ::jit(p, obj, "run", args);
+    double first = 0;
+    bool haveFirst = false;
+    for (int t : {1, 2, 3, 8}) {
+        ScopedEnv e("WJ_THREADS", std::to_string(t).c_str());
+        const double v = par.invokeWith(args).asF64();
+        if (!haveFirst) {
+            haveFirst = true;
+            first = v;
+        }
+        EXPECT_TRUE(bitEq(first, v)) << "WJ_THREADS=" << t;
+    }
+    // And it stays a faithful sum: close to the interpreter's serial fold.
+    const double ref = in.call(obj, "run", args).asF64();
+    EXPECT_NEAR(ref, first, std::abs(ref) * 1e-12);
+}
+
+TEST(ReductionEndToEnd, CgDotProvesAndRunsBitwiseUnderMiniMpi) {
+    // The acceptance path: CG's dot loops auto-prove ParallelReduce with
+    // no source annotations, and real multi-rank MiniMPI runs produce
+    // bitwise-identical residuals at WJ_THREADS 1/2/8.
+    Program p = cg::buildProgram();
+    Interp in(p);
+    {
+        Value solver = cg::makeMpiSolver(in, 512);
+        auto res = analysis::analyzeEntry(
+            p, solver, "run", {Value::ofI32(512), Value::ofI32(3), Value::ofI32(8)});
+        EXPECT_TRUE(reportHas(res, "MpiDot.dot: for (i): parallel (reduction)"));
+        EXPECT_TRUE(reportHas(res, "reduction over 's' (+, double)"));
+    }
+    auto run = [&](int threads, const char* par) {
+        ScopedEnv e1("WJ_PARALLEL", par);
+        ScopedEnv e2("WJ_THREADS", std::to_string(threads).c_str());
+        Value solver = cg::makeMpiSolver(in, 512);
+        JitCode code = WootinJ::jit4mpi(
+            p, solver, "run", {Value::ofI32(512), Value::ofI32(3), Value::ofI32(8)});
+        code.set4MPI(2);
+        return code.invoke().asF64();
+    };
+    const double serial = run(1, "0");
+    const double t1 = run(1, "1");
+    const double t2 = run(2, "1");
+    const double t8 = run(8, "1");
+    EXPECT_TRUE(bitEq(t1, t2));
+    EXPECT_TRUE(bitEq(t1, t8));
+    EXPECT_NEAR(serial, t1, std::abs(serial) * 1e-6);
 }
 
 // ------------------------------------------------------- codegen outlining

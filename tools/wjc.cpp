@@ -21,10 +21,12 @@
 // (equivalent to WJ_CACHE=0) — useful when timing the external compiler —
 // and --fault SPEC to arm the deterministic fault injector (equivalent to
 // WJ_FAULT=SPEC; grammar in src/fault/fault.h). --threads N turns on the
-// analysis-proven parallel-for codegen (WJ_PARALLEL=1) and sizes the
-// intra-rank worker pool (WJ_THREADS=N); results are bitwise-identical to
-// the serial run for every N. --trace FILE (run/trace) overrides the trace
-// destination, equivalent to WJ_TRACE=FILE.
+// analysis-proven parallel-for and parallel-reduce codegen (WJ_PARALLEL=1)
+// and sizes the intra-rank worker pool (WJ_THREADS=N); results are
+// bitwise-identical across every N (and bitwise-equal to the serial run
+// for dependence-free loops and short reductions — see wjrt.h for the
+// reduction determinism contract). --trace FILE (run/trace) overrides the
+// trace destination, equivalent to WJ_TRACE=FILE.
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -295,10 +297,14 @@ int runMain(int argc, char** argv) {
 
     if (cmd == "translate") {
         std::fputs(code.generatedC().c_str(), stdout);
-        std::fprintf(stderr, "// %lld specializations, %lld devirtualized calls, %lld kernels\n",
+        std::fprintf(stderr,
+                     "// %lld specializations, %lld devirtualized calls, %lld kernels, "
+                     "%lld parallel loops, %lld reduction loops\n",
                      static_cast<long long>(code.specializations()),
                      static_cast<long long>(code.devirtualizedCalls()),
-                     static_cast<long long>(code.kernels()));
+                     static_cast<long long>(code.kernels()),
+                     static_cast<long long>(code.parallelLoops()),
+                     static_cast<long long>(code.reduceLoops()));
         return 0;
     }
     Value result = code.invoke();
