@@ -1,10 +1,23 @@
 // Google-benchmark microbenchmarks of the per-variant kernels — the raw
 // material behind every figure bench, measured with gbench's methodology
 // as an independent cross-check of the marginal-cost measurements.
+//
+// Before the gbench suite runs, main() executes the scalar-vs-simd sweep:
+// each evaluation kernel is jitted twice (WJ_SIMD=0 / WJ_SIMD=1), checked
+// bitwise-equal, timed, and persisted as rows of BENCH_kernels_micro.json
+// via the shared jsonRow() helpers. `--smoke` runs only that sweep at
+// reduced sizes/reps — the bench-smoke CI tripwire.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "cg/cg_lib.h"
+#include "common.h"
 
 #include "baselines/diffusion_baselines.h"
 #include "baselines/matmul_baselines.h"
@@ -182,6 +195,114 @@ void BM_GpuSimDiffusionKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_GpuSimDiffusionKernel);
 
+// ------------------------------------------------- scalar-vs-simd sweep
+
+/// Median-of-`reps` wall time of code.invokeWith(args), after one warm call.
+template <typename Make>
+double medianInvokeNs(JitCode& code, const std::vector<Value>& args, int reps, Make observe) {
+    (void)code.invokeWith(args);  // warm: dlopen + caches out of the timing
+    std::vector<double> ns;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        observe(code.invokeWith(args).asF64());
+        ns.push_back(std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    }
+    std::sort(ns.begin(), ns.end());
+    return ns[ns.size() / 2];
+}
+
+bool simdBitEq(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+/// One kernel row pair: jit with WJ_SIMD=0 then WJ_SIMD=1, assert the
+/// results bitwise-equal (the determinism contract), report both medians
+/// and the measured delta. Returns false on a bitwise mismatch.
+template <typename MakeCode>
+bool simdPair(const std::string& what, const std::vector<Value>& args, int reps,
+              MakeCode make) {
+    setenv("WJ_SIMD", "0", 1);
+    JitCode scalar = make();
+    double scalarVal = 0;
+    const double scalarNs =
+        medianInvokeNs(scalar, args, reps, [&](double v) { scalarVal = v; });
+
+    setenv("WJ_SIMD", "1", 1);
+    JitCode simd = make();
+    unsetenv("WJ_SIMD");
+    double simdVal = 0;
+    const double simdNs = medianInvokeNs(simd, args, reps, [&](double v) { simdVal = v; });
+
+    const bool eq = simdBitEq(scalarVal, simdVal);
+    std::printf("%-28s scalar %12.0fns   simd %12.0fns  (%2lldx loops vectorized, "
+                "x%.2f, %s)\n",
+                what.c_str(), scalarNs, simdNs,
+                static_cast<long long>(simd.vectorLoops()), scalarNs / simdNs,
+                eq ? "bitwise-equal" : "MISMATCH");
+    wjbench::jsonRow(what + " scalar", scalarNs);
+    wjbench::jsonRow(what + " simd", simdNs);
+    return eq;
+}
+
+/// The sweep itself; `smoke` shrinks sizes and reps to CI-tripwire cost.
+bool runSimdSweep(bool smoke) {
+    const int reps = smoke ? 3 : 9;
+    bool ok = true;
+    {
+        Program prog = stencil::buildProgram();
+        Interp in(prog);
+        const int n = smoke ? 16 : 48;
+        Value runner = stencil::makeCpuRunner(in, n, n, n, kCoeffs, kSeed);
+        const std::vector<Value> args = {Value::ofI32(2)};
+        ok &= simdPair("diffusion " + std::to_string(n) + "^3", args, reps,
+                       [&] { return WootinJ::jit(prog, runner, "run", args); });
+    }
+    {
+        Program prog = matmul::buildProgram();
+        Interp in(prog);
+        Value app = matmul::makeCpuApp(in, matmul::Calc::Optimized);
+        const int n = smoke ? 48 : 192;
+        const std::vector<Value> args = {Value::ofI32(n), Value::ofI32(kSeed)};
+        ok &= simdPair("matmul " + std::to_string(n) + "x" + std::to_string(n), args, reps,
+                       [&] { return WootinJ::jit(prog, app, "run", args); });
+    }
+    {
+        Program prog = cg::buildProgram();
+        Interp in(prog);
+        Value solver = cg::makeCpuSolver(in);
+        const int n = smoke ? 256 : 4096;
+        const std::vector<Value> args = {Value::ofI32(n), Value::ofI32(3),
+                                         Value::ofI32(smoke ? 5 : 25)};
+        ok &= simdPair("cg n=" + std::to_string(n), args, reps,
+                       [&] { return WootinJ::jit(prog, solver, "run", args); });
+    }
+    return ok;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const wjbench::Options opts = wjbench::parseArgs(argc, argv);
+    wjbench::banner("Microbenchmarks: per-variant kernels + scalar-vs-simd sweep",
+                    "diffusion / matmul / CG jits under WJ_SIMD=0 vs WJ_SIMD=1",
+                    "median wall time REAL on this host; simd checked bitwise-equal");
+    const bool ok = runSimdSweep(opts.smoke);
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: a WJ_SIMD run diverged bitwise from scalar\n");
+        return 1;
+    }
+    if (opts.smoke) return 0;
+
+    // Strip the wjbench flags so gbench's own parser only sees its flags.
+    std::vector<char*> gargs;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--smoke" || a == "--full" || a.rfind("--trace", 0) == 0) continue;
+        gargs.push_back(argv[i]);
+    }
+    int gargc = static_cast<int>(gargs.size());
+    benchmark::Initialize(&gargc, gargs.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

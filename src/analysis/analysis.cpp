@@ -658,13 +658,21 @@ private:
     };
     void proveLoops(const std::string& label, const Method& m, const Cfg& cfg,
                     const std::vector<Env>& states);
+    /// `vectorOnly` switches the prover into the SIMD-legality mode of the
+    /// proveVectors pass: verdicts flow to noteVector instead of noteLoop,
+    /// accesses must additionally be unit-stride, and the alias pairs widen
+    /// to every may-aliasing written/other pair (restrict soundness).
     ParVerdict proveLoop(const std::string& label, const ForStmt& fs, const Cfg& cfg,
-                         const std::vector<Env>& states);
+                         const std::vector<Env>& states, bool vectorOnly = false);
     bool ctorAllowsParallel(const ClassDecl* cls);
     void noteLoop(const ForStmt* fs, const std::string& label, ParVerdict v, std::string reason,
                   std::vector<std::pair<std::string, std::string>> pairs,
                   std::vector<Reduction> reds = {});
+    void noteVector(const ForStmt* fs, const std::string& label, VecVerdict v,
+                    std::string reason, std::vector<std::pair<std::string, std::string>> pairs,
+                    std::vector<Reduction> reds = {}, bool exact = true);
     void finishParallelReport();
+    void finishVectorReport();
 
     // ---- communication race walk (structural, per unique method body)
     void raceWalk(const Method& m, Env env);
@@ -702,6 +710,8 @@ private:
     std::map<const ClassDecl*, bool> ctorParOk_;
     std::vector<const void*> loopOrder_;            ///< report order (first proof)
     std::map<const void*, std::string> loopLabel_;  ///< "Cls.method: for (v)"
+    std::vector<const void*> vecOrder_;             ///< vector-report order
+    std::map<const void*, std::string> vecLabel_;
 
     friend struct IntervalDomain;
 };
@@ -2427,6 +2437,92 @@ void Engine::finishParallelReport() {
     }
 }
 
+void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict v,
+                        std::string reason,
+                        std::vector<std::pair<std::string, std::string>> pairs,
+                        std::vector<Reduction> reds, bool exact) {
+    auto it = out_.loopVector.find(fs);
+    if (it == out_.loopVector.end()) {
+        LoopVector lv;
+        lv.verdict = v;
+        lv.reason = std::move(reason);
+        lv.overlapPairs = std::move(pairs);
+        lv.reductions = std::move(reds);
+        lv.exactReductions = exact;
+        out_.loopVector.emplace(fs, std::move(lv));
+        vecOrder_.push_back(fs);
+        vecLabel_.emplace(fs, label + ": for (" + fs->var + ")");
+        return;
+    }
+    // Join with earlier contexts, mirroring noteLoop: ScalarOnly anywhere
+    // poisons the loop; a conditional proof weakens an unconditional one;
+    // overlap-pair sets union; exactness is the AND over contexts.
+    LoopVector& lv = it->second;
+    if (lv.verdict == VecVerdict::ScalarOnly) return;
+    if (v == VecVerdict::ScalarOnly) {
+        lv.verdict = v;
+        lv.reason = std::move(reason);
+        lv.overlapPairs.clear();
+        lv.reductions.clear();
+        return;
+    }
+    // Reduction recognition is structural, so a context disagreeing about
+    // whether the loop reduces means the proofs are incomparable — poison.
+    if (reds.empty() != lv.reductions.empty()) {
+        lv.verdict = VecVerdict::ScalarOnly;
+        lv.reason = "verdict differs across call contexts";
+        lv.overlapPairs.clear();
+        lv.reductions.clear();
+        return;
+    }
+    lv.exactReductions = lv.exactReductions && exact;
+    for (auto& pr : pairs) {
+        if (std::find(lv.overlapPairs.begin(), lv.overlapPairs.end(), pr) ==
+            lv.overlapPairs.end()) {
+            lv.overlapPairs.push_back(std::move(pr));
+        }
+    }
+    if (v == VecVerdict::CondVectorizable && lv.verdict == VecVerdict::Vectorizable) {
+        lv.verdict = v;
+        lv.reason = std::move(reason);
+    }
+}
+
+void Engine::finishVectorReport() {
+    for (const void* fs : vecOrder_) {
+        const LoopVector& lv = out_.loopVector.at(fs);
+        std::string line = vecLabel_.at(fs) + ": ";
+        switch (lv.verdict) {
+        case VecVerdict::Vectorizable: line += "vectorizable"; break;
+        case VecVerdict::CondVectorizable: line += "vectorizable (guarded)"; break;
+        case VecVerdict::ScalarOnly: line += "scalar"; break;
+        }
+        line += " -- " + lv.reason;
+        out_.vectorReport.push_back(std::move(line));
+    }
+}
+
+namespace {
+/// Does the block contain a loop anywhere (through ifs)? Innermost counted
+/// loops — the proveVectors candidates — are exactly the For loops whose
+/// bodies answer no.
+bool blockHasLoop(const Block& b) {
+    for (const auto& stp : b) {
+        switch (stp->kind) {
+        case StmtKind::For:
+        case StmtKind::While: return true;
+        case StmtKind::If:
+            if (blockHasLoop(as<IfStmt>(*stp).thenB) || blockHasLoop(as<IfStmt>(*stp).elseB)) {
+                return true;
+            }
+            break;
+        default: break;
+        }
+    }
+    return false;
+}
+} // namespace
+
 /// Scans `m`'s body for outermost counted loops and attempts a dependence
 /// proof for each. A refused loop's nested loops are tried instead, so a
 /// serial driver loop still gets its compute-heavy inner loops outlined.
@@ -2452,12 +2548,36 @@ void Engine::proveLoops(const std::string& label, const Method& m, const Cfg& cf
         }
     };
     scan(m.body);
+
+    // The proveVectors pass: SIMD legality for every innermost counted loop,
+    // including those nested inside proven-parallel outer loops — their
+    // chunk bodies are where the simd codegen consumes the verdicts.
+    std::function<void(const Block&)> vscan = [&](const Block& b) {
+        for (const auto& stp : b) {
+            switch (stp->kind) {
+            case StmtKind::For: {
+                const auto& fsn = as<ForStmt>(*stp);
+                if (blockHasLoop(fsn.body)) vscan(fsn.body);
+                else proveLoop(label, fsn, cfg, states, /*vectorOnly=*/true);
+                break;
+            }
+            case StmtKind::If:
+                vscan(as<IfStmt>(*stp).thenB);
+                vscan(as<IfStmt>(*stp).elseB);
+                break;
+            case StmtKind::While: vscan(as<WhileStmt>(*stp).body); break;
+            default: break;
+            }
+        }
+    };
+    vscan(m.body);
 }
 
 ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const Cfg& cfg,
-                             const std::vector<Env>& states) {
+                             const std::vector<Env>& states, bool vectorOnly) {
     auto refuse = [&](std::string why) {
-        noteLoop(&fs, label, ParVerdict::Serial, std::move(why), {});
+        if (vectorOnly) noteVector(&fs, label, VecVerdict::ScalarOnly, std::move(why), {});
+        else noteLoop(&fs, label, ParVerdict::Serial, std::move(why), {});
         return ParVerdict::Serial;
     };
 
@@ -2548,11 +2668,13 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     std::map<std::string, LinForm> lfMap;
     struct PAcc {
         bool isWrite = false;
-        std::string name;     ///< local the array flows through
+        std::string name;     ///< local (or dotted field path) the array flows through
         std::set<int> roots;  ///< abstract allocation roots (may be empty)
         int64_t k = 0;
         Itv w = Itv::top();
-        Itv foot = Itv::top();  ///< footprint over the whole iteration space
+        Itv foot = Itv::top();   ///< footprint over the whole iteration space
+        std::string idxKey;      ///< canonical syntactic form of the index expr
+        bool idxStable = false;  ///< idxKey mentions only the loop var + invariant locals
     };
     std::vector<PAcc> accs;
     std::string why;
@@ -2603,16 +2725,83 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
         }
     };
 
-    auto recordPAcc = [&](Env& env, bool isWrite, const std::string& name, const Expr& idx) {
-        PAcc a;
+    // A local name is loop-invariant when the body neither declares nor
+    // assigns it; index expressions over only such names (plus the loop var
+    // itself) evaluate identically in every iteration up to the k*i term.
+    auto invariantLocal = [&](const std::string& nm) {
+        return nm != fs.var && !ix.defined.count(nm) && !ix.kills.count(nm);
+    };
+
+    // SIMD mode additionally follows arrays reached through a *stable path*
+    // of field loads (`this.cur`, `m.data`): the body cannot contain a
+    // FieldSet (refused outright) and every callee that writes state is
+    // refused too, so the binding named by the path is the same array in
+    // every iteration. Returns the canonical dotted path, or "" when the
+    // base is not such a chain (non-invariant root, computed receiver).
+    std::function<std::string(const Expr&)> stablePath = [&](const Expr& e) -> std::string {
+        switch (e.kind) {
+        case ExprKind::This: return "this";
+        case ExprKind::Local: {
+            const std::string& nm = as<LocalExpr>(e).name;
+            return invariantLocal(nm) ? nm : "";
+        }
+        case ExprKind::FieldGet: {
+            const auto& n = as<FieldGetExpr>(e);
+            const std::string base = stablePath(*n.obj);
+            return base.empty() ? "" : base + "." + n.field;
+        }
+        default: return "";
+        }
+    };
+
+    // True when `e` is built purely from constants, the loop variable,
+    // invariant locals and stable field loads under arithmetic — then
+    // printExpr(e) is a faithful cross-iteration key: two accesses with
+    // equal keys touch the SAME address in the same iteration, so with
+    // stride k != 0 they can never collide across distinct iterations.
+    std::function<bool(const Expr&)> idxIsStable = [&](const Expr& e) -> bool {
+        switch (e.kind) {
+        case ExprKind::Const: return true;
+        case ExprKind::Local: {
+            const std::string& nm = as<LocalExpr>(e).name;
+            return nm == fs.var || invariantLocal(nm);
+        }
+        case ExprKind::FieldGet: return !stablePath(e).empty();
+        case ExprKind::Unary: return idxIsStable(*as<UnaryExpr>(e).e);
+        case ExprKind::Binary: {
+            const auto& n = as<BinaryExpr>(e);
+            return idxIsStable(*n.l) && idxIsStable(*n.r);
+        }
+        case ExprKind::Cast: return idxIsStable(*as<CastExpr>(e).e);
+        default: return false;
+        }
+    };
+
+    auto fillPAcc = [&](Env& env, PAcc& a, bool isWrite, const std::string& name,
+                        const Expr& idx) {
         a.isWrite = isWrite;
         a.name = name;
-        auto vit = env.vars.find(name);
-        if (vit != env.vars.end()) a.roots = vit->second.roots;
         const LinForm lf = linOf(env, idx);
         a.k = lf.k;
         a.w = lf.w;
         a.foot = Itv::of(lf.k).mul(V).add(lf.w);
+        a.idxKey = printExpr(idx);
+        a.idxStable = idxIsStable(idx);
+    };
+
+    auto recordPAcc = [&](Env& env, bool isWrite, const std::string& name, const Expr& idx) {
+        PAcc a;
+        auto vit = env.vars.find(name);
+        if (vit != env.vars.end()) a.roots = vit->second.roots;
+        fillPAcc(env, a, isWrite, name, idx);
+        accs.push_back(std::move(a));
+    };
+
+    auto recordPathPAcc = [&](Env& env, bool isWrite, const std::string& path,
+                              const Expr& arr, const Expr& idx) {
+        PAcc a;
+        a.roots = evalExpr(env, arr).roots;  // alias facts come from the abstract heap
+        fillPAcc(env, a, isWrite, path, idx);
         accs.push_back(std::move(a));
     };
 
@@ -2640,12 +2829,19 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
         case ExprKind::ArrayGet: {
             const auto& n = as<ArrayGetExpr>(e);
             if (!checkExpr(env, *n.arr) || !checkExpr(env, *n.idx)) return false;
-            if (n.arr->kind != ExprKind::Local) {
-                why = "reads an array through a non-local expression";
-                return false;
+            if (n.arr->kind == ExprKind::Local) {
+                recordPAcc(env, false, as<LocalExpr>(*n.arr).name, *n.idx);
+                return true;
             }
-            recordPAcc(env, false, as<LocalExpr>(*n.arr).name, *n.idx);
-            return true;
+            if (vectorOnly) {
+                const std::string path = stablePath(*n.arr);
+                if (!path.empty()) {
+                    recordPathPAcc(env, false, path, *n.arr, *n.idx);
+                    return true;
+                }
+            }
+            why = "reads an array through a non-local expression";
+            return false;
         }
         case ExprKind::New: {
             const auto& n = as<NewExpr>(e);
@@ -2667,9 +2863,18 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 if (!checkExpr(env, *a)) return false;
             }
             switch (n.op) {
+            case Intrinsic::MathExpF64:
+                // sqrt/fabs are correctly rounded in SIMD too; exp is a libm
+                // call with no bit-exact vector variant, so the lane body
+                // would stay a serialized call anyway.
+                if (vectorOnly) {
+                    why = std::string("calls intrinsic '") + intrinsicSig(n.op).name +
+                          "', which has no bit-exact vector variant";
+                    return false;
+                }
+                return true;
             case Intrinsic::MathSqrtF64:
             case Intrinsic::MathFabsF64:
-            case Intrinsic::MathExpF64:
             case Intrinsic::MathSqrtF32:
             case Intrinsic::RngHashF32: return true;
             default:
@@ -2841,12 +3046,19 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 legal = checkExpr(env, *n.arr) && checkExpr(env, *n.idx) &&
                         checkExpr(env, *n.value);
                 if (!legal) break;
-                if (n.arr->kind != ExprKind::Local) {
-                    why = "stores to an array through a non-local expression";
-                    legal = false;
+                if (n.arr->kind == ExprKind::Local) {
+                    recordPAcc(env, true, as<LocalExpr>(*n.arr).name, *n.idx);
                     break;
                 }
-                recordPAcc(env, true, as<LocalExpr>(*n.arr).name, *n.idx);
+                if (vectorOnly) {
+                    const std::string path = stablePath(*n.arr);
+                    if (!path.empty()) {
+                        recordPathPAcc(env, true, path, *n.arr, *n.idx);
+                        break;
+                    }
+                }
+                why = "stores to an array through a non-local expression";
+                legal = false;
                 break;
             }
             case StmtKind::FieldSet:
@@ -2872,9 +3084,22 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     // nested loops; refuse it (after legality, so real defects keep their
     // actionable reason) and proveLoops proves the larger inner loops
     // instead of pinning the whole collapse on the outer one.
-    if (!ix.fors.empty() && span != Itv::kPosInf && span <= 2) {
+    if (!vectorOnly && !ix.fors.empty() && span != Itv::kPosInf && span <= 2) {
         return refuse("outer trip count is at most " + std::to_string(span + 1) +
                       " -- collapsed in favor of its inner loops");
+    }
+
+    // ---- SIMD stride audit: lanes pack contiguously only when every store
+    // walks the array at unit stride; reads may additionally be loop-
+    // invariant (a broadcast). Anything else names the offending access.
+    if (vectorOnly) {
+        for (const PAcc& a : accs) {
+            if (a.k == 1) continue;
+            if (a.k == 0 && !a.isWrite) continue;
+            return refuse(std::string(a.isWrite ? "store to '" : "read of '") + a.name +
+                          "' is not unit-stride in '" + fs.var + "' (stride " +
+                          std::to_string(a.k) + ")");
+        }
     }
 
     // ---- reduction audit. Each sanctioned update contributes exactly one
@@ -2917,6 +3142,15 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     // unknown coefficients fall back to whole-footprint overlap.
     auto collides = [&](const PAcc& a, const PAcc& b) -> bool {
         if (span <= 0) return false;  // at most one iteration
+        // Syntactically identical stable indices address the same element in
+        // the same iteration; with a nonzero stride, iterations i != j are
+        // then k*(i-j) apart — never a cross-lane collision. This is what
+        // lets `cr[i*n+j] = cr[i*n+j] + ...` prove: the interval for the
+        // invariant i*n term is wide, but the symbolic difference is 0.
+        if (vectorOnly && a.k == b.k && a.k != 0 && a.idxStable && b.idxStable &&
+            a.idxKey == b.idxKey) {
+            return false;
+        }
         if (a.k == b.k) {
             if (a.k == 0) return regionsMayOverlap(a.w, b.w);
             const int64_t mag = a.k < 0 ? Itv::satNeg(a.k) : a.k;
@@ -2942,7 +3176,12 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 }
             } else {
                 if (!rootsMayIntersect(a.roots, b.roots)) continue;  // provably distinct
-                if (collides(a, b)) {
+                // SIMD mode needs the wider test: hoisting restrict-qualified
+                // pointers requires every written array to occupy memory
+                // disjoint from every other array it may alias — a same-index
+                // store through a second name violates restrict without ever
+                // colliding across iterations.
+                if (vectorOnly || collides(a, b)) {
                     guards.insert(a.name < b.name ? std::make_pair(a.name, b.name)
                                                   : std::make_pair(b.name, a.name));
                 }
@@ -2962,6 +3201,25 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
             desc += "'" + r.var + "' (" + redOpName(r.op) + ", " + primName(r.prim) + ")";
             first = false;
         }
+        if (vectorOnly) {
+            // min/max select one operand bit-for-bit, and i64 +/* wrap mod
+            // 2^64 — both exact under any reassociation, so the lanes may
+            // carry a simd reduction clause. f32/f64 +/* are inexact: the
+            // loop still vectorizes elementwise, but the accumulator stays
+            // on the bitwise chunk-serial combine.
+            bool exact = true;
+            for (const Reduction& r : reds) {
+                if ((r.op == RedOp::Add || r.op == RedOp::Mul) && r.prim != Prim::I64) {
+                    exact = false;
+                }
+            }
+            desc += exact ? " -- exact under reassociation (simd reduction clause)"
+                          : " -- f32/f64 reassociation is inexact; accumulator stays "
+                            "chunk-serial";
+            noteVector(&fs, label, VecVerdict::Vectorizable, std::move(desc), {},
+                       std::move(reds), exact);
+            return ParVerdict::Parallel;
+        }
         if (lint_) {
             // Without an entry context the interval/alias facts backing the
             // outlined dispatch are too weak; report the recognition so the
@@ -2975,6 +3233,20 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     }
 
     if (!guards.empty()) {
+        std::vector<std::pair<std::string, std::string>> pairs(guards.begin(), guards.end());
+        if (vectorOnly) {
+            std::string desc = "lanes are independent provided the data ranges of ";
+            bool first = true;
+            for (const auto& [a, b] : guards) {
+                if (!first) desc += ", ";
+                desc += "'" + a + "'/'" + b + "'";
+                first = false;
+            }
+            desc += " are disjoint (runtime overlap guard)";
+            noteVector(&fs, label, VecVerdict::CondVectorizable, std::move(desc),
+                       std::move(pairs));
+            return ParVerdict::CondParallel;
+        }
         std::string desc = "iterations are independent provided ";
         bool first = true;
         for (const auto& [a, b] : guards) {
@@ -2983,9 +3255,13 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
             first = false;
         }
         desc += " (runtime pointer guard)";
-        std::vector<std::pair<std::string, std::string>> pairs(guards.begin(), guards.end());
         noteLoop(&fs, label, ParVerdict::CondParallel, std::move(desc), std::move(pairs));
         return ParVerdict::CondParallel;
+    }
+    if (vectorOnly) {
+        noteVector(&fs, label, VecVerdict::Vectorizable,
+                   "unit-stride accesses; no cross-lane dependence", {});
+        return ParVerdict::Parallel;
     }
     noteLoop(&fs, label, ParVerdict::Parallel, "no loop-carried dependence", {});
     return ParVerdict::Parallel;
@@ -3009,6 +3285,7 @@ void Engine::runEntry(const Value& receiver, const std::string& method,
     }
     analyzeCall(*owner, *m, &self, argVals);
     finishParallelReport();
+    finishVectorReport();
 }
 
 void Engine::runLint() {
@@ -3037,6 +3314,7 @@ void Engine::runLint() {
         }
     }
     finishParallelReport();
+    finishVectorReport();
 }
 
 } // namespace

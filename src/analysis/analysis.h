@@ -85,6 +85,33 @@ struct LoopParallel {
     std::vector<Reduction> reductions;
 };
 
+/// SIMD-legality verdict for one innermost counted loop (the `proveVectors`
+/// pass). Vectorizable: every array reference is unit-stride (or loop-
+/// invariant read), the body is lane-independent for every aliasing, and
+/// the only cross-lane scalar dependences are recognized reduction
+/// accumulators. CondVectorizable: lane-independent provided the listed
+/// array pairs occupy disjoint memory ranges — the translator emits a
+/// wjrt_ranges_disjoint runtime guard with the scalar loop as the else
+/// branch. ScalarOnly: `reason` names the offending access or statement.
+enum class VecVerdict { Vectorizable, CondVectorizable, ScalarOnly };
+
+struct LoopVector {
+    VecVerdict verdict = VecVerdict::ScalarOnly;
+    std::string reason;  ///< justification ("wjc lint" vectorization table)
+    /// Local array pairs whose data ranges must be disjoint for the SIMD
+    /// version to be valid (CondVectorizable only). Wider than neqPairs:
+    /// restrict-qualified pointer hoisting needs every written array to be
+    /// disjoint from every other array it may alias, colliding or not.
+    std::vector<std::pair<std::string, std::string>> overlapPairs;
+    /// Reduction accumulators crossing lanes (same records as LoopParallel).
+    std::vector<Reduction> reductions;
+    /// True when every reduction op is exact under reassociation (min/max
+    /// of any type; i64 +/* which wrap mod 2^64). The translator only emits
+    /// `reduction(...)` clauses when exact — f32/f64 +/* stay on the
+    /// bitwise chunk-serial path.
+    bool exactReductions = true;
+};
+
 struct Result {
     std::vector<Violation> errors;    ///< uninit reads, proven OOB, halo races
     std::vector<Violation> warnings;  ///< dead stores, receives left in flight
@@ -103,6 +130,14 @@ struct Result {
     /// One line per candidate loop explaining its verdict ("wjc lint
     /// --parallel" report). Filled by both drivers.
     std::vector<std::string> parallelReport;
+    /// SIMD verdicts keyed by the ForStmt node address, joined across call
+    /// contexts (ScalarOnly poisons; overlap-pair sets union). Only
+    /// innermost counted loops of candidate shape appear; absent loops are
+    /// scalar.
+    std::map<const void*, LoopVector> loopVector;
+    /// One line per innermost loop explaining its SIMD verdict (the
+    /// "wjc lint" vectorization table). Filled by both drivers.
+    std::vector<std::string> vectorReport;
 
     bool clean() const { return errors.empty(); }
     /// Throws AnalysisError if any error-level finding was recorded.

@@ -1,5 +1,7 @@
 #include "jit/codegen.h"
 
+#include <cctype>
+#include <functional>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -93,6 +95,16 @@ public:
         parLoops_ = verdicts;
     }
 
+    /// SIMD verdicts of the proveVectors pass (keyed by ForStmt address).
+    /// When set (WJ_SIMD=1), innermost host loops proven Vectorizable get
+    /// restrict-qualified element pointers and a `#pragma omp simd` line —
+    /// inside chunk functions and on the serial path alike; CondVectorizable
+    /// loops additionally get a wjrt_ranges_disjoint runtime guard with the
+    /// scalar loop as the else branch.
+    void setSimd(const std::map<const void*, analysis::LoopVector>* verdicts) {
+        vecLoops_ = verdicts;
+    }
+
     Translation run(const Value& receiver, const std::string& method,
                     const std::vector<Value>& args);
 
@@ -146,8 +158,25 @@ private:
     void genStmts(Env& env, const Block& b);
     void genStmt(Env& env, const Stmt& s);
     void genSerialFor(Env& env, const ForStmt& n);
+    void genSimdFor(Env& env, const ForStmt& n, const analysis::LoopVector& lv);
     void genParallelFor(Env& env, const ForStmt& n, const analysis::LoopParallel& lp);
     void genParallelReduce(Env& env, const ForStmt& n, const analysis::LoopParallel& lp);
+    /// SIMD verdict usable in this emission context, or null. Resolves the
+    /// overlap-guard pair names and reduction accumulators against `env`; a
+    /// name out of scope means the proof context does not match here.
+    const analysis::LoopVector* simdVerdict(Env& env, const ForStmt& n) const;
+    /// Hoists `elem* restrict` pointers for the prim-element array locals
+    /// the loop body accesses and routes their element accesses through the
+    /// pointers (simdPtrs_). Returns the names to erase afterwards.
+    std::vector<std::string> hoistSimdPtrs(Env& env, const ForStmt& n);
+    void dropSimdPtrs(const std::vector<std::string>& keys) {
+        for (const std::string& k : keys) simdPtrs_.erase(k);
+    }
+    /// Runtime range-disjointness guard for a CondVectorizable loop ("" when
+    /// unconditional). Only call after simdVerdict() accepted the context.
+    std::string simdGuard(Env& env, const analysis::LoopVector& lv);
+    /// `reduction(op:var)` clauses for the pragma ("" when no reductions).
+    std::string simdRedClause(Env& env, const analysis::LoopVector& lv);
     void inlineCtor(Env& env, const std::string& var, const ClassDecl& cls,
                     std::vector<CVal> argVals,
                     std::map<std::string, const Shape*>& fieldShapes);
@@ -177,8 +206,23 @@ private:
     int boundsMode_ = 0;
     const std::map<const void*, analysis::Safety>* safety_ = nullptr;
     const std::map<const void*, analysis::LoopParallel>* parLoops_ = nullptr;
+    const std::map<const void*, analysis::LoopVector>* vecLoops_ = nullptr;
+    /// Active restrict-pointer substitutions: array CVal text -> hoisted
+    /// element pointer. Consulted by the ArrayGet/ArraySet emission so simd
+    /// loop bodies index through the restrict pointers. Vector verdicts only
+    /// exist for innermost loops, so substitutions never nest.
+    std::map<std::string, std::string> simdPtrs_;
     int pfCount_ = 0;
     Translation out_;
+
+    /// Element access for a prim-element array: through the hoisted restrict
+    /// pointer inside a simd loop, the raw payload cast elsewhere.
+    std::string elemAccess(const CVal& a, Prim elem, const std::string& idx) const {
+        auto it = simdPtrs_.find(a.text);
+        if (it != simdPtrs_.end()) return it->second + "[" + idx + "]";
+        return "((" + std::string(primCName(elem)) + "*)wj_array_data(" + a.text + "))[" + idx +
+               "]";
+    }
 
     /// Index expression for an array access, wrapped in a wj_chk guard when
     /// the policy asks for one. Guarding materializes `a` and `i` first:
@@ -405,8 +449,7 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
             em.line("((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx +
                     "] = *" + v.text + ";");
         } else {
-            em.line("((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text +
-                    "))[" + idx + "] = " + v.text + ";");
+            em.line(elemAccess(a, elem.prim(), idx) + " = " + v.text + ";");
         }
         return;
     }
@@ -447,6 +490,10 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
                 }
                 return;
             }
+        }
+        if (const analysis::LoopVector* lv = simdVerdict(env, n)) {
+            genSimdFor(env, n, *lv);
+            return;
         }
         genSerialFor(env, n);
         return;
@@ -522,6 +569,126 @@ bool safeToHoist(const Expr& e) {
     }
 }
 
+/// Expressions used as the array operand of an element access anywhere
+/// under the node — the restrict-hoisting candidates of a simd loop
+/// (locals and stable field-load chains like `this.cur`). Skipping a base
+/// here only forgoes its hoist, never correctness: unhoisted accesses keep
+/// the wj_array_data form.
+void arrayBasesExpr(const Expr& e, std::vector<const Expr*>& out);
+
+void arrayBasesBlock(const Block& b, std::vector<const Expr*>& out) {
+    for (const auto& stp : b) {
+        const Stmt& s = *stp;
+        switch (s.kind) {
+        case StmtKind::Decl:
+            if (as<DeclStmt>(s).init) arrayBasesExpr(*as<DeclStmt>(s).init, out);
+            break;
+        case StmtKind::AssignLocal: arrayBasesExpr(*as<AssignLocalStmt>(s).value, out); break;
+        case StmtKind::FieldSet: {
+            const auto& n = as<FieldSetStmt>(s);
+            arrayBasesExpr(*n.obj, out);
+            arrayBasesExpr(*n.value, out);
+            break;
+        }
+        case StmtKind::ArraySet: {
+            const auto& n = as<ArraySetStmt>(s);
+            out.push_back(n.arr.get());
+            arrayBasesExpr(*n.arr, out);
+            arrayBasesExpr(*n.idx, out);
+            arrayBasesExpr(*n.value, out);
+            break;
+        }
+        case StmtKind::If: {
+            const auto& n = as<IfStmt>(s);
+            arrayBasesExpr(*n.cond, out);
+            arrayBasesBlock(n.thenB, out);
+            arrayBasesBlock(n.elseB, out);
+            break;
+        }
+        case StmtKind::While: {
+            const auto& n = as<WhileStmt>(s);
+            arrayBasesExpr(*n.cond, out);
+            arrayBasesBlock(n.body, out);
+            break;
+        }
+        case StmtKind::For: {
+            const auto& n = as<ForStmt>(s);
+            arrayBasesExpr(*n.init, out);
+            arrayBasesExpr(*n.cond, out);
+            arrayBasesExpr(*n.step, out);
+            arrayBasesBlock(n.body, out);
+            break;
+        }
+        case StmtKind::Return:
+            if (as<ReturnStmt>(s).value) arrayBasesExpr(*as<ReturnStmt>(s).value, out);
+            break;
+        case StmtKind::ExprStmt: arrayBasesExpr(*as<ExprStmt>(s).e, out); break;
+        case StmtKind::SuperCtor:
+            for (const auto& a : as<SuperCtorStmt>(s).args) arrayBasesExpr(*a, out);
+            break;
+        }
+    }
+}
+
+void arrayBasesExpr(const Expr& e, std::vector<const Expr*>& out) {
+    switch (e.kind) {
+    case ExprKind::Const:
+    case ExprKind::Local:
+    case ExprKind::This:
+    case ExprKind::StaticGet: return;
+    case ExprKind::FieldGet: arrayBasesExpr(*as<FieldGetExpr>(e).obj, out); return;
+    case ExprKind::ArrayGet: {
+        const auto& n = as<ArrayGetExpr>(e);
+        out.push_back(n.arr.get());
+        arrayBasesExpr(*n.arr, out);
+        arrayBasesExpr(*n.idx, out);
+        return;
+    }
+    case ExprKind::ArrayLen: arrayBasesExpr(*as<ArrayLenExpr>(e).arr, out); return;
+    case ExprKind::Unary: arrayBasesExpr(*as<UnaryExpr>(e).e, out); return;
+    case ExprKind::Binary: {
+        const auto& n = as<BinaryExpr>(e);
+        arrayBasesExpr(*n.l, out);
+        arrayBasesExpr(*n.r, out);
+        return;
+    }
+    case ExprKind::Cond: {
+        const auto& n = as<CondExpr>(e);
+        arrayBasesExpr(*n.c, out);
+        arrayBasesExpr(*n.t, out);
+        arrayBasesExpr(*n.f, out);
+        return;
+    }
+    case ExprKind::Cast: arrayBasesExpr(*as<CastExpr>(e).e, out); return;
+    case ExprKind::New:
+        for (const auto& a : as<NewExpr>(e).args) arrayBasesExpr(*a, out);
+        return;
+    case ExprKind::NewArray: arrayBasesExpr(*as<NewArrayExpr>(e).len, out); return;
+    case ExprKind::IntrinsicCall:
+        for (const auto& a : as<IntrinsicExpr>(e).args) arrayBasesExpr(*a, out);
+        return;
+    case ExprKind::Call: {
+        const auto& n = as<CallExpr>(e);
+        arrayBasesExpr(*n.recv, out);
+        for (const auto& a : n.args) arrayBasesExpr(*a, out);
+        return;
+    }
+    case ExprKind::StaticCall:
+        for (const auto& a : as<StaticCallExpr>(e).args) arrayBasesExpr(*a, out);
+        return;
+    }
+}
+
+/// Identifier-shaped C text — the only thing the restrict hoist and the
+/// range guard may mention (locals and unpacked captures always are).
+bool isIdentText(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+    }
+    return true;
+}
+
 } // namespace
 
 // Outlines a proven loop body into `static void wj_pfbN(lo, hi, ctx)` and
@@ -593,15 +760,45 @@ void CodeGen::genParallelFor(Env& env, const ForStmt& n, const analysis::LoopPar
                  txt + ";");
     }
     const std::string vct = cTypeVal(vs);
-    bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var + " < (" + vct +
-             ")wj_hi; ++v_" + n.var + ") {");
     {
         Env benv = env;
         benv.em = &bem;
+        // Under WJ_SIMD a loop that also carries a vector verdict runs its
+        // chunk iterations through `#pragma omp simd` — threads across
+        // chunks, lanes within one. The range guard re-checks inside the
+        // chunk function; the scalar chunk loop is the else-branch.
+        const analysis::LoopVector* lv = simdVerdict(benv, n);
+        if (lv && !lv->reductions.empty()) lv = nullptr;  // Parallel loops carry no accumulators
         benv.vars[n.var] = {"v_" + n.var, vs, true};
-        genStmts(benv, n.body);
+        auto emitChunkLoop = [&](bool simd) {
+            std::vector<std::string> keys;
+            if (simd) {
+                keys = hoistSimdPtrs(benv, n);
+                bem.line("#pragma omp simd");
+            }
+            bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var +
+                     " < (" + vct + ")wj_hi; ++v_" + n.var + ") {");
+            genStmts(benv, n.body);
+            bem.close();
+            dropSimdPtrs(keys);
+        };
+        if (!lv) {
+            emitChunkLoop(false);
+        } else {
+            const std::string g = simdGuard(benv, *lv);
+            if (g.empty()) {
+                emitChunkLoop(true);
+            } else {
+                bem.open("if (" + g + ") {");
+                emitChunkLoop(true);
+                bem.mid("} else {");
+                bem.line("wjrt_simd_fallback();");
+                emitChunkLoop(false);
+                bem.close();
+            }
+            ++out_.vectorLoops;
+        }
     }
-    bem.close();
     fns_ += "static void " + fnName + "(int64_t wj_lo, int64_t wj_hi, void* wj_ctx) {\n" +
             bem.text() + "}\n\n";
 
@@ -734,15 +931,30 @@ void CodeGen::genParallelReduce(Env& env, const ForStmt& n, const analysis::Loop
                  identity(lp.reductions[ri]) + ";");
     }
     const std::string vct = cTypeVal(vs);
-    bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var + " < (" + vct +
-             ")wj_hi; ++v_" + n.var + ") {");
     {
         Env benv = env;
         benv.em = &bem;
+        // Exact-operator reductions (min/max any prim, i64 +/*) additionally
+        // take a simd reduction clause inside the chunk: lane reassociation
+        // cannot change their value, so the chunk partials — and therefore
+        // the ordered combine — stay bitwise-stable. f32/f64 +/* never get a
+        // vector verdict here (exactReductions gate in simdVerdict), keeping
+        // the chunk fold serial and the documented determinism contract.
+        const analysis::LoopVector* lv = simdVerdict(benv, n);
+        if (lv && !lv->overlapPairs.empty()) lv = nullptr;  // reduce loops prove guard-free
         benv.vars[n.var] = {"v_" + n.var, vs, true};
+        std::vector<std::string> keys;
+        if (lv) {
+            keys = hoistSimdPtrs(benv, n);
+            bem.line("#pragma omp simd" + simdRedClause(benv, *lv));
+            ++out_.vectorLoops;
+        }
+        bem.open("for (" + vct + " v_" + n.var + " = (" + vct + ")wj_lo; v_" + n.var + " < (" +
+                 vct + ")wj_hi; ++v_" + n.var + ") {");
         genStmts(benv, n.body);
+        bem.close();
+        dropSimdPtrs(keys);
     }
-    bem.close();
     for (size_t ri = 0; ri < lp.reductions.size(); ++ri) {
         bem.line("((" + pname + "*)wj_part)->m_" + lp.reductions[ri].var + " = " +
                  accs[ri]->text + ";");
@@ -792,6 +1004,171 @@ void CodeGen::genParallelReduce(Env& env, const ForStmt& n, const analysis::Loop
     em.close();
     em.close();
     ++out_.reduceLoops;
+}
+
+// --------------------------------------------------------------------- simd
+
+// The proveVectors verdict for this loop, or null when the loop must stay
+// scalar in THIS emission context: no WJ_SIMD, device code, ScalarOnly,
+// inexact (f32/f64 +/*) reductions — which keep the bitwise chunk-serial
+// path — or a guard/accumulator name the proof mentions that is not a live
+// identifier-shaped local here (proof context mismatch).
+const analysis::LoopVector* CodeGen::simdVerdict(Env& env, const ForStmt& n) const {
+    if (!vecLoops_ || env.device) return nullptr;
+    auto it = vecLoops_->find(static_cast<const void*>(&n));
+    if (it == vecLoops_->end()) return nullptr;
+    const analysis::LoopVector& lv = it->second;
+    if (lv.verdict == analysis::VecVerdict::ScalarOnly) return nullptr;
+    if (!lv.exactReductions) return nullptr;
+    for (const auto& [a, b] : lv.overlapPairs) {
+        auto ia = env.vars.find(a);
+        auto ib = env.vars.find(b);
+        if (ia == env.vars.end() || ib == env.vars.end() || !isIdentText(ia->second.text) ||
+            !isIdentText(ib->second.text)) {
+            return nullptr;
+        }
+    }
+    for (const auto& r : lv.reductions) {
+        auto ir = env.vars.find(r.var);
+        if (ir == env.vars.end() || ir->second.shape->isObject() ||
+            !isIdentText(ir->second.text)) {
+            return nullptr;
+        }
+    }
+    return &lv;
+}
+
+// Byte-range disjointness guard for a CondVectorizable loop; empty for an
+// unconditional one. simdVerdict() already resolved every name.
+std::string CodeGen::simdGuard(Env& env, const analysis::LoopVector& lv) {
+    std::string guard;
+    for (const auto& [a, b] : lv.overlapPairs) {
+        if (!guard.empty()) guard += " && ";
+        guard += "wjrt_ranges_disjoint(" + env.vars.at(a).text + ", " + env.vars.at(b).text + ")";
+    }
+    return guard;
+}
+
+// ` reduction(op:acc)` clauses for the loop's proven reductions. Only exact
+// operators reach here (min/max any prim, i64 +/*), so the clause's lane
+// reassociation cannot change the result.
+std::string CodeGen::simdRedClause(Env& env, const analysis::LoopVector& lv) {
+    std::string clause;
+    for (const auto& r : lv.reductions) {
+        const char* op = "+";
+        switch (r.op) {
+        case analysis::RedOp::Add: op = "+"; break;
+        case analysis::RedOp::Mul: op = "*"; break;
+        case analysis::RedOp::Min: op = "min"; break;
+        case analysis::RedOp::Max: op = "max"; break;
+        }
+        clause += std::string(" reduction(") + op + ":" + env.vars.at(r.var).text + ")";
+    }
+    return clause;
+}
+
+namespace {
+
+/// C text mangled into an identifier suffix (`self->f_cur` -> self__f_cur).
+std::string identSuffix(const std::string& text) {
+    std::string out;
+    for (char c : text) {
+        out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+// Hoists `elem* restrict wj_sp_<base> = wj_array_data(<base>)` for every
+// prim-element array base the body touches — locals and stable field paths
+// alike — and reroutes element accesses through them (elemAccess keys on
+// the base's C text). Safe because simdVerdict() established that all
+// may-overlapping pairs are covered by the active range guard and everything
+// else is statically distinct. Skipping a base (non-simple text, object
+// elements) only forgoes its hoist — it keeps the wj_array_data form.
+std::vector<std::string> CodeGen::hoistSimdPtrs(Env& env, const ForStmt& n) {
+    std::vector<const Expr*> bases;
+    arrayBasesBlock(n.body, bases);
+    std::vector<std::string> keys;
+    // A base qualifies when its genExpr is pure deterministic text (no
+    // emitted statements) and its binding cannot change inside a proven-
+    // vectorizable body: a live local, `this`, or a field-load chain over
+    // those (the prover refuses FieldSet and state-writing callees).
+    std::function<bool(const Expr&)> stableBase = [&](const Expr& e) -> bool {
+        switch (e.kind) {
+        case ExprKind::Local: return env.vars.count(as<LocalExpr>(e).name) != 0;
+        case ExprKind::This: return env.hasThis;
+        case ExprKind::FieldGet: return stableBase(*as<FieldGetExpr>(e).obj);
+        default: return false;
+        }
+    };
+    for (const Expr* be : bases) {
+        if (!stableBase(*be)) continue;
+        const CVal cv = genExpr(env, *be);
+        if (!cv.simple) continue;
+        if (!cv.shape->isArray()) continue;
+        const Type& elem = cv.shape->arrayElem();
+        if (elem.isClass()) continue;
+        if (simdPtrs_.count(cv.text)) continue;
+        const std::string ec = primCName(elem.prim());
+        const std::string ptr = "wj_sp_" + identSuffix(cv.text);
+        env.em->line(ec + "* restrict " + ptr + " = (" + ec + "*)wj_array_data(" + cv.text +
+                     ");");
+        simdPtrs_[cv.text] = ptr;
+        keys.push_back(cv.text);
+    }
+    return keys;
+}
+
+// Emits a proven-vectorizable loop as `#pragma omp simd` over the serial
+// loop shape, with restrict-qualified hoisted element pointers. The pragma
+// is only honored under -fopenmp-simd (no OpenMP runtime is linked) and the
+// loop never reassociates floats: reduction clauses are restricted to exact
+// operators upstream, so the simd body is bitwise-equal to the serial one.
+// CondVectorizable loops check the byte-range guard first and fall back to
+// the untouched scalar loop (wjrt_simd_fallback feeds the metric).
+void CodeGen::genSimdFor(Env& env, const ForStmt& n, const analysis::LoopVector& lv) {
+    Emitter& em = *env.em;
+    const Shape* vs = shapes_.ofType(n.varType);
+    if (vs->isObject()) xerr("object-typed loop variables are not supported");
+
+    // Re-derive the proven shape `for (v = init; v < bound; v = v + 1)`:
+    // OpenMP's canonical loop form demands a bare `v < bound; ++v` header
+    // (the serial loop's parenthesized cond/step text is rejected under the
+    // pragma). Anything unexpected falls back to the serial loop.
+    const auto* condB = n.cond->kind == ExprKind::Binary ? &as<BinaryExpr>(*n.cond) : nullptr;
+    if (!condB || condB->op != BinOp::Lt || condB->l->kind != ExprKind::Local ||
+        as<LocalExpr>(*condB->l).name != n.var) {
+        genSerialFor(env, n);
+        return;
+    }
+
+    const std::string guard = simdGuard(env, lv);
+    em.open(guard.empty() ? "{" : "if (" + guard + ") {");
+    {
+        auto saved = env.vars;
+        CVal init = genExpr(env, *n.init);
+        env.vars[n.var] = {"v_" + n.var, vs, true};
+        CVal bound = genExpr(env, *condB->r);
+        // Hoists and header operands are materialized BEFORE the pragma so
+        // no emitted line separates it from its for-statement.
+        const std::vector<std::string> keys = hoistSimdPtrs(env, n);
+        em.line("#pragma omp simd" + simdRedClause(env, lv));
+        em.open("for (" + cTypeVal(vs) + " v_" + n.var + " = " + init.text + "; v_" + n.var +
+                " < " + bound.text + "; ++v_" + n.var + ") {");
+        genStmts(env, n.body);
+        em.close();
+        dropSimdPtrs(keys);
+        env.vars = saved;
+    }
+    if (!guard.empty()) {
+        em.mid("} else {");
+        em.line("wjrt_simd_fallback();");
+        genSerialFor(env, n);
+    }
+    em.close();
+    ++out_.vectorLoops;
 }
 
 // -------------------------------------------------------------------- exprs
@@ -856,9 +1233,7 @@ CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
             return {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx + "])",
                     es, false};
         }
-        return {"((" + std::string(primCName(elem.prim())) + "*)wj_array_data(" + a.text + "))[" +
-                    idx + "]",
-                shapes_.ofType(elem), false};
+        return {elemAccess(a, elem.prim(), idx), shapes_.ofType(elem), false};
     }
     case ExprKind::ArrayLen: {
         CVal a = genExpr(env, *as<ArrayLenExpr>(e).arr);
@@ -1460,6 +1835,13 @@ Translation translate(const Program& prog, const Value& receiver, const std::str
     // generated code — and its cache key — is thread-count independent).
     const char* par = std::getenv("WJ_PARALLEL");
     if (par && *par && std::string(par) != "0") cg.setParallel(&facts.loopParallel);
+    // WJ_SIMD=1 turns proveVectors verdicts into `#pragma omp simd` loops
+    // with restrict-hoisted element pointers (and runtime range guards for
+    // CondVectorizable). Like WJ_PARALLEL this is a translation-time choice
+    // baked into the generated C, independent of WJ_THREADS, so the cache
+    // key stays thread-count independent.
+    const char* simd = std::getenv("WJ_SIMD");
+    if (simd && *simd && std::string(simd) != "0") cg.setSimd(&facts.loopVector);
     return cg.run(receiver, method, args);
 }
 

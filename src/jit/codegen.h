@@ -59,6 +59,7 @@ struct Translation {
     int64_t boundsElided = 0;      ///< guards skipped because the interval pass proved safety
     int64_t parallelLoops = 0;     ///< loops outlined through wjrt_parallel_for (WJ_PARALLEL)
     int64_t reduceLoops = 0;       ///< reduction loops outlined through wjrt_parallel_reduce
+    int64_t vectorLoops = 0;       ///< loops emitted under `#pragma omp simd` (WJ_SIMD)
     double codegenSeconds = 0;     ///< translator time (Table 3 component)
 };
 

@@ -144,10 +144,13 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     const char* cc = std::getenv("WJ_CC");
     if (!cc || !*cc) cc = "cc";
     // -O2 -fPIC -shared: the role icc's "-O3 -ipo" plays in the paper's
-    // Tables 1-2. WJ_CFLAGS overrides the optimization flags (used by the
-    // compile-cost ablation bench). rdynamic host exports provide wjrt_*.
+    // Tables 1-2. -fopenmp-simd honors the `#pragma omp simd` lines the
+    // WJ_SIMD codegen emits (vectorization only — no OpenMP runtime is
+    // linked) and is inert for scalar translations. WJ_CFLAGS overrides the
+    // optimization flags (used by the compile-cost ablation bench); flags
+    // are part of the cache key. rdynamic host exports provide wjrt_*.
     const char* flags = std::getenv("WJ_CFLAGS");
-    if (!flags || !*flags) flags = "-O2";
+    if (!flags || !*flags) flags = "-O2 -fopenmp-simd";
 
     JitCache& cache = JitCache::instance();
     const uint64_t rtv = JitCache::runtimeHeadersVersion(WJ_RT_INCLUDE_DIR);

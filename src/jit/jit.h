@@ -97,6 +97,10 @@ public:
     /// Reduction loops (`acc = acc op f(i)`) outlined through
     /// wjrt_parallel_reduce with the ordered deterministic combine.
     int64_t reduceLoops() const noexcept { return translation_.reduceLoops; }
+    /// Loops the proveVectors pass cleared for SIMD and the translator
+    /// emitted under `#pragma omp simd` (WJ_SIMD) — including vectorized
+    /// chunk loops inside parallel-for/reduce outlines.
+    int64_t vectorLoops() const noexcept { return translation_.vectorLoops; }
 
     /// MiniMPI traffic of the most recent multi-rank invoke(): total plus
     /// the pooled / zero-copy split (all zeros before the first MPI run).

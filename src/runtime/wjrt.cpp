@@ -290,6 +290,24 @@ void wjrt_guard_fallback(void) {
     wj::trace::instant("pool", "guard.fallback");
 }
 
+/* ------------------------------------------------------------------- simd */
+
+int32_t wjrt_ranges_disjoint(const wj_array* a, const wj_array* b) {
+    if (!a || !b) return 1;
+    const char* ad = static_cast<const char*>(wj_array_data(a));
+    const char* bd = static_cast<const char*>(wj_array_data(b));
+    if (!ad || !bd) return 1;
+    const char* ae = ad + static_cast<uint64_t>(a->len) * static_cast<uint32_t>(a->elem_size);
+    const char* be = bd + static_cast<uint64_t>(b->len) * static_cast<uint32_t>(b->elem_size);
+    return (ae <= bd || be <= ad) ? 1 : 0;
+}
+
+void wjrt_simd_fallback(void) {
+    static auto& fallbacks = wj::trace::Metrics::instance().counter("simd.guard.fallbacks");
+    fallbacks.inc();
+    wj::trace::instant("pool", "simd.guard.fallback");
+}
+
 /* ------------------------------------------------------- parallel-reduce */
 
 namespace {

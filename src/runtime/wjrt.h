@@ -127,6 +127,19 @@ void wjrt_parallel_for(int64_t lo, int64_t hi, wjrt_pf_body body, void* ctx);
  * serially. Feeds the "parallel.guard.fallbacks" metric. */
 void wjrt_guard_fallback(void);
 
+/* ------------------------------------------------------------------- simd
+ * Runtime overlap guard for CondVectorizable loops (WJ_SIMD; see the
+ * proveVectors pass in src/analysis/). The simd branch of the generated
+ * code hoists restrict-qualified element pointers, which is only valid
+ * when the two payloads occupy disjoint byte ranges; the else branch runs
+ * the plain scalar loop. Returns 1 when [data, data+len*elem_size) of the
+ * two arrays do not overlap (null payloads count as disjoint). */
+int32_t wjrt_ranges_disjoint(const wj_array* a, const wj_array* b);
+
+/* Emitted in the scalar else-branch of a CondVectorizable loop: the range
+ * guard failed, so the lanes ran scalar. Feeds "simd.guard.fallbacks". */
+void wjrt_simd_fallback(void);
+
 /* ------------------------------------------------------- parallel-reduce
  * Deterministic reduction dispatch for loops the prover classified
  * ParallelReduce (`acc = acc op f(i)` chains). The translator outlines the

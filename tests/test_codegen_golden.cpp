@@ -174,6 +174,7 @@ protected:
     // re-sets exactly the one it exercises.
     ScopedUnset bounds_{"WJ_BOUNDS"};
     ScopedUnset parallel_{"WJ_PARALLEL"};
+    ScopedUnset simd_{"WJ_SIMD"};
 };
 
 TEST_F(CodegenGolden, Diffusion3DCpu) {
@@ -205,9 +206,33 @@ TEST_F(CodegenGolden, DotProductParallelReduce) {
     checkGolden("cg_dot_parallel.c.golden", translateDot().cSource);
 }
 
+// The WJ_SIMD=1 variants pin the vectorized emission: `#pragma omp simd`
+// on every proveVectors-cleared loop, restrict-qualified element-pointer
+// hoists, wjrt_ranges_disjoint guards with the scalar else-branch, and —
+// for the dot product — the ABSENCE of a reduction clause on the inexact
+// f64 accumulator.
+TEST_F(CodegenGolden, Diffusion3DCpuSimd) {
+    setenv("WJ_SIMD", "1", 1);
+    checkGolden("diffusion3d_cpu_simd.c.golden", translateDiffusion().cSource);
+}
+
+TEST_F(CodegenGolden, MatmulCpuSimd) {
+    setenv("WJ_SIMD", "1", 1);
+    checkGolden("matmul_cpu_simd.c.golden", translateMatmul().cSource);
+}
+
+TEST_F(CodegenGolden, DotProductSimd) {
+    setenv("WJ_SIMD", "1", 1);
+    checkGolden("cg_dot_simd.c.golden", translateDot().cSource);
+}
+
 // Determinism prerequisite: two translations of the same unit in one
 // process must be byte-identical, otherwise golden comparison is noise.
 TEST_F(CodegenGolden, TranslationIsDeterministic) {
     EXPECT_EQ(translateDiffusion().cSource, translateDiffusion().cSource);
     EXPECT_EQ(translateMatmul().cSource, translateMatmul().cSource);
+    setenv("WJ_SIMD", "1", 1);
+    EXPECT_EQ(translateDiffusion().cSource, translateDiffusion().cSource);
+    EXPECT_EQ(translateMatmul().cSource, translateMatmul().cSource);
+    EXPECT_EQ(translateDot().cSource, translateDot().cSource);
 }

@@ -6,13 +6,19 @@
 // shows up as a mismatch.
 //
 // The config matrix, per generated program:
-//   interp        the tree-walking interpreter (the reference)
-//   jit           plain translation (no guards, serial)
-//   jit+bounds    WJ_BOUNDS=all — every array access guarded
-//   jit+par@1     WJ_PARALLEL=1 codegen, WJ_THREADS=1 (inline dispatch)
-//   jit+par@4     the same translation fanned out over 4 pool threads
-// All five must agree BITWISE (uint64 payload of the f64 result) on every
-// argument; the failing seed is printed so a divergence replays exactly.
+//   interp            the tree-walking interpreter (the reference)
+//   jit               plain translation (no guards, serial)
+//   jit+bounds        WJ_BOUNDS=all — every array access guarded
+//   jit+par@1         WJ_PARALLEL=1 codegen, WJ_THREADS=1 (inline dispatch)
+//   jit+par@4         the same translation fanned out over 4 pool threads
+//   jit+simd          WJ_SIMD=1 — `#pragma omp simd` on proven loops
+//   jit+par+simd@4    both codegens composed, 4 pool threads
+// The first five must agree BITWISE (uint64 payload of the f64 result) on
+// every argument. The simd configs are also expected bitwise (the emitter
+// never reassociates floats: reduction clauses are limited to exact
+// operators), but are checked to a 1-ulp ceiling so a compiler that
+// contracts differently under -fopenmp-simd reads as a tolerance, not a
+// failure; the failing seed is printed so a divergence replays exactly.
 //
 // The generator is deliberately conservative about C undefined behaviour:
 // integer expressions stay in a small range (constants, bounded add/sub,
@@ -198,6 +204,18 @@ uint64_t bitsOf(double d) {
     return u;
 }
 
+/// ULP distance between two doubles: bit patterns mapped onto a monotone
+/// integer line (sign-magnitude -> biased), so adjacent representable
+/// values differ by exactly 1. NaNs are equal only bitwise.
+uint64_t ulpDistance(double a, double b) {
+    if (std::isnan(a) || std::isnan(b)) return bitsOf(a) == bitsOf(b) ? 0 : ~0ull;
+    uint64_t ua = bitsOf(a);
+    uint64_t ub = bitsOf(b);
+    ua = (ua >> 63) ? ~ua : (ua | 0x8000000000000000ull);
+    ub = (ub >> 63) ? ~ub : (ub | 0x8000000000000000ull);
+    return ua > ub ? ua - ub : ub - ua;
+}
+
 } // namespace
 
 class RandomDifferential : public ::testing::TestWithParam<int> {};
@@ -209,6 +227,7 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
     ScopedEnv pinB("WJ_BOUNDS", nullptr);
     ScopedEnv pinP("WJ_PARALLEL", nullptr);
     ScopedEnv pinT("WJ_THREADS", nullptr);
+    ScopedEnv pinS("WJ_SIMD", nullptr);
 
     Program p = randomProgram(seed);
     Interp in(p);
@@ -225,31 +244,57 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
         ScopedEnv e("WJ_PARALLEL", "1");
         return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
     }();
+    JitCode simd = [&] {
+        ScopedEnv e("WJ_SIMD", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+    JitCode parSimd = [&] {
+        ScopedEnv e1("WJ_PARALLEL", "1");
+        ScopedEnv e2("WJ_SIMD", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
 
     for (int arg : {0, 1, 7, -5, 123}) {
         const std::vector<Value> args{Value::ofI32(arg)};
-        const uint64_t ref = bitsOf(in.call(obj, "run", args).asF64());
+        const double refD = in.call(obj, "run", args).asF64();
+        const uint64_t ref = bitsOf(refD);
 
         struct Row {
             const char* config;
-            uint64_t bits;
+            double v;
+            bool simdRow;
         };
         std::vector<Row> rows;
-        rows.push_back({"jit", bitsOf(plain.invokeWith(args).asF64())});
-        rows.push_back({"jit+bounds=all", bitsOf(bounds.invokeWith(args).asF64())});
+        rows.push_back({"jit", plain.invokeWith(args).asF64(), false});
+        rows.push_back({"jit+bounds=all", bounds.invokeWith(args).asF64(), false});
         {
             ScopedEnv t("WJ_THREADS", "1");
-            rows.push_back({"jit+parallel@1", bitsOf(par.invokeWith(args).asF64())});
+            rows.push_back({"jit+parallel@1", par.invokeWith(args).asF64(), false});
         }
         {
             ScopedEnv t("WJ_THREADS", "4");
-            rows.push_back({"jit+parallel@4", bitsOf(par.invokeWith(args).asF64())});
+            rows.push_back({"jit+parallel@4", par.invokeWith(args).asF64(), false});
+        }
+        rows.push_back({"jit+simd", simd.invokeWith(args).asF64(), true});
+        {
+            ScopedEnv t("WJ_THREADS", "4");
+            rows.push_back({"jit+parallel+simd@4", parSimd.invokeWith(args).asF64(), true});
         }
         for (const Row& r : rows) {
-            EXPECT_EQ(ref, r.bits)
-                << "config=" << r.config << " diverged from the interpreter: seed=" << seed
-                << " arg=" << arg << " (replay: RandomDifferential sweep index "
-                << GetParam() << ")";
+            if (r.simdRow) {
+                // Expected bitwise too, but tolerated to 1 ulp (see the
+                // file header); exact-type payloads inside the f64 differ
+                // by 0 or the ulpDistance is already nonzero.
+                EXPECT_LE(ulpDistance(refD, r.v), 1u)
+                    << "config=" << r.config << " diverged from the interpreter: seed="
+                    << seed << " arg=" << arg << " (replay: RandomDifferential sweep index "
+                    << GetParam() << ")";
+            } else {
+                EXPECT_EQ(ref, bitsOf(r.v))
+                    << "config=" << r.config << " diverged from the interpreter: seed="
+                    << seed << " arg=" << arg << " (replay: RandomDifferential sweep index "
+                    << GetParam() << ")";
+            }
         }
     }
 }
@@ -327,6 +372,7 @@ TEST_P(ReductionDifferential, ParallelReduceConfigsBitwiseAgree) {
     ScopedEnv pinB("WJ_BOUNDS", nullptr);
     ScopedEnv pinP("WJ_PARALLEL", nullptr);
     ScopedEnv pinT("WJ_THREADS", nullptr);
+    ScopedEnv pinS("WJ_SIMD", nullptr);
 
     Program p = reductionProgram(seed);
     Interp in(p);
@@ -338,16 +384,27 @@ TEST_P(ReductionDifferential, ParallelReduceConfigsBitwiseAgree) {
         return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
     }();
     EXPECT_GE(par.reduceLoops(), 4) << "every accumulator loop must outline";
+    JitCode parSimd = [&] {
+        ScopedEnv e1("WJ_PARALLEL", "1");
+        ScopedEnv e2("WJ_SIMD", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
 
     for (int arg : {0, 2, -7, 55}) {
         const std::vector<Value> args{Value::ofI32(arg)};
-        const uint64_t ref = bitsOf(in.call(obj, "run", args).asF64());
+        const double refD = in.call(obj, "run", args).asF64();
+        const uint64_t ref = bitsOf(refD);
         EXPECT_EQ(ref, bitsOf(plain.invokeWith(args).asF64()))
             << "jit diverged: seed=" << seed << " arg=" << arg;
         for (int t : {1, 4, 8}) {
             ScopedEnv e("WJ_THREADS", std::to_string(t).c_str());
             EXPECT_EQ(ref, bitsOf(par.invokeWith(args).asF64()))
                 << "jit+parallel@" << t << " diverged: seed=" << seed << " arg=" << arg;
+            // simd composed on top: exact reduction clauses (i64 +, f32
+            // min) stay bitwise; the 1-ulp ceiling covers the rest.
+            EXPECT_LE(ulpDistance(refD, parSimd.invokeWith(args).asF64()), 1u)
+                << "jit+parallel+simd@" << t << " diverged: seed=" << seed
+                << " arg=" << arg;
         }
     }
 }

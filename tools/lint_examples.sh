@@ -1,0 +1,35 @@
+#!/bin/sh
+# Lints every examples/*.wj and asserts the documented exit-code contract
+# (wjc.cpp header): 0 clean or warnings-only, 1 defects, 2 usage/parse
+# errors. New example files are picked up automatically; any file whose
+# name starts with lint_bad is the seeded-defect fixture and must exit 1,
+# everything else must lint clean.
+#
+# usage: lint_examples.sh <path-to-wjc> <examples-dir>
+set -u
+WJC="$1"
+DIR="$2"
+fail=0
+found=0
+for f in "$DIR"/*.wj; do
+    [ -e "$f" ] || continue
+    found=1
+    "$WJC" lint "$f" > /dev/null 2>&1
+    code=$?
+    case "$(basename "$f")" in
+    lint_bad*) want=1 ;;
+    *) want=0 ;;
+    esac
+    if [ "$code" -ne "$want" ]; then
+        echo "FAIL: wjc lint $f exited $code (want $want)"
+        "$WJC" lint "$f" 2>&1 | sed 's/^/    /'
+        fail=1
+    else
+        echo "ok: wjc lint $(basename "$f") -> $code"
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "FAIL: no .wj files found in $DIR"
+    exit 1
+fi
+exit $fail

@@ -25,8 +25,12 @@
 // and sizes the intra-rank worker pool (WJ_THREADS=N); results are
 // bitwise-identical across every N (and bitwise-equal to the serial run
 // for dependence-free loops and short reductions — see wjrt.h for the
-// reduction determinism contract). --trace FILE (run/trace) overrides the
-// trace destination, equivalent to WJ_TRACE=FILE.
+// reduction determinism contract). --simd (WJ_SIMD=1) additionally emits
+// `#pragma omp simd` for every loop the vectorization-legality prover
+// cleared, with restrict-qualified pointer hoists and runtime overlap
+// guards; the output stays bitwise-equal to the scalar translation.
+// --trace FILE (run/trace) overrides the trace destination, equivalent to
+// WJ_TRACE=FILE.
 //
 // EXPR is a composition expression, the textual form of Listing 2's main
 // method: nested constructor calls with int/float/double literals, e.g.
@@ -69,9 +73,9 @@ int usage() {
                  "  wjc lint <file.wj> [--Werror]\n"
                  "  wjc print <file.wj>\n"
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
-                 "                [--threads N] [--fault SPEC] [ARGS...]\n"
+                 "                [--threads N] [--simd] [--fault SPEC] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]\n"
-                 "                [--no-cache] [--fault SPEC] [--trace FILE] [ARGS...]\n"
+                 "                [--simd] [--no-cache] [--fault SPEC] [--trace FILE] [ARGS...]\n"
                  "  wjc trace <file.wj> ...           (run with the span tracer armed)\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
@@ -242,6 +246,10 @@ int runMain(int argc, char** argv) {
         // loops the translator may fan out across the thread pool, and why
         // the rest stay serial. Informational — never affects the exit code.
         for (const auto& line : r.parallelReport) std::printf("parallel: %s\n", line.c_str());
+        // Likewise the vectorization-legality verdicts (proveVectors): which
+        // innermost loops --simd may emit as `#pragma omp simd`, which need a
+        // runtime overlap guard, and why the rest stay scalar.
+        for (const auto& line : r.vectorReport) std::printf("simd: %s\n", line.c_str());
         const bool fail = !r.errors.empty() || (werror && !r.warnings.empty());
         if (!fail)
             std::printf("%s: %d array accesses proven safe, %d unproven; no defects found\n",
@@ -272,6 +280,13 @@ int runMain(int argc, char** argv) {
             setenv("WJ_THREADS", argv[++i], 1);
             setenv("WJ_PARALLEL", "1", 1);
         }
+        else if (a == "--simd") {
+            // WJ_SIMD=1: emit `#pragma omp simd` loops (with restrict
+            // pointer hoists and runtime overlap guards) for every loop the
+            // proveVectors pass cleared. Orthogonal to --threads; the
+            // generated C stays thread-count independent either way.
+            setenv("WJ_SIMD", "1", 1);
+        }
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
         else if (a == "--trace" && i + 1 < argc) traceOut = argv[++i];
         else if (a == "--fault" && i + 1 < argc) {
@@ -299,12 +314,13 @@ int runMain(int argc, char** argv) {
         std::fputs(code.generatedC().c_str(), stdout);
         std::fprintf(stderr,
                      "// %lld specializations, %lld devirtualized calls, %lld kernels, "
-                     "%lld parallel loops, %lld reduction loops\n",
+                     "%lld parallel loops, %lld reduction loops, %lld vector loops\n",
                      static_cast<long long>(code.specializations()),
                      static_cast<long long>(code.devirtualizedCalls()),
                      static_cast<long long>(code.kernels()),
                      static_cast<long long>(code.parallelLoops()),
-                     static_cast<long long>(code.reduceLoops()));
+                     static_cast<long long>(code.reduceLoops()),
+                     static_cast<long long>(code.vectorLoops()));
         return 0;
     }
     Value result = code.invoke();
