@@ -59,9 +59,13 @@ int main(int argc, char** argv) {
     ckpt.disarm();
 
     std::printf("%12s %12s %10s %16s\n", "store", "time", "saves", "checksum");
-    for (const Row& r : rows)
+    for (const Row& r : rows) {
         std::printf("%12s %10.2fms %10lld %16.6f\n", r.mode, r.ms,
                     static_cast<long long>(r.saves), r.checksum);
+        // Persist each mode as a BENCH_abl_fault_overhead.json row so CI
+        // can track checkpoint overhead across commits.
+        wjbench::jsonRow(std::string("ckpt ") + r.mode, r.ms * 1e6, /*threads=*/1, ranks);
+    }
 
     const bool counts = rows[0].saves == 0 &&
                         rows[1].saves == int64_t{ranks} * steps &&

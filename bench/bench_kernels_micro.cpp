@@ -279,13 +279,71 @@ bool runSimdSweep(bool smoke) {
     return ok;
 }
 
+// -------------------------------------- threads-vs-proc transport sweep
+
+/// Median per-round-trip cost of a 2-rank ping-pong of `bytes`-byte
+/// messages on `kind`. Each sample is one World::run (thread spawn or
+/// fork+reap included, amortized over `msgs` round trips); the forked
+/// children _exit, so the proc worlds never double-flush this bench's
+/// JSON report.
+double pingPongNs(minimpi::TransportKind kind, size_t bytes, int msgs, int reps) {
+    minimpi::World w(2, kind);
+    std::vector<double> ns;
+    for (int r = 0; r <= reps; ++r) {  // r == 0 is the warm-up sample
+        const auto t0 = std::chrono::steady_clock::now();
+        w.run([&](minimpi::Comm& c) {
+            std::vector<uint8_t> buf(bytes, static_cast<uint8_t>(1));
+            for (int m = 0; m < msgs; ++m) {
+                if (c.rank() == 0) {
+                    c.send(buf.data(), bytes, 1, 1);
+                    c.recv(buf.data(), bytes, 1, 2);
+                } else {
+                    c.recv(buf.data(), bytes, 0, 1);
+                    c.send(buf.data(), bytes, 0, 2);
+                }
+            }
+        });
+        if (r == 0) continue;
+        ns.push_back(std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count() /
+                     msgs);
+    }
+    std::sort(ns.begin(), ns.end());
+    return ns[ns.size() / 2];
+}
+
+/// Latency (small messages) and bandwidth (large messages, including the
+/// proc transport's Unix-socket path above ring half-capacity) of the two
+/// address-space strategies, persisted as jsonRow()s. The gap IS the
+/// price of real process isolation — crash-real fault tolerance is not
+/// free, and this row pair quantifies it per message size.
+void runTransportSweep(bool smoke) {
+    const size_t sizes[] = {64, 4096, 65536, 262144};  // 256 kB rides the socket path
+    const int reps = smoke ? 3 : 7;
+    std::printf("\n-- transport sweep: 2-rank ping-pong, threads vs proc --\n");
+    std::printf("%12s %16s %16s %10s\n", "bytes", "threads/rt", "proc/rt", "ratio");
+    for (size_t bytes : sizes) {
+        if (smoke && bytes > 4096) continue;  // tripwire cost only
+        const int msgs = bytes >= 65536 ? 64 : 256;
+        const double t = pingPongNs(minimpi::TransportKind::Threads, bytes, msgs, reps);
+        const double p = pingPongNs(minimpi::TransportKind::Proc, bytes, msgs, reps);
+        std::printf("%12zu %14.0fns %14.0fns %9.2fx\n", bytes, t, p, p / t);
+        const std::string label = "xport " + std::to_string(bytes) + "B";
+        wjbench::jsonRow(label + " threads", t, /*threads=*/2, /*ranks=*/2);
+        wjbench::jsonRow(label + " proc", p, /*threads=*/1, /*ranks=*/2);
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     const wjbench::Options opts = wjbench::parseArgs(argc, argv);
     wjbench::banner("Microbenchmarks: per-variant kernels + scalar-vs-simd sweep",
                     "diffusion / matmul / CG jits under WJ_SIMD=0 vs WJ_SIMD=1",
-                    "median wall time REAL on this host; simd checked bitwise-equal");
+                    "median wall time REAL on this host; simd checked bitwise-equal; "
+                    "threads-vs-proc MiniMPI ping-pong REAL");
+    runTransportSweep(opts.smoke);
     const bool ok = runSimdSweep(opts.smoke);
     if (!ok) {
         std::fprintf(stderr, "FAIL: a WJ_SIMD run diverged bitwise from scalar\n");

@@ -12,6 +12,7 @@
 #include "fault/fault.h"
 #include "interp/interp.h"
 #include "jit/jit.h"
+#include "minimpi/minimpi.h"
 #include "stencil/stencil_lib.h"
 #include "support/timer.h"
 
@@ -22,12 +23,16 @@ int main() {
     const int nx = 24, ny = 24, nz = 24, steps = 4, seed = 7;
     const auto coeffs = DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
     const double expect = referenceDiffusion3D(nx, ny, nz, coeffs, seed, steps);
+    // WJ_TRANSPORT decides whether the MPI rows below run ranks as threads
+    // or as forked processes (`wjrun` sets it; so can you).
+    const bool procWorld = minimpi::defaultTransportKind() == minimpi::TransportKind::Proc;
 
     Program prog = buildProgram();
     Interp in(prog);
 
-    std::printf("3-D diffusion %dx%dx%d, %d steps; reference checksum %.6f\n\n", nx, ny, nz,
-                steps, expect);
+    std::printf("3-D diffusion %dx%dx%d, %d steps; reference checksum %.6f; "
+                "MPI transport=%s\n\n",
+                nx, ny, nz, steps, expect, procWorld ? "proc" : "threads");
     std::printf("%-28s %14s %12s %8s\n", "platform", "checksum", "time", "ok");
 
     auto report = [&](const char* name, double sum, double sec) {
@@ -75,9 +80,12 @@ int main() {
     {   // Fault tolerance (src/fault/): a seeded FaultPlan kills rank 2 at
         // its 6th MPI call mid-run; the per-step checkpoints let a re-run
         // resume from the last consistent snapshot and still produce the
-        // bitwise-identical checksum.
+        // bitwise-identical checksum. On the proc transport the kill is a
+        // REAL SIGKILL of a forked child, so the snapshots must live on
+        // disk (fsync + atomic rename) — a killed child's memory is gone.
         auto& ckpt = fault::CheckpointStore::instance();
-        ckpt.arm(/*ranks=*/4, /*interval=*/1);
+        if (procWorld) ckpt.armDisk("diffusion3d_ckpt", /*ranks=*/4, /*interval=*/1);
+        else ckpt.arm(/*ranks=*/4, /*interval=*/1);
         fault::FaultPlan::instance().configure("seed=42;kill:rank=2,op=6");
 
         Value runner = makeMpiRunner(in, nx, ny, nz / 4, coeffs, seed);
@@ -91,13 +99,23 @@ int main() {
             killed = true;
             std::printf("\n%s\n", e.what());
         }
-        // The kill rule is one-shot (spent after firing); freeze the restart
-        // generation and run the same world again.
+        // On threads the kill rule is one-shot (spent after firing); on proc
+        // it was spent in the DEAD CHILD's memory, and the next fork would
+        // re-inherit our unspent copy — disarm before the restart either
+        // way. Then freeze the restart generation and run the world again.
+        fault::FaultPlan::instance().disarm();
         const long long resume = static_cast<long long>(ckpt.resolve());
         Value r = code.invoke();
-        std::printf("restarted from checkpointed step %lld (%lld snapshots, %lld restores)\n",
-                    resume, static_cast<long long>(ckpt.saves()),
-                    static_cast<long long>(ckpt.restores()));
+        if (procWorld) {
+            // Counters live in the (dead) children; the parent's truth is
+            // the resolved on-disk generation.
+            std::printf("restarted from on-disk checkpoint generation %lld in %s/\n", resume,
+                        ckpt.directory().c_str());
+        } else {
+            std::printf("restarted from checkpointed step %lld (%lld snapshots, %lld restores)\n",
+                        resume, static_cast<long long>(ckpt.saves()),
+                        static_cast<long long>(ckpt.restores()));
+        }
         report("WootinJ (MPI x4, restarted)", r.asF64(), t.seconds());
         fault::FaultPlan::instance().disarm();
         ckpt.disarm();

@@ -10,6 +10,7 @@
 #include "interp/interp.h"
 #include "jit/jit.h"
 #include "matmul/matmul_lib.h"
+#include "minimpi/minimpi.h"
 #include "support/timer.h"
 
 using namespace wj;
@@ -22,7 +23,12 @@ int main() {
     Program prog = buildProgram();
     Interp in(prog);
 
-    std::printf("matmul %dx%d, reference checksum %.4f\n\n", nGlobal, nGlobal, expect);
+    // The MPI rows honor WJ_TRANSPORT: threads (default) or forked
+    // processes (`wjrun fox`, or WJ_TRANSPORT=proc) — same checksums.
+    std::printf("matmul %dx%d, reference checksum %.4f, MPI transport=%s\n\n", nGlobal,
+                nGlobal, expect,
+                minimpi::defaultTransportKind() == minimpi::TransportKind::Proc ? "proc"
+                                                                               : "threads");
     std::printf("%-40s %14s %10s %5s\n", "composition", "checksum", "time", "ok");
 
     auto report = [&](const char* name, double sum, double sec) {

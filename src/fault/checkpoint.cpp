@@ -1,11 +1,18 @@
 #include "fault/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <set>
+#include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "support/crc32.h"
 #include "trace/metrics.h"
@@ -33,6 +40,128 @@ struct SlotKey {
     }
 };
 
+// ---- disk mode -----------------------------------------------------------
+// On-disk snapshot layout: a fixed header followed by the raw floats. The
+// CRC covers the payload only; name and header must agree, so a file that
+// was renamed into place is self-describing and self-validating.
+
+constexpr uint32_t kDiskMagic = 0x4B434A57;  // "WJCK" little-endian
+constexpr uint32_t kDiskVersion = 1;
+
+struct DiskHeader {
+    uint32_t magic = kDiskMagic;
+    uint32_t version = kDiskVersion;
+    int32_t rank = 0;
+    int32_t slot = 0;
+    int64_t iter = 0;
+    int64_t count = 0;  // number of floats
+    uint32_t crc = 0;
+    uint32_t reserved = 0;
+};
+
+std::string diskName(int rank, int slot, int64_t iter) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "ck_r%d_s%d_g%lld", rank, slot,
+                  static_cast<long long>(iter));
+    return buf;
+}
+
+bool parseDiskName(const char* name, int* rank, int* slot, int64_t* iter) {
+    long long g = 0;
+    if (std::sscanf(name, "ck_r%d_s%d_g%lld", rank, slot, &g) != 3) return false;
+    *iter = g;
+    return true;
+}
+
+struct DiskEntry {
+    int rank;
+    int slot;
+    int64_t iter;
+};
+
+std::vector<DiskEntry> listDisk(const std::string& dir) {
+    std::vector<DiskEntry> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (!d) return out;
+    while (dirent* e = ::readdir(d)) {
+        DiskEntry de{};
+        if (parseDiskName(e->d_name, &de.rank, &de.slot, &de.iter)) out.push_back(de);
+    }
+    ::closedir(d);
+    return out;
+}
+
+/// Reads and validates one on-disk snapshot. Returns true and fills `data`
+/// (when non-null) only if the header is coherent and the payload CRC
+/// matches. `expectCount < 0` accepts any size.
+bool readDiskSnapshot(const std::string& dir, int rank, int slot, int64_t iter,
+                      int64_t expectCount, std::vector<float>* data) {
+    const std::string path = dir + "/" + diskName(rank, slot, iter);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    DiskHeader h;
+    bool ok = ::read(fd, &h, sizeof h) == static_cast<ssize_t>(sizeof h) &&
+              h.magic == kDiskMagic && h.version == kDiskVersion && h.rank == rank &&
+              h.slot == slot && h.iter == iter && h.count >= 0 &&
+              (expectCount < 0 || h.count == expectCount);
+    std::vector<float> payload;
+    if (ok) {
+        payload.resize(static_cast<size_t>(h.count));
+        const size_t bytes = payload.size() * sizeof(float);
+        ok = ::read(fd, payload.data(), bytes) == static_cast<ssize_t>(bytes) &&
+             crc32(payload.data(), bytes) == h.crc;
+    }
+    ::close(fd);
+    if (ok && data) *data = std::move(payload);
+    return ok;
+}
+
+/// Crash-durable publish: temp file -> write -> fsync -> rename -> fsync of
+/// the directory. A SIGKILL at any point leaves either no generation file
+/// or a complete, CRC-valid one.
+bool writeDiskSnapshot(const std::string& dir, int rank, int slot, int64_t iter,
+                       const float* data, int64_t n) {
+    const std::string tmp =
+        dir + "/.tmp." + diskName(rank, slot, iter) + "." + std::to_string(::getpid());
+    const std::string final = dir + "/" + diskName(rank, slot, iter);
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    DiskHeader h;
+    h.rank = rank;
+    h.slot = slot;
+    h.iter = iter;
+    h.count = n;
+    h.crc = crc32(data, static_cast<size_t>(n) * sizeof(float));
+    const size_t bytes = static_cast<size_t>(n) * sizeof(float);
+    bool ok = ::write(fd, &h, sizeof h) == static_cast<ssize_t>(sizeof h) &&
+              ::write(fd, data, bytes) == static_cast<ssize_t>(bytes) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok || ::rename(tmp.c_str(), final.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // fsync the directory so the rename itself survives a crash of the
+    // whole machine, not just of this process.
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+void pruneDisk(const std::string& dir, int rank, int slot, int keep) {
+    std::vector<int64_t> iters;
+    for (const DiskEntry& e : listDisk(dir)) {
+        if (e.rank == rank && e.slot == slot) iters.push_back(e.iter);
+    }
+    if (static_cast<int>(iters.size()) <= keep) return;
+    std::sort(iters.begin(), iters.end());
+    for (size_t i = 0; i + static_cast<size_t>(keep) < iters.size(); ++i) {
+        ::unlink((dir + "/" + diskName(rank, slot, iters[i])).c_str());
+    }
+}
+
 } // namespace
 
 struct CheckpointStore::Impl {
@@ -43,6 +172,9 @@ struct CheckpointStore::Impl {
     int keep = 2;
     // Last `keep` generations per (rank, slot), oldest first.
     std::map<SlotKey, std::vector<Snapshot>> gens;
+    // Disk mode (armDisk): snapshots are files in `dir`, `gens` stays empty.
+    bool disk = false;
+    std::string dir;
     bool resolved = false;
     int64_t resolvedIter = -1;
     int64_t saves = 0;
@@ -64,6 +196,8 @@ void CheckpointStore::arm(int ranks, int interval, int keep) {
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
     im.armed = true;
+    im.disk = false;
+    im.dir.clear();
     im.ranks = std::max(ranks, 1);
     im.interval = std::max(interval, 1);
     im.keep = std::max(keep, 1);
@@ -73,10 +207,46 @@ void CheckpointStore::arm(int ranks, int interval, int keep) {
     im.saves = im.restores = im.crcFailures = 0;
 }
 
+void CheckpointStore::armDisk(const std::string& dir, int ranks, int interval, int keep,
+                              bool preserve) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    im.armed = true;
+    im.disk = true;
+    im.dir = dir;
+    im.ranks = std::max(ranks, 1);
+    im.interval = std::max(interval, 1);
+    im.keep = std::max(keep, 1);
+    im.gens.clear();
+    im.resolved = false;
+    im.resolvedIter = -1;
+    im.saves = im.restores = im.crcFailures = 0;
+    ::mkdir(dir.c_str(), 0755);  // single level; EEXIST is fine
+    if (!preserve) {
+        for (const DiskEntry& e : listDisk(dir)) {
+            ::unlink((dir + "/" + diskName(e.rank, e.slot, e.iter)).c_str());
+        }
+    }
+}
+
+bool CheckpointStore::diskMode() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.armed && im.disk;
+}
+
+std::string CheckpointStore::directory() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    return im.disk ? im.dir : std::string();
+}
+
 void CheckpointStore::disarm() {
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
     im.armed = false;
+    im.disk = false;
+    im.dir.clear();
     im.gens.clear();
     im.resolved = false;
     im.resolvedIter = -1;
@@ -112,6 +282,13 @@ void CheckpointStore::save(int rank, int slot, int64_t iter, const float* data, 
                      "bytes", n * static_cast<int64_t>(sizeof(float)));
     static auto& bytes = trace::Metrics::instance().counter("ckpt.bytes.saved");
     bytes.add(n * static_cast<int64_t>(sizeof(float)));
+    if (im.disk) {
+        if (writeDiskSnapshot(im.dir, rank, slot, iter, data, n)) {
+            pruneDisk(im.dir, rank, slot, im.keep);
+            ++im.saves;
+        }
+        return;
+    }
     Snapshot snap;
     snap.iter = iter;
     snap.data.assign(data, data + n);
@@ -137,6 +314,20 @@ int64_t CheckpointStore::load(int rank, int slot, float* data, int64_t n) {
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
     if (!im.armed || !im.resolved || im.resolvedIter < 0) return -1;
+    if (im.disk) {
+        std::vector<float> payload;
+        if (!readDiskSnapshot(im.dir, rank, slot, im.resolvedIter, n, &payload)) {
+            ++im.crcFailures;  // missing/torn/mismatched file all count here
+            return -1;
+        }
+        std::memcpy(data, payload.data(), payload.size() * sizeof(float));
+        ++im.restores;
+        trace::instant("ckpt", "load", "slot", slot, "iter", im.resolvedIter,
+                       "bytes", static_cast<int64_t>(payload.size() * sizeof(float)));
+        static auto& dbytes = trace::Metrics::instance().counter("ckpt.bytes.restored");
+        dbytes.add(static_cast<int64_t>(payload.size() * sizeof(float)));
+        return im.resolvedIter;
+    }
     auto it = im.gens.find({rank, slot});
     if (it == im.gens.end()) return -1;
     for (const Snapshot& s : it->second) {
@@ -163,6 +354,43 @@ int64_t CheckpointStore::resolve() {
     im.resolved = true;
     im.resolvedIter = -1;
     if (!im.armed) return -1;
+
+    if (im.disk) {
+        // Same consistency rule as the in-memory store, against the files
+        // on disk: newest iteration where every rank holds a CRC-valid
+        // snapshot of every slot it ever published.
+        std::map<int, std::set<int>> slotsOf;
+        std::set<int64_t> candidates;
+        for (const DiskEntry& e : listDisk(im.dir)) {
+            slotsOf[e.rank].insert(e.slot);
+            candidates.insert(e.iter);
+        }
+        for (int r = 0; r < im.ranks; ++r) {
+            if (slotsOf.find(r) == slotsOf.end()) return -1;
+        }
+        for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+            bool complete = true;
+            for (int r = 0; r < im.ranks && complete; ++r) {
+                for (int slot : slotsOf[r]) {
+                    struct stat st;
+                    if (::stat((im.dir + "/" + diskName(r, slot, *it)).c_str(), &st) != 0) {
+                        complete = false;  // generation simply not saved here
+                        break;
+                    }
+                    if (!readDiskSnapshot(im.dir, r, slot, *it, -1, nullptr)) {
+                        ++im.crcFailures;  // present but torn/corrupt
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if (complete) {
+                im.resolvedIter = *it;
+                return *it;
+            }
+        }
+        return -1;
+    }
 
     // Which slots must a generation cover? Every slot each rank ever saved.
     std::map<int, std::set<int>> slotsOf;
@@ -224,6 +452,13 @@ int64_t CheckpointStore::crcFailures() const {
 int64_t CheckpointStore::latestIter(int rank, int slot) const {
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
+    if (im.disk) {
+        int64_t latest = -1;
+        for (const DiskEntry& e : listDisk(im.dir)) {
+            if (e.rank == rank && e.slot == slot) latest = std::max(latest, e.iter);
+        }
+        return latest;
+    }
     auto it = im.gens.find({rank, slot});
     if (it == im.gens.end() || it->second.empty()) return -1;
     return it->second.back().iter;
@@ -232,6 +467,28 @@ int64_t CheckpointStore::latestIter(int rank, int slot) const {
 void CheckpointStore::corruptSnapshot(int rank, int slot) {
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.m);
+    if (im.disk) {
+        int64_t latest = -1;
+        for (const DiskEntry& e : listDisk(im.dir)) {
+            if (e.rank == rank && e.slot == slot) latest = std::max(latest, e.iter);
+        }
+        if (latest < 0) return;
+        const std::string path = im.dir + "/" + diskName(rank, slot, latest);
+        const int fd = ::open(path.c_str(), O_RDWR);
+        if (fd < 0) return;
+        struct stat st;
+        if (::fstat(fd, &st) == 0 && st.st_size > static_cast<off_t>(sizeof(DiskHeader))) {
+            const off_t payload = st.st_size - static_cast<off_t>(sizeof(DiskHeader));
+            const off_t at = static_cast<off_t>(sizeof(DiskHeader)) + payload / 2;
+            uint8_t b = 0;
+            if (::pread(fd, &b, 1, at) == 1) {
+                b ^= 0x01;
+                ::pwrite(fd, &b, 1, at);
+            }
+        }
+        ::close(fd);
+        return;
+    }
     auto it = im.gens.find({rank, slot});
     if (it == im.gens.end() || it->second.empty()) return;
     Snapshot& s = it->second.back();

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace wj::fault {
 
@@ -43,6 +44,24 @@ public:
     /// iterations (interval <= 1 keeps every save) and retaining the last
     /// `keep` generations per (rank, slot). Clears previous state.
     void arm(int ranks, int interval, int keep = 2);
+
+    /// Like arm(), but snapshots live as files in `dir` (created if needed)
+    /// instead of process memory — the mode the process transport needs,
+    /// where each rank is a forked child whose memory vanishes at exit (or
+    /// at SIGKILL). Each save is crash-durable: the snapshot is written to
+    /// a temp file, fsync'ed, atomically renamed to its generation name,
+    /// and the directory fsync'ed — so a SIGKILL at ANY point leaves either
+    /// the previous generation or the complete new one, never a torn file.
+    /// With `preserve` false any existing snapshots in `dir` are removed
+    /// (fresh run); true keeps them (the `wjrun --restart` path).
+    void armDisk(const std::string& dir, int ranks, int interval, int keep = 2,
+                 bool preserve = false);
+
+    /// True when armed in disk mode.
+    bool diskMode() const;
+
+    /// Snapshot directory when in disk mode, "" otherwise.
+    std::string directory() const;
 
     /// Disables the store, drops all snapshots, and zeroes the counters.
     void disarm();

@@ -1,10 +1,13 @@
 #include "fault/fault.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#include <unistd.h>
 
 #include "support/diagnostics.h"
 #include "support/prng.h"
@@ -95,6 +98,7 @@ double parseProb(const std::string& seg, const std::string& v) {
 } // namespace
 
 std::atomic<bool> FaultPlan::active_{false};
+std::atomic<bool> FaultPlan::sigkillMode_{false};
 
 struct FaultPlan::Impl {
     mutable std::mutex m;
@@ -260,6 +264,12 @@ void FaultPlan::onCommOp(int rank) {
     }
     if (!killMsg.empty()) {
         trace::instant("fault", "kill", "rank", rank);
+        if (killsWithSigkill()) {
+            std::fprintf(stderr, "%s — delivering SIGKILL to pid %d\n", killMsg.c_str(),
+                         static_cast<int>(::getpid()));
+            std::fflush(stderr);
+            ::raise(SIGKILL);
+        }
         throw ExecError(killMsg);
     }
 }

@@ -56,6 +56,18 @@ public:
     /// false, so hot paths guard with this before calling instance().
     static bool active() noexcept { return active_.load(std::memory_order_relaxed); }
 
+    /// When true, a firing kill rule delivers a REAL SIGKILL to the calling
+    /// process (after printing the injected-fault message to stderr) instead
+    /// of throwing. Set by the proc transport inside each forked rank, so a
+    /// "killed" rank actually dies mid-instruction the way a cluster node
+    /// does — no stack unwinding, no destructors, no cooperative cleanup.
+    static void killWithSigkill(bool enable) noexcept {
+        sigkillMode_.store(enable, std::memory_order_relaxed);
+    }
+    static bool killsWithSigkill() noexcept {
+        return sigkillMode_.load(std::memory_order_relaxed);
+    }
+
     /// Replaces the plan with `spec` (grammar above). Empty spec disarms.
     /// Throws UsageError on malformed specs.
     void configure(const std::string& spec);
@@ -101,6 +113,7 @@ private:
     FaultPlan() = default;
 
     static std::atomic<bool> active_;
+    static std::atomic<bool> sigkillMode_;
 
     struct Impl;
     Impl& impl() const;

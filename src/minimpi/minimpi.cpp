@@ -1,15 +1,17 @@
+// Transport-agnostic MiniMPI semantics: the Comm surface (tag matching
+// delegated to the transport, collectives layered on point-to-point, fault
+// hooks) and the World facade. Everything address-space-specific lives in
+// thread_transport.cpp / proc_transport.cpp behind transport.h.
 #include "minimpi/minimpi.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <thread>
+#include <vector>
 
 #include "fault/fault.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
-#include "trace/metrics.h"
 #include "trace/trace.h"
 
 namespace wj::minimpi {
@@ -30,356 +32,109 @@ int watchdogDefaultMs() {
     return kDefaultWatchdogMs;
 }
 
-std::string srcName(int src) {
-    return src == kAnySource ? std::string("ANY") : std::to_string(src);
-}
-
 } // namespace
 
-int Comm::size() const noexcept { return world_->size(); }
-
-// ------------------------------------------------------------- buffer pool
-
-std::vector<uint8_t> World::BufferPool::acquire(size_t bytes) {
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        // Smallest cached buffer that fits, searched from the back so the
-        // most recently released (cache-warm) candidates win ties.
-        size_t best = free_.size();
-        for (size_t i = free_.size(); i-- > 0;) {
-            if (free_[i].capacity() < bytes) continue;
-            if (best == free_.size() || free_[i].capacity() < free_[best].capacity()) best = i;
-        }
-        if (best != free_.size()) {
-            std::vector<uint8_t> buf = std::move(free_[best]);
-            free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
-            cachedBytes_ -= buf.capacity();
-            buf.clear();
-            return buf;
-        }
+TransportKind defaultTransportKind() {
+    if (const char* v = std::getenv("WJ_TRANSPORT"); v && *v) {
+        if (std::strcmp(v, "proc") == 0) return TransportKind::Proc;
+        if (std::strcmp(v, "threads") == 0) return TransportKind::Threads;
+        throw UsageError(std::string("WJ_TRANSPORT must be 'threads' or 'proc', got '") + v +
+                         "'");
     }
-    std::vector<uint8_t> buf;
-    // Round capacity up to the next power of two so repeated traffic at
-    // nearby sizes lands in the same size class.
-    size_t cap = kPooledThreshold;
-    while (cap < bytes) cap *= 2;
-    buf.reserve(cap);
-    return buf;
+    return TransportKind::Threads;
 }
 
-void World::BufferPool::release(std::vector<uint8_t>&& buf) {
-    if (buf.capacity() < kPooledThreshold) return;
-    std::lock_guard<std::mutex> lock(m_);
-    if (cachedBytes_ + buf.capacity() > kMaxCachedBytes) return;  // drop: bounded cache
-    cachedBytes_ += buf.capacity();
-    free_.push_back(std::move(buf));
+int configuredRanks(int fallback) {
+    if (const char* v = std::getenv("WJ_NP"); v && *v) {
+        const int n = std::atoi(v);
+        if (n > 0) return n;
+    }
+    return fallback;
 }
 
-World::World(int size)
-    : size_(size), boxes_(static_cast<size_t>(std::max(size, 1))),
-      waits_(static_cast<size_t>(std::max(size, 1))), watchdogMs_(watchdogDefaultMs()) {
+// ------------------------------------------------------------------ World
+
+World::World(int size, TransportKind kind)
+    : size_(size), watchdogMs_(watchdogDefaultMs()) {
     if (size <= 0) throw UsageError("MPI world size must be positive");
-}
-
-void World::post(int dest, Message msg) {
-    if (dest < 0 || dest >= size_) {
-        throw ExecError(format("MPI send to invalid rank %d (from rank %d, tag %d)", dest,
-                               msg.src, msg.tag));
-    }
-    // Traffic accounting lives here, not in Comm::send, so collective
-    // internals (bcast/allreduce via sendSys) count toward bytesSent() —
-    // the perf model's communication-volume input — exactly like user
-    // point-to-point traffic.
-    messages_ += 1;
-    bytes_ += static_cast<int64_t>(msg.data.size());
-    {
-        static auto& userBytes = trace::Metrics::instance().counter("comm.bytes.user");
-        static auto& sysBytes = trace::Metrics::instance().counter("comm.bytes.collective");
-        static auto& msgs = trace::Metrics::instance().counter("comm.messages");
-        (msg.channel == 0 ? userBytes : sysBytes).add(static_cast<int64_t>(msg.data.size()));
-        msgs.inc();
-    }
-    if (msg.origin == kOriginPooled) {
-        pooledMessages_ += 1;
-        pooledBytes_ += static_cast<int64_t>(msg.data.size());
-    } else if (msg.origin == kOriginMoved) {
-        zeroCopyMessages_ += 1;
-        zeroCopyBytes_ += static_cast<int64_t>(msg.data.size());
-    }
-    bool duplicate = false;
-    if (fault::FaultPlan::active()) {
-        // The injector models the link: it may corrupt or delay the payload
-        // in flight, deliver it twice, or lose it entirely.
-        switch (fault::FaultPlan::instance().onMessage(msg.src, dest, msg.tag, msg.data)) {
-        case fault::MsgFate::Drop: return;
-        case fault::MsgFate::Duplicate: duplicate = true; break;
-        case fault::MsgFate::Deliver: break;
-        }
-    }
-    Mailbox& box = boxes_[static_cast<size_t>(dest)];
-    {
-        std::lock_guard<std::mutex> lock(box.m);
-        box.q.push_back(msg);
-        if (duplicate) box.q.push_back(std::move(msg));
-    }
-    progress_.fetch_add(1, std::memory_order_relaxed);
-    // Notifying after the unlock is safe: a receiver can only be between
-    // its predicate check and its wait while holding box.m, which the
-    // enqueue above also required — so the message is either seen by the
-    // check or the wakeup arrives after the wait began.
-    box.cv.notify_all();
-}
-
-World::Message World::take(int me, int src, int tag, int channel, int timeoutMs) {
-    if (src != kAnySource && (src < 0 || src >= size_)) {
-        throw ExecError(format("rank %d: MPI recv from invalid rank %d (tag %d)", me, src, tag));
-    }
-    Mailbox& box = boxes_[static_cast<size_t>(me)];
-    RankWait& w = waits_[static_cast<size_t>(me)];
-    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
-    bool timedOut = false;
-    std::unique_lock<std::mutex> lock(box.m);
-    for (;;) {
-        if (aborted_.load()) {
-            throw ExecError(format(
-                "MPI world aborted by another rank (rank %d was in recv src=%s tag=%d)", me,
-                srcName(src).c_str(), tag));
-        }
-        auto it = std::find_if(box.q.begin(), box.q.end(), [&](const Message& m) {
-            return m.channel == channel && m.tag == tag && (src == kAnySource || m.src == src);
-        });
-        if (it != box.q.end()) {
-            Message msg = std::move(*it);
-            box.q.erase(it);
-            progress_.fetch_add(1, std::memory_order_relaxed);
-            return msg;
-        }
-        if (timedOut) {
-            throw ExecError(format("MPI recv timeout at rank %d after %d ms (src=%s, tag=%d)",
-                                   me, timeoutMs, srcName(src).c_str(), tag));
-        }
-        // Publish what this rank is waiting for, then block: the watchdog
-        // reads these fields to build its per-rank stall dump.
-        w.src.store(src, std::memory_order_relaxed);
-        w.tag.store(tag, std::memory_order_relaxed);
-        w.channel.store(channel, std::memory_order_relaxed);
-        w.state.store(kBlockedRecv, std::memory_order_release);
-        if (timeoutMs < 0) {
-            box.cv.wait(lock);
-        } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-            timedOut = true;  // one more pass over the queue before throwing
-        }
-        w.state.store(kRunning, std::memory_order_release);
-    }
-}
-
-void World::abort() noexcept {
-    aborted_.store(true);
-    progress_.fetch_add(1, std::memory_order_relaxed);
-    // Every notification below is issued while holding the mutex its
-    // waiters wait under. Without the lock, a rank that has just evaluated
-    // its wait predicate (seeing aborted_ == false) but not yet blocked
-    // would miss the wakeup and hang forever — the notifier must serialize
-    // with the check-then-wait step, which only the mutex provides.
-    for (auto& box : boxes_) {
-        std::lock_guard<std::mutex> lock(box.m);
-        box.cv.notify_all();
-    }
-    {
-        std::lock_guard<std::mutex> lock(barrierM_);
-        barrierCv_.notify_all();
-    }
-}
-
-std::string World::stallReport(int quantumMs) {
-    std::string out = format(
-        "MiniMPI watchdog: global stall — no progress for ~%d ms with every live rank blocked; "
-        "aborting world. Per-rank wait state:",
-        quantumMs);
-    for (int r = 0; r < size_; ++r) {
-        RankWait& w = waits_[static_cast<size_t>(r)];
-        size_t depth;
-        {
-            std::lock_guard<std::mutex> lock(boxes_[static_cast<size_t>(r)].m);
-            depth = boxes_[static_cast<size_t>(r)].q.size();
-        }
-        switch (w.state.load(std::memory_order_acquire)) {
-        case kBlockedRecv:
-            out += format("\n  rank %d: blocked in recv(src=%s, tag=%d, %s channel), "
-                          "mailbox depth %zu",
-                          r, srcName(w.src.load()).c_str(), w.tag.load(),
-                          w.channel.load() == 0 ? "user" : "collective", depth);
-            break;
-        case kBlockedBarrier:
-            out += format("\n  rank %d: blocked in barrier, mailbox depth %zu", r, depth);
-            break;
-        case kDone:
-            out += format("\n  rank %d: finished", r);
-            break;
-        default:
-            out += format("\n  rank %d: running, mailbox depth %zu", r, depth);
-            break;
-        }
-    }
-    return out;
+    transport_ = kind == TransportKind::Proc ? makeProcTransport(size)
+                                             : makeThreadTransport(size);
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
-    // Reset per-run state FIRST: an aborted previous run leaves undelivered
-    // messages in the mailboxes and possibly a partial barrier count; a
-    // reused World must not let this run consume the dead run's state.
-    for (auto& box : boxes_) {
-        std::lock_guard<std::mutex> lock(box.m);
-        box.q.clear();
-    }
-    {
-        std::lock_guard<std::mutex> lock(barrierM_);
-        barrierCount_ = 0;
-    }
-    for (auto& w : waits_) w.state.store(kRunning, std::memory_order_relaxed);
-    progress_.store(0, std::memory_order_relaxed);
-    watchdogFired_.store(false);
-    aborted_.store(false);
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(size_));
-    std::mutex errM;
-    std::exception_ptr firstErr;
-
-    for (int r = 0; r < size_; ++r) {
-        threads.emplace_back([&, r] {
-            Comm comm(this, r);
-            trace::setThreadRank(r);
-            try {
-                fn(comm);
-            } catch (...) {
-                {
-                    std::lock_guard<std::mutex> lock(errM);
-                    if (!firstErr) firstErr = std::current_exception();
+    std::exception_ptr err;
+    try {
+        transport_->run(
+            [&](int r) {
+                Comm comm(this, r);
+                trace::setThreadRank(r);
+                try {
+                    fn(comm);
+                } catch (...) {
+                    trace::setThreadRank(-1);
+                    throw;
                 }
-                abort();
-            }
-            waits_[static_cast<size_t>(r)].state.store(kDone, std::memory_order_release);
-            trace::setThreadRank(-1);
-        });
+                trace::setThreadRank(-1);
+            },
+            watchdogMs_);
+    } catch (...) {
+        err = std::current_exception();
     }
-
-    // Stall watchdog: samples twice per quantum; fires only after two
-    // consecutive samples in which the progress counter stood still and
-    // every rank was blocked (or finished) — i.e. the world cannot advance
-    // on its own. Disabled with quantum 0.
-    std::thread watchdog;
-    std::mutex wdM;
-    std::condition_variable wdCv;
-    bool wdStop = false;
-    const int quantum = watchdogMs_;
-    if (quantum > 0) {
-        watchdog = std::thread([&] {
-            std::unique_lock<std::mutex> lk(wdM);
-            uint64_t lastProgress = ~uint64_t{0};
-            bool stalledOnce = false;
-            const auto tick = std::chrono::milliseconds(std::max(1, quantum / 2));
-            for (;;) {
-                if (wdCv.wait_for(lk, tick, [&] { return wdStop; })) return;
-                if (aborted_.load()) return;
-                const uint64_t p = progress_.load(std::memory_order_relaxed);
-                bool anyBlocked = false, allQuiet = true;
-                for (int r = 0; r < size_; ++r) {
-                    const int s = waits_[static_cast<size_t>(r)].state.load(
-                        std::memory_order_acquire);
-                    if (s == kBlockedRecv || s == kBlockedBarrier) anyBlocked = true;
-                    else if (s != kDone) allQuiet = false;
-                }
-                const bool stalled = anyBlocked && allQuiet && p == lastProgress;
-                if (stalled && stalledOnce) {
-                    watchdogFired_.store(true);
-                    auto err = std::make_exception_ptr(ExecError(stallReport(quantum)));
-                    {
-                        std::lock_guard<std::mutex> lock(errM);
-                        if (!firstErr) firstErr = std::move(err);
-                    }
-                    abort();
-                    return;
-                }
-                stalledOnce = stalled;
-                lastProgress = p;
-            }
-        });
-    }
-
-    for (auto& t : threads) t.join();
-    if (watchdog.joinable()) {
-        {
-            std::lock_guard<std::mutex> lock(wdM);
-            wdStop = true;
-        }
-        wdCv.notify_all();
-        watchdog.join();
-    }
-    // All rank threads are joined (quiesced), so this is a safe point to
-    // merge their rings — and it runs even when a rank threw, so a crashing
-    // multi-rank program still leaves a trace of what it did.
+    // All ranks are joined/reaped (quiesced), so this is a safe point to
+    // merge their rings — and it runs even when a rank threw or died, so a
+    // crashing multi-rank program still leaves a trace of what it did.
     trace::Tracer::instance().flushIfArmed();
-    if (firstErr) std::rethrow_exception(firstErr);
+    transport_->finishRun();
+    if (err) std::rethrow_exception(err);
 }
+
+// ------------------------------------------------------------------- Comm
+
+int Comm::size() const noexcept { return world_->size(); }
 
 void Comm::faultHook() {
     if (fault::FaultPlan::active()) fault::FaultPlan::instance().onCommOp(rank_);
-}
-
-/// Fills a Message payload from a raw region: large payloads ride a
-/// recycled pool buffer (no allocation on the steady state), small ones a
-/// plain fresh vector.
-void World::fillPayload(Message* msg, const void* buf, size_t bytes) {
-    if (bytes >= kPooledThreshold) {
-        msg->data = pool_.acquire(bytes);
-        msg->data.resize(bytes);
-        std::memcpy(msg->data.data(), buf, bytes);
-        msg->origin = kOriginPooled;
-    } else {
-        msg->data.assign(static_cast<const uint8_t*>(buf),
-                         static_cast<const uint8_t*>(buf) + bytes);
-    }
 }
 
 void Comm::send(const void* buf, size_t bytes, int dest, int tag) {
     trace::Span span("comm", "send", "peer", dest, "tag", tag,
                      "bytes", static_cast<int64_t>(bytes));
     faultHook();
-    World::Message msg;
+    Message msg;
     msg.src = rank_;
     msg.tag = tag;
     msg.channel = 0;
-    world_->fillPayload(&msg, buf, bytes);
-    world_->post(dest, std::move(msg));
+    world_->transport_->fillPayload(&msg, buf, bytes);
+    world_->transport_->post(dest, std::move(msg));
 }
 
 void Comm::send(std::vector<uint8_t>&& data, int dest, int tag) {
     trace::Span span("comm", "send", "peer", dest, "tag", tag,
                      "bytes", static_cast<int64_t>(data.size()));
     faultHook();
-    World::Message msg;
+    Message msg;
     msg.src = rank_;
     msg.tag = tag;
     msg.channel = 0;
-    msg.origin = World::kOriginMoved;
+    msg.origin = kOriginMoved;
     msg.data = std::move(data);
-    world_->post(dest, std::move(msg));
+    world_->transport_->post(dest, std::move(msg));
 }
 
 int Comm::recv(void* buf, size_t bytes, int src, int tag) {
     trace::Span span("comm", "recv", "peer", src, "tag", tag,
                      "bytes", static_cast<int64_t>(bytes));
     faultHook();
-    World::Message msg = world_->take(rank_, src, tag, 0);
+    Message msg = world_->transport_->take(rank_, src, tag, 0, -1);
     span.arg(0, "peer", msg.src);  // resolve ANY to the actual source
     if (msg.data.size() != bytes) {
         throw ExecError(format(
-            "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
-            rank_, msg.src, tag, bytes, msg.data.size()));
+            "MPI recv size mismatch at rank %d (src %d, tag %d, transport=%s): expected %zu "
+            "bytes, got %zu",
+            rank_, msg.src, tag, world_->transportName(), bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
-    world_->pool_.release(std::move(msg.data));
+    world_->transport_->recycle(std::move(msg.data));
     return msg.src;
 }
 
@@ -388,15 +143,16 @@ int Comm::recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs) 
     trace::Span span("comm", "recvTimeout", "peer", src, "tag", tag,
                      "bytes", static_cast<int64_t>(bytes));
     faultHook();
-    World::Message msg = world_->take(rank_, src, tag, 0, timeoutMs);
+    Message msg = world_->transport_->take(rank_, src, tag, 0, timeoutMs);
     span.arg(0, "peer", msg.src);
     if (msg.data.size() != bytes) {
         throw ExecError(format(
-            "MPI recv size mismatch at rank %d (src %d, tag %d): expected %zu bytes, got %zu",
-            rank_, msg.src, tag, bytes, msg.data.size()));
+            "MPI recv size mismatch at rank %d (src %d, tag %d, transport=%s): expected %zu "
+            "bytes, got %zu",
+            rank_, msg.src, tag, world_->transportName(), bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
-    world_->pool_.release(std::move(msg.data));
+    world_->transport_->recycle(std::move(msg.data));
     return msg.src;
 }
 
@@ -415,47 +171,38 @@ int Comm::sendrecv(std::vector<uint8_t>&& sbuf, int dest,
 void Comm::barrier() {
     trace::Span span("comm", "barrier");
     faultHook();
-    std::unique_lock<std::mutex> lock(world_->barrierM_);
-    const int64_t gen = world_->barrierGen_;
-    if (++world_->barrierCount_ == world_->size_) {
-        world_->barrierCount_ = 0;
-        ++world_->barrierGen_;
-        world_->progress_.fetch_add(1, std::memory_order_relaxed);
-        world_->barrierCv_.notify_all();
-        return;
-    }
-    World::RankWait& w = world_->waits_[static_cast<size_t>(rank_)];
-    w.state.store(World::kBlockedBarrier, std::memory_order_release);
-    world_->barrierCv_.wait(lock, [&] {
-        return world_->barrierGen_ != gen || world_->aborted_.load();
-    });
-    w.state.store(World::kRunning, std::memory_order_release);
-    if (world_->aborted_.load()) {
-        throw ExecError(format("MPI world aborted by another rank (rank %d was in barrier)",
-                               rank_));
-    }
+    world_->transport_->barrier(rank_);
 }
 
-void World::sendSys(int me, const void* buf, size_t bytes, int dest, int tag) {
+void Comm::publishResult(int kind, int64_t bits) {
+    world_->transport_->publishResult(kind, bits);
+}
+
+namespace {
+
+/// Collective-internal send/recv on the system channel (channel 1).
+void sendSys(Transport& t, int me, const void* buf, size_t bytes, int dest, int tag) {
     Message msg;
     msg.src = me;
     msg.tag = tag;
     msg.channel = 1;
-    fillPayload(&msg, buf, bytes);
-    post(dest, std::move(msg));
+    t.fillPayload(&msg, buf, bytes);
+    t.post(dest, std::move(msg));
 }
 
-void World::recvSys(int me, void* buf, size_t bytes, int src, int tag) {
-    Message msg = take(me, src, tag, 1);
+void recvSys(Transport& t, int me, void* buf, size_t bytes, int src, int tag) {
+    Message msg = t.take(me, src, tag, 1, -1);
     if (msg.data.size() != bytes) {
         throw ExecError(format(
-            "MPI collective size mismatch at rank %d (src %d, tag %d): expected %zu bytes, "
-            "got %zu",
-            me, msg.src, tag, bytes, msg.data.size()));
+            "MPI collective size mismatch at rank %d (src %d, tag %d, transport=%s): expected "
+            "%zu bytes, got %zu",
+            me, msg.src, tag, t.kind(), bytes, msg.data.size()));
     }
     std::memcpy(buf, msg.data.data(), bytes);
-    pool_.release(std::move(msg.data));
+    t.recycle(std::move(msg.data));
 }
+
+} // namespace
 
 /// Binomial-tree fan-out from `root` (MPICH's bcast shape): relabel ranks
 /// so the root is virtual rank 0, receive from the parent (clear the
@@ -463,13 +210,14 @@ void World::recvSys(int me, void* buf, size_t bytes, int src, int tag) {
 /// subtrees. size-1 messages in ceil(log2(size)) rounds instead of the
 /// root pushing size-1 sends serially.
 void Comm::treeBcast(void* buf, size_t bytes, int root, int tag) {
+    Transport& t = *world_->transport_;
     const int size = world_->size_;
     const int vrank = (rank_ - root + size) % size;
     int mask = 1;
     while (mask < size) {
         if (vrank & mask) {
             const int parent = ((vrank & ~mask) + root) % size;
-            world_->recvSys(rank_, buf, bytes, parent, tag);
+            recvSys(t, rank_, buf, bytes, parent, tag);
             break;
         }
         mask <<= 1;
@@ -480,7 +228,7 @@ void Comm::treeBcast(void* buf, size_t bytes, int root, int tag) {
     while (mask > 0) {
         if (vrank + mask < size) {
             const int child = ((vrank + mask) + root) % size;
-            world_->sendSys(rank_, buf, bytes, child, tag);
+            sendSys(t, rank_, buf, bytes, child, tag);
         }
         mask >>= 1;
     }
@@ -494,7 +242,7 @@ void Comm::bcast(void* buf, size_t bytes, int root) {
         throw ExecError(format("bcast: invalid root %d at rank %d", root, rank_));
     }
     treeBcast(buf, bytes, root, kTagBcast);
-    barrier();  // keep successive collectives from overtaking each other
+    world_->transport_->barrier(rank_);  // keep successive collectives from overtaking
 }
 
 void Comm::allreduceF64(double* buf, int n, bool isMax) {
@@ -503,6 +251,7 @@ void Comm::allreduceF64(double* buf, int n, bool isMax) {
         static_cast<int64_t>(sizeof(double)) * std::max(n, 0));
     faultHook();
     if (n < 0) throw ExecError(format("allreduce: negative count %d at rank %d", n, rank_));
+    Transport& t = *world_->transport_;
     const size_t bytes = sizeof(double) * static_cast<size_t>(n);
     // Gather to rank 0 in rank order (deterministic floating-point result),
     // reduce element-wise, then binomial-tree broadcast of the reduced
@@ -510,17 +259,17 @@ void Comm::allreduceF64(double* buf, int n, bool isMax) {
     if (rank_ == 0) {
         std::vector<double> other(static_cast<size_t>(n));
         for (int r = 1; r < world_->size_; ++r) {
-            world_->recvSys(0, other.data(), bytes, r, kTagReduceUp);
+            recvSys(t, 0, other.data(), bytes, r, kTagReduceUp);
             for (int i = 0; i < n; ++i) {
                 buf[i] = isMax ? std::max(buf[i], other[static_cast<size_t>(i)])
                                : buf[i] + other[static_cast<size_t>(i)];
             }
         }
     } else {
-        world_->sendSys(rank_, buf, bytes, 0, kTagReduceUp);
+        sendSys(t, rank_, buf, bytes, 0, kTagReduceUp);
     }
     treeBcast(buf, bytes, 0, kTagReduceDown);
-    barrier();
+    world_->transport_->barrier(rank_);
 }
 
 void Comm::allreduceSumF64(double* buf, int n) { allreduceF64(buf, n, false); }

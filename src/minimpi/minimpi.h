@@ -1,84 +1,71 @@
-// MiniMPI: an in-process MPI substrate.
+// MiniMPI: an MPI substrate with pluggable address-space transports.
 //
 // The paper runs translated code under `mpirun` on TSUBAME 2.0. This machine
 // has no interconnect, so WootinC provides a functional MPI implementation
-// where ranks are OS threads inside one process, point-to-point messages
-// travel through tag-matched mailboxes, and the collectives the class
-// libraries need (barrier / bcast / allreduce) are built on top of the
-// point-to-point layer, the way an MPI library layers them.
+// with two transports behind one Transport interface (transport.h):
 //
-// Semantics implemented (the subset the paper's libraries use):
-//   * send is buffered and never blocks (unbounded mailboxes);
+//   * threads (default): ranks are OS threads inside one process,
+//     point-to-point messages travel through tag-matched mailboxes with
+//     zero-copy/pooled payloads — the in-process fast path;
+//   * proc (WJ_TRANSPORT=proc, or `wjrun`): ranks are forked child
+//     processes communicating over shared-memory SPSC rings with a
+//     Unix-socket fallback for large payloads — real address-space
+//     isolation, real process death.
+//
+// Semantics implemented (the subset the paper's libraries use), identical
+// across transports:
+//   * send is buffered and never blocks indefinitely on a live world;
 //   * recv blocks until a message matching (src, tag) arrives; messages from
 //     the same source are delivered in send order; ANY_SOURCE is supported;
 //   * sendrecv = buffered send then recv (deadlock-free for halo exchange);
 //   * an uncaught exception in any rank aborts the world: every blocked rank
 //     is woken with an error, and World::run rethrows the first exception —
-//     mirroring MPI_Abort. Tests use this for failure injection.
+//     mirroring MPI_Abort. On the proc transport a rank that dies by a real
+//     signal (SIGKILL and friends) aborts the world the same way, and the
+//     error names the dead child's pid and signal.
 //
 // Robustness layer (src/fault/):
 //   * every Comm operation consults the process FaultPlan, so a seeded
-//     WJ_FAULT spec can kill a rank at its Nth operation or drop /
+//     WJ_FAULT spec can kill a rank at its Nth operation (a throw on the
+//     threads transport, a real SIGKILL on the proc transport) or drop /
 //     duplicate / corrupt / delay a message in post();
-//   * each run() is monitored by a watchdog thread: when every live rank
-//     has been blocked in recv/barrier with no global progress for a
-//     configurable quantum (WJ_WATCHDOG_MS or setWatchdogMillis, default
-//     30 s, 0 disables), the world is aborted with a per-rank wait dump
-//     instead of hanging forever — the moral equivalent of a batch
-//     scheduler's stuck-job killer;
+//   * each run() is monitored by a watchdog: when every live rank has been
+//     blocked in recv/barrier with no global progress for a configurable
+//     quantum (WJ_WATCHDOG_MS or setWatchdogMillis, default 30 s, 0
+//     disables), the world is aborted with a per-rank wait dump instead of
+//     hanging forever — the moral equivalent of a batch scheduler's
+//     stuck-job killer;
 //   * recvTimeout() gives opt-in per-receive deadlines.
 //
 // Timing of a *cluster* is not simulated here; the perf module models
 // communication cost analytically (see src/perf/).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <atomic>
-#include <mutex>
-#include <vector>
+#include <memory>
+
+#include "minimpi/transport.h"
 
 namespace wj::minimpi {
-
-/// Matches any source rank in recv().
-inline constexpr int kAnySource = -1;
-
-/// Traffic accounting snapshot (World::stats()). `bytes` counts every
-/// payload byte posted; the pooled/zeroCopy splits say how those bytes
-/// travelled, so benches can report how much was actually memcpy'd:
-///   copied      = plain assign into a fresh vector (small messages),
-///   pooled      = one memcpy into a recycled pool buffer (large messages:
-///                 no allocation, and the buffer returns to the pool at
-///                 recv), and
-///   zero-copy   = the caller's vector moved straight into the mailbox.
-struct CommStats {
-    int64_t messages = 0;
-    int64_t bytes = 0;
-    int64_t pooledMessages = 0;
-    int64_t pooledBytes = 0;
-    int64_t zeroCopyMessages = 0;
-    int64_t zeroCopyBytes = 0;
-    /// Bytes that crossed the mailbox via at least one send-side memcpy.
-    int64_t copiedBytes() const noexcept { return bytes - zeroCopyBytes; }
-};
 
 class World;
 
 /// Per-rank communicator handle, valid only inside World::run's callback on
-/// its own rank thread (like an MPI rank's COMM_WORLD view).
+/// its own rank thread/process (like an MPI rank's COMM_WORLD view).
 class Comm {
 public:
     int rank() const noexcept { return rank_; }
     int size() const noexcept;
 
-    /// Buffered send of `bytes` bytes to `dest` with `tag`. Payloads of
-    /// kPooledThreshold bytes or more travel in recycled pool buffers.
+    /// Buffered send of `bytes` bytes to `dest` with `tag`. On the threads
+    /// transport, payloads of kPooledThreshold bytes or more travel in
+    /// recycled pool buffers.
     void send(const void* buf, size_t bytes, int dest, int tag);
 
     /// Zero-copy send: the caller's buffer is moved into the mailbox with
-    /// no payload copy (its size is the message size).
+    /// no payload copy (its size is the message size). The proc transport
+    /// still copies once through the ring/socket — that is its nature.
     void send(std::vector<uint8_t>&& data, int dest, int tag);
 
     /// Blocking receive of exactly `bytes` bytes from `src` (or kAnySource)
@@ -86,8 +73,9 @@ public:
     /// Returns the actual source rank.
     int recv(void* buf, size_t bytes, int src, int tag);
 
-    /// recv() with a deadline: throws ExecError (with rank/src/tag context)
-    /// if no matching message arrives within `timeoutMs` milliseconds.
+    /// recv() with a deadline: throws ExecError (with rank/src/tag and
+    /// transport context) if no matching message arrives within `timeoutMs`
+    /// milliseconds.
     int recvTimeout(void* buf, size_t bytes, int src, int tag, int timeoutMs);
 
     /// Combined exchange: buffered send to `dest`, then receive from `src`.
@@ -116,6 +104,11 @@ public:
     double allreduceSum(double v);
     double allreduceMax(double v);
 
+    /// Publishes this rank's primitive result for World::takeResult —
+    /// the only sanctioned way for a value to leave the world on the proc
+    /// transport, where lambda captures cannot cross the fork boundary.
+    void publishResult(int kind, int64_t bits);
+
 private:
     void allreduceF64(double* buf, int n, bool isMax);
 
@@ -143,19 +136,24 @@ private:
     int rank_;
 };
 
-/// A fixed-size group of ranks. Construct, then call run() any number of
-/// times; each run spawns `size` rank threads and joins them.
+/// A fixed-size group of ranks over one transport. Construct, then call
+/// run() any number of times; each run spawns `size` rank threads (or
+/// forked child processes) and joins/reaps them.
 class World {
 public:
-    explicit World(int size);
+    explicit World(int size, TransportKind kind = defaultTransportKind());
     World(const World&) = delete;
     World& operator=(const World&) = delete;
 
     int size() const noexcept { return size_; }
 
-    /// Runs `fn` once per rank on its own thread. If any rank throws, the
-    /// world aborts: all blocked ranks are released with an error and the
-    /// first exception is rethrown here after all threads joined.
+    TransportKind transportKind() const noexcept { return transport_->kindId(); }
+    const char* transportName() const noexcept { return transport_->kind(); }
+
+    /// Runs `fn` once per rank on its own thread/process. If any rank
+    /// throws (or, on the proc transport, dies), the world aborts: all
+    /// blocked ranks are released with an error and the first exception is
+    /// rethrown here after all ranks joined.
     void run(const std::function<void(Comm&)>& fn);
 
     /// Overrides the stall-watchdog quantum for this world (milliseconds;
@@ -164,118 +162,33 @@ public:
     int watchdogMillis() const noexcept { return watchdogMs_; }
 
     /// True when the last run() was aborted by the stall watchdog.
-    bool watchdogFired() const noexcept { return watchdogFired_.load(); }
+    bool watchdogFired() const noexcept { return transport_->watchdogFired(); }
 
     /// Total messages/bytes posted since construction (instrumentation for
     /// tests and the perf model's communication-volume accounting). Counted
     /// at post() time, so collective-internal traffic (bcast / allreduce
     /// fan-out) is included alongside user point-to-point sends.
-    int64_t messagesSent() const noexcept { return messages_; }
-    int64_t bytesSent() const noexcept { return bytes_; }
+    int64_t messagesSent() const noexcept { return transport_->stats().messages; }
+    int64_t bytesSent() const noexcept { return transport_->stats().bytes; }
 
     /// Full traffic snapshot including the pooled / zero-copy split.
-    CommStats stats() const noexcept {
-        CommStats s;
-        s.messages = messages_;
-        s.bytes = bytes_;
-        s.pooledMessages = pooledMessages_;
-        s.pooledBytes = pooledBytes_;
-        s.zeroCopyMessages = zeroCopyMessages_;
-        s.zeroCopyBytes = zeroCopyBytes_;
-        return s;
-    }
+    CommStats stats() const noexcept { return transport_->stats(); }
 
-    /// Messages at or above this size ride in recycled pool buffers; the
-    /// buffer returns to the pool when the receiver drains it.
+    /// Reads and clears the result published by Comm::publishResult during
+    /// the last run(); false when no rank published one.
+    bool takeResult(int* kind, int64_t* bits) { return transport_->takeResult(kind, bits); }
+
+    /// Messages at or above this size ride in recycled pool buffers on the
+    /// threads transport; the buffer returns to the pool when the receiver
+    /// drains it.
     static constexpr size_t kPooledThreshold = 256;
 
 private:
     friend class Comm;
 
-    enum Origin : uint8_t { kOriginCopied = 0, kOriginPooled = 1, kOriginMoved = 2 };
-
-    struct Message {
-        int src;
-        int tag;
-        int channel;  // 0 = user point-to-point, 1 = collective internals
-        uint8_t origin = kOriginCopied;
-        std::vector<uint8_t> data;
-    };
-
-    /// Size-bucketed freelist of payload vectors. Bounded: at most
-    /// kMaxCachedBytes of capacity is retained; oversize or surplus
-    /// buffers are simply dropped (freed).
-    class BufferPool {
-    public:
-        std::vector<uint8_t> acquire(size_t bytes);
-        void release(std::vector<uint8_t>&& buf);
-
-    private:
-        static constexpr size_t kMaxCachedBytes = 64u << 20;
-        std::mutex m_;
-        std::vector<std::vector<uint8_t>> free_;
-        size_t cachedBytes_ = 0;
-    };
-
-    struct Mailbox {
-        std::mutex m;
-        std::condition_variable cv;
-        std::deque<Message> q;
-    };
-
-    /// Watchdog-visible wait state of one rank thread. All fields are
-    /// atomics because the watchdog samples them from its own thread.
-    struct RankWait {
-        std::atomic<int> state{kRunning};
-        std::atomic<int> src{0};
-        std::atomic<int> tag{0};
-        std::atomic<int> channel{0};
-    };
-    static constexpr int kRunning = 0;
-    static constexpr int kBlockedRecv = 1;
-    static constexpr int kBlockedBarrier = 2;
-    static constexpr int kDone = 3;
-
-    void post(int dest, Message msg);
-    /// Payload setup for raw-region sends: pool buffer at or above
-    /// kPooledThreshold, plain vector below.
-    void fillPayload(Message* msg, const void* buf, size_t bytes);
-    /// Blocks until a matching message arrives; `timeoutMs < 0` waits
-    /// forever, otherwise throws ExecError after the deadline.
-    Message take(int me, int src, int tag, int channel, int timeoutMs = -1);
-    void abort() noexcept;
-
-    /// Per-rank diagnostic dump for the watchdog's abort error.
-    std::string stallReport(int quantumMs);
-
-    // Collective internals (channel 1).
-    void sendSys(int me, const void* buf, size_t bytes, int dest, int tag);
-    void recvSys(int me, void* buf, size_t bytes, int src, int tag);
-
     int size_;
-    std::vector<Mailbox> boxes_;
-    std::vector<RankWait> waits_;
-
-    std::mutex barrierM_;
-    std::condition_variable barrierCv_;
-    int barrierCount_ = 0;
-    int64_t barrierGen_ = 0;
-
     int watchdogMs_;
-    std::atomic<bool> watchdogFired_{false};
-    /// Bumped by every post, successful take, and barrier release; the
-    /// watchdog declares a stall only when this stands still for a quantum
-    /// while every live rank is blocked.
-    std::atomic<uint64_t> progress_{0};
-
-    std::atomic<bool> aborted_{false};
-    std::atomic<int64_t> messages_{0};
-    std::atomic<int64_t> bytes_{0};
-    std::atomic<int64_t> pooledMessages_{0};
-    std::atomic<int64_t> pooledBytes_{0};
-    std::atomic<int64_t> zeroCopyMessages_{0};
-    std::atomic<int64_t> zeroCopyBytes_{0};
-    BufferPool pool_;
+    std::unique_ptr<Transport> transport_;
 };
 
 } // namespace wj::minimpi

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include <unistd.h>
+
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -16,6 +18,16 @@ ThreadPool& ThreadPool::instance() {
     // Leaked on purpose: worker threads may outlive static destructors of
     // translation units that still hold the JIT'ed code calling into them.
     static ThreadPool* pool = new ThreadPool();
+    // Fork safety for the proc MPI transport: a forked child inherits the
+    // pool object but none of its worker threads, so dispatching on the
+    // stale pool would hang. Detect the pid change and hand out a fresh
+    // pool (the parent's shell is leaked — the child's address space is
+    // disposable by construction).
+    static pid_t owner = ::getpid();
+    if (::getpid() != owner) {
+        pool = new ThreadPool();
+        owner = ::getpid();
+    }
     return *pool;
 }
 

@@ -329,4 +329,40 @@ bool Tracer::flushIfArmed() const {
     return flush();
 }
 
+namespace {
+
+/// Reads a trace file and returns the bare contents of its traceEvents
+/// array (no brackets, no envelope), or empty when absent/empty.
+std::string readEventsBody(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) return "";
+    std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    const size_t open = text.find('[');
+    const size_t close = text.rfind(']');
+    if (open == std::string::npos || close == std::string::npos || close <= open) return "";
+    std::string body = text.substr(open + 1, close - open - 1);
+    const size_t first = body.find_first_not_of(" \t\r\n,");
+    if (first == std::string::npos) return "";
+    const size_t last = body.find_last_not_of(" \t\r\n,");
+    return body.substr(first, last - first + 1);
+}
+
+} // namespace
+
+bool mergeProcessTraces(const std::string& dest, const std::vector<std::string>& sources) {
+    std::string merged = readEventsBody(dest);
+    for (const std::string& src : sources) {
+        std::string body = readEventsBody(src);
+        if (!body.empty()) {
+            if (!merged.empty()) merged += ",\n";
+            merged += body;
+        }
+        std::remove(src.c_str());
+    }
+    std::ofstream f(dest, std::ios::trunc);
+    if (!f) return false;
+    f << "{\"traceEvents\":[\n" << merged << "\n]}\n";
+    return true;
+}
+
 } // namespace wj::trace

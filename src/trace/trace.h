@@ -187,4 +187,12 @@ private:
                         const char*, int64_t, const char*, int64_t);
 };
 
+/// Merges the Chrome trace-event files in `sources` into `dest` (also a
+/// trace file, typically the launching process's own flush): event arrays
+/// are concatenated into one envelope — the pid fields are already
+/// rank-distinct, so Chrome renders one lane per rank. Consumed source
+/// files are deleted; their ".metrics.json" sidecars are left in place.
+/// Returns false when dest cannot be read or written.
+bool mergeProcessTraces(const std::string& dest, const std::vector<std::string>& sources);
+
 } // namespace wj::trace

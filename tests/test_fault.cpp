@@ -9,10 +9,17 @@
 // stay hermetic.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "fault/checkpoint.h"
 #include "fault/fault.h"
@@ -460,6 +467,389 @@ TEST_F(FaultTest, KilledFoxMatmulRestartsFromCheckpoint) {
     EXPECT_THROW(code.invoke(), ExecError);
     ckpt.resolve();
     EXPECT_EQ(cleanSum, code.invoke().asF64()) << "restart must be bitwise identical";
+}
+
+// ------------------------------------------- disk checkpoints (wjrun PR)
+//
+// armDisk puts snapshots on the filesystem instead of process memory — the
+// mode the process transport needs, where each rank's memory vanishes at
+// SIGKILL. Publication is tmp-write + fsync + atomic rename + dir fsync.
+
+TEST_F(FaultTest, DiskCheckpointRoundTrip) {
+    auto& s = CheckpointStore::instance();
+    const std::string dir = (dir_ / "ck").string();
+    s.armDisk(dir, /*ranks=*/1, /*interval=*/1);
+    EXPECT_TRUE(s.diskMode());
+    EXPECT_EQ(dir, s.directory());
+    const std::vector<float> gen1 = {1, 2, 3}, gen2 = {4, 5, 6};
+    s.save(0, 0, 1, gen1.data(), 3);
+    s.save(0, 0, 2, gen2.data(), 3);
+    EXPECT_EQ(2, s.latestIter(0, 0));
+    EXPECT_EQ(2, s.resolve());
+    std::vector<float> out(3, 0.0f);
+    EXPECT_EQ(2, s.load(0, 0, out.data(), 3));
+    EXPECT_EQ(gen2, out);
+    EXPECT_EQ(2, s.saves());
+    EXPECT_EQ(1, s.restores());
+}
+
+TEST_F(FaultTest, DiskKeepWindowPrunesOldGenerations) {
+    auto& s = CheckpointStore::instance();
+    const std::string dir = (dir_ / "ck").string();
+    s.armDisk(dir, 1, 1, /*keep=*/2);
+    const std::vector<float> d = {1};
+    for (int iter = 1; iter <= 5; ++iter) s.save(0, 0, iter, d.data(), 1);
+    // Only the last two generations survive on disk.
+    size_t files = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+        ++files;
+        const std::string n = e.path().filename().string();
+        EXPECT_TRUE(n == "ck_r0_s0_g4" || n == "ck_r0_s0_g5") << n;
+    }
+    EXPECT_EQ(2u, files);
+    EXPECT_EQ(5, s.resolve());
+}
+
+TEST_F(FaultTest, DiskArmPreserveKeepsOrWipesSnapshots) {
+    auto& s = CheckpointStore::instance();
+    const std::string dir = (dir_ / "ck").string();
+    s.armDisk(dir, 1, 1);
+    const std::vector<float> d = {7};
+    s.save(0, 0, 1, d.data(), 1);
+    // preserve=true (the wjrun --restart path) sees the previous run's files.
+    s.armDisk(dir, 1, 1, 2, /*preserve=*/true);
+    EXPECT_EQ(1, s.resolve());
+    // preserve=false is a fresh run: the directory is wiped.
+    s.armDisk(dir, 1, 1, 2, /*preserve=*/false);
+    EXPECT_EQ(-1, s.resolve());
+}
+
+TEST_F(FaultTest, DiskTornNewestGenerationFallsBackToPrevious) {
+    // A torn file (half the payload missing) must disqualify its
+    // generation via the CRC, not crash or win the resolve.
+    auto& s = CheckpointStore::instance();
+    const std::string dir = (dir_ / "ck").string();
+    s.armDisk(dir, 1, 1);
+    const std::vector<float> gen1 = {1, 1, 1, 1}, gen2 = {2, 2, 2, 2};
+    s.save(0, 0, 1, gen1.data(), 4);
+    s.save(0, 0, 2, gen2.data(), 4);
+    const fs::path newest = fs::path(dir) / "ck_r0_s0_g2";
+    ASSERT_TRUE(fs::exists(newest));
+    fs::resize_file(newest, fs::file_size(newest) - 8);  // simulated torn write
+    EXPECT_EQ(1, s.resolve());
+    std::vector<float> out(4, 0.0f);
+    EXPECT_EQ(1, s.load(0, 0, out.data(), 4));
+    EXPECT_EQ(gen1, out);
+    EXPECT_GE(s.crcFailures(), 1);
+}
+
+TEST_F(FaultTest, DiskCorruptSnapshotFallsBackToOlderGeneration) {
+    auto& s = CheckpointStore::instance();
+    s.armDisk((dir_ / "ck").string(), 1, 1);
+    const std::vector<float> gen1 = {1, 1}, gen2 = {2, 2};
+    s.save(0, 0, 1, gen1.data(), 2);
+    s.save(0, 0, 2, gen2.data(), 2);
+    s.corruptSnapshot(0, 0);  // flips a payload byte of the newest file
+    EXPECT_EQ(1, s.resolve());
+    std::vector<float> out(2, 0.0f);
+    EXPECT_EQ(1, s.load(0, 0, out.data(), 2));
+    EXPECT_EQ(gen1, out);
+    EXPECT_GE(s.crcFailures(), 1);
+}
+
+TEST_F(FaultTest, DiskResolveSkipsGenerationMissingARank) {
+    auto& s = CheckpointStore::instance();
+    s.armDisk((dir_ / "ck").string(), /*ranks=*/2, 1);
+    const std::vector<float> d = {1};
+    s.save(0, 0, 1, d.data(), 1);
+    s.save(0, 0, 2, d.data(), 1);
+    s.save(1, 0, 1, d.data(), 1);  // rank 1 died before generation 2
+    EXPECT_EQ(1, s.resolve());
+}
+
+// -------------------------------------- proc-transport suite (wjrun PR)
+//
+// Everything named Proc* forks real child processes, so these tests carry
+// the "proc" ctest label instead of "tsan" (see tests/CMakeLists.txt).
+// In-rank verification throws ExecError — gtest assertions inside a forked
+// child are invisible to the parent.
+
+class ProcFault : public FaultTest {
+protected:
+    void SetUp() override {
+        FaultTest::SetUp();
+        setenv("WJ_TRANSPORT", "proc", 1);  // JitCode::invoke worlds go proc
+    }
+    void TearDown() override {
+        unsetenv("WJ_TRANSPORT");
+        FaultTest::TearDown();
+    }
+};
+
+TEST_F(ProcFault, SigkillAfterPublishLeavesNewestGenerationValid) {
+    // Satellite regression: the durable-publish protocol (tmp file, fsync,
+    // atomic rename, directory fsync) means a SIGKILL delivered the instant
+    // save() returns can never yield a torn or CRC-failing newest
+    // generation. A forked child saves two generations and SIGKILLs itself;
+    // the parent must resolve generation 2 clean.
+    const std::string dir = (dir_ / "ck").string();
+    const int64_t n = 257;
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        auto& s = CheckpointStore::instance();
+        s.armDisk(dir, /*ranks=*/1, /*interval=*/1);
+        std::vector<float> g1(static_cast<size_t>(n), 1.5f);
+        std::vector<float> g2(static_cast<size_t>(n), 2.5f);
+        s.save(0, 0, 1, g1.data(), n);
+        s.save(0, 0, 2, g2.data(), n);
+        ::raise(SIGKILL);  // crash-real: no teardown, no atexit, no flush
+        _exit(99);         // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(pid, ::waitpid(pid, &status, 0));
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+    auto& s = CheckpointStore::instance();
+    s.armDisk(dir, 1, 1, 2, /*preserve=*/true);
+    EXPECT_EQ(2, s.resolve()) << "newest generation must survive the SIGKILL";
+    std::vector<float> out(static_cast<size_t>(n), 0.0f);
+    EXPECT_EQ(2, s.load(0, 0, out.data(), n));
+    EXPECT_EQ(2.5f, out.front());
+    EXPECT_EQ(2.5f, out.back());
+    EXPECT_EQ(0, s.crcFailures()) << "a post-rename kill must never tear the file";
+}
+
+TEST_F(ProcFault, DeadChildReportNamesPidAndSignal) {
+    // Watchdog organ ported to real process death: the parent supervisor
+    // reaps the SIGKILLed child via waitpid and aborts the world with a
+    // report naming the pid, the signal, and every rank's wait state.
+    minimpi::World w(3, minimpi::TransportKind::Proc);
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 2) ::raise(SIGKILL);
+            int got = 0;
+            c.recv(&got, sizeof got, 2, 1);  // never satisfied
+        });
+        FAIL() << "expected the dead child to abort the world";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("pid"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("killed by signal 9"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("Per-rank wait state"), std::string::npos) << msg;
+    }
+    // The world is reusable after burying its dead.
+    w.run([](Comm& c) { c.barrier(); });
+}
+
+TEST_F(ProcFault, WatchdogStallDumpNamesPids) {
+    // Head-to-head deadlock across real processes: the shared-memory stall
+    // watchdog must fire and the per-rank dump must identify each child.
+    minimpi::World w(2, minimpi::TransportKind::Proc);
+    w.setWatchdogMillis(200);
+    try {
+        w.run([](Comm& c) {
+            int got = 0;
+            c.recv(&got, sizeof got, 1 - c.rank(), 6);  // neither sends
+        });
+        FAIL() << "expected the watchdog to break the deadlock";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("transport=proc"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("blocked in recv(src=1, tag=6"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("pid"), std::string::npos) << msg;
+    }
+    EXPECT_TRUE(w.watchdogFired());
+}
+
+TEST_F(ProcFault, KillRuleDeliversRealSigkill) {
+    // On the proc transport a WJ_FAULT kill rule is not a throw: the child
+    // raises SIGKILL on itself, and the parent reports it like any other
+    // dead process.
+    FaultPlan::instance().configure("kill:rank=1,op=2");
+    minimpi::World w(2, minimpi::TransportKind::Proc);
+    try {
+        w.run([](Comm& c) {
+            for (int i = 0; i < 4; ++i) c.barrier();
+        });
+        FAIL() << "expected the injected SIGKILL to abort the world";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("killed by signal 9"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("pid"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(ProcFault, SigkillMidDiffusionRestartsBitwise) {
+    // The acceptance path with REAL process death: rank 2 of a 4-rank
+    // diffusion world is SIGKILLed mid-run; the durable on-disk
+    // checkpoints let a restart reproduce the unfaulted checksum bitwise.
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    const int steps = 4;
+
+    auto makeCode = [&]() {
+        Value runner = stencil::makeMpiRunner(in, 8, 8, 2, coeffs, 5);
+        JitCode code = WootinJ::jit4mpi(p, runner, "run", {Value::ofI32(steps)});
+        code.set4MPI(4);
+        return code;
+    };
+
+    const double expect = makeCode().invoke().asF64();  // clean run, proc world
+
+    // Same op arithmetic as KilledStencilWorldRestartsFromCheckpoint: 4
+    // comm ops per halo step, so op 17 is the final-allreduce entry; the
+    // keep window of 4 generations guarantees a consistent intersection.
+    auto& ckpt = CheckpointStore::instance();
+    ckpt.armDisk((dir_ / "ck").string(), /*ranks=*/4, /*interval=*/1, /*keep=*/4);
+    FaultPlan::instance().configure("seed=42;kill:rank=2,op=17");
+    JitCode code = makeCode();
+    try {
+        code.invoke();
+        FAIL() << "expected the SIGKILLed rank to abort the world";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("killed by signal 9"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("pid"), std::string::npos) << msg;
+    }
+    // Unlike the threads transport, the kill rule was spent in the dead
+    // child's memory, not ours — disarm it or the next fork re-inherits it.
+    FaultPlan::instance().disarm();
+    EXPECT_GE(ckpt.resolve(), 1) << "at least one full step reached the disk";
+    EXPECT_EQ(expect, code.invoke().asF64()) << "restart must be bitwise identical";
+}
+
+TEST_F(ProcFault, DiffusionChecksumBitwiseEqualAcrossTransports) {
+    // The determinism contract end-to-end: the same jitted MPI program
+    // produces bit-identical checksums on threads and forked processes.
+    Program p = stencil::buildProgram();
+    Interp in(p);
+    const auto coeffs = stencil::DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    auto runOn = [&](const char* transport) {
+        setenv("WJ_TRANSPORT", transport, 1);
+        Value runner = stencil::makeMpiRunner(in, 8, 8, 2, coeffs, 5);
+        JitCode code = WootinJ::jit4mpi(p, runner, "run", {Value::ofI32(3)});
+        code.set4MPI(4);
+        return code.invoke().asF64();
+    };
+    const double threads = runOn("threads");
+    const double proc = runOn("proc");
+    EXPECT_EQ(0, std::memcmp(&threads, &proc, sizeof threads))
+        << "threads=" << threads << " proc=" << proc;
+}
+
+// Message-level fault rules must replay identically whether the rank is a
+// thread or a forked process (in-rank verification via thrown ExecError;
+// rule counters live in child memory on proc, so observable behavior is
+// the only cross-transport truth).
+class ProcReplay : public ::testing::TestWithParam<minimpi::TransportKind> {
+protected:
+    void SetUp() override {
+        FaultPlan::instance().disarm();
+        FaultPlan::instance().resetStats();
+    }
+    void TearDown() override { FaultPlan::instance().disarm(); }
+
+    static void require(bool cond, const char* what) {
+        if (!cond) throw ExecError(std::string("in-rank check failed: ") + what);
+    }
+};
+
+TEST_P(ProcReplay, DropStarvesTheReceiverIdentically) {
+    FaultPlan::instance().configure("seed=5;drop:src=0,dest=1,tag=5,nth=1");
+    minimpi::World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int doomed = 13, alive = 42;
+            c.send(&doomed, sizeof doomed, 1, 5);  // swallowed by the rule
+            c.send(&alive, sizeof alive, 1, 6);
+        } else {
+            int got = 0;
+            bool timedOut = false;
+            try {
+                c.recvTimeout(&got, sizeof got, 0, 5, 250);
+            } catch (const ExecError&) {
+                timedOut = true;
+            }
+            require(timedOut, "the dropped message must never arrive");
+            c.recv(&got, sizeof got, 0, 6);
+            require(got == 42, "traffic after the drop flows normally");
+        }
+    });
+}
+
+TEST_P(ProcReplay, DelayHoldsTheMessageBackIdentically) {
+    FaultPlan::instance().configure("delay:src=0,dest=1,ms=120");
+    minimpi::World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int v = 1;
+            c.send(&v, sizeof v, 1, 2);
+        } else {
+            const auto t0 = std::chrono::steady_clock::now();
+            int got = 0;
+            c.recv(&got, sizeof got, 0, 2);
+            const double sec =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            require(got == 1, "delayed payload intact");
+            require(sec >= 0.1, "delay rule must hold the message back");
+        }
+    });
+}
+
+TEST_P(ProcReplay, DuplicateDeliversTwiceIdentically) {
+    FaultPlan::instance().configure("dup:src=0,dest=1,tag=9");
+    minimpi::World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int v = 7;
+            c.send(&v, sizeof v, 1, 9);
+        } else {
+            int a = 0, b = 0;
+            c.recv(&a, sizeof a, 0, 9);
+            c.recv(&b, sizeof b, 0, 9);  // satisfied by the duplicate
+            require(a == 7 && b == 7, "both copies carry the payload");
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcReplayThreads, ProcReplay,
+                         ::testing::Values(minimpi::TransportKind::Threads),
+                         [](const auto&) { return std::string("threads"); });
+INSTANTIATE_TEST_SUITE_P(ProcReplayProc, ProcReplay,
+                         ::testing::Values(minimpi::TransportKind::Proc),
+                         [](const auto&) { return std::string("proc"); });
+
+TEST(ProcReplayCross, CorruptedPayloadBitsMatchAcrossTransports) {
+    // The corrupt rule's seeded RNG must flip the same byte the same way
+    // regardless of the address-space strategy; the corrupted value leaves
+    // the proc world through the shared-memory result slot.
+    auto corruptedValue = [](minimpi::TransportKind kind) {
+        FaultPlan::instance().configure("seed=11;corrupt:src=0,dest=1,tag=4");
+        minimpi::World w(2, kind);
+        w.run([](Comm& c) {
+            if (c.rank() == 0) {
+                const int v = 0;  // all zero bits: any corruption is visible
+                c.send(&v, sizeof v, 1, 4);
+            } else {
+                int got = 0;
+                c.recv(&got, sizeof got, 0, 4);
+                c.publishResult(2, got);
+            }
+        });
+        int kind_ = 0;
+        int64_t bits = 0;
+        EXPECT_TRUE(w.takeResult(&kind_, &bits));
+        FaultPlan::instance().disarm();
+        return bits;
+    };
+    const int64_t threads = corruptedValue(minimpi::TransportKind::Threads);
+    const int64_t proc = corruptedValue(minimpi::TransportKind::Proc);
+    EXPECT_NE(0, threads) << "corruption must alter the payload";
+    EXPECT_EQ(threads, proc) << "same seed, same corruption, either transport";
 }
 
 TEST_F(FaultTest, DisarmedStoreIsInert) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -505,6 +506,291 @@ TEST(MiniMpi, WatchdogFiresOnDeadlock) {
     // The same world runs cleanly afterwards and the flag resets.
     w.run([](Comm& c) { c.barrier(); });
     EXPECT_FALSE(w.watchdogFired());
+}
+
+// ------------------------------------------- both transports (PR: wjrun)
+//
+// The same semantics suite against the threads AND the proc transport.
+// Rules of the proc world: the rank body runs in a forked child, so gtest
+// assertions there are invisible to the parent — every in-rank check
+// throws ExecError instead (the transport carries the message back), and
+// results cross the fork boundary only via Comm::publishResult. The two
+// instantiations are split at discovery time: ProcXport/* carries the
+// "proc" ctest label instead of "tsan" (forking a TSan'd process is
+// unsupported).
+
+namespace {
+/// In-rank assertion: visible to the parent as a propagated ExecError.
+void require(bool cond, const std::string& what) {
+    if (!cond) throw ExecError("in-rank check failed: " + what);
+}
+} // namespace
+
+class XportSemantics : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(XportSemantics, PointToPointAndTagMatching) {
+    World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            int a = 1, b = 2;
+            c.send(&a, sizeof a, 1, 10);
+            c.send(&b, sizeof b, 1, 20);
+        } else {
+            int got = 0;
+            c.recv(&got, sizeof got, 0, 20);  // out of order by tag
+            require(got == 2, "tag 20 payload");
+            c.recv(&got, sizeof got, 0, 10);
+            require(got == 1, "tag 10 payload");
+        }
+    });
+}
+
+TEST_P(XportSemantics, FifoPerSourceAndTag) {
+    World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 50; ++i) c.send(&i, sizeof i, 1, 1);
+        } else {
+            for (int i = 0; i < 50; ++i) {
+                int got = -1;
+                c.recv(&got, sizeof got, 0, 1);
+                require(got == i, "FIFO order at " + std::to_string(i));
+            }
+        }
+    });
+}
+
+TEST_P(XportSemantics, AnySourceMatchesAllSenders) {
+    World w(3, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() != 0) {
+            const int v = c.rank() * 100;
+            c.send(&v, sizeof v, 0, 5);
+        } else {
+            int sum = 0;
+            for (int i = 0; i < 2; ++i) {
+                int got = 0;
+                const int src = c.recv(&got, sizeof got, kAnySource, 5);
+                require(src * 100 == got, "payload names its source");
+                sum += got;
+            }
+            require(sum == 300, "both senders seen");
+        }
+    });
+}
+
+TEST_P(XportSemantics, SendRecvRingExchange) {
+    const int P = 4;
+    World w(P, GetParam());
+    w.run([&](Comm& c) {
+        const int up = (c.rank() + 1) % P;
+        const int down = (c.rank() + P - 1) % P;
+        const float mine = static_cast<float>(c.rank());
+        float fromDown = -1, fromUp = -1;
+        c.sendrecv(&mine, sizeof mine, up, &fromDown, sizeof fromDown, down, 1);
+        c.sendrecv(&mine, sizeof mine, down, &fromUp, sizeof fromUp, up, 2);
+        require(fromDown == static_cast<float>(down), "halo from below");
+        require(fromUp == static_cast<float>(up), "halo from above");
+    });
+}
+
+TEST_P(XportSemantics, SendRecvToSelf) {
+    World w(1, GetParam());
+    w.run([](Comm& c) {
+        int out = 9, in_ = 0;
+        c.sendrecv(&out, sizeof out, 0, &in_, sizeof in_, 0, 3);
+        require(in_ == 9, "buffered self-exchange");
+    });
+}
+
+TEST_P(XportSemantics, Collectives) {
+    const int P = 4;
+    World w(P, GetParam());
+    w.run([&](Comm& c) {
+        double buf[3] = {0, 0, 0};
+        if (c.rank() == 2) {
+            buf[0] = 1.5;
+            buf[1] = 2.5;
+            buf[2] = 3.5;
+        }
+        c.bcast(buf, sizeof buf, 2);
+        require(buf[0] == 1.5 && buf[2] == 3.5, "bcast payload");
+        double expect = 0;
+        for (int r = 0; r < P; ++r) expect += 0.1 * (r + 1);
+        require(c.allreduceSum(0.1 * (c.rank() + 1)) == expect,
+                "rank-order deterministic allreduce");
+        require(c.allreduceMax(c.rank() == 1 ? 99.0 : 0.0) == 99.0, "allreduce max");
+        c.barrier();
+    });
+}
+
+TEST_P(XportSemantics, RepeatedCollectives) {
+    World w(3, GetParam());
+    w.run([](Comm& c) {
+        for (int i = 0; i < 20; ++i) {
+            require(c.allreduceSum(static_cast<double>(i)) == 3.0 * i,
+                    "allreduce round " + std::to_string(i));
+        }
+    });
+}
+
+TEST_P(XportSemantics, WorldReusableAcrossRuns) {
+    World w(2, GetParam());
+    for (int iter = 0; iter < 3; ++iter) {
+        w.run([](Comm& c) {
+            int v = c.rank();
+            int got = -1;
+            c.sendrecv(&v, sizeof v, 1 - c.rank(), &got, sizeof got, 1 - c.rank(), 1);
+            require(got == 1 - c.rank(), "pair exchange");
+        });
+    }
+}
+
+TEST_P(XportSemantics, LargePayloadCrossesTransport) {
+    // 300 kB: above the threads pooled threshold AND above the proc ring
+    // half-capacity, so this exercises the pool path and the Unix-socket
+    // large-message path respectively.
+    const size_t kBytes = 300000;
+    World w(2, GetParam());
+    w.run([&](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<uint8_t> buf(kBytes);
+            for (size_t i = 0; i < kBytes; ++i) buf[i] = static_cast<uint8_t>(i * 7 % 251);
+            c.send(buf.data(), buf.size(), 1, 2);
+        } else {
+            std::vector<uint8_t> buf(kBytes, 0);
+            c.recv(buf.data(), buf.size(), 0, 2);
+            for (size_t i = 0; i < kBytes; ++i) {
+                require(buf[i] == static_cast<uint8_t>(i * 7 % 251),
+                        "large payload byte " + std::to_string(i));
+            }
+        }
+    });
+    EXPECT_EQ(static_cast<int64_t>(kBytes), w.bytesSent());
+}
+
+TEST_P(XportSemantics, SizeMismatchThrowsWithTransportContext) {
+    World w(2, GetParam());
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 0) {
+                int v = 0;
+                c.send(&v, sizeof v, 1, 1);
+            } else {
+                double got;
+                c.recv(&got, sizeof got, 0, 1);
+            }
+        });
+        FAIL() << "expected a size-mismatch error";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("expected 8 bytes, got 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("transport="), std::string::npos) << msg;
+    }
+}
+
+TEST_P(XportSemantics, InvalidRankThrows) {
+    World w(2, GetParam());
+    EXPECT_THROW(w.run([](Comm& c) {
+        int v = 0;
+        if (c.rank() == 0) c.send(&v, sizeof v, 5, 1);
+        else c.recv(&v, sizeof v, 0, 1);
+    }),
+                 ExecError);
+}
+
+TEST_P(XportSemantics, RecvTimeoutNamesTransportAndPeer) {
+    // Satellite contract: the timeout text says which transport the world
+    // ran on, and (proc) who the absent peer was, down to its pid.
+    World w(2, GetParam());
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 1) {
+                int got = 0;
+                c.recvTimeout(&got, sizeof got, 0, 4, 150);  // nothing coming
+            } else {
+                std::this_thread::sleep_for(std::chrono::milliseconds(400));
+            }
+        });
+        FAIL() << "expected the receive to time out";
+    } catch (const ExecError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("timeout"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tag=4"), std::string::npos) << msg;
+        if (GetParam() == TransportKind::Proc) {
+            EXPECT_NE(msg.find("transport=proc"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("peer pid"), std::string::npos) << msg;
+        } else {
+            EXPECT_NE(msg.find("transport=threads"), std::string::npos) << msg;
+        }
+    }
+}
+
+TEST_P(XportSemantics, PublishedResultCrossesTheWorldBoundary) {
+    World w(2, GetParam());
+    w.run([](Comm& c) {
+        const double sum = c.allreduceSum(c.rank() + 1.0);
+        if (c.rank() == 0) {
+            int64_t bits = 0;
+            std::memcpy(&bits, &sum, sizeof sum);
+            c.publishResult(5, bits);
+        }
+    });
+    int kind = 0;
+    int64_t bits = 0;
+    ASSERT_TRUE(w.takeResult(&kind, &bits));
+    EXPECT_EQ(5, kind);
+    double sum = 0;
+    std::memcpy(&sum, &bits, sizeof sum);
+    EXPECT_DOUBLE_EQ(3.0, sum);
+    EXPECT_FALSE(w.takeResult(&kind, &bits)) << "takeResult must clear the slot";
+}
+
+TEST_P(XportSemantics, InstrumentationCounts) {
+    World w(2, GetParam());
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            float buf[16] = {};
+            c.sendF32(buf, 16, 1, 1);
+        } else {
+            float buf[16];
+            c.recvF32(buf, 16, 0, 1);
+        }
+        c.barrier();  // barrier traffic must stay invisible to the stats
+    });
+    EXPECT_EQ(1, w.messagesSent());
+    EXPECT_EQ(static_cast<int64_t>(16 * sizeof(float)), w.bytesSent());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsXport, XportSemantics,
+                         ::testing::Values(TransportKind::Threads),
+                         [](const auto&) { return std::string("threads"); });
+INSTANTIATE_TEST_SUITE_P(ProcXport, XportSemantics, ::testing::Values(TransportKind::Proc),
+                         [](const auto&) { return std::string("proc"); });
+
+// Stats must be bit-for-bit identical across transports for identical
+// traffic — the accounting half of the determinism contract.
+TEST(ProcXportCross, StatsMatchAcrossTransports) {
+    auto traffic = [](Comm& c) {
+        double v = c.rank() + 0.5;
+        c.bcast(&v, sizeof v, 0);
+        c.allreduceSum(v);
+        c.barrier();
+        if (c.rank() == 0) {
+            std::vector<uint8_t> big(4096, 1);
+            c.send(big.data(), big.size(), 1, 3);
+        } else if (c.rank() == 1) {
+            std::vector<uint8_t> big(4096);
+            c.recv(big.data(), big.size(), 0, 3);
+        }
+    };
+    World threads(3, TransportKind::Threads);
+    threads.run(traffic);
+    World proc(3, TransportKind::Proc);
+    proc.run(traffic);
+    EXPECT_EQ(threads.messagesSent(), proc.messagesSent());
+    EXPECT_EQ(threads.bytesSent(), proc.bytesSent());
 }
 
 TEST(MiniMpi, WatchdogSparesProgressingWorlds) {

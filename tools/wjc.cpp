@@ -75,7 +75,8 @@ int usage() {
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
                  "                [--threads N] [--simd] [--fault SPEC] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]\n"
-                 "                [--simd] [--no-cache] [--fault SPEC] [--trace FILE] [ARGS...]\n"
+                 "                [--simd] [--no-cache] [--fault SPEC] [--trace FILE]\n"
+                 "                [--transport threads|proc] [ARGS...]\n"
                  "  wjc trace <file.wj> ...           (run with the span tracer armed)\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
@@ -288,6 +289,16 @@ int runMain(int argc, char** argv) {
             setenv("WJ_SIMD", "1", 1);
         }
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
+        else if (a == "--transport" && i + 1 < argc) {
+            // Address-space strategy for --ranks worlds: 'threads' (default)
+            // or 'proc' (ranks as forked processes — see wjrun). A bad value
+            // is a usage error (exit 2).
+            const std::string t = argv[++i];
+            if (t != "threads" && t != "proc") {
+                throw UsageError("--transport must be 'threads' or 'proc', got '" + t + "'");
+            }
+            setenv("WJ_TRANSPORT", t.c_str(), 1);
+        }
         else if (a == "--trace" && i + 1 < argc) traceOut = argv[++i];
         else if (a == "--fault" && i + 1 < argc) {
             // Same grammar as WJ_FAULT; a malformed spec is a usage error

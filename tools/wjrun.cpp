@@ -1,0 +1,224 @@
+// wjrun — the mpirun-analogue launcher for out-of-process MiniMPI worlds.
+//
+//   wjrun -np N [options] diffusion3d [steps]    builtin: 3-D diffusion on a
+//                                                slab decomposition (nz = N
+//                                                slabs of 24/N planes)
+//   wjrun -np N [options] fox [nglobal]          builtin: Fox matmul on the
+//                                                largest q*q <= N rank grid
+//   wjrun -np N [options] PROG [ARGS...]         exec PROG with WJ_NP,
+//                                                WJ_TRANSPORT, WJ_FAULT and
+//                                                WJ_TRACE exported
+// Options:
+//   --transport proc|threads   address-space strategy (default proc; this
+//                              IS the process launcher, but the threads
+//                              fast path is one flag away for A/B runs)
+//   --fault SPEC               arm the deterministic fault injector
+//                              (WJ_FAULT grammar; on the proc transport a
+//                              kill rule delivers a REAL SIGKILL)
+//   --trace FILE               arm the span tracer; per-child span files
+//                              are merged by rank into FILE at exit
+//   --ckpt-dir DIR             durable on-disk checkpoints in DIR
+//                              (fsync + atomic rename per generation)
+//   --ckpt-interval K          save every K iterations (default 1)
+//   --restart                  resume from the newest consistent on-disk
+//                              generation in --ckpt-dir (ignores --fault)
+//   --watchdog MS              stall-watchdog quantum (WJ_WATCHDOG_MS)
+//
+// The builtins print their checksum both as decimal and as raw IEEE bits,
+// so scripts can assert bitwise-identical results across transports and
+// across a SIGKILL + --restart cycle.
+//
+// Exit codes: 0 checksum ok, 1 execution failure (injected kill, dead
+// child, checksum mismatch), 2 usage error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fault/checkpoint.h"
+#include "fault/fault.h"
+#include "interp/interp.h"
+#include "jit/jit.h"
+#include "matmul/matmul_lib.h"
+#include "stencil/stencil_lib.h"
+#include "support/diagnostics.h"
+#include "trace/trace.h"
+
+using namespace wj;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: wjrun -np N [--transport proc|threads] [--fault SPEC]\n"
+                 "             [--trace FILE] [--ckpt-dir DIR] [--ckpt-interval K]\n"
+                 "             [--restart] [--watchdog MS] PROG [ARGS...]\n"
+                 "builtin programs: diffusion3d [steps], fox [nglobal]\n");
+    return 2;
+}
+
+struct Options {
+    int np = 0;
+    std::string transport = "proc";
+    std::string fault;
+    std::string trace;
+    std::string ckptDir;
+    int ckptInterval = 1;
+    bool restart = false;
+    std::string watchdog;
+    std::vector<std::string> prog;  // program + its arguments
+};
+
+void printChecksum(const char* what, double sum, double expect, double relTol) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &sum, sizeof sum);
+    const bool ok = std::abs(sum - expect) < std::abs(expect) * relTol + relTol;
+    std::printf("%s checksum %.17g bits %016llx expect %.17g ok=%s\n", what, sum,
+                static_cast<unsigned long long>(bits), expect, ok ? "yes" : "no");
+    if (!ok) throw ExecError(std::string(what) + ": checksum mismatch");
+}
+
+/// Arms the on-disk checkpoint store (and resolves the restart generation)
+/// according to the flags. Returns the resumed iteration, or -1.
+long long armCheckpoints(const Options& o) {
+    if (o.ckptDir.empty()) return -1;
+    auto& ckpt = fault::CheckpointStore::instance();
+    ckpt.armDisk(o.ckptDir, o.np, o.ckptInterval, /*keep=*/2, /*preserve=*/o.restart);
+    if (!o.restart) return -1;
+    const long long resume = static_cast<long long>(ckpt.resolve());
+    std::printf("wjrun: restarting from checkpoint generation %lld in %s\n", resume,
+                o.ckptDir.c_str());
+    return resume;
+}
+
+int runDiffusion3d(const Options& o) {
+    using namespace wj::stencil;
+    const int steps = o.prog.size() > 1 ? std::atoi(o.prog[1].c_str()) : 4;
+    if (steps <= 0) throw UsageError("diffusion3d: steps must be positive");
+    const int nx = 24, ny = 24, seed = 7;
+    const int nzLocal = std::max(1, 24 / o.np);
+    const int nz = nzLocal * o.np;  // global depth grows with odd rank counts
+    const auto coeffs = DiffusionCoeffs::forKappa(0.1f, 0.1f, 1.0f);
+    const double expect = referenceDiffusion3D(nx, ny, nz, coeffs, seed, steps);
+
+    Program prog = buildProgram();
+    Interp in(prog);
+    Value runner = makeMpiRunner(in, nx, ny, nzLocal, coeffs, seed);
+    JitCode code = WootinJ::jit4mpi(prog, runner, "run", {Value::ofI32(steps)});
+    code.set4MPI(o.np);
+
+    armCheckpoints(o);
+    std::printf("wjrun: diffusion3d %dx%dx%d, %d steps, %d ranks, transport=%s\n", nx, ny, nz,
+                steps, o.np, o.transport.c_str());
+    const Value r = code.invoke();
+    printChecksum("diffusion3d", r.asF64(), expect, 1e-9);
+    return 0;
+}
+
+int runFox(const Options& o) {
+    using namespace wj::matmul;
+    int q = 1;
+    while ((q + 1) * (q + 1) <= o.np) ++q;
+    const int ranks = q * q;
+    const int seed = 11;
+    const int requested = o.prog.size() > 1 ? std::atoi(o.prog[1].c_str()) : 48;
+    if (requested <= 0) throw UsageError("fox: nglobal must be positive");
+    const int nLocal = std::max(1, requested / q);
+    const int n = nLocal * q;
+    const double expect = referenceMatMulChecksum(n, seed, seed + 1);
+
+    Program prog = buildProgram();
+    Interp in(prog);
+    Value app = makeMpiFoxApp(in, Calc::Optimized, q);
+    JitCode code = WootinJ::jit4mpi(prog, app, "run", {Value::ofI32(nLocal), Value::ofI32(seed)});
+    code.set4MPI(ranks);
+
+    armCheckpoints(o);
+    std::printf("wjrun: fox matmul %dx%d on a %dx%d grid (%d of %d ranks), transport=%s\n", n,
+                n, q, q, ranks, o.np, o.transport.c_str());
+    const Value r = code.invoke();
+    // Float accumulation: same tolerance the example uses.
+    printChecksum("fox", r.asF64(), expect, 1e-4);
+    return 0;
+}
+
+int execChild(const Options& o) {
+    setenv("WJ_NP", std::to_string(o.np).c_str(), 1);
+    setenv("WJ_TRANSPORT", o.transport.c_str(), 1);
+    if (!o.fault.empty()) setenv("WJ_FAULT", o.fault.c_str(), 1);
+    if (!o.trace.empty()) setenv("WJ_TRACE", o.trace.c_str(), 1);
+    std::vector<char*> argv;
+    argv.reserve(o.prog.size() + 1);
+    for (const std::string& a : o.prog) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "wjrun: cannot exec %s: %s\n", argv[0], std::strerror(errno));
+    return 2;
+}
+
+int runMain(int argc, char** argv) {
+    Options o;
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-np" && i + 1 < argc) o.np = std::atoi(argv[++i]);
+        else if (a == "--transport" && i + 1 < argc) o.transport = argv[++i];
+        else if (a == "--fault" && i + 1 < argc) o.fault = argv[++i];
+        else if (a == "--trace" && i + 1 < argc) o.trace = argv[++i];
+        else if (a == "--ckpt-dir" && i + 1 < argc) o.ckptDir = argv[++i];
+        else if (a == "--ckpt-interval" && i + 1 < argc) o.ckptInterval = std::atoi(argv[++i]);
+        else if (a == "--restart") o.restart = true;
+        else if (a == "--watchdog" && i + 1 < argc) o.watchdog = argv[++i];
+        else if (!a.empty() && a[0] == '-') return usage();
+        else break;
+    }
+    for (; i < argc; ++i) o.prog.emplace_back(argv[i]);
+    if (o.np <= 0 || o.prog.empty()) return usage();
+    if (o.transport != "proc" && o.transport != "threads") {
+        throw UsageError("--transport must be 'proc' or 'threads', got '" + o.transport + "'");
+    }
+    if (o.restart && o.ckptDir.empty()) {
+        throw UsageError("--restart requires --ckpt-dir");
+    }
+
+    setenv("WJ_TRANSPORT", o.transport.c_str(), 1);
+    if (!o.watchdog.empty()) setenv("WJ_WATCHDOG_MS", o.watchdog.c_str(), 1);
+
+    if (o.prog[0] != "diffusion3d" && o.prog[0] != "fox") return execChild(o);
+
+    // A restart resumes the unfaulted execution: the plan that killed the
+    // previous attempt stays disarmed.
+    if (!o.fault.empty() && !o.restart) {
+        fault::FaultPlan::instance().configure(o.fault);
+        std::fprintf(stderr, "wjrun: fault plan: %s\n",
+                     fault::FaultPlan::instance().describe().c_str());
+    }
+    if (!o.trace.empty()) trace::Tracer::instance().enable(o.trace);
+
+    // No tracer flush here: World::run already flushed at world exit and
+    // (on the proc transport) merged the per-child span files by rank —
+    // a second flush would overwrite the merge with parent-only spans.
+    const int rc = o.prog[0] == "diffusion3d" ? runDiffusion3d(o) : runFox(o);
+    if (!o.trace.empty()) {
+        std::fprintf(stderr, "wjrun: trace written to %s\n", o.trace.c_str());
+    }
+    return rc;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return runMain(argc, argv);
+    } catch (const UsageError& e) {
+        std::fprintf(stderr, "wjrun: %s\n", e.what());
+        return 2;
+    } catch (const WjError& e) {
+        std::fprintf(stderr, "wjrun: %s\n", e.what());
+        return 1;
+    }
+}
