@@ -2,11 +2,13 @@
 // material behind every figure bench, measured with gbench's methodology
 // as an independent cross-check of the marginal-cost measurements.
 //
-// Before the gbench suite runs, main() executes the scalar-vs-simd sweep:
-// each evaluation kernel is jitted twice (WJ_SIMD=0 / WJ_SIMD=1), checked
-// bitwise-equal, timed, and persisted as rows of BENCH_kernels_micro.json
-// via the shared jsonRow() helpers. `--smoke` runs only that sweep at
-// reduced sizes/reps — the bench-smoke CI tripwire.
+// Before the gbench suite runs, main() executes the scalar-vs-simd sweep
+// (each evaluation kernel jitted twice, WJ_SIMD=0 / WJ_SIMD=1) and the
+// aos-vs-soa sweep (the cells object-array stencil jitted under WJ_SOA=0 /
+// WJ_SOA=1 with SIMD on). Every pair is checked bitwise-equal, timed, and
+// persisted as rows of BENCH_kernels_micro.json via the shared jsonRow()
+// helpers. `--smoke` runs only those sweeps at reduced sizes/reps — the
+// bench-smoke CI tripwire.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -279,6 +281,64 @@ bool runSimdSweep(bool smoke) {
     return ok;
 }
 
+// ------------------------------------------------- aos-vs-soa sweep
+
+/// One cells kernel — an array-of-objects workload — jitted twice under
+/// WJ_SIMD=1: once with the boxed AoS element layout (WJ_SOA=0) and once
+/// with the proveLayout SoA split (WJ_SOA=1). The checksums must stay
+/// bitwise-equal (the standing determinism contract); both medians persist
+/// as rows so the regression gate sees the layout win per size. `method`
+/// picks the kernel: "probe" is the headline lane-projection sweep (the
+/// hot loop reads one of the six lanes, so AoS drags 24 bytes through the
+/// cache per 4 used and stays struct-strided/ScalarOnly); "run" is the
+/// all-lanes damped-averaging sweep, where AoS wastes no bandwidth and the
+/// layout win is vectorization only.
+bool soaPair(const char* method, int n, int steps, int reps) {
+    Program prog = stencil::buildProgram();
+    Interp in(prog);
+    Value runner = stencil::makeCellRunner(in, n, 0.25f, 0.5f, 11);
+    const std::vector<Value> args = {Value::ofI32(steps)};
+    const std::string what = std::string("cells ") + method + " n=" + std::to_string(n);
+
+    setenv("WJ_SIMD", "1", 1);
+    setenv("WJ_SOA", "0", 1);
+    JitCode aos = WootinJ::jit(prog, runner, method, args);
+    double aosVal = 0;
+    const double aosNs = medianInvokeNs(aos, args, reps, [&](double v) { aosVal = v; });
+
+    setenv("WJ_SOA", "1", 1);
+    JitCode soa = WootinJ::jit(prog, runner, method, args);
+    unsetenv("WJ_SOA");
+    unsetenv("WJ_SIMD");
+    double soaVal = 0;
+    const double soaNs = medianInvokeNs(soa, args, reps, [&](double v) { soaVal = v; });
+
+    const bool eq = simdBitEq(aosVal, soaVal);
+    std::printf("%-28s aos    %12.0fns   soa  %12.0fns  (%2lldx loops vectorized, "
+                "x%.2f, %s)\n",
+                what.c_str(), aosNs, soaNs, static_cast<long long>(soa.vectorLoops()),
+                aosNs / soaNs, eq ? "bitwise-equal" : "MISMATCH");
+    wjbench::jsonRow(what + " aos+simd", aosNs);
+    wjbench::jsonRow(what + " soa+simd", soaNs);
+    return eq;
+}
+
+bool runSoaSweep(bool smoke) {
+    std::printf("\n-- aos-vs-soa sweep: cells stencil under WJ_SIMD=1 --\n");
+    const int reps = smoke ? 3 : 9;
+    bool ok = true;
+    if (smoke) {
+        ok &= soaPair("probe", 4096, 4, reps);
+        return ok;
+    }
+    // Non-power-of-two sizes: with lanes exactly n*4 bytes apart, pow2 n
+    // maps the twelve SoA streams onto the same cache sets and the
+    // conflict misses mask the layout win.
+    for (int n : {20000, 250000, 1000000}) ok &= soaPair("probe", n, 8, reps);
+    for (int n : {20000, 250000, 1000000}) ok &= soaPair("run", n, 8, reps);
+    return ok;
+}
+
 // -------------------------------------- threads-vs-proc transport sweep
 
 /// Median per-round-trip cost of a 2-rank ping-pong of `bytes`-byte
@@ -339,14 +399,17 @@ void runTransportSweep(bool smoke) {
 
 int main(int argc, char** argv) {
     const wjbench::Options opts = wjbench::parseArgs(argc, argv);
-    wjbench::banner("Microbenchmarks: per-variant kernels + scalar-vs-simd sweep",
-                    "diffusion / matmul / CG jits under WJ_SIMD=0 vs WJ_SIMD=1",
-                    "median wall time REAL on this host; simd checked bitwise-equal; "
-                    "threads-vs-proc MiniMPI ping-pong REAL");
+    wjbench::banner("Microbenchmarks: per-variant kernels + scalar-vs-simd + aos-vs-soa sweeps",
+                    "diffusion / matmul / CG jits under WJ_SIMD=0 vs WJ_SIMD=1; "
+                    "cells object-array stencil under WJ_SOA=0 vs WJ_SOA=1",
+                    "median wall time REAL on this host; simd and soa checked "
+                    "bitwise-equal; threads-vs-proc MiniMPI ping-pong REAL");
     runTransportSweep(opts.smoke);
-    const bool ok = runSimdSweep(opts.smoke);
+    bool ok = runSimdSweep(opts.smoke);
+    ok &= runSoaSweep(opts.smoke);
     if (!ok) {
-        std::fprintf(stderr, "FAIL: a WJ_SIMD run diverged bitwise from scalar\n");
+        std::fprintf(stderr, "FAIL: a WJ_SIMD/WJ_SOA run diverged bitwise from its "
+                             "scalar/AoS twin\n");
         return 1;
     }
     if (opts.smoke) return 0;

@@ -80,6 +80,50 @@ void jsonRow(const std::string& config, double medianNs, int threads, int ranks)
     jsonReport().rows.push_back({config, medianNs, threads, ranks});
 }
 
+std::vector<ReportRow> loadReportRows(const std::string& path) {
+    // Minimal scanner for the machine-written schema above: find each row
+    // object and pull its four members. Anything unexpected aborts to an
+    // empty result (the caller's inline-measurement fallback).
+    std::vector<ReportRow> out;
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return out;
+    std::string s;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, got);
+    std::fclose(f);
+
+    const auto member = [&](size_t obj, const char* name) -> size_t {
+        const std::string key = std::string("\"") + name + "\":";
+        const size_t end = s.find('}', obj);
+        const size_t at = s.find(key, obj);
+        if (at == std::string::npos || end == std::string::npos || at > end)
+            return std::string::npos;
+        return at + key.size();
+    };
+    size_t pos = s.find("\"rows\"");
+    if (pos == std::string::npos) return out;
+    while ((pos = s.find('{', pos)) != std::string::npos) {
+        ReportRow r;
+        const size_t cfg = member(pos, "config");
+        const size_t med = member(pos, "median_ns");
+        if (cfg == std::string::npos || med == std::string::npos) return {};
+        const size_t q0 = s.find('"', cfg);
+        const size_t q1 = q0 == std::string::npos ? q0 : s.find('"', q0 + 1);
+        if (q1 == std::string::npos) return {};
+        r.config = s.substr(q0 + 1, q1 - q0 - 1);
+        r.medianNs = std::strtod(s.c_str() + med, nullptr);
+        if (const size_t t = member(pos, "threads"); t != std::string::npos)
+            r.threads = static_cast<int>(std::strtol(s.c_str() + t, nullptr, 10));
+        if (const size_t k = member(pos, "ranks"); k != std::string::npos)
+            r.ranks = static_cast<int>(std::strtol(s.c_str() + k, nullptr, 10));
+        out.push_back(std::move(r));
+        pos = s.find('}', pos);
+        if (pos == std::string::npos) break;
+    }
+    return out;
+}
+
 Options parseArgs(int argc, char** argv) {
     Options o;
     {

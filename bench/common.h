@@ -50,6 +50,20 @@ Options parseArgs(int argc, char** argv);
 /// in nanoseconds; `threads`/`ranks` record the execution configuration.
 void jsonRow(const std::string& config, double medianNs, int threads = 1, int ranks = 1);
 
+/// One parsed row of a persisted BENCH_*.json report.
+struct ReportRow {
+    std::string config;
+    double medianNs = 0;
+    int threads = 1;
+    int ranks = 1;
+};
+
+/// Reads the rows of a report a previous bench run persisted (the schema
+/// above). Returns an empty vector when the file is absent or malformed —
+/// callers treat that as "no prior measurement" and fall back to measuring
+/// inline.
+std::vector<ReportRow> loadReportRows(const std::string& path);
+
 /// Per-cell-step costs (seconds) of the 3-D diffusion kernel per variant.
 struct DiffusionCosts {
     double interp = 0;      ///< the "Java" platform (tree-walking interpreter)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -592,6 +593,11 @@ public:
         : prog_(prog), out_(out), lint_(lint) {
         groups_.build(prog);
         effects_ = computeEffects(prog);
+        // The SIMD verdict for element loops depends on the data layout the
+        // translator will actually emit, so the prover reads the same switch
+        // codegen reads (see translate() in jit/codegen.cpp).
+        const char* soa = std::getenv("WJ_SOA");
+        soaOn_ = soa && *soa && std::string(soa) != "0";
     }
 
     void runEntry(const Value& receiver, const std::string& method, const std::vector<Value>& args);
@@ -670,9 +676,11 @@ private:
                   std::vector<Reduction> reds = {});
     void noteVector(const ForStmt* fs, const std::string& label, VecVerdict v,
                     std::string reason, std::vector<std::pair<std::string, std::string>> pairs,
-                    std::vector<Reduction> reds = {}, bool exact = true);
+                    std::vector<Reduction> reds = {}, bool exact = true,
+                    std::vector<std::string> soaClasses = {});
     void finishParallelReport();
     void finishVectorReport();
+    void finishLayoutReport();
 
     // ---- communication race walk (structural, per unique method body)
     void raceWalk(const Method& m, Env env);
@@ -689,6 +697,7 @@ private:
     const Program& prog_;
     Result& out_;
     bool lint_;
+    bool soaOn_ = false;  ///< WJ_SOA=1: the translator will split Inline classes
     FieldGroups groups_;
     std::map<const Method*, Effects> effects_;
 
@@ -2440,7 +2449,8 @@ void Engine::finishParallelReport() {
 void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict v,
                         std::string reason,
                         std::vector<std::pair<std::string, std::string>> pairs,
-                        std::vector<Reduction> reds, bool exact) {
+                        std::vector<Reduction> reds, bool exact,
+                        std::vector<std::string> soaClasses) {
     auto it = out_.loopVector.find(fs);
     if (it == out_.loopVector.end()) {
         LoopVector lv;
@@ -2449,6 +2459,7 @@ void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict 
         lv.overlapPairs = std::move(pairs);
         lv.reductions = std::move(reds);
         lv.exactReductions = exact;
+        lv.soaClasses = std::move(soaClasses);
         out_.loopVector.emplace(fs, std::move(lv));
         vecOrder_.push_back(fs);
         vecLabel_.emplace(fs, label + ": for (" + fs->var + ")");
@@ -2464,6 +2475,7 @@ void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict 
         lv.reason = std::move(reason);
         lv.overlapPairs.clear();
         lv.reductions.clear();
+        lv.soaClasses.clear();
         return;
     }
     // Reduction recognition is structural, so a context disagreeing about
@@ -2473,6 +2485,7 @@ void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict 
         lv.reason = "verdict differs across call contexts";
         lv.overlapPairs.clear();
         lv.reductions.clear();
+        lv.soaClasses.clear();
         return;
     }
     lv.exactReductions = lv.exactReductions && exact;
@@ -2480,6 +2493,11 @@ void Engine::noteVector(const ForStmt* fs, const std::string& label, VecVerdict 
         if (std::find(lv.overlapPairs.begin(), lv.overlapPairs.end(), pr) ==
             lv.overlapPairs.end()) {
             lv.overlapPairs.push_back(std::move(pr));
+        }
+    }
+    for (auto& sc : soaClasses) {
+        if (std::find(lv.soaClasses.begin(), lv.soaClasses.end(), sc) == lv.soaClasses.end()) {
+            lv.soaClasses.push_back(std::move(sc));
         }
     }
     if (v == VecVerdict::CondVectorizable && lv.verdict == VecVerdict::Vectorizable) {
@@ -2499,6 +2517,19 @@ void Engine::finishVectorReport() {
         }
         line += " -- " + lv.reason;
         out_.vectorReport.push_back(std::move(line));
+    }
+}
+
+void Engine::finishLayoutReport() {
+    for (const auto& [cls, cl] : out_.layoutClasses) {
+        std::string line = cls + ": ";
+        switch (cl.verdict) {
+        case LayoutVerdict::Inline: line += "inline"; break;
+        case LayoutVerdict::CondInline: line += "inline (boundary-guarded)"; break;
+        case LayoutVerdict::Boxed: line += "boxed"; break;
+        }
+        line += " -- " + cl.reason;
+        out_.layoutReport.push_back(std::move(line));
     }
 }
 
@@ -2679,6 +2710,45 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
     std::vector<PAcc> accs;
     std::string why;
 
+    // ---- AoS→SoA layout gate (SIMD mode only; the parallel prover is
+    // layout-agnostic). An element access `a[i].f` over a class-element
+    // array is struct-strided under AoS — each lane's field loads sit
+    // sizeof(struct) bytes apart — so it only vectorizes after the
+    // proveLayout split, and only for classes the pass cleared. The classes
+    // a verdict leans on are carried in LoopVector::soaClasses so the
+    // translator and the verdict can never disagree about the layout.
+    std::set<std::string> soaNeeded;
+    auto classElemOk = [&](Env& env, const Expr& arrE, bool isWrite) -> bool {
+        if (!vectorOnly) return true;
+        const Type at = evalExpr(env, arrE).type;
+        if (!at.isArray() || !at.elem().isClass()) return true;
+        const std::string cls = at.elem().className();
+        auto it = out_.layoutClasses.find(cls);
+        if (it == out_.layoutClasses.end() || it->second.verdict == LayoutVerdict::Boxed) {
+            why = std::string(isWrite ? "stores" : "reads") + " '" + cls +
+                  "[]' elements that must stay AoS (" +
+                  (it == out_.layoutClasses.end() ? "no layout verdict"
+                                                  : "layout: " + it->second.reason) +
+                  ")";
+            return false;
+        }
+        soaNeeded.insert(cls);
+        return true;
+    };
+    auto soaJoin = [&]() {
+        std::string s;
+        bool first = true;
+        for (const std::string& c : soaNeeded) {
+            if (!first) s += ", ";
+            s += "'" + c + "[]'";
+            first = false;
+        }
+        return s;
+    };
+    auto soaList = [&]() {
+        return std::vector<std::string>(soaNeeded.begin(), soaNeeded.end());
+    };
+
     // Linear form of an index expression in the candidate variable. Never
     // fails: the fallback (k = 0, node interval) is sound by construction.
     std::function<LinForm(Env&, const Expr&)> linOf = [&](Env& env, const Expr& e) -> LinForm {
@@ -2829,6 +2899,7 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
         case ExprKind::ArrayGet: {
             const auto& n = as<ArrayGetExpr>(e);
             if (!checkExpr(env, *n.arr) || !checkExpr(env, *n.idx)) return false;
+            if (!classElemOk(env, *n.arr, /*isWrite=*/false)) return false;
             if (n.arr->kind == ExprKind::Local) {
                 recordPAcc(env, false, as<LocalExpr>(*n.arr).name, *n.idx);
                 return true;
@@ -3046,6 +3117,10 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 legal = checkExpr(env, *n.arr) && checkExpr(env, *n.idx) &&
                         checkExpr(env, *n.value);
                 if (!legal) break;
+                if (!classElemOk(env, *n.arr, /*isWrite=*/true)) {
+                    legal = false;
+                    break;
+                }
                 if (n.arr->kind == ExprKind::Local) {
                     recordPAcc(env, true, as<LocalExpr>(*n.arr).name, *n.idx);
                     break;
@@ -3216,8 +3291,16 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
             desc += exact ? " -- exact under reassociation (simd reduction clause)"
                           : " -- f32/f64 reassociation is inexact; accumulator stays "
                             "chunk-serial";
+            if (!soaNeeded.empty()) {
+                if (!soaOn_) {
+                    return refuse("element accesses through " + soaJoin() +
+                                  " are struct-strided under AoS -- vectorizable under --soa "
+                                  "(WJ_SOA=1)");
+                }
+                desc += "; unit-stride via the SoA layout of " + soaJoin();
+            }
             noteVector(&fs, label, VecVerdict::Vectorizable, std::move(desc), {},
-                       std::move(reds), exact);
+                       std::move(reds), exact, soaList());
             return ParVerdict::Parallel;
         }
         if (lint_) {
@@ -3243,8 +3326,16 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
                 first = false;
             }
             desc += " are disjoint (runtime overlap guard)";
+            if (!soaNeeded.empty()) {
+                if (!soaOn_) {
+                    return refuse("element accesses through " + soaJoin() +
+                                  " are struct-strided under AoS -- vectorizable under --soa "
+                                  "(WJ_SOA=1)");
+                }
+                desc += "; unit-stride via the SoA layout of " + soaJoin();
+            }
             noteVector(&fs, label, VecVerdict::CondVectorizable, std::move(desc),
-                       std::move(pairs));
+                       std::move(pairs), {}, true, soaList());
             return ParVerdict::CondParallel;
         }
         std::string desc = "iterations are independent provided ";
@@ -3259,6 +3350,18 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
         return ParVerdict::CondParallel;
     }
     if (vectorOnly) {
+        if (!soaNeeded.empty()) {
+            if (!soaOn_) {
+                return refuse("element accesses through " + soaJoin() +
+                              " are struct-strided under AoS -- vectorizable under --soa "
+                              "(WJ_SOA=1)");
+            }
+            noteVector(&fs, label, VecVerdict::Vectorizable,
+                       "unit-stride accesses via the SoA layout of " + soaJoin() +
+                       "; no cross-lane dependence",
+                       {}, {}, true, soaList());
+            return ParVerdict::Parallel;
+        }
         noteVector(&fs, label, VecVerdict::Vectorizable,
                    "unit-stride accesses; no cross-lane dependence", {});
         return ParVerdict::Parallel;
@@ -3269,8 +3372,43 @@ ParVerdict Engine::proveLoop(const std::string& label, const ForStmt& fs, const 
 
 // ----------------------------------------------------------------- drivers
 
+namespace {
+
+/// Classes whose arrays cross the jit() boundary in the entry's receiver
+/// graph or arguments: invoke() marshals those payloads AoS (in fact it
+/// refuses non-primitive elements outright), so proveLayout boxes them.
+void collectBoundaryClasses(const Value& v, std::set<const Obj*>& seen,
+                            std::set<std::string>& out) {
+    if (v.isArr()) {
+        const ArrRef& a = v.asArr();
+        if (!a) return;
+        if (a->elem.isClass()) out.insert(a->elem.className());
+        if (a->elem.isClass() || a->elem.isArray()) {
+            for (const Value& e : a->data) collectBoundaryClasses(e, seen, out);
+        }
+        return;
+    }
+    if (v.isObj()) {
+        const ObjRef& o = v.asObj();
+        if (!o || !seen.insert(o.get()).second) return;
+        for (const auto& [name, fv] : o->fields) {
+            (void)name;
+            collectBoundaryClasses(fv, seen, out);
+        }
+    }
+}
+
+} // namespace
+
 void Engine::runEntry(const Value& receiver, const std::string& method,
                       const std::vector<Value>& args) {
+    {
+        std::set<const Obj*> seen;
+        std::set<std::string> boundary;
+        collectBoundaryClasses(receiver, seen, boundary);
+        for (const Value& a : args) collectBoundaryClasses(a, seen, boundary);
+        out_.layoutClasses = proveLayout(prog_, boundary, /*lint=*/false);
+    }
     const AVal self = absOfValue(receiver, Type::voidTy());
     if (self.objs.empty()) return;  // jit() rejects non-object receivers itself
     const std::string clsName = self.objs[0]->cls->name;
@@ -3286,9 +3424,11 @@ void Engine::runEntry(const Value& receiver, const std::string& method,
     analyzeCall(*owner, *m, &self, argVals);
     finishParallelReport();
     finishVectorReport();
+    finishLayoutReport();
 }
 
 void Engine::runLint() {
+    out_.layoutClasses = proveLayout(prog_, {}, /*lint=*/true);
     for (const ClassDecl* cls : prog_.classes()) {
         if (cls->isInterface) continue;
         if (cls->ctor && daDone_.insert(cls->ctor.get()).second) {
@@ -3315,6 +3455,7 @@ void Engine::runLint() {
     }
     finishParallelReport();
     finishVectorReport();
+    finishLayoutReport();
 }
 
 } // namespace

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/layout.h"
 #include "interp/value.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
@@ -110,6 +111,15 @@ struct LoopVector {
     /// `reduction(...)` clauses when exact — f32/f64 +/* stay on the
     /// bitwise chunk-serial path.
     bool exactReductions = true;
+    /// Element classes this verdict depends on being laid out SoA (the
+    /// proveLayout pass): the loop reads/writes `C[]` elements through
+    /// field paths, which is unit-stride only after the AoS→SoA split.
+    /// Non-empty only when the verdict was issued under WJ_SOA=1; without
+    /// it the loop reports ScalarOnly with a "vectorizable under --soa"
+    /// reason. Joined across contexts by set union.
+    std::vector<std::string> soaClasses;
+
+    bool needsSoa() const { return !soaClasses.empty(); }
 };
 
 struct Result {
@@ -138,6 +148,15 @@ struct Result {
     /// One line per innermost loop explaining its SIMD verdict (the
     /// "wjc lint" vectorization table). Filled by both drivers.
     std::vector<std::string> vectorReport;
+    /// AoS→SoA layout verdicts from the proveLayout pass, one entry per
+    /// class used as an array element (see analysis/layout.h). The entry
+    /// driver boxes classes whose arrays cross the jit() boundary; lint
+    /// reports clean classes CondInline. The translator consumes Inline
+    /// verdicts under WJ_SOA=1.
+    std::map<std::string, ClassLayout> layoutClasses;
+    /// One line per element class explaining its layout verdict (the
+    /// "wjc lint" layout table). Filled by both drivers.
+    std::vector<std::string> layoutReport;
 
     bool clean() const { return errors.empty(); }
     /// Throws AnalysisError if any error-level finding was recorded.

@@ -105,6 +105,19 @@ public:
         vecLoops_ = verdicts;
     }
 
+    /// AoS→SoA layout verdicts of the proveLayout pass (keyed by element
+    /// class name). When set (WJ_SOA=1), arrays of Inline-verdict classes
+    /// are stored as packed per-field lane regions instead of arrays of
+    /// structs: allocation goes through wjrt_alloc_soa, `a[i].f` reads load
+    /// straight from field f's region, and whole-element stores `a[i] =
+    /// new C(...)` scatter one store per field — the struct element is
+    /// never materialized. Boxed (and boundary-crossing) classes keep the
+    /// AoS struct layout; the pass guarantees Inline classes have no use
+    /// that could observe the difference.
+    void setSoa(const std::map<std::string, analysis::ClassLayout>* layouts) {
+        soaLayouts_ = layouts;
+    }
+
     Translation run(const Value& receiver, const std::string& method,
                     const std::vector<Value>& args);
 
@@ -207,13 +220,54 @@ private:
     const std::map<const void*, analysis::Safety>* safety_ = nullptr;
     const std::map<const void*, analysis::LoopParallel>* parLoops_ = nullptr;
     const std::map<const void*, analysis::LoopVector>* vecLoops_ = nullptr;
+    const std::map<std::string, analysis::ClassLayout>* soaLayouts_ = nullptr;
+    /// Element classes whose arrays this translation actually allocated SoA.
+    std::set<std::string> soaUsed_;
     /// Active restrict-pointer substitutions: array CVal text -> hoisted
     /// element pointer. Consulted by the ArrayGet/ArraySet emission so simd
-    /// loop bodies index through the restrict pointers. Vector verdicts only
-    /// exist for innermost loops, so substitutions never nest.
+    /// loop bodies index through the restrict pointers. SoA field regions
+    /// use the key `<array text>#<field>` (prim-element arrays use the bare
+    /// text, so the key spaces cannot collide). Vector verdicts only exist
+    /// for innermost loops, so substitutions never nest.
     std::map<std::string, std::string> simdPtrs_;
     int pfCount_ = 0;
     Translation out_;
+
+    /// SoA layout for an array shape's element class, or null when the
+    /// array must stay AoS (no layouts set, prim/escaping element class).
+    /// Only Inline verdicts qualify — CondInline is a lint presentation.
+    const analysis::ClassLayout* soaLayoutOfClass(const std::string& cls) const {
+        if (!soaLayouts_) return nullptr;
+        auto it = soaLayouts_->find(cls);
+        if (it == soaLayouts_->end()) return nullptr;
+        if (it->second.verdict != analysis::LayoutVerdict::Inline) return nullptr;
+        return &it->second;
+    }
+    const analysis::ClassLayout* soaLayout(const Shape* s) const {
+        if (!s->isArray()) return nullptr;
+        const Type& elem = s->arrayElem();
+        if (!elem.isClass()) return nullptr;
+        return soaLayoutOfClass(elem.className());
+    }
+
+    /// Lane access for one field of an SoA array: through the hoisted
+    /// restrict pointer inside a simd loop, the packed region cast
+    /// elsewhere. Field k's region starts len*pre bytes into the payload
+    /// (fields are size-sorted upstream, so every region is aligned). The
+    /// caller must pass a materialized `a` — the region form names it twice.
+    std::string soaAccess(const CVal& a, const analysis::SoaField& f,
+                          const std::string& idx) const {
+        auto it = simdPtrs_.find(a.text + "#" + f.name);
+        if (it != simdPtrs_.end()) return it->second + "[" + idx + "]";
+        return "((" + std::string(primCName(f.prim)) + "*)" + soaRegion(a.text, f) + ")[" + idx +
+               "]";
+    }
+    /// The raw `void*`-ish region base expression (no cast) for field f.
+    static std::string soaRegion(const std::string& arr, const analysis::SoaField& f) {
+        if (f.pre == 0) return "wj_array_data(" + arr + ")";
+        return "((char*)wj_array_data(" + arr + ") + (size_t)(" + arr + ")->len * " +
+               std::to_string(f.pre) + ")";
+    }
 
     /// Element access for a prim-element array: through the hoisted restrict
     /// pointer inside a simd loop, the raw payload cast elsewhere.
@@ -440,6 +494,27 @@ void CodeGen::genStmt(Env& env, const Stmt& s) {
     case StmtKind::ArraySet: {
         const auto& n = as<ArraySetStmt>(s);
         CVal a = genExpr(env, *n.arr);
+        if (const analysis::ClassLayout* cl = soaLayout(a.shape)) {
+            // SoA store `a[i] = new C(...)`: one scatter per field. The
+            // layout pass proved the value is a fresh `new C(...)`, so the
+            // inlined constructor object feeds the lanes and dies. Source
+            // evaluation order (array, index, value) is preserved, and the
+            // index — which may carry a wj_chk guard — is materialized once
+            // so the guard cannot re-trap per field.
+            a = materialize(env, a);
+            CVal i = genExpr(env, *n.idx);
+            std::string idx = indexExpr(env, a, i, &n);
+            if (!i.simple || idx != i.text) {
+                std::string t = freshTmp();
+                em.line("int64_t " + t + " = (int64_t)(" + idx + ");");
+                idx = t;
+            }
+            CVal v = materialize(env, genExpr(env, *n.value));
+            for (const auto& f : cl->fields) {
+                em.line(soaAccess(a, f, idx) + " = " + v.text + "->f_" + f.name + ";");
+            }
+            return;
+        }
         CVal i = genExpr(env, *n.idx);
         const std::string idx = indexExpr(env, a, i, &n);
         CVal v = genExpr(env, *n.value);
@@ -1109,6 +1184,23 @@ std::vector<std::string> CodeGen::hoistSimdPtrs(Env& env, const ForStmt& n) {
         if (!cv.simple) continue;
         if (!cv.shape->isArray()) continue;
         const Type& elem = cv.shape->arrayElem();
+        if (const analysis::ClassLayout* cl = soaLayout(cv.shape)) {
+            // SoA array: one restrict pointer per field lane region. The
+            // regions of one array never overlap each other (disjoint by
+            // construction), and cross-array overlap is covered by the same
+            // guard/analysis argument as the prim hoists.
+            for (const auto& f : cl->fields) {
+                const std::string key = cv.text + "#" + f.name;
+                if (simdPtrs_.count(key)) continue;
+                const std::string ec = primCName(f.prim);
+                const std::string ptr = "wj_sp_" + identSuffix(cv.text) + "_" + f.name;
+                env.em->line(ec + "* restrict " + ptr + " = (" + ec + "*)" +
+                             soaRegion(cv.text, f) + ";");
+                simdPtrs_[key] = ptr;
+                keys.push_back(key);
+            }
+            continue;
+        }
         if (elem.isClass()) continue;
         if (simdPtrs_.count(cv.text)) continue;
         const std::string ec = primCName(elem.prim());
@@ -1201,7 +1293,39 @@ CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
         return env.self;
     case ExprKind::FieldGet: {
         const auto& n = as<FieldGetExpr>(e);
-        CVal obj = genExpr(env, *n.obj);
+        CVal obj;
+        if (n.obj->kind == ExprKind::ArrayGet) {
+            // Element field path `a[i].f` — the one place an SoA element is
+            // legally touched. Generate the access here so the SoA case can
+            // load straight from field f's lane region without ever forming
+            // the struct element; the AoS case reproduces the generic
+            // ArrayGet emission below verbatim (same text, same guard site).
+            const auto& ag = as<ArrayGetExpr>(*n.obj);
+            CVal a = genExpr(env, *ag.arr);
+            const analysis::ClassLayout* cl = soaLayout(a.shape);
+            if (cl) a = materialize(env, a);
+            CVal i = genExpr(env, *ag.idx);
+            const std::string idx = indexExpr(env, a, i, &ag);
+            if (cl) {
+                for (const auto& f : cl->fields) {
+                    if (f.name == n.field) {
+                        return {soaAccess(a, f, idx), shapes_.ofPrim(f.prim), false};
+                    }
+                }
+                xerr("SoA class " + a.shape->arrayElem().className() + " has no field " +
+                     n.field);
+            }
+            const Type& elem = a.shape->arrayElem();
+            if (elem.isClass()) {
+                const Shape* es = shapes_.ofType(elem);
+                obj = {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx + "])",
+                       es, false};
+            } else {
+                obj = {elemAccess(a, elem.prim(), idx), shapes_.ofType(elem), false};
+            }
+        } else {
+            obj = genExpr(env, *n.obj);
+        }
         const Shape* fs = obj.shape->field(n.field);
         // @Shared fields (paper 3.3, "Other issues"): inside device code the
         // field IS the block's __shared__ buffer; it has no per-object
@@ -1229,6 +1353,13 @@ CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
         const std::string idx = indexExpr(env, a, i, &n);
         const Type& elem = a.shape->arrayElem();
         if (elem.isClass()) {
+            // Bare element reads reach here only outside a field path; for
+            // an Inline-verdict class the layout pass proved no such use
+            // exists (FieldGet intercepts `a[i].f` before this case).
+            if (soaLayout(a.shape)) {
+                xerr("whole-element use of SoA-split " + elem.className() +
+                     "[] (layout pass inconsistency)");
+            }
             const Shape* es = shapes_.ofType(elem);
             return {"(&((" + structFor(es) + "*)wj_array_data(" + a.text + "))[" + idx + "])",
                     es, false};
@@ -1308,6 +1439,19 @@ CodeGen::CVal CodeGen::genExpr(Env& env, const Expr& e) {
     case ExprKind::NewArray: {
         const auto& n = as<NewArrayExpr>(e);
         CVal len = genExpr(env, *n.len);
+        if (n.elem.isClass()) {
+            if (const analysis::ClassLayout* cl = soaLayoutOfClass(n.elem.className())) {
+                // SoA allocation: elem_size is the PACKED sum of the prim
+                // field sizes (no struct padding) — field regions tile the
+                // payload exactly, and the zero fill matches the AoS
+                // calloc'd default element bit-for-bit.
+                ++out_.soaArrays;
+                soaUsed_.insert(n.elem.className());
+                return {"wjrt_alloc_soa((int64_t)(" + len.text + "), " +
+                            format("%d", cl->elemSize) + ")",
+                        shapes_.ofArray(n.elem), false};
+            }
+        }
         std::string elemSize;
         if (n.elem.isClass()) {
             elemSize = "(int32_t)sizeof(" + structFor(shapes_.ofType(n.elem)) + ")";
@@ -1483,8 +1627,11 @@ CodeGen::CVal CodeGen::genNew(Env& env, const NewExpr& n) {
     const Shape* shape = shapes_.ofObject(cls, std::move(fields));
     ++out_.inlinedObjects;
 
-    env.em->line(structFor(shape) + " " + var + "_s;");
-    env.em->line("memset(&" + var + "_s, 0, sizeof " + var + "_s);");
+    // Aggregate zero-init, not memset: a memset() call inside an
+    // `#pragma omp simd` body is a memory clobber that defeats the
+    // vectorizer, and fresh objects are built inside the hot loops the
+    // SoA layout exists to vectorize. `{0}` zeroes identically and SRAs.
+    env.em->line(structFor(shape) + " " + var + "_s = {0};");
     env.em->line(structFor(shape) + "* " + var + " = &" + var + "_s;");
     env.em->splice(sub);  // replay the collected constructor body
     return {var, shape, true};
@@ -1805,6 +1952,7 @@ Translation CodeGen::run(const Value& receiver, const std::string& method,
     src += fns_;
     src += entry_;
     out_.cSource = std::move(src);
+    out_.soaClasses.assign(soaUsed_.begin(), soaUsed_.end());
     out_.codegenSeconds = timer.seconds();
     return std::move(out_);
 }
@@ -1842,6 +1990,13 @@ Translation translate(const Program& prog, const Value& receiver, const std::str
     // key stays thread-count independent.
     const char* simd = std::getenv("WJ_SIMD");
     if (simd && *simd && std::string(simd) != "0") cg.setSimd(&facts.loopVector);
+    // WJ_SOA=1 stores arrays of Inline-verdict element classes (the
+    // proveLayout pass) as packed per-field lane regions instead of arrays
+    // of structs. Element field paths become unit-stride loads the simd
+    // pass can vectorize; the pass proved no use can observe the split, so
+    // results stay bitwise-identical to every other configuration.
+    const char* soa = std::getenv("WJ_SOA");
+    if (soa && *soa && std::string(soa) != "0") cg.setSoa(&facts.layoutClasses);
     return cg.run(receiver, method, args);
 }
 

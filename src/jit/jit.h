@@ -101,6 +101,15 @@ public:
     /// emitted under `#pragma omp simd` (WJ_SIMD) — including vectorized
     /// chunk loops inside parallel-for/reduce outlines.
     int64_t vectorLoops() const noexcept { return translation_.vectorLoops; }
+    /// Allocation sites the translator emitted as SoA (wjrt_alloc_soa)
+    /// because the proveLayout pass proved the element class Inline and
+    /// WJ_SOA=1 was set at translation time.
+    int64_t soaArrays() const noexcept { return translation_.soaArrays; }
+    /// Element classes actually stored SoA in this translation (sorted;
+    /// empty unless WJ_SOA=1 and at least one Inline class is allocated).
+    const std::vector<std::string>& layoutClasses() const noexcept {
+        return translation_.soaClasses;
+    }
 
     /// MiniMPI traffic of the most recent multi-rank invoke(): total plus
     /// the pooled / zero-copy split (all zeros before the first MPI run).

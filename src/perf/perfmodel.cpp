@@ -9,6 +9,32 @@ double GpuModel::kernelTime(double bytes, double flops) const noexcept {
     return launchOverhead + std::max(bytes / memBandwidth, flops / peakFlops);
 }
 
+NetModel fitAlphaBeta(const std::vector<LinkSample>& samples) noexcept {
+    // Ordinary least squares on t = a + b*bytes; alpha = a, beta = 1/b.
+    double sx = 0, st = 0;
+    for (const LinkSample& s : samples) {
+        sx += s.bytes;
+        st += s.seconds;
+    }
+    const double n = static_cast<double>(samples.size());
+    double varX = 0, covXT = 0;
+    if (n >= 2) {
+        const double mx = sx / n, mt = st / n;
+        for (const LinkSample& s : samples) {
+            varX += (s.bytes - mx) * (s.bytes - mx);
+            covXT += (s.bytes - mx) * (s.seconds - mt);
+        }
+    }
+    if (!(varX > 0)) return MachineProfile::tsubame2().net;
+    // Clamp away non-physical fits (noise can tilt the slope negative on a
+    // machine where latency dwarfs the per-byte cost): a non-positive slope
+    // becomes an effectively infinite-bandwidth link, a negative intercept
+    // a zero-latency one.
+    const double slope = std::max(covXT / varX, 1e-15);
+    const double alpha = std::max(st / n - slope * (sx / n), 0.0);
+    return NetModel{alpha, 1.0 / slope};
+}
+
 MachineProfile MachineProfile::tsubame2() noexcept {
     MachineProfile m;
     m.net.latency = 2e-6;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace wj::perf {
 
@@ -32,6 +33,20 @@ struct NetModel {
         return latency + bytes / bandwidth;
     }
 };
+
+/// One measured link point: a `bytes`-byte message cost `seconds` one-way.
+struct LinkSample {
+    double bytes;
+    double seconds;
+};
+
+/// Least-squares fit of the alpha-beta model t = alpha + bytes/beta over
+/// measured link samples (e.g. the threads-vs-proc ping-pong medians the
+/// micro bench persists; a round trip is two messages). The intercept is
+/// clamped to >= 0 and the slope to > 0, so the result is always a usable
+/// NetModel; with fewer than two distinct message sizes there is nothing
+/// to fit and the TSUBAME-2.0 default link is returned instead.
+NetModel fitAlphaBeta(const std::vector<LinkSample>& samples) noexcept;
 
 /// Roofline-style GPU model.
 struct GpuModel {

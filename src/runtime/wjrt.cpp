@@ -84,6 +84,13 @@ Device& device() {
 }
 
 float* f32At(const wj_array* a, int32_t off) {
+    // The typed f32 entry points address the payload as one flat float
+    // lane; an SoA payload (per-field regions) is not that. proveLayout
+    // boxes any class whose elements reach an intrinsic, so this trap is a
+    // runtime backstop, not a reachable path of a verified translation.
+    if (a->flags & WJ_ARRAY_SOA) {
+        throw ExecError("f32 view of an SoA (structure-of-arrays) payload");
+    }
     return static_cast<float*>(wj_array_data(a)) + off;
 }
 
@@ -107,6 +114,16 @@ wj_array* wjrt_alloc_array(int64_t len, int32_t elem_size) {
     }
     if (wj::runtime::g_allocLog) wj::runtime::g_allocLog->push_back(&a->hdr);
     return &a->hdr;
+}
+
+wj_array* wjrt_alloc_soa(int64_t len, int32_t elem_size) {
+    // Same storage contract as wjrt_alloc_array (header layout, zero fill,
+    // AllocScope reclamation) — the flag is the only difference. The zeroed
+    // payload makes every field lane read 0, bit-identical to the AoS
+    // calloc'd default element.
+    wj_array* a = wjrt_alloc_array(len, elem_size);
+    a->flags |= WJ_ARRAY_SOA;
+    return a;
 }
 
 void wjrt_free_array(wj_array* a) {
@@ -361,6 +378,7 @@ void wjrt_trap(const char* msg) { throw ExecError(std::string("translated code t
 
 void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t iter) {
     requireMainThread("ckptSaveF32");
+    if (buf->flags & WJ_ARRAY_SOA) throw ExecError("ckptSaveF32 on an SoA payload");
     if (n < 0 || n > buf->len) {
         throw ExecError("ckptSaveF32: length " + std::to_string(n) + " exceeds array of " +
                         std::to_string(buf->len));
@@ -371,6 +389,7 @@ void wjrt_ckpt_save_f32(const wj_array* buf, int32_t n, int32_t slot, int32_t it
 
 int32_t wjrt_ckpt_load_f32(wj_array* buf, int32_t n, int32_t slot) {
     requireMainThread("ckptLoadF32");
+    if (buf->flags & WJ_ARRAY_SOA) throw ExecError("ckptLoadF32 on an SoA payload");
     if (n < 0 || n > buf->len) {
         throw ExecError("ckptLoadF32: length " + std::to_string(n) + " exceeds array of " +
                         std::to_string(buf->len));

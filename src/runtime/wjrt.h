@@ -38,6 +38,16 @@ struct wj_array_full {
 };
 
 #define WJ_ARRAY_DEVICE 1
+/* Bit 1: structure-of-arrays payload. The array's element class was split
+ * by the translator's AoS->SoA layout pass (WJ_SOA=1): elem_size is the
+ * PACKED sum of the class's primitive field sizes and the payload holds one
+ * contiguous lane region per field — field k's region starts at
+ * data + len * pre_k, where pre_k is the packed byte offset of the fields
+ * preceding it (size-sorted, so every region is naturally aligned for any
+ * len). Total payload is still len * elem_size bytes, so free / range
+ * comparisons need no special casing; the typed f32 comm/checkpoint entry
+ * points trap on the flag because an SoA payload is not a flat f32 lane. */
+#define WJ_ARRAY_SOA 2
 
 /* Payload pointer. */
 static inline void* wj_array_data(const wj_array* a) {
@@ -47,6 +57,10 @@ static inline void* wj_array_data(const wj_array* a) {
 /* Host array allocation (zero-initialized) and explicit free — the paper's
  * WootinJ.free; there is no garbage collector on the translated side. */
 wj_array* wjrt_alloc_array(int64_t len, int32_t elem_size);
+/* SoA allocation: identical storage contract to wjrt_alloc_array (same
+ * header layout, zero fill, AllocScope reclamation) with WJ_ARRAY_SOA set.
+ * elem_size is the packed per-element byte count described above. */
+wj_array* wjrt_alloc_soa(int64_t len, int32_t elem_size);
 void wjrt_free_array(wj_array* a);
 
 /* --------------------------------------------------------------------- MPI

@@ -858,6 +858,162 @@ void buildRunners(ProgramBuilder& pb) {
     }
 }
 
+// ------------------------------------------------- AoS cell chain (SoA demo)
+//
+// EXTENSION: the showcase workload of the proveLayout AoS->SoA pass. `Cell`
+// is a six-component f32 state record; CellStencil1D runs a three-point
+// damped-averaging update over Cell[] buffers where every element access is
+// a provable field path (`cur[i].u`) and every store is a fresh
+// `new Cell(...)`. Under the AoS layout each lane read is struct-strided
+// (24-byte stride — a gather), so the sweep is ScalarOnly; under WJ_SOA=1
+// the translator stores the buffers as six contiguous lanes and the same
+// loop vectorizes unit-stride.
+void buildCellWorkload(ProgramBuilder& pb) {
+    static const char* F[] = {"u", "v", "w", "a", "b", "c"};
+    {
+        auto& c = pb.cls("Cell").finalClass();
+        for (const char* f : F) c.field(f, f32());
+        auto& ct = c.ctor();
+        for (const char* f : F) ct.param(std::string(f) + "_", f32());
+        Block b;
+        for (const char* f : F) b.push_back(setSelf(f, lv(std::string(f) + "_")));
+        ct.body(std::move(b));
+    }
+
+    auto& c = pb.cls("CellStencil1D").extends("StencilRunner");
+    c.field("n", i32()).field("seed", i32());
+    c.field("ca", f32()).field("cb", f32());
+    c.ctor()
+        .param("n_", i32())
+        .param("seed_", i32())
+        .param("ca_", f32())
+        .param("cb_", f32())
+        .body(blk(setSelf("n", lv("n_")), setSelf("seed", lv("seed_")),
+                  setSelf("ca", lv("ca_")), setSelf("cb", lv("cb_"))));
+
+    const Type cell = Type::cls("Cell");
+    const Type cellArr = Type::array(cell);
+    // cur[<idx>].<f> — the one access shape the layout pass admits.
+    auto lane = [](const char* arr, ExprPtr idx, const char* f) {
+        return getf(aget(lv(arr), std::move(idx)), f);
+    };
+    // new Cell(cur[at].u, ..., cur[at].c): an element rebuilt through field
+    // paths (the pass forbids whole-object copies, so the boundary
+    // copy-through is written lane by lane). `at` regenerates the index
+    // expression per field — DSL trees are uniquely owned.
+    auto copyCell = [&](auto at) {
+        std::vector<ExprPtr> args;
+        for (const char* f : F) args.push_back(lane("cur", at(), f));
+        return newObjV("Cell", std::move(args));
+    };
+
+    // Deterministic fill: lane k of element i seeds from index i + k*n, so
+    // the six lanes decorrelate while staying reproducible.
+    Block fill;
+    {
+        std::vector<ExprPtr> args;
+        for (int k = 0; k < 6; ++k) {
+            args.push_back(intr(Intrinsic::RngHashF32, selff("seed"),
+                                add(lv("i"), mul(ci(k), lv("n")))));
+        }
+        fill.push_back(aset(lv("cur"), lv("i"), newObjV("Cell", std::move(args))));
+    }
+
+    // Interior update: f' = ca*(f[i-1] + f[i+1]) + cb*f[i] for every lane.
+    Block inner;
+    inner.push_back(decl("im", i32(), sub(lv("i"), ci(1))));
+    inner.push_back(decl("ip", i32(), add(lv("i"), ci(1))));
+    {
+        std::vector<ExprPtr> upd;
+        for (const char* f : F) {
+            upd.push_back(
+                add(mul(lv("ca"), add(lane("cur", lv("im"), f), lane("cur", lv("ip"), f))),
+                    mul(lv("cb"), lane("cur", lv("i"), f))));
+        }
+        inner.push_back(aset(lv("nxt"), lv("i"), newObjV("Cell", std::move(upd))));
+    }
+
+    // One step: pinned ends copied through, interior swept, buffers swapped.
+    // Guarded by n > 1 so degenerate sizes never swap in unwritten elements.
+    Block step;
+    step.push_back(aset(lv("nxt"), ci(0), copyCell([] { return ci(0); })));
+    step.push_back(decl("last", i32(), sub(lv("n"), ci(1))));
+    step.push_back(aset(lv("nxt"), lv("last"), copyCell([] { return lv("last"); })));
+    step.push_back(forRange("i", ci(1), sub(lv("n"), ci(1)), std::move(inner)));
+    step.push_back(decl("t", cellArr, lv("cur")));
+    step.push_back(assign("cur", lv("nxt")));
+    step.push_back(assign("nxt", lv("t")));
+
+    Block cks;
+    {
+        ExprPtr s = lv("sum");
+        for (const char* f : F) s = add(std::move(s), cast(f64(), lane("cur", lv("i"), f)));
+        cks.push_back(assign("sum", std::move(s)));
+    }
+
+    Block body;
+    body.push_back(decl("n", i32(), selff("n")));
+    body.push_back(decl("ca", f32(), selff("ca")));
+    body.push_back(decl("cb", f32(), selff("cb")));
+    body.push_back(decl("cur", cellArr, newArr(cell, lv("n"))));
+    body.push_back(decl("nxt", cellArr, newArr(cell, lv("n"))));
+    body.push_back(forRange("i", ci(0), lv("n"), std::move(fill)));
+    body.push_back(ifs(gt(lv("n"), ci(1)),
+                       blk(forRange("s", ci(0), lv("steps"), std::move(step)))));
+    body.push_back(decl("sum", f64(), cd(0.0)));
+    body.push_back(forRange("i", ci(0), lv("n"), std::move(cks)));
+    body.push_back(ret(lv("sum")));
+    c.method("run", f64()).param("steps", i32()).body(std::move(body));
+
+    // Lane-projection probe: the textbook AoS->SoA case. The hot loop reads
+    // only the `u` lane of the six-field record into a prim f32[] — under
+    // AoS every element drags all 24 bytes through the cache to use 4 and
+    // the read is struct-strided (ScalarOnly); under WJ_SOA=1 the loop
+    // touches just the `u` lane, unit-stride and vectorizable. `ca` decays
+    // per step so no iteration's sweep is hoistable as redundant.
+    Block pfill;
+    {
+        std::vector<ExprPtr> args;
+        for (int k = 0; k < 6; ++k) {
+            args.push_back(intr(Intrinsic::RngHashF32, selff("seed"),
+                                add(lv("i"), mul(ci(k), lv("n")))));
+        }
+        pfill.push_back(aset(lv("cur"), lv("i"), newObjV("Cell", std::move(args))));
+    }
+    Block pinner;
+    pinner.push_back(decl("im", i32(), sub(lv("i"), ci(1))));
+    pinner.push_back(decl("ip", i32(), add(lv("i"), ci(1))));
+    pinner.push_back(
+        aset(lv("out"), lv("i"),
+             add(mul(lv("ca"), add(lane("cur", lv("im"), "u"), lane("cur", lv("ip"), "u"))),
+                 mul(lv("cb"), lane("cur", lv("i"), "u")))));
+    Block pstep;
+    pstep.push_back(aset(lv("out"), ci(0), lane("cur", ci(0), "u")));
+    pstep.push_back(decl("last", i32(), sub(lv("n"), ci(1))));
+    pstep.push_back(aset(lv("out"), lv("last"), lane("cur", lv("last"), "u")));
+    pstep.push_back(forRange("i", ci(1), sub(lv("n"), ci(1)), std::move(pinner)));
+    pstep.push_back(assign("acc", add(lv("acc"), cast(f64(), aget(lv("out"), ci(0))))));
+    pstep.push_back(assign("ca", mul(lv("ca"), cf(0.999f))));
+
+    Block pcks;
+    pcks.push_back(assign("sum", add(lv("sum"), cast(f64(), aget(lv("out"), lv("i"))))));
+
+    Block pbody;
+    pbody.push_back(decl("n", i32(), selff("n")));
+    pbody.push_back(decl("ca", f32(), selff("ca")));
+    pbody.push_back(decl("cb", f32(), selff("cb")));
+    pbody.push_back(decl("cur", cellArr, newArr(cell, lv("n"))));
+    pbody.push_back(decl("out", Type::array(f32()), newArr(f32(), lv("n"))));
+    pbody.push_back(forRange("i", ci(0), lv("n"), std::move(pfill)));
+    pbody.push_back(decl("acc", f64(), cd(0.0)));
+    pbody.push_back(ifs(gt(lv("n"), ci(1)),
+                        blk(forRange("s", ci(0), lv("steps"), std::move(pstep)))));
+    pbody.push_back(decl("sum", f64(), lv("acc")));
+    pbody.push_back(forRange("i", ci(0), lv("n"), std::move(pcks)));
+    pbody.push_back(ret(lv("sum")));
+    c.method("probe", f64()).param("steps", i32()).body(std::move(pbody));
+}
+
 } // namespace
 
 void registerLibrary(ProgramBuilder& pb) {
@@ -865,6 +1021,7 @@ void registerLibrary(ProgramBuilder& pb) {
     buildGrid(pb);
     buildSolverHierarchy(pb);
     buildRunners(pb);
+    buildCellWorkload(pb);
 }
 
 void registerDiffusionApp(ProgramBuilder& pb) {
@@ -1000,6 +1157,11 @@ Value makeCpu1DRunner(Interp& in, int n, float a, float b, int seed) {
     return in.instantiate("StencilCPU1D", {solver, Value::ofI32(n), Value::ofI32(seed)});
 }
 
+Value makeCellRunner(Interp& in, int n, float ca, float cb, int seed) {
+    return in.instantiate("CellStencil1D", {Value::ofI32(n), Value::ofI32(seed),
+                                            Value::ofF32(ca), Value::ofF32(cb)});
+}
+
 // ----------------------------------------------------------- references
 //
 // Plain-C++ re-statements of the same numerics, with the same operation
@@ -1032,6 +1194,38 @@ double referenceDiffusion3D(int nx, int ny, int nz, const DiffusionCoeffs& c, in
     }
     double sum = 0;
     for (float v : cur) sum += static_cast<double>(v);
+    return sum;
+}
+
+double referenceCellChain(int n, float ca, float cb, int seed, int steps) {
+    struct CellV {
+        float f[6];
+    };
+    std::vector<CellV> cur(static_cast<size_t>(n)), nxt(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < 6; ++k) {
+            cur[static_cast<size_t>(i)].f[k] = wj_rng_hash_f32(seed, i + k * n);
+        }
+    }
+    if (n > 1) {
+        for (int s = 0; s < steps; ++s) {
+            nxt[0] = cur[0];
+            nxt[static_cast<size_t>(n - 1)] = cur[static_cast<size_t>(n - 1)];
+            for (int i = 1; i < n - 1; ++i) {
+                for (int k = 0; k < 6; ++k) {
+                    nxt[static_cast<size_t>(i)].f[k] =
+                        ca * (cur[static_cast<size_t>(i - 1)].f[k] +
+                              cur[static_cast<size_t>(i + 1)].f[k]) +
+                        cb * cur[static_cast<size_t>(i)].f[k];
+                }
+            }
+            cur.swap(nxt);
+        }
+    }
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < 6; ++k) sum += static_cast<double>(cur[static_cast<size_t>(i)].f[k]);
+    }
     return sum;
 }
 

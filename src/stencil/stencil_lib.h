@@ -79,6 +79,14 @@ Value makeGpuMpiRunner(Interp& in, int nx, int ny, int nzLocal, const DiffusionC
 /// 1-D runner for the Listing 1 solver (heat1d example).
 Value makeCpu1DRunner(Interp& in, int n, float a, float b, int seed);
 
+/// EXTENSION: three-point cell-chain runner over an array of six-field
+/// `Cell` objects (array-of-structs) — the showcase of the proveLayout
+/// AoS→SoA pass. Every element access is a field path and every store a
+/// fresh `new Cell(...)`, so under WJ_SOA=1 the translator splits the
+/// buffers into per-field lanes and the interior sweep vectorizes.
+/// run(steps) returns the f64 checksum over all six lanes.
+Value makeCellRunner(Interp& in, int n, float ca, float cb, int seed);
+
 /// Host-side reference: the same computation in plain C++ (used by tests to
 /// pin the numerics of every platform variant). Returns the checksum.
 double referenceDiffusion3D(int nx, int ny, int nz, const DiffusionCoeffs& c, int seed,
@@ -86,5 +94,8 @@ double referenceDiffusion3D(int nx, int ny, int nz, const DiffusionCoeffs& c, in
 
 /// Reference for the 1-D solver.
 double referenceDiffusion1D(int n, float a, float b, int seed, int steps);
+
+/// Reference for the cell-chain runner (same numerics, same fold order).
+double referenceCellChain(int n, float ca, float cb, int seed, int steps);
 
 } // namespace wj::stencil

@@ -140,6 +140,15 @@ Translation translateMatmul() {
 /// WJ_PARALLEL the fill outlines through wjrt_parallel_for and the dot
 /// through wjrt_parallel_reduce (chunk fn + identity seeding + ordered
 /// combine), which is exactly what this snapshot pins.
+/// The cell-chain workload over Cell[] buffers (see stencil_lib): the
+/// canonical subject of the proveLayout AoS→SoA split.
+Translation translateCells() {
+    static Program prog = stencil::buildProgram();
+    Interp in(prog);
+    Value runner = stencil::makeCellRunner(in, 64, 0.25f, 0.5f, 11);
+    return translate(prog, runner, "run", {Value::ofI32(2)});
+}
+
 Translation translateDot() {
     static Program prog = [] {
         ProgramBuilder pb;
@@ -175,6 +184,7 @@ protected:
     ScopedUnset bounds_{"WJ_BOUNDS"};
     ScopedUnset parallel_{"WJ_PARALLEL"};
     ScopedUnset simd_{"WJ_SIMD"};
+    ScopedUnset soa_{"WJ_SOA"};
 };
 
 TEST_F(CodegenGolden, Diffusion3DCpu) {
@@ -226,6 +236,24 @@ TEST_F(CodegenGolden, DotProductSimd) {
     checkGolden("cg_dot_simd.c.golden", translateDot().cSource);
 }
 
+// The WJ_SOA=1 variants pin the AoS→SoA storage split on the cell chain:
+// wjrt_alloc_soa allocation, per-field region arithmetic, the per-field
+// scatter on element stores, and the SIMD composition (restrict-hoisted
+// per-field lane pointers under `#pragma omp simd`).
+TEST_F(CodegenGolden, CellsStencilSoa) {
+    setenv("WJ_SOA", "1", 1);
+    setenv("WJ_SIMD", "1", 1);
+    checkGolden("cells_stencil_soa.c.golden", translateCells().cSource);
+}
+
+// A prim-only unit under WJ_SOA=1 must be byte-identical to the WJ_SOA=0
+// translation: the layout pass only rewrites class-element arrays.
+TEST_F(CodegenGolden, DotProductSoaIsANoOpOnPrimArrays) {
+    setenv("WJ_SOA", "1", 1);
+    setenv("WJ_SIMD", "1", 1);
+    checkGolden("cg_dot_simd.c.golden", translateDot().cSource);
+}
+
 // Determinism prerequisite: two translations of the same unit in one
 // process must be byte-identical, otherwise golden comparison is noise.
 TEST_F(CodegenGolden, TranslationIsDeterministic) {
@@ -235,4 +263,6 @@ TEST_F(CodegenGolden, TranslationIsDeterministic) {
     EXPECT_EQ(translateDiffusion().cSource, translateDiffusion().cSource);
     EXPECT_EQ(translateMatmul().cSource, translateMatmul().cSource);
     EXPECT_EQ(translateDot().cSource, translateDot().cSource);
+    setenv("WJ_SOA", "1", 1);
+    EXPECT_EQ(translateCells().cSource, translateCells().cSource);
 }

@@ -13,7 +13,11 @@
 //   jit+par@4         the same translation fanned out over 4 pool threads
 //   jit+simd          WJ_SIMD=1 — `#pragma omp simd` on proven loops
 //   jit+par+simd@4    both codegens composed, 4 pool threads
-// The first five must agree BITWISE (uint64 payload of the f64 result) on
+//   jit+soa           WJ_SOA=1 — the AoS→SoA layout split (a no-op here:
+//                     random programs carry no class-element arrays, so
+//                     this pins the restructured element-access codegen)
+//   jit+par+simd+soa@4  all three codegens composed, 4 pool threads
+// The non-simd rows must agree BITWISE (uint64 payload of the f64 result) on
 // every argument. The simd configs are also expected bitwise (the emitter
 // never reassociates floats: reduction clauses are limited to exact
 // operators), but are checked to a 1-ulp ceiling so a compiler that
@@ -228,6 +232,7 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
     ScopedEnv pinP("WJ_PARALLEL", nullptr);
     ScopedEnv pinT("WJ_THREADS", nullptr);
     ScopedEnv pinS("WJ_SIMD", nullptr);
+    ScopedEnv pinL("WJ_SOA", nullptr);
 
     Program p = randomProgram(seed);
     Interp in(p);
@@ -251,6 +256,19 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
     JitCode parSimd = [&] {
         ScopedEnv e1("WJ_PARALLEL", "1");
         ScopedEnv e2("WJ_SIMD", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+    // The WJ_SOA configs exercise the restructured FieldGet/ArraySet paths
+    // in the translator; random programs have no class-element arrays, so
+    // the flag must be a provable no-op on them.
+    JitCode soa = [&] {
+        ScopedEnv e("WJ_SOA", "1");
+        return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
+    }();
+    JitCode parSimdSoa = [&] {
+        ScopedEnv e1("WJ_PARALLEL", "1");
+        ScopedEnv e2("WJ_SIMD", "1");
+        ScopedEnv e3("WJ_SOA", "1");
         return WootinJ::jit(p, obj, "run", {Value::ofI32(0)});
     }();
 
@@ -280,6 +298,12 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
             ScopedEnv t("WJ_THREADS", "4");
             rows.push_back({"jit+parallel+simd@4", parSimd.invokeWith(args).asF64(), true});
         }
+        rows.push_back({"jit+soa", soa.invokeWith(args).asF64(), false});
+        {
+            ScopedEnv t("WJ_THREADS", "4");
+            rows.push_back(
+                {"jit+parallel+simd+soa@4", parSimdSoa.invokeWith(args).asF64(), true});
+        }
         for (const Row& r : rows) {
             if (r.simdRow) {
                 // Expected bitwise too, but tolerated to 1 ulp (see the
@@ -299,7 +323,9 @@ TEST_P(RandomDifferential, AllExecutionConfigsBitwiseAgree) {
     }
 }
 
-// 200+ programs x 5 configs x 5 arguments, per the tracing-PR acceptance
+// 200+ programs x 8 jit configs x 5 arguments, per the tracing-PR and
+// layout-PR acceptance criteria (9 configurations counting the interpreter
+// reference row).
 // criteria. Each sweep index is its own ctest entry (gtest_discover_tests),
 // so the three compiles per program run under per-test timeouts.
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomDifferential, ::testing::Range(0, 200));
@@ -373,6 +399,7 @@ TEST_P(ReductionDifferential, ParallelReduceConfigsBitwiseAgree) {
     ScopedEnv pinP("WJ_PARALLEL", nullptr);
     ScopedEnv pinT("WJ_THREADS", nullptr);
     ScopedEnv pinS("WJ_SIMD", nullptr);
+    ScopedEnv pinL("WJ_SOA", nullptr);
 
     Program p = reductionProgram(seed);
     Interp in(p);

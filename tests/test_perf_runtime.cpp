@@ -106,6 +106,33 @@ TEST(PerfModel, GpuStrongScalingSaturates) {
     EXPECT_LT(speedup, 64.0);  // PCIe staging caps it — the paper's story
 }
 
+TEST(PerfModel, FitAlphaBetaRecoversAnExactAffineLink) {
+    const NetModel truth{3e-6, 2e9};
+    std::vector<LinkSample> s;
+    for (double b : {64.0, 4096.0, 65536.0, 262144.0})
+        s.push_back({b, truth.transferTime(b)});
+    const NetModel fit = fitAlphaBeta(s);
+    EXPECT_NEAR(truth.latency, fit.latency, 1e-12);
+    EXPECT_NEAR(truth.bandwidth, fit.bandwidth, truth.bandwidth * 1e-6);
+    // And the fit predicts its own inputs exactly.
+    for (const auto& p : s) EXPECT_NEAR(p.seconds, fit.transferTime(p.bytes), 1e-15);
+}
+
+TEST(PerfModel, FitAlphaBetaDegenerateInputsFallBackOrClamp) {
+    // No samples / one sample: nothing to fit -> the default profile.
+    const NetModel dflt = MachineProfile::tsubame2().net;
+    EXPECT_DOUBLE_EQ(dflt.latency, fitAlphaBeta({}).latency);
+    EXPECT_DOUBLE_EQ(dflt.bandwidth, fitAlphaBeta({{4096.0, 5e-6}}).bandwidth);
+    // Repeated sizes have zero variance in bytes -> same fallback.
+    EXPECT_DOUBLE_EQ(dflt.latency, fitAlphaBeta({{64.0, 1e-6}, {64.0, 2e-6}}).latency);
+    // A noise-tilted negative slope clamps to a usable (huge-bandwidth)
+    // link instead of producing a negative beta.
+    const NetModel neg = fitAlphaBeta({{64.0, 1e-3}, {65536.0, 1e-6}});
+    EXPECT_GT(neg.bandwidth, 0.0);
+    EXPECT_GE(neg.latency, 0.0);
+    EXPECT_GT(neg.transferTime(1e6), 0.0);
+}
+
 // ------------------------------------------------------------------- wjrt
 
 TEST(Wjrt, ArrayAllocZeroedAndFreed) {

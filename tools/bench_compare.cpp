@@ -1,0 +1,255 @@
+// bench_compare — CI regression gate over the per-figure BENCH_*.json
+// reports the benches persist at exit (schema in bench/common.h).
+//
+//   bench_compare <baseline.json> <current.json> [--threshold PCT]
+//
+// Rows are matched by {figure, config, threads, ranks}; for every matching
+// pair the current median_ns is compared against the baseline and the tool
+// exits 1 when any row regressed by more than the threshold (default 25%,
+// sized for shared-runner noise — the goal is catching step changes like a
+// de-vectorized kernel, not 3% drift). Rows present on only one side are
+// reported but not fatal (benches grow rows across PRs). Mismatched figure
+// ids mean the wrong files are being compared: that is a usage error.
+//
+// Exit codes follow the repo-wide CLI contract: 0 ok, 1 regression found,
+// 2 usage/parse error.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+    std::string config;
+    double medianNs = 0;
+    int threads = 1;
+    int ranks = 1;
+};
+
+struct Report {
+    std::string figure;
+    std::vector<Row> rows;
+};
+
+// ---- minimal JSON scanner for the fixed bench schema ----------------------
+// Accepts exactly the shape common.cpp writes (one object, string figure,
+// array of flat row objects with string/number fields). Anything else is a
+// parse error — the reports are machine-written, so leniency buys nothing.
+
+class Parser {
+public:
+    explicit Parser(std::string text) : s_(std::move(text)) {}
+
+    bool parse(Report& out, std::string& err) {
+        ws();
+        if (!eat('{')) return fail(err, "expected '{'");
+        bool first = true;
+        while (true) {
+            ws();
+            if (eat('}')) break;
+            if (!first && !eat(',')) return fail(err, "expected ',' between members");
+            first = false;
+            ws();
+            std::string key;
+            if (!str(key)) return fail(err, "expected member name");
+            ws();
+            if (!eat(':')) return fail(err, "expected ':'");
+            ws();
+            if (key == "figure") {
+                if (!str(out.figure)) return fail(err, "figure must be a string");
+            } else if (key == "rows") {
+                if (!rows(out.rows, err)) return false;
+            } else {
+                return fail(err, "unknown member \"" + key + "\"");
+            }
+        }
+        ws();
+        if (pos_ != s_.size()) return fail(err, "trailing content");
+        return true;
+    }
+
+private:
+    bool rows(std::vector<Row>& out, std::string& err) {
+        if (!eat('[')) return fail(err, "rows must be an array");
+        ws();
+        if (eat(']')) return true;
+        while (true) {
+            Row r;
+            if (!row(r, err)) return false;
+            out.push_back(std::move(r));
+            ws();
+            if (eat(']')) return true;
+            if (!eat(',')) return fail(err, "expected ',' between rows");
+            ws();
+        }
+    }
+
+    bool row(Row& r, std::string& err) {
+        ws();
+        if (!eat('{')) return fail(err, "row must be an object");
+        bool first = true;
+        while (true) {
+            ws();
+            if (eat('}')) return true;
+            if (!first && !eat(',')) return fail(err, "expected ',' in row");
+            first = false;
+            ws();
+            std::string key;
+            if (!str(key)) return fail(err, "expected row member name");
+            ws();
+            if (!eat(':')) return fail(err, "expected ':' in row");
+            ws();
+            if (key == "config") {
+                if (!str(r.config)) return fail(err, "config must be a string");
+            } else {
+                double v = 0;
+                if (!num(v)) return fail(err, "\"" + key + "\" must be a number");
+                if (key == "median_ns") r.medianNs = v;
+                else if (key == "threads") r.threads = static_cast<int>(v);
+                else if (key == "ranks") r.ranks = static_cast<int>(v);
+                else return fail(err, "unknown row member \"" + key + "\"");
+            }
+        }
+    }
+
+    void ws() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    bool eat(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool str(std::string& out) {
+        if (!eat('"')) return false;
+        out.clear();
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (pos_ >= s_.size()) return false;
+                out += s_[pos_++];
+            } else {
+                out += c;
+            }
+        }
+        return false;
+    }
+    bool num(double& out) {
+        const char* start = s_.c_str() + pos_;
+        char* end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start) return false;
+        pos_ += static_cast<size_t>(end - start);
+        return true;
+    }
+    bool fail(std::string& err, const std::string& what) {
+        err = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    std::string s_;
+    size_t pos_ = 0;
+};
+
+bool load(const char* path, Report& out) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string err;
+    if (!Parser(ss.str()).parse(out, err)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path, err.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string rowKey(const Row& r) {
+    return r.config + " @threads=" + std::to_string(r.threads) +
+           " ranks=" + std::to_string(r.ranks);
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> [--threshold PCT]\n"
+                 "  exits 1 when any {figure, config} row's median_ns regressed by\n"
+                 "  more than PCT%% (default 25) against the baseline\n");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* basePath = nullptr;
+    const char* curPath = nullptr;
+    double thresholdPct = 25.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            thresholdPct = std::strtod(argv[++i], &end);
+            if (!end || *end || !(thresholdPct > 0)) return usage();
+        } else if (!basePath) {
+            basePath = argv[i];
+        } else if (!curPath) {
+            curPath = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (!basePath || !curPath) return usage();
+
+    Report base, cur;
+    if (!load(basePath, base) || !load(curPath, cur)) return 2;
+    if (base.figure != cur.figure) {
+        std::fprintf(stderr,
+                     "bench_compare: figure mismatch — baseline is \"%s\", current is \"%s\" "
+                     "(comparing different benches?)\n",
+                     base.figure.c_str(), cur.figure.c_str());
+        return 2;
+    }
+
+    std::map<std::string, const Row*> baseRows;
+    for (const Row& r : base.rows) baseRows[rowKey(r)] = &r;
+
+    std::printf("== %s: %s -> %s (threshold +%.0f%%) ==\n", base.figure.c_str(), basePath,
+                curPath, thresholdPct);
+    int regressions = 0, matched = 0;
+    for (const Row& r : cur.rows) {
+        auto it = baseRows.find(rowKey(r));
+        if (it == baseRows.end()) {
+            std::printf("  [new]  %-48s %12.0f ns\n", rowKey(r).c_str(), r.medianNs);
+            continue;
+        }
+        const Row& b = *it->second;
+        baseRows.erase(it);
+        ++matched;
+        // A zero baseline carries no signal (sub-resolution row): report
+        // the delta but never gate on it.
+        const double deltaPct = b.medianNs > 0 ? (r.medianNs / b.medianNs - 1.0) * 100.0 : 0.0;
+        const bool regressed = deltaPct > thresholdPct;
+        std::printf("  [%s] %-48s %12.0f -> %12.0f ns  (%+.1f%%)\n",
+                    regressed ? "FAIL" : " ok ", rowKey(r).c_str(), b.medianNs, r.medianNs,
+                    deltaPct);
+        if (regressed) ++regressions;
+    }
+    for (const auto& [key, r] : baseRows) {
+        std::printf("  [gone] %-48s %12.0f ns (row absent in current)\n", key.c_str(),
+                    r->medianNs);
+    }
+    std::printf("%d rows matched, %d regression%s\n", matched, regressions,
+                regressions == 1 ? "" : "s");
+    return regressions ? 1 : 0;
+}

@@ -1,9 +1,11 @@
 // wjc — the WootinC command-line driver.
 //
 //   wjc check <file.wj>                  verify the Section 3.2 coding rules
-//   wjc lint <file.wj> [--Werror]        run the dataflow analyses (definite
+//   wjc lint <file.wj> [--Werror] [--soa]
+//                                        run the dataflow analyses (definite
 //                                        assignment, bounds, halo races) and
-//                                        print the per-loop parallel report
+//                                        print the per-loop parallel, simd,
+//                                        and layout reports
 //   wjc print <file.wj>                  reformat (parse + pretty-print)
 //   wjc translate <file.wj> --new EXPR --method NAME [ARGS...]
 //                                        print the generated C
@@ -70,12 +72,12 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  wjc check <file.wj>\n"
-                 "  wjc lint <file.wj> [--Werror]\n"
+                 "  wjc lint <file.wj> [--Werror] [--soa]\n"
                  "  wjc print <file.wj>\n"
                  "  wjc translate <file.wj> --new EXPR --method NAME [--no-cache]\n"
-                 "                [--threads N] [--simd] [--fault SPEC] [ARGS...]\n"
+                 "                [--threads N] [--simd] [--soa] [--fault SPEC] [ARGS...]\n"
                  "  wjc run <file.wj> --new EXPR --method NAME [--ranks N] [--threads N]\n"
-                 "                [--simd] [--no-cache] [--fault SPEC] [--trace FILE]\n"
+                 "                [--simd] [--soa] [--no-cache] [--fault SPEC] [--trace FILE]\n"
                  "                [--transport threads|proc] [ARGS...]\n"
                  "  wjc trace <file.wj> ...           (run with the span tracer armed)\n"
                  "  wjc cache [stats|dir|clear]\n");
@@ -236,6 +238,11 @@ int runMain(int argc, char** argv) {
         bool werror = false;
         for (int i = 3; i < argc; ++i) {
             if (std::strcmp(argv[i], "--Werror") == 0) werror = true;
+            // --soa sets WJ_SOA=1 for the analysis run, so the simd report
+            // shows the verdicts the translator would see under the SoA
+            // layout (element-path loops flip from "vectorizable under
+            // --soa" to Vectorizable).
+            else if (std::strcmp(argv[i], "--soa") == 0) setenv("WJ_SOA", "1", 1);
             else return usage();
         }
         Program p = frontend::parseProgram(slurp(path));
@@ -251,6 +258,10 @@ int runMain(int argc, char** argv) {
         // innermost loops --simd may emit as `#pragma omp simd`, which need a
         // runtime overlap guard, and why the rest stay scalar.
         for (const auto& line : r.vectorReport) std::printf("simd: %s\n", line.c_str());
+        // And the AoS->SoA layout verdicts (proveLayout): which element
+        // classes --soa may split into per-field lanes, and what use boxes
+        // the rest.
+        for (const auto& line : r.layoutReport) std::printf("layout: %s\n", line.c_str());
         const bool fail = !r.errors.empty() || (werror && !r.warnings.empty());
         if (!fail)
             std::printf("%s: %d array accesses proven safe, %d unproven; no defects found\n",
@@ -287,6 +298,12 @@ int runMain(int argc, char** argv) {
             // proveVectors pass cleared. Orthogonal to --threads; the
             // generated C stays thread-count independent either way.
             setenv("WJ_SIMD", "1", 1);
+        }
+        else if (a == "--soa") {
+            // WJ_SOA=1: store arrays of Inline-verdict element classes
+            // (proveLayout) as per-field lane regions. Composes with
+            // --threads/--simd; results stay bitwise-identical.
+            setenv("WJ_SOA", "1", 1);
         }
         else if (a == "--no-cache") setenv("WJ_CACHE", "0", 1);
         else if (a == "--transport" && i + 1 < argc) {
@@ -325,13 +342,15 @@ int runMain(int argc, char** argv) {
         std::fputs(code.generatedC().c_str(), stdout);
         std::fprintf(stderr,
                      "// %lld specializations, %lld devirtualized calls, %lld kernels, "
-                     "%lld parallel loops, %lld reduction loops, %lld vector loops\n",
+                     "%lld parallel loops, %lld reduction loops, %lld vector loops, "
+                     "%lld soa arrays\n",
                      static_cast<long long>(code.specializations()),
                      static_cast<long long>(code.devirtualizedCalls()),
                      static_cast<long long>(code.kernels()),
                      static_cast<long long>(code.parallelLoops()),
                      static_cast<long long>(code.reduceLoops()),
-                     static_cast<long long>(code.vectorLoops()));
+                     static_cast<long long>(code.vectorLoops()),
+                     static_cast<long long>(code.soaArrays()));
         return 0;
     }
     Value result = code.invoke();
