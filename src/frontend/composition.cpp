@@ -1,0 +1,113 @@
+#include "frontend/composition.h"
+
+#include <vector>
+
+#include "frontend/lexer.h"
+#include "support/diagnostics.h"
+
+namespace wj::frontend {
+
+namespace {
+
+/// Recursive-descent reader over the lexer's token stream: Ident '(' args ')'
+/// where args are nested compositions or numeric literals.
+class CompositionParser {
+public:
+    CompositionParser(Interp& in, const std::string& text) : in_(in), toks_(lex(text)) {}
+
+    Value parse() {
+        Value v = parseValue();
+        if (!at(Tok::Eof)) err("trailing input after composition");
+        return v;
+    }
+
+private:
+    const Token& peek(size_t off = 0) const {
+        const size_t i = pos_ + off;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool at(Tok k, size_t off = 0) const { return peek(off).kind == k; }
+    Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+    [[noreturn]] void err(const std::string& m) const {
+        throw UsageError("composition: " + m);
+    }
+
+    Value parseValue() {
+        // wjd feeds attacker-controlled text through here; bound the
+        // recursion so `A(A(A(...` and `----1` get a parse error, not a
+        // stack overflow.
+        if (++depth_ > 256) {
+            --depth_;
+            err("composition nesting too deep");
+        }
+        struct Pop {
+            int& d;
+            ~Pop() { --d; }
+        } pop{depth_};
+        if (at(Tok::Minus)) {
+            take();
+            Value v = parseValue();
+            if (v.isI32()) return Value::ofI32(-v.asI32());
+            if (v.isI64()) return Value::ofI64(-v.asI64());
+            if (v.isF32()) return Value::ofF32(-v.asF32());
+            if (v.isF64()) return Value::ofF64(-v.asF64());
+            err("cannot negate an object");
+        }
+        if (at(Tok::IntLit)) return Value::ofI32(static_cast<int32_t>(take().ival));
+        if (at(Tok::LongLit)) return Value::ofI64(take().ival);
+        if (at(Tok::FloatLit)) return Value::ofF32(static_cast<float>(take().fval));
+        if (at(Tok::DoubleLit)) return Value::ofF64(take().fval);
+        if (!at(Tok::Ident)) err("expected a class name or literal");
+        const std::string cls = take().text;
+        if (cls == "true") return Value::ofBool(true);
+        if (cls == "false") return Value::ofBool(false);
+        if (!at(Tok::LParen)) err("expected '(' after " + cls);
+        take();
+        std::vector<Value> args;
+        if (!at(Tok::RParen)) {
+            args.push_back(parseValue());
+            while (at(Tok::Comma)) {
+                take();
+                args.push_back(parseValue());
+            }
+        }
+        if (!at(Tok::RParen)) err("expected ')'");
+        take();
+        return in_.instantiate(cls, std::move(args));
+    }
+
+    Interp& in_;
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+Value parseComposition(Interp& in, const std::string& text) {
+    return CompositionParser(in, text).parse();
+}
+
+Value parseArgLiteral(const std::string& text) {
+    auto toks = lex(text);
+    bool neg = false;
+    size_t i = 0;
+    if (toks[i].kind == Tok::Minus) {
+        neg = true;
+        ++i;
+    }
+    const auto& t = toks[i];
+    switch (t.kind) {
+    case Tok::IntLit: return Value::ofI32(static_cast<int32_t>(neg ? -t.ival : t.ival));
+    case Tok::LongLit: return Value::ofI64(neg ? -t.ival : t.ival);
+    case Tok::FloatLit: return Value::ofF32(static_cast<float>(neg ? -t.fval : t.fval));
+    case Tok::DoubleLit: return Value::ofF64(neg ? -t.fval : t.fval);
+    case Tok::Ident:
+        if (t.text == "true") return Value::ofBool(true);
+        if (t.text == "false") return Value::ofBool(false);
+        [[fallthrough]];
+    default: throw UsageError("cannot parse argument literal: " + text);
+    }
+}
+
+} // namespace wj::frontend

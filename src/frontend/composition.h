@@ -1,0 +1,29 @@
+// Composition expressions: the textual form of Listing 2's main method —
+// nested constructor calls with numeric/boolean literal leaves, e.g.
+//
+//     PiEstimator(HashSampler())
+//     StencilCPU3DDblB(Dif3DSolver(), DiffusionQuantity(0.4f, ...),
+//                      FloatGridDblB(8,8,8), 42)
+//
+// wjc's --new flag and wjd's `new=` request field both carry one of these;
+// parsing instantiates the object graph through the interpreter so the JIT
+// receives a fully constructed receiver. Shared here so the CLI and the
+// compile daemon agree on exactly one grammar.
+#pragma once
+
+#include <string>
+
+#include "interp/interp.h"
+
+namespace wj::frontend {
+
+/// Parses one composition expression and instantiates it via `in`.
+/// Throws UsageError on malformed input or unknown classes.
+Value parseComposition(Interp& in, const std::string& text);
+
+/// Parses one argument literal: "12" -> i32, "12L" -> i64, "1.5f" -> f32,
+/// "1.5" -> f64, true/false -> bool (optionally '-'-negated).
+/// Throws UsageError on anything else.
+Value parseArgLiteral(const std::string& text);
+
+} // namespace wj::frontend

@@ -75,6 +75,24 @@ private:
         if (!at(k)) err(std::string("expected ") + what);
         return take();
     }
+
+    // The grammar is parsed by recursive descent, so adversarial input like
+    // ten thousand '(' or '-' characters would otherwise translate directly
+    // into native stack depth. Every self-recursive entry point (statements,
+    // ternary re-entry, unary chains) holds one of these; past the limit the
+    // input is rejected with a normal parse error instead of a stack
+    // overflow. 256 is far beyond any program the printer round-trips.
+    struct DepthGuard {
+        explicit DepthGuard(const Parser& p) : p_(p) {
+            if (++p_.depth_ > kMaxDepth) {
+                --p_.depth_;
+                p_.err("expression or block nesting too deep");
+            }
+        }
+        ~DepthGuard() { --p_.depth_; }
+        const Parser& p_;
+    };
+    static constexpr int kMaxDepth = 256;
     void expectIdent(const char* text) {
         if (!atIdent(text)) err(std::string("expected '") + text + "'");
         take();
@@ -270,6 +288,7 @@ private:
     }
 
     StmtPtr parseStmt() {
+        DepthGuard guard(*this);
         if (atIdent("if")) {
             take();
             expect(Tok::LParen, "'('");
@@ -391,6 +410,7 @@ private:
     ExprPtr parseExpr() { return parseTernary(); }
 
     ExprPtr parseTernary() {
+        DepthGuard guard(*this);
         ExprPtr c = parseOr();
         if (at(Tok::Question)) {
             take();
@@ -468,6 +488,7 @@ private:
     }
 
     ExprPtr parseUnary() {
+        DepthGuard guard(*this);
         if (at(Tok::Minus)) {
             take();
             // Fold a minus directly into a literal so "-1.0f" round-trips as
@@ -597,6 +618,7 @@ private:
     ProgramBuilder& pb_;
     std::vector<Token> toks_;
     size_t pos_ = 0;
+    mutable int depth_ = 0;
     std::set<std::string> classNames_;
     std::string className_;
 };

@@ -1,12 +1,17 @@
 #include "jit/cache.h"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +37,13 @@ bool envFlagOff(const char* name) {
 }
 
 std::string hexKey(uint64_t key) { return format("%016llx", static_cast<unsigned long long>(key)); }
+
+int64_t envMs(const char* name, int64_t dflt) {
+    const char* v = std::getenv(name);
+    if (!v || !*v) return dflt;
+    const long long n = std::atoll(v);
+    return n >= 0 ? n : dflt;
+}
 
 /// Reads a whole file; returns false if it cannot be opened.
 bool slurp(const fs::path& p, std::string& out) {
@@ -141,6 +153,10 @@ uint64_t JitCache::runtimeHeadersVersion(const std::string& includeDir) {
     return version;
 }
 
+std::string JitCache::entryPath(uint64_t key) const {
+    return (fs::path(dir()) / (hexKey(key) + ".so")).string();
+}
+
 std::string JitCache::lookup(uint64_t key) {
     if (!enabled()) return "";
     const fs::path p = fs::path(dir()) / (hexKey(key) + ".so");
@@ -221,9 +237,18 @@ void JitCache::enforceCap() {
     auto entries = scanEntries(d);
     uint64_t total = 0;
     for (const auto& e : entries) total += e.bytes;
+    // Multi-process safety: an entry another wjd worker published moments
+    // ago has not necessarily been dlopen()ed by its publisher yet, and
+    // this process's scan is a stale snapshot. Entries younger than the
+    // grace window are never unlinked (their bytes still count toward the
+    // running total, so old entries are evicted first and harder).
+    const auto grace =
+        std::chrono::milliseconds(envMs("WJ_CACHE_EVICT_GRACE_MS", 0));
+    const auto now = fs::file_time_type::clock::now();
     int64_t evicted = 0;
     for (const auto& e : entries) {
         if (total <= cap) break;
+        if (grace.count() > 0 && e.mtime > now - grace) continue;
         std::error_code ec;
         if (fs::remove(e.path, ec) && !ec) {
             total -= e.bytes;
@@ -238,6 +263,79 @@ void JitCache::enforceCap() {
     }
 }
 
+JitCache::BuildLock& JitCache::BuildLock::operator=(BuildLock&& o) noexcept {
+    if (this != &o) {
+        release();
+        state_ = o.state_;
+        path_ = std::move(o.path_);
+        o.state_ = State::Skipped;
+        o.path_.clear();
+    }
+    return *this;
+}
+
+void JitCache::BuildLock::release() {
+    if (state_ == State::Acquired && !path_.empty()) {
+        std::error_code ec;
+        fs::remove(fs::path(path_), ec);
+    }
+    path_.clear();
+    if (state_ == State::Acquired) state_ = State::Skipped;
+}
+
+JitCache::BuildLock JitCache::lockForBuild(uint64_t key) {
+    BuildLock out;
+    if (!enabled() || envFlagOff("WJ_CACHE_LOCK")) return out;  // Skipped
+    const fs::path d(dir());
+    std::error_code ec;
+    fs::create_directories(d, ec);
+    if (ec) return out;
+    const fs::path so = d / (hexKey(key) + ".so");
+    const fs::path lockPath = d / (hexKey(key) + ".building");
+    const int64_t timeoutMs = envMs("WJ_CACHE_LOCK_TIMEOUT_MS", 120000);
+    const int64_t staleMs = envMs("WJ_CACHE_LOCK_STALE_MS", 120000);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        // O_CREAT|O_EXCL is the atomic claim; the body records the holder
+        // pid so waiters can detect a dead leader.
+        const int fd = ::open(lockPath.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            const std::string pid = format("%d\n", static_cast<int>(::getpid()));
+            (void)!::write(fd, pid.data(), pid.size());
+            ::close(fd);
+            out.state_ = BuildLock::State::Acquired;
+            out.path_ = lockPath.string();
+            return out;
+        }
+        if (errno != EEXIST) return out;  // unusual fs error: Skipped
+        // Someone else is building. Wait for the publish, stealing the
+        // lock if the holder died (its pid is gone, or the lock is older
+        // than the stale window — a SIGKILLed holder never cleans up).
+        std::error_code ec2;
+        if (fs::exists(so, ec2) && !ec2) {
+            out.state_ = BuildLock::State::Published;
+            return out;
+        }
+        std::ifstream in(lockPath);
+        long long holderPid = 0;
+        if (in >> holderPid; holderPid > 0 && holderPid != ::getpid()) {
+            if (::kill(static_cast<pid_t>(holderPid), 0) == -1 && errno == ESRCH) {
+                fs::remove(lockPath, ec2);
+                continue;  // retry the claim immediately
+            }
+        }
+        const auto mtime = fs::last_write_time(lockPath, ec2);
+        if (!ec2 && mtime < fs::file_time_type::clock::now() -
+                                std::chrono::milliseconds(staleMs)) {
+            fs::remove(lockPath, ec2);
+            continue;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) return out;  // Skipped
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
 void JitCache::invalidate(uint64_t key) {
     std::error_code ec;
     fs::remove(fs::path(dir()) / (hexKey(key) + ".so"), ec);
@@ -249,6 +347,7 @@ void JitCache::clearDisk() {
     std::error_code ec;
     for (const auto& de : fs::directory_iterator(d, ec)) {
         if (de.path().extension() == ".so" || de.path().extension() == ".crc" ||
+            de.path().extension() == ".building" ||
             de.path().filename() == "index.tsv") {
             std::error_code ec2;
             fs::remove(de.path(), ec2);
@@ -311,6 +410,11 @@ void JitCache::noteDiskHit(double lookupSeconds) {
 void JitCache::noteCorrupt() {
     std::lock_guard<std::mutex> lock(impl().m);
     ++impl().stats.corrupt;
+}
+
+void JitCache::noteCrossJoin() {
+    std::lock_guard<std::mutex> lock(impl().m);
+    ++impl().stats.crossJoins;
 }
 
 } // namespace wj

@@ -27,12 +27,19 @@
 //     -j) can race on the same key safely. An append-only index.tsv
 //     records (key, tag, bytes) per store for inspection. Eviction is
 //     LRU by file mtime (touched on every hit) with a byte cap from
-//     $WJ_CACHE_MAX_BYTES (default 256 MiB).
+//     $WJ_CACHE_MAX_BYTES (default 256 MiB); entries younger than
+//     $WJ_CACHE_EVICT_GRACE_MS are exempt, so one process's eviction
+//     sweep can never unlink an artifact another process just published
+//     but has not yet dlopen()ed (wjd sets a 10 s grace; the default is
+//     0 to keep single-process byte caps exact).
 //
 // Environment:
 //   WJ_CACHE=0            disable both layers (every compile is cold)
 //   WJ_CACHE_DIR=<path>   override the store location
 //   WJ_CACHE_MAX_BYTES=N  LRU size cap for the on-disk store
+//   WJ_CACHE_EVICT_GRACE_MS=N  entries younger than N ms survive eviction
+//   WJ_CACHE_LOCK=0       disable the cross-process in-flight build dedup
+//   WJ_CACHE_LOCK_TIMEOUT_MS / WJ_CACHE_LOCK_STALE_MS  see BuildLock
 //
 // All env vars are re-read on every call, so tests and benches can
 // redirect or disable the cache at run time with setenv().
@@ -55,6 +62,7 @@ struct CacheStats {
     int64_t stores = 0;       ///< entries published to disk
     int64_t evictions = 0;    ///< entries removed by the LRU cap
     int64_t corrupt = 0;      ///< cached .so that failed to dlopen (recompiled)
+    int64_t crossJoins = 0;   ///< compiles joined to another process's in-flight build
     double lookupSeconds = 0; ///< total wall time spent in lookups
 };
 
@@ -97,6 +105,57 @@ public:
     /// Removes a cached entry (used when a cached .so fails to dlopen).
     void invalidate(uint64_t key);
 
+    /// Where `key` is (or would be) stored — `<dir>/<16-hex-key>.so`. Pure
+    /// path math: no existence check, no stats, no mtime touch (wjd reports
+    /// artifact paths to clients with this; lookup() is the stats-bearing
+    /// probe).
+    std::string entryPath(uint64_t key) const;
+
+    // ---- cross-process in-flight dedup --------------------------------
+    /// RAII guard for the cross-process compile singleflight. On a cache
+    /// miss, compileAndLoad asks for the build lock of the key before
+    /// shelling out to cc: exactly one process per key becomes the leader
+    /// (state Acquired, a `<key>.building` lock file holding its pid);
+    /// every other process blocks until the leader publishes the artifact
+    /// (state Published — the caller re-looks-up and skips its own cc
+    /// invocation) or the lock disappears without a publish (the leader
+    /// failed; the waiter retries acquisition and becomes the new leader).
+    /// Stale locks — holder pid dead, or mtime older than
+    /// WJ_CACHE_LOCK_STALE_MS (default 120 s, SIGKILLed holders) — are
+    /// stolen. A waiter that exceeds WJ_CACHE_LOCK_TIMEOUT_MS (default
+    /// 120 s) gives up with state Skipped and compiles anyway: the atomic
+    /// store keeps duplicated compiles correct, just wasteful.
+    /// WJ_CACHE_LOCK=0 disables the whole mechanism (every caller gets
+    /// Skipped immediately), as does a disabled cache.
+    class BuildLock {
+    public:
+        enum class State {
+            Acquired,   ///< we are the leader: compile, store, release
+            Published,  ///< another process published while we waited
+            Skipped,    ///< locking off / timed out: compile without dedup
+        };
+
+        BuildLock() = default;
+        BuildLock(BuildLock&& o) noexcept { *this = std::move(o); }
+        BuildLock& operator=(BuildLock&& o) noexcept;
+        ~BuildLock() { release(); }
+
+        State state() const noexcept { return state_; }
+        /// Removes the lock file (leader only; idempotent). Call after the
+        /// artifact is stored so waiters always find either the lock or
+        /// the published entry.
+        void release();
+
+    private:
+        friend class JitCache;
+        State state_ = State::Skipped;
+        std::string path_;  ///< lock file owned when state_ == Acquired
+    };
+
+    /// Blocks per the BuildLock contract above. `key` must be the exact
+    /// content-address the subsequent store() will publish under.
+    BuildLock lockForBuild(uint64_t key);
+
     /// Deletes every entry and the index (wjc cache clear; benches).
     void clearDisk();
 
@@ -119,6 +178,7 @@ public:
     void noteMemoryHit();
     void noteDiskHit(double lookupSeconds);
     void noteCorrupt();
+    void noteCrossJoin();
 
 private:
     JitCache() = default;

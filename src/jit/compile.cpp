@@ -140,9 +140,12 @@ void* NativeModule::symbol(const std::string& name) const {
     return s;
 }
 
-CompileResult compileAndLoad(const std::string& cSource, const std::string& tag) {
+std::string resolvedCompiler() {
     const char* cc = std::getenv("WJ_CC");
-    if (!cc || !*cc) cc = "cc";
+    return (cc && *cc) ? std::string(cc) : std::string("cc");
+}
+
+std::string resolvedFlags() {
     // -O2 -fPIC -shared: the role icc's "-O3 -ipo" plays in the paper's
     // Tables 1-2. -fopenmp-simd honors the `#pragma omp simd` lines the
     // WJ_SIMD codegen emits (vectorization only — no OpenMP runtime is
@@ -150,11 +153,20 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     // optimization flags (used by the compile-cost ablation bench); flags
     // are part of the cache key. rdynamic host exports provide wjrt_*.
     const char* flags = std::getenv("WJ_CFLAGS");
-    if (!flags || !*flags) flags = "-O2 -fopenmp-simd";
+    return (flags && *flags) ? std::string(flags) : std::string("-O2 -fopenmp-simd");
+}
+
+uint64_t cacheKeyFor(const std::string& cSource) {
+    return JitCache::keyOf(cSource, resolvedCompiler(), resolvedFlags(),
+                           JitCache::runtimeHeadersVersion(WJ_RT_INCLUDE_DIR));
+}
+
+CompileResult compileAndLoad(const std::string& cSource, const std::string& tag) {
+    const std::string cc = resolvedCompiler();
+    const std::string flags = resolvedFlags();
 
     JitCache& cache = JitCache::instance();
-    const uint64_t rtv = JitCache::runtimeHeadersVersion(WJ_RT_INCLUDE_DIR);
-    const uint64_t key = JitCache::keyOf(cSource, cc, flags, rtv);
+    const uint64_t key = cacheKeyFor(cSource);
 
     static auto& memHits = trace::Metrics::instance().counter("jit.cache.hits.memory");
     static auto& diskHits = trace::Metrics::instance().counter("jit.cache.hits.disk");
@@ -182,7 +194,7 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         if (mod->handle_) {
             diskHits.inc();
             lookupSpan.arg(0, "hit", 1);
-            mod->command_ = format("(cached) %s %s [key %016llx]", cc, flags,
+            mod->command_ = format("(cached) %s %s [key %016llx]", cc.c_str(), flags.c_str(),
                                    static_cast<unsigned long long>(key));
             cache.registerLoaded(key, mod);
             res.module = std::move(mod);
@@ -198,10 +210,52 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         cache.invalidate(key);
     }
     res.lookupSeconds = lookupT.seconds();
-    cache.noteMiss(res.lookupSeconds);
-    misses.inc();
     lookupSpan.arg(0, "hit", 0);
     lookupSpan.end();
+
+    // Cross-process in-flight dedup: exactly one process per key runs cc;
+    // everyone else blocks on the leader's lock file and adopts the
+    // artifact it publishes (see JitCache::BuildLock). Concurrent threads
+    // of ONE process race through here too — the first claims the lock,
+    // the rest join exactly like foreign processes.
+    JitCache::BuildLock buildLock;
+    {
+        trace::Span lockSpan("jit", "cache.buildlock");
+        Timer lockT;
+        buildLock = cache.lockForBuild(key);
+        static auto& lockMs =
+            trace::Metrics::instance().histogram("jit.cache.lockwait.millis");
+        lockMs.observe(static_cast<int64_t>(lockT.seconds() * 1e3));
+    }
+    // Double-checked: whether we waited out a publish (Published) or won
+    // the claim only after a leader came and went (Acquired on retry), the
+    // artifact may exist by now — serve it instead of compiling again.
+    if (buildLock.state() != JitCache::BuildLock::State::Skipped) {
+        if (const std::string joinedSo = cache.lookup(key); !joinedSo.empty()) {
+            trace::Span dlopenSpan("jit", "dlopen");
+            mod->handle_ = dlopen(joinedSo.c_str(), RTLD_NOW | RTLD_LOCAL);
+            if (mod->handle_) {
+                buildLock.release();
+                static auto& xjoins =
+                    trace::Metrics::instance().counter("jit.cache.joins.crossproc");
+                xjoins.inc();
+                cache.noteCrossJoin();
+                cache.noteDiskHit(0);
+                diskHits.inc();
+                mod->command_ = format("(joined) %s %s [key %016llx]", cc.c_str(),
+                                       flags.c_str(), static_cast<unsigned long long>(key));
+                cache.registerLoaded(key, mod);
+                res.module = std::move(mod);
+                res.cacheHit = true;
+                return res;
+            }
+            cache.noteCorrupt();
+            corrupt.inc();
+            cache.invalidate(key);
+        }
+    }
+    cache.noteMiss(res.lookupSeconds);
+    misses.inc();
 
     const std::string dir = makeScratchDir("wootinc");
     mod->dir_ = dir;
@@ -217,8 +271,8 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
 
     mod->command_ =
         format("%s -std=c11 %s -ffp-contract=off -fPIC -shared -I'%s' -o '%s' '%s' -lm 2> '%s'",
-               cc, flags, WJ_RT_INCLUDE_DIR, soPath.c_str(), mod->srcPath_.c_str(),
-               errPath.c_str());
+               cc.c_str(), flags.c_str(), WJ_RT_INCLUDE_DIR, soPath.c_str(),
+               mod->srcPath_.c_str(), errPath.c_str());
 
     // Transient failures — the compiler being OOM-killed, the shell failing
     // to launch, or an injected WJ_FAULT failcompile — are retried with
@@ -249,7 +303,7 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
         }
         if (ok) break;
         if (!injected && raw != -1 && WIFEXITED(raw) && WEXITSTATUS(raw) == 127) {
-            throw CompilerUnavailableError("external C compiler '" + std::string(cc) +
+            throw CompilerUnavailableError("external C compiler '" + cc +
                                            "' is unavailable (" + describeExitStatus(raw) +
                                            "):\n" + slurpFile(errPath));
         }
@@ -277,9 +331,17 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     // temp dir is not load-bearing; fall back to the temp .so if the store
     // failed (cache disabled, disk full, ...).
     const std::string published = cache.store(key, soPath, tag);
+    buildLock.release();
     const std::string& loadPath = published.empty() ? soPath : published;
     trace::Span dlopenSpan("jit", "dlopen");
     mod->handle_ = dlopen(loadPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!mod->handle_ && loadPath != soPath) {
+        // A concurrent LRU sweep (or a byte cap smaller than one entry) can
+        // evict the published copy between store() and this dlopen. The
+        // temp .so this process just built still exists — load it instead
+        // of failing a compile that succeeded.
+        mod->handle_ = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    }
     if (!mod->handle_) {
         throw UsageError(std::string("dlopen failed: ") + dlerror());
     }

@@ -97,4 +97,15 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
 std::future<CompileResult> compileAndLoadAsync(const std::string& cSource,
                                                const std::string& tag);
 
+/// The external compiler compileAndLoad will shell out to: $WJ_CC or "cc".
+std::string resolvedCompiler();
+
+/// The flags compileAndLoad will pass: $WJ_CFLAGS or the -O2 default.
+std::string resolvedFlags();
+
+/// The content-address compileAndLoad uses for `cSource` under the current
+/// environment — the key wjd's in-flight dedup joins on and `wjc build`
+/// records in bundle manifests (see jit/cache.h for the hash recipe).
+uint64_t cacheKeyFor(const std::string& cSource);
+
 } // namespace wj

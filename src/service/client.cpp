@@ -1,0 +1,121 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/diagnostics.h"
+
+namespace wj::service {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& o) noexcept : fd_(o.fd_), nextReq_(o.nextReq_) { o.fd_ = -1; }
+
+Client& Client::operator=(Client&& o) noexcept {
+    if (this != &o) {
+        close();
+        fd_ = std::exchange(o.fd_, -1);
+        nextReq_ = o.nextReq_;
+    }
+    return *this;
+}
+
+void Client::connect(const std::string& socketPath) {
+    close();
+    if (socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        throw UsageError("wjd client: socket path too long: " + socketPath);
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw UsageError("wjd client: socket() failed");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw UsageError("wjd client: cannot connect to " + socketPath + ": " +
+                         std::strerror(err));
+    }
+}
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Client::sendRaw(const void* data, size_t n) {
+    size_t put = 0;
+    while (put < n) {
+        const ssize_t r =
+            ::send(fd_, static_cast<const char*>(data) + put, n - put, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw UsageError(std::string("wjd client: send failed: ") + std::strerror(errno));
+        }
+        put += static_cast<size_t>(r);
+    }
+}
+
+bool Client::readReply(Frame& out) { return readFrame(fd_, out); }
+
+Client::Reply Client::roundTrip(MsgType type, const std::string& body) {
+    if (fd_ < 0) throw UsageError("wjd client: not connected");
+    Frame req;
+    req.type = type;
+    req.reqId = nextReq_++;
+    req.body = body;
+    writeFrame(fd_, req);
+    Frame resp;
+    if (!readFrame(fd_, resp)) {
+        throw UsageError("wjd client: daemon closed the connection before responding");
+    }
+    if (resp.reqId != req.reqId) {
+        throw UsageError("wjd client: response id mismatch (single in-flight request)");
+    }
+    Reply r;
+    const Body b = decodeBody(resp.body);
+    if (resp.type == MsgType::Ok) {
+        r.ok = true;
+        if (const std::string* v = b.find("key")) r.keyHex = *v;
+        if (const std::string* v = b.find("path")) r.path = *v;
+        if (const std::string* v = b.find("cacheHit")) r.cacheHit = *v == "1";
+        if (const std::string* v = b.find("attempts")) r.attempts = std::atoi(v->c_str());
+        r.statsJson = b.payload;
+        return r;
+    }
+    if (resp.type == MsgType::Error) {
+        if (const std::string* v = b.find("code")) {
+            r.code = static_cast<ErrCode>(std::strtoul(v->c_str(), nullptr, 10));
+        }
+        if (const std::string* v = b.find("name")) r.name = *v;
+        r.message = b.payload;
+        return r;
+    }
+    throw UsageError("wjd client: unexpected response frame type");
+}
+
+Client::Reply Client::compile(const std::string& wjSource, const std::string& newExpr,
+                              const std::string& method, const std::string& argsLine) {
+    Body b;
+    b.set("new", newExpr);
+    b.set("method", method);
+    if (!argsLine.empty()) b.set("args", argsLine);
+    b.payload = wjSource;
+    return roundTrip(MsgType::Compile, encodeBody(b));
+}
+
+Client::Reply Client::ping() { return roundTrip(MsgType::Ping, encodeBody(Body{})); }
+
+Client::Reply Client::stats() { return roundTrip(MsgType::Stats, encodeBody(Body{})); }
+
+Client::Reply Client::shutdown() { return roundTrip(MsgType::Shutdown, encodeBody(Body{})); }
+
+} // namespace wj::service

@@ -1,0 +1,68 @@
+// Client side of the wjd protocol — used by wjd_client, the load bench,
+// and the service tests. One Client is one connection; it is not
+// thread-safe (the load bench gives each thread its own).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace wj::service {
+
+class Client {
+public:
+    Client() = default;
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& o) noexcept;
+    Client& operator=(Client&& o) noexcept;
+
+    /// Connects to a listening daemon; throws UsageError on failure.
+    void connect(const std::string& socketPath);
+    void close();
+    bool connected() const noexcept { return fd_ >= 0; }
+    int fd() const noexcept { return fd_; }
+
+    /// Every RPC's decoded result. ok==true: the key/path/... fields are
+    /// valid. ok==false: code/name/message describe the typed failure.
+    struct Reply {
+        bool ok = false;
+        ErrCode code = ErrCode::None;
+        std::string name;     ///< errName(code) as sent by the daemon
+        std::string message;  ///< error payload
+        // compile success fields
+        std::string keyHex;
+        std::string path;
+        bool cacheHit = false;
+        int attempts = 0;
+        // stats success field
+        std::string statsJson;
+    };
+
+    /// Submits a module for compilation and blocks for the response.
+    /// `argsLine` is the whitespace-separated entry-argument literals.
+    Reply compile(const std::string& wjSource, const std::string& newExpr,
+                  const std::string& method, const std::string& argsLine = "");
+
+    Reply ping();
+    Reply stats();
+    /// Requests a drain; the daemon answers after every in-flight compile
+    /// finished.
+    Reply shutdown();
+
+    /// Sends raw bytes on the socket (protocol-fuzz tests).
+    void sendRaw(const void* data, size_t n);
+    /// Reads one response frame (throws UsageError on protocol garbage,
+    /// returns false on EOF).
+    bool readReply(Frame& out);
+
+private:
+    Reply roundTrip(MsgType type, const std::string& body);
+
+    int fd_ = -1;
+    uint64_t nextReq_ = 1;
+};
+
+} // namespace wj::service

@@ -1,0 +1,625 @@
+#include "service/daemon.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "frontend/composition.h"
+#include "frontend/parser.h"
+#include "interp/interp.h"
+#include "jit/cache.h"
+#include "jit/codegen.h"
+#include "jit/compile.h"
+#include "rules/rules.h"
+#include "runtime/wjrt.h"
+#include "service/bundle.h"
+#include "service/protocol.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "support/timer.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace wj::service {
+
+namespace {
+
+// Artifacts the daemon dlopen()s with RTLD_NOW resolve their wjrt_*
+// references from the host executable (CMAKE_ENABLE_EXPORTS). The service
+// code never calls the runtime itself, so a static-archive link of a
+// daemon binary would otherwise drop wjrt.cpp's objects and every dlopen
+// would fail with "undefined symbol". Taking one address forces the TU in.
+[[gnu::used]] void* const kKeepRuntimeLinked =
+    reinterpret_cast<void*>(&wjrt_alloc_array);
+
+int envInt(const char* name, int dflt) {
+    const char* v = std::getenv(name);
+    if (!v || !*v) return dflt;
+    const int n = std::atoi(v);
+    return n > 0 ? n : dflt;
+}
+
+/// One client connection. Shared between its reader thread and every
+/// worker holding one of its jobs, so a response can be written (or its
+/// failure swallowed) after the reader is long gone — a client that
+/// disconnects mid-compile never orphans the in-flight entry.
+struct Conn {
+    int fd = -1;
+    std::mutex wmu;                ///< frame-granularity write interleaving
+    std::atomic<int> inflight{0};  ///< admission: this client's queued+running compiles
+
+    ~Conn() {
+        if (fd >= 0) ::close(fd);
+    }
+
+    /// Best-effort response: a dead peer is not an error for the daemon.
+    void reply(const Frame& f) noexcept {
+        std::lock_guard<std::mutex> lock(wmu);
+        try {
+            writeFrame(fd, f);
+        } catch (const WjError&) {
+        }
+    }
+};
+using ConnPtr = std::shared_ptr<Conn>;
+
+/// What one compile request resolves to — shared verbatim by every joined
+/// request, so a typed failure (e.g. COMPILE_ERROR from an injected fault)
+/// reaches all waiters, not just the leader.
+struct Outcome {
+    bool ok = false;
+    ErrCode code = ErrCode::Internal;
+    std::string message;
+    uint64_t key = 0;
+    std::string path;
+    bool cacheHit = false;
+    int attempts = 0;
+};
+
+struct Job {
+    ConnPtr conn;
+    uint64_t reqId = 0;
+    std::string body;
+    int64_t admittedNs = 0;
+};
+
+struct Counters {
+    trace::Counter& reqTotal;
+    trace::Counter& reqCompile;
+    trace::Counter& reqStats;
+    trace::Counter& reqPing;
+    trace::Counter& reqShutdown;
+    trace::Counter& reqBad;
+    trace::Counter& compileOk;
+    trace::Counter& compileErr;
+    trace::Counter& joins;
+    trace::Counter& rejectClient;
+    trace::Counter& rejectQueue;
+    trace::Counter& rejectDraining;
+    trace::Counter& inflightNow;
+    trace::Histogram& requestMicros;
+    trace::Histogram& compileMicros;
+
+    static Counters& instance() {
+        auto& m = trace::Metrics::instance();
+        static Counters c{
+            m.counter("wjd.requests.total"),
+            m.counter("wjd.requests.compile"),
+            m.counter("wjd.requests.stats"),
+            m.counter("wjd.requests.ping"),
+            m.counter("wjd.requests.shutdown"),
+            m.counter("wjd.requests.bad"),
+            m.counter("wjd.compile.ok"),
+            m.counter("wjd.compile.errors"),
+            m.counter("wjd.compile.joins"),
+            m.counter("wjd.admission.rejects.client"),
+            m.counter("wjd.admission.rejects.queue"),
+            m.counter("wjd.admission.rejects.draining"),
+            m.counter("wjd.inflight.current"),
+            m.histogram("wjd.request.micros"),
+            m.histogram("wjd.compile.micros"),
+        };
+        return c;
+    }
+};
+
+} // namespace
+
+struct Daemon::Impl {
+    DaemonOptions opts;
+    int workers = 4;
+    int maxPerClient = 8;
+    int queueCap = 64;
+
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+    bool started = false;
+
+    std::thread acceptThread;
+    std::vector<std::thread> pool;
+
+    std::mutex mu;  ///< queue, activeJobs, conns, readers
+    std::condition_variable cv;       ///< workers: work available / exit
+    std::condition_variable drainCv;  ///< wait()/Shutdown: drain progress
+    std::deque<Job> queue;
+    int activeJobs = 0;
+    int shutdownRepliers = 0;  ///< readers still owing a Shutdown Ok
+    bool workersExit = false;
+    std::vector<ConnPtr> conns;         ///< open connections (for final close)
+    std::vector<std::thread> readers;   ///< one per connection
+
+    /// In-process singleflight: cache key -> the one compile resolving it.
+    std::mutex sfMu;
+    std::map<uint64_t, std::shared_future<Outcome>> inflightKeys;
+
+    // ---- request pipeline ---------------------------------------------
+    Outcome compileBody(const std::string& rawBody);
+    Outcome runPipeline(const Body& req);
+    void workerLoop();
+    void readerLoop(ConnPtr conn);
+    void acceptLoop();
+    bool drained() {
+        return queue.empty() && activeJobs == 0;
+    }
+};
+
+// ---------------------------------------------------------------- pipeline
+
+Outcome Daemon::Impl::runPipeline(const Body& req) {
+    Outcome out;
+    const std::string* newExpr = req.find("new");
+    const std::string* method = req.find("method");
+    if (!newExpr || !method || newExpr->empty() || method->empty()) {
+        out.code = ErrCode::BadRequest;
+        out.message = "compile request requires new= and method= kv entries";
+        return out;
+    }
+
+    Translation tr;
+    try {
+        trace::Span parseSpan("wjd", "parse");
+        Program prog = frontend::parseProgram(req.payload);
+        parseSpan.end();
+
+        requireCodingRules(prog);
+        Interp in(prog);
+        Value receiver = frontend::parseComposition(in, *newExpr);
+        std::vector<Value> args;
+        if (const std::string* a = req.find("args")) {
+            std::istringstream ss(*a);
+            std::string tok;
+            while (ss >> tok) args.push_back(frontend::parseArgLiteral(tok));
+        }
+        trace::Span xlSpan("wjd", "translate");
+        tr = translate(prog, receiver, *method, args);
+    } catch (const UsageError& e) {
+        // Thrown by the parser with line/col context; by the composition /
+        // argument readers without. The distinction the client cares about
+        // is "fix your module" vs "fix your request" — parse errors carry
+        // the "parse error at" prefix.
+        const bool isParse = std::string(e.what()).find("parse error") != std::string::npos;
+        out.code = isParse ? ErrCode::ParseError : ErrCode::SemanticError;
+        out.message = e.what();
+        return out;
+    } catch (const WjError& e) {
+        // Coding-rule violations, analysis defects, composition failures.
+        out.code = ErrCode::SemanticError;
+        out.message = e.what();
+        return out;
+    }
+
+    // ---- compile with in-process singleflight --------------------------
+    const uint64_t key = cacheKeyFor(tr.cSource);
+    std::shared_future<Outcome> fut;
+    std::promise<Outcome> prom;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(sfMu);
+        auto it = inflightKeys.find(key);
+        if (it != inflightKeys.end()) {
+            fut = it->second;
+        } else {
+            leader = true;
+            fut = prom.get_future().share();
+            inflightKeys.emplace(key, fut);
+        }
+    }
+    if (!leader) {
+        Counters::instance().joins.inc();
+        trace::Span joinSpan("wjd", "compile.join");
+        return fut.get();
+    }
+
+    Outcome res;
+    res.key = key;
+    {
+        const int64_t t0 = nowNs();
+        trace::Span ccSpan("wjd", "compile");
+        try {
+            CompileResult cr = compileAndLoad(tr.cSource, *method);
+            res.ok = true;
+            res.code = ErrCode::None;
+            res.cacheHit = cr.cacheHit;
+            res.attempts = cr.attempts;
+            res.path = JitCache::instance().entryPath(key);
+            Counters::instance().compileOk.inc();
+        } catch (const CompilerUnavailableError& e) {
+            res.code = ErrCode::CompilerUnavailable;
+            res.message = e.what();
+        } catch (const WjError& e) {
+            res.code = ErrCode::CompileError;
+            res.message = e.what();
+        } catch (const std::exception& e) {
+            res.code = ErrCode::Internal;
+            res.message = e.what();
+        }
+        if (!res.ok) Counters::instance().compileErr.inc();
+        Counters::instance().compileMicros.observe((nowNs() - t0) / 1000);
+    }
+    // Publish to joiners, THEN retire the key: a request arriving between
+    // set_value and erase still joins a completed future (instant get()),
+    // never a dangling one.
+    prom.set_value(res);
+    {
+        std::lock_guard<std::mutex> lock(sfMu);
+        inflightKeys.erase(key);
+    }
+    return res;
+}
+
+Outcome Daemon::Impl::compileBody(const std::string& rawBody) {
+    Body req;
+    try {
+        req = decodeBody(rawBody);
+    } catch (const UsageError& e) {
+        Outcome out;
+        out.code = ErrCode::BadRequest;
+        out.message = e.what();
+        return out;
+    }
+    return runPipeline(req);
+}
+
+// ------------------------------------------------------------------ threads
+
+void Daemon::Impl::workerLoop() {
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return workersExit || !queue.empty(); });
+            if (queue.empty()) return;  // workersExit and nothing left
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++activeJobs;
+        }
+        Outcome out = compileBody(job.body);
+        if (out.ok) {
+            Body b;
+            b.set("key", format("%016llx", static_cast<unsigned long long>(out.key)));
+            b.set("path", out.path);
+            b.set("cacheHit", out.cacheHit ? "1" : "0");
+            b.set("attempts", format("%d", out.attempts));
+            job.conn->reply(makeOk(job.reqId, std::move(b)));
+        } else {
+            job.conn->reply(makeError(job.reqId, out.code, out.message));
+        }
+        job.conn->inflight.fetch_sub(1);
+        Counters::instance().inflightNow.add(-1);
+        Counters::instance().requestMicros.observe((nowNs() - job.admittedNs) / 1000);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --activeJobs;
+        }
+        drainCv.notify_all();
+    }
+}
+
+void Daemon::Impl::readerLoop(ConnPtr conn) {
+    auto& C = Counters::instance();
+    for (;;) {
+        Frame f;
+        try {
+            if (!readFrame(conn->fd, f)) break;  // clean EOF
+        } catch (const WjError& e) {
+            // Malformed header/frame: answer if the pipe still works, then
+            // hang up. The daemon itself never goes down over junk bytes.
+            C.reqBad.inc();
+            conn->reply(makeError(0, ErrCode::BadRequest, e.what()));
+            break;
+        }
+        C.reqTotal.inc();
+        switch (f.type) {
+        case MsgType::Ping: {
+            C.reqPing.inc();
+            Body b;
+            b.set("pong", "1");
+            conn->reply(makeOk(f.reqId, std::move(b)));
+            break;
+        }
+        case MsgType::Stats: {
+            C.reqStats.inc();
+            Body b;
+            b.payload = trace::Metrics::instance().toJson();
+            conn->reply(makeOk(f.reqId, std::move(b)));
+            break;
+        }
+        case MsgType::Shutdown: {
+            C.reqShutdown.inc();
+            // Register as a pending replier BEFORE flipping stopping, so
+            // wait() cannot tear the connections down between our drain
+            // wake-up and the Ok write below.
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                ++shutdownRepliers;
+            }
+            stopping.store(true);
+            ::shutdown(listenFd, SHUT_RDWR);
+            cv.notify_all();
+            // Drain before answering: the Ok is the contract that every
+            // admitted compile has completed and responded.
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                drainCv.wait(lock, [&] { return drained(); });
+            }
+            Body b;
+            b.set("drained", "1");
+            conn->reply(makeOk(f.reqId, std::move(b)));
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                --shutdownRepliers;
+            }
+            drainCv.notify_all();
+            break;
+        }
+        case MsgType::Compile: {
+            C.reqCompile.inc();
+            if (stopping.load()) {
+                C.rejectDraining.inc();
+                conn->reply(makeError(f.reqId, ErrCode::ShuttingDown,
+                                      "daemon is draining; not accepting new work"));
+                break;
+            }
+            if (conn->inflight.load() >= maxPerClient) {
+                C.rejectClient.inc();
+                conn->reply(makeError(
+                    f.reqId, ErrCode::ResourceExhausted,
+                    format("client in-flight cap reached (%d); wait for responses",
+                           maxPerClient)));
+                break;
+            }
+            bool queued = false;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (static_cast<int>(queue.size()) < queueCap) {
+                    conn->inflight.fetch_add(1);
+                    Job j;
+                    j.conn = conn;
+                    j.reqId = f.reqId;
+                    j.body = std::move(f.body);
+                    j.admittedNs = nowNs();
+                    queue.push_back(std::move(j));
+                    queued = true;
+                }
+            }
+            if (queued) {
+                C.inflightNow.inc();
+                cv.notify_one();
+            } else {
+                C.rejectQueue.inc();
+                conn->reply(makeError(f.reqId, ErrCode::ResourceExhausted,
+                                      format("compile queue is full (%d)", queueCap)));
+            }
+            break;
+        }
+        default:
+            C.reqBad.inc();
+            conn->reply(makeError(f.reqId, ErrCode::BadRequest,
+                                  format("unknown request type %u",
+                                         static_cast<unsigned>(f.type))));
+            break;
+        }
+    }
+    // Reader exits on EOF/junk. Jobs this client still has queued run to
+    // completion (the Conn outlives us via shared_ptr); their responses
+    // fail silently in reply().
+}
+
+void Daemon::Impl::acceptLoop() {
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // listen socket shut down: drain begins
+        }
+        if (stopping.load()) {
+            ::close(fd);
+            continue;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(mu);
+        conns.push_back(conn);
+        readers.emplace_back([this, conn] { readerLoop(conn); });
+    }
+}
+
+// ------------------------------------------------------------------- Daemon
+
+Daemon::Daemon(DaemonOptions opts) : impl_(new Impl) {
+    impl_->opts = std::move(opts);
+}
+
+Daemon::~Daemon() {
+    requestStop();
+    wait();
+}
+
+const std::string& Daemon::socketPath() const { return impl_->opts.socketPath; }
+
+void Daemon::start() {
+    Impl& d = *impl_;
+    if (d.opts.socketPath.empty()) throw UsageError("wjd: socket path is required");
+    if (d.opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        throw UsageError("wjd: socket path too long: " + d.opts.socketPath);
+    }
+    d.workers = d.opts.workers > 0 ? d.opts.workers : envInt("WJD_WORKERS", 4);
+    d.maxPerClient =
+        d.opts.maxInflightPerClient > 0 ? d.opts.maxInflightPerClient
+                                        : envInt("WJD_MAX_INFLIGHT", 8);
+    d.queueCap = d.opts.queueCap > 0 ? d.opts.queueCap : envInt("WJD_QUEUE_CAP", 64);
+
+    // Worker threads race their eviction sweeps against each other's
+    // publishes; the grace window makes that safe (see jit/cache.h). Only
+    // a default — an explicit setting (tests) wins.
+    ::setenv("WJ_CACHE_EVICT_GRACE_MS", "10000", /*overwrite=*/0);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, d.opts.socketPath.c_str(), sizeof(addr.sun_path) - 1);
+
+    d.listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (d.listenFd < 0) throw UsageError("wjd: socket() failed");
+    if (::bind(d.listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno == EADDRINUSE) {
+            // A previous daemon's socket file. If nobody answers, it is
+            // stale (crashed daemon) — steal it; if a live daemon answers,
+            // refuse to fight over the path.
+            const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            const bool live =
+                probe >= 0 &&
+                ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+            if (probe >= 0) ::close(probe);
+            if (live) {
+                ::close(d.listenFd);
+                d.listenFd = -1;
+                throw UsageError("wjd: a daemon is already listening on " + d.opts.socketPath);
+            }
+            ::unlink(d.opts.socketPath.c_str());
+            if (::bind(d.listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+                ::close(d.listenFd);
+                d.listenFd = -1;
+                throw UsageError("wjd: cannot bind " + d.opts.socketPath + ": " +
+                                 std::strerror(errno));
+            }
+        } else {
+            ::close(d.listenFd);
+            d.listenFd = -1;
+            throw UsageError("wjd: cannot bind " + d.opts.socketPath + ": " +
+                             std::strerror(errno));
+        }
+    }
+    if (::listen(d.listenFd, 128) != 0) {
+        ::close(d.listenFd);
+        d.listenFd = -1;
+        throw UsageError(std::string("wjd: listen() failed: ") + std::strerror(errno));
+    }
+
+    if (!d.opts.bundleDir.empty()) {
+        const int n = loadBundleDir(d.opts.bundleDir, d.opts.quiet);
+        if (!d.opts.quiet) {
+            std::fprintf(stderr, "wjd: preloaded %d bundle(s) from %s\n", n,
+                         d.opts.bundleDir.c_str());
+        }
+    }
+
+    d.started = true;
+    for (int i = 0; i < d.workers; ++i) d.pool.emplace_back([&d] { d.workerLoop(); });
+    d.acceptThread = std::thread([&d] { d.acceptLoop(); });
+    if (!d.opts.quiet) {
+        std::fprintf(stderr, "wjd: listening on %s (%d workers, %d/client, queue %d)\n",
+                     d.opts.socketPath.c_str(), d.workers, d.maxPerClient, d.queueCap);
+    }
+}
+
+void Daemon::requestStop() {
+    Impl& d = *impl_;
+    d.stopping.store(true);
+    if (d.listenFd >= 0) ::shutdown(d.listenFd, SHUT_RDWR);
+    d.cv.notify_all();
+    d.drainCv.notify_all();
+}
+
+void Daemon::wait() {
+    Impl& d = *impl_;
+    if (!d.started) {
+        if (d.listenFd >= 0) {
+            ::close(d.listenFd);
+            d.listenFd = -1;
+        }
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(d.mu);
+        d.drainCv.wait(lock, [&] {
+            return d.stopping.load() && d.drained() && d.shutdownRepliers == 0;
+        });
+        d.workersExit = true;
+    }
+    d.cv.notify_all();
+    for (auto& t : d.pool) t.join();
+    d.pool.clear();
+    if (d.acceptThread.joinable()) d.acceptThread.join();
+    // Every admitted job has responded; now hang up on idle readers.
+    std::vector<ConnPtr> conns;
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(d.mu);
+        conns.swap(d.conns);
+        readers.swap(d.readers);
+    }
+    for (auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
+    for (auto& t : readers) t.join();
+    if (d.listenFd >= 0) {
+        ::close(d.listenFd);
+        d.listenFd = -1;
+        ::unlink(d.opts.socketPath.c_str());
+    }
+    d.started = false;
+    if (!d.opts.quiet) std::fprintf(stderr, "wjd: drained, exiting\n");
+}
+
+// ------------------------------------------------------------- signal drain
+
+namespace {
+
+// Self-pipe: the handler only write()s (async-signal-safe); a watcher
+// thread turns the byte into a requestStop() call, which may take locks.
+int g_sigPipe[2] = {-1, -1};
+
+extern "C" void wjdSignalHandler(int) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t r = ::write(g_sigPipe[1], &b, 1);
+}
+
+} // namespace
+
+void installSignalDrain(Daemon& d) {
+    if (g_sigPipe[0] >= 0) throw UsageError("wjd: signal drain already installed");
+    if (::pipe(g_sigPipe) != 0) throw UsageError("wjd: pipe() failed");
+    std::thread([&d] {
+        char b;
+        while (::read(g_sigPipe[0], &b, 1) < 0 && errno == EINTR) {
+        }
+        d.requestStop();
+    }).detach();
+    struct sigaction sa{};
+    sa.sa_handler = wjdSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+} // namespace wj::service

@@ -1,0 +1,202 @@
+#include "service/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace wj::service {
+
+namespace {
+
+// The header is packed by hand (not a struct cast) so the wire format is
+// identical regardless of host struct padding.
+void putU32(unsigned char* p, uint32_t v) {
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void putU64(unsigned char* p, uint64_t v) {
+    putU32(p, static_cast<uint32_t>(v));
+    putU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t getU32(const unsigned char* p) {
+    return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t getU64(const unsigned char* p) {
+    return static_cast<uint64_t>(getU32(p)) | static_cast<uint64_t>(getU32(p + 4)) << 32;
+}
+
+/// Reads exactly n bytes. Returns 0 on immediate EOF, n on success; throws
+/// on partial EOF or IO error when `partialIsError`.
+size_t readFull(int fd, void* buf, size_t n, bool partialIsError) {
+    size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, static_cast<char*>(buf) + got, n - got);
+        if (r == 0) {
+            if (got == 0 && !partialIsError) return 0;
+            throw UsageError(format("wjd protocol: connection closed mid-frame "
+                                    "(%zu of %zu bytes)", got, n));
+        }
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw UsageError(std::string("wjd protocol: read failed: ") + std::strerror(errno));
+        }
+        got += static_cast<size_t>(r);
+    }
+    return got;
+}
+
+void writeFull(int fd, const void* buf, size_t n) {
+    size_t put = 0;
+    while (put < n) {
+        // MSG_NOSIGNAL: a client that disconnected mid-compile must surface
+        // as an error return here, not kill the daemon with SIGPIPE.
+        const ssize_t r = ::send(fd, static_cast<const char*>(buf) + put, n - put, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw UsageError(std::string("wjd protocol: write failed: ") + std::strerror(errno));
+        }
+        put += static_cast<size_t>(r);
+    }
+}
+
+} // namespace
+
+const char* errName(ErrCode c) noexcept {
+    switch (c) {
+    case ErrCode::None: return "NONE";
+    case ErrCode::BadRequest: return "BAD_REQUEST";
+    case ErrCode::ParseError: return "PARSE_ERROR";
+    case ErrCode::SemanticError: return "SEMANTIC_ERROR";
+    case ErrCode::CompileError: return "COMPILE_ERROR";
+    case ErrCode::CompilerUnavailable: return "COMPILER_UNAVAILABLE";
+    case ErrCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrCode::ShuttingDown: return "SHUTTING_DOWN";
+    case ErrCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+bool readFrame(int fd, Frame& out) {
+    unsigned char hdr[kHeaderBytes];
+    if (readFull(fd, hdr, sizeof hdr, /*partialIsError=*/false) == 0) return false;
+    const uint32_t magic = getU32(hdr);
+    if (magic != kMagic) {
+        throw UsageError(format("wjd protocol: bad magic 0x%08x (expected \"WJD1\")", magic));
+    }
+    const uint32_t type = getU32(hdr + 4);
+    const uint64_t reqId = getU64(hdr + 8);
+    const uint32_t len = getU32(hdr + 16);
+    if (len > kMaxBody) {
+        throw UsageError(format("wjd protocol: body of %u bytes exceeds the %u-byte cap",
+                                len, kMaxBody));
+    }
+    out.type = static_cast<MsgType>(type);
+    out.reqId = reqId;
+    out.body.resize(len);
+    if (len > 0) readFull(fd, out.body.data(), len, /*partialIsError=*/true);
+    return true;
+}
+
+void writeFrame(int fd, const Frame& f) {
+    if (f.body.size() > kMaxBody) {
+        throw UsageError(format("wjd protocol: refusing to send %zu-byte body (cap %u)",
+                                f.body.size(), kMaxBody));
+    }
+    unsigned char hdr[kHeaderBytes];
+    putU32(hdr, kMagic);
+    putU32(hdr + 4, static_cast<uint32_t>(f.type));
+    putU64(hdr + 8, f.reqId);
+    putU32(hdr + 16, static_cast<uint32_t>(f.body.size()));
+    // One gathered buffer per frame so concurrent writers interleave at
+    // frame granularity under the connection write lock, never mid-frame.
+    std::string wire;
+    wire.reserve(sizeof hdr + f.body.size());
+    wire.append(reinterpret_cast<const char*>(hdr), sizeof hdr);
+    wire.append(f.body);
+    writeFull(fd, wire.data(), wire.size());
+}
+
+const std::string* Body::find(const std::string& key) const noexcept {
+    const std::string* hit = nullptr;
+    for (const auto& [k, v] : kv) {
+        if (k == key) hit = &v;
+    }
+    return hit;
+}
+
+void Body::set(std::string key, std::string value) {
+    kv.emplace_back(std::move(key), std::move(value));
+}
+
+std::string encodeBody(const Body& b) {
+    std::string out;
+    for (const auto& [k, v] : b.kv) {
+        if (k.empty() || k.find('=') != std::string::npos || k.find('\n') != std::string::npos ||
+            v.find('\n') != std::string::npos) {
+            throw UsageError("wjd protocol: kv keys/values must be non-empty and newline-free");
+        }
+        out += k;
+        out += '=';
+        out += v;
+        out += '\n';
+    }
+    out += '\n';
+    out += b.payload;
+    return out;
+}
+
+Body decodeBody(const std::string& raw) {
+    Body b;
+    size_t pos = 0;
+    for (;;) {
+        const size_t nl = raw.find('\n', pos);
+        if (nl == std::string::npos) {
+            throw UsageError("wjd protocol: body missing the blank kv/payload separator");
+        }
+        if (nl == pos) {  // blank line: payload follows
+            b.payload = raw.substr(nl + 1);
+            return b;
+        }
+        const size_t eq = raw.find('=', pos);
+        if (eq == std::string::npos || eq > nl) {
+            throw UsageError("wjd protocol: kv line without '='");
+        }
+        b.kv.emplace_back(raw.substr(pos, eq - pos), raw.substr(eq + 1, nl - eq - 1));
+        pos = nl + 1;
+    }
+}
+
+Frame makeError(uint64_t reqId, ErrCode code, const std::string& message) {
+    Body b;
+    b.set("code", format("%u", static_cast<unsigned>(code)));
+    b.set("name", errName(code));
+    // Error text can be multi-line (compiler stderr, violation lists) — it
+    // rides in the payload, which is free-form.
+    b.payload = message;
+    Frame f;
+    f.type = MsgType::Error;
+    f.reqId = reqId;
+    f.body = encodeBody(b);
+    return f;
+}
+
+Frame makeOk(uint64_t reqId, Body body) {
+    Frame f;
+    f.type = MsgType::Ok;
+    f.reqId = reqId;
+    f.body = encodeBody(body);
+    return f;
+}
+
+} // namespace wj::service

@@ -1,0 +1,113 @@
+// The wjd wire protocol: length-prefixed frames over a Unix-domain socket.
+//
+// The paper's framework is a library the host program links against; wjd
+// turns the compile pipeline into a shared multi-tenant service, so many
+// short-lived clients amortize one warm daemon (and one compile cache)
+// instead of each paying a cold JIT. The wire format is deliberately tiny —
+// fixed 20-byte header + opaque body — so clients in any language can speak
+// it with a dozen lines of code:
+//
+//     offset  size  field
+//     0       4     magic "WJD1" (0x31444a57 little-endian on the wire:
+//                   the bytes 'W' 'J' 'D' '1' in order)
+//     4       4     type   (MsgType, little-endian u32)
+//     8       8     reqId  (echoed verbatim in the response; clients may
+//                   pipeline many requests on one connection and match
+//                   responses by id — the daemon can answer out of order)
+//     16      4     bodyLen (little-endian u32, max 16 MiB)
+//     20      -     body (bodyLen bytes)
+//
+// Bodies are "kv lines + blank line + payload":
+//
+//     key=value\n ... \n<free-form payload bytes>
+//
+// Compile request kv: new= (composition expression), method=, args=
+// (whitespace-separated entry-argument literals, optional); payload = the
+// WJ source module. Ok response to a compile: key= (16-hex cache key),
+// path= (artifact .so in the shared cache dir), cacheHit=, attempts=,
+// joined=; Error response: code= (ErrCode number), name= (its enum name);
+// payload = human-readable message. Stats Ok payload = the metrics
+// registry JSON.
+//
+// Malformed input (bad magic, oversize body, truncated frame, junk kv) is
+// always answered with a typed error or a clean connection close — never a
+// crash; tests/test_frontend.cpp and test_service.cpp fuzz this boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wj::service {
+
+constexpr uint32_t kMagic = 0x31444a57u;  // "WJD1" read as little-endian u32
+constexpr uint32_t kMaxBody = 16u << 20;
+constexpr size_t kHeaderBytes = 20;
+
+enum class MsgType : uint32_t {
+    // requests
+    Compile = 1,
+    Stats = 2,
+    Ping = 3,
+    Shutdown = 4,
+    // responses
+    Ok = 100,
+    Error = 101,
+};
+
+/// Typed failure classes a response can carry (mirrors wjc's exit-code
+/// taxonomy, but finer: the daemon must tell "your module is broken" from
+/// "the service is saturated" from "the toolchain is gone").
+enum class ErrCode : uint32_t {
+    None = 0,
+    BadRequest = 1,          ///< malformed frame/body or missing kv
+    ParseError = 2,          ///< WJ source failed to parse (UsageError)
+    SemanticError = 3,       ///< coding rules / analyses / composition failed
+    CompileError = 4,        ///< external cc rejected the generated C
+    CompilerUnavailable = 5, ///< cc missing — retries exhausted
+    ResourceExhausted = 6,   ///< admission control rejected the request
+    ShuttingDown = 7,        ///< daemon is draining; retry elsewhere/later
+    Internal = 8,            ///< anything else (daemon-side bug)
+};
+
+const char* errName(ErrCode c) noexcept;
+
+struct Frame {
+    MsgType type = MsgType::Ping;
+    uint64_t reqId = 0;
+    std::string body;
+};
+
+/// Blocking full read of one frame. Returns false on clean EOF before any
+/// header byte; throws UsageError on a malformed header (bad magic,
+/// oversize body) or a mid-frame EOF/IO error.
+bool readFrame(int fd, Frame& out);
+
+/// Blocking full write (MSG_NOSIGNAL — a dead peer yields UsageError, not
+/// SIGPIPE). Throws UsageError when the body exceeds kMaxBody or on IO
+/// error.
+void writeFrame(int fd, const Frame& f);
+
+// ---- body codec -------------------------------------------------------
+struct Body {
+    std::vector<std::pair<std::string, std::string>> kv;
+    std::string payload;
+
+    /// Last value for `key`, or nullptr.
+    const std::string* find(const std::string& key) const noexcept;
+    void set(std::string key, std::string value);
+};
+
+/// kv lines + blank separator + payload. Throws UsageError if a key or
+/// value contains '\n' / '='-in-key.
+std::string encodeBody(const Body& b);
+
+/// Inverse of encodeBody. Throws UsageError on a kv line without '='.
+Body decodeBody(const std::string& raw);
+
+// ---- convenience constructors -----------------------------------------
+Frame makeError(uint64_t reqId, ErrCode code, const std::string& message);
+Frame makeOk(uint64_t reqId, Body body);
+
+} // namespace wj::service

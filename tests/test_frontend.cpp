@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "cg/cg_lib.h"
+#include "frontend/composition.h"
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
 #include "interp/interp.h"
@@ -291,4 +292,157 @@ TEST(Parser, SuperConstructorChain) {
     Interp in(p);
     Value v = in.instantiate("Sub", {Value::ofI32(3), Value::ofI32(9)});
     EXPECT_EQ(12, in.call(v, "sum", {}).asI32());
+}
+
+// ------------------------------------------------- robustness / fuzzing
+//
+// wjd feeds attacker-controlled module text straight into this front end,
+// so "malformed input" must mean "typed UsageError", never a crash or a
+// stack overflow. The sweeps are seeded (SplitMix64) and deterministic.
+
+namespace {
+
+/// Wraps an expression in a minimal valid module.
+std::string moduleWithExpr(const std::string& expr) {
+    return "@WootinJ class Fz { int run() { int x = " + expr + "; return x; } }";
+}
+
+/// parseProgram must either succeed or throw a WjError; anything else
+/// (segfault, std::bad_alloc, stack overflow) fails the test hard.
+void expectTypedOutcome(const std::string& src) {
+    try {
+        (void)parseProgram(src);
+    } catch (const WjError&) {
+        // typed rejection: fine
+    }
+}
+
+uint64_t splitmix64(uint64_t& s) {
+    uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+TEST(ParserRobustness, DeepParenNestingIsATypedError) {
+    std::string expr(5000, '(');
+    expr += "1";
+    expr.append(5000, ')');
+    try {
+        parseProgram(moduleWithExpr(expr));
+        FAIL() << "expected a parse error";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParserRobustness, DeepUnaryChainIsATypedError) {
+    try {
+        parseProgram(moduleWithExpr(std::string(5000, '-') + "1"));
+        FAIL() << "expected a parse error";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParserRobustness, DeepBlockNestingIsATypedError) {
+    // Statements only nest through control flow, so stack 5000 if-blocks.
+    std::string body;
+    for (int i = 0; i < 5000; ++i) body += "if (n > 0) { ";
+    body += "n = 0;";
+    body.append(5000, '}');
+    try {
+        parseProgram("@WootinJ class Fz { int run(int n) { " + body + " return 0; } }");
+        FAIL() << "expected a parse error";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParserRobustness, ReasonableNestingStillParses) {
+    // The depth bound must not reject code a human would plausibly write.
+    std::string expr(60, '(');
+    expr += "1";
+    expr.append(60, ')');
+    Program p = parseProgram(moduleWithExpr("--" + expr + " + 1"));
+    Interp in(p);
+    EXPECT_EQ(2, in.call(in.instantiate("Fz", {}), "run", {}).asI32());
+}
+
+TEST(ParserRobustness, CompositionDeepNestingIsATypedError) {
+    std::string comp;
+    for (int i = 0; i < 5000; ++i) comp += "A(";
+    comp += "1";
+    comp.append(5000, ')');
+    Program p = parseProgram(moduleWithExpr("1"));
+    Interp in(p);
+    try {
+        parseComposition(in, comp);
+        FAIL() << "expected a composition error";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos)
+            << e.what();
+    }
+    // Same guard for a pathological unary chain.
+    EXPECT_THROW(parseComposition(in, std::string(5000, '-') + "1"), UsageError);
+}
+
+TEST(ParserRobustness, TruncatedModulesNeverCrash) {
+    // Chop a realistic module at every byte offset: each prefix must parse
+    // or be rejected typed. This is exactly what a client disconnecting
+    // mid-frame hands the daemon.
+    const std::string src = R"WJ(
+@WootinJ class Base {
+  double bias;
+  Base(double b) { this.bias = b; }
+}
+@WootinJ final class Acc extends Base {
+  double[] data;
+  Acc(double b, int n) { super(b); this.data = new double[n]; }
+  double run(int n) {
+    double acc = this.bias;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = acc + (i % 2 == 0 ? 1.5 : -0.5) * this.data.length;
+    }
+    return acc;
+  }
+}
+)WJ";
+    for (size_t cut = 0; cut < src.size(); ++cut) {
+        expectTypedOutcome(src.substr(0, cut));
+    }
+}
+
+TEST(ParserRobustness, SeededRandomJunkNeverCrashes) {
+    uint64_t seed = 0x77cb4dbb1e8ee943ULL;  // fixed: failures reproduce
+    for (int iter = 0; iter < 300; ++iter) {
+        const size_t len = splitmix64(seed) % 512;
+        std::string junk;
+        junk.reserve(len);
+        for (size_t i = 0; i < len; ++i) {
+            junk.push_back(static_cast<char>(splitmix64(seed) % 256));
+        }
+        expectTypedOutcome(junk);
+    }
+}
+
+TEST(ParserRobustness, SeededMutationsOfAValidModuleNeverCrash) {
+    const std::string base =
+        "@WootinJ class Mut { int run(int n) { int acc = 0; "
+        "for (int i = 0; i < n; i = i + 1) { acc = acc + i; } return acc; } }";
+    uint64_t seed = 0x243f6a8885a308d3ULL;
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string mutated = base;
+        const int flips = 1 + static_cast<int>(splitmix64(seed) % 8);
+        for (int f = 0; f < flips; ++f) {
+            const size_t at = splitmix64(seed) % mutated.size();
+            mutated[at] = static_cast<char>(splitmix64(seed) % 256);
+        }
+        expectTypedOutcome(mutated);
+    }
 }

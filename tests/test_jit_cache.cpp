@@ -10,10 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <chrono>
+#include <future>
+#include <thread>
 
 #include "interp/interp.h"
 #include "ir/builder.h"
@@ -67,6 +72,8 @@ protected:
         unsetenv("WJ_CFLAGS");
         unsetenv("WJ_CC");
         unsetenv("WJ_CACHE");
+        unsetenv("WJ_CACHE_EVICT_GRACE_MS");
+        unsetenv("WJ_CACHE_LOCK");
         unsetenv("TMPDIR");
         JitCache::instance().clearLoaded();
         std::error_code ec;
@@ -294,4 +301,103 @@ TEST_F(JitCacheTest, HonorsTmpdirForScratch) {
         << "source " << res.module->sourcePath() << " not under " << scratch;
     using Fn = int (*)(void);
     EXPECT_EQ(41, reinterpret_cast<Fn>(res.module->symbol("wj_probe"))());
+}
+
+// ---- publish vs. evict under concurrency (the multi-process cap fix) ----
+
+TEST_F(JitCacheTest, EvictionGraceProtectsJustPublishedEntries) {
+    // With a grace window armed (as wjd arms it), an over-cap sweep must
+    // NOT unlink entries another thread/process just published — even
+    // though the store is far beyond its byte cap.
+    Program p = makeProgram();
+    Interp in(p);
+
+    WootinJ::jit(p, in.instantiate("Calc", {Value::ofF64(1.0)}), "run", {Value::ofI32(1)});
+    const uint64_t oneEntry = JitCache::instance().diskBytes();
+    ASSERT_GT(oneEntry, 0u);
+    setenv("WJ_CACHE_MAX_BYTES", std::to_string(oneEntry / 2).c_str(), 1);
+    setenv("WJ_CACHE_EVICT_GRACE_MS", "60000", 1);
+
+    const int64_t evictionsBefore = JitCache::instance().stats().evictions;
+    for (double bias : {2.0, 3.0, 4.0}) {
+        JitCache::instance().clearLoaded();
+        WootinJ::jit(p, in.instantiate("Calc", {Value::ofF64(bias)}), "run", {Value::ofI32(1)});
+    }
+    // Every entry is younger than the grace window: all four survive.
+    EXPECT_EQ(4u, entryCount());
+    EXPECT_EQ(evictionsBefore, JitCache::instance().stats().evictions);
+
+    // Dropping the grace restores the exact byte cap (the default).
+    setenv("WJ_CACHE_EVICT_GRACE_MS", "0", 1);
+    JitCache::instance().clearLoaded();
+    WootinJ::jit(p, in.instantiate("Calc", {Value::ofF64(5.0)}), "run", {Value::ofI32(1)});
+    EXPECT_GE(JitCache::instance().stats().evictions, evictionsBefore + 1);
+    EXPECT_LE(JitCache::instance().diskBytes(), oneEntry / 2);
+    unsetenv("WJ_CACHE_EVICT_GRACE_MS");
+}
+
+TEST_F(JitCacheTest, CompileSurvivesImmediateEvictionOfItsOwnEntry) {
+    // Regression: a byte cap smaller than one entry (the extreme of "a
+    // concurrent sweep evicted the artifact between store() and dlopen()")
+    // used to fail the compile with a dlopen error on the vanished path.
+    // compileAndLoad must fall back to the temp .so it just built.
+    setenv("WJ_CACHE_MAX_BYTES", "1", 1);
+    auto res = compileAndLoad("int wj_tiny(void) { return 7; }\n", "evicted_at_birth");
+    EXPECT_FALSE(res.cacheHit);
+    using Fn = int (*)(void);
+    EXPECT_EQ(7, reinterpret_cast<Fn>(res.module->symbol("wj_tiny"))());
+    EXPECT_EQ(0u, entryCount());  // the sweep did run
+}
+
+// ---- the cross-process build lock (wjd's singleflight substrate) --------
+
+TEST_F(JitCacheTest, BuildLockSecondClaimantJoinsThePublish) {
+    JitCache& cache = JitCache::instance();
+    const uint64_t key = 0xabcdef0123456789ULL;
+
+    JitCache::BuildLock leader = cache.lockForBuild(key);
+    ASSERT_EQ(JitCache::BuildLock::State::Acquired, leader.state());
+
+    // A waiter in another thread blocks on the leader's lock file...
+    std::promise<JitCache::BuildLock::State> got;
+    std::thread waiter([&] { got.set_value(cache.lockForBuild(key).state()); });
+    // Give the waiter time to reach its polling loop while the lock is
+    // still held, so it observes the publish, not the release.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    // ...until the leader publishes the artifact (still holding the lock:
+    // waiters join off the published entry without waiting for release).
+    const fs::path fakeSo = dir_ / "fake.so";
+    { std::ofstream out(fakeSo); out << "pretend shared object"; }
+    ASSERT_FALSE(cache.store(key, fakeSo.string(), "fake").empty());
+
+    EXPECT_EQ(JitCache::BuildLock::State::Published, got.get_future().get());
+    waiter.join();
+    leader.release();
+}
+
+TEST_F(JitCacheTest, BuildLockStealsLocksOfDeadHolders) {
+    // A leader that died without cleanup (SIGKILL) leaves its lock file
+    // behind; the next claimant must steal it, not wait out the timeout.
+    pid_t dead = fork();
+    if (dead == 0) ::_exit(0);
+    ASSERT_GT(dead, 0);
+    ASSERT_EQ(dead, ::waitpid(dead, nullptr, 0));
+
+    const uint64_t key = 0x1122334455667788ULL;
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx", (unsigned long long)key);
+    {
+        std::ofstream lock(dir_ / (std::string(hex) + ".building"));
+        lock << dead << "\n";
+    }
+    JitCache::BuildLock stolen = JitCache::instance().lockForBuild(key);
+    EXPECT_EQ(JitCache::BuildLock::State::Acquired, stolen.state());
+}
+
+TEST_F(JitCacheTest, BuildLockDisabledMeansSkipped) {
+    setenv("WJ_CACHE_LOCK", "0", 1);
+    JitCache::BuildLock l = JitCache::instance().lockForBuild(0x42);
+    EXPECT_EQ(JitCache::BuildLock::State::Skipped, l.state());
+    unsetenv("WJ_CACHE_LOCK");
 }

@@ -18,6 +18,14 @@
 //                                        trace-event format, open in
 //                                        Perfetto) + a .metrics.json sidecar
 //   wjc cache [stats|dir|clear]          inspect / clear the compile cache
+//   wjc build <file.wj> --new EXPR --method NAME -o DIR [ARGS...]
+//                                        AOT mode: translate + compile and
+//                                        write a deployable bundle (generated
+//                                        C, compiled .so, manifest.json with
+//                                        the compile-cache key) into DIR.
+//                                        `wjd --bundles` preloads such
+//                                        bundles into the shared cache for
+//                                        zero-compile cold starts.
 //
 // translate/run accept --no-cache to bypass the persistent compile cache
 // (equivalent to WJ_CACHE=0) — useful when timing the external compiler —
@@ -55,6 +63,7 @@
 
 #include "analysis/analysis.h"
 #include "fault/fault.h"
+#include "frontend/composition.h"
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
 #include "interp/interp.h"
@@ -62,6 +71,7 @@
 #include "jit/cache.h"
 #include "jit/jit.h"
 #include "rules/rules.h"
+#include "service/bundle.h"
 #include "trace/trace.h"
 
 using namespace wj;
@@ -80,6 +90,8 @@ int usage() {
                  "                [--simd] [--soa] [--no-cache] [--fault SPEC] [--trace FILE]\n"
                  "                [--transport threads|proc] [ARGS...]\n"
                  "  wjc trace <file.wj> ...           (run with the span tracer armed)\n"
+                 "  wjc build <file.wj> --new EXPR --method NAME -o DIR\n"
+                 "                [--threads N] [--simd] [--soa] [ARGS...]\n"
                  "  wjc cache [stats|dir|clear]\n");
     return 2;
 }
@@ -117,95 +129,6 @@ std::string slurp(const std::string& path) {
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
-}
-
-/// Parses one composition expression: Ident '(' args ')' where args are
-/// nested compositions or numeric literals, instantiating via the interp.
-class CompositionParser {
-public:
-    CompositionParser(Interp& in, const std::string& text)
-        : in_(in), toks_(frontend::lex(text)) {}
-
-    Value parse() {
-        Value v = parseValue();
-        if (!at(frontend::Tok::Eof)) err("trailing input after composition");
-        return v;
-    }
-
-private:
-    using Tok = frontend::Tok;
-    const frontend::Token& peek(size_t off = 0) const {
-        const size_t i = pos_ + off;
-        return i < toks_.size() ? toks_[i] : toks_.back();
-    }
-    bool at(Tok k, size_t off = 0) const { return peek(off).kind == k; }
-    frontend::Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
-    [[noreturn]] void err(const std::string& m) const {
-        throw UsageError("composition: " + m);
-    }
-
-    Value parseValue() {
-        if (at(Tok::Minus)) {
-            take();
-            Value v = parseValue();
-            if (v.isI32()) return Value::ofI32(-v.asI32());
-            if (v.isI64()) return Value::ofI64(-v.asI64());
-            if (v.isF32()) return Value::ofF32(-v.asF32());
-            if (v.isF64()) return Value::ofF64(-v.asF64());
-            err("cannot negate an object");
-        }
-        if (at(Tok::IntLit)) return Value::ofI32(static_cast<int32_t>(take().ival));
-        if (at(Tok::LongLit)) return Value::ofI64(take().ival);
-        if (at(Tok::FloatLit)) return Value::ofF32(static_cast<float>(take().fval));
-        if (at(Tok::DoubleLit)) return Value::ofF64(take().fval);
-        if (!at(Tok::Ident)) err("expected a class name or literal");
-        const std::string cls = take().text;
-        if (cls == "true") return Value::ofBool(true);
-        if (cls == "false") return Value::ofBool(false);
-        if (!at(Tok::LParen)) err("expected '(' after " + cls);
-        take();
-        std::vector<Value> args;
-        if (!at(Tok::RParen)) {
-            args.push_back(parseValue());
-            while (at(Tok::Comma)) {
-                take();
-                args.push_back(parseValue());
-            }
-        }
-        if (!at(Tok::RParen)) err("expected ')'");
-        take();
-        return in_.instantiate(cls, std::move(args));
-    }
-
-    Interp& in_;
-    std::vector<frontend::Token> toks_;
-    size_t pos_ = 0;
-};
-
-/// "12" -> i32, "12L" -> i64, "1.5f" -> f32, "1.5" -> f64, true/false -> bool.
-Value parseArgLiteral(const std::string& s) {
-    auto toks = frontend::lex(s);
-    bool neg = false;
-    size_t i = 0;
-    if (toks[i].kind == frontend::Tok::Minus) {
-        neg = true;
-        ++i;
-    }
-    const auto& t = toks[i];
-    switch (t.kind) {
-    case frontend::Tok::IntLit:
-        return Value::ofI32(static_cast<int32_t>(neg ? -t.ival : t.ival));
-    case frontend::Tok::LongLit: return Value::ofI64(neg ? -t.ival : t.ival);
-    case frontend::Tok::FloatLit:
-        return Value::ofF32(static_cast<float>(neg ? -t.fval : t.fval));
-    case frontend::Tok::DoubleLit: return Value::ofF64(neg ? -t.fval : t.fval);
-    case frontend::Tok::Ident:
-        if (t.text == "true") return Value::ofBool(true);
-        if (t.text == "false") return Value::ofBool(false);
-        [[fallthrough]];
-    default:
-        throw UsageError("cannot parse argument literal: " + s);
-    }
 }
 
 void printResult(const Value& v) {
@@ -273,9 +196,9 @@ int runMain(int argc, char** argv) {
         std::fputs(printProgram(p).c_str(), stdout);
         return 0;
     }
-    if (cmd != "translate" && cmd != "run" && cmd != "trace") return usage();
+    if (cmd != "translate" && cmd != "run" && cmd != "trace" && cmd != "build") return usage();
 
-    std::string newExpr, method, traceOut;
+    std::string newExpr, method, traceOut, outDir;
     int ranks = 0;
     std::vector<Value> args;
     Program prog = frontend::parseProgram(slurp(path));
@@ -317,6 +240,7 @@ int runMain(int argc, char** argv) {
             setenv("WJ_TRANSPORT", t.c_str(), 1);
         }
         else if (a == "--trace" && i + 1 < argc) traceOut = argv[++i];
+        else if (a == "-o" && i + 1 < argc) outDir = argv[++i];
         else if (a == "--fault" && i + 1 < argc) {
             // Same grammar as WJ_FAULT; a malformed spec is a usage error
             // (exit 2), an injected fault during run is an execution
@@ -325,7 +249,7 @@ int runMain(int argc, char** argv) {
             std::fprintf(stderr, "wjc: fault plan: %s\n",
                          fault::FaultPlan::instance().describe().c_str());
         }
-        else args.push_back(parseArgLiteral(a));
+        else args.push_back(frontend::parseArgLiteral(a));
     }
     if (newExpr.empty() || method.empty()) return usage();
     if (cmd == "trace" && traceOut.empty()) {
@@ -333,7 +257,19 @@ int runMain(int argc, char** argv) {
     }
     if (!traceOut.empty()) trace::Tracer::instance().enable(traceOut);
 
-    Value receiver = CompositionParser(in, newExpr).parse();
+    Value receiver = frontend::parseComposition(in, newExpr);
+    if (cmd == "build") {
+        if (outDir.empty()) return usage();
+        requireCodingRules(prog);
+        Translation tr = translate(prog, receiver, method, args);
+        const std::string tag =
+            std::filesystem::path(path).stem().string() + "." + method;
+        service::BundleInfo info = service::writeBundle(outDir, tr, tag);
+        std::printf("bundle: %s\n", info.dir.c_str());
+        std::printf("key:    %016llx\n", static_cast<unsigned long long>(info.key));
+        std::printf("entry:  %s\n", info.entrySymbol.c_str());
+        return 0;
+    }
     JitCode code = ranks > 0 ? WootinJ::jit4mpi(prog, receiver, method, args)
                              : WootinJ::jit(prog, receiver, method, args);
     if (ranks > 0) code.set4MPI(ranks);

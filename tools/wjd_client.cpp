@@ -1,0 +1,99 @@
+// wjd_client — command-line client for a running wjd.
+//
+//   wjd_client --socket PATH compile <file.wj> --new EXPR --method NAME
+//              [ARGS...]                submit a module; prints the cache
+//                                       key and artifact path
+//   wjd_client --socket PATH ping      liveness probe
+//   wjd_client --socket PATH stats     dump the daemon's metrics JSON
+//   wjd_client --socket PATH shutdown  drain and stop the daemon
+//
+// Exit codes: 0 ok, 1 the daemon answered with a typed error (the code
+// name and message are printed to stderr), 2 usage / connection error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/client.h"
+#include "support/diagnostics.h"
+
+using namespace wj;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  wjd_client --socket PATH compile <file.wj> --new EXPR --method NAME"
+                 " [ARGS...]\n"
+                 "  wjd_client --socket PATH ping|stats|shutdown\n");
+    return 2;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw UsageError("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int report(const service::Client::Reply& r) {
+    if (r.ok) return 0;
+    std::fprintf(stderr, "wjd_client: %s: %s\n", r.name.c_str(), r.message.c_str());
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        std::string socketPath, cmd, file, newExpr, method, argsLine;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--socket" && i + 1 < argc) socketPath = argv[++i];
+            else if (a == "--new" && i + 1 < argc) newExpr = argv[++i];
+            else if (a == "--method" && i + 1 < argc) method = argv[++i];
+            else if (cmd.empty()) cmd = a;
+            else if (cmd == "compile" && file.empty()) file = a;
+            else if (cmd == "compile") {
+                if (!argsLine.empty()) argsLine += ' ';
+                argsLine += a;
+            } else return usage();
+        }
+        if (socketPath.empty() || cmd.empty()) return usage();
+
+        service::Client client;
+        client.connect(socketPath);
+        if (cmd == "ping") {
+            const auto r = client.ping();
+            if (r.ok) std::printf("pong\n");
+            return report(r);
+        }
+        if (cmd == "stats") {
+            const auto r = client.stats();
+            if (r.ok) std::fputs(r.statsJson.c_str(), stdout);
+            return report(r);
+        }
+        if (cmd == "shutdown") {
+            const auto r = client.shutdown();
+            if (r.ok) std::printf("drained\n");
+            return report(r);
+        }
+        if (cmd != "compile" || file.empty() || newExpr.empty() || method.empty()) {
+            return usage();
+        }
+        const auto r = client.compile(slurp(file), newExpr, method, argsLine);
+        if (r.ok) {
+            std::printf("key:      %s\n", r.keyHex.c_str());
+            std::printf("path:     %s\n", r.path.c_str());
+            std::printf("cacheHit: %s\n", r.cacheHit ? "true" : "false");
+            std::printf("attempts: %d\n", r.attempts);
+        }
+        return report(r);
+    } catch (const WjError& e) {
+        std::fprintf(stderr, "wjd_client: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,123 @@
+#!/bin/sh
+# End-to-end CLI scenarios for wjd / wjd_client / wjc build.
+#
+#   wjd_e2e.sh SCENARIO WJD WJD_CLIENT WJC EXAMPLES_DIR
+#
+# Scenarios:
+#   basic    ping; cold compile (miss) then warm compile (hit); stats JSON
+#            carries the wjd.* metrics; client-driven shutdown drains and
+#            the daemon exits 0
+#   bundle   wjc build writes {module.c, module.so, manifest.json}; a fresh
+#            daemon preloading the bundle serves the FIRST compile of that
+#            module as a cache hit (zero-compile cold start)
+#   sigterm  SIGTERM drains: daemon exits 0 and removes its socket file
+#
+# Every scenario runs in a private scratch dir with a private compile cache
+# so parallel ctest invocations cannot interfere.
+set -e
+
+SCENARIO=$1
+WJD=$2
+WJD_CLIENT=$3
+WJC=$4
+EXAMPLES=$5
+[ -n "$EXAMPLES" ] || { echo "usage: wjd_e2e.sh SCENARIO WJD WJD_CLIENT WJC EXAMPLES" >&2; exit 2; }
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/wjd_e2e.XXXXXX")
+WJ_CACHE_DIR="$SCRATCH/cache"
+export WJ_CACHE_DIR
+# Short socket paths: sun_path is ~108 bytes.
+SOCK="$SCRATCH/wjd.sock"
+DAEMON_PID=
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+    rm -rf "$SCRATCH"
+}
+trap cleanup EXIT INT TERM
+
+start_daemon() {
+    "$WJD" --socket "$SOCK" --quiet "$@" &
+    DAEMON_PID=$!
+    # Wait until the socket answers (the daemon binds before it prints).
+    i=0
+    until "$WJD_CLIENT" --socket "$SOCK" ping >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -lt 100 ] || { echo "daemon never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+await_daemon_exit() {
+    wait "$DAEMON_PID"
+    rc=$?
+    DAEMON_PID=
+    return $rc
+}
+
+case "$SCENARIO" in
+basic)
+    start_daemon
+    "$WJD_CLIENT" --socket "$SOCK" ping | grep -q pong
+
+    out1=$("$WJD_CLIENT" --socket "$SOCK" compile "$EXAMPLES/pi.wj" \
+        --new 'PiEstimator(HashSampler())' --method run 100)
+    echo "$out1"
+    echo "$out1" | grep -q 'cacheHit: false' || { echo "first compile should miss" >&2; exit 1; }
+    path=$(echo "$out1" | sed -n 's/^path: *//p')
+    [ -f "$path" ] || { echo "artifact $path missing" >&2; exit 1; }
+
+    out2=$("$WJD_CLIENT" --socket "$SOCK" compile "$EXAMPLES/pi.wj" \
+        --new 'PiEstimator(HashSampler())' --method run 100)
+    echo "$out2" | grep -q 'cacheHit: true' || { echo "second compile should hit" >&2; exit 1; }
+
+    stats=$("$WJD_CLIENT" --socket "$SOCK" stats)
+    echo "$stats" | grep -q 'wjd.requests.total' || { echo "stats missing wjd metrics" >&2; exit 1; }
+    echo "$stats" | grep -q 'wjd.compile.ok' || { echo "stats missing compile counters" >&2; exit 1; }
+
+    # A broken module must come back as a typed error (exit 1), daemon up.
+    printf 'class {' > "$SCRATCH/broken.wj"
+    if "$WJD_CLIENT" --socket "$SOCK" compile "$SCRATCH/broken.wj" \
+        --new 'X()' --method run 2> "$SCRATCH/err.txt"; then
+        echo "broken module should fail" >&2; exit 1
+    fi
+    grep -q 'PARSE_ERROR' "$SCRATCH/err.txt" || { cat "$SCRATCH/err.txt" >&2; exit 1; }
+    "$WJD_CLIENT" --socket "$SOCK" ping | grep -q pong
+
+    "$WJD_CLIENT" --socket "$SOCK" shutdown | grep -q drained
+    await_daemon_exit || { echo "daemon exit nonzero" >&2; exit 1; }
+    ;;
+
+bundle)
+    "$WJC" build "$EXAMPLES/pi.wj" --new 'PiEstimator(HashSampler())' \
+        --method run -o "$SCRATCH/bundle" 100
+    for f in module.c module.so manifest.json; do
+        [ -f "$SCRATCH/bundle/$f" ] || { echo "bundle missing $f" >&2; exit 1; }
+    done
+    grep -q '"key"' "$SCRATCH/bundle/manifest.json"
+
+    # Fresh cache; the preloaded bundle must make the first compile a hit.
+    WJ_CACHE_DIR="$SCRATCH/cache2"
+    export WJ_CACHE_DIR
+    start_daemon --bundles "$SCRATCH/bundle"
+    out=$("$WJD_CLIENT" --socket "$SOCK" compile "$EXAMPLES/pi.wj" \
+        --new 'PiEstimator(HashSampler())' --method run 100)
+    echo "$out"
+    echo "$out" | grep -q 'cacheHit: true' || { echo "bundled module should cold-start warm" >&2; exit 1; }
+    "$WJD_CLIENT" --socket "$SOCK" shutdown >/dev/null
+    await_daemon_exit
+    ;;
+
+sigterm)
+    start_daemon
+    kill -TERM "$DAEMON_PID"
+    await_daemon_exit || { echo "daemon exit nonzero after SIGTERM" >&2; exit 1; }
+    [ ! -e "$SOCK" ] || { echo "socket file left behind" >&2; exit 1; }
+    ;;
+
+*)
+    echo "unknown scenario $SCENARIO" >&2
+    exit 2
+    ;;
+esac
+echo "wjd_e2e $SCENARIO: ok"
