@@ -196,6 +196,7 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
             lookupSpan.arg(0, "hit", 1);
             mod->command_ = format("(cached) %s %s [key %016llx]", cc.c_str(), flags.c_str(),
                                    static_cast<unsigned long long>(key));
+            mod->loadedPath_ = cachedSo;
             cache.registerLoaded(key, mod);
             res.module = std::move(mod);
             res.cacheHit = true;
@@ -244,6 +245,7 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
                 diskHits.inc();
                 mod->command_ = format("(joined) %s %s [key %016llx]", cc.c_str(),
                                        flags.c_str(), static_cast<unsigned long long>(key));
+                mod->loadedPath_ = joinedSo;
                 cache.registerLoaded(key, mod);
                 res.module = std::move(mod);
                 res.cacheHit = true;
@@ -335,12 +337,14 @@ CompileResult compileAndLoad(const std::string& cSource, const std::string& tag)
     const std::string& loadPath = published.empty() ? soPath : published;
     trace::Span dlopenSpan("jit", "dlopen");
     mod->handle_ = dlopen(loadPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    mod->loadedPath_ = loadPath;
     if (!mod->handle_ && loadPath != soPath) {
         // A concurrent LRU sweep (or a byte cap smaller than one entry) can
         // evict the published copy between store() and this dlopen. The
         // temp .so this process just built still exists — load it instead
         // of failing a compile that succeeded.
         mod->handle_ = dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+        mod->loadedPath_ = soPath;
     }
     if (!mod->handle_) {
         throw UsageError(std::string("dlopen failed: ") + dlerror());

@@ -55,6 +55,12 @@ public:
     /// that WOULD have run.
     const std::string& compileCommand() const noexcept { return command_; }
 
+    /// The .so this module was actually dlopen()ed from: the published
+    /// cache entry, or — when the cache is disabled or store() failed —
+    /// the scratch .so (deleted with the scratch dir when the module is
+    /// destroyed). wjd reports this, not a guessed cache path, to clients.
+    const std::string& loadedPath() const noexcept { return loadedPath_; }
+
 private:
     friend struct CompileResult;
     friend CompileResult compileAndLoad(const std::string&, const std::string&);
@@ -65,6 +71,7 @@ private:
     std::string srcPath_;
     std::string dir_;
     std::string command_;
+    std::string loadedPath_;
 };
 
 /// The outcome of one compileAndLoad() call. Cache-hit accounting is per

@@ -4,11 +4,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
@@ -60,13 +63,35 @@ struct Conn {
     std::mutex wmu;                ///< frame-granularity write interleaving
     std::atomic<int> inflight{0};  ///< admission: this client's queued+running compiles
 
-    ~Conn() {
-        if (fd >= 0) ::close(fd);
+    ~Conn() { closeNow(); }
+
+    /// Releases the fd as soon as the reader is done with it (a long-running
+    /// daemon must not hold one fd per disconnected client until shutdown).
+    /// Only the owning reader (or the destructor, after the reader is gone)
+    /// calls this; in-flight workers replying afterwards see fd == -1.
+    void closeNow() noexcept {
+        if (fd < 0) return;
+        // Unblock a worker mid-write first: a peer that vanished without
+        // reading can leave writeFrame blocked while it holds wmu.
+        ::shutdown(fd, SHUT_RDWR);
+        std::lock_guard<std::mutex> lock(wmu);
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    /// Wakes a reader blocked in readFrame() without invalidating the fd.
+    /// Lock-free on purpose: taking wmu here could deadlock behind the very
+    /// blocked write this shutdown is meant to unblock.
+    void shutdownNow() noexcept {
+        if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
 
     /// Best-effort response: a dead peer is not an error for the daemon.
     void reply(const Frame& f) noexcept {
         std::lock_guard<std::mutex> lock(wmu);
+        if (fd < 0) return;  // connection already torn down
         try {
             writeFrame(fd, f);
         } catch (const WjError&) {
@@ -157,19 +182,30 @@ struct Daemon::Impl {
     int activeJobs = 0;
     int shutdownRepliers = 0;  ///< readers still owing a Shutdown Ok
     bool workersExit = false;
-    std::vector<ConnPtr> conns;         ///< open connections (for final close)
-    std::vector<std::thread> readers;   ///< one per connection
+    std::vector<ConnPtr> conns;  ///< open connections (erased on reader exit)
+    uint64_t nextReaderId = 0;
+    std::map<uint64_t, std::thread> readers;  ///< live readers, one per connection
+    std::vector<std::thread> deadReaders;     ///< exited readers awaiting join
 
     /// In-process singleflight: cache key -> the one compile resolving it.
     std::mutex sfMu;
     std::map<uint64_t, std::shared_future<Outcome>> inflightKeys;
 
+    /// Modules whose only on-disk artifact is their scratch .so (cache
+    /// disabled or store failed). Pinned so the path= we reported stays
+    /// valid for the daemon's lifetime — NativeModule removes its scratch
+    /// dir on destruction.
+    std::mutex pinMu;
+    std::vector<std::shared_ptr<NativeModule>> pinnedModules;
+
     // ---- request pipeline ---------------------------------------------
     Outcome compileBody(const std::string& rawBody);
     Outcome runPipeline(const Body& req);
+    std::string artifactPathFor(uint64_t key, const CompileResult& cr);
     void workerLoop();
-    void readerLoop(ConnPtr conn);
+    void readerLoop(ConnPtr conn, uint64_t readerId);
     void acceptLoop();
+    void reapDeadReaders();
     bool drained() {
         return queue.empty() && activeJobs == 0;
     }
@@ -218,6 +254,13 @@ Outcome Daemon::Impl::runPipeline(const Body& req) {
         out.code = ErrCode::SemanticError;
         out.message = e.what();
         return out;
+    } catch (const std::exception& e) {
+        // Backstop for anything the frontend throws beyond its typed
+        // errors (std::bad_alloc on a pathological module, library
+        // exceptions): malformed input is never a daemon crash.
+        out.code = ErrCode::Internal;
+        out.message = e.what();
+        return out;
     }
 
     // ---- compile with in-process singleflight --------------------------
@@ -253,7 +296,7 @@ Outcome Daemon::Impl::runPipeline(const Body& req) {
             res.code = ErrCode::None;
             res.cacheHit = cr.cacheHit;
             res.attempts = cr.attempts;
-            res.path = JitCache::instance().entryPath(key);
+            res.path = artifactPathFor(key, cr);
             Counters::instance().compileOk.inc();
         } catch (const CompilerUnavailableError& e) {
             res.code = ErrCode::CompilerUnavailable;
@@ -277,6 +320,26 @@ Outcome Daemon::Impl::runPipeline(const Body& req) {
         inflightKeys.erase(key);
     }
     return res;
+}
+
+/// The path= a compile reply may legitimately report: the published cache
+/// entry when it exists, else the artifact the module was actually loaded
+/// from (WJ_CACHE=0, or store() failed on a full disk) — pinned so the
+/// scratch dir outlives the reply. Empty only when no on-disk artifact
+/// survives (e.g. an in-memory hit whose cache entry was evicted since).
+std::string Daemon::Impl::artifactPathFor(uint64_t key, const CompileResult& cr) {
+    std::error_code ec;
+    const std::string published = JitCache::instance().entryPath(key);
+    if (!published.empty() && std::filesystem::exists(published, ec)) return published;
+    if (cr.module) {
+        const std::string& loaded = cr.module->loadedPath();
+        if (!loaded.empty() && std::filesystem::exists(loaded, ec)) {
+            std::lock_guard<std::mutex> lock(pinMu);
+            pinnedModules.push_back(cr.module);
+            return loaded;
+        }
+    }
+    return std::string();
 }
 
 Outcome Daemon::Impl::compileBody(const std::string& rawBody) {
@@ -327,7 +390,7 @@ void Daemon::Impl::workerLoop() {
     }
 }
 
-void Daemon::Impl::readerLoop(ConnPtr conn) {
+void Daemon::Impl::readerLoop(ConnPtr conn, uint64_t readerId) {
     auto& C = Counters::instance();
     for (;;) {
         Frame f;
@@ -434,15 +497,58 @@ void Daemon::Impl::readerLoop(ConnPtr conn) {
     }
     // Reader exits on EOF/junk. Jobs this client still has queued run to
     // completion (the Conn outlives us via shared_ptr); their responses
-    // fail silently in reply().
+    // fail silently in reply(). Release the fd NOW and hand our thread to
+    // the reap list — a daemon serving many short-lived clients must not
+    // accumulate one fd + one joinable thread per past connection.
+    bool ownsConn = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto cit = std::find(conns.begin(), conns.end(), conn);
+        if (cit != conns.end()) {
+            conns.erase(cit);
+            ownsConn = true;  // wait() has not claimed this conn for teardown
+        }
+        auto rit = readers.find(readerId);
+        if (rit != readers.end()) {
+            deadReaders.push_back(std::move(rit->second));
+            readers.erase(rit);
+        }
+    }
+    // Exactly one side closes: if wait() swapped the containers first, it
+    // owns the conn (and joins our thread via its swapped-out map); closing
+    // here too would race its shutdownNow() against fd reuse.
+    if (ownsConn) conn->closeNow();
+}
+
+void Daemon::Impl::reapDeadReaders() {
+    std::vector<std::thread> dead;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        dead.swap(deadReaders);
+    }
+    // A thread on the list is in (or past) its last statement; these joins
+    // return immediately or near enough.
+    for (auto& t : dead) t.join();
 }
 
 void Daemon::Impl::acceptLoop() {
     for (;;) {
+        reapDeadReaders();
         const int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR) continue;
-            return;  // listen socket shut down: drain begins
+            if (stopping.load()) return;  // listen socket shut down: drain begins
+            if (errno == EBADF || errno == EINVAL) return;  // socket gone
+            // Transient failures — ECONNABORTED (peer gave up in the
+            // backlog), EMFILE/ENFILE fd pressure, ENOBUFS/ENOMEM — must
+            // not silently end accepting while the daemon lives on; back
+            // off briefly and keep serving.
+            if (!opts.quiet) {
+                std::fprintf(stderr, "wjd: accept() failed: %s; retrying\n",
+                             std::strerror(errno));
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
         }
         if (stopping.load()) {
             ::close(fd);
@@ -450,19 +556,45 @@ void Daemon::Impl::acceptLoop() {
         }
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
+        // Spawn under mu: the reader's exit epilogue also takes mu, so it
+        // cannot race ahead of its own registration in `readers`.
         std::lock_guard<std::mutex> lock(mu);
+        const uint64_t id = nextReaderId++;
         conns.push_back(conn);
-        readers.emplace_back([this, conn] { readerLoop(conn); });
+        readers.emplace(id, std::thread([this, conn, id] { readerLoop(conn, id); }));
     }
 }
 
 // ------------------------------------------------------------------- Daemon
+
+namespace {
+
+// Self-pipe: the handler only write()s (async-signal-safe); a watcher
+// thread turns the byte into a requestStop() call, which may take locks.
+int g_sigPipe[2] = {-1, -1};
+
+// The daemon the watcher acts on. Registered by installSignalDrain and
+// cleared by ~Daemon under g_sigMu, so a SIGTERM racing destruction makes
+// the watcher see nullptr instead of calling into a destroyed object.
+std::mutex g_sigMu;
+Daemon* g_sigDaemon = nullptr;
+
+extern "C" void wjdSignalHandler(int) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t r = ::write(g_sigPipe[1], &b, 1);
+}
+
+} // namespace
 
 Daemon::Daemon(DaemonOptions opts) : impl_(new Impl) {
     impl_->opts = std::move(opts);
 }
 
 Daemon::~Daemon() {
+    {
+        std::lock_guard<std::mutex> lock(g_sigMu);
+        if (g_sigDaemon == this) g_sigDaemon = nullptr;
+    }
     requestStop();
     wait();
 }
@@ -572,16 +704,24 @@ void Daemon::wait() {
     for (auto& t : d.pool) t.join();
     d.pool.clear();
     if (d.acceptThread.joinable()) d.acceptThread.join();
-    // Every admitted job has responded; now hang up on idle readers.
+    // Every admitted job has responded; now hang up on idle readers. A
+    // reader exiting concurrently either removed its conn from d.conns
+    // before the swap (it closed the fd itself, we never see it) or finds
+    // the swapped-out containers empty and leaves both its conn and its
+    // thread handle to us — never both sides touching one fd.
     std::vector<ConnPtr> conns;
-    std::vector<std::thread> readers;
+    std::map<uint64_t, std::thread> readers;
+    std::vector<std::thread> deadReaders;
     {
         std::lock_guard<std::mutex> lock(d.mu);
         conns.swap(d.conns);
         readers.swap(d.readers);
+        deadReaders.swap(d.deadReaders);
     }
-    for (auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
-    for (auto& t : readers) t.join();
+    for (auto& c : conns) c->shutdownNow();
+    for (auto& kv : readers) kv.second.join();
+    for (auto& t : deadReaders) t.join();
+    for (auto& c : conns) c->closeNow();
     if (d.listenFd >= 0) {
         ::close(d.listenFd);
         d.listenFd = -1;
@@ -593,27 +733,22 @@ void Daemon::wait() {
 
 // ------------------------------------------------------------- signal drain
 
-namespace {
-
-// Self-pipe: the handler only write()s (async-signal-safe); a watcher
-// thread turns the byte into a requestStop() call, which may take locks.
-int g_sigPipe[2] = {-1, -1};
-
-extern "C" void wjdSignalHandler(int) {
-    const char b = 1;
-    [[maybe_unused]] ssize_t r = ::write(g_sigPipe[1], &b, 1);
-}
-
-} // namespace
-
 void installSignalDrain(Daemon& d) {
     if (g_sigPipe[0] >= 0) throw UsageError("wjd: signal drain already installed");
     if (::pipe(g_sigPipe) != 0) throw UsageError("wjd: pipe() failed");
-    std::thread([&d] {
+    {
+        std::lock_guard<std::mutex> lock(g_sigMu);
+        g_sigDaemon = &d;
+    }
+    // The watcher deliberately does NOT capture the Daemon: it outlives any
+    // one daemon (detached, blocked in read) and must consult the registry
+    // under the lock each time it fires.
+    std::thread([] {
         char b;
         while (::read(g_sigPipe[0], &b, 1) < 0 && errno == EINTR) {
         }
-        d.requestStop();
+        std::lock_guard<std::mutex> lock(g_sigMu);
+        if (g_sigDaemon) g_sigDaemon->requestStop();
     }).detach();
     struct sigaction sa{};
     sa.sa_handler = wjdSignalHandler;

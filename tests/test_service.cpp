@@ -417,6 +417,49 @@ TEST_F(ServiceTest, TruncatedFrameThenDisconnectLeavesDaemonHealthy) {
     EXPECT_TRUE(c2.ping().ok);
 }
 
+#ifdef __linux__
+/// Open fds of this process — the in-process daemon's fds included.
+int openFdCount() {
+    int n = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator("/proc/self/fd")) ++n;
+    return n;
+}
+
+TEST_F(ServiceTest, DisconnectedClientsReleaseTheirFds) {
+    startDaemon();
+    // Warm up one connect/disconnect cycle so lazily-created fds (metrics
+    // files, cache dir handles) are part of the baseline.
+    {
+        Client w = connect();
+        ASSERT_TRUE(w.ping().ok);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const int baseline = openFdCount();
+
+    // A long-running daemon's stated workload: many short-lived clients.
+    // Each accepted connection must give its fd back when the client
+    // hangs up, not hold it until daemon shutdown.
+    constexpr int kClients = 50;
+    for (int i = 0; i < kClients; ++i) {
+        Client c = connect();
+        ASSERT_TRUE(c.ping().ok);
+    }
+
+    // Readers close their fd on EOF asynchronously; poll briefly.
+    int now = -1;
+    for (int i = 0; i < 100; ++i) {
+        now = openFdCount();
+        if (now <= baseline + 2) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_LE(now, baseline + 2)
+        << kClients << " disconnected clients leaked fds (baseline " << baseline << ")";
+    // And the daemon is still accepting.
+    Client again = connect();
+    EXPECT_TRUE(again.ping().ok);
+}
+#endif
+
 // ---------------------------------------------------------- graceful drain
 
 TEST_F(ServiceTest, ShutdownDrainsInflightCompilesFirst) {
